@@ -1,0 +1,49 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Each ``test_bench_*.py`` file regenerates one experiment from DESIGN.md's
+experiment index (E1–E10).  pytest-benchmark provides the timing harness;
+in addition every experiment prints a paper-style summary table via
+:func:`report` so `pytest benchmarks/ --benchmark-only -s` reproduces the
+rows recorded in EXPERIMENTS.md.
+"""
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+_REPORTS = {}
+
+
+def report(experiment: str, header: Sequence[str], row: Iterable) -> None:
+    """Accumulate one table row for an experiment; printed at session end."""
+    table = _REPORTS.setdefault(experiment, {"header": list(header), "rows": []})
+    table["rows"].append(list(row))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORTS:
+        return
+    out = ["", "=" * 72, "EXPERIMENT SUMMARY TABLES", "=" * 72]
+    for name in sorted(_REPORTS):
+        table = _REPORTS[name]
+        out.append("")
+        out.append(name)
+        out.append("-" * len(name))
+        widths = [
+            max(
+                len(str(table["header"][i])),
+                *(len(str(r[i])) for r in table["rows"]),
+            )
+            for i in range(len(table["header"]))
+        ]
+        fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+        out.append(fmt.format(*table["header"]))
+        for row in table["rows"]:
+            out.append(fmt.format(*[str(c) for c in row]))
+    print("\n".join(out))
+
+
+@pytest.fixture(scope="session")
+def summary():
+    return report

@@ -1,0 +1,126 @@
+"""E6 — Multi-driver concurrency (§6, Figure 1).
+
+Token-level concurrency: per-token processing costs are *measured* on the
+real engine, then the N-driver schedule is computed with the deterministic
+simulator (DESIGN.md records why: CPython threads cannot exhibit CPU
+scaling, so the shape — near-linear until task granularity or skew binds —
+is what we reproduce).  A second table reproduces the THRESHOLD/T ablation:
+polling drivers trade response time against call overhead.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.concurrency import SimulatedScheduler, simulate_response_time
+from repro.engine.triggerman import TriggerMan
+from repro.workloads import emp_tokens
+
+DRIVERS = [1, 2, 4, 8]
+
+
+def measured_token_costs(n_tokens=200, n_triggers=2_000):
+    """Wall-clock cost of each token's match+fire work on the real engine."""
+    tman = TriggerMan.in_memory()
+    tman.define_table(
+        "emp",
+        [
+            ("eno", "integer"),
+            ("name", "varchar(40)"),
+            ("salary", "float"),
+            ("dept", "varchar(20)"),
+            ("age", "integer"),
+        ],
+    )
+    for i in range(n_triggers):
+        tman.create_trigger(
+            f"create trigger t{i} from emp on insert "
+            f"when emp.name = 'user{i}' and emp.salary > {i} "
+            f"do raise event E{i}"
+        )
+    costs = []
+    for token in emp_tokens(n_tokens, seed=9):
+        tman.insert("emp", token)
+        descriptor = tman.queue.dequeue()
+        start = time.perf_counter()
+        tman.process_token(descriptor)
+        tman._run_pending_tasks()
+        costs.append(time.perf_counter() - start)
+    return costs
+
+
+_costs = None
+
+
+def costs():
+    global _costs
+    if _costs is None:
+        _costs = measured_token_costs()
+    return _costs
+
+
+@pytest.mark.parametrize("drivers", DRIVERS)
+def test_token_level_speedup(benchmark, drivers, summary):
+    token_costs = costs()
+    scheduler = SimulatedScheduler(drivers, dispatch_overhead=1e-6)
+
+    def run():
+        return scheduler.run(token_costs)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    serial = sum(token_costs) + len(token_costs) * 1e-6
+    speedup = serial / result.makespan
+    summary(
+        "E6: token-level concurrency speedup (measured costs, N drivers)",
+        ["drivers", "makespan ms", "speedup", "utilization"],
+        [
+            drivers,
+            f"{result.makespan * 1e3:.2f}",
+            f"{speedup:.2f}x",
+            f"{result.utilization:.2f}",
+        ],
+    )
+    if drivers == 1:
+        assert speedup == pytest.approx(1.0, rel=0.05)
+    else:
+        assert speedup > 0.7 * drivers  # near-linear for uniform tokens
+
+
+@pytest.mark.parametrize("poll_period", [0.05, 0.25, 1.0])
+def test_poll_period_response_ablation(benchmark, poll_period, summary):
+    """§6 ablation: T (driver poll period) vs token response time under a
+    sparse arrival stream — large T saves wakeups but delays tokens."""
+    # Arrival spacing deliberately co-prime with the poll periods so the
+    # sweep measures expected polling delay, not phase resonance.
+    arrivals = [i * 0.37 for i in range(40)]
+    token_costs = [0.002] * 40
+
+    def run():
+        return simulate_response_time(
+            arrivals, token_costs, drivers=2, poll_period=poll_period
+        )
+
+    mean, peak = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary(
+        "E6b: poll period T vs response time (sparse arrivals)",
+        ["T (s)", "mean response (s)", "max response (s)"],
+        [poll_period, f"{mean:.4f}", f"{peak:.4f}"],
+    )
+
+
+@pytest.mark.parametrize("threshold", [0.0001, 0.001, 0.25])
+def test_threshold_batching_ablation(benchmark, threshold, summary):
+    """§6 ablation: THRESHOLD controls TmanTest batch size; small values pay
+    the per-call overhead more often."""
+    token_costs = costs()[:100]
+    scheduler = SimulatedScheduler(
+        2, threshold=threshold, call_overhead=0.001
+    )
+    result = benchmark.pedantic(
+        lambda: scheduler.run(token_costs), rounds=1, iterations=1
+    )
+    summary(
+        "E6c: TmanTest THRESHOLD batching",
+        ["THRESHOLD (s)", "makespan ms"],
+        [threshold, f"{result.makespan * 1e3:.2f}"],
+    )

@@ -1,0 +1,102 @@
+"""E2 — Trigger-definition cost and signature-count behaviour (§5.1, Fig 2).
+
+Two claims are measured:
+
+1. ``create trigger`` cost stays flat as the catalog grows (the steps of
+   §5.1 touch per-signature structures, not per-trigger lists);
+2. the number of distinct expression signatures depends on the workload's
+   structure, not on the trigger count (the Figure 2 equivalence-class
+   argument).
+"""
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.workloads import build_predicate_index, emp_predicates
+
+EMP_COLUMNS = [
+    ("eno", "integer"),
+    ("name", "varchar(40)"),
+    ("salary", "float"),
+    ("dept", "varchar(20)"),
+    ("age", "integer"),
+]
+
+
+@pytest.mark.parametrize("preloaded", [0, 1_000, 5_000])
+def test_create_trigger_cost_vs_catalog_size(benchmark, preloaded, summary):
+    """Time creating 50 triggers on an engine already holding ``preloaded``."""
+    tman = TriggerMan.in_memory()
+    tman.define_table("emp", EMP_COLUMNS)
+    for i in range(preloaded):
+        tman.create_trigger(
+            f"create trigger pre{i} from emp on insert "
+            f"when emp.salary > {i} do raise event E{i}"
+        )
+    counter = [0]
+
+    def create_batch():
+        base = preloaded + counter[0] * 50
+        counter[0] += 1
+        for j in range(50):
+            tman.create_trigger(
+                f"create trigger new{base + j} from emp on insert "
+                f"when emp.salary > {base + j} do raise event N{base + j}"
+            )
+
+    benchmark.pedantic(create_batch, rounds=5, iterations=1)
+    per_trigger_us = benchmark.stats.stats.mean / 50 * 1e6
+    summary(
+        "E2: create-trigger cost vs catalog size",
+        ["preloaded", "us/create"],
+        [preloaded, f"{per_trigger_us:.0f}"],
+    )
+    assert tman.index.signature_count() == 1
+
+
+@pytest.mark.parametrize("preloaded", [1_000, 5_000])
+def test_drop_trigger_cost(benchmark, preloaded, summary):
+    """Dropping a trigger touches only its own predicate entries (the
+    index keeps a trigger→entries reverse map), so the cost must not grow
+    with the catalog."""
+    tman = TriggerMan.in_memory()
+    tman.define_table("emp", EMP_COLUMNS)
+    for i in range(preloaded):
+        tman.create_trigger(
+            f"create trigger pre{i} from emp on insert "
+            f"when emp.salary > {i} do raise event E{i}"
+        )
+
+    def drop_and_recreate():
+        tman.drop_trigger("pre0")
+        tman.create_trigger(
+            "create trigger pre0 from emp on insert "
+            "when emp.salary > 0 do raise event E0"
+        )
+
+    benchmark.pedantic(drop_and_recreate, rounds=5, iterations=1)
+    summary(
+        "E2b: drop-trigger cost vs catalog size",
+        ["preloaded", "us/drop+create"],
+        [preloaded, f"{benchmark.stats.stats.mean * 1e6:.0f}"],
+    )
+    assert tman.index.entry_count() == preloaded
+
+
+@pytest.mark.parametrize("count", [1_000, 10_000])
+@pytest.mark.parametrize("num_signatures", [1, 4, 8])
+def test_signature_count_independent_of_trigger_count(
+    benchmark, count, num_signatures, summary
+):
+    specs = emp_predicates(count, num_signatures=num_signatures, seed=17)
+
+    def build():
+        return build_predicate_index(specs)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    summary(
+        "E2: signatures vs triggers",
+        ["triggers", "templates", "signatures", "entries"],
+        [count, num_signatures, index.signature_count(), index.entry_count()],
+    )
+    assert index.signature_count() == num_signatures

@@ -1,0 +1,97 @@
+"""E8 — Multi-table (join) trigger processing through A-TREAT (§2's
+IrisHouseAlert, §4's join predicates).
+
+The token path: predicate-index match on the inserted house → pin trigger →
+alpha activation → join search against the other sources' (virtual) alpha
+memories → P-node → action.  Baseline: re-running the full three-way join
+query per token (the query-based approach of §8).  The shape: A-TREAT's
+seeded join search touches only rows joinable with the new token, so it
+stays flat as unrelated data grows, while re-query cost grows with table
+size.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.workloads import populate_realestate
+
+SCALES = [50, 200, 800]  # houses in the base table
+
+
+def build(houses):
+    tman = TriggerMan.in_memory()
+    populate_realestate(
+        tman, houses=houses, salespeople=20, neighborhoods=10, seed=3
+    )
+    tman.insert("salesperson", {"spno": 999, "name": "Iris", "phone": "x"})
+    tman.insert("represents", {"spno": 999, "nno": 0})
+    tman.process_all()
+    tman.create_trigger(
+        "create trigger IrisHouseAlert on insert to house "
+        "from salesperson s, house h, represents r "
+        "when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno "
+        "do raise event NewHouse(h.hno)"
+    )
+    return tman
+
+
+@pytest.mark.parametrize("houses", SCALES)
+def test_atreat_join_trigger(benchmark, houses, summary):
+    tman = build(houses)
+    counter = [houses + 10_000]
+
+    def insert_and_process():
+        counter[0] += 1
+        tman.insert(
+            "house",
+            {
+                "hno": counter[0],
+                "address": "a",
+                "price": 1.0,
+                "nno": counter[0] % 10,
+                "spno": 1,
+            },
+        )
+        tman.process_all()
+
+    benchmark.pedantic(insert_and_process, rounds=10, iterations=1)
+    per_token_us = benchmark.stats.stats.mean * 1e6
+    summary(
+        "E8: join trigger cost vs base-table size",
+        ["houses", "strategy", "us/token"],
+        [houses, "A-TREAT (seeded)", f"{per_token_us:.0f}"],
+    )
+
+
+@pytest.mark.parametrize("houses", SCALES)
+def test_requery_baseline(benchmark, houses, summary):
+    """§8's query-based approach: evaluate the whole join per update."""
+    tman = build(houses)
+    db = tman.default_connection.database
+
+    def requery():
+        # nested-loop three-way join over full tables (no seed)
+        matches = 0
+        sps = db.execute("select spno, name from salesperson")
+        reps = db.execute("select spno, nno from represents")
+        hs = db.execute("select hno, nno from house")
+        for spno, name in sps:
+            if name != "Iris":
+                continue
+            for r_spno, r_nno in reps:
+                if r_spno != spno:
+                    continue
+                for hno, h_nno in hs:
+                    if h_nno == r_nno:
+                        matches += 1
+        return matches
+
+    benchmark.pedantic(requery, rounds=5, iterations=1)
+    per_token_us = benchmark.stats.stats.mean * 1e6
+    summary(
+        "E8: join trigger cost vs base-table size",
+        ["houses", "strategy", "us/token"],
+        [houses, "re-query (RPL-style)", f"{per_token_us:.0f}"],
+    )

@@ -1,0 +1,108 @@
+"""E4 — Crossover between the four constant-set organizations (§5.2).
+
+For one equality signature (``name = CONSTANT_1``), the equivalence class is
+swept from 16 to 16k expressions and probed with tokens under each forced
+strategy.  The paper's qualitative claims to validate:
+
+* the memory list wins only for small classes,
+* the memory index is flat and fastest while the class fits in memory,
+* the non-indexed table degrades linearly (it is the scalability floor),
+* the indexed table stays near-flat, making very large classes feasible.
+
+A final check compares the measured winner against the cost model's pick.
+"""
+
+import pytest
+
+from repro.predindex.costmodel import (
+    ALL_STRATEGIES,
+    choose_organization,
+    Limits,
+)
+from repro.sql.database import Database
+from repro.workloads import (
+    build_predicate_index,
+    emp_predicates,
+    emp_tokens,
+    organization_factory_for,
+)
+
+SIZES = [16, 256, 4_096, 16_384]
+TOKENS = emp_tokens(32, seed=202)
+
+_built = {}
+
+
+def build(strategy, size):
+    key = (strategy, size)
+    if key not in _built:
+        specs = emp_predicates(size, template_indices=[1], seed=31)
+        factory = organization_factory_for(strategy, Database())
+        _built[key] = build_predicate_index(
+            specs, organization_factory=factory
+        )
+    return _built[key]
+
+
+def probe_all(index):
+    return sum(len(index.match("emp", "insert", t)) for t in TOKENS)
+
+
+_measured = {}
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+def test_organization_probe(benchmark, strategy, size, summary):
+    index = build(strategy, size)
+    benchmark(probe_all, index)
+    per_token_us = benchmark.stats.stats.mean / len(TOKENS) * 1e6
+    _measured[(strategy, size)] = per_token_us
+    summary(
+        "E4: constant-set organization crossover (equality signature)",
+        ["class size", "organization", "us/token"],
+        [size, strategy, f"{per_token_us:.1f}"],
+    )
+
+
+def test_cost_model_picks_a_fast_strategy(benchmark, summary):
+    """The model's choice must be within 5x of the measured best (it need
+    not be optimal — it must avoid the catastrophic picks, which span four
+    orders of magnitude in E4).
+
+    Calibration note recorded in EXPERIMENTS.md: in CPython a dict probe
+    beats even a 16-entry list scan (interpreted per-entry match calls), so
+    the deployment-tuned ``list_max`` here is 4 — the paper's "lists make
+    the common case fast" claim is about per-structure overhead constants,
+    which the Limits knob expresses.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    limits = Limits(list_max=4, memory_max=4_096)
+    for size in SIZES:
+        timings = {
+            strategy: _measured.get((strategy, size))
+            for strategy in ALL_STRATEGIES
+        }
+        if any(v is None for v in timings.values()):
+            pytest.skip("probe benchmarks did not run")
+        chosen = choose_organization("equality", size, limits)
+        # The model may only pick memory structures within its budget; the
+        # fairness baseline is the best *admissible* strategy.
+        admissible = {
+            strategy: t
+            for strategy, t in timings.items()
+            if size <= limits.memory_max
+            or strategy in ("db_table", "db_table_indexed")
+        }
+        best = min(admissible.values())
+        summary(
+            "E4b: cost model validation (list_max=4, memory_max=4096)",
+            ["class size", "model choice", "measured best", "chosen/best"],
+            [
+                size,
+                chosen,
+                min(admissible, key=admissible.get),
+                f"{timings[chosen] / best:.2f}x",
+            ],
+        )
+        assert timings[chosen] <= 5.0 * best

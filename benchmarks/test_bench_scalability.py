@@ -1,0 +1,125 @@
+"""E1 — Token-match latency vs number of triggers (§1/§5 headline claim).
+
+The paper's argument: naive ECA matching is at least linear in the trigger
+count, while the signature-based predicate index keeps per-token work
+roughly constant when trigger counts grow but signature counts do not.
+
+Workload: pure name-equality alerts (``name = 'userN'``) — the web-scale
+subscription pattern of §1 — so output size stays ~constant and the curves
+show matching cost, not delivery cost.  The per-query (RPL-style) baseline
+runs at small scale only; it is orders of magnitude slower.
+"""
+
+import pytest
+
+from repro.baselines.perquery import PerQueryProcessor
+from repro.sql.schema import schema
+from repro.workloads import (
+    build_naive,
+    build_predicate_index,
+    emp_predicates,
+    emp_tokens,
+)
+
+SIZES = [100, 1_000, 10_000, 50_000]
+TOKENS = emp_tokens(64, seed=101)
+
+_cache = {}
+
+
+def _specs(n):
+    if n not in _cache:
+        _cache[n] = emp_predicates(n, template_indices=[1], seed=3)
+    return _cache[n]
+
+
+def _match_all_index(index):
+    total = 0
+    for token in TOKENS:
+        total += len(index.match("emp", "insert", token))
+    return total
+
+
+def _match_all_naive(naive):
+    total = 0
+    for token in TOKENS:
+        total += len(naive.match("emp", "insert", token))
+    return total
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_predicate_index_match(benchmark, n, summary):
+    index = build_predicate_index(_specs(n))
+    result = benchmark(_match_all_index, index)
+    per_token_us = benchmark.stats.stats.mean / len(TOKENS) * 1e6
+    summary(
+        "E1: match latency vs trigger count",
+        ["triggers", "strategy", "us/token"],
+        [n, "predicate_index", f"{per_token_us:.1f}"],
+    )
+    benchmark.extra_info["matches"] = result
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_naive_eca_match(benchmark, n, summary):
+    naive = build_naive(_specs(n))
+    result = benchmark(_match_all_naive, naive)
+    per_token_us = benchmark.stats.stats.mean / len(TOKENS) * 1e6
+    summary(
+        "E1: match latency vs trigger count",
+        ["triggers", "strategy", "us/token"],
+        [n, "naive_eca", f"{per_token_us:.1f}"],
+    )
+    benchmark.extra_info["matches"] = result
+
+
+@pytest.mark.parametrize("n", [100, 1_000])
+def test_per_query_match(benchmark, n, summary):
+    specs = _specs(n)
+    processor = PerQueryProcessor()
+    processor.register_source(
+        "emp",
+        schema(
+            "emp",
+            ("eno", "integer"),
+            ("name", "varchar(40)"),
+            ("salary", "float"),
+            ("dept", "varchar(20)"),
+            ("age", "integer"),
+        ),
+    )
+    for i, spec in enumerate(specs):
+        processor.add_trigger(i + 1, "emp", "insert", spec.analyze())
+    few_tokens = TOKENS[:8]
+
+    def run():
+        return sum(
+            len(processor.match("emp", "insert", token))
+            for token in few_tokens
+        )
+
+    benchmark(run)
+    per_token_us = benchmark.stats.stats.mean / len(few_tokens) * 1e6
+    summary(
+        "E1: match latency vs trigger count",
+        ["triggers", "strategy", "us/token"],
+        [n, "per_query (RPL)", f"{per_token_us:.1f}"],
+    )
+
+
+def test_agreement_check(benchmark, summary):
+    """Not a timing test: the strategies must agree on every match set."""
+    specs = _specs(1_000)
+    index = build_predicate_index(specs)
+    naive = build_naive(specs)
+
+    def check():
+        for token in TOKENS:
+            a = sorted(
+                m.entry.trigger_id
+                for m in index.match("emp", "insert", token)
+            )
+            b = sorted(naive.match("emp", "insert", token))
+            assert a == b
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

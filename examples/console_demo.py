@@ -1,0 +1,47 @@
+"""Drive the TriggerMan console programmatically (§3's console program).
+
+Run with::
+
+    python examples/console_demo.py          # scripted demo
+    python examples/console_demo.py -i       # interactive REPL
+"""
+
+import sys
+
+from repro import TriggerMan
+from repro.engine.console import Console, run_interactive
+
+SCRIPT = [
+    "sql create table emp (name varchar(40), salary float)",
+    "define data source emp from emp",
+    "create trigger set payroll comment 'salary monitoring'",
+    "create trigger bigSalary in payroll from emp on insert "
+    "when emp.salary > 80000 do raise event BigSalary(emp.name)",
+    "show triggers",
+    "show signatures",
+    "sql insert into emp values ('Ada', 120000.0)",
+    "sql insert into emp values ('Bob', 30000.0)",
+    "process",
+    "show stats",
+    "disable trigger bigSalary",
+    "sql insert into emp values ('Eve', 999999.0)",
+    "process",
+    "show stats",
+]
+
+
+def main() -> None:
+    tman = TriggerMan.in_memory()
+    if "-i" in sys.argv[1:]:
+        run_interactive(tman)
+        return
+    console = Console(tman)
+    for line in SCRIPT:
+        print(f"tman> {line}")
+        output = console.execute(line)
+        if output:
+            print("\n".join(f"  {row}" for row in output.splitlines()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Inventory management: execSQL cascades and windowed aggregate triggers.
+
+Three cooperating triggers over an orders/stock schema:
+
+1. ``deductStock`` — every order decrements stock via execSQL (a cascade:
+   the stock update is captured and processed asynchronously, §3);
+2. ``reorder``    — when stock drops below a threshold, file a reorder;
+3. ``hotItem``    — a windowed aggregate (``window 5``): raise an event
+   when the average quantity of an item's last five orders exceeds 8
+   (demand-spike detection with bounded per-group state, §9 direction).
+
+Run with::
+
+    python examples/inventory_reorder.py
+"""
+
+import random
+
+from repro import TriggerMan
+
+
+def main() -> None:
+    random.seed(3)
+    tman = TriggerMan.in_memory()
+    tman.define_table(
+        "orders",
+        [("oid", "integer"), ("item", "varchar(20)"), ("qty", "integer")],
+    )
+    tman.define_table(
+        "stock", [("item", "varchar(20)"), ("on_hand", "integer")]
+    )
+    tman.define_table(
+        "reorders", [("item", "varchar(20)"), ("level", "integer")]
+    )
+    for item, on_hand in (("widget", 60), ("gadget", 45), ("doohickey", 200)):
+        tman.insert("stock", {"item": item, "on_hand": on_hand})
+    tman.process_all()
+
+    tman.execute_command(
+        "create trigger deductStock from orders on insert "
+        "do execSQL 'update stock set on_hand = on_hand - :NEW.orders.qty "
+        "where item = :NEW.orders.item'"
+    )
+    tman.execute_command(
+        "create trigger reorder from stock on update(stock.on_hand) "
+        "when stock.on_hand < 20 "
+        "do execSQL 'insert into reorders values (:NEW.stock.item, "
+        ":NEW.stock.on_hand)'"
+    )
+    tman.execute_command(
+        "create trigger hotItem window 5 from orders on insert "
+        "group by orders.item having avg(orders.qty) > 8 "
+        "do raise event HotItem(orders.item)"
+    )
+
+    hot = set()
+    tman.register_for_event("HotItem", lambda n: hot.add(n.args[0]))
+
+    print("placing 40 orders...")
+    for oid in range(40):
+        item = random.choice(["widget", "gadget", "doohickey"])
+        qty = random.randrange(1, 6)
+        if item == "gadget" and oid > 25:
+            qty = random.randrange(9, 14)  # demand spike
+        tman.insert("orders", {"oid": oid, "item": item, "qty": qty})
+    tman.process_all()
+
+    print("\nstock after cascades:")
+    for item, on_hand in tman.execute_sql("select item, on_hand from stock"):
+        print(f"  {item:<10} {on_hand}")
+    print("\nreorders filed:")
+    for item, level in tman.execute_sql("select item, level from reorders"):
+        print(f"  {item:<10} at level {level}")
+    print(f"\nhot items (windowed avg qty > 8): {sorted(hot)}")
+    print(
+        "\norder stats: "
+        + str(
+            tman.execute_sql(
+                "select item, count(*), avg(qty) from orders "
+                "group by item order by item"
+            )
+        )
+    )
+    metrics = tman.metrics()
+    print(
+        f"\n{metrics['tokens_processed']} tokens processed, "
+        f"{metrics['triggers_fired']} firings, "
+        f"{metrics['action_failures']} action failures"
+    )
+
+
+if __name__ == "__main__":
+    main()

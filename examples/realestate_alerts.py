@@ -1,0 +1,84 @@
+"""The paper's §2 real-estate scenario, scaled up.
+
+One join trigger per salesperson ("notify me when a house is listed in a
+neighborhood I represent") — hundreds of triggers, but because they differ
+only in the salesperson-name constant they all share ONE expression
+signature per data source.  This is the paper's central scalability claim
+made visible.
+
+Run with::
+
+    python examples/realestate_alerts.py
+"""
+
+import random
+
+from repro import TriggerMan
+from repro.workloads import populate_realestate
+
+# Modest demo scale: every new house joins (nested-loop) against the
+# salesperson/represents tables once per trigger, so hundreds of join
+# triggers × thousands of rows takes minutes — the signature count (the
+# point of this example) is identical at any scale.
+SALESPEOPLE = 60
+NEIGHBORHOODS = 10
+
+
+def main() -> None:
+    random.seed(42)
+    tman = TriggerMan.in_memory()
+    populate_realestate(
+        tman, houses=50, salespeople=SALESPEOPLE,
+        neighborhoods=NEIGHBORHOODS,
+    )
+
+    print(f"creating one join trigger per salesperson ({SALESPEOPLE})...")
+    for i in range(SALESPEOPLE):
+        tman.execute_command(
+            f"create trigger alert_sp{i} on insert to house "
+            f"from salesperson s, house h, represents r "
+            f"when s.name = 'sp{i}' and s.spno = r.spno and r.nno = h.nno "
+            f"do raise event HouseForSp{i}(h.hno, h.address)"
+        )
+
+    print("\nexpression signatures (note: count does NOT grow with triggers):")
+    for line in tman.index.describe():
+        print(f"  {line}")
+
+    # Subscribe a few salespeople.
+    delivered = []
+    for i in (0, 1, 2):
+        tman.register_for_event(
+            f"HouseForSp{i}",
+            lambda n, i=i: delivered.append((f"sp{i}", n.args)),
+        )
+
+    print("\nlisting 5 new houses...")
+    for h in range(1000, 1005):
+        tman.insert(
+            "house",
+            {
+                "hno": h,
+                "address": f"{h} Paper Ave",
+                "price": 350_000.0,
+                "nno": random.randrange(NEIGHBORHOODS),
+                "spno": random.randrange(SALESPEOPLE),
+            },
+        )
+    tman.process_all()
+
+    print(f"\ntrigger firings: {tman.stats.triggers_fired}")
+    print(f"notifications delivered to sp0..sp2: {len(delivered)}")
+    for who, args in delivered:
+        print(f"  {who}: house {args[0]} at {args[1]!r}")
+
+    metrics = tman.metrics()
+    print(
+        f"\n{metrics['predicate_entries']} predicate entries across "
+        f"{metrics['signatures']} signatures; "
+        f"cache hit ratio {tman.cache.stats.hit_ratio():.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim so editable installs work without the `wheel` package
+(this environment is offline).  Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of "Scalable Trigger Processing" (Hanson et al., ICDE 1999).
+
+The public API re-exports the TriggerMan facade and the pieces a downstream
+user typically touches:
+
+>>> from repro import TriggerMan
+>>> tman = TriggerMan.in_memory()
+>>> tman.define_table("emp", [("name", "varchar(40)"), ("salary", "float")])
+>>> tman.execute_command(
+...     "create trigger bigSalary from emp on insert "
+...     "when emp.salary > 80000 do raise event BigSalary(emp.name)"
+... )
+>>> tman.insert("emp", {"name": "Ada", "salary": 120000.0})
+>>> tman.process_all()
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory.  Top-level names resolve lazily (PEP 562) so that using
+one subsystem (say :mod:`repro.sql`) does not import the rest.
+"""
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "TriggerMan": ("repro.engine.triggerman", "TriggerMan"),
+    "Operation": ("repro.engine.descriptors", "Operation"),
+    "UpdateDescriptor": ("repro.engine.descriptors", "UpdateDescriptor"),
+    "Database": ("repro.sql.database", "Database"),
+}
+
+__all__ = list(_LAZY) + ["__version__"]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

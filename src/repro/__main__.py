@@ -1,0 +1,32 @@
+"""``python -m repro`` — launch the TriggerMan console (§3).
+
+Options::
+
+    python -m repro                  # in-memory instance, interactive REPL
+    python -m repro /path/to/dir     # persistent instance rooted at dir
+"""
+
+import sys
+
+from .engine.console import run_interactive
+from .engine.triggerman import TriggerMan
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if argv:
+        tman = TriggerMan.persistent(argv[0])
+    else:
+        tman = TriggerMan.in_memory()
+    try:
+        run_interactive(tman)
+    finally:
+        tman.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

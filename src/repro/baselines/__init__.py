@@ -1,0 +1,7 @@
+"""Baseline trigger-matching strategies the paper argues against: the
+naive per-trigger ECA scan and the RPL-style query-per-rule approach."""
+
+from .naive import NaiveECAProcessor, NaiveTrigger
+from .perquery import PerQueryProcessor
+
+__all__ = ["NaiveECAProcessor", "NaiveTrigger", "PerQueryProcessor"]

@@ -1,0 +1,96 @@
+"""The naive ECA baseline (§8): "Most active database systems follow the
+event-condition-action (ECA) model ... testing the condition of every
+applicable trigger whenever an update event occurs.  The cost of this is
+always at least linear in the number of triggers associated with the
+relevant event since no predicate indexing is normally used."
+
+:class:`NaiveECAProcessor` is exactly that: per token, walk every trigger
+registered for the data source whose event code matches, and evaluate its
+full (instantiated) selection predicate.  It shares the condition-analysis
+front end with TriggerMan so benchmark E1 compares matching strategies, not
+parsers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from ..condition.signature import AnalyzedPredicate
+from ..lang import ast
+from ..lang.evaluator import Bindings, Evaluator
+from ..predindex.index import parse_operation_code, INSERT_OR_UPDATE
+
+
+@dataclass
+class NaiveTrigger:
+    trigger_id: int
+    data_source: str
+    operation: str  # full op code, e.g. "update(salary)"
+    predicate: Optional[ast.Expr]  # fully instantiated; None = always true
+
+    def matches_operation(self, op: str, changed: FrozenSet[str]) -> bool:
+        base, columns = parse_operation_code(self.operation)
+        if base == INSERT_OR_UPDATE:
+            return op in ("insert", "update")
+        if base != op:
+            return False
+        if op == "update" and columns:
+            return bool(columns & changed)
+        return True
+
+
+class NaiveECAProcessor:
+    """Linear-scan trigger matching — the commercial-system baseline."""
+
+    def __init__(self, evaluator: Optional[Evaluator] = None):
+        self.evaluator = evaluator or Evaluator()
+        self._by_source: Dict[str, List[NaiveTrigger]] = {}
+        self.conditions_evaluated = 0
+
+    def add_trigger(
+        self,
+        trigger_id: int,
+        data_source: str,
+        operation: str,
+        analyzed: AnalyzedPredicate,
+    ) -> None:
+        self._by_source.setdefault(data_source, []).append(
+            NaiveTrigger(
+                trigger_id=trigger_id,
+                data_source=data_source,
+                operation=operation,
+                predicate=analyzed.full_expr(),
+            )
+        )
+
+    def remove_trigger(self, trigger_id: int) -> int:
+        removed = 0
+        for triggers in self._by_source.values():
+            before = len(triggers)
+            triggers[:] = [t for t in triggers if t.trigger_id != trigger_id]
+            removed += before - len(triggers)
+        return removed
+
+    def trigger_count(self) -> int:
+        return sum(len(v) for v in self._by_source.values())
+
+    def match(
+        self,
+        data_source: str,
+        operation: str,
+        row: Dict[str, Any],
+        changed_columns: FrozenSet[str] = frozenset(),
+    ) -> List[int]:
+        """Trigger ids whose condition matches — by evaluating them all."""
+        matches: List[int] = []
+        bindings = Bindings(rows={data_source: row})
+        for trigger in self._by_source.get(data_source, ()):
+            if not trigger.matches_operation(operation, changed_columns):
+                continue
+            self.conditions_evaluated += 1
+            if trigger.predicate is None or self.evaluator.matches(
+                trigger.predicate, bindings
+            ):
+                matches.append(trigger.trigger_id)
+        return matches

@@ -1,0 +1,90 @@
+"""The query-per-rule baseline (§8, the RPL approach): "an approach that
+runs database queries to test rule conditions as updates occur.  This type
+of approach has limited scalability due to the potentially large number of
+queries that could be generated if there are many rules."
+
+Each trigger stores its condition as a SQL WHERE clause over a one-row
+scratch table; matching a token inserts the token's image into the scratch
+table and runs every applicable trigger's SELECT against it.  The cost per
+token is (number of triggers) × (SQL executor invocation), which is the
+overhead profile the paper argues against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..condition.signature import AnalyzedPredicate
+from ..errors import CatalogError
+from ..predindex.index import parse_operation_code, INSERT_OR_UPDATE
+from ..sql.database import Database
+from ..sql.schema import TableSchema
+
+
+class PerQueryProcessor:
+    """One SQL query per trigger per token."""
+
+    def __init__(self, database: Optional[Database] = None):
+        self.database = database if database is not None else Database()
+        #: data source -> scratch table name
+        self._scratch: Dict[str, str] = {}
+        #: data source -> list of (trigger_id, operation, where-clause text)
+        self._by_source: Dict[str, List[Tuple[int, str, Optional[str]]]] = {}
+        self.queries_run = 0
+
+    def register_source(self, data_source: str, schema: TableSchema) -> None:
+        scratch_name = f"scratch_{data_source}"
+        if self.database.has_table(scratch_name):
+            raise CatalogError(f"source {data_source!r} already registered")
+        columns = list(schema.columns)
+        self.database.create_table(TableSchema(scratch_name, columns))
+        self._scratch[data_source] = scratch_name
+        self._by_source.setdefault(data_source, [])
+
+    def add_trigger(
+        self,
+        trigger_id: int,
+        data_source: str,
+        operation: str,
+        analyzed: AnalyzedPredicate,
+    ) -> None:
+        if data_source not in self._scratch:
+            raise CatalogError(f"unknown source {data_source!r}")
+        predicate = analyzed.full_expr()
+        where = predicate.render() if predicate is not None else None
+        self._by_source[data_source].append((trigger_id, operation, where))
+
+    def trigger_count(self) -> int:
+        return sum(len(v) for v in self._by_source.values())
+
+    def match(
+        self,
+        data_source: str,
+        operation: str,
+        row: Dict[str, Any],
+        changed_columns: FrozenSet[str] = frozenset(),
+    ) -> List[int]:
+        scratch_name = self._scratch[data_source]
+        table = self.database.table(scratch_name)
+        table.truncate()
+        table.insert(table.schema.check_dict(row))
+        matches: List[int] = []
+        for trigger_id, op_code, where in self._by_source[data_source]:
+            base, columns = parse_operation_code(op_code)
+            if base == INSERT_OR_UPDATE:
+                if operation not in ("insert", "update"):
+                    continue
+            elif base != operation:
+                continue
+            elif operation == "update" and columns and not (
+                columns & changed_columns
+            ):
+                continue
+            if where is None:
+                matches.append(trigger_id)
+                continue
+            sql = f"select * from {scratch_name} where {where}"
+            self.queries_run += 1
+            if self.database.execute(sql):
+                matches.append(trigger_id)
+        return matches

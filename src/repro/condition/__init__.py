@@ -1,0 +1,52 @@
+"""Trigger condition analysis: CNF, conjunct classification, the trigger
+condition graph, and expression signatures (§4–§5 of the paper)."""
+
+from .classify import (
+    ConditionGraph,
+    build_condition_graph,
+    resolve_unqualified,
+    tuple_variables_of,
+)
+from .cnf import Clause, clause_to_expr, cnf_to_expr, push_not_inward, to_cnf
+from .selectivity import atom_selectivity, clause_selectivity, most_selective_index
+from .signature import (
+    EQUALITY,
+    INTERVAL,
+    NONE,
+    RANGE,
+    SET,
+    AnalyzedPredicate,
+    ExpressionSignature,
+    IndexablePart,
+    analyze_selection,
+    generalize,
+    instantiate,
+    normalize_atom,
+)
+
+__all__ = [
+    "ConditionGraph",
+    "build_condition_graph",
+    "resolve_unqualified",
+    "tuple_variables_of",
+    "Clause",
+    "clause_to_expr",
+    "cnf_to_expr",
+    "push_not_inward",
+    "to_cnf",
+    "atom_selectivity",
+    "clause_selectivity",
+    "most_selective_index",
+    "EQUALITY",
+    "INTERVAL",
+    "NONE",
+    "RANGE",
+    "SET",
+    "AnalyzedPredicate",
+    "ExpressionSignature",
+    "IndexablePart",
+    "analyze_selection",
+    "generalize",
+    "instantiate",
+    "normalize_atom",
+]

@@ -1,0 +1,153 @@
+"""Grouping CNF conjuncts by tuple-variable sets and building the trigger
+condition graph (§4 step 2 and §5.1 step 3 of the paper).
+
+Each CNF clause references zero, one, two, or more tuple variables:
+
+* one  → part of a *selection predicate* for that tuple variable,
+* two  → part of a *join predicate* between the two,
+* zero → *trivial predicate*,
+* three or more → *hyper-join predicate*.
+
+Trivial and hyper-join conjuncts go onto the condition graph's "catch all"
+list and are evaluated at the network's final stage, exactly as the paper
+prescribes for these (rare) cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConditionError
+from ..lang import ast
+from .cnf import Clause, cnf_to_expr, to_cnf
+
+
+def tuple_variables_of(expr: ast.Expr, known: Optional[Set[str]] = None) -> Set[str]:
+    """The set of tuple variables an expression references.
+
+    Unqualified column references cannot be attributed to a tuple variable
+    without a schema; when ``known`` (the trigger's declared tuple variables)
+    is given, a qualifier must be one of them or an error is raised.
+    """
+    out: Set[str] = set()
+    for node in expr.walk():
+        tvar: Optional[str] = None
+        if isinstance(node, ast.ColumnRef):
+            tvar = node.tvar
+        elif isinstance(node, ast.ParamRef) and node.kind in ("NEW", "OLD"):
+            tvar = node.tvar
+        if tvar is None:
+            continue
+        if known is not None and tvar not in known:
+            raise ConditionError(f"unknown tuple variable {tvar!r}")
+        out.add(tvar)
+    return out
+
+
+def resolve_unqualified(
+    expr: ast.Expr,
+    tvar_columns: Dict[str, Sequence[str]],
+) -> ast.Expr:
+    """Qualify bare column references against the declared tuple variables.
+
+    ``tvar_columns`` maps each tuple variable to its column names.  A bare
+    column that matches exactly one tuple variable is rewritten to a
+    qualified reference; zero or multiple matches raise.
+    """
+
+    def rewrite(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.ColumnRef) and node.tvar is None:
+            owners = [
+                tvar for tvar, cols in tvar_columns.items() if node.column in cols
+            ]
+            if not owners:
+                raise ConditionError(f"unknown column {node.column!r}")
+            if len(owners) > 1:
+                raise ConditionError(
+                    f"ambiguous column {node.column!r} "
+                    f"(in {sorted(owners)})"
+                )
+            return ast.ColumnRef(owners[0], node.column)
+        if isinstance(node, ast.ColumnRef) and node.tvar is not None:
+            if node.tvar not in tvar_columns:
+                raise ConditionError(f"unknown tuple variable {node.tvar!r}")
+            if node.column not in tvar_columns[node.tvar]:
+                raise ConditionError(
+                    f"tuple variable {node.tvar!r} has no column "
+                    f"{node.column!r}"
+                )
+        return None
+
+    return expr.transform(rewrite)
+
+
+@dataclass
+class ConditionGraph:
+    """The trigger condition graph of §5.1 step 3.
+
+    ``nodes`` maps each tuple variable to the CNF of its selection
+    predicate; ``edges`` maps unordered pairs to the CNF of their join
+    predicate; ``catch_all`` holds clauses over zero or 3+ tuple variables.
+    """
+
+    tvars: Tuple[str, ...]
+    nodes: Dict[str, List[Clause]] = field(default_factory=dict)
+    edges: Dict[FrozenSet[str], List[Clause]] = field(default_factory=dict)
+    catch_all: List[Clause] = field(default_factory=list)
+
+    def selection_for(self, tvar: str) -> List[Clause]:
+        return self.nodes.get(tvar, [])
+
+    def selection_expr(self, tvar: str) -> Optional[ast.Expr]:
+        return cnf_to_expr(self.selection_for(tvar))
+
+    def join_for(self, a: str, b: str) -> List[Clause]:
+        return self.edges.get(frozenset((a, b)), [])
+
+    def join_expr(self, a: str, b: str) -> Optional[ast.Expr]:
+        return cnf_to_expr(self.join_for(a, b))
+
+    def neighbors(self, tvar: str) -> List[str]:
+        out = []
+        for pair in self.edges:
+            if tvar in pair:
+                (other,) = pair - {tvar}
+                out.append(other)
+        return sorted(out)
+
+    def is_connected(self) -> bool:
+        """Whether the join graph connects all tuple variables (a trigger
+        over disconnected sources computes a cartesian product)."""
+        if len(self.tvars) <= 1:
+            return True
+        seen = {self.tvars[0]}
+        frontier = [self.tvars[0]]
+        while frontier:
+            current = frontier.pop()
+            for other in self.neighbors(current):
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(self.tvars)
+
+
+def build_condition_graph(
+    tvars: Sequence[str],
+    when: Optional[ast.Expr],
+) -> ConditionGraph:
+    """Convert a resolved ``when`` clause to the condition graph."""
+    graph = ConditionGraph(tuple(tvars))
+    known = set(tvars)
+    for clause in to_cnf(when):
+        refs: Set[str] = set()
+        for atom in clause:
+            refs |= tuple_variables_of(atom, known)
+        if len(refs) == 1:
+            (tvar,) = refs
+            graph.nodes.setdefault(tvar, []).append(clause)
+        elif len(refs) == 2:
+            graph.edges.setdefault(frozenset(refs), []).append(clause)
+        else:
+            graph.catch_all.append(clause)
+    return graph

@@ -1,0 +1,154 @@
+"""Conversion of ``when`` clauses to conjunctive normal form (§4, step 1).
+
+The canonical representation of a trigger condition starts with CNF
+("and-of-ors notation"); conjuncts are then grouped by the tuple variables
+they reference (:mod:`repro.condition.classify`).
+
+The pipeline here is the textbook one:
+
+1. push NOT inward (De Morgan, double-negation elimination, comparison
+   operator flipping so negations vanish from atoms where possible),
+2. distribute OR over AND,
+3. flatten into a list of conjuncts, each a disjunction of atomic clauses.
+
+Distribution can blow up exponentially for adversarial inputs, so a clause
+budget guards step 2; real trigger conditions (the paper expects mostly
+conjunctions of simple comparisons) never approach it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ConditionError
+from ..lang import ast
+
+#: Upper bound on the number of clauses produced by OR-over-AND distribution.
+MAX_CLAUSES = 4096
+
+_NEGATED_COMPARISON = {
+    "=": "<>",
+    "<>": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def _is_and(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.BoolOp) and expr.op.upper() == "AND"
+
+
+def _is_or(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.BoolOp) and expr.op.upper() == "OR"
+
+
+def _is_not(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.UnaryOp) and expr.op.upper() == "NOT"
+
+
+def push_not_inward(expr: ast.Expr, negate: bool = False) -> ast.Expr:
+    """Return an equivalent expression whose NOTs sit only on atoms.
+
+    Comparison atoms absorb the negation by operator flipping; ``IS NULL``,
+    ``IN`` and ``BETWEEN`` absorb it into their ``negated`` flag; anything
+    else keeps an explicit NOT wrapper.
+    """
+    if _is_not(expr):
+        return push_not_inward(expr.operand, not negate)
+    if isinstance(expr, ast.BoolOp):
+        op = expr.op.upper()
+        if negate:
+            op = "OR" if op == "AND" else "AND"
+        return ast.BoolOp(op, tuple(push_not_inward(a, negate) for a in expr.args))
+    if not negate:
+        return expr
+    # Negate an atom.
+    if isinstance(expr, ast.BinaryOp) and expr.op in _NEGATED_COMPARISON:
+        return ast.BinaryOp(_NEGATED_COMPARISON[expr.op], expr.left, expr.right)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(expr.expr, not expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(expr.expr, expr.items, not expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(expr.expr, expr.low, expr.high, not expr.negated)
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, bool):
+        return ast.Literal(not expr.value)
+    return ast.UnaryOp("NOT", expr)
+
+
+#: A disjunctive clause: a tuple of atomic expressions (OR of its members).
+Clause = Tuple[ast.Expr, ...]
+
+
+def to_cnf(expr: Optional[ast.Expr]) -> List[Clause]:
+    """Convert an expression to CNF as a list of clauses.
+
+    Returns an empty list for ``None`` (no condition — always true).
+    """
+    if expr is None:
+        return []
+    expr = push_not_inward(expr)
+    clauses = _distribute(expr)
+    # De-duplicate literals within a clause and identical clauses.
+    seen = set()
+    out: List[Clause] = []
+    for clause in clauses:
+        unique: List[ast.Expr] = []
+        atom_seen = set()
+        for atom in clause:
+            key = atom.render()
+            if key not in atom_seen:
+                atom_seen.add(key)
+                unique.append(atom)
+        clause_key = tuple(sorted(a.render() for a in unique))
+        if clause_key not in seen:
+            seen.add(clause_key)
+            out.append(tuple(unique))
+    return out
+
+
+def _distribute(expr: ast.Expr) -> List[Clause]:
+    if _is_and(expr):
+        out: List[Clause] = []
+        for arg in expr.args:
+            out.extend(_distribute(arg))
+            if len(out) > MAX_CLAUSES:
+                raise ConditionError(
+                    f"CNF conversion exceeded {MAX_CLAUSES} clauses"
+                )
+        return out
+    if _is_or(expr):
+        # CNF of an OR: cartesian product of the operands' CNFs.
+        parts = [_distribute(arg) for arg in expr.args]
+        result: List[Clause] = [()]
+        for part in parts:
+            next_result: List[Clause] = []
+            for prefix in result:
+                for clause in part:
+                    next_result.append(prefix + clause)
+                    if len(next_result) > MAX_CLAUSES:
+                        raise ConditionError(
+                            f"CNF conversion exceeded {MAX_CLAUSES} clauses"
+                        )
+            result = next_result
+        return result
+    return [(expr,)]
+
+
+def clause_to_expr(clause: Clause) -> ast.Expr:
+    """Rebuild a single clause as an expression."""
+    if len(clause) == 1:
+        return clause[0]
+    return ast.BoolOp("OR", tuple(clause))
+
+
+def cnf_to_expr(clauses: List[Clause]) -> Optional[ast.Expr]:
+    """Rebuild a CNF clause list as an expression (None when empty)."""
+    if not clauses:
+        return None
+    exprs = [clause_to_expr(c) for c in clauses]
+    if len(exprs) == 1:
+        return exprs[0]
+    return ast.BoolOp("AND", tuple(exprs))

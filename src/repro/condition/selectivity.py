@@ -1,0 +1,79 @@
+"""Selectivity heuristics for choosing the most selective conjunct.
+
+§5 of the paper: "If a predicate has more than one conjunct, a single
+conjunct is identified as the most selective one.  Only this one is indexed
+directly" (the technique of [Hans90]).  Without table statistics the ranking
+below uses the standard System-R-style magic numbers; they only need to
+*order* conjunct kinds sensibly, and the constants are exposed so tests and
+the cost model can reason about them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..lang import ast
+from .cnf import Clause
+
+#: Estimated fraction of rows an atom of each kind passes (lower = more
+#: selective).
+EQUALITY = 0.05
+BETWEEN = 0.15
+RANGE = 1.0 / 3.0
+LIKE_PREFIX = 0.25
+LIKE_GENERAL = 0.5
+IN_PER_ITEM = 0.05
+IS_NULL = 0.1
+NOT_EQUAL = 0.9
+DEFAULT = 0.5
+
+
+def atom_selectivity(atom: ast.Expr) -> float:
+    """Selectivity estimate for one atomic predicate."""
+    if isinstance(atom, ast.BinaryOp):
+        op = atom.op.upper() if atom.op.isalpha() else atom.op
+        if op == "=":
+            return EQUALITY
+        if op == "<>":
+            return NOT_EQUAL
+        if op in ("<", "<=", ">", ">="):
+            return RANGE
+        if op == "LIKE":
+            pattern = atom.right
+            if isinstance(pattern, ast.Literal) and isinstance(pattern.value, str):
+                if pattern.value and not pattern.value.startswith(("%", "_")):
+                    return LIKE_PREFIX
+            return LIKE_GENERAL
+    if isinstance(atom, ast.Between):
+        return 1.0 - BETWEEN if atom.negated else BETWEEN
+    if isinstance(atom, ast.InList):
+        estimate = min(1.0, IN_PER_ITEM * max(1, len(atom.items)))
+        return 1.0 - estimate if atom.negated else estimate
+    if isinstance(atom, ast.IsNull):
+        return 1.0 - IS_NULL if atom.negated else IS_NULL
+    if isinstance(atom, ast.UnaryOp) and atom.op.upper() == "NOT":
+        return 1.0 - atom_selectivity(atom.operand)
+    return DEFAULT
+
+
+def clause_selectivity(clause: Clause) -> float:
+    """Selectivity of a disjunctive clause (independence assumption:
+    sel(A OR B) = 1 - (1-a)(1-b))."""
+    passing = 1.0
+    for atom in clause:
+        passing *= 1.0 - atom_selectivity(atom)
+    return 1.0 - passing
+
+
+def most_selective_index(clauses: Tuple[Clause, ...]) -> int:
+    """Index of the most selective clause (ties broken by position)."""
+    if not clauses:
+        raise ValueError("no clauses")
+    best = 0
+    best_sel = clause_selectivity(clauses[0])
+    for i, clause in enumerate(clauses[1:], start=1):
+        sel = clause_selectivity(clause)
+        if sel < best_sel:
+            best = i
+            best_sel = sel
+    return best

@@ -1,0 +1,382 @@
+"""Expression signatures (§5 of the paper) — the core scalability idea.
+
+An expression signature is a triple ``(data source ID, operation code,
+generalized expression)`` where the generalized expression replaces every
+constant with a numbered placeholder (``CONSTANT_1`` ... ``CONSTANT_m``,
+numbered left to right).  Signatures define equivalence classes: two
+predicates with the same structure but different constants share one
+signature, so per-signature structures stay in main memory while per-trigger
+constants go to a constant table.
+
+This module performs, for one tuple variable's selection predicate (already
+in CNF):
+
+1. **normalization** — constant-vs-column comparisons are oriented
+   column-first, clauses and atoms are sorted by their constant-blind
+   rendering, so ``b=2 AND a=1`` and ``a=3 AND b=4`` produce the same
+   signature;
+2. **generalization** — constants are pulled out and numbered left to right
+   over the normalized form;
+3. **indexable split** (§5.1: ``E = E_I AND E_NI``) — simple
+   ``column op CONSTANT`` conjuncts form the indexable portion (all equality
+   conjuncts when any exist, composite-key style; otherwise the single most
+   selective range/between conjunct); everything else is the residual
+   ("restOfPredicate") evaluated only after an index hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import SignatureError
+from ..lang import ast
+from .cnf import Clause, clause_to_expr, cnf_to_expr
+from .selectivity import atom_selectivity
+
+#: Indexable-portion kinds.
+EQUALITY = "equality"
+RANGE = "range"
+INTERVAL = "interval"  # BETWEEN: two constants forming [low, high]
+SET = "set"  # IN (c1, ..., ck): token value must equal one of k constants
+NONE = "none"
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def normalize_atom(atom: ast.Expr) -> ast.Expr:
+    """Orient comparisons column-first: ``5 < a`` becomes ``a > 5``."""
+    if isinstance(atom, ast.BinaryOp) and (
+        atom.op in ("=", "<>") or atom.op in _RANGE_OPS
+    ):
+        left_const = isinstance(atom.left, ast.Literal)
+        right_const = isinstance(atom.right, ast.Literal)
+        if left_const and not right_const:
+            op = _MIRROR.get(atom.op, atom.op)
+            return ast.BinaryOp(op, atom.right, atom.left)
+    return atom
+
+
+def generalize(
+    expr: ast.Expr, start: int = 1
+) -> Tuple[ast.Expr, List[Any]]:
+    """Replace every constant with a numbered placeholder.
+
+    NULL literals are *not* generalized (``x IS NULL``-style semantics make
+    NULL structural, not a parameter).  Returns the generalized expression
+    and the extracted constants in placeholder order.
+    """
+    constants: List[Any] = []
+
+    def rewrite(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.Literal) and node.value is not None:
+            constants.append(node.value)
+            return ast.Placeholder(start + len(constants) - 1)
+        return None
+
+    return expr.transform(rewrite), constants
+
+
+def instantiate(expr: ast.Expr, constants: Sequence[Any]) -> ast.Expr:
+    """Inverse of :func:`generalize`: substitute constants back in."""
+
+    def rewrite(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.Placeholder):
+            index = node.number - 1
+            if not (0 <= index < len(constants)):
+                raise SignatureError(
+                    f"placeholder CONSTANT_{node.number} out of range "
+                    f"(have {len(constants)} constants)"
+                )
+            return ast.Literal(constants[index])
+        return None
+
+    return expr.transform(rewrite)
+
+
+def _structure_key(expr: ast.Expr) -> str:
+    """Rendering with constant *values* blinded (placeholder numbering
+    suppressed), used for deterministic ordering of atoms and clauses."""
+    generalized, _ = generalize(expr)
+
+    def blind(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.Placeholder):
+            return ast.Placeholder(0)
+        return None
+
+    return generalized.transform(blind).render()
+
+
+@dataclass(frozen=True)
+class IndexablePart:
+    """Description of ``E_I``: how the signature's constants can be probed.
+
+    * ``kind == EQUALITY``: ``columns[i] = CONSTANT_{numbers[i]}`` for all i
+      (composite equality key).
+    * ``kind == RANGE``: single conjunct ``column op CONSTANT``; ``op`` is
+      the comparison as written (column on the left).
+    * ``kind == INTERVAL``: ``column BETWEEN CONSTANT_a AND CONSTANT_b``.
+    * ``kind == NONE``: nothing indexable; every probe is a residual test.
+    """
+
+    kind: str
+    columns: Tuple[str, ...] = ()
+    op: Optional[str] = None
+    constant_numbers: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ExpressionSignature:
+    """One equivalence class of selection predicates.
+
+    ``key`` is the identity triple (§5): data source, operation code, and
+    the canonical text of the generalized expression.
+    """
+
+    data_source: str
+    operation: str
+    text: str
+    generalized: ast.Expr
+    num_constants: int
+    indexable: IndexablePart
+    residual_template: Optional[ast.Expr]
+    residual_constant_numbers: Tuple[int, ...]
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.data_source, self.operation, self.text)
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExpressionSignature) and self.key == other.key
+        )
+
+    def describe(self) -> str:
+        return f"[{self.data_source}, {self.operation}] {self.text}"
+
+
+@dataclass(frozen=True)
+class AnalyzedPredicate:
+    """A concrete selection predicate analyzed against its signature."""
+
+    signature: ExpressionSignature
+    constants: Tuple[Any, ...]  # all constants, placeholder order
+
+    @property
+    def indexable_constants(self) -> Tuple[Any, ...]:
+        return tuple(
+            self.constants[n - 1]
+            for n in self.signature.indexable.constant_numbers
+        )
+
+    @property
+    def residual(self) -> Optional[ast.Expr]:
+        """The instantiated non-indexable part, or None when fully
+        indexable (restOfPredicate IS NULL in the constant table)."""
+        template = self.signature.residual_template
+        if template is None:
+            return None
+        return instantiate(template, self.constants)
+
+    def full_expr(self) -> Optional[ast.Expr]:
+        """The complete instantiated predicate (for naive evaluation)."""
+        return instantiate(self.signature.generalized, self.constants)
+
+
+def _strip_tvar(expr: ast.Expr) -> ast.Expr:
+    """Remove tuple-variable qualifiers from column references."""
+
+    def rewrite(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.ColumnRef) and node.tvar is not None:
+            return ast.ColumnRef(None, node.column)
+        return None
+
+    return expr.transform(rewrite)
+
+
+def _simple_comparison(atom: ast.Expr) -> Optional[Tuple[str, str]]:
+    """``(column, op)`` when the atom is ``ColumnRef op Literal``."""
+    if (
+        isinstance(atom, ast.BinaryOp)
+        and isinstance(atom.left, ast.ColumnRef)
+        and isinstance(atom.right, ast.Literal)
+        and atom.right.value is not None
+        and (atom.op == "=" or atom.op in _RANGE_OPS)
+    ):
+        return atom.left.column, atom.op
+    return None
+
+
+def _simple_between(atom: ast.Expr) -> Optional[str]:
+    if (
+        isinstance(atom, ast.Between)
+        and not atom.negated
+        and isinstance(atom.expr, ast.ColumnRef)
+        and isinstance(atom.low, ast.Literal)
+        and isinstance(atom.high, ast.Literal)
+        and atom.low.value is not None
+        and atom.high.value is not None
+    ):
+        return atom.expr.column
+    return None
+
+
+def _simple_in_list(atom: ast.Expr) -> Optional[str]:
+    if (
+        isinstance(atom, ast.InList)
+        and not atom.negated
+        and isinstance(atom.expr, ast.ColumnRef)
+        and all(
+            isinstance(item, ast.Literal) and item.value is not None
+            for item in atom.items
+        )
+    ):
+        return atom.expr.column
+    return None
+
+
+def analyze_selection(
+    data_source: str,
+    operation: str,
+    clauses: Sequence[Clause],
+) -> AnalyzedPredicate:
+    """Compute the signature and constants for one selection predicate.
+
+    ``clauses`` is the CNF selection predicate for a single tuple variable
+    (possibly empty: event-only condition).  ``operation`` is the event code
+    — including any update column list, e.g. ``update(salary)`` — since the
+    paper's signature triple keys on the operation.
+    """
+    # 1. Strip tuple-variable qualifiers (a selection predicate references a
+    #    single tuple variable, and triggers using different aliases for the
+    #    same data source must share a signature), normalize atom
+    #    orientation, then sort atoms within clauses and clauses within the
+    #    predicate by their constant-blind structure.
+    normalized: List[Tuple[ast.Expr, ...]] = []
+    for clause in clauses:
+        atoms = sorted(
+            (normalize_atom(_strip_tvar(a)) for a in clause),
+            key=_structure_key,
+        )
+        normalized.append(tuple(atoms))
+    normalized.sort(key=lambda c: _structure_key(clause_to_expr(c)))
+
+    # 2. Split indexable / non-indexable *before* final numbering so that
+    #    const1..constK are the indexable portion's constants, in key order,
+    #    matching the constant-table layout of §5.1.
+    eq_conjuncts: List[Tuple[str, ast.Expr]] = []  # (column, atom)
+    # non-equality single-conjunct candidates: (selectivity, kind, column,
+    # op, atom) — the most selective one is indexed when no equality exists
+    other_candidates: List[Tuple[float, str, str, Optional[str], ast.Expr]] = []
+    consumed = set()
+    for i, clause in enumerate(normalized):
+        if len(clause) == 1:
+            atom = clause[0]
+            simple = _simple_comparison(atom)
+            if simple is not None:
+                column, op_ = simple
+                if op_ == "=":
+                    eq_conjuncts.append((column, atom))
+                    consumed.add(i)
+                    continue
+                other_candidates.append(
+                    (atom_selectivity(atom), RANGE, column, op_, atom)
+                )
+                continue
+            between_col = _simple_between(atom)
+            if between_col is not None:
+                other_candidates.append(
+                    (atom_selectivity(atom), INTERVAL, between_col,
+                     "BETWEEN", atom)
+                )
+                continue
+            in_col = _simple_in_list(atom)
+            if in_col is not None:
+                other_candidates.append(
+                    (atom_selectivity(atom), SET, in_col, "IN", atom)
+                )
+                continue
+
+    indexable_atoms: List[ast.Expr] = []
+    if eq_conjuncts:
+        # Deterministic composite key order: sort by column name, then by
+        # structure for duplicate columns.
+        eq_conjuncts.sort(key=lambda pair: (pair[0], _structure_key(pair[1])))
+        kind = EQUALITY
+        columns = tuple(c for c, _ in eq_conjuncts)
+        op = None
+        indexable_atoms = [atom for _, atom in eq_conjuncts]
+    elif other_candidates:
+        # The [Hans90] rule: index only the most selective conjunct.
+        other_candidates.sort(key=lambda t: (t[0], t[2], t[1]))
+        _sel, kind, column, op, atom = other_candidates[0]
+        columns = (column,)
+        indexable_atoms = [atom]
+        consumed.add(normalized.index((atom,)))
+    else:
+        kind = NONE
+        columns = ()
+        op = None
+
+    residual_clauses = tuple(
+        clause for i, clause in enumerate(normalized) if i not in consumed
+    )
+
+    # 3. Number constants: indexable portion first (const1..constK), then
+    #    the residual's constants.
+    counter = 0
+    all_constants: List[Any] = []
+    generalized_indexable: List[ast.Expr] = []
+    indexable_numbers: List[int] = []
+    for atom in indexable_atoms:
+        gen, constants = generalize(atom, start=counter + 1)
+        generalized_indexable.append(gen)
+        indexable_numbers.extend(range(counter + 1, counter + 1 + len(constants)))
+        counter += len(constants)
+        all_constants.extend(constants)
+
+    residual_expr = cnf_to_expr(list(residual_clauses))
+    residual_template: Optional[ast.Expr] = None
+    residual_numbers: Tuple[int, ...] = ()
+    if residual_expr is not None:
+        residual_template, residual_constants = generalize(
+            residual_expr, start=counter + 1
+        )
+        residual_numbers = tuple(
+            range(counter + 1, counter + 1 + len(residual_constants))
+        )
+        counter += len(residual_constants)
+        all_constants.extend(residual_constants)
+
+    # 4. Canonical text covers the full generalized expression.
+    parts = list(generalized_indexable)
+    if residual_template is not None:
+        parts.append(residual_template)
+    if parts:
+        whole = parts[0] if len(parts) == 1 else ast.BoolOp("AND", tuple(parts))
+        text = whole.render()
+        whole_expr = whole
+    else:
+        text = "TRUE"
+        whole_expr = ast.Literal(True)
+
+    signature = ExpressionSignature(
+        data_source=data_source,
+        operation=operation,
+        text=text,
+        generalized=whole_expr,
+        num_constants=counter,
+        indexable=IndexablePart(
+            kind=kind,
+            columns=columns,
+            op=op,
+            constant_numbers=tuple(indexable_numbers),
+        ),
+        residual_template=residual_template,
+        residual_constant_numbers=residual_numbers,
+    )
+    return AnalyzedPredicate(signature, tuple(all_constants))

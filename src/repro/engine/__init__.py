@@ -1,0 +1,80 @@
+"""The TriggerMan engine: descriptors, queues, catalogs, the trigger cache,
+action execution, the task/driver machinery, and the facade."""
+
+from .actions import ActionExecutor, substitute_macros
+from .cache import CacheStats, TriggerCache
+from .catalog import DEFAULT_TRIGGER_SET, TriggerManCatalog
+from .client import DataSourceProgram, TriggerManClient
+from .concurrency import (
+    ScheduleResult,
+    SimulatedScheduler,
+    partition_round_robin,
+    simulate_response_time,
+)
+from .console import Console, run_interactive
+from .datasource import (
+    Connection,
+    DataSource,
+    DataSourceRegistry,
+    StreamDataSource,
+    TableDataSource,
+)
+from .descriptors import Operation, UpdateDescriptor
+from .events import EventManager, Notification
+from .queue import MemoryQueue, TableQueue, UpdateQueue
+from .tasks import (
+    DEFAULT_POLL_PERIOD,
+    DEFAULT_THRESHOLD,
+    TASK_QUEUE_EMPTY,
+    TASKS_REMAINING,
+    Driver,
+    Task,
+    TaskQueue,
+    compute_driver_count,
+    tman_test,
+)
+from .trigger import TriggerRuntime, analyze_trigger, build_runtime
+from .triggerman import EngineStats, TriggerMan
+
+__all__ = [
+    "ActionExecutor",
+    "substitute_macros",
+    "CacheStats",
+    "TriggerCache",
+    "DEFAULT_TRIGGER_SET",
+    "TriggerManCatalog",
+    "DataSourceProgram",
+    "TriggerManClient",
+    "ScheduleResult",
+    "SimulatedScheduler",
+    "partition_round_robin",
+    "simulate_response_time",
+    "Console",
+    "run_interactive",
+    "Connection",
+    "DataSource",
+    "DataSourceRegistry",
+    "StreamDataSource",
+    "TableDataSource",
+    "Operation",
+    "UpdateDescriptor",
+    "EventManager",
+    "Notification",
+    "MemoryQueue",
+    "TableQueue",
+    "UpdateQueue",
+    "DEFAULT_POLL_PERIOD",
+    "DEFAULT_THRESHOLD",
+    "TASK_QUEUE_EMPTY",
+    "TASKS_REMAINING",
+    "Driver",
+    "Task",
+    "TaskQueue",
+    "compute_driver_count",
+    "tman_test",
+    "TriggerRuntime",
+    "analyze_trigger",
+    "build_runtime",
+    "EngineStats",
+    "TriggerMan",
+]

@@ -1,0 +1,136 @@
+"""Trigger action execution (§2).
+
+Three action kinds:
+
+* ``execSQL '...'`` — run a SQL statement against the default connection.
+  Per the paper, ":NEW/:OLD ... values matching the trigger condition are
+  substituted into the trigger action using macro substitution.  After
+  substitution, the trigger action is evaluated."  We therefore rewrite the
+  SQL *text*, replacing each ``:NEW.tvar.col`` / ``:OLD.tvar.col`` with the
+  bound value rendered as a SQL literal, then hand it to the SQL executor.
+* ``raise event Name(args...)`` — evaluate the argument expressions against
+  the bindings and fan out through the :class:`EventManager`.
+* ``call name`` — invoke a host-registered Python callback with the bound
+  rows (this reproduction's stand-in for arbitrary DataBlade routines).
+
+Action failures are recorded, not propagated: one broken trigger must not
+take down the trigger processor.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ActionError
+from ..lang import ast
+from ..lang.evaluator import Bindings, Evaluator
+from ..sql.database import Database
+from .events import EventManager
+
+_PARAM_RE = re.compile(r":(NEW|OLD)\.([A-Za-z_]\w*)(?:\.([A-Za-z_]\w*))?", re.I)
+
+
+def render_sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+def substitute_macros(sql: str, bindings: Bindings) -> str:
+    """Textual :NEW/:OLD macro substitution (§2)."""
+
+    def lookup(kind: str, first: str, second: Optional[str]) -> Any:
+        if second is not None:
+            tvar, column = first, second
+        else:
+            tvar, column = None, first
+        if kind == "NEW":
+            return bindings.column(tvar, column)
+        return bindings.old_column(tvar, column)
+
+    def replace(match: "re.Match[str]") -> str:
+        kind = match.group(1).upper()
+        value = lookup(kind, match.group(2), match.group(3))
+        return render_sql_literal(value)
+
+    return _PARAM_RE.sub(replace, sql)
+
+
+@dataclass
+class ActionFailure:
+    trigger_name: str
+    action_text: str
+    error: Exception
+
+
+class ActionExecutor:
+    """Executes parsed actions with full bindings."""
+
+    def __init__(
+        self,
+        default_database: Database,
+        events: EventManager,
+        evaluator: Optional[Evaluator] = None,
+    ):
+        self.default_database = default_database
+        self.events = events
+        self.evaluator = evaluator or Evaluator()
+        self.callbacks: Dict[str, Callable[..., Any]] = {}
+        self.failures: List[ActionFailure] = []
+        self.executed = 0
+
+    def register_callback(self, name: str, fn: Callable[..., Any]) -> None:
+        self.callbacks[name] = fn
+
+    def execute(
+        self,
+        action: ast.Action,
+        bindings: Bindings,
+        trigger_name: str,
+        trigger_id: int,
+    ) -> bool:
+        """Run one action; returns False (and records) on failure."""
+        try:
+            self._dispatch(action, bindings, trigger_name, trigger_id)
+        except Exception as exc:  # noqa: BLE001 - isolate trigger failures
+            self.failures.append(
+                ActionFailure(trigger_name, action.render(), exc)
+            )
+            return False
+        self.executed += 1
+        return True
+
+    def _dispatch(
+        self,
+        action: ast.Action,
+        bindings: Bindings,
+        trigger_name: str,
+        trigger_id: int,
+    ) -> None:
+        if isinstance(action, ast.ExecSqlAction):
+            sql = substitute_macros(action.sql, bindings)
+            self.default_database.execute(sql)
+            return
+        if isinstance(action, ast.RaiseEventAction):
+            args = tuple(
+                self.evaluator.evaluate(a, bindings) for a in action.args
+            )
+            self.events.raise_event(
+                action.event_name, args, trigger_name, trigger_id
+            )
+            return
+        if isinstance(action, ast.CallAction):
+            fn = self.callbacks.get(action.callback_name)
+            if fn is None:
+                raise ActionError(
+                    f"no registered callback {action.callback_name!r}"
+                )
+            fn(dict(bindings.rows), dict(bindings.old_rows))
+            return
+        raise ActionError(f"unknown action type {type(action).__name__}")

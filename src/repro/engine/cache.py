@@ -1,0 +1,163 @@
+"""The trigger cache (§5.1, §5.4).
+
+"A data structure called the trigger cache is maintained in main memory.
+This contains complete descriptions of a set of recently accessed triggers,
+including the trigger ID and name, references to data sources relevant to
+the trigger, and the syntax tree and Gator network skeleton for the
+trigger."  Matching a token *pins* the trigger — loading it from the
+disk-based catalog if absent — for the duration of network processing and
+action execution, buffer-pool style.
+
+The cache is capacity-bounded both by trigger count and by estimated bytes
+(the paper's sizing example: 4 KB per description, 64 MB of cache →
+16,384 resident descriptions).  Eviction is LRU over unpinned entries.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import TriggerError
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+class _CacheEntry:
+    __slots__ = ("runtime", "pin_count", "size_bytes")
+
+    def __init__(self, runtime, size_bytes: int):
+        self.runtime = runtime
+        self.pin_count = 0
+        self.size_bytes = size_bytes
+
+
+class TriggerCache:
+    """LRU cache of trigger runtimes with buffer-pool pin semantics."""
+
+    def __init__(
+        self,
+        loader: Callable[[int], "object"],
+        capacity: int = 16384,
+        capacity_bytes: Optional[int] = None,
+        size_of: Optional[Callable[[object], int]] = None,
+    ):
+        """``loader(trigger_id)`` rebuilds a runtime from the catalog.
+
+        ``size_of(runtime)`` estimates resident bytes (defaults to the
+        paper's 4 KB figure per description).
+        """
+        if capacity <= 0:
+            raise TriggerError(f"cache capacity must be positive: {capacity}")
+        self._loader = loader
+        self.capacity = capacity
+        self.capacity_bytes = capacity_bytes
+        self._size_of = size_of or (lambda _runtime: 4096)
+        self._entries: "OrderedDict[int, _CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    # -- pin protocol --------------------------------------------------------
+
+    def pin(self, trigger_id: int):
+        """Return the runtime, loading it if necessary; caller must unpin."""
+        with self._lock:
+            entry = self._entries.get(trigger_id)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(trigger_id)
+            else:
+                self.stats.misses += 1
+                runtime = self._loader(trigger_id)
+                entry = _CacheEntry(runtime, self._size_of(runtime))
+                self._make_room(entry.size_bytes)
+                self._entries[trigger_id] = entry
+                self._bytes += entry.size_bytes
+            entry.pin_count += 1
+            return entry.runtime
+
+    def unpin(self, trigger_id: int) -> None:
+        with self._lock:
+            entry = self._entries.get(trigger_id)
+            if entry is None or entry.pin_count <= 0:
+                raise TriggerError(
+                    f"unpin of trigger {trigger_id} that is not pinned"
+                )
+            entry.pin_count -= 1
+
+    def _make_room(self, incoming_bytes: int) -> None:
+        def over_limit() -> bool:
+            if len(self._entries) >= self.capacity:
+                return True
+            if self.capacity_bytes is not None:
+                return self._bytes + incoming_bytes > self.capacity_bytes
+            return False
+
+        while over_limit():
+            victim_id = None
+            for trigger_id, entry in self._entries.items():
+                if entry.pin_count == 0:
+                    victim_id = trigger_id
+                    break
+            if victim_id is None:
+                # Everything is pinned; admit over capacity rather than fail
+                # (matches buffer-managers that allow temporary overcommit).
+                return
+            victim = self._entries.pop(victim_id)
+            self._bytes -= victim.size_bytes
+            self.stats.evictions += 1
+
+    def seed(self, trigger_id: int, runtime) -> None:
+        """Install an already-built runtime (used at trigger creation so the
+        fresh network state is cached without a loader round-trip)."""
+        with self._lock:
+            old = self._entries.pop(trigger_id, None)
+            if old is not None:
+                self._bytes -= old.size_bytes
+            entry = _CacheEntry(runtime, self._size_of(runtime))
+            self._make_room(entry.size_bytes)
+            self._entries[trigger_id] = entry
+            self._bytes += entry.size_bytes
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate(self, trigger_id: int) -> None:
+        with self._lock:
+            entry = self._entries.pop(trigger_id, None)
+            if entry is not None:
+                self._bytes -= entry.size_bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # -- introspection --------------------------------------------------------------
+
+    def __contains__(self, trigger_id: int) -> bool:
+        return trigger_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    def pinned_count(self) -> int:
+        with self._lock:
+            return sum(1 for e in self._entries.values() if e.pin_count > 0)

@@ -1,0 +1,414 @@
+"""The TriggerMan system catalogs (§5.1).
+
+Three catalog tables live in the catalog database::
+
+    trigger_set(tsID, name, comments, creation_date, isEnabled)
+    trigger(triggerID, tsID, name, comments, trigger_text, creation_date,
+            isEnabled)
+    expression_signature(sigID, dataSrcID, operation, signatureDesc,
+                         constTableName, constantSetSize,
+                         constantSetOrganization)
+
+plus one ``const_table<N>`` per signature with constants (owned by the
+:mod:`repro.predindex` DB-table organizations) and ``tman_datasource`` rows
+recording defined data sources.  ``trigger_text`` stores the original
+``create trigger`` command — the trigger cache rebuilds evicted triggers by
+re-parsing it, exactly the disk-representation the paper's cache loads from.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CatalogError, TriggerError
+from ..sql.database import Database
+from ..sql.heap import RID
+from ..sql.schema import Column, TableSchema
+from ..sql.types import INTEGER, VarCharType
+
+TRIGGER_SET_TABLE = "tman_trigger_set"
+TRIGGER_TABLE = "tman_trigger"
+SIGNATURE_TABLE = "tman_expression_signature"
+DATASOURCE_TABLE = "tman_datasource"
+
+DEFAULT_TRIGGER_SET = "default"
+
+
+def _now() -> str:
+    return datetime.datetime.now().isoformat(timespec="seconds")
+
+
+class TriggerManCatalog:
+    """CRUD over the catalog tables, with id assignment and fast lookups."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._ensure_tables()
+        self._trigger_rids: Dict[int, RID] = {}
+        self._trigger_ids_by_name: Dict[str, int] = {}
+        self._set_rids: Dict[int, RID] = {}
+        self._set_ids_by_name: Dict[str, int] = {}
+        self._signature_rids: Dict[int, RID] = {}
+        #: (dataSrcID, operation, signatureDesc) -> sigID
+        self._signature_ids_by_key: Dict[Tuple[str, str, str], int] = {}
+        self._next_trigger_id = 1
+        self._next_set_id = 1
+        self._next_sig_id = 1
+        self._next_expr_id = 1
+        self._load()
+        if DEFAULT_TRIGGER_SET not in self._set_ids_by_name:
+            self.create_trigger_set(DEFAULT_TRIGGER_SET, "default trigger set")
+
+    # -- schema -------------------------------------------------------------
+
+    def _ensure_tables(self) -> None:
+        db = self.database
+        if not db.has_table(TRIGGER_SET_TABLE):
+            db.create_table(
+                TableSchema(
+                    TRIGGER_SET_TABLE,
+                    [
+                        Column("tsID", INTEGER, nullable=False),
+                        Column("name", VarCharType(128), nullable=False),
+                        Column("comments", VarCharType(1024)),
+                        Column("creation_date", VarCharType(32), nullable=False),
+                        Column("isEnabled", INTEGER, nullable=False),
+                    ],
+                )
+            )
+        if not db.has_table(TRIGGER_TABLE):
+            db.create_table(
+                TableSchema(
+                    TRIGGER_TABLE,
+                    [
+                        Column("triggerID", INTEGER, nullable=False),
+                        Column("tsID", INTEGER, nullable=False),
+                        Column("name", VarCharType(128), nullable=False),
+                        Column("comments", VarCharType(1024)),
+                        Column("trigger_text", VarCharType(3900), nullable=False),
+                        Column("creation_date", VarCharType(32), nullable=False),
+                        Column("isEnabled", INTEGER, nullable=False),
+                    ],
+                )
+            )
+        if not db.has_table(SIGNATURE_TABLE):
+            db.create_table(
+                TableSchema(
+                    SIGNATURE_TABLE,
+                    [
+                        Column("sigID", INTEGER, nullable=False),
+                        Column("dataSrcID", VarCharType(128), nullable=False),
+                        Column("operation", VarCharType(64), nullable=False),
+                        Column("signatureDesc", VarCharType(3000), nullable=False),
+                        Column("constTableName", VarCharType(128)),
+                        Column("constantSetSize", INTEGER, nullable=False),
+                        Column(
+                            "constantSetOrganization",
+                            VarCharType(32),
+                            nullable=False,
+                        ),
+                    ],
+                )
+            )
+        if not db.has_table(DATASOURCE_TABLE):
+            db.create_table(
+                TableSchema(
+                    DATASOURCE_TABLE,
+                    [
+                        Column("dsID", INTEGER, nullable=False),
+                        Column("name", VarCharType(128), nullable=False),
+                        Column("kind", VarCharType(16), nullable=False),
+                        Column("connection", VarCharType(128)),
+                        Column("tableName", VarCharType(128)),
+                        Column("columnsJson", VarCharType(3600)),
+                    ],
+                )
+            )
+
+    def _load(self) -> None:
+        for rid, row in self.database.table(TRIGGER_SET_TABLE).scan():
+            ts_id, name = row[0], row[1]
+            self._set_rids[ts_id] = rid
+            self._set_ids_by_name[name] = ts_id
+            self._next_set_id = max(self._next_set_id, ts_id + 1)
+        for rid, row in self.database.table(TRIGGER_TABLE).scan():
+            trigger_id, name = row[0], row[2]
+            self._trigger_rids[trigger_id] = rid
+            self._trigger_ids_by_name[name] = trigger_id
+            self._next_trigger_id = max(self._next_trigger_id, trigger_id + 1)
+        for rid, row in self.database.table(SIGNATURE_TABLE).scan():
+            sig_id = row[0]
+            self._signature_rids[sig_id] = rid
+            self._signature_ids_by_key[(row[1], row[2], row[3])] = sig_id
+            self._next_sig_id = max(self._next_sig_id, sig_id + 1)
+
+    # -- trigger sets ----------------------------------------------------------
+
+    def create_trigger_set(self, name: str, comments: Optional[str] = None) -> int:
+        if name in self._set_ids_by_name:
+            raise CatalogError(f"trigger set {name!r} already exists")
+        ts_id = self._next_set_id
+        self._next_set_id += 1
+        rid = self.database.table(TRIGGER_SET_TABLE).insert(
+            [ts_id, name, comments, _now(), 1]
+        )
+        self._set_rids[ts_id] = rid
+        self._set_ids_by_name[name] = ts_id
+        return ts_id
+
+    def trigger_set_id(self, name: str) -> int:
+        try:
+            return self._set_ids_by_name[name]
+        except KeyError:
+            raise CatalogError(f"no such trigger set {name!r}")
+
+    def drop_trigger_set(self, name: str) -> None:
+        ts_id = self.trigger_set_id(name)
+        if name == DEFAULT_TRIGGER_SET:
+            raise CatalogError("the default trigger set cannot be dropped")
+        members = [
+            row[0]
+            for _rid, row in self.database.table(TRIGGER_TABLE).scan()
+            if row[1] == ts_id
+        ]
+        if members:
+            raise CatalogError(
+                f"trigger set {name!r} still contains {len(members)} triggers"
+            )
+        self.database.table(TRIGGER_SET_TABLE).delete(self._set_rids.pop(ts_id))
+        del self._set_ids_by_name[name]
+
+    def set_trigger_set_enabled(self, name: str, enabled: bool) -> None:
+        ts_id = self.trigger_set_id(name)
+        table = self.database.table(TRIGGER_SET_TABLE)
+        rid = self._set_rids[ts_id]
+        row = list(table.read(rid))
+        row[4] = 1 if enabled else 0
+        self._set_rids[ts_id] = table.update(rid, row)
+
+    def trigger_set_enabled(self, ts_id: int) -> bool:
+        row = self.database.table(TRIGGER_SET_TABLE).read(self._set_rids[ts_id])
+        return bool(row[4])
+
+    # -- triggers -----------------------------------------------------------------
+
+    def next_trigger_id(self) -> int:
+        trigger_id = self._next_trigger_id
+        self._next_trigger_id += 1
+        return trigger_id
+
+    def next_expr_id(self) -> int:
+        expr_id = self._next_expr_id
+        self._next_expr_id += 1
+        return expr_id
+
+    def insert_trigger(
+        self,
+        trigger_id: int,
+        ts_id: int,
+        name: str,
+        trigger_text: str,
+        enabled: bool = True,
+        comments: Optional[str] = None,
+    ) -> None:
+        if name in self._trigger_ids_by_name:
+            raise TriggerError(f"trigger {name!r} already exists")
+        rid = self.database.table(TRIGGER_TABLE).insert(
+            [
+                trigger_id,
+                ts_id,
+                name,
+                comments,
+                trigger_text,
+                _now(),
+                1 if enabled else 0,
+            ]
+        )
+        self._trigger_rids[trigger_id] = rid
+        self._trigger_ids_by_name[name] = trigger_id
+
+    def trigger_id(self, name: str) -> int:
+        try:
+            return self._trigger_ids_by_name[name]
+        except KeyError:
+            raise TriggerError(f"no such trigger {name!r}")
+
+    def has_trigger(self, name: str) -> bool:
+        return name in self._trigger_ids_by_name
+
+    def trigger_row(self, trigger_id: int) -> Tuple:
+        try:
+            rid = self._trigger_rids[trigger_id]
+        except KeyError:
+            raise TriggerError(f"no such trigger id {trigger_id}")
+        return self.database.table(TRIGGER_TABLE).read(rid)
+
+    def trigger_text(self, trigger_id: int) -> str:
+        return self.trigger_row(trigger_id)[4]
+
+    def trigger_set_of(self, trigger_id: int) -> int:
+        return self.trigger_row(trigger_id)[1]
+
+    def trigger_enabled(self, trigger_id: int) -> bool:
+        row = self.trigger_row(trigger_id)
+        return bool(row[6]) and self.trigger_set_enabled(row[1])
+
+    def set_trigger_enabled(self, name: str, enabled: bool) -> int:
+        trigger_id = self.trigger_id(name)
+        table = self.database.table(TRIGGER_TABLE)
+        rid = self._trigger_rids[trigger_id]
+        row = list(table.read(rid))
+        row[6] = 1 if enabled else 0
+        self._trigger_rids[trigger_id] = table.update(rid, row)
+        return trigger_id
+
+    def delete_trigger(self, name: str) -> int:
+        trigger_id = self.trigger_id(name)
+        self.database.table(TRIGGER_TABLE).delete(self._trigger_rids.pop(trigger_id))
+        del self._trigger_ids_by_name[name]
+        return trigger_id
+
+    def list_triggers(self) -> List[Dict[str, Any]]:
+        out = []
+        for _rid, row in self.database.table(TRIGGER_TABLE).scan():
+            out.append(
+                {
+                    "triggerID": row[0],
+                    "tsID": row[1],
+                    "name": row[2],
+                    "trigger_text": row[4],
+                    "creation_date": row[5],
+                    "isEnabled": bool(row[6]),
+                }
+            )
+        return sorted(out, key=lambda r: r["triggerID"])
+
+    def trigger_ids(self) -> List[int]:
+        return sorted(self._trigger_rids)
+
+    # -- expression signatures ----------------------------------------------------
+
+    def next_signature_id(self) -> int:
+        sig_id = self._next_sig_id
+        self._next_sig_id += 1
+        return sig_id
+
+    def insert_signature(
+        self,
+        sig_id: int,
+        data_source: str,
+        operation: str,
+        description: str,
+        const_table_name: Optional[str],
+        organization: str,
+    ) -> None:
+        rid = self.database.table(SIGNATURE_TABLE).insert(
+            [
+                sig_id,
+                data_source,
+                operation,
+                description,
+                const_table_name,
+                0,
+                organization,
+            ]
+        )
+        self._signature_rids[sig_id] = rid
+        self._signature_ids_by_key[(data_source, operation, description)] = (
+            sig_id
+        )
+
+    def find_signature(
+        self, data_source: str, operation: str, description: str
+    ) -> Optional[Dict[str, Any]]:
+        """Existing catalog row for a signature key, or None."""
+        sig_id = self._signature_ids_by_key.get(
+            (data_source, operation, description)
+        )
+        if sig_id is None:
+            return None
+        row = self.database.table(SIGNATURE_TABLE).read(
+            self._signature_rids[sig_id]
+        )
+        return {
+            "sigID": row[0],
+            "dataSrcID": row[1],
+            "operation": row[2],
+            "signatureDesc": row[3],
+            "constTableName": row[4],
+            "constantSetSize": row[5],
+            "constantSetOrganization": row[6],
+        }
+
+    def update_signature_stats(
+        self, sig_id: int, size: int, organization: str
+    ) -> None:
+        table = self.database.table(SIGNATURE_TABLE)
+        rid = self._signature_rids[sig_id]
+        row = list(table.read(rid))
+        row[5] = size
+        row[6] = organization
+        self._signature_rids[sig_id] = table.update(rid, row)
+
+    def list_signatures(self) -> List[Dict[str, Any]]:
+        out = []
+        for _rid, row in self.database.table(SIGNATURE_TABLE).scan():
+            out.append(
+                {
+                    "sigID": row[0],
+                    "dataSrcID": row[1],
+                    "operation": row[2],
+                    "signatureDesc": row[3],
+                    "constTableName": row[4],
+                    "constantSetSize": row[5],
+                    "constantSetOrganization": row[6],
+                }
+            )
+        return sorted(out, key=lambda r: r["sigID"])
+
+    # -- data sources -----------------------------------------------------------------
+
+    def insert_data_source(
+        self,
+        ds_id: int,
+        name: str,
+        kind: str,
+        connection: Optional[str],
+        table_name: Optional[str],
+        columns: Optional[List[Tuple[str, str]]] = None,
+    ) -> None:
+        self.database.table(DATASOURCE_TABLE).insert(
+            [
+                ds_id,
+                name,
+                kind,
+                connection,
+                table_name,
+                json.dumps(columns) if columns is not None else None,
+            ]
+        )
+
+    def delete_data_source(self, name: str) -> None:
+        table = self.database.table(DATASOURCE_TABLE)
+        for rid, row in table.scan():
+            if row[1] == name:
+                table.delete(rid)
+                return
+        raise CatalogError(f"no such data source {name!r} in catalog")
+
+    def list_data_sources(self) -> List[Dict[str, Any]]:
+        out = []
+        for _rid, row in self.database.table(DATASOURCE_TABLE).scan():
+            out.append(
+                {
+                    "dsID": row[0],
+                    "name": row[1],
+                    "kind": row[2],
+                    "connection": row[3],
+                    "tableName": row[4],
+                    "columns": json.loads(row[5]) if row[5] else None,
+                }
+            )
+        return sorted(out, key=lambda r: r["dsID"])

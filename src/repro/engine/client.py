@@ -1,0 +1,90 @@
+"""The TriggerMan client API (§3).
+
+"Two libraries that come with TriggerMan allow writing of client
+applications and data source programs."  This module is the client-side
+library: connect to a TriggerMan instance, issue commands, create and drop
+triggers, register for events, and receive notifications.  The data-source
+API lives in :class:`DataSourceProgram`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from ..errors import CatalogError
+from .descriptors import Operation
+from .events import Notification
+from .triggerman import TriggerMan
+
+
+class TriggerManClient:
+    """A client application's handle on the trigger processor."""
+
+    def __init__(self, tman: TriggerMan, name: str = "client"):
+        self.tman = tman
+        self.name = name
+        self._subscriptions: List[int] = []
+        #: notifications delivered to this client, oldest first
+        self.inbox: Deque[Notification] = deque()
+
+    # -- commands -----------------------------------------------------------
+
+    def command(self, text: str):
+        """Issue any TriggerMan command (create trigger, drop trigger,
+        define data source, ...)."""
+        return self.tman.execute_command(text)
+
+    def create_trigger(self, text: str) -> int:
+        return self.tman.create_trigger(text)
+
+    def drop_trigger(self, name: str) -> int:
+        return self.tman.drop_trigger(name)
+
+    # -- events --------------------------------------------------------------
+
+    def register_for_event(
+        self,
+        event_name: str,
+        callback: Optional[Callable[[Notification], None]] = None,
+    ) -> int:
+        """Subscribe to an event; without a callback, notifications land in
+        :attr:`inbox`."""
+        sink = callback if callback is not None else self.inbox.append
+        subscription = self.tman.register_for_event(event_name, sink)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def next_notification(self) -> Optional[Notification]:
+        if not self.inbox:
+            return None
+        return self.inbox.popleft()
+
+    def disconnect(self) -> None:
+        for subscription in self._subscriptions:
+            self.tman.events.unregister(subscription)
+        self._subscriptions.clear()
+
+
+class DataSourceProgram:
+    """The data-source API: an application feeding a stream source."""
+
+    def __init__(self, tman: TriggerMan, source_name: str):
+        self.tman = tman
+        self.source_name = source_name
+        # validates that the source exists and is a stream
+        source = tman.registry.get(source_name)
+        if source.kind != "stream":
+            raise CatalogError(
+                f"DataSourceProgram feeds streams; {source_name!r} is a "
+                f"{source.kind} source"
+            )
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        self.tman.push(self.source_name, Operation.INSERT, new=row)
+
+    def delete(self, row: Dict[str, Any]) -> None:
+        self.tman.push(self.source_name, Operation.DELETE, old=row)
+
+    def update(self, old: Dict[str, Any], new: Dict[str, Any]) -> None:
+        self.tman.push(self.source_name, Operation.UPDATE, new=new, old=old)

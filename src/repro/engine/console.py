@@ -1,0 +1,159 @@
+"""The TriggerMan console (§3): "a special application program that lets a
+user directly interact with the system to create triggers, drop triggers,
+start the system, shut it down, etc."
+
+:class:`Console` turns command lines into engine calls and returns printable
+results; ``run_interactive`` wraps it in a tiny REPL.  Besides the §2
+command language it understands a handful of administrative verbs::
+
+    show triggers | show signatures | show sources | show stats
+    explain trigger <name>   -- condition graph, signatures, network
+    process            -- drain the update queue (one TmanTest-style pump)
+    sql <statement>    -- run SQL on the default connection
+    help, quit
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ReproError
+from .triggerman import TriggerMan
+
+_HELP = """\
+TriggerMan console commands:
+  create trigger ... / drop trigger <name>
+  create trigger set <name> / drop trigger set <name>
+  enable|disable trigger [set] <name>
+  define data source <name> from <table> [in <conn>] | as stream (...)
+  show triggers | show signatures | show sources | show stats
+  explain trigger <name>   condition graph, signatures, network layout
+  process             drain the update queue and run pending actions
+  sql <statement>     execute SQL on the default connection
+  help | quit"""
+
+
+class Console:
+    """Stateless command dispatcher over a TriggerMan instance."""
+
+    def __init__(self, tman: TriggerMan):
+        self.tman = tman
+
+    def execute(self, line: str) -> str:
+        """Run one console line; returns the text to display."""
+        line = line.strip()
+        if not line:
+            return ""
+        lowered = line.lower()
+        try:
+            if lowered in ("help", "?"):
+                return _HELP
+            if lowered == "show triggers":
+                return self._show_triggers()
+            if lowered == "show signatures":
+                return "\n".join(self.tman.index.describe()) or "(none)"
+            if lowered == "show sources":
+                return "\n".join(self.tman.registry.names()) or "(none)"
+            if lowered == "show stats":
+                metrics = self.tman.metrics()
+                return "\n".join(f"{k}: {v}" for k, v in sorted(metrics.items()))
+            if lowered.startswith("explain trigger "):
+                return self._explain(line.split()[-1])
+            if lowered == "process":
+                processed = self.tman.process_all()
+                return f"processed {processed} update descriptor(s)"
+            if lowered.startswith("sql "):
+                result = self.tman.execute_sql(line[4:])
+                if isinstance(result, list):
+                    return "\n".join(str(row) for row in result) or "(no rows)"
+                return f"ok ({result})" if result is not None else "ok"
+            result = self.tman.execute_command(line)
+            if result is None:
+                return "ok"
+            return f"ok ({result})"
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def _explain(self, name: str) -> str:
+        """Describe one trigger: its condition graph (§5.1 step 3), the
+        signature group each selection predicate landed in, and the
+        discrimination network layout."""
+        trigger_id = self.tman.catalog.trigger_id(name)
+        runtime = self.tman.cache.pin(trigger_id)
+        try:
+            out = [f"trigger {name} (id {trigger_id})"]
+            out.append(f"  network: {type(runtime.network).__name__}")
+            out.append("  tuple variables:")
+            for tvar in runtime.tvars:
+                source = runtime.tvar_sources[tvar]
+                operation = runtime.operation_code(tvar)
+                selection = runtime.graph.selection_expr(tvar)
+                selection_text = (
+                    selection.render() if selection is not None else "TRUE"
+                )
+                entry_node = runtime.network.entry_node_id(tvar)
+                out.append(
+                    f"    {tvar} -> {source} [{operation}] "
+                    f"when {selection_text}  (entry: {entry_node})"
+                )
+            edges = [
+                f"    {' ⋈ '.join(sorted(pair))}: "
+                f"{runtime.graph.join_expr(*sorted(pair)).render()}"
+                for pair in runtime.graph.edges
+            ]
+            if edges:
+                out.append("  join predicates:")
+                out.extend(sorted(edges))
+            if runtime.graph.catch_all:
+                out.append(
+                    f"  catch-all clauses: {len(runtime.graph.catch_all)}"
+                )
+            out.append("  signature groups used:")
+            for group in self.tman.index.groups():
+                entries = [
+                    e
+                    for _c, e in group.organization.entries()
+                    if e.trigger_id == trigger_id
+                ]
+                if entries:
+                    out.append(
+                        f"    sig {group.sig_id}: "
+                        f"{group.signature.describe()} "
+                        f"[{group.organization.name}, "
+                        f"class size {group.organization.size()}]"
+                    )
+            out.append(f"  action: {runtime.action.render()}")
+            out.append(f"  fired {runtime.fire_count} time(s)")
+            return "\n".join(out)
+        finally:
+            self.tman.cache.unpin(trigger_id)
+
+    def _show_triggers(self) -> str:
+        rows = self.tman.catalog.list_triggers()
+        if not rows:
+            return "(none)"
+        out = []
+        for row in rows:
+            flag = "enabled" if row["isEnabled"] else "DISABLED"
+            out.append(f"{row['triggerID']:>5}  {row['name']:<24} {flag}")
+        return "\n".join(out)
+
+
+def run_interactive(
+    tman: TriggerMan,
+    input_fn: Callable[[str], str] = input,
+    print_fn: Callable[[str], None] = print,
+) -> None:
+    """A minimal REPL; ``quit`` (or EOF) exits."""
+    console = Console(tman)
+    print_fn("TriggerMan console — type 'help' for commands")
+    while True:
+        try:
+            line = input_fn("tman> ")
+        except EOFError:
+            return
+        if line.strip().lower() in ("quit", "exit"):
+            return
+        output = console.execute(line)
+        if output:
+            print_fn(output)

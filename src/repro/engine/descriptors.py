@@ -1,0 +1,110 @@
+"""Update descriptors — the tokens flowing through TriggerMan.
+
+§5.4: "an update descriptor (token) consists of a data source ID, an
+operation code, and an old tuple, new tuple, or old/new tuple pair."  We add
+the set of changed columns (so ``on update(col)`` event conditions can be
+tested) and a sequence number assigned by the queue.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional
+
+from ..errors import QueueError
+
+
+class Operation:
+    """Operation codes (string constants, matching signature op codes)."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    UPDATE = "update"
+
+    ALL = (INSERT, DELETE, UPDATE)
+
+
+@dataclass(frozen=True)
+class UpdateDescriptor:
+    """One captured update, en route to trigger condition testing."""
+
+    data_source: str
+    operation: str
+    new: Optional[Dict[str, Any]] = None
+    old: Optional[Dict[str, Any]] = None
+    changed_columns: FrozenSet[str] = frozenset()
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.operation not in Operation.ALL:
+            raise QueueError(f"unknown operation {self.operation!r}")
+        if self.operation == Operation.INSERT and self.new is None:
+            raise QueueError("insert descriptor requires a new image")
+        if self.operation == Operation.DELETE and self.old is None:
+            raise QueueError("delete descriptor requires an old image")
+        if self.operation == Operation.UPDATE and (
+            self.new is None or self.old is None
+        ):
+            raise QueueError("update descriptor requires old and new images")
+
+    @property
+    def match_row(self) -> Dict[str, Any]:
+        """The image trigger conditions evaluate against: the new image for
+        insert/update, the old image for delete."""
+        if self.operation == Operation.DELETE:
+            assert self.old is not None
+            return self.old
+        assert self.new is not None
+        return self.new
+
+    @staticmethod
+    def for_update(
+        data_source: str,
+        old: Dict[str, Any],
+        new: Dict[str, Any],
+        seq: int = 0,
+    ) -> "UpdateDescriptor":
+        changed = frozenset(
+            column
+            for column in set(old) | set(new)
+            if old.get(column) != new.get(column)
+        )
+        return UpdateDescriptor(
+            data_source=data_source,
+            operation=Operation.UPDATE,
+            new=new,
+            old=old,
+            changed_columns=changed,
+            seq=seq,
+        )
+
+    # -- persistence (queue table payloads) ---------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "new": self.new,
+                "old": self.old,
+                "changed": sorted(self.changed_columns),
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        data_source: str,
+        operation: str,
+        payload: str,
+        seq: int,
+    ) -> "UpdateDescriptor":
+        data = json.loads(payload)
+        return cls(
+            data_source=data_source,
+            operation=operation,
+            new=data.get("new"),
+            old=data.get("old"),
+            changed_columns=frozenset(data.get("changed", ())),
+            seq=seq,
+        )

@@ -1,0 +1,80 @@
+"""Event registration and delivery ([Hans98] in the paper).
+
+``raise event`` trigger actions communicate with the outside world: client
+applications register for named events and receive a :class:`Notification`
+whenever a trigger raises one.  A bounded history ring is kept so consoles
+and tests can inspect recent activity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One delivered event."""
+
+    event_name: str
+    args: Tuple[Any, ...]
+    trigger_name: str
+    trigger_id: int
+    seq: int
+
+
+Callback = Callable[[Notification], None]
+
+
+class EventManager:
+    """Register callbacks per event name; fan out raised events."""
+
+    def __init__(self, history_size: int = 1024):
+        self._subscribers: Dict[str, Dict[int, Callback]] = {}
+        self._next_subscription = 1
+        self._seq = 0
+        self.history: Deque[Notification] = deque(maxlen=history_size)
+        #: callbacks that raised are recorded here rather than crashing the
+        #: trigger processor (errors must not poison unrelated triggers).
+        self.delivery_errors: List[Tuple[Notification, Exception]] = []
+
+    def register(self, event_name: str, callback: Callback) -> int:
+        """Subscribe; returns a subscription id for :meth:`unregister`."""
+        subscription = self._next_subscription
+        self._next_subscription += 1
+        self._subscribers.setdefault(event_name, {})[subscription] = callback
+        return subscription
+
+    def unregister(self, subscription: int) -> bool:
+        for subs in self._subscribers.values():
+            if subscription in subs:
+                del subs[subscription]
+                return True
+        return False
+
+    def raise_event(
+        self,
+        event_name: str,
+        args: Tuple[Any, ...],
+        trigger_name: str,
+        trigger_id: int,
+    ) -> Notification:
+        self._seq += 1
+        notification = Notification(
+            event_name=event_name,
+            args=args,
+            trigger_name=trigger_name,
+            trigger_id=trigger_id,
+            seq=self._seq,
+        )
+        self.history.append(notification)
+        for callback in list(self._subscribers.get(event_name, {}).values()):
+            try:
+                callback(notification)
+            except Exception as exc:  # noqa: BLE001 - deliberate isolation
+                self.delivery_errors.append((notification, exc))
+        return notification
+
+    def subscriber_count(self, event_name: str) -> int:
+        return len(self._subscribers.get(event_name, {}))

@@ -1,0 +1,148 @@
+"""The task queue and the ``TmanTest()`` driver entry point (§6).
+
+TriggerMan cannot spawn threads inside its host (the paper's Informix
+process-architecture constraint), so work is queued explicitly and one or
+more *driver* processes repeatedly call ``TmanTest()``, which executes tasks
+until a time THRESHOLD elapses or the queue empties, yielding between tasks.
+The driver waits T between calls while the queue is empty and calls back
+immediately otherwise; both default to 250 ms in the paper.
+
+Task kinds (§6): 1 — process one token against the predicate index,
+2 — run one rule action, 3 — process a token against a subset of
+conditions, 4 — process a token against a subset of rule actions (3 and 4
+arise from partitioned triggerID sets, Figure 5).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+PROCESS_TOKEN = "process_token"
+RUN_ACTION = "run_action"
+CONDITION_SUBSET = "condition_subset"
+ACTION_SUBSET = "action_subset"
+
+TASK_QUEUE_EMPTY = "TASK_QUEUE_EMPTY"
+TASKS_REMAINING = "TASKS_REMAINING"
+
+#: the paper's default THRESHOLD and T (seconds)
+DEFAULT_THRESHOLD = 0.250
+DEFAULT_POLL_PERIOD = 0.250
+
+
+@dataclass
+class Task:
+    """A unit of work: a closure plus bookkeeping for the scheduler."""
+
+    kind: str
+    fn: Callable[[], None]
+    #: simulated CPU cost (seconds) for the deterministic scheduler; the
+    #: real driver ignores it.
+    cost: float = 0.0
+    label: str = ""
+
+    def run(self) -> None:
+        self.fn()
+
+
+class TaskQueue:
+    """Thread-safe FIFO of tasks (the shared-memory task queue of §6)."""
+
+    def __init__(self) -> None:
+        self._items: Deque[Task] = deque()
+        self._lock = threading.Lock()
+        self.enqueued = 0
+        self.executed = 0
+
+    def put(self, task: Task) -> None:
+        with self._lock:
+            self._items.append(task)
+            self.enqueued += 1
+
+    def get(self) -> Optional[Task]:
+        with self._lock:
+            if not self._items:
+                return None
+            self.executed += 1
+            return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def tman_test(
+    queue: TaskQueue,
+    threshold: float = DEFAULT_THRESHOLD,
+    refill: Optional[Callable[[], bool]] = None,
+    yield_fn: Optional[Callable[[], None]] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> str:
+    """One ``TmanTest()`` invocation (§6 pseudo-code).
+
+    Executes tasks until ``threshold`` seconds elapse or no work remains.
+    ``refill()`` is called when the task queue runs dry to convert pending
+    update descriptors into tasks (returns True when it added any);
+    ``yield_fn`` stands in for ``mi_yield`` between tasks.
+    """
+    start = clock()
+    while clock() - start < threshold:
+        task = queue.get()
+        if task is None:
+            if refill is not None and refill():
+                continue
+            return TASK_QUEUE_EMPTY
+        task.run()
+        if yield_fn is not None:
+            yield_fn()
+    if len(queue) == 0 and (refill is None or not refill()):
+        return TASK_QUEUE_EMPTY
+    return TASKS_REMAINING
+
+
+class Driver(threading.Thread):
+    """A driver thread: calls TmanTest periodically (Figure 1's driver
+    program).  Real threads serve functional concurrency tests; throughput
+    *scaling* benchmarks use the deterministic simulator in
+    :mod:`repro.engine.concurrency` instead (GIL)."""
+
+    def __init__(
+        self,
+        queue: TaskQueue,
+        threshold: float = DEFAULT_THRESHOLD,
+        poll_period: float = DEFAULT_POLL_PERIOD,
+        refill: Optional[Callable[[], bool]] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name, daemon=True)
+        self.queue = queue
+        self.threshold = threshold
+        self.poll_period = poll_period
+        self.refill = refill
+        self.calls = 0
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.is_set():
+            self.calls += 1
+            status = tman_test(self.queue, self.threshold, self.refill)
+            if status == TASK_QUEUE_EMPTY:
+                self._stop_event.wait(self.poll_period)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_event.set()
+        self.join(timeout)
+
+
+def compute_driver_count(num_cpus: int, concurrency_level: float) -> int:
+    """§6: N = ceil(NUM_CPUS * TMAN_CONCURRENCY_LEVEL), level in (0, 1]."""
+    if not (0.0 < concurrency_level <= 1.0):
+        raise ValueError(
+            f"TMAN_CONCURRENCY_LEVEL must be in (0%, 100%]: {concurrency_level}"
+        )
+    import math
+
+    return max(1, math.ceil(num_cpus * concurrency_level))

@@ -1,0 +1,282 @@
+"""Trigger runtimes: the in-memory form cached by the trigger cache.
+
+A runtime bundles everything §5.1 says a cached trigger description holds —
+the syntax tree (parsed statement), references to its data sources, and the
+A-TREAT network skeleton — plus the per-tuple-variable event codes and the
+group-by/having state for aggregate conditions.
+
+Building a runtime performs §5.1 steps 1–4 (parse/validate, CNF + conjunct
+grouping, condition graph, network); step 5 (signature registration and
+constant-table updates) happens in :mod:`repro.engine.triggerman` because it
+touches the shared predicate index and catalogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..condition.classify import (
+    ConditionGraph,
+    build_condition_graph,
+    resolve_unqualified,
+)
+from ..condition.signature import AnalyzedPredicate, analyze_selection
+from ..errors import TriggerError
+from ..lang import ast
+from ..lang.evaluator import Bindings, Evaluator
+from ..network.treat import ATreatNetwork
+from ..predindex.index import INSERT_OR_UPDATE, make_operation_code
+from .datasource import DataSourceRegistry
+
+
+@dataclass
+class TriggerRuntime:
+    """One trigger, ready to run."""
+
+    trigger_id: int
+    name: str
+    set_name: str
+    statement: ast.CreateTriggerStatement
+    text: str
+    #: tuple variable -> data source name
+    tvar_sources: Dict[str, str]
+    #: tuple variable -> (operation base, update columns) event condition
+    tvar_events: Dict[str, Tuple[str, Tuple[str, ...]]]
+    graph: ConditionGraph
+    network: ATreatNetwork
+    action: ast.Action
+    group_by: Tuple[ast.ColumnRef, ...]
+    having: Optional[ast.Expr]
+    #: bound on per-group aggregate state (the ``window N`` flag); None
+    #: accumulates forever
+    window: Optional[int] = None
+    #: group key -> accumulated bindings (aggregate trigger state)
+    group_state: Dict[Tuple, List[Bindings]] = field(default_factory=dict)
+    fire_count: int = 0
+
+    @property
+    def tvars(self) -> Tuple[str, ...]:
+        return self.graph.tvars
+
+    def operation_code(self, tvar: str) -> str:
+        base, columns = self.tvar_events[tvar]
+        return make_operation_code(base, columns)
+
+    def estimated_size(self) -> int:
+        """Resident-byte estimate for the trigger cache (the paper uses
+        4 KB as a realistic description size)."""
+        return 512 + 4 * len(self.text) + 1024 * len(self.tvars)
+
+    # -- aggregate (group by / having) handling ---------------------------------
+
+    def aggregate_fire(
+        self, bindings: Bindings, evaluator: Evaluator
+    ) -> Optional[Bindings]:
+        """Feed one complete match into the group state; returns bindings to
+        fire with when the having condition holds for the group."""
+        key = tuple(
+            evaluator.evaluate(column, bindings) for column in self.group_by
+        )
+        group = self.group_state.setdefault(key, [])
+        group.append(bindings)
+        if self.window is not None and len(group) > self.window:
+            del group[: len(group) - self.window]
+        if self.having is None:
+            return bindings
+        result = evaluator.evaluate_aggregate(self.having, group, bindings)
+        return bindings if result is True else None
+
+
+def _resolve_event(
+    statement: ast.CreateTriggerStatement,
+    tvar_sources: Dict[str, str],
+) -> Dict[str, Tuple[str, Tuple[str, ...]]]:
+    """Assign each tuple variable its event condition.
+
+    The ``on`` clause names at most one tuple variable (§4); every other
+    tuple variable gets the implicit ``insert or update`` event (§5).
+    """
+    events: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+        tvar: (INSERT_OR_UPDATE, ()) for tvar in tvar_sources
+    }
+    event = statement.event
+    if event is None:
+        return events
+    target: Optional[str] = None
+    if event.source is not None:
+        if event.source in tvar_sources:
+            target = event.source
+        else:
+            owners = [
+                tvar
+                for tvar, source in tvar_sources.items()
+                if source == event.source
+            ]
+            if len(owners) > 1:
+                raise TriggerError(
+                    f"event target {event.source!r} is ambiguous; use the "
+                    "tuple variable"
+                )
+            if owners:
+                target = owners[0]
+        if target is None:
+            raise TriggerError(
+                f"event target {event.source!r} is not in the from list"
+            )
+    elif len(tvar_sources) == 1:
+        target = next(iter(tvar_sources))
+    else:
+        raise TriggerError(
+            "a multi-source trigger's ON clause must name its target"
+        )
+    events[target] = (event.operation, tuple(event.columns))
+    return events
+
+
+def _validate_event_columns(
+    events: Dict[str, Tuple[str, Tuple[str, ...]]],
+    tvar_sources: Dict[str, str],
+    registry: DataSourceRegistry,
+) -> None:
+    for tvar, (base, columns) in events.items():
+        if not columns:
+            continue
+        if base != "update":
+            raise TriggerError(
+                f"column list is only valid with UPDATE events, not {base!r}"
+            )
+        source = registry.get(tvar_sources[tvar])
+        for column in columns:
+            if not source.has_column(column):
+                raise TriggerError(
+                    f"data source {source.name!r} has no column {column!r}"
+                )
+
+
+def build_runtime(
+    trigger_id: int,
+    statement: ast.CreateTriggerStatement,
+    text: str,
+    registry: DataSourceRegistry,
+    evaluator: Optional[Evaluator] = None,
+    set_name: str = "default",
+    use_virtual_alpha: bool = True,
+    network_type: str = "atreat",
+) -> TriggerRuntime:
+    """§5.1 steps 1–4: validate, analyze the condition, build the network.
+
+    ``network_type`` selects the discrimination network: ``"atreat"`` (the
+    paper's current implementation; virtual alpha memories over table
+    sources) or ``"gator"`` (the planned optimization; materialized alpha
+    and beta memories, primed from table sources at build time).
+    """
+    evaluator = evaluator or Evaluator()
+    if not statement.from_list:
+        raise TriggerError("a trigger needs at least one data source")
+    tvar_sources: Dict[str, str] = {}
+    for item in statement.from_list:
+        if item.tvar in tvar_sources:
+            raise TriggerError(f"duplicate tuple variable {item.tvar!r}")
+        registry.get(item.source)  # raises for unknown sources
+        tvar_sources[item.tvar] = item.source
+
+    tvar_columns = {
+        tvar: registry.get(source).columns
+        for tvar, source in tvar_sources.items()
+    }
+    when = statement.when
+    if when is not None:
+        when = resolve_unqualified(when, tvar_columns)
+    having = statement.having
+    group_by = statement.group_by
+    if group_by and not having:
+        raise TriggerError("GROUP BY requires a HAVING condition")
+    if having is not None:
+        having = resolve_unqualified(having, tvar_columns)
+    if group_by:
+        group_by = tuple(
+            resolve_unqualified(column, tvar_columns) for column in group_by
+        )
+
+    events = _resolve_event(statement, tvar_sources)
+    _validate_event_columns(events, tvar_sources, registry)
+
+    graph = build_condition_graph(list(tvar_sources), when)
+
+    if network_type == "gator":
+        network = _build_gator(
+            trigger_id, graph, evaluator, tvar_sources, registry
+        )
+    elif network_type == "atreat":
+        fetchers = {}
+        if use_virtual_alpha and len(tvar_sources) > 1:
+            for tvar, source_name in tvar_sources.items():
+                fetch = registry.get(source_name).fetcher()
+                if fetch is not None:
+                    fetchers[tvar] = fetch
+        network = ATreatNetwork(trigger_id, graph, evaluator, fetchers)
+    else:
+        raise TriggerError(f"unknown network type {network_type!r}")
+
+    window: Optional[int] = None
+    for flag in statement.flags:
+        if flag.startswith("WINDOW:"):
+            window = int(flag.split(":", 1)[1])
+            if window <= 0:
+                raise TriggerError("window size must be positive")
+
+    return TriggerRuntime(
+        trigger_id=trigger_id,
+        name=statement.name,
+        set_name=set_name,
+        statement=statement,
+        text=text,
+        tvar_sources=tvar_sources,
+        tvar_events=events,
+        graph=graph,
+        network=network,
+        action=statement.action,
+        group_by=tuple(group_by),
+        having=having,
+        window=window,
+    )
+
+
+def _build_gator(trigger_id, graph, evaluator, tvar_sources, registry):
+    """Build a Gator network and prime its materialized alpha memories from
+    table sources (§5.1's 'prime the trigger to make it ready to run')."""
+    from ..network.gator import GatorNetwork
+
+    network = GatorNetwork(trigger_id, graph, evaluator)
+    if len(graph.tvars) > 1:
+        for tvar, source_name in tvar_sources.items():
+            fetch = registry.get(source_name).fetcher()
+            if fetch is None:
+                continue  # stream sources start empty
+            selection = graph.selection_expr(tvar)
+            rows = (
+                row
+                for row in fetch()
+                if selection is None
+                or evaluator.matches(
+                    selection, Bindings(rows={tvar: row})
+                )
+            )
+            network.prime(tvar, rows)
+    return network
+
+
+def analyze_trigger(runtime: TriggerRuntime) -> List[Tuple[str, AnalyzedPredicate]]:
+    """§5.1 step 5 input: one analyzed selection predicate per tuple
+    variable (the signature machinery keys on data source + op code)."""
+    out: List[Tuple[str, AnalyzedPredicate]] = []
+    for tvar in runtime.tvars:
+        clauses = runtime.graph.selection_for(tvar)
+        analyzed = analyze_selection(
+            data_source=runtime.tvar_sources[tvar],
+            operation=runtime.operation_code(tvar),
+            clauses=clauses,
+        )
+        out.append((tvar, analyzed))
+    return out

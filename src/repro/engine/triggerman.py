@@ -1,0 +1,831 @@
+"""The TriggerMan facade: the asynchronous trigger processor of the paper,
+wired together — catalogs, data sources, the predicate index, the trigger
+cache, the update queue, the task queue, and action execution.
+
+Typical use::
+
+    tman = TriggerMan.in_memory()
+    tman.define_table("emp", [("name", "varchar(40)"), ("salary", "float")])
+    tman.execute_command(
+        "create trigger bigSalary from emp on insert "
+        "when emp.salary > 80000 do raise event BigSalary(emp.name)"
+    )
+    tman.insert("emp", {"name": "Ada", "salary": 120000.0})
+    tman.process_all()
+
+Processing is asynchronous (§3): table mutations are captured into the
+update-descriptor queue; ``process_all()`` / ``tman_test()`` consume the
+queue, match tokens through the predicate index (§5.4), pin matched
+triggers in the cache, run their A-TREAT networks, and execute fired
+actions as tasks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..condition.signature import AnalyzedPredicate
+from ..errors import CatalogError, TriggerError
+from ..lang import ast
+from ..lang.evaluator import Bindings, Evaluator
+from ..lang.parser import parse_command
+from ..predindex.costmodel import DEFAULT_LIMITS, Limits
+from ..predindex.entry import PredicateEntry
+from ..predindex.index import Match, PredicateIndex, SignatureGroup
+from ..predindex.organizations import AutoOrganization
+from ..sql.database import Database
+from ..sql.schema import schema as make_schema
+from .actions import ActionExecutor
+from .cache import TriggerCache
+from .catalog import DEFAULT_TRIGGER_SET, TriggerManCatalog
+from .datasource import (
+    Connection,
+    DataSourceRegistry,
+    StreamDataSource,
+    TableDataSource,
+)
+from .descriptors import Operation, UpdateDescriptor
+from .events import EventManager
+from .queue import MemoryQueue, TableQueue, UpdateQueue
+from .tasks import (
+    DEFAULT_THRESHOLD,
+    RUN_ACTION,
+    PROCESS_TOKEN,
+    Task,
+    TaskQueue,
+    tman_test,
+)
+from .trigger import TriggerRuntime, analyze_trigger, build_runtime
+
+
+@dataclass
+class EngineStats:
+    tokens_processed: int = 0
+    triggers_fired: int = 0
+    actions_executed: int = 0
+
+    def reset(self) -> None:
+        self.tokens_processed = 0
+        self.triggers_fired = 0
+        self.actions_executed = 0
+
+
+class TriggerMan:
+    """The trigger processor."""
+
+    def __init__(
+        self,
+        catalog_db: Optional[Database] = None,
+        default_db: Optional[Database] = None,
+        *,
+        limits: Limits = DEFAULT_LIMITS,
+        cache_capacity: int = 16384,
+        cache_bytes: Optional[int] = None,
+        durable_queue: bool = True,
+        evaluator: Optional[Evaluator] = None,
+        network_type: str = "atreat",
+    ):
+        self.catalog_db = catalog_db if catalog_db is not None else Database()
+        default_db = default_db if default_db is not None else self.catalog_db
+        self.connections: Dict[str, Connection] = {
+            "default": Connection("default", default_db, is_default=True)
+        }
+        self.evaluator = evaluator or Evaluator()
+        self.limits = limits
+        self.network_type = network_type
+        self.catalog = TriggerManCatalog(self.catalog_db)
+        self.registry = DataSourceRegistry()
+        self.events = EventManager()
+        self.actions = ActionExecutor(default_db, self.events, self.evaluator)
+        self.index = PredicateIndex(self.evaluator)
+        self.queue: UpdateQueue = (
+            TableQueue(self.catalog_db) if durable_queue else MemoryQueue()
+        )
+        self.tasks = TaskQueue()
+        self.cache = TriggerCache(
+            self._load_runtime,
+            capacity=cache_capacity,
+            capacity_bytes=cache_bytes,
+            size_of=lambda runtime: runtime.estimated_size(),
+        )
+        self.stats = EngineStats()
+        #: trigger id -> enabled flag (fast path; catalog is authoritative)
+        self._enabled: Dict[int, bool] = {}
+        #: trigger ids pinned permanently (stream-fed materialized memories)
+        self._permanent_pins: set = set()
+        #: source name -> [(trigger_id, tvar)] needing memory maintenance
+        self._materialized: Dict[str, List[Tuple[int, str]]] = {}
+        self._lock = threading.RLock()
+        self._restore()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def in_memory(cls, **kwargs) -> "TriggerMan":
+        """A fully in-memory instance (volatile queue included)."""
+        kwargs.setdefault("durable_queue", False)
+        return cls(Database(), **kwargs)
+
+    @classmethod
+    def persistent(cls, path: str, **kwargs) -> "TriggerMan":
+        """An instance whose catalogs, queue, and tables live under
+        ``path``; restarting replays the trigger catalog."""
+        return cls(Database(path), **kwargs)
+
+    # -- connections -----------------------------------------------------------
+
+    @property
+    def default_connection(self) -> Connection:
+        return self.connections["default"]
+
+    def add_connection(self, name: str, database: Database) -> Connection:
+        if name in self.connections:
+            raise CatalogError(f"connection {name!r} already defined")
+        connection = Connection(name, database)
+        self.connections[name] = connection
+        return connection
+
+    def _connection(self, name: Optional[str]) -> Connection:
+        if name is None:
+            return self.default_connection
+        try:
+            return self.connections[name]
+        except KeyError:
+            raise CatalogError(f"no such connection {name!r}")
+
+    # -- data sources ----------------------------------------------------------
+
+    def define_table(
+        self,
+        name: str,
+        columns: Sequence[Tuple[str, str]],
+        connection: Optional[str] = None,
+    ):
+        """Create a table on a connection and register it as a data source
+        (update capture included).  Returns the data source."""
+        conn = self._connection(connection)
+        table = conn.database.create_table(
+            make_schema(name, *columns, registry=conn.database.registry)
+        )
+        return self._register_table_source(name, conn, table, persist=True)
+
+    def define_data_source_from_table(
+        self, name: str, table_name: Optional[str] = None,
+        connection: Optional[str] = None,
+    ):
+        """Register an *existing* table as a data source (the paper's
+        ``define data source`` for local tables)."""
+        conn = self._connection(connection)
+        table = conn.database.table(table_name or name)
+        return self._register_table_source(name, conn, table, persist=True)
+
+    def _register_table_source(
+        self, name: str, conn: Connection, table, persist: bool
+    ) -> TableDataSource:
+        source = TableDataSource(
+            self.registry.next_id(), name, conn, table
+        )
+        source.install_capture(self._capture)
+        self.registry.add(source)
+        if persist:
+            self.catalog.insert_data_source(
+                source.ds_id, name, "table", conn.name, table.name
+            )
+        return source
+
+    def define_stream(
+        self, name: str, columns: Sequence[Tuple[str, str]]
+    ) -> StreamDataSource:
+        """Register a generic data-source program feed."""
+        source = StreamDataSource(self.registry.next_id(), name, list(columns))
+        self.registry.add(source)
+        self.catalog.insert_data_source(
+            source.ds_id, name, "stream", None, None, list(columns)
+        )
+        return source
+
+    def drop_data_source(self, name: str) -> None:
+        used_by = [
+            row["name"]
+            for row in self.catalog.list_triggers()
+            if name in row["trigger_text"]
+        ]
+        source = self.registry.get(name)
+        for trigger in self.triggers():
+            if name in trigger.tvar_sources.values():
+                raise CatalogError(
+                    f"data source {name!r} is used by trigger {trigger.name!r}"
+                )
+        self.registry.drop(name)
+        self.catalog.delete_data_source(name)
+
+    def _capture(self, descriptor: UpdateDescriptor) -> None:
+        """Sink for table capture listeners and the data-source API."""
+        self.queue.enqueue(descriptor)
+
+    # -- command interface -------------------------------------------------------
+
+    def execute_command(self, text: str):
+        """Parse and execute one TriggerMan command (§2 syntax)."""
+        statement = parse_command(text)
+        if isinstance(statement, ast.CreateTriggerStatement):
+            return self.create_trigger_statement(statement, text)
+        if isinstance(statement, ast.DropTriggerStatement):
+            return self.drop_trigger(statement.name)
+        if isinstance(statement, ast.CreateTriggerSetStatement):
+            return self.catalog.create_trigger_set(
+                statement.name, statement.comments
+            )
+        if isinstance(statement, ast.DropTriggerSetStatement):
+            return self.catalog.drop_trigger_set(statement.name)
+        if isinstance(statement, ast.AlterTriggerStatement):
+            if statement.is_set:
+                return self.set_trigger_set_enabled(
+                    statement.name, statement.enabled
+                )
+            return self.set_trigger_enabled(statement.name, statement.enabled)
+        if isinstance(statement, ast.DefineDataSourceStatement):
+            if statement.stream_columns:
+                return self.define_stream(
+                    statement.name, list(statement.stream_columns)
+                )
+            return self.define_data_source_from_table(
+                statement.name, statement.table, statement.connection
+            )
+        if isinstance(statement, ast.DropDataSourceStatement):
+            return self.drop_data_source(statement.name)
+        raise TriggerError(f"cannot execute {type(statement).__name__}")
+
+    # -- trigger definition (§5.1) ---------------------------------------------------
+
+    def create_trigger(self, text: str) -> int:
+        statement = parse_command(text)
+        if not isinstance(statement, ast.CreateTriggerStatement):
+            raise TriggerError("create_trigger expects a CREATE TRIGGER command")
+        return self.create_trigger_statement(statement, text)
+
+    def create_trigger_statement(
+        self, statement: ast.CreateTriggerStatement, text: str
+    ) -> int:
+        with self._lock:
+            return self._create_trigger_locked(statement, text)
+
+    def _create_trigger_locked(
+        self, statement: ast.CreateTriggerStatement, text: str
+    ) -> int:
+        if self.catalog.has_trigger(statement.name):
+            raise TriggerError(f"trigger {statement.name!r} already exists")
+        set_name = statement.set_name or DEFAULT_TRIGGER_SET
+        ts_id = self.catalog.trigger_set_id(set_name)  # validates
+        trigger_id = self.catalog.next_trigger_id()
+
+        # Steps 1-4: parse/validate, CNF + grouping, condition graph, network.
+        runtime = build_runtime(
+            trigger_id,
+            statement,
+            text,
+            self.registry,
+            self.evaluator,
+            set_name=set_name,
+            network_type=self.network_type,
+        )
+
+        # Step 5: per-tuple-variable signature registration + constants.
+        self._install_predicates(runtime)
+
+        enabled = "DISABLED" not in statement.flags
+        self.catalog.insert_trigger(trigger_id, ts_id, statement.name, text, enabled)
+        self._enabled[trigger_id] = enabled
+        self._seed_cache(runtime)
+        self._prime(runtime)
+        return trigger_id
+
+    def _install_predicates(self, runtime: TriggerRuntime) -> None:
+        for tvar, analyzed in analyze_trigger(runtime):
+            group = self._signature_group(analyzed)
+            entry = PredicateEntry(
+                expr_id=self.catalog.next_expr_id(),
+                trigger_id=runtime.trigger_id,
+                tvar=tvar,
+                next_node=runtime.network.entry_node_id(tvar),
+                residual_text=(
+                    analyzed.residual.render()
+                    if analyzed.residual is not None
+                    else None
+                ),
+            )
+            self.index.add_predicate(analyzed, entry)
+            self.catalog.update_signature_stats(
+                group.sig_id,
+                group.organization.size(),
+                group.organization.name,
+            )
+
+    def _signature_group(self, analyzed: AnalyzedPredicate) -> SignatureGroup:
+        signature = analyzed.signature
+        group = self.index.find_group(signature)
+        if group is not None:
+            return group
+        # A catalog row may already exist (recovery replay): reuse its id
+        # and constant-table name rather than minting duplicates.
+        existing = self.catalog.find_signature(
+            signature.data_source, signature.operation, signature.text
+        )
+        if existing is not None:
+            sig_id = existing["sigID"]
+            const_table = existing["constTableName"]
+        else:
+            sig_id = self.catalog.next_signature_id()
+            const_table = (
+                f"const_table{sig_id}" if signature.num_constants else None
+            )
+        organization = AutoOrganization(
+            signature,
+            self.catalog_db,
+            const_table or f"const_table{sig_id}",
+            limits=self.limits,
+            on_change=lambda name, sig_id=sig_id: self._organization_changed(
+                sig_id, name
+            ),
+        )
+        if existing is None:
+            self.catalog.insert_signature(
+                sig_id,
+                signature.data_source,
+                signature.operation,
+                signature.text,
+                const_table,
+                organization.name,
+            )
+        return self.index.register_signature(sig_id, signature, organization)
+
+    def _organization_changed(self, sig_id: int, name: str) -> None:
+        # Size is refreshed by the caller's update_signature_stats; record
+        # the new organization eagerly so catalog readers see it.
+        for row in self.catalog.list_signatures():
+            if row["sigID"] == sig_id:
+                self.catalog.update_signature_stats(
+                    sig_id, row["constantSetSize"], name
+                )
+                return
+
+    def _seed_cache(self, runtime: TriggerRuntime) -> None:
+        """Install a freshly built runtime without a loader round-trip."""
+        self._put_runtime(runtime)
+
+    def _put_runtime(self, runtime: TriggerRuntime) -> None:
+        self.cache.seed(runtime.trigger_id, runtime)
+        for tvar in runtime.network.materialized_tvars():
+            source = runtime.tvar_sources[tvar]
+            entry = (runtime.trigger_id, tvar)
+            bucket = self._materialized.setdefault(source, [])
+            if entry not in bucket:
+                bucket.append(entry)
+        if self._needs_permanent_pin(runtime):
+            # Stream-fed materialized memories cannot be rebuilt from a base
+            # table, so such triggers stay pinned for their lifetime.
+            self.cache.pin(runtime.trigger_id)
+            self._permanent_pins.add(runtime.trigger_id)
+
+    def _needs_permanent_pin(self, runtime: TriggerRuntime) -> bool:
+        """Materialized memories over *stream* sources hold state that a
+        cache reload cannot reconstruct (table-backed memories are re-primed
+        by the loader)."""
+        for tvar in runtime.network.materialized_tvars():
+            source = self.registry.get(runtime.tvar_sources[tvar])
+            if source.fetcher() is None:
+                return True
+        return False
+
+    def _prime(self, runtime: TriggerRuntime) -> None:
+        """§5.1: 'prime' the trigger.  Virtual alpha memories need nothing;
+        materialized memories over table sources (when virtual is disabled)
+        would be loaded here.  Stream memories start empty."""
+
+    def _load_runtime(self, trigger_id: int) -> TriggerRuntime:
+        text = self.catalog.trigger_text(trigger_id)
+        statement = parse_command(text)
+        assert isinstance(statement, ast.CreateTriggerStatement)
+        set_name = statement.set_name or DEFAULT_TRIGGER_SET
+        return build_runtime(
+            trigger_id,
+            statement,
+            text,
+            self.registry,
+            self.evaluator,
+            set_name=set_name,
+            network_type=self.network_type,
+        )
+
+    # -- trigger management -------------------------------------------------------------
+
+    def drop_trigger(self, name: str) -> int:
+        with self._lock:
+            trigger_id = self.catalog.delete_trigger(name)
+            self.index.remove_trigger(trigger_id)
+            for group in self.index.groups():
+                self.catalog.update_signature_stats(
+                    group.sig_id,
+                    group.organization.size(),
+                    group.organization.name,
+                )
+            for bucket in self._materialized.values():
+                bucket[:] = [e for e in bucket if e[0] != trigger_id]
+            if trigger_id in self._permanent_pins:
+                self._permanent_pins.discard(trigger_id)
+                self.cache.unpin(trigger_id)
+            self.cache.invalidate(trigger_id)
+            self._enabled.pop(trigger_id, None)
+            return trigger_id
+
+    def set_trigger_enabled(self, name: str, enabled: bool) -> int:
+        trigger_id = self.catalog.set_trigger_enabled(name, enabled)
+        self._enabled[trigger_id] = enabled and self.catalog.trigger_enabled(
+            trigger_id
+        )
+        self._refresh_enabled()
+        return trigger_id
+
+    def set_trigger_set_enabled(self, name: str, enabled: bool) -> None:
+        self.catalog.set_trigger_set_enabled(name, enabled)
+        self._refresh_enabled()
+
+    def _refresh_enabled(self) -> None:
+        for row in self.catalog.list_triggers():
+            self._enabled[row["triggerID"]] = self.catalog.trigger_enabled(
+                row["triggerID"]
+            )
+
+    def _is_enabled(self, trigger_id: int) -> bool:
+        return self._enabled.get(trigger_id, True)
+
+    def triggers(self) -> List[TriggerRuntime]:
+        """Runtimes for every catalogued trigger (loads through the cache)."""
+        out = []
+        for trigger_id in self.catalog.trigger_ids():
+            runtime = self.cache.pin(trigger_id)
+            self.cache.unpin(trigger_id)
+            out.append(runtime)
+        return out
+
+    # -- update ingestion ------------------------------------------------------------------
+
+    def table(self, source_name: str):
+        source = self.registry.get(source_name)
+        if not isinstance(source, TableDataSource):
+            raise CatalogError(f"data source {source_name!r} is not a table")
+        return source.table
+
+    def insert(self, source_name: str, values: Union[Dict[str, Any], Sequence[Any]]):
+        """Insert into a table source (captured) or push onto a stream."""
+        source = self.registry.get(source_name)
+        if isinstance(source, TableDataSource):
+            return source.table.insert(values)
+        if not isinstance(values, dict):
+            raise TriggerError("stream tuples must be dicts")
+        self._capture(source.descriptor_for(Operation.INSERT, new=values))
+        return None
+
+    def delete_rows(self, source_name: str, where: Dict[str, Any]) -> int:
+        """Delete table rows matching the column-equality filter."""
+        table = self.table(source_name)
+        victims = [
+            rid
+            for rid, row in table.scan()
+            if self._row_matches(table, row, where)
+        ]
+        for rid in victims:
+            table.delete(rid)
+        return len(victims)
+
+    def update_rows(
+        self,
+        source_name: str,
+        where: Dict[str, Any],
+        changes: Dict[str, Any],
+    ) -> int:
+        table = self.table(source_name)
+        targets = [
+            rid
+            for rid, row in table.scan()
+            if self._row_matches(table, row, where)
+        ]
+        for rid in targets:
+            table.update(rid, changes)
+        return len(targets)
+
+    @staticmethod
+    def _row_matches(table, row, where: Dict[str, Any]) -> bool:
+        row_dict = table.schema.row_to_dict(row)
+        return all(row_dict.get(k) == v for k, v in where.items())
+
+    def push(
+        self,
+        source_name: str,
+        operation: str,
+        new: Optional[Dict[str, Any]] = None,
+        old: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Data source API: submit an update descriptor for a stream."""
+        source = self.registry.get(source_name)
+        if not isinstance(source, StreamDataSource):
+            raise CatalogError(
+                f"push() targets stream sources; {source_name!r} is a table"
+            )
+        self._capture(source.descriptor_for(operation, new=new, old=old))
+
+    def execute_sql(self, sql: str, connection: Optional[str] = None):
+        """Run SQL on a connection; table mutations are captured normally."""
+        return self._connection(connection).database.execute(sql)
+
+    # -- token processing (§5.4) ----------------------------------------------------------------
+
+    def process_token(self, descriptor: UpdateDescriptor) -> int:
+        """Match one token and enqueue its action tasks; returns the number
+        of trigger firings produced.
+
+        Serialized by the engine lock so that multiple driver threads can
+        call :func:`tman_test` concurrently (functional token-level
+        concurrency; CPU *scaling* studies use the simulator, see §6 notes
+        in DESIGN.md)."""
+        with self._lock:
+            return self._process_token_locked(descriptor)
+
+    def _process_token_locked(self, descriptor: UpdateDescriptor) -> int:
+        self.stats.tokens_processed += 1
+        matches = self.index.match(
+            descriptor.data_source,
+            descriptor.operation,
+            descriptor.match_row,
+            descriptor.changed_columns,
+            enabled=self._is_enabled,
+        )
+        fired = 0
+        for match in matches:
+            fired += self._apply_match(descriptor, match)
+        self._maintain_memories(descriptor, matches)
+        return fired
+
+    def _maintain_memories(self, descriptor: UpdateDescriptor, matches) -> None:
+        """Retract stale rows from materialized memories for delete/update
+        tokens that did NOT match a trigger's event condition (matched
+        tokens are maintained inside network.activate)."""
+        if descriptor.operation == Operation.INSERT or descriptor.old is None:
+            return
+        bucket = self._materialized.get(descriptor.data_source)
+        if not bucket:
+            return
+        handled = {(m.entry.trigger_id, m.entry.tvar) for m in matches}
+        for trigger_id, tvar in list(bucket):
+            if (trigger_id, tvar) in handled:
+                continue
+            runtime = self.cache.pin(trigger_id)
+            try:
+                selection = runtime.graph.selection_expr(tvar)
+                old_matches = selection is None or self.evaluator.matches(
+                    selection, Bindings(rows={tvar: descriptor.old})
+                )
+                if old_matches:
+                    runtime.network.retract(tvar, descriptor.old)
+            finally:
+                if trigger_id not in self._permanent_pins:
+                    self.cache.unpin(trigger_id)
+
+    def _apply_match(self, descriptor: UpdateDescriptor, match: Match) -> int:
+        entry = match.entry
+        runtime = self.cache.pin(entry.trigger_id)
+        try:
+            complete = runtime.network.activate(
+                entry.tvar,
+                descriptor.operation,
+                descriptor.new,
+                descriptor.old,
+            )
+            fired = 0
+            for bindings in complete:
+                if runtime.group_by or runtime.having is not None:
+                    ready = runtime.aggregate_fire(bindings, self.evaluator)
+                    if ready is None:
+                        continue
+                    bindings = ready
+                self._fire(runtime, bindings)
+                fired += 1
+            return fired
+        finally:
+            if entry.trigger_id not in self._permanent_pins:
+                self.cache.unpin(entry.trigger_id)
+
+    def _fire(self, runtime: TriggerRuntime, bindings: Bindings) -> None:
+        runtime.fire_count += 1
+        self.stats.triggers_fired += 1
+        action = runtime.action
+        name = runtime.name
+        trigger_id = runtime.trigger_id
+
+        def run() -> None:
+            self.actions.execute(action, bindings, name, trigger_id)
+            self.stats.actions_executed += 1
+
+        self.tasks.put(Task(RUN_ACTION, run, label=name))
+
+    def enqueue_condition_tasks(
+        self, descriptor: UpdateDescriptor, partitions: int
+    ) -> int:
+        """§6 condition-level concurrency (task type 3): split the data
+        source's signature groups round-robin into ``partitions`` subsets
+        and enqueue one task per subset.  Each task matches the token
+        against its subset and fires the results; the last task to finish
+        also runs materialized-memory maintenance (which needs the union of
+        all subsets' matches).  Returns the number of tasks enqueued.
+        """
+        from .concurrency import partition_round_robin
+        from .tasks import CONDITION_SUBSET
+
+        groups = self.index.source_index(descriptor.data_source).groups()
+        if not groups:
+            return 0
+        self.stats.tokens_processed += 1
+        self.index.stats.tokens += 1
+        subsets = [
+            s
+            for s in partition_round_robin(
+                groups, min(partitions, len(groups))
+            )
+            if s
+        ]
+        shared = {"remaining": len(subsets), "matches": []}
+        state_lock = threading.Lock()
+
+        def run_subset(subset):
+            with self._lock:
+                matches = self.index.match_in_groups(
+                    subset,
+                    descriptor.operation,
+                    descriptor.match_row,
+                    descriptor.changed_columns,
+                    self._is_enabled,
+                    data_source=descriptor.data_source,
+                )
+                for match in matches:
+                    self._apply_match(descriptor, match)
+            with state_lock:
+                shared["matches"].extend(matches)
+                shared["remaining"] -= 1
+                last = shared["remaining"] == 0
+            if last:
+                with self._lock:
+                    self._maintain_memories(descriptor, shared["matches"])
+
+        for subset in subsets:
+            self.tasks.put(
+                Task(
+                    CONDITION_SUBSET,
+                    lambda s=subset: run_subset(s),
+                    label=f"{descriptor.data_source}:{descriptor.operation}"
+                    f"[{len(subset)} groups]",
+                )
+            )
+        return len(subsets)
+
+    # -- the driver surface (§6) --------------------------------------------------------------------
+
+    def _refill_tasks(self, batch: int = 64) -> bool:
+        """Convert pending update descriptors into type-1 tasks."""
+        added = False
+        for _ in range(batch):
+            descriptor = self.queue.dequeue()
+            if descriptor is None:
+                break
+            self.tasks.put(
+                Task(
+                    PROCESS_TOKEN,
+                    lambda d=descriptor: self.process_token(d),
+                    label=f"{descriptor.data_source}:{descriptor.operation}",
+                )
+            )
+            added = True
+        return added
+
+    def tman_test(self, threshold: float = DEFAULT_THRESHOLD) -> str:
+        """One TmanTest() call: §6's driver entry point."""
+        return tman_test(self.tasks, threshold, refill=self._refill_tasks)
+
+    def process_all(self, max_tokens: Optional[int] = None) -> int:
+        """Drain the update queue and the task queue; returns the number of
+        tokens processed."""
+        processed = 0
+        while True:
+            descriptor = self.queue.dequeue()
+            if descriptor is None:
+                break
+            self.process_token(descriptor)
+            processed += 1
+            self._run_pending_tasks()
+            if max_tokens is not None and processed >= max_tokens:
+                break
+        self._run_pending_tasks()
+        return processed
+
+    def _run_pending_tasks(self) -> None:
+        while True:
+            task = self.tasks.get()
+            if task is None:
+                return
+            task.run()
+
+    # -- events / callbacks -------------------------------------------------------------------
+
+    def register_for_event(self, event_name: str, callback) -> int:
+        return self.events.register(event_name, callback)
+
+    def register_callback(self, name: str, fn) -> None:
+        self.actions.register_callback(name, fn)
+
+    # -- restore ------------------------------------------------------------------------------
+
+    def _restore(self) -> None:
+        """Rebuild data sources and replay trigger definitions from the
+        catalog (recovery = catalog replay; constant tables are rebuilt)."""
+        rows = self.catalog.list_data_sources()
+        for row in rows:
+            if row["name"] in self.registry:
+                continue
+            if row["kind"] == "stream":
+                source = StreamDataSource(
+                    row["dsID"], row["name"],
+                    [tuple(c) for c in row["columns"] or []],
+                )
+                self.registry.add(source)
+            else:
+                conn = self._connection(row["connection"])
+                table = conn.database.table(row["tableName"])
+                source = TableDataSource(row["dsID"], row["name"], conn, table)
+                source.install_capture(self._capture)
+                self.registry.add(source)
+        triggers = self.catalog.list_triggers()
+        if not triggers:
+            return
+        # Drop stale constant tables (they are rebuilt by replay).
+        for sig_row in self.catalog.list_signatures():
+            name = sig_row["constTableName"]
+            if name and self.catalog_db.has_table(name):
+                self.catalog_db.table(name).truncate()
+        for row in triggers:
+            statement = parse_command(row["trigger_text"])
+            assert isinstance(statement, ast.CreateTriggerStatement)
+            runtime = build_runtime(
+                row["triggerID"],
+                statement,
+                row["trigger_text"],
+                self.registry,
+                self.evaluator,
+                set_name=statement.set_name or DEFAULT_TRIGGER_SET,
+                network_type=self.network_type,
+            )
+            self._install_predicates(runtime)
+            self._enabled[row["triggerID"]] = self.catalog.trigger_enabled(
+                row["triggerID"]
+            )
+            self._put_runtime(runtime)
+
+    # -- lifecycle ---------------------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write all dirty pages (catalog + every connection) to disk."""
+        self.catalog_db.flush()
+        for connection in self.connections.values():
+            connection.database.flush()
+
+    def close(self) -> None:
+        """Flush and close every database this instance opened."""
+        seen = {id(self.catalog_db)}
+        self.catalog_db.close()
+        for connection in self.connections.values():
+            if id(connection.database) not in seen:
+                seen.add(id(connection.database))
+                connection.database.close()
+
+    def __enter__(self) -> "TriggerMan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "tokens_processed": self.stats.tokens_processed,
+            "triggers_fired": self.stats.triggers_fired,
+            "actions_executed": self.stats.actions_executed,
+            "action_failures": len(self.actions.failures),
+            "signatures": self.index.signature_count(),
+            "predicate_entries": self.index.entry_count(),
+            "cache_hits": self.cache.stats.hits,
+            "cache_misses": self.cache.stats.misses,
+            "cache_evictions": self.cache.stats.evictions,
+            "cache_resident": len(self.cache),
+            "queue_depth": len(self.queue),
+        }

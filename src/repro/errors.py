@@ -1,0 +1,80 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Each subsystem raises a subclass of :class:`ReproError` so callers can catch
+either a specific failure (``except CatalogError``) or anything produced by
+this library (``except ReproError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StorageError(ReproError):
+    """A failure inside the storage engine (pages, files, buffer pool)."""
+
+
+class PageFullError(StorageError):
+    """A record did not fit into the target slotted page."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a pin request (all frames pinned)."""
+
+
+class TypeError_(ReproError):
+    """A value did not conform to its declared column type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class SchemaError(ReproError):
+    """An invalid schema definition or a schema/value mismatch."""
+
+
+class CatalogError(ReproError):
+    """A missing or duplicate table, index, trigger, or data source."""
+
+
+class ParseError(ReproError):
+    """A syntax error in a TriggerMan command or embedded SQL statement."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ConditionError(ReproError):
+    """A trigger condition that is structurally invalid (e.g. unknown
+    tuple variable, type mismatch in a comparison)."""
+
+
+class SignatureError(ReproError):
+    """A failure while computing or registering an expression signature."""
+
+
+class NetworkError(ReproError):
+    """A failure while building or driving an A-TREAT/Gator network."""
+
+
+class TriggerError(ReproError):
+    """A trigger-level failure (duplicate name, unknown trigger, disabled
+    set, invalid action)."""
+
+
+class ActionError(TriggerError):
+    """A trigger action failed while executing."""
+
+
+class QueueError(ReproError):
+    """A failure in the update-descriptor queue."""
+
+
+class ConcurrencyError(ReproError):
+    """A failure in the task queue / driver scheduler."""

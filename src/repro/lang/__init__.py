@@ -1,0 +1,26 @@
+"""The TriggerMan command language: scanner, ASTs, parsers, and evaluator.
+
+This package is deliberately storage-free so that both the SQL engine
+(:mod:`repro.sql`) and the condition-analysis machinery
+(:mod:`repro.condition`) can share one expression representation.
+"""
+
+from . import ast
+from .evaluator import Bindings, Evaluator, evaluate, matches
+from .exprparser import parse_expression_text
+from .parser import parse_command
+from .scanner import TokenStream, tokenize
+from .sqlparser import parse_sql
+
+__all__ = [
+    "ast",
+    "Bindings",
+    "Evaluator",
+    "evaluate",
+    "matches",
+    "parse_expression_text",
+    "parse_command",
+    "parse_sql",
+    "TokenStream",
+    "tokenize",
+]

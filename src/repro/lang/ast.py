@@ -1,0 +1,457 @@
+"""Abstract syntax trees for the TriggerMan command language and the embedded
+SQL subset.
+
+Expression nodes are shared between trigger ``when``/``having`` conditions,
+SQL ``WHERE`` clauses and ``SET`` assignments, and the condition-analysis /
+signature machinery in :mod:`repro.condition`.  All nodes are immutable-by-
+convention dataclasses with structural equality, a ``render()`` method that
+produces canonical text (used in signature descriptions and catalogs), and a
+``transform`` hook used by constant generalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def transform(self, fn: Callable[["Expr"], Optional["Expr"]]) -> "Expr":
+        """Bottom-up rewrite: ``fn`` may return a replacement node or None
+        to keep the (child-rewritten) node."""
+        rewritten = self._rebuild([c.transform(fn) for c in self.children()])
+        replacement = fn(rewritten)
+        return replacement if replacement is not None else rewritten
+
+    def _rebuild(self, children: List["Expr"]) -> "Expr":
+        if children:
+            raise NotImplementedError(f"{type(self).__name__} must override _rebuild")
+        return self
+
+    def walk(self):
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.render()})"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: integer, float, string, boolean, or NULL (None)."""
+
+    value: Any
+
+    def render(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Placeholder(Expr):
+    """``CONSTANT_i`` — a numbered constant placeholder inside an expression
+    signature's generalized expression (§5 of the paper)."""
+
+    number: int
+
+    def render(self) -> str:
+        return f"CONSTANT_{self.number}"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A reference ``tvar.column`` or bare ``column``."""
+
+    tvar: Optional[str]
+    column: str
+
+    def render(self) -> str:
+        if self.tvar:
+            return f"{self.tvar}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """``:NEW.tvar.column`` / ``:OLD.tvar.column`` / ``:name``.
+
+    ``kind`` is ``"NEW"``, ``"OLD"`` or ``"PARAM"``; for PARAM, ``column``
+    holds the parameter name and ``tvar`` is None.
+    """
+
+    kind: str
+    tvar: Optional[str]
+    column: str
+
+    def render(self) -> str:
+        if self.kind == "PARAM":
+            return f":{self.column}"
+        if self.tvar:
+            return f":{self.kind}.{self.tvar}.{self.column}"
+        return f":{self.kind}.{self.column}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic or comparison: ``+ - * / = <> < <= > >= LIKE``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def _rebuild(self, children: List[Expr]) -> Expr:
+        return BinaryOp(self.op, children[0], children[1])
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``-expr`` or ``NOT expr``."""
+
+    op: str  # "-" or "NOT"
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def _rebuild(self, children: List[Expr]) -> Expr:
+        return UnaryOp(self.op, children[0])
+
+    def render(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.render()})"
+        return f"(-{self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """N-ary AND/OR."""
+
+    op: str  # "AND" or "OR"
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def _rebuild(self, children: List[Expr]) -> Expr:
+        return BoolOp(self.op, tuple(children))
+
+    def render(self) -> str:
+        joined = f" {self.op} ".join(a.render() for a in self.args)
+        return f"({joined})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    expr: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,) + self.items
+
+    def _rebuild(self, children: List[Expr]) -> Expr:
+        return InList(children[0], tuple(children[1:]), self.negated)
+
+    def render(self) -> str:
+        items = ", ".join(i.render() for i in self.items)
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.expr.render()} {op} ({items}))"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr, self.low, self.high)
+
+    def _rebuild(self, children: List[Expr]) -> Expr:
+        return Between(children[0], children[1], children[2], self.negated)
+
+    def render(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.expr.render()} {op} {self.low.render()} "
+            f"AND {self.high.render()})"
+        )
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+    def _rebuild(self, children: List[Expr]) -> Expr:
+        return IsNull(children[0], self.negated)
+
+    def render(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.expr.render()} {op})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Function application — aggregates (count/sum/avg/min/max) in having
+    clauses, plus registered scalar/UDT functions."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def _rebuild(self, children: List[Expr]) -> Expr:
+        return FuncCall(self.name, tuple(children))
+
+    def render(self) -> str:
+        args = ", ".join(a.render() for a in self.args)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` inside ``count(*)`` or a SELECT list."""
+
+    def render(self) -> str:
+        return "*"
+
+
+# ---------------------------------------------------------------------------
+# TriggerMan statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FromItem:
+    """One entry of a ``from`` list: a data source and its tuple variable.
+
+    When no alias is given the source name itself is the tuple variable,
+    matching SQL scoping rules.
+    """
+
+    source: str
+    alias: Optional[str] = None
+
+    @property
+    def tvar(self) -> str:
+        return self.alias or self.source
+
+    def render(self) -> str:
+        return f"{self.source} {self.alias}" if self.alias else self.source
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """An ``on`` clause: operation + target data source (+ columns for
+    ``update(col, ...)``)."""
+
+    operation: str  # "insert" | "delete" | "update" | "insert_or_update"
+    source: Optional[str] = None  # tuple variable / source name it applies to
+    columns: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        out = self.operation
+        if self.columns:
+            out += "(" + ", ".join(self.columns) + ")"
+        if self.source:
+            out += f" to {self.source}"
+        return out
+
+
+class Action:
+    """Base class for trigger actions (the ``do`` clause)."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ExecSqlAction(Action):
+    """``do execSQL 'statement'`` — run SQL against the (default) connection
+    after :NEW/:OLD macro substitution (§2)."""
+
+    sql: str
+
+    def render(self) -> str:
+        escaped = self.sql.replace("'", "''")
+        return f"execSQL '{escaped}'"
+
+
+@dataclass(frozen=True)
+class RaiseEventAction(Action):
+    """``do raise event Name(arg, ...)`` — notify registered clients
+    ([Hans98] in the paper)."""
+
+    event_name: str
+    args: Tuple[Expr, ...] = ()
+
+    def render(self) -> str:
+        args = ", ".join(a.render() for a in self.args)
+        return f"raise event {self.event_name}({args})"
+
+
+@dataclass(frozen=True)
+class CallAction(Action):
+    """``do call name`` — invoke a host-registered Python callback with the
+    matching bindings; the reproduction's stand-in for arbitrary DataBlade
+    routines."""
+
+    callback_name: str
+
+    def render(self) -> str:
+        return f"call {self.callback_name}"
+
+
+@dataclass(frozen=True)
+class CreateTriggerStatement:
+    name: str
+    set_name: Optional[str]
+    flags: Tuple[str, ...]
+    from_list: Tuple[FromItem, ...]
+    event: Optional[EventSpec]
+    when: Optional[Expr]
+    group_by: Tuple[ColumnRef, ...]
+    having: Optional[Expr]
+    action: Action
+
+
+@dataclass(frozen=True)
+class DropTriggerStatement:
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateTriggerSetStatement:
+    name: str
+    comments: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DropTriggerSetStatement:
+    name: str
+
+
+@dataclass(frozen=True)
+class AlterTriggerStatement:
+    """enable/disable trigger <name> | trigger set <name>"""
+
+    name: str
+    enabled: bool
+    is_set: bool = False
+
+
+@dataclass(frozen=True)
+class DefineDataSourceStatement:
+    """``define data source <name> [from <table> in <connection>]
+    [as stream (col type, ...)]``."""
+
+    name: str
+    connection: Optional[str] = None
+    table: Optional[str] = None
+    stream_columns: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class DropDataSourceStatement:
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# SQL statements (embedded subset)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    table: str
+    columns: Tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class DropTableStatement:
+    table: str
+
+
+@dataclass(frozen=True)
+class CreateIndexStatement:
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    clustered: bool = False
+    using: str = "btree"  # "btree" | "hash"
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    columns: Tuple[str, ...]  # empty = positional
+    values: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    table: str
+    projection: Tuple[Expr, ...]  # (Star(),) for SELECT *
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[Tuple[Expr, bool], ...] = ()  # (expr, descending)
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    where: Optional[Expr] = None

@@ -1,0 +1,400 @@
+"""Expression evaluation with SQL three-valued logic.
+
+One evaluator serves trigger ``when`` clauses (rows bound per tuple
+variable), SQL ``WHERE`` clauses (a single implicit tuple variable), and
+``having`` clauses over groups (aggregate functions receive the group's
+rows).  Comparison or arithmetic over NULL yields NULL (None); ``AND``/
+``OR``/``NOT`` follow Kleene logic; a predicate only *matches* when it
+evaluates to exactly True.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+from ..errors import ConditionError
+from . import ast
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+class Bindings:
+    """Variable bindings for one evaluation.
+
+    ``rows`` maps a tuple-variable name to a column→value mapping; when a
+    bare (unqualified) column is referenced it is resolved against each bound
+    row and must be unambiguous.  ``old_rows`` carries pre-update images for
+    ``:OLD`` references, ``params`` carries named parameters.
+    """
+
+    __slots__ = ("rows", "old_rows", "params")
+
+    def __init__(
+        self,
+        rows: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        old_rows: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        params: Optional[Mapping[str, Any]] = None,
+    ):
+        self.rows: Dict[str, Mapping[str, Any]] = dict(rows or {})
+        self.old_rows: Dict[str, Mapping[str, Any]] = dict(old_rows or {})
+        self.params: Dict[str, Any] = dict(params or {})
+
+    def bind(self, tvar: str, row: Mapping[str, Any]) -> "Bindings":
+        """Return a new Bindings with one more tuple variable bound."""
+        child = Bindings(self.rows, self.old_rows, self.params)
+        child.rows[tvar] = row
+        return child
+
+    def column(self, tvar: Optional[str], column: str) -> Any:
+        if tvar is not None:
+            try:
+                row = self.rows[tvar]
+            except KeyError:
+                raise ConditionError(f"unbound tuple variable {tvar!r}")
+            try:
+                return row[column]
+            except KeyError:
+                raise ConditionError(f"{tvar!r} has no column {column!r}")
+        hits = [row for row in self.rows.values() if column in row]
+        if not hits:
+            raise ConditionError(f"unknown column {column!r}")
+        if len(hits) > 1:
+            raise ConditionError(f"ambiguous column {column!r}")
+        return hits[0][column]
+
+    def old_column(self, tvar: Optional[str], column: str) -> Any:
+        source = self.old_rows
+        if tvar is not None:
+            if tvar not in source:
+                raise ConditionError(f"no :OLD image for tuple variable {tvar!r}")
+            row = source[tvar]
+        else:
+            if len(source) != 1:
+                raise ConditionError("ambiguous :OLD reference")
+            row = next(iter(source.values()))
+        try:
+            return row[column]
+        except KeyError:
+            raise ConditionError(f":OLD image has no column {column!r}")
+
+
+FunctionRegistry = Dict[str, Callable[..., Any]]
+
+_DEFAULT_FUNCTIONS: FunctionRegistry = {
+    "abs": abs,
+    "lower": lambda s: s.lower() if s is not None else None,
+    "upper": lambda s: s.upper() if s is not None else None,
+    "length": lambda s: len(s) if s is not None else None,
+}
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    out = ["^"]
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    out.append("$")
+    return re.compile("".join(out), re.DOTALL)
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def _like(value: Any, pattern: Any) -> Optional[bool]:
+    if value is None or pattern is None:
+        return None
+    regex = _LIKE_CACHE.get(pattern)
+    if regex is None:
+        regex = _like_to_regex(pattern)
+        if len(_LIKE_CACHE) > 4096:
+            _LIKE_CACHE.clear()
+        _LIKE_CACHE[pattern] = regex
+    return regex.match(value) is not None
+
+
+def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op in ("<>", "!="):
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise ConditionError(f"incomparable values {left!r} {op} {right!r}: {exc}")
+    raise ConditionError(f"unknown comparison operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ConditionError("division by zero")
+            result = left / right
+            # SQL integer division semantics are not needed here; trigger
+            # arithmetic follows Python float division like the paper's
+            # examples (salary comparisons).
+            return result
+    except TypeError as exc:
+        raise ConditionError(f"bad arithmetic {left!r} {op} {right!r}: {exc}")
+    raise ConditionError(f"unknown arithmetic operator {op!r}")
+
+
+COMPARISON_OPS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">=", "LIKE"})
+ARITHMETIC_OPS = frozenset({"+", "-", "*", "/"})
+
+
+class Evaluator:
+    """Evaluates :class:`repro.lang.ast.Expr` trees against bindings."""
+
+    def __init__(self, functions: Optional[FunctionRegistry] = None):
+        self.functions: FunctionRegistry = dict(_DEFAULT_FUNCTIONS)
+        if functions:
+            self.functions.update(functions)
+
+    def register(self, name: str, fn: Callable[..., Any]) -> None:
+        self.functions[name.lower()] = fn
+
+    # -- scalar evaluation -------------------------------------------------
+
+    def evaluate(self, expr: ast.Expr, bindings: Bindings) -> Any:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise ConditionError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr, bindings)
+
+    def matches(self, expr: ast.Expr, bindings: Bindings) -> bool:
+        """True only when the predicate evaluates to SQL TRUE."""
+        return self.evaluate(expr, bindings) is True
+
+    # -- node handlers ---------------------------------------------------------
+
+    def _eval_Literal(self, expr: ast.Literal, bindings: Bindings) -> Any:
+        return expr.value
+
+    def _eval_Placeholder(self, expr: ast.Placeholder, bindings: Bindings) -> Any:
+        raise ConditionError(
+            f"CONSTANT_{expr.number} placeholder cannot be evaluated; "
+            "signatures must be instantiated before evaluation"
+        )
+
+    def _eval_ColumnRef(self, expr: ast.ColumnRef, bindings: Bindings) -> Any:
+        return bindings.column(expr.tvar, expr.column)
+
+    def _eval_ParamRef(self, expr: ast.ParamRef, bindings: Bindings) -> Any:
+        if expr.kind == "NEW":
+            return bindings.column(expr.tvar, expr.column)
+        if expr.kind == "OLD":
+            return bindings.old_column(expr.tvar, expr.column)
+        if expr.column not in bindings.params:
+            raise ConditionError(f"unbound parameter :{expr.column}")
+        return bindings.params[expr.column]
+
+    def _eval_BinaryOp(self, expr: ast.BinaryOp, bindings: Bindings) -> Any:
+        op = expr.op.upper() if expr.op.isalpha() else expr.op
+        left = self.evaluate(expr.left, bindings)
+        right = self.evaluate(expr.right, bindings)
+        if op == "LIKE":
+            return _like(left, right)
+        if op in COMPARISON_OPS:
+            return _compare(op, left, right)
+        if op in ARITHMETIC_OPS:
+            return _arith(op, left, right)
+        raise ConditionError(f"unknown binary operator {expr.op!r}")
+
+    def _eval_UnaryOp(self, expr: ast.UnaryOp, bindings: Bindings) -> Any:
+        value = self.evaluate(expr.operand, bindings)
+        if expr.op == "-":
+            return -value if value is not None else None
+        if expr.op.upper() == "NOT":
+            if value is None:
+                return None
+            return not value
+        raise ConditionError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_BoolOp(self, expr: ast.BoolOp, bindings: Bindings) -> Any:
+        op = expr.op.upper()
+        if op == "AND":
+            saw_null = False
+            for arg in expr.args:
+                value = self.evaluate(arg, bindings)
+                if value is False:
+                    return False
+                if value is None:
+                    saw_null = True
+            return None if saw_null else True
+        if op == "OR":
+            saw_null = False
+            for arg in expr.args:
+                value = self.evaluate(arg, bindings)
+                if value is True:
+                    return True
+                if value is None:
+                    saw_null = True
+            return None if saw_null else False
+        raise ConditionError(f"unknown boolean operator {expr.op!r}")
+
+    def _eval_InList(self, expr: ast.InList, bindings: Bindings) -> Any:
+        value = self.evaluate(expr.expr, bindings)
+        if value is None:
+            return None
+        saw_null = False
+        found = False
+        for item in expr.items:
+            candidate = self.evaluate(item, bindings)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                found = True
+                break
+        if found:
+            result: Optional[bool] = True
+        elif saw_null:
+            result = None
+        else:
+            result = False
+        if expr.negated and result is not None:
+            result = not result
+        return result
+
+    def _eval_Between(self, expr: ast.Between, bindings: Bindings) -> Any:
+        value = self.evaluate(expr.expr, bindings)
+        low = self.evaluate(expr.low, bindings)
+        high = self.evaluate(expr.high, bindings)
+        lower = _compare("<=", low, value)
+        upper = _compare("<=", value, high)
+        if lower is False or upper is False:
+            result: Optional[bool] = False
+        elif lower is None or upper is None:
+            result = None
+        else:
+            result = True
+        if expr.negated and result is not None:
+            result = not result
+        return result
+
+    def _eval_IsNull(self, expr: ast.IsNull, bindings: Bindings) -> bool:
+        value = self.evaluate(expr.expr, bindings)
+        return (value is not None) if expr.negated else (value is None)
+
+    def _eval_FuncCall(self, expr: ast.FuncCall, bindings: Bindings) -> Any:
+        name = expr.name.lower()
+        if name in AGGREGATE_NAMES:
+            raise ConditionError(
+                f"aggregate {name}() is only valid in a having clause"
+            )
+        fn = self.functions.get(name)
+        if fn is None:
+            raise ConditionError(f"unknown function {expr.name!r}")
+        args = [self.evaluate(a, bindings) for a in expr.args]
+        return fn(*args)
+
+    def _eval_Star(self, expr: ast.Star, bindings: Bindings) -> Any:
+        raise ConditionError("'*' is not a scalar expression")
+
+    # -- aggregate (having-clause) evaluation ------------------------------
+
+    def evaluate_aggregate(
+        self,
+        expr: ast.Expr,
+        group_rows: Sequence[Bindings],
+        group_bindings: Bindings,
+    ) -> Any:
+        """Evaluate a having-clause expression for one group.
+
+        Aggregate calls are computed over ``group_rows``; everything else is
+        evaluated against ``group_bindings`` (which carries the group-by
+        values).
+        """
+        if isinstance(expr, ast.FuncCall) and expr.name.lower() in AGGREGATE_NAMES:
+            return self._aggregate(expr, group_rows)
+        if isinstance(expr, ast.BoolOp):
+            values = [
+                self.evaluate_aggregate(a, group_rows, group_bindings)
+                for a in expr.args
+            ]
+            op = expr.op.upper()
+            if op == "AND":
+                if any(v is False for v in values):
+                    return False
+                if any(v is None for v in values):
+                    return None
+                return True
+            if any(v is True for v in values):
+                return True
+            if any(v is None for v in values):
+                return None
+            return False
+        if isinstance(expr, ast.UnaryOp) and expr.op.upper() == "NOT":
+            value = self.evaluate_aggregate(expr.operand, group_rows, group_bindings)
+            return None if value is None else (not value)
+        if isinstance(expr, ast.BinaryOp):
+            op = expr.op.upper() if expr.op.isalpha() else expr.op
+            left = self.evaluate_aggregate(expr.left, group_rows, group_bindings)
+            right = self.evaluate_aggregate(expr.right, group_rows, group_bindings)
+            if op == "LIKE":
+                return _like(left, right)
+            if op in COMPARISON_OPS:
+                return _compare(op, left, right)
+            return _arith(op, left, right)
+        return self.evaluate(expr, group_bindings)
+
+    def _aggregate(self, call: ast.FuncCall, group_rows: Sequence[Bindings]) -> Any:
+        name = call.name.lower()
+        if name == "count" and (
+            not call.args or isinstance(call.args[0], ast.Star)
+        ):
+            return len(group_rows)
+        if not call.args:
+            raise ConditionError(f"aggregate {name}() needs an argument")
+        values = [
+            self.evaluate(call.args[0], row_bindings)
+            for row_bindings in group_rows
+        ]
+        values = [v for v in values if v is not None]
+        if name == "count":
+            return len(values)
+        if not values:
+            return None
+        if name == "sum":
+            return sum(values)
+        if name == "avg":
+            return sum(values) / len(values)
+        if name == "min":
+            return min(values)
+        if name == "max":
+            return max(values)
+        raise ConditionError(f"unknown aggregate {name!r}")
+
+
+#: A shared default evaluator for callers that do not register functions.
+DEFAULT_EVALUATOR = Evaluator()
+
+
+def evaluate(expr: ast.Expr, bindings: Bindings) -> Any:
+    return DEFAULT_EVALUATOR.evaluate(expr, bindings)
+
+
+def matches(expr: ast.Expr, bindings: Bindings) -> bool:
+    return DEFAULT_EVALUATOR.matches(expr, bindings)

@@ -1,0 +1,216 @@
+"""The expression grammar shared by trigger conditions and embedded SQL.
+
+Precedence (loosest to tightest)::
+
+    OR
+    AND
+    NOT
+    comparison / LIKE / IN / BETWEEN / IS NULL
+    + -
+    * /
+    unary -
+    literals, column refs, :params, function calls, ( expr )
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+from .scanner import IDENT, NUMBER, OP, PARAM, STRING, TokenStream
+
+_RESERVED_AFTER_EXPR = {
+    # keywords that legitimately follow an expression in a larger statement;
+    # the expression parser must not consume these as identifiers.
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "HAVING",
+    "DO",
+    "ORDER",
+    "LIMIT",
+    "ON",
+    "WHEN",
+    "SET",
+    "VALUES",
+    "THEN",
+    "ASC",
+    "DESC",
+}
+
+
+def parse_expression(stream: TokenStream) -> ast.Expr:
+    return _parse_or(stream)
+
+
+def parse_expression_text(text: str) -> ast.Expr:
+    stream = TokenStream.from_text(text)
+    expr = parse_expression(stream)
+    stream.expect_end()
+    return expr
+
+
+def _parse_or(stream: TokenStream) -> ast.Expr:
+    args = [_parse_and(stream)]
+    while stream.accept_keyword("OR"):
+        args.append(_parse_and(stream))
+    if len(args) == 1:
+        return args[0]
+    return ast.BoolOp("OR", tuple(args))
+
+
+def _parse_and(stream: TokenStream) -> ast.Expr:
+    args = [_parse_not(stream)]
+    while stream.accept_keyword("AND"):
+        args.append(_parse_not(stream))
+    if len(args) == 1:
+        return args[0]
+    return ast.BoolOp("AND", tuple(args))
+
+
+def _parse_not(stream: TokenStream) -> ast.Expr:
+    if stream.accept_keyword("NOT"):
+        return ast.UnaryOp("NOT", _parse_not(stream))
+    return _parse_predicate(stream)
+
+
+def _parse_predicate(stream: TokenStream) -> ast.Expr:
+    left = _parse_additive(stream)
+    token = stream.peek()
+    if token.kind == OP and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+        op = stream.next().value
+        if op == "!=":
+            op = "<>"
+        right = _parse_additive(stream)
+        return ast.BinaryOp(op, left, right)
+    negated = False
+    if stream.at_keyword("NOT") and stream.peek(1).kind == IDENT and stream.peek(
+        1
+    ).value.upper() in ("LIKE", "IN", "BETWEEN"):
+        stream.next()
+        negated = True
+    if stream.accept_keyword("LIKE"):
+        right = _parse_additive(stream)
+        like = ast.BinaryOp("LIKE", left, right)
+        return ast.UnaryOp("NOT", like) if negated else like
+    if stream.accept_keyword("IN"):
+        stream.expect_op("(")
+        items: List[ast.Expr] = [parse_expression(stream)]
+        while stream.accept_op(","):
+            items.append(parse_expression(stream))
+        stream.expect_op(")")
+        return ast.InList(left, tuple(items), negated)
+    if stream.accept_keyword("BETWEEN"):
+        low = _parse_additive(stream)
+        stream.expect_keyword("AND")
+        high = _parse_additive(stream)
+        return ast.Between(left, low, high, negated)
+    if negated:
+        raise stream.error("expected LIKE, IN or BETWEEN after NOT")
+    if stream.accept_keyword("IS"):
+        is_not = stream.accept_keyword("NOT") is not None
+        stream.expect_keyword("NULL")
+        return ast.IsNull(left, is_not)
+    return left
+
+
+def _parse_additive(stream: TokenStream) -> ast.Expr:
+    left = _parse_term(stream)
+    while stream.at_op("+", "-"):
+        op = stream.next().value
+        left = ast.BinaryOp(op, left, _parse_term(stream))
+    return left
+
+
+def _parse_term(stream: TokenStream) -> ast.Expr:
+    left = _parse_factor(stream)
+    while stream.at_op("*", "/"):
+        op = stream.next().value
+        left = ast.BinaryOp(op, left, _parse_factor(stream))
+    return left
+
+
+def _parse_factor(stream: TokenStream) -> ast.Expr:
+    if stream.at_op("-"):
+        stream.next()
+        operand = _parse_factor(stream)
+        # Fold a negated numeric literal so signatures see one constant.
+        if isinstance(operand, ast.Literal) and isinstance(
+            operand.value, (int, float)
+        ):
+            return ast.Literal(-operand.value)
+        return ast.UnaryOp("-", operand)
+    return _parse_primary(stream)
+
+
+def _parse_number(text: str):
+    if any(c in text for c in ".eE"):
+        return float(text)
+    return int(text)
+
+
+def _parse_primary(stream: TokenStream) -> ast.Expr:
+    token = stream.peek()
+    if token.kind == NUMBER:
+        stream.next()
+        return ast.Literal(_parse_number(token.value))
+    if token.kind == STRING:
+        stream.next()
+        return ast.Literal(token.value)
+    if token.kind == PARAM:
+        return _parse_param(stream)
+    if stream.at_op("("):
+        stream.next()
+        expr = parse_expression(stream)
+        stream.expect_op(")")
+        return expr
+    if stream.at_op("*"):
+        stream.next()
+        return ast.Star()
+    if token.kind == IDENT:
+        upper = token.value.upper()
+        if upper == "NULL":
+            stream.next()
+            return ast.Literal(None)
+        if upper == "TRUE":
+            stream.next()
+            return ast.Literal(True)
+        if upper == "FALSE":
+            stream.next()
+            return ast.Literal(False)
+        stream.next()
+        # function call?
+        if stream.at_op("(") and upper not in ("AND", "OR", "NOT"):
+            stream.next()
+            args: List[ast.Expr] = []
+            if not stream.at_op(")"):
+                args.append(parse_expression(stream))
+                while stream.accept_op(","):
+                    args.append(parse_expression(stream))
+            stream.expect_op(")")
+            return ast.FuncCall(token.value.lower(), tuple(args))
+        # qualified column?
+        if stream.at_op(".") and stream.peek(1).kind == IDENT:
+            stream.next()
+            column = stream.expect_ident("column name")
+            return ast.ColumnRef(token.value, column.value)
+        return ast.ColumnRef(None, token.value)
+    raise stream.error(f"expected an expression, found {token.value!r}")
+
+
+def _parse_param(stream: TokenStream) -> ast.Expr:
+    token = stream.next()
+    name = token.value
+    kind = name.upper()
+    if kind in ("NEW", "OLD"):
+        # :NEW.tvar.col or :NEW.col
+        if not stream.at_op("."):
+            raise stream.error(f":{name} must be followed by a column reference")
+        stream.next()
+        first = stream.expect_ident("column or tuple variable").value
+        if stream.at_op(".") and stream.peek(1).kind == IDENT:
+            stream.next()
+            second = stream.expect_ident("column name").value
+            return ast.ParamRef(kind, first, second)
+        return ast.ParamRef(kind, None, first)
+    return ast.ParamRef("PARAM", None, name)

@@ -1,0 +1,279 @@
+"""Parser for the TriggerMan command language (§2 of the paper)::
+
+    create trigger <name> [in setName] [optionalFlags]
+        from fromList
+        [on eventSpec]
+        [when condition]
+        [group by attributeList]
+        [having groupCondition]
+        do action
+
+plus ``drop trigger``, ``create/drop trigger set``, ``enable/disable
+trigger [set]``, and ``define/drop data source``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .exprparser import parse_expression
+from .scanner import IDENT, STRING, TokenStream
+
+#: Optional flags accepted between the trigger name/set and ``from``.
+#: ``window N`` bounds per-group aggregate state to the last N matches —
+#: an extension point the paper leaves open (§9 lists scalable aggregate
+#: trigger processing as future work; ``optionalFlags`` is unspecified).
+_TRIGGER_FLAGS = ("ENABLED", "DISABLED")
+
+_EVENT_OPS = ("INSERT", "DELETE", "UPDATE")
+
+
+def parse_command(text: str):
+    """Parse one TriggerMan command, returning its statement node."""
+    stream = TokenStream.from_text(text)
+    statement = _parse_command(stream)
+    stream.expect_end()
+    return statement
+
+
+def _parse_command(stream: TokenStream):
+    if stream.accept_keyword("CREATE"):
+        stream.expect_keyword("TRIGGER")
+        if stream.at_keyword("SET"):
+            stream.next()
+            return _parse_create_trigger_set(stream)
+        return _parse_create_trigger(stream)
+    if stream.accept_keyword("DROP"):
+        if stream.accept_keyword("TRIGGER"):
+            if stream.accept_keyword("SET"):
+                name = stream.expect_ident("trigger set name").value
+                return ast.DropTriggerSetStatement(name)
+            name = stream.expect_ident("trigger name").value
+            return ast.DropTriggerStatement(name)
+        if stream.accept_keyword("DATA"):
+            stream.expect_keyword("SOURCE")
+            name = stream.expect_ident("data source name").value
+            return ast.DropDataSourceStatement(name)
+        raise stream.error("expected TRIGGER or DATA SOURCE after DROP")
+    if stream.at_keyword("ENABLE", "DISABLE"):
+        enabled = stream.next().value.upper() == "ENABLE"
+        stream.expect_keyword("TRIGGER")
+        is_set = stream.accept_keyword("SET") is not None
+        name = stream.expect_ident("name").value
+        return ast.AlterTriggerStatement(name, enabled, is_set)
+    if stream.accept_keyword("DEFINE"):
+        stream.expect_keyword("DATA")
+        stream.expect_keyword("SOURCE")
+        return _parse_define_data_source(stream)
+    raise stream.error("unknown TriggerMan command")
+
+
+def _parse_create_trigger_set(stream: TokenStream) -> ast.CreateTriggerSetStatement:
+    name = stream.expect_ident("trigger set name").value
+    comments = None
+    if stream.accept_keyword("COMMENT"):
+        token = stream.peek()
+        if token.kind != STRING:
+            raise stream.error("expected a string after COMMENT")
+        comments = stream.next().value
+    return ast.CreateTriggerSetStatement(name, comments)
+
+
+def _parse_create_trigger(stream: TokenStream) -> ast.CreateTriggerStatement:
+    name = stream.expect_ident("trigger name").value
+    set_name: Optional[str] = None
+    if stream.accept_keyword("IN"):
+        set_name = stream.expect_ident("trigger set name").value
+    flags: List[str] = []
+    while stream.at_keyword(*_TRIGGER_FLAGS) or stream.at_keyword("WINDOW"):
+        flag = stream.next().value.upper()
+        if flag == "WINDOW":
+            from .scanner import NUMBER
+
+            token = stream.peek()
+            if token.kind != NUMBER or "." in token.value:
+                raise stream.error("WINDOW requires an integer size")
+            stream.next()
+            flag = f"WINDOW:{int(token.value)}"
+        flags.append(flag)
+
+    # Clause order per the paper's grammar: from, on, when, group by, having,
+    # do.  We additionally allow ``on`` to precede ``from`` because the
+    # paper's own IrisHouseAlert example writes it that way.
+    event: Optional[ast.EventSpec] = None
+    if stream.accept_keyword("ON"):
+        event = _parse_event_spec(stream, after_from=False)
+
+    stream.expect_keyword("FROM")
+    from_list = _parse_from_list(stream)
+
+    if stream.accept_keyword("ON"):
+        if event is not None:
+            raise stream.error("duplicate ON clause")
+        event = _parse_event_spec(stream, after_from=True)
+
+    when = None
+    if stream.accept_keyword("WHEN"):
+        when = parse_expression(stream)
+
+    group_by: Tuple[ast.ColumnRef, ...] = ()
+    if stream.accept_keyword("GROUP"):
+        stream.expect_keyword("BY")
+        group_by = tuple(_parse_column_list(stream))
+
+    having = None
+    if stream.accept_keyword("HAVING"):
+        having = parse_expression(stream)
+
+    stream.expect_keyword("DO")
+    action = _parse_action(stream)
+    return ast.CreateTriggerStatement(
+        name=name,
+        set_name=set_name,
+        flags=tuple(flags),
+        from_list=from_list,
+        event=event,
+        when=when,
+        group_by=group_by,
+        having=having,
+        action=action,
+    )
+
+
+def _parse_from_list(stream: TokenStream) -> Tuple[ast.FromItem, ...]:
+    items = [_parse_from_item(stream)]
+    while stream.accept_op(","):
+        items.append(_parse_from_item(stream))
+    return tuple(items)
+
+
+_CLAUSE_KEYWORDS = ("ON", "WHEN", "GROUP", "HAVING", "DO")
+
+
+def _parse_from_item(stream: TokenStream) -> ast.FromItem:
+    source = stream.expect_ident("data source name").value
+    alias = None
+    token = stream.peek()
+    if token.kind == IDENT and token.value.upper() not in _CLAUSE_KEYWORDS:
+        alias = stream.next().value
+    return ast.FromItem(source, alias)
+
+
+def _parse_event_spec(stream: TokenStream, after_from: bool) -> ast.EventSpec:
+    token = stream.peek()
+    if not stream.at_keyword(*_EVENT_OPS):
+        raise stream.error(
+            f"expected insert, delete or update, found {token.value!r}"
+        )
+    operation = stream.next().value.lower()
+    if operation == "insert" and stream.at_keyword("OR"):
+        stream.next()
+        stream.expect_keyword("UPDATE")
+        operation = "insert_or_update"
+    columns: List[str] = []
+    source: Optional[str] = None
+    if stream.at_op("("):
+        stream.next()
+        while True:
+            first = stream.expect_ident("column name").value
+            if stream.accept_op("."):
+                column = stream.expect_ident("column name").value
+                if source is None:
+                    source = first
+                elif source != first:
+                    raise stream.error(
+                        "an ON clause may reference at most one data source"
+                    )
+                columns.append(column)
+            else:
+                columns.append(first)
+            if not stream.accept_op(","):
+                break
+        stream.expect_op(")")
+    # The event target may be introduced with TO, OF, or FROM ("on insert to
+    # house", "on delete from emp").  When the ON clause precedes the trigger's
+    # from-list, a bare FROM must start that list, so FROM only names the
+    # event target when *another* FROM follows it.
+    take_from = after_from or (
+        stream.at_keyword("FROM")
+        and stream.peek(1).kind == IDENT
+        and stream.peek(2).matches_keyword("FROM")
+    )
+    if stream.accept_keyword("TO") or stream.accept_keyword("OF") or (
+        take_from and stream.accept_keyword("FROM")
+    ):
+        source = stream.expect_ident("data source name").value
+    return ast.EventSpec(operation, source, tuple(columns))
+
+
+def _parse_column_list(stream: TokenStream) -> List[ast.ColumnRef]:
+    columns = []
+    while True:
+        first = stream.expect_ident("column name").value
+        if stream.accept_op("."):
+            second = stream.expect_ident("column name").value
+            columns.append(ast.ColumnRef(first, second))
+        else:
+            columns.append(ast.ColumnRef(None, first))
+        if not stream.accept_op(","):
+            return columns
+
+
+def _parse_action(stream: TokenStream) -> ast.Action:
+    if stream.accept_keyword("EXECSQL"):
+        token = stream.peek()
+        if token.kind != STRING:
+            raise stream.error("execSQL requires a quoted SQL statement")
+        return ast.ExecSqlAction(stream.next().value)
+    if stream.accept_keyword("RAISE"):
+        stream.expect_keyword("EVENT")
+        name = stream.expect_ident("event name").value
+        args: List = []
+        if stream.accept_op("("):
+            if not stream.at_op(")"):
+                args.append(parse_expression(stream))
+                while stream.accept_op(","):
+                    args.append(parse_expression(stream))
+            stream.expect_op(")")
+        return ast.RaiseEventAction(name, tuple(args))
+    if stream.accept_keyword("CALL"):
+        name = stream.expect_ident("callback name").value
+        return ast.CallAction(name)
+    raise stream.error("expected execSQL, raise event, or call in DO clause")
+
+
+def _parse_define_data_source(stream: TokenStream) -> ast.DefineDataSourceStatement:
+    name = stream.expect_ident("data source name").value
+    connection = None
+    table = None
+    stream_columns: List[Tuple[str, str]] = []
+    if stream.accept_keyword("FROM"):
+        table = stream.expect_ident("table name").value
+        if stream.accept_keyword("IN"):
+            connection = stream.expect_ident("connection name").value
+    elif stream.accept_keyword("AS"):
+        stream.expect_keyword("STREAM")
+        stream.expect_op("(")
+        while True:
+            column = stream.expect_ident("column name").value
+            type_name = _parse_type_name(stream)
+            stream_columns.append((column, type_name))
+            if not stream.accept_op(","):
+                break
+        stream.expect_op(")")
+    return ast.DefineDataSourceStatement(
+        name, connection=connection, table=table,
+        stream_columns=tuple(stream_columns),
+    )
+
+
+def _parse_type_name(stream: TokenStream) -> str:
+    """Parse ``integer`` / ``float`` / ``char(N)`` / ``varchar(N)`` / UDT."""
+    base = stream.expect_ident("type name").value.lower()
+    if stream.at_op("("):
+        stream.next()
+        size = stream.next()
+        stream.expect_op(")")
+        return f"{base}({size.value})"
+    return base

@@ -1,0 +1,246 @@
+"""Tokenizer shared by the TriggerMan command language and the embedded SQL
+subset.
+
+Commands in TriggerMan have "a keyword-delimited, SQL-like syntax" (§2), so
+one scanner serves both parsers: identifiers (case-preserving, matched
+case-insensitively against keywords), integer and float literals, string
+literals in single quotes with ``''`` escaping, the usual operators, and the
+``:NEW`` / ``:OLD`` / ``:name`` parameter forms used in trigger actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ParseError
+
+# Token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PARAM = "PARAM"  # :NEW / :OLD / :name (value = text after the colon)
+EOF = "EOF"
+
+_OPERATORS = [
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "==",
+    "=",
+    "<",
+    ">",
+    "(",
+    ")",
+    ",",
+    ".",
+    "+",
+    "-",
+    "*",
+    "/",
+    ";",
+    "[",
+    "]",
+]
+
+
+@dataclass
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        return self.kind == IDENT and self.value.upper() == keyword.upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Scan ``text`` into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def col(pos: int) -> int:
+        return pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # SQL-style line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: List[str] = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", line, col(start))
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token(STRING, "".join(parts), line, col(start)))
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = text[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # A dot followed by a non-digit is punctuation (t.col).
+                    if i + 1 < n and text[i + 1].isdigit():
+                        seen_dot = True
+                        i += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    text[i + 1].isdigit()
+                    or (text[i + 1] in "+-" and i + 2 < n and text[i + 2].isdigit())
+                ):
+                    seen_exp = True
+                    i += 2 if text[i + 1] in "+-" else 1
+                else:
+                    break
+            tokens.append(Token(NUMBER, text[start:i], line, col(start)))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(Token(IDENT, text[start:i], line, col(start)))
+            continue
+        if ch == ":":
+            start = i
+            i += 1
+            if i >= n or not (text[i].isalpha() or text[i] == "_"):
+                raise ParseError("':' must start a parameter name", line, col(start))
+            name_start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(Token(PARAM, text[name_start:i], line, col(start)))
+            continue
+        matched: Optional[str] = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            raise ParseError(f"unexpected character {ch!r}", line, col(i))
+        tokens.append(Token(OP, matched, line, col(i)))
+        i += len(matched)
+    tokens.append(Token(EOF, "", line, col(i)))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/accept/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @classmethod
+    def from_text(cls, text: str) -> "TokenStream":
+        return cls(tokenize(text))
+
+    def peek(self, ahead: int = 0) -> Token:
+        pos = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[pos]
+
+    def next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        return any(self.peek().matches_keyword(k) for k in keywords)
+
+    def accept_keyword(self, *keywords: str) -> Optional[str]:
+        """Consume and return the keyword (uppercased) if it is next."""
+        for keyword in keywords:
+            if self.peek().matches_keyword(keyword):
+                return self.next().value.upper()
+        return None
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.peek()
+        if not token.matches_keyword(keyword):
+            raise ParseError(
+                f"expected {keyword!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.next()
+
+    def at_op(self, *ops: str) -> bool:
+        token = self.peek()
+        return token.kind == OP and token.value in ops
+
+    def accept_op(self, *ops: str) -> Optional[str]:
+        if self.at_op(*ops):
+            return self.next().value
+        return None
+
+    def expect_op(self, op: str) -> Token:
+        token = self.peek()
+        if token.kind != OP or token.value != op:
+            raise ParseError(
+                f"expected {op!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.next()
+
+    def expect_ident(self, what: str = "identifier") -> Token:
+        token = self.peek()
+        if token.kind != IDENT:
+            raise ParseError(
+                f"expected {what}, found {token.value!r}", token.line, token.column
+            )
+        return self.next()
+
+    def at_end(self) -> bool:
+        return self.peek().kind == EOF
+
+    def expect_end(self) -> None:
+        token = self.peek()
+        if token.kind == OP and token.value == ";":
+            self.next()
+            token = self.peek()
+        if token.kind != EOF:
+            raise ParseError(
+                f"unexpected trailing input {token.value!r}",
+                token.line,
+                token.column,
+            )
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)

@@ -1,0 +1,192 @@
+"""Parser for the embedded SQL subset.
+
+This is the dialect the mini storage engine executes and the dialect
+``execSQL`` trigger actions are written in — single-table statements, which
+is all the paper's constant tables, catalogs, and example actions need::
+
+    CREATE TABLE t (col type [NOT NULL], ...)
+    DROP TABLE t
+    CREATE [CLUSTERED] INDEX name ON t (col, ...) [USING BTREE|HASH]
+    INSERT INTO t [(cols)] VALUES (expr, ...)
+    SELECT * | exprs FROM t [WHERE expr] [ORDER BY expr [ASC|DESC], ...]
+        [LIMIT n]
+    UPDATE t SET col = expr, ... [WHERE expr]
+    DELETE FROM t [WHERE expr]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from . import ast
+from .exprparser import parse_expression
+from .scanner import NUMBER, TokenStream
+from .parser import _parse_type_name
+
+
+def parse_sql(text: str):
+    """Parse one SQL statement; returns its statement node."""
+    stream = TokenStream.from_text(text)
+    statement = _parse_statement(stream)
+    stream.expect_end()
+    return statement
+
+
+def _parse_statement(stream: TokenStream):
+    if stream.accept_keyword("CREATE"):
+        clustered = stream.accept_keyword("CLUSTERED") is not None
+        if stream.accept_keyword("TABLE"):
+            if clustered:
+                raise stream.error("CLUSTERED applies to indexes, not tables")
+            return _parse_create_table(stream)
+        if stream.accept_keyword("INDEX"):
+            return _parse_create_index(stream, clustered)
+        raise stream.error("expected TABLE or INDEX after CREATE")
+    if stream.accept_keyword("DROP"):
+        stream.expect_keyword("TABLE")
+        return ast.DropTableStatement(stream.expect_ident("table name").value)
+    if stream.accept_keyword("INSERT"):
+        return _parse_insert(stream)
+    if stream.accept_keyword("SELECT"):
+        return _parse_select(stream)
+    if stream.accept_keyword("UPDATE"):
+        return _parse_update(stream)
+    if stream.accept_keyword("DELETE"):
+        return _parse_delete(stream)
+    raise stream.error("unknown SQL statement")
+
+
+def _parse_create_table(stream: TokenStream) -> ast.CreateTableStatement:
+    table = stream.expect_ident("table name").value
+    stream.expect_op("(")
+    columns: List[ast.ColumnDef] = []
+    while True:
+        name = stream.expect_ident("column name").value
+        type_name = _parse_type_name(stream)
+        nullable = True
+        if stream.accept_keyword("NOT"):
+            stream.expect_keyword("NULL")
+            nullable = False
+        elif stream.accept_keyword("NULL"):
+            nullable = True
+        columns.append(ast.ColumnDef(name, type_name, nullable))
+        if not stream.accept_op(","):
+            break
+    stream.expect_op(")")
+    return ast.CreateTableStatement(table, tuple(columns))
+
+
+def _parse_create_index(
+    stream: TokenStream, clustered: bool
+) -> ast.CreateIndexStatement:
+    name = stream.expect_ident("index name").value
+    stream.expect_keyword("ON")
+    table = stream.expect_ident("table name").value
+    stream.expect_op("(")
+    columns = [stream.expect_ident("column name").value]
+    while stream.accept_op(","):
+        columns.append(stream.expect_ident("column name").value)
+    stream.expect_op(")")
+    using = "btree"
+    if stream.accept_keyword("USING"):
+        token = stream.expect_ident("index method")
+        using = token.value.lower()
+        if using not in ("btree", "hash"):
+            raise ParseError(
+                f"unknown index method {using!r}", token.line, token.column
+            )
+    return ast.CreateIndexStatement(name, table, tuple(columns), clustered, using)
+
+
+def _parse_insert(stream: TokenStream) -> ast.InsertStatement:
+    stream.expect_keyword("INTO")
+    table = stream.expect_ident("table name").value
+    columns: List[str] = []
+    if stream.at_op("("):
+        stream.next()
+        columns.append(stream.expect_ident("column name").value)
+        while stream.accept_op(","):
+            columns.append(stream.expect_ident("column name").value)
+        stream.expect_op(")")
+    stream.expect_keyword("VALUES")
+    stream.expect_op("(")
+    values: List[ast.Expr] = [parse_expression(stream)]
+    while stream.accept_op(","):
+        values.append(parse_expression(stream))
+    stream.expect_op(")")
+    return ast.InsertStatement(table, tuple(columns), tuple(values))
+
+
+def _parse_select(stream: TokenStream) -> ast.SelectStatement:
+    projection: List[ast.Expr] = [parse_expression(stream)]
+    while stream.accept_op(","):
+        projection.append(parse_expression(stream))
+    stream.expect_keyword("FROM")
+    table = stream.expect_ident("table name").value
+    where = None
+    if stream.accept_keyword("WHERE"):
+        where = parse_expression(stream)
+    group_by: List[ast.Expr] = []
+    having = None
+    if stream.accept_keyword("GROUP"):
+        stream.expect_keyword("BY")
+        group_by.append(parse_expression(stream))
+        while stream.accept_op(","):
+            group_by.append(parse_expression(stream))
+    if stream.accept_keyword("HAVING"):
+        having = parse_expression(stream)
+    order_by: List[Tuple[ast.Expr, bool]] = []
+    if stream.accept_keyword("ORDER"):
+        stream.expect_keyword("BY")
+        while True:
+            expr = parse_expression(stream)
+            descending = False
+            if stream.accept_keyword("DESC"):
+                descending = True
+            else:
+                stream.accept_keyword("ASC")
+            order_by.append((expr, descending))
+            if not stream.accept_op(","):
+                break
+    limit: Optional[int] = None
+    if stream.accept_keyword("LIMIT"):
+        token = stream.peek()
+        if token.kind != NUMBER:
+            raise stream.error("LIMIT requires an integer")
+        stream.next()
+        limit = int(token.value)
+    return ast.SelectStatement(
+        table,
+        tuple(projection),
+        where,
+        tuple(group_by),
+        having,
+        tuple(order_by),
+        limit,
+    )
+
+
+def _parse_update(stream: TokenStream) -> ast.UpdateStatement:
+    table = stream.expect_ident("table name").value
+    stream.expect_keyword("SET")
+    assignments: List[Tuple[str, ast.Expr]] = []
+    while True:
+        column = stream.expect_ident("column name").value
+        stream.expect_op("=")
+        assignments.append((column, parse_expression(stream)))
+        if not stream.accept_op(","):
+            break
+    where = None
+    if stream.accept_keyword("WHERE"):
+        where = parse_expression(stream)
+    return ast.UpdateStatement(table, tuple(assignments), where)
+
+
+def _parse_delete(stream: TokenStream) -> ast.DeleteStatement:
+    stream.expect_keyword("FROM")
+    table = stream.expect_ident("table name").value
+    where = None
+    if stream.accept_keyword("WHERE"):
+        where = parse_expression(stream)
+    return ast.DeleteStatement(table, where)

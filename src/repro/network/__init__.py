@@ -1,0 +1,16 @@
+"""Discrimination networks for trigger condition testing (A-TREAT, with a
+Gator-style extension in :mod:`repro.network.gator`)."""
+
+from .gator import BetaMemory, GatorNetwork
+from .nodes import AlphaMemory, Node, PNode, VirtualAlphaMemory
+from .treat import ATreatNetwork
+
+__all__ = [
+    "AlphaMemory",
+    "Node",
+    "PNode",
+    "VirtualAlphaMemory",
+    "ATreatNetwork",
+    "BetaMemory",
+    "GatorNetwork",
+]

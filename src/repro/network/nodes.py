@@ -1,0 +1,122 @@
+"""Nodes of the A-TREAT discrimination network (§3–§5.4 of the paper).
+
+A trigger's network has one *alpha memory* per tuple variable and a single
+*P-node*.  Selection predicates sit "above" the alpha memories — in
+TriggerMan they are factored out into the shared predicate index, which on a
+match forwards the token to ``nextNetworkNode``: the alpha node for
+multi-source triggers, or directly to the P-node for single-source triggers.
+
+Alpha memories come in two flavours, following A-TREAT's refinement of
+TREAT [Hans96]:
+
+* :class:`AlphaMemory` — materialized: matching rows are stored in the node.
+* :class:`VirtualAlphaMemory` — virtual: no rows are stored; join processing
+  queries the underlying base table with the node's selection predicate on
+  demand.  This is A-TREAT's memory-saving device for large stable tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..lang import ast
+from ..lang.evaluator import Bindings, Evaluator
+
+
+class Node:
+    """Base class: every node has a per-trigger-unique string id."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.node_id})"
+
+
+class AlphaMemory(Node):
+    """A materialized alpha memory: the rows (for one tuple variable) that
+    passed the tuple variable's selection predicate."""
+
+    def __init__(self, node_id: str, tvar: str):
+        super().__init__(node_id)
+        self.tvar = tvar
+        self._rows: List[Dict[str, Any]] = []
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        self._rows.append(dict(row))
+
+    def remove(self, row: Dict[str, Any]) -> bool:
+        """Remove one row equal to ``row``; returns False when absent."""
+        for i, existing in enumerate(self._rows):
+            if existing == row:
+                del self._rows[i]
+                return True
+        return False
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+
+class VirtualAlphaMemory(Node):
+    """A virtual alpha memory: rows are fetched from the base table through
+    ``fetch()`` each time a join needs them, filtered by the selection
+    predicate.  Saves memory for large, update-heavy tables at the price of
+    a query per join activation (the A-TREAT trade-off)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        tvar: str,
+        fetch: Callable[[], Iterator[Dict[str, Any]]],
+        selection: Optional[ast.Expr],
+        evaluator: Evaluator,
+    ):
+        super().__init__(node_id)
+        self.tvar = tvar
+        self._fetch = fetch
+        self._selection = selection
+        self._evaluator = evaluator
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        for row in self._fetch():
+            if self._selection is None:
+                yield row
+            else:
+                bindings = Bindings(rows={self.tvar: row})
+                if self._evaluator.matches(self._selection, bindings):
+                    yield row
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        """No-op: the base table already holds the row."""
+
+    def remove(self, row: Dict[str, Any]) -> bool:
+        """No-op: the base table already removed the row."""
+        return True
+
+    def clear(self) -> None:
+        """No-op for virtual memories."""
+
+
+class PNode(Node):
+    """The production node: receives complete variable bindings for
+    satisfied trigger conditions and hands them to the action sink."""
+
+    def __init__(
+        self,
+        node_id: str,
+        on_match: Optional[Callable[[Bindings], None]] = None,
+    ):
+        super().__init__(node_id)
+        self.on_match = on_match
+        self.match_count = 0
+
+    def activate(self, bindings: Bindings) -> None:
+        self.match_count += 1
+        if self.on_match is not None:
+            self.on_match(bindings)

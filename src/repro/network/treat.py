@@ -1,0 +1,220 @@
+"""The A-TREAT network: join condition testing for multi-source triggers.
+
+Construction follows §5.1 step 4: from the trigger condition graph we build
+one alpha memory per tuple variable and a P-node.  Token arrival at an alpha
+node seeds a join search that binds the remaining tuple variables in
+join-connectivity order (BFS from the seed), testing each join edge's
+predicate as soon as both ends are bound, then the graph's catch-all clauses
+(zero- or 3+-variable conjuncts), and finally activates the P-node once per
+complete binding.
+
+Alpha memories over local database tables are *virtual* (A-TREAT's
+memory-saving device): join processing re-reads the base table through a
+fetch callback instead of materializing matching rows.  Stream sources get
+materialized memories maintained by the tokens themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..condition.classify import ConditionGraph
+from ..condition.cnf import cnf_to_expr
+from ..errors import NetworkError
+from ..lang.evaluator import Bindings, Evaluator
+from .nodes import AlphaMemory, Node, PNode, VirtualAlphaMemory
+
+RowFetcher = Callable[[], Iterator[Dict[str, Any]]]
+
+
+class ATreatNetwork:
+    """One trigger's discrimination network."""
+
+    def __init__(
+        self,
+        trigger_id: int,
+        graph: ConditionGraph,
+        evaluator: Optional[Evaluator] = None,
+        fetchers: Optional[Dict[str, RowFetcher]] = None,
+    ):
+        """``fetchers`` maps tuple variables backed by local tables to
+        row-fetch callbacks; those get virtual alpha memories."""
+        self.trigger_id = trigger_id
+        self.graph = graph
+        self.evaluator = evaluator or Evaluator()
+        self.alpha: Dict[str, Node] = {}
+        fetchers = fetchers or {}
+        for tvar in graph.tvars:
+            node_id = f"alpha:{tvar}"
+            if tvar in fetchers:
+                self.alpha[tvar] = VirtualAlphaMemory(
+                    node_id,
+                    tvar,
+                    fetchers[tvar],
+                    graph.selection_expr(tvar),
+                    self.evaluator,
+                )
+            else:
+                self.alpha[tvar] = AlphaMemory(node_id, tvar)
+        self.pnode = PNode("pnode")
+        self._nodes: Dict[str, Node] = {a.node_id: a for a in self.alpha.values()}
+        self._nodes[self.pnode.node_id] = self.pnode
+        self._catch_all = cnf_to_expr(list(graph.catch_all))
+        # Pre-compute a join order (BFS) from each possible seed.
+        self._orders: Dict[str, List[str]] = {
+            tvar: self._join_order(tvar) for tvar in graph.tvars
+        }
+
+    # -- structure -----------------------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(
+                f"trigger {self.trigger_id}: no network node {node_id!r}"
+            )
+
+    def entry_node_id(self, tvar: str) -> str:
+        """Where the predicate index forwards matched tokens: the alpha node
+        for multi-source triggers, the P-node for single-source ones."""
+        if len(self.graph.tvars) == 1:
+            return self.pnode.node_id
+        return self.alpha[tvar].node_id
+
+    def _join_order(self, seed: str) -> List[str]:
+        order = [seed]
+        seen = {seed}
+        frontier = [seed]
+        while frontier:
+            current = frontier.pop(0)
+            for neighbor in self.graph.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    order.append(neighbor)
+                    frontier.append(neighbor)
+        # Disconnected tuple variables join last (cartesian product).
+        for tvar in self.graph.tvars:
+            if tvar not in seen:
+                order.append(tvar)
+        return order
+
+    # -- memory maintenance and token propagation -----------------------------
+
+    def prime(self, tvar: str, rows: Iterator[Dict[str, Any]]) -> None:
+        """Bulk-load a materialized alpha memory (§5.1: 'prime' the
+        trigger).  Rows must already satisfy the selection predicate."""
+        memory = self.alpha[tvar]
+        for row in rows:
+            memory.insert(row)
+
+    def activate(
+        self,
+        tvar: str,
+        operation: str,
+        new_row: Optional[Dict[str, Any]],
+        old_row: Optional[Dict[str, Any]] = None,
+    ) -> List[Bindings]:
+        """Deliver a matched token for ``tvar``; returns the complete
+        bindings (one per satisfied combination) to fire the action with.
+
+        The row used for condition evaluation is the new image for
+        insert/update and the old image for delete.
+        """
+        memory = self.alpha[tvar]
+        if operation == "insert":
+            row = new_row
+        elif operation == "delete":
+            row = old_row
+        elif operation == "update":
+            row = new_row
+        else:
+            raise NetworkError(f"unknown operation {operation!r}")
+        if row is None:
+            raise NetworkError(f"{operation} token is missing its row image")
+
+        # Maintain the memory first so self-joins see a consistent state.
+        # Single-source triggers never join, so their memory is skipped
+        # entirely (the predicate index routes straight to the P-node).
+        if len(self.graph.tvars) > 1:
+            if operation == "insert":
+                memory.insert(row)
+            elif operation == "delete":
+                memory.remove(row)
+            elif operation == "update":
+                if old_row is not None:
+                    memory.remove(old_row)
+                memory.insert(row)
+
+        seed_bindings = Bindings(
+            rows={tvar: row},
+            old_rows={tvar: old_row} if old_row is not None else None,
+        )
+        if len(self.graph.tvars) == 1:
+            if self._catch_all is not None and not self.evaluator.matches(
+                self._catch_all, seed_bindings
+            ):
+                return []
+            return [seed_bindings]
+        return self._join_search(tvar, seed_bindings)
+
+    def _join_search(self, seed: str, seed_bindings: Bindings) -> List[Bindings]:
+        order = self._orders[seed]
+        results: List[Bindings] = []
+
+        def extend(position: int, bindings: Bindings) -> None:
+            if position == len(order):
+                if self._catch_all is None or self.evaluator.matches(
+                    self._catch_all, bindings
+                ):
+                    results.append(bindings)
+                return
+            tvar = order[position]
+            bound = set(order[:position])
+            edges = [
+                (other, self.graph.join_expr(tvar, other))
+                for other in self.graph.neighbors(tvar)
+                if other in bound
+            ]
+            for row in self.alpha[tvar].rows():
+                candidate = bindings.bind(tvar, row)
+                ok = True
+                for _other, join_expr in edges:
+                    if join_expr is not None and not self.evaluator.matches(
+                        join_expr, candidate
+                    ):
+                        ok = False
+                        break
+                if ok:
+                    extend(position + 1, candidate)
+
+        extend(1, seed_bindings)
+        return results
+
+    def retract(self, tvar: str, row: Dict[str, Any]) -> None:
+        """Memory maintenance without firing: remove ``row`` from the tuple
+        variable's materialized memory (no-op for virtual memories).  Used
+        by the engine when a delete/update token does not match the
+        trigger's event condition but invalidates stored state."""
+        if len(self.graph.tvars) > 1:
+            self.alpha[tvar].remove(row)
+
+    def materialized_tvars(self) -> List[str]:
+        """Tuple variables whose alpha memory holds state that must be
+        maintained by the engine (multi-source, non-virtual)."""
+        if len(self.graph.tvars) <= 1:
+            return []
+        return [
+            tvar
+            for tvar, node in self.alpha.items()
+            if isinstance(node, AlphaMemory)
+        ]
+
+    # -- introspection -------------------------------------------------------------
+
+    def memory_sizes(self) -> Dict[str, Optional[int]]:
+        """Materialized memory sizes (None for virtual memories)."""
+        out: Dict[str, Optional[int]] = {}
+        for tvar, node in self.alpha.items():
+            out[tvar] = len(node) if isinstance(node, AlphaMemory) else None
+        return out

@@ -1,0 +1,65 @@
+"""The scalable selection-predicate index (§5 of the paper): expression
+signature groups, the four constant-set organizations, the cost model, and
+the root token-matching structure."""
+
+from .costmodel import (
+    ALL_STRATEGIES,
+    DB_TABLE,
+    DB_TABLE_INDEXED,
+    DEFAULT_LIMITS,
+    Limits,
+    MEMORY_INDEX,
+    MEMORY_LIST,
+    choose_organization,
+    crossover_size,
+    probe_cost,
+)
+from .entry import PredicateEntry
+from .index import (
+    DataSourcePredicateIndex,
+    IndexStats,
+    Match,
+    PredicateIndex,
+    SignatureGroup,
+    make_operation_code,
+    parse_operation_code,
+)
+from .intervalindex import IntervalIndex
+from .intervalskiplist import IntervalSkipList
+from .organizations import (
+    AutoOrganization,
+    DbTableOrganization,
+    MemoryIndexOrganization,
+    MemoryListOrganization,
+    Organization,
+    indexable_match,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "DB_TABLE",
+    "DB_TABLE_INDEXED",
+    "DEFAULT_LIMITS",
+    "Limits",
+    "MEMORY_INDEX",
+    "MEMORY_LIST",
+    "choose_organization",
+    "crossover_size",
+    "probe_cost",
+    "PredicateEntry",
+    "DataSourcePredicateIndex",
+    "IndexStats",
+    "Match",
+    "PredicateIndex",
+    "SignatureGroup",
+    "make_operation_code",
+    "parse_operation_code",
+    "IntervalIndex",
+    "IntervalSkipList",
+    "AutoOrganization",
+    "DbTableOrganization",
+    "MemoryIndexOrganization",
+    "MemoryListOrganization",
+    "Organization",
+    "indexable_match",
+]

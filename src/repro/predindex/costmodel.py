@@ -1,0 +1,145 @@
+"""Cost model for choosing a constant-set organization (§5.2).
+
+The paper defers the quantitative model to [Hans98b]; this module supplies
+an explicit one in abstract cost units, calibrated against this engine:
+one unit ≈ one in-memory predicate evaluation.  The absolute values only
+matter in ratio, and benchmark E4 validates that the predicted crossover
+points match the measured ones for this implementation.
+
+The model answers two questions:
+
+* ``probe_cost(kind, organization, size)`` — expected cost of matching one
+  token against an equivalence class of ``size`` expressions,
+* ``choose_organization(...)`` — which of the four §5.2 strategies to use
+  for a class of a given size, under a main-memory entry budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..condition.signature import EQUALITY, INTERVAL, NONE, RANGE, SET
+
+#: Strategy names (§5.2's numbering: 1=list, 2=memory index, 3=plain table,
+#: 4=indexed table).
+MEMORY_LIST = "memory_list"
+MEMORY_INDEX = "memory_index"
+DB_TABLE = "db_table"
+DB_TABLE_INDEXED = "db_table_indexed"
+
+ALL_STRATEGIES = (MEMORY_LIST, MEMORY_INDEX, DB_TABLE, DB_TABLE_INDEXED)
+
+# -- abstract cost constants (units: one in-memory predicate evaluation) ----
+
+#: evaluating one entry's indexable comparison during a list scan
+LIST_ENTRY_COST = 1.0
+#: hashing a key and landing in the right bucket
+HASH_PROBE_COST = 2.0
+#: one level of a sorted in-memory structure (bisect step)
+MEM_TREE_LEVEL_COST = 0.5
+#: reading one page through the buffer pool (warm-ish cache)
+PAGE_READ_COST = 40.0
+#: decoding + filtering one row fetched from a database table
+ROW_FETCH_COST = 2.0
+#: rows per constant-table page (4 KiB pages, small rows)
+ROWS_PER_PAGE = 40
+#: B+tree fan-out used for depth estimates
+BTREE_FANOUT = 32
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Tuning knobs for the automatic organization choice.
+
+    ``list_max``: largest class kept as a plain list (strategy 1 keeps the
+    common case fast with zero index overhead).
+    ``memory_max``: largest class kept in main memory at all; beyond this
+    the class must go to a database table (strategies 3/4 are *mandatory*
+    for scalability, §5.2).
+    """
+
+    list_max: int = 16
+    memory_max: int = 65536
+
+
+DEFAULT_LIMITS = Limits()
+
+
+def _expected_matches(kind: str, size: int) -> float:
+    """Expected number of entries whose indexable part matches one token."""
+    if size == 0:
+        return 0.0
+    if kind in (EQUALITY, SET):
+        # Distinct-constant workloads: a token matches one constant group.
+        return max(1.0, size / max(1, size))  # ~1
+    if kind in (RANGE, INTERVAL):
+        # A token value stabs a fraction of the constants; 1/3 mirrors the
+        # selectivity heuristic for range predicates.
+        return size / 3.0
+    return float(size)  # kind NONE: every entry must be residual-tested
+
+
+def probe_cost(kind: str, organization: str, size: int) -> float:
+    """Expected cost (in units) of probing one token against the class."""
+    if size == 0:
+        return 0.0
+    matches = _expected_matches(kind, size)
+    if organization == MEMORY_LIST:
+        return size * LIST_ENTRY_COST
+    if organization == MEMORY_INDEX:
+        if kind in (EQUALITY, SET):
+            return HASH_PROBE_COST + matches * LIST_ENTRY_COST
+        if kind in (RANGE, INTERVAL):
+            return (
+                MEM_TREE_LEVEL_COST * math.log2(size + 1)
+                + matches * LIST_ENTRY_COST
+            )
+        return size * LIST_ENTRY_COST  # nothing indexable: still a scan
+    if organization == DB_TABLE:
+        pages = max(1, math.ceil(size / ROWS_PER_PAGE))
+        return pages * PAGE_READ_COST + size * ROW_FETCH_COST
+    if organization == DB_TABLE_INDEXED:
+        if kind in (NONE, SET):
+            # An index cannot help an un-indexable signature, and the
+            # composite [const1..constK] key cannot answer IN-list
+            # membership (the match may sit in any constI column).
+            pages = max(1, math.ceil(size / ROWS_PER_PAGE))
+            return pages * PAGE_READ_COST + size * ROW_FETCH_COST
+        depth = max(1, math.ceil(math.log(size + 1, BTREE_FANOUT)))
+        match_pages = max(1, math.ceil(matches / ROWS_PER_PAGE))
+        return (depth + match_pages) * PAGE_READ_COST + matches * ROW_FETCH_COST
+    raise ValueError(f"unknown organization {organization!r}")
+
+
+def choose_organization(
+    kind: str, size: int, limits: Limits = DEFAULT_LIMITS
+) -> str:
+    """Pick the §5.2 strategy for a class of ``size`` expressions.
+
+    Within the memory budget the cheapest in-memory strategy wins (the
+    model favours the plain list for small classes); beyond it the choice
+    is between the two table organizations by probe cost.
+    """
+    if size <= limits.list_max:
+        return MEMORY_LIST
+    if size <= limits.memory_max:
+        return MEMORY_INDEX
+    # Strictly cheaper only: a tie means the index buys nothing (e.g. an
+    # unindexable signature), so skip its maintenance cost.
+    if probe_cost(kind, DB_TABLE_INDEXED, size) < probe_cost(
+        kind, DB_TABLE, size
+    ):
+        return DB_TABLE_INDEXED
+    return DB_TABLE
+
+
+def crossover_size(kind: str, org_a: str, org_b: str, max_size: int = 1 << 22) -> int:
+    """Smallest class size at which ``org_b`` beats ``org_a`` (for E4's
+    validation of predicted switch points); ``max_size`` when never."""
+    size = 1
+    while size <= max_size:
+        if probe_cost(kind, org_b, size) < probe_cost(kind, org_a, size):
+            return size
+        size *= 2
+    return max_size

@@ -1,0 +1,50 @@
+"""Predicate-index entries: the elements of a triggerID set (Figure 4).
+
+One entry corresponds to one row of a constant table (§5.1): the expression
+id, the owning trigger, the network node to forward matched tokens to, and
+the instantiated non-indexable part of the predicate ("restOfPredicate"),
+NULL when the whole predicate was indexable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang import ast
+from ..lang.exprparser import parse_expression_text
+
+#: Shared cache of parsed restOfPredicate texts; many triggers share the
+#: same residual structure so this stays tiny.
+_RESIDUAL_CACHE: dict = {}
+
+
+def parse_residual(text: Optional[str]) -> Optional[ast.Expr]:
+    if text is None or text == "":
+        return None
+    cached = _RESIDUAL_CACHE.get(text)
+    if cached is None:
+        cached = parse_expression_text(text)
+        if len(_RESIDUAL_CACHE) > 65536:
+            _RESIDUAL_CACHE.clear()
+        _RESIDUAL_CACHE[text] = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class PredicateEntry:
+    """One selection-predicate instance inside an equivalence class."""
+
+    expr_id: int
+    trigger_id: int
+    #: tuple variable the predicate belongs to (needed to route the token).
+    tvar: str
+    #: id of the A-TREAT node to pass matched tokens to (§5.1: an alpha
+    #: node or a P-node).
+    next_node: str
+    #: rendered text of the instantiated residual predicate, or None.
+    residual_text: Optional[str] = None
+
+    @property
+    def residual(self) -> Optional[ast.Expr]:
+        return parse_residual(self.residual_text)

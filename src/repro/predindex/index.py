@@ -1,0 +1,300 @@
+"""The predicate index (Figures 3 and 4 of the paper).
+
+Structure::
+
+    PredicateIndex                      (root: hash on data source ID)
+      └─ DataSourcePredicateIndex       (one per data source)
+           └─ SignatureGroup            (expression signature list)
+                └─ Organization         (constant set → triggerID sets)
+                     └─ PredicateEntry  (exprID, triggerID, node, residual)
+
+Matching an update descriptor (§5.4): the root locates the data-source
+index; each signature group whose operation code matches the token is
+probed through its constant-set organization; each returned entry's
+remaining clauses ("restOfPredicate") are tested against the token; entries
+surviving both tests are complete selection-predicate matches, ready for
+the trigger cache pin → network activation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..condition.signature import AnalyzedPredicate, ExpressionSignature
+from ..errors import ConditionError, SignatureError
+from ..lang.evaluator import Bindings, Evaluator
+from .entry import PredicateEntry
+from .organizations import Constants, Organization
+
+#: Operation codes (the paper's opcode component of a signature).
+INSERT = "insert"
+DELETE = "delete"
+UPDATE = "update"
+INSERT_OR_UPDATE = "insert_or_update"
+
+
+def make_operation_code(base: str, columns: Tuple[str, ...] = ()) -> str:
+    """Canonical operation string, e.g. ``update(salary)``."""
+    if columns:
+        return f"{base}({','.join(sorted(columns))})"
+    return base
+
+
+def parse_operation_code(code: str) -> Tuple[str, FrozenSet[str]]:
+    if "(" in code:
+        base, _, rest = code.partition("(")
+        return base, frozenset(rest.rstrip(")").split(","))
+    return code, frozenset()
+
+
+@dataclass
+class IndexStats:
+    """Counters for benchmarks: work done per token."""
+
+    tokens: int = 0
+    groups_probed: int = 0
+    entries_probed: int = 0
+    residual_tests: int = 0
+    matches: int = 0
+
+    def reset(self) -> None:
+        self.tokens = 0
+        self.groups_probed = 0
+        self.entries_probed = 0
+        self.residual_tests = 0
+        self.matches = 0
+
+
+@dataclass
+class Match:
+    """One complete selection-predicate match for a token."""
+
+    entry: PredicateEntry
+    signature: ExpressionSignature
+    constants: Constants
+
+
+class SignatureGroup:
+    """One expression signature and its equivalence class."""
+
+    def __init__(
+        self,
+        sig_id: int,
+        signature: ExpressionSignature,
+        organization: Organization,
+    ):
+        self.sig_id = sig_id
+        self.signature = signature
+        self.organization = organization
+        self.op_base, self.update_columns = parse_operation_code(
+            signature.operation
+        )
+
+    def matches_operation(self, op: str, changed: FrozenSet[str]) -> bool:
+        """Does a token with operation ``op`` (and, for updates, the set of
+        changed columns) fall under this signature's event condition?"""
+        if self.op_base == INSERT_OR_UPDATE:
+            return op in (INSERT, UPDATE)
+        if self.op_base != op:
+            return False
+        if op == UPDATE and self.update_columns:
+            return bool(self.update_columns & changed)
+        return True
+
+    def probe_values(self, row: Dict[str, Any]) -> Constants:
+        values = []
+        for column in self.signature.indexable.columns:
+            if column not in row:
+                raise ConditionError(
+                    f"token for {self.signature.data_source!r} is missing "
+                    f"column {column!r} required by signature "
+                    f"{self.signature.text!r}"
+                )
+            values.append(row[column])
+        if self.signature.indexable.kind == "interval":
+            # One token value probes the [low, high] constant pair.
+            return (values[0],) if values else ()
+        return tuple(values)
+
+
+class DataSourcePredicateIndex:
+    """The expression-signature list for one data source."""
+
+    def __init__(self, data_source: str):
+        self.data_source = data_source
+        self._groups: Dict[Tuple[str, str, str], SignatureGroup] = {}
+
+    def group_for(
+        self, signature: ExpressionSignature
+    ) -> Optional[SignatureGroup]:
+        return self._groups.get(signature.key)
+
+    def register(self, group: SignatureGroup) -> None:
+        if group.signature.key in self._groups:
+            raise SignatureError(
+                f"signature already registered: {group.signature.describe()}"
+            )
+        self._groups[group.signature.key] = group
+
+    def groups(self) -> List[SignatureGroup]:
+        return list(self._groups.values())
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+class PredicateIndex:
+    """The root structure: a hash table on data source ID (Figure 3)."""
+
+    def __init__(self, evaluator: Optional[Evaluator] = None):
+        self._sources: Dict[str, DataSourcePredicateIndex] = {}
+        self.evaluator = evaluator or Evaluator()
+        self.stats = IndexStats()
+        #: trigger id -> [(group, expr_id)] for O(entries-of-trigger) drops
+        self._by_trigger: Dict[int, List[Tuple[SignatureGroup, int]]] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def source_index(self, data_source: str) -> DataSourcePredicateIndex:
+        index = self._sources.get(data_source)
+        if index is None:
+            index = DataSourcePredicateIndex(data_source)
+            self._sources[data_source] = index
+        return index
+
+    def find_group(
+        self, signature: ExpressionSignature
+    ) -> Optional[SignatureGroup]:
+        index = self._sources.get(signature.data_source)
+        if index is None:
+            return None
+        return index.group_for(signature)
+
+    def register_signature(
+        self,
+        sig_id: int,
+        signature: ExpressionSignature,
+        organization: Organization,
+    ) -> SignatureGroup:
+        group = SignatureGroup(sig_id, signature, organization)
+        self.source_index(signature.data_source).register(group)
+        return group
+
+    def add_predicate(
+        self,
+        analyzed: AnalyzedPredicate,
+        entry: PredicateEntry,
+    ) -> SignatureGroup:
+        """Add one trigger's predicate instance to its (already registered)
+        signature group."""
+        group = self.find_group(analyzed.signature)
+        if group is None:
+            raise SignatureError(
+                f"signature not registered: {analyzed.signature.describe()}"
+            )
+        group.organization.add(analyzed.indexable_constants, entry)
+        self._by_trigger.setdefault(entry.trigger_id, []).append(
+            (group, entry.expr_id)
+        )
+        return group
+
+    def remove_trigger(self, trigger_id: int) -> int:
+        """Remove every entry belonging to a trigger; returns the count.
+
+        Uses the trigger→entries reverse map, so the cost is proportional
+        to the trigger's own predicate count, not the index size.
+        """
+        removed = 0
+        for group, expr_id in self._by_trigger.pop(trigger_id, ()):
+            if group.organization.remove(expr_id):
+                removed += 1
+        return removed
+
+    # -- matching ------------------------------------------------------------
+
+    def match(
+        self,
+        data_source: str,
+        operation: str,
+        row: Dict[str, Any],
+        changed_columns: FrozenSet[str] = frozenset(),
+        enabled: Optional[Any] = None,
+    ) -> List[Match]:
+        """All complete selection-predicate matches for one token.
+
+        ``row`` is the image the predicates evaluate against (new image for
+        insert/update, old image for delete).  ``enabled`` is an optional
+        ``trigger_id -> bool`` callable used to skip disabled triggers
+        before the (possibly expensive) residual test.
+        """
+        self.stats.tokens += 1
+        index = self._sources.get(data_source)
+        if index is None:
+            return []
+        return self.match_in_groups(
+            index.groups(), operation, row, changed_columns, enabled,
+            data_source=data_source,
+        )
+
+    def match_in_groups(
+        self,
+        groups: List[SignatureGroup],
+        operation: str,
+        row: Dict[str, Any],
+        changed_columns: FrozenSet[str] = frozenset(),
+        enabled: Optional[Any] = None,
+        data_source: Optional[str] = None,
+    ) -> List[Match]:
+        """Match one token against an explicit subset of signature groups —
+        the unit of §6's condition-level concurrency (task type 3)."""
+        matches: List[Match] = []
+        binding_source = data_source or (
+            groups[0].signature.data_source if groups else ""
+        )
+        bindings = Bindings(rows={binding_source: row})
+        for group in groups:
+            if not group.matches_operation(operation, changed_columns):
+                continue
+            self.stats.groups_probed += 1
+            values = group.probe_values(row)
+            for constants, entry in group.organization.probe(values):
+                self.stats.entries_probed += 1
+                if enabled is not None and not enabled(entry.trigger_id):
+                    continue
+                residual = entry.residual
+                if residual is not None:
+                    self.stats.residual_tests += 1
+                    if not self.evaluator.matches(residual, bindings):
+                        continue
+                matches.append(Match(entry, group.signature, constants))
+        self.stats.matches += len(matches)
+        return matches
+
+    # -- introspection --------------------------------------------------------
+
+    def groups(self) -> Iterator[SignatureGroup]:
+        for index in self._sources.values():
+            yield from index.groups()
+
+    def signature_count(self) -> int:
+        return sum(len(index) for index in self._sources.values())
+
+    def entry_count(self) -> int:
+        return sum(
+            group.organization.size()
+            for index in self._sources.values()
+            for group in index.groups()
+        )
+
+    def describe(self) -> List[str]:
+        """Human-readable dump (console's ``show signatures``)."""
+        out = []
+        for source, index in sorted(self._sources.items()):
+            for group in index.groups():
+                out.append(
+                    f"{group.sig_id}: {group.signature.describe()} "
+                    f"[{group.organization.name}, "
+                    f"{group.organization.size()} exprs]"
+                )
+        return out

@@ -1,0 +1,318 @@
+"""An interval skip list (Hanson & Johnson, [Hans96b] in the paper).
+
+The structure behind the TriggerMan lineage's range-predicate indexing: a
+randomized skip list over the distinct interval endpoints, where each
+interval *marks* a set of edges whose spans exactly tile ``[low, high]``
+(each marker's edge span is contained in its interval), plus ``eqMarkers``
+on nodes whose values the interval contains.  A stabbing query walks the
+ordinary skip-list search path for ``v`` and unions the markers of the one
+edge per level that crosses ``v`` — expected **O(log n + k)**.
+
+Invariants maintained here (sufficient for search correctness):
+
+* **containment** — a marker for interval I sits only on edges whose span
+  ``[x.value, x.forward[i].value]`` is contained in I;
+* **coverage** — for every value v in I, either some marked edge's span
+  contains v, or v is a node value whose ``eqMarkers`` holds I.
+
+Placement follows the published ascend/descend algorithm.  Node insertion
+splits marked edges (both halves inherit the markers, preserving both
+invariants).  Interval/node removal clears an interval's markers with a
+bottom-level walk of its range and re-places the markers of intervals
+disturbed by node unlinking — simpler than the paper's in-place
+adjustMarkers, with the same results (removal cost is O(range) instead of
+O(log n); trigger workloads are insert/stab dominated, so benchmark E9
+exercises exactly the operations that matter).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Generic, Iterator, List, Optional, Set, Tuple, TypeVar
+
+T = TypeVar("T")
+
+MAX_LEVEL = 24
+
+
+class _Interval:
+    __slots__ = ("low", "high", "payload", "uid")
+
+    def __init__(self, low: Any, high: Any, payload: Any, uid: int):
+        self.low = low
+        self.high = high
+        self.payload = payload
+        self.uid = uid
+
+    def contains(self, value: Any) -> bool:
+        return self.low <= value <= self.high
+
+    def contains_span(self, low: Any, high: Any) -> bool:
+        return self.low <= low and high <= self.high
+
+
+class _Node:
+    __slots__ = ("value", "forward", "markers", "eq_markers", "owners")
+
+    def __init__(self, value: Any, level: int):
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+        self.markers: List[Set[_Interval]] = [set() for _ in range(level)]
+        self.eq_markers: Set[_Interval] = set()
+        self.owners = 0  # intervals with an endpoint at this value
+
+    @property
+    def level(self) -> int:
+        return len(self.forward)
+
+
+class IntervalSkipList(Generic[T]):
+    """Closed intervals ``[low, high]`` → payloads, with ``stab(value)``."""
+
+    def __init__(self, seed: int = 0x5EED):
+        self._rng = random.Random(seed)
+        self._header = _Node(None, MAX_LEVEL)
+        self._level = 1
+        self._uid = 0
+        self._count = 0
+        self._intervals: Dict[Tuple[Any, Any, int], List[_Interval]] = {}
+
+    # -- basic skip-list machinery ------------------------------------------
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < MAX_LEVEL and self._rng.random() < 0.5:
+            level += 1
+        return level
+
+    def _search_path(self, value: Any) -> List[_Node]:
+        """update[i] = rightmost node at level i with node.value < value."""
+        update: List[_Node] = [self._header] * MAX_LEVEL
+        x = self._header
+        for i in range(self._level - 1, -1, -1):
+            while (
+                x.forward[i] is not None and x.forward[i].value < value
+            ):
+                x = x.forward[i]
+            update[i] = x
+        return update
+
+    def _find_node(self, value: Any) -> Optional[_Node]:
+        update = self._search_path(value)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.value == value:
+            return candidate
+        return None
+
+    def _insert_node(self, value: Any) -> _Node:
+        update = self._search_path(value)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.value == value:
+            return candidate
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(value, level)
+        for i in range(level):
+            predecessor = update[i]
+            successor = predecessor.forward[i]
+            node.forward[i] = successor
+            predecessor.forward[i] = node
+            # Split the marked edge: both halves inherit every marker whose
+            # interval still contains the half's span (all of them do, since
+            # each half-span is inside the old span), and markers containing
+            # the new value are recorded as eqMarkers.
+            inherited = predecessor.markers[i]
+            if inherited:
+                node.markers[i] = set(inherited)
+                for interval in inherited:
+                    if interval.contains(value):
+                        node.eq_markers.add(interval)
+        # Markers on edges at levels above the new node's height are
+        # unaffected (their spans still cover the new value); record their
+        # intervals as eqMarkers only if a search could land exactly here —
+        # it can, so keep eqMarkers complete:
+        for i in range(level, self._level):
+            for interval in update[i].markers[i]:
+                if interval.contains(value):
+                    node.eq_markers.add(interval)
+        return node
+
+    def _unlink_node(self, node: _Node) -> None:
+        update = self._search_path(node.value)
+        for i in range(node.level):
+            predecessor = update[i]
+            if predecessor.forward[i] is node:
+                predecessor.forward[i] = node.forward[i]
+        while self._level > 1 and self._header.forward[self._level - 1] is None:
+            self._level -= 1
+
+    # -- marker placement (the published ascend/descend walk) ----------------
+
+    def _edge_span_contained(
+        self, interval: _Interval, x: _Node, i: int
+    ) -> bool:
+        nxt = x.forward[i]
+        if nxt is None:
+            return False
+        if x is self._header:
+            return False
+        return interval.contains_span(x.value, nxt.value)
+
+    def _place_markers(self, interval: _Interval) -> None:
+        x = self._find_node(interval.low)
+        assert x is not None
+        if interval.contains(x.value):
+            x.eq_markers.add(interval)
+        i = 0
+        # ascend: take the highest edge still contained in the interval
+        while self._edge_span_contained(interval, x, i):
+            while i < x.level - 1 and self._edge_span_contained(
+                interval, x, i + 1
+            ):
+                i += 1
+            x.markers[i].add(interval)
+            x = x.forward[i]
+            if interval.contains(x.value):
+                x.eq_markers.add(interval)
+        # descend: drop levels until edges fit again
+        while x.value is not None and x.value < interval.high:
+            while i > 0 and not self._edge_span_contained(interval, x, i):
+                i -= 1
+            if not self._edge_span_contained(interval, x, i):
+                break
+            x.markers[i].add(interval)
+            x = x.forward[i]
+            if interval.contains(x.value):
+                x.eq_markers.add(interval)
+
+    def _remove_markers(self, interval: _Interval) -> None:
+        """Clear every marker of ``interval`` with a bottom-level range
+        walk (markers only sit on edges between nodes in the range)."""
+        x = self._find_node(interval.low)
+        while x is not None and x.value <= interval.high:
+            for i in range(x.level):
+                x.markers[i].discard(interval)
+            x.eq_markers.discard(interval)
+            x = x.forward[0]
+
+    # -- public API -----------------------------------------------------------
+
+    def add(self, low: Any, high: Any, payload: T) -> None:
+        if high < low:
+            raise ValueError(f"empty interval [{low!r}, {high!r}]")
+        self._uid += 1
+        interval = _Interval(low, high, payload, self._uid)
+        low_node = self._insert_node(low)
+        high_node = self._insert_node(high)
+        low_node.owners += 1
+        high_node.owners += 1
+        self._place_markers(interval)
+        self._intervals.setdefault((low, high), []).append(interval)
+        self._count += 1
+
+    def remove(self, low: Any, high: Any, payload: T) -> bool:
+        bucket = self._intervals.get((low, high))
+        if not bucket:
+            return False
+        interval = None
+        for candidate in bucket:
+            if candidate.payload == payload:
+                interval = candidate
+                break
+        if interval is None:
+            return False
+        bucket.remove(interval)
+        if not bucket:
+            del self._intervals[(low, high)]
+        self._remove_markers(interval)
+        for value in (low, high) if low != high else (low,):
+            node = self._find_node(value)
+            if node is None:
+                continue
+            node.owners -= 1 if low != high else 2
+            if node.owners <= 0:
+                self._remove_endpoint_node(node)
+        self._count -= 1
+        return True
+
+    def _remove_endpoint_node(self, node: _Node) -> None:
+        """Unlink a node no interval owns, re-placing disturbed markers."""
+        disturbed: Set[_Interval] = set(node.eq_markers)
+        for i in range(node.level):
+            disturbed |= node.markers[i]
+        # predecessors' edges into the node also carry markers
+        update = self._search_path(node.value)
+        for i in range(node.level):
+            if update[i].forward[i] is node:
+                disturbed |= update[i].markers[i]
+        for interval in disturbed:
+            self._remove_markers(interval)
+        self._unlink_node(node)
+        for interval in disturbed:
+            # the interval may still be live (node removal can be triggered
+            # by a *different* interval's removal)
+            if interval in self._intervals.get(
+                (interval.low, interval.high), []
+            ):
+                self._place_markers(interval)
+
+    def stab(self, value: Any) -> List[T]:
+        """Payloads of every interval containing ``value``."""
+        found: Dict[int, _Interval] = {}
+        x = self._header
+        for i in range(self._level - 1, -1, -1):
+            while x.forward[i] is not None and x.forward[i].value < value:
+                x = x.forward[i]
+            nxt = x.forward[i]
+            if nxt is None:
+                continue
+            if nxt.value == value:
+                for interval in nxt.eq_markers:
+                    found[interval.uid] = interval
+            else:
+                # edge (x -> nxt) crosses value; its markers all contain it
+                for interval in x.markers[i]:
+                    if interval.contains(value):
+                        found[interval.uid] = interval
+        return [interval.payload for interval in found.values()]
+
+    def items(self) -> Iterator[Tuple[Any, Any, T]]:
+        for (low, high), bucket in list(self._intervals.items()):
+            for interval in bucket:
+                yield low, high, interval.payload
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify containment + coverage for every stored interval."""
+        for low, high, _payload in self.items():
+            pass  # structural checks below cover everything
+        # containment: each marker's edge span inside its interval
+        x = self._header.forward[0]
+        nodes = []
+        while x is not None:
+            nodes.append(x)
+            x = x.forward[0]
+        for node in [self._header] + nodes:
+            for i in range(node.level):
+                nxt = node.forward[i]
+                for interval in node.markers[i]:
+                    assert nxt is not None, "marker on a nil edge"
+                    assert node is not self._header, "marker on header edge"
+                    assert interval.contains_span(node.value, nxt.value), (
+                        f"marker {interval.low, interval.high} not containing "
+                        f"edge [{node.value}, {nxt.value}]"
+                    )
+        # coverage: stabbing each stored endpoint finds the interval
+        for (low, high), bucket in self._intervals.items():
+            for interval in bucket:
+                for probe in (low, high):
+                    assert any(
+                        found is interval.payload
+                        or found == interval.payload
+                        for found in self.stab(probe)
+                    ), f"lost interval [{low}, {high}] at {probe}"

@@ -1,0 +1,612 @@
+"""The four constant-set organizations of §5.2, plus an automatic wrapper.
+
+Every organization stores the constants of one expression signature's
+equivalence class together with their :class:`PredicateEntry` payloads
+(Figure 4's constant set → triggerID set chain), and answers *probes*: given
+the token's values for the signature's indexable columns, yield the entries
+whose indexable constants match.
+
+* :class:`MemoryListOrganization` — strategy 1: a flat list, scanned per
+  probe.  Lowest overhead; best for the common small-class case.
+* :class:`MemoryIndexOrganization` — strategy 2: a hash map for equality
+  signatures, a sorted array for one-sided ranges, an interval index for
+  BETWEEN.
+* :class:`DbTableOrganization` — strategies 3 and 4: the constant table is
+  an ordinary database table (§5.1's ``const_tableN`` layout), scanned when
+  ``indexed=False`` or probed through a clustered composite B+tree on
+  ``[const1..constK]`` when ``indexed=True``.
+* :class:`AutoOrganization` — applies the cost model's thresholds and
+  migrates the class between strategies as it grows or shrinks.
+
+Probe semantics by indexable kind (:mod:`repro.condition.signature`):
+
+* ``EQUALITY`` — token values equal the stored constants componentwise,
+* ``RANGE`` — stored constant ``c`` matches token value ``v`` when
+  ``v <op> c`` holds (e.g. signature ``salary > CONSTANT_1``),
+* ``INTERVAL`` — ``c_low <= v <= c_high``,
+* ``NONE`` — nothing indexable: every entry matches the probe and relies on
+  its residual predicate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..condition.signature import (
+    EQUALITY,
+    INTERVAL,
+    NONE,
+    RANGE,
+    SET,
+    ExpressionSignature,
+)
+from ..errors import SignatureError
+from ..sql.database import Database
+from ..sql.schema import Column, TableSchema
+from ..sql.types import FLOAT, INTEGER, VarCharType
+from .costmodel import (
+    DB_TABLE,
+    DB_TABLE_INDEXED,
+    DEFAULT_LIMITS,
+    Limits,
+    MEMORY_INDEX,
+    MEMORY_LIST,
+    choose_organization,
+)
+from .entry import PredicateEntry
+
+Constants = Tuple[Any, ...]
+ProbeResult = Iterator[Tuple[Constants, PredicateEntry]]
+
+
+class _TopSentinel:
+    """Compares greater than every other value; used to make composite-key
+    range bounds inclusive of all suffixes of a prefix."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+    def __le__(self, other: Any) -> bool:
+        return isinstance(other, _TopSentinel)
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _TopSentinel)
+
+    def __hash__(self) -> int:
+        return hash("_TopSentinel")
+
+
+_TOP = _TopSentinel()
+
+_OP_TEST = {
+    ">": lambda v, c: v > c,
+    ">=": lambda v, c: v >= c,
+    "<": lambda v, c: v < c,
+    "<=": lambda v, c: v <= c,
+}
+
+
+def indexable_match(
+    signature: ExpressionSignature, constants: Constants, values: Constants
+) -> bool:
+    """Whether one stored constant tuple matches the token's values."""
+    kind = signature.indexable.kind
+    if kind == NONE:
+        return True
+    if kind == EQUALITY:
+        return constants == values
+    if kind == RANGE:
+        test = _OP_TEST[signature.indexable.op]
+        value = values[0]
+        if value is None:
+            return False
+        return test(value, constants[0])
+    if kind == INTERVAL:
+        value = values[0]
+        if value is None:
+            return False
+        return constants[0] <= value <= constants[1]
+    if kind == SET:
+        value = values[0]
+        if value is None:
+            return False
+        return value in constants
+    raise SignatureError(f"unknown indexable kind {kind!r}")
+
+
+class Organization:
+    """Interface shared by the four strategies."""
+
+    name: str = "abstract"
+
+    def __init__(self, signature: ExpressionSignature):
+        self.signature = signature
+
+    def add(self, constants: Constants, entry: PredicateEntry) -> None:
+        raise NotImplementedError
+
+    def remove(self, expr_id: int) -> bool:
+        raise NotImplementedError
+
+    def probe(self, values: Constants) -> ProbeResult:
+        raise NotImplementedError
+
+    def entries(self) -> ProbeResult:
+        raise NotImplementedError
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def _check_arity(self, constants: Constants) -> None:
+        expected = len(self.signature.indexable.constant_numbers)
+        if len(constants) != expected:
+            raise SignatureError(
+                f"signature {self.signature.text!r} expects {expected} "
+                f"indexable constants, got {len(constants)}"
+            )
+
+
+class MemoryListOrganization(Organization):
+    """Strategy 1: a main-memory list."""
+
+    name = MEMORY_LIST
+
+    def __init__(self, signature: ExpressionSignature):
+        super().__init__(signature)
+        self._items: List[Tuple[Constants, PredicateEntry]] = []
+
+    def add(self, constants: Constants, entry: PredicateEntry) -> None:
+        self._check_arity(constants)
+        self._items.append((constants, entry))
+
+    def remove(self, expr_id: int) -> bool:
+        for i, (_c, entry) in enumerate(self._items):
+            if entry.expr_id == expr_id:
+                del self._items[i]
+                return True
+        return False
+
+    def probe(self, values: Constants) -> ProbeResult:
+        for constants, entry in self._items:
+            if indexable_match(self.signature, constants, values):
+                yield constants, entry
+
+    def entries(self) -> ProbeResult:
+        return iter(list(self._items))
+
+    def size(self) -> int:
+        return len(self._items)
+
+
+class MemoryIndexOrganization(Organization):
+    """Strategy 2: a lightweight main-memory index."""
+
+    name = MEMORY_INDEX
+
+    def __init__(
+        self,
+        signature: ExpressionSignature,
+        interval_structure: str = "tree",
+    ):
+        """``interval_structure`` picks the stabbing index for BETWEEN
+        signatures: ``"tree"`` (centered interval tree) or ``"skiplist"``
+        (the [Hans96b] interval skip list)."""
+        super().__init__(signature)
+        kind = signature.indexable.kind
+        self._kind = kind
+        self._count = 0
+        if kind == EQUALITY:
+            self._hash: Dict[Constants, List[PredicateEntry]] = {}
+        elif kind == RANGE:
+            self._keys: List[Any] = []  # sorted constants (with duplicates)
+            self._payloads: List[Tuple[Constants, PredicateEntry]] = []
+        elif kind == INTERVAL:
+            from .intervalindex import IntervalIndex
+
+            self._intervals = IntervalIndex(structure=interval_structure)
+        elif kind == SET:
+            # one hash bucket per IN-list member; entries carry their full
+            # constant tuple so membership never needs re-checking
+            self._members: Dict[Any, List[Tuple[Constants, PredicateEntry]]] = {}
+        else:  # NONE: nothing to index; degrade to a list
+            self._flat: List[Tuple[Constants, PredicateEntry]] = []
+
+    def add(self, constants: Constants, entry: PredicateEntry) -> None:
+        self._check_arity(constants)
+        kind = self._kind
+        if kind == EQUALITY:
+            self._hash.setdefault(constants, []).append(entry)
+        elif kind == RANGE:
+            position = bisect.bisect_right(self._keys, constants[0])
+            self._keys.insert(position, constants[0])
+            self._payloads.insert(position, (constants, entry))
+        elif kind == INTERVAL:
+            self._intervals.add(constants[0], constants[1], (constants, entry))
+        elif kind == SET:
+            for member in set(constants):
+                self._members.setdefault(member, []).append((constants, entry))
+        else:
+            self._flat.append((constants, entry))
+        self._count += 1
+
+    def remove(self, expr_id: int) -> bool:
+        kind = self._kind
+        if kind == EQUALITY:
+            for constants, bucket in self._hash.items():
+                for i, entry in enumerate(bucket):
+                    if entry.expr_id == expr_id:
+                        del bucket[i]
+                        if not bucket:
+                            del self._hash[constants]
+                        self._count -= 1
+                        return True
+            return False
+        if kind == RANGE:
+            for i, (_c, entry) in enumerate(self._payloads):
+                if entry.expr_id == expr_id:
+                    del self._payloads[i]
+                    del self._keys[i]
+                    self._count -= 1
+                    return True
+            return False
+        if kind == INTERVAL:
+            for low, high, payload in self._intervals.items():
+                if payload[1].expr_id == expr_id:
+                    self._intervals.remove(low, high, payload)
+                    self._count -= 1
+                    return True
+            return False
+        if kind == SET:
+            removed = False
+            for member in list(self._members):
+                bucket = self._members[member]
+                kept = [p for p in bucket if p[1].expr_id != expr_id]
+                if len(kept) != len(bucket):
+                    removed = True
+                    if kept:
+                        self._members[member] = kept
+                    else:
+                        del self._members[member]
+            if removed:
+                self._count -= 1
+            return removed
+        for i, (_c, entry) in enumerate(self._flat):
+            if entry.expr_id == expr_id:
+                del self._flat[i]
+                self._count -= 1
+                return True
+        return False
+
+    def probe(self, values: Constants) -> ProbeResult:
+        kind = self._kind
+        if kind == EQUALITY:
+            for entry in self._hash.get(values, ()):
+                yield values, entry
+            return
+        if kind == RANGE:
+            value = values[0]
+            if value is None:
+                return
+            op = self.signature.indexable.op
+            # Constants c matching "v op c": a prefix for >/>= (c below v),
+            # a suffix for </<= (c above v).
+            if op == ">":
+                stop = bisect.bisect_left(self._keys, value)
+                span = range(0, stop)
+            elif op == ">=":
+                stop = bisect.bisect_right(self._keys, value)
+                span = range(0, stop)
+            elif op == "<":
+                start = bisect.bisect_right(self._keys, value)
+                span = range(start, len(self._keys))
+            else:  # "<="
+                start = bisect.bisect_left(self._keys, value)
+                span = range(start, len(self._keys))
+            for i in span:
+                yield self._payloads[i]
+            return
+        if kind == INTERVAL:
+            value = values[0]
+            if value is None:
+                return
+            yield from self._intervals.stab(value)
+            return
+        if kind == SET:
+            value = values[0]
+            if value is None:
+                return
+            yield from iter(list(self._members.get(value, ())))
+            return
+        yield from iter(list(self._flat))
+
+    def entries(self) -> ProbeResult:
+        kind = self._kind
+        if kind == EQUALITY:
+            for constants, bucket in list(self._hash.items()):
+                for entry in list(bucket):
+                    yield constants, entry
+        elif kind == RANGE:
+            yield from iter(list(self._payloads))
+        elif kind == INTERVAL:
+            for _low, _high, payload in self._intervals.items():
+                yield payload
+        elif kind == SET:
+            seen = set()
+            for bucket in list(self._members.values()):
+                for constants, entry in bucket:
+                    if entry.expr_id not in seen:
+                        seen.add(entry.expr_id)
+                        yield constants, entry
+        else:
+            yield from iter(list(self._flat))
+
+    def size(self) -> int:
+        return self._count
+
+
+def _sql_type_for(value: Any):
+    if isinstance(value, bool):
+        return INTEGER
+    if isinstance(value, int) or isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return VarCharType(1024)
+    raise SignatureError(f"constant {value!r} has no SQL column mapping")
+
+
+def _coerce(value: Any) -> Any:
+    """Canonical stored form matching :func:`_sql_type_for`."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return float(value)
+    return value
+
+
+class DbTableOrganization(Organization):
+    """Strategies 3/4: the constant table lives in the database.
+
+    Table layout follows §5.1::
+
+        const_table<N>(exprID, triggerID, tvar, nextNetworkNode,
+                       const1, ..., constK, restOfPredicate)
+
+    deliberately denormalized "to eliminate the need to perform joins when
+    querying".  With ``indexed=True`` a clustered composite B+tree on
+    ``[const1..constK]`` serves probes; otherwise probes scan.
+    """
+
+    def __init__(
+        self,
+        signature: ExpressionSignature,
+        database: Database,
+        table_name: str,
+        indexed: bool,
+        sample_constants: Optional[Constants] = None,
+    ):
+        super().__init__(signature)
+        self.name = DB_TABLE_INDEXED if indexed else DB_TABLE
+        self.database = database
+        self.table_name = table_name
+        self.indexed = indexed
+        self._arity = len(signature.indexable.constant_numbers)
+        if not database.has_table(table_name):
+            self._create_table(sample_constants)
+        self.table = database.table(table_name)
+        self._index_name = f"{table_name}_consts"
+        if indexed and self._arity > 0 and self._index_name not in self.table.indexes:
+            self.database.create_index(
+                self._index_name,
+                table_name,
+                [f"const{i+1}" for i in range(self._arity)],
+                clustered=True,
+            )
+        self._count = self.table.count()
+
+    def _create_table(self, sample: Optional[Constants]) -> None:
+        columns = [
+            Column("exprID", INTEGER, nullable=False),
+            Column("triggerID", INTEGER, nullable=False),
+            Column("tvar", VarCharType(128), nullable=False),
+            Column("nextNetworkNode", VarCharType(128), nullable=False),
+        ]
+        for i in range(self._arity):
+            sample_value = sample[i] if sample is not None else 0.0
+            columns.append(
+                Column(f"const{i+1}", _sql_type_for(sample_value), nullable=False)
+            )
+        columns.append(Column("restOfPredicate", VarCharType(4000)))
+        self.database.create_table(TableSchema(self.table_name, columns))
+
+    # -- row <-> entry ----------------------------------------------------
+
+    def _row_for(self, constants: Constants, entry: PredicateEntry) -> list:
+        row = [entry.expr_id, entry.trigger_id, entry.tvar, entry.next_node]
+        row.extend(_coerce(c) for c in constants)
+        row.append(entry.residual_text)
+        return row
+
+    def _entry_of(self, row: Tuple) -> Tuple[Constants, PredicateEntry]:
+        expr_id, trigger_id, tvar, next_node = row[:4]
+        constants = tuple(row[4 : 4 + self._arity])
+        residual = row[4 + self._arity]
+        return constants, PredicateEntry(
+            expr_id=expr_id,
+            trigger_id=trigger_id,
+            tvar=tvar,
+            next_node=next_node,
+            residual_text=residual,
+        )
+
+    # -- Organization API ----------------------------------------------------
+
+    def add(self, constants: Constants, entry: PredicateEntry) -> None:
+        self._check_arity(constants)
+        self.table.insert(self._row_for(constants, entry))
+        self._count += 1
+
+    def remove(self, expr_id: int) -> bool:
+        position = self.table.schema.position("exprID")
+        for rid, row in self.table.scan():
+            if row[position] == expr_id:
+                self.table.delete(rid)
+                self._count -= 1
+                return True
+        return False
+
+    def probe(self, values: Constants) -> ProbeResult:
+        kind = self.signature.indexable.kind
+        # SET (IN-list) membership cannot be answered by the composite
+        # [const1..constK] index; such probes scan like NONE.
+        if self.indexed and self._arity > 0 and kind not in (NONE, SET):
+            yield from self._probe_indexed(values)
+            return
+        for _rid, row in self.table.scan():
+            constants, entry = self._entry_of(row)
+            if indexable_match(self.signature, constants, values):
+                yield constants, entry
+
+    def _probe_indexed(self, values: Constants) -> ProbeResult:
+        kind = self.signature.indexable.kind
+        if kind == EQUALITY:
+            key = tuple(_coerce(v) for v in values)
+            for _rid, row in self.table.index_lookup(self._index_name, key):
+                yield self._entry_of(row)
+            return
+        value = _coerce(values[0])
+        if value is None:
+            return
+        if kind == RANGE:
+            op = self.signature.indexable.op
+            if op == ">":
+                scan = self.table.index_range(
+                    self._index_name, None, (value,), include_high=False
+                )
+            elif op == ">=":
+                scan = self.table.index_range(self._index_name, None, (value,))
+            elif op == "<":
+                scan = self.table.index_range(
+                    self._index_name, (value,), None, include_low=False
+                )
+            else:  # "<="
+                scan = self.table.index_range(self._index_name, (value,), None)
+            for _rid, row in scan:
+                yield self._entry_of(row)
+            return
+        # INTERVAL: clustered key is (low, high); low <= v, filter high >= v.
+        # _TOP makes the bound inclusive of every (low == v, high) key.
+        for _rid, row in self.table.index_range(
+            self._index_name, None, (value, _TOP)
+        ):
+            constants, entry = self._entry_of(row)
+            if len(constants) > 1 and constants[1] >= value:
+                yield constants, entry
+            elif len(constants) == 1:
+                yield constants, entry
+
+    def entries(self) -> ProbeResult:
+        for _rid, row in self.table.scan():
+            yield self._entry_of(row)
+
+    def size(self) -> int:
+        return self._count
+
+
+class AutoOrganization(Organization):
+    """Wraps the current strategy and migrates per the cost model.
+
+    The engine records the chosen strategy in the
+    ``expression_signature.constantSetOrganization`` catalog column through
+    the ``on_change`` callback.
+    """
+
+    def __init__(
+        self,
+        signature: ExpressionSignature,
+        database: Database,
+        table_name: str,
+        limits: Limits = DEFAULT_LIMITS,
+        on_change=None,
+    ):
+        super().__init__(signature)
+        self.database = database
+        self.table_name = table_name
+        self.limits = limits
+        self.on_change = on_change
+        self._current: Organization = MemoryListOrganization(signature)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self._current.name
+
+    def _build(self, strategy: str, sample: Optional[Constants]) -> Organization:
+        if strategy == MEMORY_LIST:
+            return MemoryListOrganization(self.signature)
+        if strategy == MEMORY_INDEX:
+            return MemoryIndexOrganization(self.signature)
+        return DbTableOrganization(
+            self.signature,
+            self.database,
+            self.table_name,
+            indexed=(strategy == DB_TABLE_INDEXED),
+            sample_constants=sample,
+        )
+
+    def _maybe_migrate(self, sample: Optional[Constants]) -> None:
+        size = self._current.size()
+        kind = self.signature.indexable.kind
+        target = choose_organization(kind, size, self.limits)
+        if target == self._current.name:
+            return
+        if {target, self._current.name} == {DB_TABLE, DB_TABLE_INDEXED}:
+            # Same storage tier: the model's costs cross repeatedly near
+            # page boundaries, so demand a 20% win before re-migrating.
+            from .costmodel import probe_cost
+
+            if probe_cost(kind, target, size) > 0.8 * probe_cost(
+                kind, self._current.name, size
+            ):
+                return
+        replacement = self._build(target, sample)
+        if isinstance(self._current, DbTableOrganization) and isinstance(
+            replacement, DbTableOrganization
+        ):
+            # Same backing table; only the index presence differs, and
+            # _build already created it.  Copy nothing.
+            pass
+        else:
+            for constants, entry in self._current.entries():
+                replacement.add(constants, entry)
+            if isinstance(self._current, DbTableOrganization):
+                self._current.table.truncate()
+        self._current = replacement
+        if self.on_change is not None:
+            self.on_change(replacement.name)
+
+    def add(self, constants: Constants, entry: PredicateEntry) -> None:
+        self._current.add(constants, entry)
+        self._maybe_migrate(constants)
+
+    def remove(self, expr_id: int) -> bool:
+        removed = self._current.remove(expr_id)
+        if removed:
+            self._maybe_migrate(None)
+        return removed
+
+    def probe(self, values: Constants) -> ProbeResult:
+        return self._current.probe(values)
+
+    def entries(self) -> ProbeResult:
+        return self._current.entries()
+
+    def size(self) -> int:
+        return self._current.size()

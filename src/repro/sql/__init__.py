@@ -1,0 +1,58 @@
+"""A from-scratch mini object-relational storage engine.
+
+This package is the substrate standing in for the Informix host DBMS in the
+paper's architecture (§3): slotted pages, a buffer pool, heap files, B+tree
+and hash indexes, catalogs, and a small SQL executor.  TriggerMan's catalogs,
+queue table, and per-signature constant tables are ordinary tables here.
+"""
+
+from .btree import BPlusTree
+from .buffer import BufferPool, BufferStats
+from .database import Database, IndexInfo, Table
+from .hashindex import HashIndex
+from .heap import HeapFile, RID
+from .page import PAGE_SIZE, SlottedPage
+from .pager import FilePager, MemoryPager, Pager
+from .schema import Column, TableSchema, schema
+from .types import (
+    DEFAULT_REGISTRY,
+    FLOAT,
+    INTEGER,
+    CharType,
+    DataType,
+    FloatType,
+    IntegerType,
+    TypeRegistry,
+    UserDefinedType,
+    VarCharType,
+)
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "BufferStats",
+    "Database",
+    "IndexInfo",
+    "Table",
+    "HashIndex",
+    "HeapFile",
+    "RID",
+    "PAGE_SIZE",
+    "SlottedPage",
+    "FilePager",
+    "MemoryPager",
+    "Pager",
+    "Column",
+    "TableSchema",
+    "schema",
+    "DEFAULT_REGISTRY",
+    "FLOAT",
+    "INTEGER",
+    "CharType",
+    "DataType",
+    "FloatType",
+    "IntegerType",
+    "TypeRegistry",
+    "UserDefinedType",
+    "VarCharType",
+]

@@ -1,0 +1,397 @@
+"""A disk-based B+tree index over the buffer pool.
+
+This is the structure behind the paper's *indexed database table*
+organization (§5.2, strategy 4): the constant table for an expression
+signature gets a clustered composite index on ``[const1, ..., constK]`` so
+"the triggerIDs of triggers relevant to a new update descriptor matching a
+particular set of constant values [can] be retrieved together quickly
+without doing random I/O".
+
+Properties:
+
+* Keys are tuples of comparable sort keys (composite keys supported).
+* Duplicate keys are allowed; entries are ``(key, value)`` pairs where the
+  value is opaque (a heap RID for secondary indexes, or an inline payload
+  row for the clustered constant tables).
+* Nodes live one-per-page, serialized with :mod:`pickle`; fan-out is bounded
+  by an entry count chosen to keep serialized nodes inside a page.  Page
+  reads/writes flow through the shared buffer pool so benchmarks observe
+  true I/O counts.
+* Deletion is lazy (entries are removed from leaves without rebalancing),
+  the strategy used by several production systems for secondary indexes;
+  empty leaves remain linked and are skipped by scans.
+
+Page 0 of the index file is a metadata page holding the root page number.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import StorageError
+from .buffer import BufferPool
+from .page import PAGE_SIZE
+
+Key = Tuple[Any, ...]
+
+#: Maximum entries per node.  With 4 KiB pages this keeps typical pickled
+#: nodes (integer/short-string composite keys) comfortably under a page.
+DEFAULT_ORDER = 32
+
+_META_PAGE = 0
+
+
+def _dumps(obj: Any) -> bytes:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) + 8 > PAGE_SIZE:
+        raise StorageError(
+            f"B+tree node serialization of {len(data)} bytes exceeds page "
+            f"size; use shorter keys or a smaller order"
+        )
+    return data
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: List[Key] = []
+        self.values: List[Any] = []  # leaf payloads
+        self.children: List[int] = []  # internal child page numbers
+        self.next_leaf: int = -1
+
+    def to_bytes(self) -> bytes:
+        return _dumps(
+            (self.leaf, self.keys, self.values, self.children, self.next_leaf)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "_Node":
+        leaf, keys, values, children, next_leaf = pickle.loads(data)
+        node = cls(leaf)
+        node.keys = keys
+        node.values = values
+        node.children = children
+        node.next_leaf = next_leaf
+        return node
+
+
+def _page_store(page: bytearray, payload: bytes) -> None:
+    """Write a length-prefixed payload into a raw page buffer."""
+    import struct
+
+    struct.pack_into("<I", page, 0, len(payload))
+    page[4 : 4 + len(payload)] = payload
+
+
+def _page_load(page: bytearray) -> bytes:
+    import struct
+
+    (length,) = struct.unpack_from("<I", page, 0)
+    return bytes(page[4 : 4 + length])
+
+
+class BPlusTree:
+    """The index proper.  One instance per index file."""
+
+    def __init__(self, pool: BufferPool, file_id: int, order: int = DEFAULT_ORDER):
+        if order < 4:
+            raise StorageError(f"B+tree order must be >= 4, got {order}")
+        self.pool = pool
+        self.file_id = file_id
+        self.order = order
+        pager = pool.pager(file_id)
+        if pager.num_pages == 0:
+            # Fresh index: create the meta page and an empty root leaf.
+            meta_no = pool.allocate(file_id)
+            assert meta_no == _META_PAGE
+            root_no = pool.allocate(file_id)
+            self._write_node(root_no, _Node(leaf=True))
+            self._set_root(root_no)
+        # Entry count is maintained incrementally (rebuilt on open).
+        self._count: Optional[int] = None
+
+    # -- page helpers -----------------------------------------------------
+
+    def _read_node(self, page_no: int) -> _Node:
+        raw = self.pool.pin_raw(self.file_id, page_no)
+        try:
+            return _Node.from_bytes(_page_load(raw))
+        finally:
+            self.pool.unpin(self.file_id, page_no)
+
+    def _write_node(self, page_no: int, node: _Node) -> None:
+        raw = self.pool.pin_raw(self.file_id, page_no)
+        try:
+            _page_store(raw, node.to_bytes())
+        finally:
+            self.pool.unpin(self.file_id, page_no, dirty=True)
+
+    def _root(self) -> int:
+        raw = self.pool.pin_raw(self.file_id, _META_PAGE)
+        try:
+            payload = _page_load(raw)
+        finally:
+            self.pool.unpin(self.file_id, _META_PAGE)
+        return pickle.loads(payload)["root"]
+
+    def _set_root(self, page_no: int) -> None:
+        raw = self.pool.pin_raw(self.file_id, _META_PAGE)
+        try:
+            _page_store(raw, _dumps({"root": page_no}))
+        finally:
+            self.pool.unpin(self.file_id, _META_PAGE, dirty=True)
+
+    # -- key normalization ---------------------------------------------------
+
+    @staticmethod
+    def _norm(key: Sequence[Any]) -> Key:
+        if not isinstance(key, tuple):
+            key = tuple(key) if isinstance(key, (list,)) else (key,)
+        return key
+
+    # -- search ------------------------------------------------------------------
+
+    def _find_leaf(self, key: Key) -> Tuple[int, _Node, List[int]]:
+        """Descend to the *leftmost* leaf that may contain ``key``
+        (duplicates equal to an internal separator live in the right
+        subtree, but search must start left and walk forward).
+
+        Returns ``(leaf_page_no, leaf_node, path_of_internal_page_nos)``.
+        """
+        import bisect
+
+        path: List[int] = []
+        page_no = self._root()
+        node = self._read_node(page_no)
+        while not node.leaf:
+            path.append(page_no)
+            idx = bisect.bisect_left(node.keys, key)
+            page_no = node.children[idx]
+            node = self._read_node(page_no)
+        return page_no, node, path
+
+    @staticmethod
+    def _child_index(node: _Node, key: Key) -> int:
+        """Index of the child to descend into when *inserting* ``key``
+        (rightmost among equal separators, so duplicates append)."""
+        import bisect
+
+        return bisect.bisect_right(node.keys, key)
+
+    def search(self, key: Sequence[Any]) -> List[Any]:
+        """Return every value stored under exactly ``key``."""
+        key = self._norm(key)
+        _, leaf, _ = self._find_leaf(key)
+        import bisect
+
+        lo = bisect.bisect_left(leaf.keys, key)
+        out: List[Any] = []
+        # Duplicates may spill into following leaves.
+        page_no, node, idx = None, leaf, lo
+        while True:
+            while idx < len(node.keys):
+                if node.keys[idx] != key:
+                    return out
+                out.append(node.values[idx])
+                idx += 1
+            if node.next_leaf == -1:
+                return out
+            node = self._read_node(node.next_leaf)
+            idx = 0
+
+    def range_scan(
+        self,
+        low: Optional[Sequence[Any]] = None,
+        high: Optional[Sequence[Any]] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Key, Any]]:
+        """Yield ``(key, value)`` in key order for keys in the given range.
+
+        ``None`` bounds are open.  Prefix scans use tuple-prefix bounds, e.g.
+        ``low=(x,), high=(x,)`` with a 1-column prefix of a 2-column key will
+        *not* match — callers should use :meth:`prefix_scan` for that.
+        """
+        import bisect
+
+        low_key = self._norm(low) if low is not None else None
+        if low_key is not None:
+            _, node, _ = self._find_leaf(low_key)
+            idx = bisect.bisect_left(node.keys, low_key)
+        else:
+            node = self._leftmost_leaf()
+            idx = 0
+        high_key = self._norm(high) if high is not None else None
+        while True:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if high_key is not None:
+                    if key > high_key or (key == high_key and not include_high):
+                        return
+                # Duplicates of an excluded low bound may span leaves, so the
+                # exclusion is applied here rather than via bisect_right.
+                if not (low_key is not None and not include_low and key == low_key):
+                    yield key, node.values[idx]
+                idx += 1
+            if node.next_leaf == -1:
+                return
+            node = self._read_node(node.next_leaf)
+            idx = 0
+
+    def prefix_scan(self, prefix: Sequence[Any]) -> Iterator[Tuple[Key, Any]]:
+        """Yield entries whose key starts with ``prefix`` (composite keys)."""
+        prefix = self._norm(prefix)
+        for key, value in self.range_scan(low=prefix, high=None):
+            if key[: len(prefix)] != prefix:
+                return
+            yield key, value
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._read_node(self._root())
+        while not node.leaf:
+            node = self._read_node(node.children[0])
+        return node
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        return self.range_scan()
+
+    def count(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for _ in self.items())
+        return self._count
+
+    # -- insert ---------------------------------------------------------------
+
+    def insert(self, key: Sequence[Any], value: Any) -> None:
+        """Insert one entry (duplicates permitted)."""
+        key = self._norm(key)
+        for part in key:
+            if part is None:
+                raise StorageError("NULL key components are not indexable")
+        root_no = self._root()
+        split = self._insert_into(root_no, key, value)
+        if split is not None:
+            sep_key, new_page = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [root_no, new_page]
+            new_root_no = self.pool.allocate(self.file_id)
+            self._write_node(new_root_no, new_root)
+            self._set_root(new_root_no)
+        if self._count is not None:
+            self._count += 1
+
+    def _insert_into(
+        self, page_no: int, key: Key, value: Any
+    ) -> Optional[Tuple[Key, int]]:
+        """Recursive insert; returns ``(separator, new_page)`` on split."""
+        import bisect
+
+        node = self._read_node(page_no)
+        if node.leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) > self.order:
+                return self._split_leaf(page_no, node)
+            self._write_node(page_no, node)
+            return None
+        idx = self._child_index(node, key)
+        split = self._insert_into(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep_key, new_page = split
+        node.keys.insert(idx, sep_key)
+        node.children.insert(idx + 1, new_page)
+        if len(node.keys) > self.order:
+            return self._split_internal(page_no, node)
+        self._write_node(page_no, node)
+        return None
+
+    def _split_leaf(self, page_no: int, node: _Node) -> Tuple[Key, int]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right_no = self.pool.allocate(self.file_id)
+        node.next_leaf = right_no
+        self._write_node(right_no, right)
+        self._write_node(page_no, node)
+        return right.keys[0], right_no
+
+    def _split_internal(self, page_no: int, node: _Node) -> Tuple[Key, int]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        right_no = self.pool.allocate(self.file_id)
+        self._write_node(right_no, right)
+        self._write_node(page_no, node)
+        return sep, right_no
+
+    # -- delete ------------------------------------------------------------------
+
+    def delete(self, key: Sequence[Any], value: Any = None) -> int:
+        """Delete entries with ``key``.
+
+        When ``value`` is given only matching ``(key, value)`` pairs are
+        removed; otherwise every duplicate under ``key`` goes.  Returns the
+        number of entries removed.  Deletion is lazy: leaves may underflow.
+        """
+        key = self._norm(key)
+        removed = 0
+        page_no, node, _ = self._find_leaf(key)
+        import bisect
+
+        while True:
+            idx = bisect.bisect_left(node.keys, key)
+            changed = False
+            while idx < len(node.keys) and node.keys[idx] == key:
+                if value is None or node.values[idx] == value:
+                    node.keys.pop(idx)
+                    node.values.pop(idx)
+                    removed += 1
+                    changed = True
+                else:
+                    idx += 1
+            if changed:
+                self._write_node(page_no, node)
+            if idx < len(node.keys):
+                # Reached a key greater than ours: no duplicates remain.
+                break
+            if node.next_leaf == -1:
+                break
+            # Duplicates (or empty lazy-deleted leaves) may continue rightward.
+            page_no = node.next_leaf
+            node = self._read_node(page_no)
+        if removed and self._count is not None:
+            self._count -= removed
+        return removed
+
+    # -- maintenance --------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Height of the tree (1 = just a root leaf)."""
+        depth = 1
+        node = self._read_node(self._root())
+        while not node.leaf:
+            depth += 1
+            node = self._read_node(node.children[0])
+        return depth
+
+    def check_invariants(self) -> None:
+        """Verify ordering and linkage; raises StorageError on corruption."""
+        last_key: Optional[Key] = None
+        for key, _ in self.items():
+            if last_key is not None and key < last_key:
+                raise StorageError(f"B+tree keys out of order: {key} < {last_key}")
+            last_key = key

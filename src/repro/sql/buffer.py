@@ -1,0 +1,171 @@
+"""A shared LRU buffer pool with pin counts, mirroring the pin/unpin
+protocol the paper's trigger cache is modeled on (§5.4: "This pin operation
+is analogous to the pin operation in a traditional buffer pool").
+
+The pool sits between every storage structure (heap files, B+trees, the
+queue table, constant tables) and a :class:`~repro.sql.pager.Pager`.  Frames
+are keyed by ``(file_id, page_no)`` so one pool can serve many files; stats
+(hits, misses, evictions, dirty write-backs) feed the predicate-index cost
+model and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import BufferPoolError, StorageError
+from .page import SlottedPage
+from .pager import Pager
+
+FrameKey = Tuple[int, int]  # (file_id, page_no)
+
+
+@dataclass
+class BufferStats:
+    """Counters exposed to benchmarks and the cost model."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0
+
+
+@dataclass
+class _Frame:
+    page: bytearray
+    pin_count: int = 0
+    dirty: bool = False
+
+
+class BufferPool:
+    """Fixed-capacity page cache with LRU eviction of unpinned frames."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise StorageError(f"buffer pool capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: "OrderedDict[FrameKey, _Frame]" = OrderedDict()
+        self._pagers: Dict[int, Pager] = {}
+        self._next_file_id = 0
+
+    # -- file registration ------------------------------------------------
+
+    def register(self, pager: Pager) -> int:
+        """Register a pager and return its file id."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        self._pagers[file_id] = pager
+        return file_id
+
+    def pager(self, file_id: int) -> Pager:
+        try:
+            return self._pagers[file_id]
+        except KeyError:
+            raise StorageError(f"unknown file id {file_id}")
+
+    # -- page lifecycle -----------------------------------------------------
+
+    def allocate(self, file_id: int) -> int:
+        """Allocate a new page in the file; it is *not* pinned."""
+        return self.pager(file_id).allocate()
+
+    def free_page(self, file_id: int, page_no: int) -> None:
+        key = (file_id, page_no)
+        frame = self._frames.pop(key, None)
+        if frame is not None and frame.pin_count > 0:
+            raise BufferPoolError(f"cannot free pinned page {key}")
+        self.pager(file_id).free(page_no)
+
+    def pin(self, file_id: int, page_no: int) -> SlottedPage:
+        """Pin a page into memory, returning a live slotted-page view.
+
+        The caller must balance with :meth:`unpin` (pass ``dirty=True`` when
+        the view was mutated).
+        """
+        key = (file_id, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(key)
+        else:
+            self.stats.misses += 1
+            self._make_room()
+            frame = _Frame(page=self.pager(file_id).read(page_no))
+            self._frames[key] = frame
+        frame.pin_count += 1
+        return SlottedPage(frame.page)
+
+    def pin_raw(self, file_id: int, page_no: int) -> bytearray:
+        """Like :meth:`pin` but returns the raw buffer (for non-slotted
+        structures such as B+tree nodes)."""
+        page = self.pin(file_id, page_no)
+        return page.data
+
+    def unpin(self, file_id: int, page_no: int, dirty: bool = False) -> None:
+        key = (file_id, page_no)
+        frame = self._frames.get(key)
+        if frame is None or frame.pin_count <= 0:
+            raise BufferPoolError(f"unpin of page {key} that is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for key, frame in self._frames.items():
+            if frame.pin_count == 0:
+                self._evict(key)
+                return
+        raise BufferPoolError(
+            f"all {self.capacity} buffer frames are pinned; cannot evict"
+        )
+
+    def _evict(self, key: FrameKey) -> None:
+        frame = self._frames.pop(key)
+        self.stats.evictions += 1
+        if frame.dirty:
+            file_id, page_no = key
+            self.pager(file_id).write(page_no, bytes(frame.page))
+            self.stats.writebacks += 1
+
+    # -- durability ---------------------------------------------------------
+
+    def flush(self, file_id: Optional[int] = None) -> None:
+        """Write every dirty (unpinned or pinned) frame back to its pager."""
+        for (fid, page_no), frame in list(self._frames.items()):
+            if file_id is not None and fid != file_id:
+                continue
+            if frame.dirty:
+                self.pager(fid).write(page_no, bytes(frame.page))
+                frame.dirty = False
+                self.stats.writebacks += 1
+        if file_id is None:
+            for pager in self._pagers.values():
+                pager.sync()
+        else:
+            self.pager(file_id).sync()
+
+    def close(self) -> None:
+        self.flush()
+        for pager in self._pagers.values():
+            pager.close()
+        self._frames.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def pinned_pages(self) -> int:
+        return sum(1 for f in self._frames.values() if f.pin_count > 0)
+
+    def __len__(self) -> int:
+        return len(self._frames)

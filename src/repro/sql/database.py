@@ -1,0 +1,424 @@
+"""The mini object-relational database: tables, indexes, catalog, SQL.
+
+This is the substrate standing in for Informix (§3 of the paper): it hosts
+the TriggerMan catalogs, the update-descriptor queue table, the per-signature
+constant tables, and the user tables that ``execSQL`` trigger actions run
+against.
+
+A :class:`Database` owns one shared :class:`~repro.sql.buffer.BufferPool`;
+each table's heap file and each B+tree index is a separate page file (disk
+files under a directory, or memory pagers for ``path=None``).  Index
+maintenance on insert/update/delete is automatic.  *Clustered* B+tree
+indexes additionally carry the full row inline so that lookups return rows
+without random heap I/O — the property §5.1 wants from the constant tables'
+``[const1..constK]`` composite index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CatalogError, StorageError
+from .btree import BPlusTree
+from .buffer import BufferPool
+from .hashindex import HashIndex
+from .heap import RID, HeapFile
+from .pager import FilePager, MemoryPager
+from .schema import TableSchema
+from .types import DEFAULT_REGISTRY, TypeRegistry
+
+
+@dataclass
+class IndexInfo:
+    """Catalog entry plus the live index structure."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    clustered: bool
+    using: str  # "btree" | "hash"
+    structure: Union[BPlusTree, HashIndex]
+
+    def key_positions(self, schema: TableSchema) -> List[int]:
+        return [schema.position(c) for c in self.columns]
+
+
+class Table:
+    """A heap file plus its indexes."""
+
+    def __init__(self, db: "Database", schema: TableSchema, heap: HeapFile):
+        self._db = db
+        self.schema = schema
+        self.heap = heap
+        self.indexes: Dict[str, IndexInfo] = {}
+        #: Update-capture listeners (the stand-in for the paper's per-table
+        #: Informix capture triggers, §3).  Each is called as
+        #: ``listener(op, old_row_dict, new_row_dict)`` after the mutation.
+        self.listeners: List = []
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def _notify(self, op: str, old_row, new_row) -> None:
+        if not self.listeners:
+            return
+        old_dict = self.schema.row_to_dict(old_row) if old_row is not None else None
+        new_dict = self.schema.row_to_dict(new_row) if new_row is not None else None
+        for listener in self.listeners:
+            listener(op, old_dict, new_dict)
+
+    # -- index maintenance ----------------------------------------------------
+
+    def _key_for(self, info: IndexInfo, row: Sequence[Any]) -> Optional[Tuple]:
+        key = tuple(row[p] for p in info.key_positions(self.schema))
+        if any(part is None for part in key):
+            return None  # NULLs are not indexed
+        return key
+
+    def _index_insert(self, row: Tuple[Any, ...], rid: RID) -> None:
+        for info in self.indexes.values():
+            key = self._key_for(info, row)
+            if key is None:
+                continue
+            if info.using == "hash":
+                info.structure.insert(key, rid)
+            elif info.clustered:
+                info.structure.insert(key, (rid, row))
+            else:
+                info.structure.insert(key, rid)
+
+    def _index_delete(self, row: Tuple[Any, ...], rid: RID) -> None:
+        for info in self.indexes.values():
+            key = self._key_for(info, row)
+            if key is None:
+                continue
+            if info.using == "hash":
+                info.structure.delete(key, rid)
+            elif info.clustered:
+                info.structure.delete(key, (rid, row))
+            else:
+                info.structure.delete(key, rid)
+
+    # -- row operations -----------------------------------------------------------
+
+    def insert(self, values: Union[Sequence[Any], Dict[str, Any]]) -> RID:
+        if isinstance(values, dict):
+            row = self.schema.check_dict(values)
+        else:
+            row = self.schema.check_row(values)
+        rid = self.heap.insert(row)
+        self._index_insert(row, rid)
+        self._notify("insert", None, row)
+        return rid
+
+    def delete(self, rid: RID) -> Tuple[Any, ...]:
+        row = self.heap.read(rid)
+        self.heap.delete(rid)
+        self._index_delete(row, rid)
+        self._notify("delete", row, None)
+        return row
+
+    def update(self, rid: RID, values: Union[Sequence[Any], Dict[str, Any]]) -> RID:
+        old_row = self.heap.read(rid)
+        if isinstance(values, dict):
+            merged = self.schema.row_to_dict(old_row)
+            merged.update(values)
+            new_row = self.schema.check_dict(merged)
+        else:
+            new_row = self.schema.check_row(values)
+        new_rid = self.heap.update(rid, new_row)
+        self._index_delete(old_row, rid)
+        self._index_insert(new_row, new_rid)
+        self._notify("update", old_row, new_row)
+        return new_rid
+
+    def read(self, rid: RID) -> Tuple[Any, ...]:
+        return self.heap.read(rid)
+
+    def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        return self.heap.scan()
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        for _, row in self.heap.scan():
+            yield row
+
+    def count(self) -> int:
+        return self.heap.count()
+
+    def truncate(self) -> None:
+        self.heap.truncate()
+        for info in self.indexes.values():
+            if info.using == "hash":
+                info.structure.clear()
+            else:
+                # Rebuild the B+tree fresh (cheaper than per-entry deletes).
+                self._db._reset_btree(self, info)
+
+    # -- index-assisted access ------------------------------------------------------
+
+    def index_lookup(
+        self, index_name: str, key: Sequence[Any]
+    ) -> List[Tuple[Optional[RID], Tuple[Any, ...]]]:
+        """Equality lookup; returns ``(rid, row)`` pairs.
+
+        For clustered indexes the rows come straight from the index leaves
+        (no heap access); otherwise RIDs are resolved against the heap.
+        """
+        info = self._index(index_name)
+        if info.using == "hash":
+            return [(rid, self.heap.read(rid)) for rid in info.structure.search(key)]
+        if info.clustered:
+            return [(rid, row) for rid, row in info.structure.search(key)]
+        return [(rid, self.heap.read(rid)) for rid in info.structure.search(key)]
+
+    def index_range(
+        self,
+        index_name: str,
+        low: Optional[Sequence[Any]] = None,
+        high: Optional[Sequence[Any]] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Optional[RID], Tuple[Any, ...]]]:
+        info = self._index(index_name)
+        if info.using != "btree":
+            raise StorageError(f"index {index_name!r} does not support ranges")
+        for _key, value in info.structure.range_scan(
+            low, high, include_low, include_high
+        ):
+            if info.clustered:
+                rid, row = value
+                yield rid, row
+            else:
+                yield value, self.heap.read(value)
+
+    def _index(self, name: str) -> IndexInfo:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no index {name!r}")
+
+    def find_index(
+        self, columns: Sequence[str], using: Optional[str] = None
+    ) -> Optional[IndexInfo]:
+        """First index whose column list starts with ``columns``."""
+        columns = tuple(columns)
+        for info in self.indexes.values():
+            if using is not None and info.using != using:
+                continue
+            if info.columns[: len(columns)] == columns:
+                return info
+        return None
+
+
+class Database:
+    """Facade over the storage engine.
+
+    ``path=None`` gives a fully in-memory database; a directory path gives a
+    persistent one whose catalog (``catalog.json``) and page files live in
+    that directory.
+    """
+
+    CATALOG_FILE = "catalog.json"
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        pool_capacity: int = 1024,
+        registry: Optional[TypeRegistry] = None,
+    ):
+        self.path = path
+        self.registry = registry or DEFAULT_REGISTRY
+        self.pool = BufferPool(pool_capacity)
+        self.tables: Dict[str, Table] = {}
+        self._index_tables: Dict[str, str] = {}  # index name -> table name
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self._load_catalog()
+
+    # -- catalog persistence ----------------------------------------------------
+
+    def _catalog_path(self) -> str:
+        assert self.path is not None
+        return os.path.join(self.path, self.CATALOG_FILE)
+
+    def _save_catalog(self) -> None:
+        if self.path is None:
+            return
+        desc = {
+            "tables": [t.schema.to_catalog() for t in self.tables.values()],
+            "indexes": [
+                {
+                    "name": i.name,
+                    "table": i.table,
+                    "columns": list(i.columns),
+                    "clustered": i.clustered,
+                    "using": i.using,
+                }
+                for t in self.tables.values()
+                for i in t.indexes.values()
+            ],
+        }
+        tmp = self._catalog_path() + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(desc, fh, indent=1)
+        os.replace(tmp, self._catalog_path())
+
+    def _load_catalog(self) -> None:
+        if not os.path.exists(self._catalog_path()):
+            return
+        with open(self._catalog_path()) as fh:
+            desc = json.load(fh)
+        for table_desc in desc.get("tables", []):
+            schema = TableSchema.from_catalog(table_desc, self.registry)
+            self._attach_table(schema)
+        for index_desc in desc.get("indexes", []):
+            self._attach_index(
+                index_desc["name"],
+                index_desc["table"],
+                tuple(index_desc["columns"]),
+                index_desc["clustered"],
+                index_desc["using"],
+            )
+
+    # -- file management ------------------------------------------------------------
+
+    def _open_file(self, filename: str) -> int:
+        if self.path is None:
+            pager: Any = MemoryPager()
+        else:
+            pager = FilePager(os.path.join(self.path, filename))
+        return self.pool.register(pager)
+
+    # -- table DDL ---------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = self._attach_table(schema)
+        self._save_catalog()
+        return table
+
+    def _attach_table(self, schema: TableSchema) -> Table:
+        file_id = self._open_file(f"{schema.name}.tbl")
+        heap = HeapFile(schema, self.pool, file_id)
+        table = Table(self, schema, heap)
+        self.tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        for index_name in list(table.indexes):
+            self._index_tables.pop(index_name, None)
+        del self.tables[name]
+        self._save_catalog()
+        # Page files are left on disk (dropped from the catalog); a vacuum
+        # utility could reclaim them.  In-memory pagers are garbage collected.
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"no such table {name!r}")
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    # -- index DDL ------------------------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        columns: Sequence[str],
+        clustered: bool = False,
+        using: str = "btree",
+    ) -> IndexInfo:
+        if name in self._index_tables:
+            raise CatalogError(f"index {name!r} already exists")
+        if using not in ("btree", "hash"):
+            raise CatalogError(f"unknown index method {using!r}")
+        if using == "hash" and clustered:
+            raise CatalogError("hash indexes cannot be clustered")
+        table = self.table(table_name)
+        for column in columns:
+            table.schema.position(column)  # validates
+        info = self._attach_index(name, table_name, tuple(columns), clustered, using)
+        # Backfill B+trees from existing rows (_attach_index already rebuilt
+        # hash indexes from the heap).
+        if using == "btree":
+            positions = info.key_positions(table.schema)
+            for rid, row in table.heap.scan():
+                key = tuple(row[p] for p in positions)
+                if any(part is None for part in key):
+                    continue
+                if clustered:
+                    info.structure.insert(key, (rid, row))
+                else:
+                    info.structure.insert(key, rid)
+        self._save_catalog()
+        return info
+
+    def _attach_index(
+        self,
+        name: str,
+        table_name: str,
+        columns: Tuple[str, ...],
+        clustered: bool,
+        using: str,
+    ) -> IndexInfo:
+        table = self.table(table_name)
+        if using == "hash":
+            structure: Union[BPlusTree, HashIndex] = HashIndex(columns)
+            structure.rebuild(table.heap)
+        else:
+            file_id = self._open_file(f"{name}.idx")
+            structure = BPlusTree(self.pool, file_id)
+        info = IndexInfo(name, table_name, columns, clustered, using, structure)
+        table.indexes[name] = info
+        self._index_tables[name] = table_name
+        return info
+
+    def _reset_btree(self, table: Table, info: IndexInfo) -> None:
+        """Replace a B+tree with a fresh empty one (used by truncate)."""
+        file_id = self._open_file(f"{info.name}.idx.tmp{id(info)}")
+        info.structure = BPlusTree(self.pool, file_id)
+
+    def drop_index(self, name: str) -> None:
+        table_name = self._index_tables.pop(name, None)
+        if table_name is None:
+            raise CatalogError(f"no such index {name!r}")
+        del self.tables[table_name].indexes[name]
+        self._save_catalog()
+
+    # -- SQL ---------------------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None):
+        """Parse and run one SQL statement.
+
+        Returns a list of row tuples for SELECT, or an affected-row count /
+        None for DML and DDL.  Import is deferred to dodge the circular
+        dependency with the executor module.
+        """
+        from .executor import execute_statement
+        from ..lang.sqlparser import parse_sql
+
+        return execute_statement(self, parse_sql(sql), params or {})
+
+    # -- lifecycle -------------------------------------------------------------------------------
+
+    def flush(self) -> None:
+        self.pool.flush()
+
+    def close(self) -> None:
+        self._save_catalog()
+        self.pool.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,411 @@
+"""Statement execution for the embedded SQL subset.
+
+The planner is intentionally small but real: WHERE clauses are split into
+top-level conjuncts, equality and range conjuncts over indexed columns are
+turned into index probes (composite equality prefixes first, then a range on
+the next column), and whatever remains is evaluated as a residual predicate.
+This is the machinery the paper's strategies 3 and 4 ride on — a constant
+table queried "using the SQL query processor" with or without an index
+(§5, §5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import CatalogError, SchemaError
+from ..lang import ast
+from ..lang.evaluator import Bindings, Evaluator
+from .database import Database, IndexInfo, Table
+from .heap import RID
+from .schema import Column, TableSchema
+
+_EVALUATOR = Evaluator()
+
+_RANGE_OPS = {"<", "<=", ">", ">="}
+
+
+def execute_statement(
+    db: Database, statement: Any, params: Optional[Dict[str, Any]] = None
+):
+    params = params or {}
+    if isinstance(statement, ast.CreateTableStatement):
+        return _create_table(db, statement)
+    if isinstance(statement, ast.DropTableStatement):
+        db.drop_table(statement.table)
+        return None
+    if isinstance(statement, ast.CreateIndexStatement):
+        db.create_index(
+            statement.name,
+            statement.table,
+            statement.columns,
+            clustered=statement.clustered,
+            using=statement.using,
+        )
+        return None
+    if isinstance(statement, ast.InsertStatement):
+        return _insert(db, statement, params)
+    if isinstance(statement, ast.SelectStatement):
+        return _select(db, statement, params)
+    if isinstance(statement, ast.UpdateStatement):
+        return _update(db, statement, params)
+    if isinstance(statement, ast.DeleteStatement):
+        return _delete(db, statement, params)
+    raise CatalogError(f"cannot execute {type(statement).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# DDL / DML
+# ---------------------------------------------------------------------------
+
+
+def _create_table(db: Database, statement: ast.CreateTableStatement) -> None:
+    columns = [
+        Column(c.name, db.registry.resolve(c.type_name), c.nullable)
+        for c in statement.columns
+    ]
+    db.create_table(TableSchema(statement.table, columns))
+
+
+def _insert(
+    db: Database, statement: ast.InsertStatement, params: Dict[str, Any]
+) -> int:
+    table = db.table(statement.table)
+    bindings = Bindings(params=params)
+    values = [_EVALUATOR.evaluate(v, bindings) for v in statement.values]
+    if statement.columns:
+        if len(values) != len(statement.columns):
+            raise SchemaError(
+                f"INSERT column/value count mismatch: "
+                f"{len(statement.columns)} vs {len(values)}"
+            )
+        table.insert(dict(zip(statement.columns, values)))
+    else:
+        table.insert(values)
+    return 1
+
+
+def _update(
+    db: Database, statement: ast.UpdateStatement, params: Dict[str, Any]
+) -> int:
+    table = db.table(statement.table)
+    # Materialize targets first: updating while scanning risks revisiting
+    # relocated rows.
+    targets = list(_matching_rows(table, statement.where, params))
+    count = 0
+    for rid, row in targets:
+        row_dict = table.schema.row_to_dict(row)
+        bindings = Bindings(rows={table.name: row_dict}, params=params)
+        new_values = dict(row_dict)
+        for column, expr in statement.assignments:
+            table.schema.position(column)  # validate
+            new_values[column] = _EVALUATOR.evaluate(expr, bindings)
+        table.update(rid, new_values)
+        count += 1
+    return count
+
+
+def _delete(
+    db: Database, statement: ast.DeleteStatement, params: Dict[str, Any]
+) -> int:
+    table = db.table(statement.table)
+    targets = list(_matching_rows(table, statement.where, params))
+    for rid, _row in targets:
+        table.delete(rid)
+    return len(targets)
+
+
+def _is_aggregate_query(statement: ast.SelectStatement) -> bool:
+    if statement.group_by or statement.having is not None:
+        return True
+    from ..lang.evaluator import AGGREGATE_NAMES
+
+    for expr in statement.projection:
+        for node in expr.walk():
+            if (
+                isinstance(node, ast.FuncCall)
+                and node.name.lower() in AGGREGATE_NAMES
+            ):
+                return True
+    return False
+
+
+def _select_aggregate(
+    db: Database, statement: ast.SelectStatement, params: Dict[str, Any]
+) -> List[Tuple[Any, ...]]:
+    """GROUP BY / HAVING / aggregate-projection execution."""
+    table = db.table(statement.table)
+    groups: Dict[Tuple, List[Bindings]] = {}
+    for _rid, row in _matching_rows(table, statement.where, params):
+        row_dict = table.schema.row_to_dict(row)
+        bindings = Bindings(rows={table.name: row_dict}, params=params)
+        key = tuple(
+            _EVALUATOR.evaluate(expr, bindings) for expr in statement.group_by
+        )
+        groups.setdefault(key, []).append(bindings)
+    if not groups and not statement.group_by:
+        groups[()] = []  # global aggregate over an empty table yields a row
+    out: List[Tuple[Tuple[Any, ...], Bindings, List[Bindings]]] = []
+    for key, members in groups.items():
+        representative = members[0] if members else Bindings(params=params)
+        if statement.having is not None:
+            verdict = _EVALUATOR.evaluate_aggregate(
+                statement.having, members, representative
+            )
+            if verdict is not True:
+                continue
+        projected = tuple(
+            _EVALUATOR.evaluate_aggregate(expr, members, representative)
+            for expr in statement.projection
+        )
+        out.append((projected, representative, members))
+    if statement.order_by:
+        def sort_key(item):
+            projected, representative, members = item
+            key = []
+            for expr, descending in statement.order_by:
+                value = _EVALUATOR.evaluate_aggregate(
+                    expr, members, representative
+                )
+                key.append(_Reversed(value) if descending else value)
+            return key
+
+        out.sort(key=sort_key)
+    rows = [projected for projected, _r, _m in out]
+    if statement.limit is not None:
+        rows = rows[: statement.limit]
+    return rows
+
+
+def _select(
+    db: Database, statement: ast.SelectStatement, params: Dict[str, Any]
+) -> List[Tuple[Any, ...]]:
+    if _is_aggregate_query(statement):
+        return _select_aggregate(db, statement, params)
+    table = db.table(statement.table)
+    out: List[Tuple[Any, ...]] = []
+    star = len(statement.projection) == 1 and isinstance(
+        statement.projection[0], ast.Star
+    )
+    rows_with_bindings: List[Tuple[Tuple[Any, ...], Bindings]] = []
+    for _rid, row in _matching_rows(table, statement.where, params):
+        row_dict = table.schema.row_to_dict(row)
+        bindings = Bindings(rows={table.name: row_dict}, params=params)
+        rows_with_bindings.append((row, bindings))
+    if statement.order_by:
+        def sort_key(item):
+            row, bindings = item
+            key = []
+            for expr, descending in statement.order_by:
+                value = _EVALUATOR.evaluate(expr, bindings)
+                key.append(_Reversed(value) if descending else value)
+            return key
+
+        rows_with_bindings.sort(key=sort_key)
+    for row, bindings in rows_with_bindings:
+        if star:
+            out.append(row)
+        else:
+            out.append(
+                tuple(
+                    _EVALUATOR.evaluate(e, bindings) for e in statement.projection
+                )
+            )
+        if statement.limit is not None and len(out) >= statement.limit:
+            break
+    return out
+
+
+class _Reversed:
+    """Key wrapper inverting comparison order for ORDER BY ... DESC."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        # NULLs sort last under DESC (matching the common NULLS LAST choice)
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+# ---------------------------------------------------------------------------
+# Access-path selection
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Flatten the top-level AND structure of a WHERE clause."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BoolOp) and expr.op.upper() == "AND":
+        out: List[ast.Expr] = []
+        for arg in expr.args:
+            out.extend(split_conjuncts(arg))
+        return out
+    return [expr]
+
+
+def _constant_of(expr: ast.Expr, params: Dict[str, Any]):
+    """Return ``(True, value)`` when ``expr`` is a constant at plan time."""
+    if isinstance(expr, ast.Literal):
+        return True, expr.value
+    if isinstance(expr, ast.ParamRef) and expr.kind == "PARAM":
+        if expr.column in params:
+            return True, params[expr.column]
+    return False, None
+
+
+def _column_of(expr: ast.Expr, table: Table) -> Optional[str]:
+    if isinstance(expr, ast.ColumnRef) and table.schema.has_column(expr.column):
+        if expr.tvar in (None, table.name):
+            return expr.column
+    return None
+
+
+class AccessPlan:
+    """The chosen access path, exposed for tests and the cost model."""
+
+    __slots__ = ("kind", "index", "equal_key", "low", "high",
+                 "include_low", "include_high")
+
+    def __init__(self, kind: str, index: Optional[IndexInfo] = None,
+                 equal_key: Optional[Tuple] = None,
+                 low: Optional[Tuple] = None, high: Optional[Tuple] = None,
+                 include_low: bool = True, include_high: bool = True):
+        self.kind = kind  # "scan" | "index_eq" | "index_range"
+        self.index = index
+        self.equal_key = equal_key
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "scan":
+            return "AccessPlan(scan)"
+        return f"AccessPlan({self.kind} via {self.index.name})"
+
+
+def choose_plan(
+    table: Table, where: Optional[ast.Expr], params: Dict[str, Any]
+) -> AccessPlan:
+    """Pick an access path for ``where`` (full scan when nothing applies)."""
+    conjuncts = split_conjuncts(where)
+    equalities: Dict[str, Any] = {}
+    ranges: Dict[str, Dict[str, Tuple[Any, bool]]] = {}
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, ast.BinaryOp):
+            continue
+        op = conjunct.op
+        left_col = _column_of(conjunct.left, table)
+        right_const, right_val = _constant_of(conjunct.right, params)
+        if left_col is None or not right_const:
+            # try the mirrored form: const OP col
+            right_col = _column_of(conjunct.right, table)
+            left_const, left_val = _constant_of(conjunct.left, params)
+            if right_col is None or not left_const:
+                continue
+            left_col, right_val = right_col, left_val
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if op == "=":
+            equalities.setdefault(left_col, right_val)
+        elif op in _RANGE_OPS:
+            bounds = ranges.setdefault(left_col, {})
+            if op in ("<", "<="):
+                bounds["high"] = (right_val, op == "<=")
+            else:
+                bounds["low"] = (right_val, op == ">=")
+
+    best: Optional[AccessPlan] = None
+    best_cols = 0
+    for info in _all_indexes(table):
+        # longest equality prefix this index can use
+        prefix = 0
+        for column in info.columns:
+            if column in equalities:
+                prefix += 1
+            else:
+                break
+        if prefix == len(info.columns) and prefix > 0:
+            if prefix > best_cols or (best and best.kind != "index_eq"):
+                key = tuple(equalities[c] for c in info.columns)
+                best = AccessPlan("index_eq", info, equal_key=key)
+                best_cols = prefix
+            continue
+        if info.using != "btree":
+            continue
+        # equality prefix + one range column
+        next_col = info.columns[prefix] if prefix < len(info.columns) else None
+        if next_col is not None and next_col in ranges:
+            bounds = ranges[next_col]
+            eq_prefix = tuple(equalities[c] for c in info.columns[:prefix])
+            low = high = None
+            include_low = include_high = True
+            if "low" in bounds:
+                low = eq_prefix + (bounds["low"][0],)
+                include_low = bounds["low"][1]
+            elif eq_prefix:
+                low = eq_prefix
+            if "high" in bounds:
+                high = eq_prefix + (bounds["high"][0],)
+                include_high = bounds["high"][1]
+            elif eq_prefix:
+                # bound the prefix scan; tuple comparison makes prefix+1
+                # column ranges well ordered only with an explicit check, so
+                # the residual filter still applies.
+                high = None
+            total = prefix + 1
+            if total > best_cols:
+                best = AccessPlan(
+                    "index_range",
+                    info,
+                    low=low,
+                    high=high,
+                    include_low=include_low,
+                    include_high=include_high,
+                )
+                best_cols = total
+    return best or AccessPlan("scan")
+
+
+def _all_indexes(table: Table) -> List[IndexInfo]:
+    # Prefer hash for pure equality (cheaper), then clustered btrees.
+    return sorted(
+        table.indexes.values(),
+        key=lambda i: (i.using != "hash", not i.clustered),
+    )
+
+
+def _matching_rows(
+    table: Table, where: Optional[ast.Expr], params: Dict[str, Any]
+) -> Iterator[Tuple[Optional[RID], Tuple[Any, ...]]]:
+    plan = choose_plan(table, where, params)
+    candidates: Iterator[Tuple[Optional[RID], Tuple[Any, ...]]]
+    if plan.kind == "index_eq":
+        candidates = iter(table.index_lookup(plan.index.name, plan.equal_key))
+    elif plan.kind == "index_range":
+        candidates = table.index_range(
+            plan.index.name,
+            plan.low,
+            plan.high,
+            plan.include_low,
+            plan.include_high,
+        )
+    else:
+        candidates = table.scan()
+    if where is None:
+        yield from candidates
+        return
+    for rid, row in candidates:
+        row_dict = table.schema.row_to_dict(row)
+        bindings = Bindings(rows={table.name: row_dict}, params=params)
+        if _EVALUATOR.matches(where, bindings):
+            yield rid, row

@@ -1,0 +1,87 @@
+"""A main-memory hash index over a heap file.
+
+Used for equality lookups where the B+tree's ordering is unnecessary — e.g.
+the predicate index's organization 2 for ``attribute = CONSTANT`` signatures
+— and as a secondary index option in the mini engine.  It is not persisted:
+on database open it is rebuilt from its heap file, which is the standard
+trade-off for lightweight in-memory indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import StorageError
+from .heap import RID, HeapFile
+
+Key = Tuple[Any, ...]
+
+
+class HashIndex:
+    """Maps composite key tuples to lists of RIDs (duplicates allowed)."""
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise StorageError("hash index needs at least one column")
+        self.columns = tuple(columns)
+        self._buckets: Dict[Key, List[RID]] = {}
+        self._count = 0
+
+    @staticmethod
+    def _norm(key: Any) -> Key:
+        if isinstance(key, tuple):
+            return key
+        if isinstance(key, list):
+            return tuple(key)
+        return (key,)
+
+    def insert(self, key: Any, rid: RID) -> None:
+        key = self._norm(key)
+        if any(part is None for part in key):
+            raise StorageError("NULL key components are not indexable")
+        self._buckets.setdefault(key, []).append(rid)
+        self._count += 1
+
+    def delete(self, key: Any, rid: RID) -> bool:
+        """Remove one ``(key, rid)`` entry; returns False when absent."""
+        key = self._norm(key)
+        rids = self._buckets.get(key)
+        if not rids:
+            return False
+        try:
+            rids.remove(rid)
+        except ValueError:
+            return False
+        if not rids:
+            del self._buckets[key]
+        self._count -= 1
+        return True
+
+    def search(self, key: Any) -> List[RID]:
+        return list(self._buckets.get(self._norm(key), ()))
+
+    def items(self) -> Iterable[Tuple[Key, RID]]:
+        for key, rids in self._buckets.items():
+            for rid in rids:
+                yield key, rid
+
+    def count(self) -> int:
+        return self._count
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._count = 0
+
+    def rebuild(self, heap: HeapFile) -> None:
+        """Repopulate from a heap file (key columns with NULLs are skipped)."""
+        self.clear()
+        positions = [heap.schema.position(c) for c in self.columns]
+        for rid, row in heap.scan():
+            key = tuple(row[p] for p in positions)
+            if any(part is None for part in key):
+                continue
+            self._buckets.setdefault(key, []).append(rid)
+            self._count += 1

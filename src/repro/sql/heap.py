@@ -1,0 +1,161 @@
+"""Heap files: unordered row storage over slotted pages.
+
+Each heap file owns one page file; every page in the file is a data page, and
+rows are addressed by a RID ``(page_no, slot_no)``.  Inserts fill the last
+partially-full page first and allocate a new page when needed (append-mostly
+behaviour, like the paper's update-descriptor queue table).  Updates that no
+longer fit in their page are relocated, so callers that need stable row
+identity (indexes) receive the possibly-new RID back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from ..errors import PageFullError, StorageError
+from .buffer import BufferPool
+from .page import MAX_RECORD_SIZE
+from .schema import TableSchema
+
+RID = Tuple[int, int]  # (page_no, slot_no)
+
+
+class HeapFile:
+    """Row storage for one table."""
+
+    def __init__(self, schema: TableSchema, pool: BufferPool, file_id: int):
+        self.schema = schema
+        self.pool = pool
+        self.file_id = file_id
+        # Pages with known free space, most-recently-useful last.  This is a
+        # hint only: correctness never depends on it.
+        self._free_hint: Optional[int] = None
+        self._row_count: Optional[int] = None
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self.pool.pager(self.file_id).num_pages
+
+    def _pin(self, page_no: int):
+        return self.pool.pin(self.file_id, page_no)
+
+    def _unpin(self, page_no: int, dirty: bool = False) -> None:
+        self.pool.unpin(self.file_id, page_no, dirty)
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> RID:
+        """Validate, serialize, and store one row; returns its RID."""
+        row = self.schema.check_row(values)
+        record = self.schema.encode_row(row)
+        if len(record) > MAX_RECORD_SIZE:
+            raise StorageError(
+                f"row of {len(record)} bytes exceeds max record size "
+                f"{MAX_RECORD_SIZE}"
+            )
+        # Try the hinted page, then fall back to a fresh page.
+        if self._free_hint is not None:
+            page_no = self._free_hint
+            page = self._pin(page_no)
+            try:
+                slot = page.insert(record)
+            except PageFullError:
+                self._unpin(page_no)
+                self._free_hint = None
+            else:
+                self._unpin(page_no, dirty=True)
+                self._bump_count(1)
+                return (page_no, slot)
+        page_no = self.pool.allocate(self.file_id)
+        page = self._pin(page_no)
+        slot = page.insert(record)
+        self._unpin(page_no, dirty=True)
+        self._free_hint = page_no
+        self._bump_count(1)
+        return (page_no, slot)
+
+    def insert_dict(self, values: dict) -> RID:
+        return self.insert(self.schema.check_dict(values))
+
+    def delete(self, rid: RID) -> None:
+        page_no, slot = rid
+        page = self._pin(page_no)
+        try:
+            page.delete(slot)
+        finally:
+            self._unpin(page_no, dirty=True)
+        self._free_hint = page_no
+        self._bump_count(-1)
+
+    def update(self, rid: RID, values: Sequence[Any]) -> RID:
+        """Rewrite the row at ``rid``; returns its (possibly new) RID."""
+        row = self.schema.check_row(values)
+        record = self.schema.encode_row(row)
+        page_no, slot = rid
+        page = self._pin(page_no)
+        try:
+            ok = page.update(slot, record)
+        finally:
+            self._unpin(page_no, dirty=True)
+        if ok:
+            return rid
+        # Did not fit: relocate.
+        self.delete(rid)
+        return self.insert(row)
+
+    # -- access -----------------------------------------------------------------
+
+    def read(self, rid: RID) -> Tuple[Any, ...]:
+        page_no, slot = rid
+        page = self._pin(page_no)
+        try:
+            record = page.read(slot)
+        finally:
+            self._unpin(page_no)
+        return self.schema.decode_row(record)
+
+    def exists(self, rid: RID) -> bool:
+        page_no, slot = rid
+        if not (0 <= page_no < self.num_pages):
+            return False
+        page = self._pin(page_no)
+        try:
+            return page.is_live(slot)
+        finally:
+            self._unpin(page_no)
+
+    def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        """Full scan: yields ``(rid, row)`` for every live row."""
+        for page_no in range(self.num_pages):
+            page = self._pin(page_no)
+            try:
+                entries = list(page.records())
+            finally:
+                self._unpin(page_no)
+            for slot, record in entries:
+                yield (page_no, slot), self.schema.decode_row(record)
+
+    def count(self) -> int:
+        """Number of live rows (cached after the first full scan)."""
+        if self._row_count is None:
+            self._row_count = sum(1 for _ in self.scan())
+        return self._row_count
+
+    def _bump_count(self, delta: int) -> None:
+        if self._row_count is not None:
+            self._row_count += delta
+
+    def truncate(self) -> None:
+        """Delete every row (pages are kept and reused)."""
+        for page_no in range(self.num_pages):
+            page = self._pin(page_no)
+            try:
+                for slot, _ in list(page.records()):
+                    page.delete(slot)
+                page.compact()
+            finally:
+                self._unpin(page_no, dirty=True)
+        self._row_count = 0
+        self._free_hint = 0 if self.num_pages else None

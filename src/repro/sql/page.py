@@ -1,0 +1,191 @@
+"""Slotted pages: the on-disk unit of the storage engine.
+
+Layout (little-endian) of a 4096-byte page::
+
+    offset 0   u32  number of slots
+    offset 4   u32  free-space pointer (offset of first free byte from the
+                    *end* region; records grow downward from PAGE_SIZE)
+    offset 8   slot directory: per slot, u32 offset + u32 length
+               (offset == 0 marks a deleted slot; valid record offsets are
+               always >= header size so 0 is unambiguous)
+    ...        free space ...
+    records grow from the end of the page toward the slot directory
+
+Records are opaque byte strings (the schema codec lives above this layer).
+Deleting a record tombstones its slot; :meth:`SlottedPage.compact` reclaims
+the space.  Updates that fit in place reuse the slot; larger updates are
+handled by the heap layer as delete+insert with a forwarding convention.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import PageFullError, StorageError
+
+PAGE_SIZE = 4096
+_HEADER = struct.Struct("<II")  # num_slots, free_ptr
+_SLOT = struct.Struct("<II")  # record offset, record length
+HEADER_SIZE = _HEADER.size
+SLOT_SIZE = _SLOT.size
+
+#: Largest record a single page can hold (one slot, empty page).
+MAX_RECORD_SIZE = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+
+
+class SlottedPage:
+    """A mutable view over one page worth of bytes."""
+
+    def __init__(self, data: Optional[bytearray] = None):
+        if data is None:
+            data = bytearray(PAGE_SIZE)
+            _HEADER.pack_into(data, 0, 0, PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"page must be {PAGE_SIZE} bytes, got {len(data)}")
+        self.data = data
+        # A freshly allocated page arrives zero-filled; a valid slotted page
+        # never has free_ptr == 0, so that state marks "uninitialized".
+        if _HEADER.unpack_from(data, 0) == (0, 0):
+            _HEADER.pack_into(data, 0, 0, PAGE_SIZE)
+
+    # -- header accessors ---------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @property
+    def free_ptr(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[1]
+
+    def _set_header(self, num_slots: int, free_ptr: int) -> None:
+        _HEADER.pack_into(self.data, 0, num_slots, free_ptr)
+
+    def _slot(self, slot_no: int) -> Tuple[int, int]:
+        if not (0 <= slot_no < self.num_slots):
+            raise StorageError(f"slot {slot_no} out of range (have {self.num_slots})")
+        return _SLOT.unpack_from(self.data, HEADER_SIZE + slot_no * SLOT_SIZE)
+
+    def _set_slot(self, slot_no: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self.data, HEADER_SIZE + slot_no * SLOT_SIZE, offset, length)
+
+    # -- space accounting -----------------------------------------------------
+
+    def free_space(self) -> int:
+        """Bytes available for a new record *including* its new slot."""
+        directory_end = HEADER_SIZE + self.num_slots * SLOT_SIZE
+        return self.free_ptr - directory_end
+
+    def can_fit(self, record_size: int) -> bool:
+        return self.free_space() >= record_size + SLOT_SIZE
+
+    # -- record operations ------------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Store ``record`` and return its slot number."""
+        if len(record) > MAX_RECORD_SIZE:
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"{MAX_RECORD_SIZE}"
+            )
+        if not self.can_fit(len(record)):
+            raise PageFullError(
+                f"record of {len(record)} bytes does not fit "
+                f"(free={self.free_space()})"
+            )
+        # Reuse a tombstoned slot when present so slot numbers stay dense-ish.
+        slot_no = None
+        for i in range(self.num_slots):
+            offset, _ = self._slot(i)
+            if offset == 0:
+                slot_no = i
+                break
+        new_free = self.free_ptr - len(record)
+        self.data[new_free : new_free + len(record)] = record
+        if slot_no is None:
+            slot_no = self.num_slots
+            self._set_header(self.num_slots + 1, new_free)
+        else:
+            self._set_header(self.num_slots, new_free)
+        self._set_slot(slot_no, new_free, len(record))
+        return slot_no
+
+    def read(self, slot_no: int) -> bytes:
+        offset, length = self._slot(slot_no)
+        if offset == 0:
+            raise StorageError(f"slot {slot_no} is deleted")
+        return bytes(self.data[offset : offset + length])
+
+    def is_live(self, slot_no: int) -> bool:
+        if not (0 <= slot_no < self.num_slots):
+            return False
+        return self._slot(slot_no)[0] != 0
+
+    def delete(self, slot_no: int) -> None:
+        offset, _ = self._slot(slot_no)
+        if offset == 0:
+            raise StorageError(f"slot {slot_no} already deleted")
+        self._set_slot(slot_no, 0, 0)
+
+    def update(self, slot_no: int, record: bytes) -> bool:
+        """Update in place when possible.
+
+        Returns True on success; False when the new record is larger than the
+        old one and does not fit in the page's free space (the caller must
+        then relocate the record).
+        """
+        offset, length = self._slot(slot_no)
+        if offset == 0:
+            raise StorageError(f"slot {slot_no} is deleted")
+        if len(record) <= length:
+            self.data[offset : offset + len(record)] = record
+            self._set_slot(slot_no, offset, len(record))
+            return True
+        if self.free_space() >= len(record):
+            new_free = self.free_ptr - len(record)
+            self.data[new_free : new_free + len(record)] = record
+            self._set_header(self.num_slots, new_free)
+            self._set_slot(slot_no, new_free, len(record))
+            return True
+        # Try again after compaction: the old copy's space is reclaimable.
+        old_record = bytes(self.data[offset : offset + length])
+        self._set_slot(slot_no, 0, 0)
+        self.compact()
+        if self.can_fit(len(record)):
+            new_free = self.free_ptr - len(record)
+            self.data[new_free : new_free + len(record)] = record
+            self._set_header(self.num_slots, new_free)
+            self._set_slot(slot_no, new_free, len(record))
+            return True
+        # Does not fit even compacted: restore the old record (it occupied
+        # the page before, so after compaction it is guaranteed to fit).
+        new_free = self.free_ptr - len(old_record)
+        self.data[new_free : new_free + len(old_record)] = old_record
+        self._set_header(self.num_slots, new_free)
+        self._set_slot(slot_no, new_free, len(old_record))
+        return False
+
+    def compact(self) -> None:
+        """Rewrite live records contiguously at the end, reclaiming holes."""
+        live: List[Tuple[int, bytes]] = []
+        for i in range(self.num_slots):
+            offset, length = self._slot(i)
+            if offset != 0:
+                live.append((i, bytes(self.data[offset : offset + length])))
+        free_ptr = PAGE_SIZE
+        for slot_no, record in live:
+            free_ptr -= len(record)
+            self.data[free_ptr : free_ptr + len(record)] = record
+            self._set_slot(slot_no, free_ptr, len(record))
+        self._set_header(self.num_slots, free_ptr)
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(slot_no, record)`` for every live record."""
+        for i in range(self.num_slots):
+            offset, length = self._slot(i)
+            if offset != 0:
+                yield i, bytes(self.data[offset : offset + length])
+
+    def live_count(self) -> int:
+        return sum(1 for i in range(self.num_slots) if self._slot(i)[0] != 0)

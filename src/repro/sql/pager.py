@@ -1,0 +1,160 @@
+"""Page files: fixed-size page allocation over a byte store.
+
+A :class:`PageFile` numbers pages from 0 and supports allocate / read /
+write / free.  Freed pages go on a freelist kept in page 0's shadow area is
+overkill for this reproduction; instead the freelist lives in memory and is
+rebuilt as "never reuse" across restarts — heap files track their own pages
+via a directory, so leaked free pages only waste file space, never corrupt.
+
+Two backends are provided:
+
+* :class:`FilePager` — a real file on disk, pages read/written with seek.
+* :class:`MemoryPager` — a list of bytearrays, used for in-memory databases
+  and by most tests and benchmarks (keeps page-count accounting identical
+  without filesystem noise).
+
+Both count physical reads and writes; the buffer pool above exposes those
+stats to the cost model and benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..errors import StorageError
+from .page import PAGE_SIZE
+
+
+class Pager:
+    """Abstract page store."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self._free: List[int] = []
+
+    # -- backend hooks ---------------------------------------------------
+
+    def _read_raw(self, page_no: int) -> bytearray:
+        raise NotImplementedError
+
+    def _write_raw(self, page_no: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    @property
+    def num_pages(self) -> int:
+        raise NotImplementedError
+
+    # -- public API --------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Return the page number of a fresh zeroed page."""
+        self.writes += 1
+        if self._free:
+            page_no = self._free.pop()
+            self._write_raw(page_no, bytes(PAGE_SIZE))
+            return page_no
+        page_no = self.num_pages
+        self._write_raw(page_no, bytes(PAGE_SIZE))
+        return page_no
+
+    def free(self, page_no: int) -> None:
+        self._check(page_no)
+        self._free.append(page_no)
+
+    def read(self, page_no: int) -> bytearray:
+        self._check(page_no)
+        self.reads += 1
+        return self._read_raw(page_no)
+
+    def write(self, page_no: int, data: bytes) -> None:
+        self._check(page_no)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"page write of {len(data)} bytes (want {PAGE_SIZE})")
+        self.writes += 1
+        self._write_raw(page_no, data)
+
+    def _check(self, page_no: int) -> None:
+        if not (0 <= page_no < self.num_pages):
+            raise StorageError(
+                f"page {page_no} out of range (file has {self.num_pages} pages)"
+            )
+
+    def sync(self) -> None:
+        """Flush to stable storage (no-op for the memory backend)."""
+
+    def close(self) -> None:
+        """Release backend resources."""
+
+
+class MemoryPager(Pager):
+    """Pages held in process memory."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pages: List[bytearray] = []
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def _read_raw(self, page_no: int) -> bytearray:
+        return bytearray(self._pages[page_no])
+
+    def _write_raw(self, page_no: int, data: bytes) -> None:
+        if page_no == len(self._pages):
+            self._pages.append(bytearray(data))
+        else:
+            self._pages[page_no] = bytearray(data)
+
+
+class FilePager(Pager):
+    """Pages stored in a single file on disk."""
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = path
+        exists = os.path.exists(path)
+        self._fh = open(path, "r+b" if exists else "w+b")
+        self._fh.seek(0, os.SEEK_END)
+        size = self._fh.tell()
+        if size % PAGE_SIZE != 0:
+            raise StorageError(
+                f"{path}: size {size} is not a multiple of the page size"
+            )
+        self._num_pages = size // PAGE_SIZE
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def _read_raw(self, page_no: int) -> bytearray:
+        self._fh.seek(page_no * PAGE_SIZE)
+        data = self._fh.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"{self.path}: short read on page {page_no}")
+        return bytearray(data)
+
+    def _write_raw(self, page_no: int, data: bytes) -> None:
+        self._fh.seek(page_no * PAGE_SIZE)
+        self._fh.write(data)
+        if page_no >= self._num_pages:
+            self._num_pages = page_no + 1
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        try:
+            self._fh.flush()
+        finally:
+            self._fh.close()
+
+
+def open_pager(path: Optional[str]) -> Pager:
+    """Open a file-backed pager, or an in-memory one when ``path`` is None."""
+    if path is None:
+        return MemoryPager()
+    return FilePager(path)

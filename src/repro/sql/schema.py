@@ -1,0 +1,181 @@
+"""Table schemas: ordered, typed, named columns plus row (de)serialization.
+
+A :class:`TableSchema` is the unit the heap files and indexes are defined
+over.  Rows are plain tuples ordered like the schema's columns; the schema
+owns the byte-level codec so pages never need to know about types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .types import DataType, TypeRegistry, DEFAULT_REGISTRY
+
+
+class Column:
+    """One column: a name, a type, and nullability."""
+
+    __slots__ = ("name", "type", "nullable")
+
+    def __init__(self, name: str, type_: DataType, nullable: bool = True):
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid column name {name!r}")
+        self.name = name
+        self.type = type_
+        self.nullable = nullable
+
+    def __repr__(self) -> str:
+        null = "" if self.nullable else " not null"
+        return f"{self.name} {self.type.name}{null}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.type == other.type
+            and self.nullable == other.nullable
+        )
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` with fast name lookup."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {name!r}: {names}")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._position: Dict[str, int] = {c.name: i for i, c in enumerate(columns)}
+
+    # -- lookup ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._position
+
+    def position(self, name: str) -> int:
+        """Index of column ``name`` in a row tuple."""
+        try:
+            return self._position[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    # -- row validation and codec -----------------------------------------
+
+    def check_row(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        """Validate and canonicalize a full row; returns the stored tuple."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        out = []
+        for col, value in zip(self.columns, values):
+            if value is None:
+                if not col.nullable:
+                    raise SchemaError(
+                        f"column {self.name}.{col.name} is not nullable"
+                    )
+                out.append(None)
+            else:
+                out.append(col.type.check(value))
+        return tuple(out)
+
+    def check_dict(self, values: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Validate a row given as a name→value mapping (missing → NULL)."""
+        unknown = set(values) - set(self._position)
+        if unknown:
+            raise SchemaError(
+                f"unknown columns for table {self.name!r}: {sorted(unknown)}"
+            )
+        return self.check_row([values.get(c.name) for c in self.columns])
+
+    def row_to_dict(self, row: Sequence[Any]) -> Dict[str, Any]:
+        return {c.name: v for c, v in zip(self.columns, row)}
+
+    def encode_row(self, row: Sequence[Any]) -> bytes:
+        """Serialize a checked row to bytes for slotted-page storage."""
+        parts = [
+            col.type.encode_nullable(value)
+            for col, value in zip(self.columns, row)
+        ]
+        return b"".join(parts)
+
+    def decode_row(self, data: bytes) -> Tuple[Any, ...]:
+        """Inverse of :meth:`encode_row`."""
+        values = []
+        offset = 0
+        for col in self.columns:
+            value, offset = col.type.decode_nullable(data, offset)
+            values.append(value)
+        return tuple(values)
+
+    # -- catalog persistence ------------------------------------------------
+
+    def to_catalog(self) -> Dict[str, Any]:
+        """A JSON-serializable description used by the engine catalog."""
+        return {
+            "name": self.name,
+            "columns": [
+                {"name": c.name, "type": c.type.name, "nullable": c.nullable}
+                for c in self.columns
+            ],
+        }
+
+    @classmethod
+    def from_catalog(
+        cls,
+        desc: Dict[str, Any],
+        registry: Optional[TypeRegistry] = None,
+    ) -> "TableSchema":
+        registry = registry or DEFAULT_REGISTRY
+        columns = [
+            Column(c["name"], registry.resolve(c["type"]), c.get("nullable", True))
+            for c in desc["columns"]
+        ]
+        return cls(desc["name"], columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(repr(c) for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TableSchema)
+            and self.name == other.name
+            and self.columns == other.columns
+        )
+
+
+def schema(name: str, *cols: Tuple, registry: Optional[TypeRegistry] = None) -> TableSchema:
+    """Convenience builder: ``schema("emp", ("name", "varchar(40)"), ...)``.
+
+    Each column spec is ``(name, type_name)`` or ``(name, type_name, nullable)``.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    columns = []
+    for spec in cols:
+        if len(spec) == 2:
+            cname, tname = spec
+            nullable = True
+        else:
+            cname, tname, nullable = spec
+        columns.append(Column(cname, registry.resolve(tname), nullable))
+    return TableSchema(name, columns)

@@ -1,0 +1,259 @@
+"""Column data types for the mini object-relational storage engine.
+
+The paper's prototype supports ``char``, ``varchar``, ``integer`` and
+``float`` and was adding user-defined types (§3).  This module mirrors that:
+the four built-in types plus a :class:`TypeRegistry` through which
+user-defined types (UDTs) can be installed with their own validation,
+serialization, and comparison behaviour.
+
+Every type knows how to
+
+* validate / coerce a Python value (:meth:`DataType.check`),
+* serialize a value to bytes for slotted-page storage
+  (:meth:`DataType.encode` / :meth:`DataType.decode`),
+* produce a sort key usable in B+tree composite keys
+  (:meth:`DataType.sort_key`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import SchemaError, TypeError_
+
+_NULL_FLAG = b"\x00"
+_PRESENT_FLAG = b"\x01"
+
+
+class DataType:
+    """Abstract base class for all column types."""
+
+    #: short name used in catalogs and in ``repr`` output, e.g. ``"integer"``
+    name: str = "abstract"
+
+    def check(self, value: Any) -> Any:
+        """Validate ``value`` and return its canonical Python form.
+
+        Raises :class:`TypeError_` when the value cannot be stored in a
+        column of this type.
+        """
+        raise NotImplementedError
+
+    def encode(self, value: Any) -> bytes:
+        """Serialize a (non-None, already checked) value to bytes."""
+        raise NotImplementedError
+
+    def decode(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        """Deserialize one value from ``data`` starting at ``offset``.
+
+        Returns ``(value, next_offset)``.
+        """
+        raise NotImplementedError
+
+    def sort_key(self, value: Any):
+        """Return a totally-ordered key for ``value`` (used by indexes)."""
+        return value
+
+    def encode_nullable(self, value: Any) -> bytes:
+        """Serialize a possibly-None value (one flag byte + payload)."""
+        if value is None:
+            return _NULL_FLAG
+        return _PRESENT_FLAG + self.encode(value)
+
+    def decode_nullable(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        """Inverse of :meth:`encode_nullable`."""
+        flag = data[offset : offset + 1]
+        offset += 1
+        if flag == _NULL_FLAG:
+            return None, offset
+        return self.decode(data, offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DataType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class IntegerType(DataType):
+    """64-bit signed integer."""
+
+    name = "integer"
+
+    def check(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError_(f"expected integer, got {value!r}")
+        if not (-(2**63) <= value < 2**63):
+            raise TypeError_(f"integer out of 64-bit range: {value!r}")
+        return value
+
+    def encode(self, value: int) -> bytes:
+        return struct.pack("<q", value)
+
+    def decode(self, data: bytes, offset: int) -> Tuple[int, int]:
+        (value,) = struct.unpack_from("<q", data, offset)
+        return value, offset + 8
+
+
+class FloatType(DataType):
+    """IEEE-754 double precision float.  Integers are coerced."""
+
+    name = "float"
+
+    def check(self, value: Any) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError_(f"expected float, got {value!r}")
+        return float(value)
+
+    def encode(self, value: float) -> bytes:
+        return struct.pack("<d", value)
+
+    def decode(self, data: bytes, offset: int) -> Tuple[float, int]:
+        (value,) = struct.unpack_from("<d", data, offset)
+        return value, offset + 8
+
+
+class VarCharType(DataType):
+    """Variable-length string with a declared maximum length."""
+
+    def __init__(self, max_length: int = 255):
+        if max_length <= 0:
+            raise SchemaError(f"varchar length must be positive, got {max_length}")
+        self.max_length = max_length
+        self.name = f"varchar({max_length})"
+
+    def check(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise TypeError_(f"expected string, got {value!r}")
+        if len(value) > self.max_length:
+            raise TypeError_(
+                f"string of length {len(value)} exceeds varchar({self.max_length})"
+            )
+        return value
+
+    def encode(self, value: str) -> bytes:
+        payload = value.encode("utf-8")
+        return struct.pack("<I", len(payload)) + payload
+
+    def decode(self, data: bytes, offset: int) -> Tuple[str, int]:
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+class CharType(VarCharType):
+    """Fixed-length, blank-padded string (padding stripped on read back,
+    matching the usual SQL ``CHAR`` comparison semantics)."""
+
+    def __init__(self, length: int):
+        super().__init__(length)
+        self.name = f"char({length})"
+
+    def check(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise TypeError_(f"expected string, got {value!r}")
+        if len(value) > self.max_length:
+            raise TypeError_(
+                f"string of length {len(value)} exceeds char({self.max_length})"
+            )
+        return value.ljust(self.max_length).rstrip()
+
+
+class UserDefinedType(DataType):
+    """A user-defined type installed through :class:`TypeRegistry`.
+
+    The paper (§9, future work) proposes extensible constant-set structures
+    for user-defined operators and types; we support UDTs carrying their own
+    ``validate``/``to_bytes``/``from_bytes``/``key`` functions so the engine
+    and the predicate index treat them uniformly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        validate: Callable[[Any], Any],
+        to_bytes: Callable[[Any], bytes],
+        from_bytes: Callable[[bytes], Any],
+        key: Optional[Callable[[Any], Any]] = None,
+    ):
+        self.name = name
+        self._validate = validate
+        self._to_bytes = to_bytes
+        self._from_bytes = from_bytes
+        self._key = key
+
+    def check(self, value: Any) -> Any:
+        try:
+            return self._validate(value)
+        except TypeError_:
+            raise
+        except Exception as exc:
+            raise TypeError_(f"value {value!r} rejected by UDT {self.name}: {exc}")
+
+    def encode(self, value: Any) -> bytes:
+        payload = self._to_bytes(value)
+        return struct.pack("<I", len(payload)) + payload
+
+    def decode(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        return self._from_bytes(data[offset : offset + length]), offset + length
+
+    def sort_key(self, value: Any):
+        if self._key is not None:
+            return self._key(value)
+        return value
+
+
+#: singleton instances of the parameterless built-in types
+INTEGER = IntegerType()
+FLOAT = FloatType()
+
+
+class TypeRegistry:
+    """Registry resolving type names (as found in catalogs) to instances.
+
+    The built-in names ``integer``, ``float``, ``char(N)`` and ``varchar(N)``
+    are always resolvable; UDTs must be registered explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._udts: Dict[str, UserDefinedType] = {}
+
+    def register(self, udt: UserDefinedType) -> None:
+        if self.is_builtin_name(udt.name):
+            raise SchemaError(f"cannot register UDT with built-in name {udt.name!r}")
+        if udt.name in self._udts:
+            raise SchemaError(f"UDT {udt.name!r} already registered")
+        self._udts[udt.name] = udt
+
+    @staticmethod
+    def is_builtin_name(name: str) -> bool:
+        if name in ("integer", "float"):
+            return True
+        return name.startswith(("char(", "varchar(")) and name.endswith(")")
+
+    def resolve(self, name: str) -> DataType:
+        """Return the :class:`DataType` instance for a catalog type name."""
+        if name == "integer":
+            return INTEGER
+        if name == "float":
+            return FLOAT
+        for prefix, cls in (("varchar(", VarCharType), ("char(", CharType)):
+            if name.startswith(prefix) and name.endswith(")"):
+                try:
+                    length = int(name[len(prefix) : -1])
+                except ValueError:
+                    raise SchemaError(f"bad type name {name!r}")
+                return cls(length)
+        if name in self._udts:
+            return self._udts[name]
+        raise SchemaError(f"unknown type {name!r}")
+
+
+#: process-wide default registry used when a database is not given its own
+DEFAULT_REGISTRY = TypeRegistry()

@@ -1,0 +1,29 @@
+"""Deterministic workload generators for tests, examples, and benchmarks."""
+
+from .generators import (
+    DEPARTMENTS,
+    EMP_COLUMNS,
+    SIGNATURE_TEMPLATES,
+    PredicateSpec,
+    build_naive,
+    build_predicate_index,
+    emp_predicates,
+    emp_tokens,
+    organization_factory_for,
+    populate_realestate,
+    zipf_indices,
+)
+
+__all__ = [
+    "DEPARTMENTS",
+    "EMP_COLUMNS",
+    "SIGNATURE_TEMPLATES",
+    "PredicateSpec",
+    "build_naive",
+    "build_predicate_index",
+    "emp_predicates",
+    "emp_tokens",
+    "organization_factory_for",
+    "populate_realestate",
+    "zipf_indices",
+]

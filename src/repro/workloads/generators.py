@@ -1,0 +1,363 @@
+"""Workload generators shared by tests, examples, and benchmarks.
+
+Everything is seeded and deterministic.  The central scenario follows the
+paper's motivation (§1, §5): very many triggers whose predicates share a
+handful of *expression signatures* and differ only in constants — e.g. one
+threshold or equality alert per user over a table of employees, stock
+ticks, or real-estate listings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..condition.signature import AnalyzedPredicate, analyze_selection
+from ..lang import ast
+from ..predindex.costmodel import Limits
+from ..predindex.entry import PredicateEntry
+from ..predindex.index import PredicateIndex
+from ..predindex.organizations import (
+    AutoOrganization,
+    DbTableOrganization,
+    MemoryIndexOrganization,
+    MemoryListOrganization,
+    Organization,
+)
+from ..sql.database import Database
+
+#: The columns of the canonical "emp" workload table.
+EMP_COLUMNS = (
+    ("eno", "integer"),
+    ("name", "varchar(40)"),
+    ("salary", "float"),
+    ("dept", "varchar(20)"),
+    ("age", "integer"),
+)
+
+DEPARTMENTS = (
+    "toys", "shoes", "books", "garden", "auto", "sports", "grocery", "deli",
+)
+
+
+def _atom(column: str, op: str, value: Any) -> ast.Expr:
+    return ast.BinaryOp(op, ast.ColumnRef(None, column), ast.Literal(value))
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One generated selection predicate, pre-analysis."""
+
+    data_source: str
+    operation: str
+    clauses: Tuple[Tuple[ast.Expr, ...], ...]
+
+    def analyze(self) -> AnalyzedPredicate:
+        return analyze_selection(
+            self.data_source, self.operation, list(self.clauses)
+        )
+
+
+#: Signature templates for the emp workload.  Each produces a structurally
+#: distinct predicate; mixing ``k`` of them yields exactly ``k`` signatures
+#: no matter how many triggers are generated (§5's key claim).
+def _tmpl_salary_gt(rng: random.Random) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    return ((_atom("salary", ">", float(rng.randrange(10_000, 200_000))),),)
+
+
+def _tmpl_salary_lt(rng: random.Random) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    return ((_atom("salary", "<", float(rng.randrange(10_000, 200_000))),),)
+
+
+def _tmpl_name_eq(rng: random.Random) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    return ((_atom("name", "=", f"user{rng.randrange(1_000_000)}"),),)
+
+
+def _tmpl_dept_eq_salary_gt(
+    rng: random.Random,
+) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    return (
+        (_atom("dept", "=", rng.choice(DEPARTMENTS)),),
+        (_atom("salary", ">", float(rng.randrange(10_000, 200_000))),),
+    )
+
+
+def _tmpl_age_between(rng: random.Random) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    low = rng.randrange(18, 60)
+    return (
+        (
+            ast.Between(
+                ast.ColumnRef(None, "age"),
+                ast.Literal(low),
+                ast.Literal(low + rng.randrange(1, 15)),
+            ),
+        ),
+    )
+
+
+def _tmpl_eno_eq(rng: random.Random) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    return ((_atom("eno", "=", rng.randrange(1_000_000)),),)
+
+
+def _tmpl_dept_eq_age_gt(rng: random.Random) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    return (
+        (_atom("dept", "=", rng.choice(DEPARTMENTS)),),
+        (_atom("age", ">", rng.randrange(18, 70)),),
+    )
+
+
+def _tmpl_name_like(rng: random.Random) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    prefix = chr(ord("a") + rng.randrange(26))
+    return (
+        (
+            ast.BinaryOp(
+                "LIKE", ast.ColumnRef(None, "name"), ast.Literal(f"{prefix}%")
+            ),
+        ),
+    )
+
+
+def _tmpl_dept_in(rng: random.Random) -> Tuple[Tuple[ast.Expr, ...], ...]:
+    picks = rng.sample(DEPARTMENTS, 3)
+    return (
+        (
+            ast.InList(
+                ast.ColumnRef(None, "dept"),
+                tuple(ast.Literal(d) for d in picks),
+            ),
+        ),
+    )
+
+
+SIGNATURE_TEMPLATES: Tuple[Callable[[random.Random], Tuple], ...] = (
+    _tmpl_salary_gt,
+    _tmpl_name_eq,
+    _tmpl_dept_eq_salary_gt,
+    _tmpl_age_between,
+    _tmpl_eno_eq,
+    _tmpl_salary_lt,
+    _tmpl_dept_eq_age_gt,
+    _tmpl_name_like,
+    _tmpl_dept_in,
+)
+
+
+def emp_predicates(
+    count: int,
+    num_signatures: int = 4,
+    data_source: str = "emp",
+    operation: str = "insert",
+    seed: int = 7,
+    template_indices: Optional[Sequence[int]] = None,
+) -> List[PredicateSpec]:
+    """Generate ``count`` predicates drawn round-robin from the first
+    ``num_signatures`` templates (so the signature count is exact).
+    ``template_indices`` overrides the selection with explicit template
+    positions (e.g. ``[1]`` for a pure name-equality workload)."""
+    if template_indices is not None:
+        chosen = [SIGNATURE_TEMPLATES[i] for i in template_indices]
+    else:
+        if not (1 <= num_signatures <= len(SIGNATURE_TEMPLATES)):
+            raise ValueError(
+                f"num_signatures must be in 1..{len(SIGNATURE_TEMPLATES)}"
+            )
+        chosen = list(SIGNATURE_TEMPLATES[:num_signatures])
+    rng = random.Random(seed)
+    out: List[PredicateSpec] = []
+    for i in range(count):
+        template = chosen[i % len(chosen)]
+        out.append(
+            PredicateSpec(data_source, operation, template(rng))
+        )
+    return out
+
+
+def emp_tokens(
+    count: int, seed: int = 11
+) -> List[Dict[str, Any]]:
+    """Row images for insert tokens over the emp schema."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        out.append(
+            {
+                "eno": rng.randrange(1_000_000),
+                "name": f"user{rng.randrange(1_000_000)}",
+                "salary": float(rng.randrange(10_000, 200_000)),
+                "dept": rng.choice(DEPARTMENTS),
+                "age": rng.randrange(18, 70),
+            }
+        )
+    return out
+
+
+def zipf_indices(count: int, universe: int, s: float = 1.1, seed: int = 13) -> List[int]:
+    """``count`` indices in [0, universe) with a Zipf(s) popularity skew
+    (used for trigger-cache locality experiments)."""
+    rng = random.Random(seed)
+    weights = [1.0 / ((i + 1) ** s) for i in range(universe)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    out = []
+    import bisect
+
+    for _ in range(count):
+        out.append(bisect.bisect_left(cumulative, rng.random()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Index builders
+# ---------------------------------------------------------------------------
+
+
+def build_predicate_index(
+    specs: Sequence[PredicateSpec],
+    database: Optional[Database] = None,
+    limits: Optional[Limits] = None,
+    organization_factory: Optional[
+        Callable[[AnalyzedPredicate, int], Organization]
+    ] = None,
+) -> PredicateIndex:
+    """Load a PredicateIndex with the given predicates (one synthetic
+    trigger per predicate).  By default constant sets use
+    :class:`AutoOrganization`; pass ``organization_factory`` to force a
+    strategy (benchmark E4)."""
+    database = database if database is not None else Database()
+    limits = limits or Limits()
+    index = PredicateIndex()
+    sig_counter = 0
+    for i, spec in enumerate(specs):
+        analyzed = spec.analyze()
+        group = index.find_group(analyzed.signature)
+        if group is None:
+            sig_counter += 1
+            if organization_factory is not None:
+                organization = organization_factory(analyzed, sig_counter)
+            else:
+                organization = AutoOrganization(
+                    analyzed.signature,
+                    database,
+                    f"const_table{sig_counter}",
+                    limits=limits,
+                )
+            group = index.register_signature(
+                sig_counter, analyzed.signature, organization
+            )
+        entry = PredicateEntry(
+            expr_id=i + 1,
+            trigger_id=i + 1,
+            tvar=spec.data_source,
+            next_node="pnode",
+            residual_text=(
+                analyzed.residual.render()
+                if analyzed.residual is not None
+                else None
+            ),
+        )
+        group.organization.add(analyzed.indexable_constants, entry)
+    return index
+
+
+def organization_factory_for(
+    strategy: str, database: Database
+) -> Callable[[AnalyzedPredicate, int], Organization]:
+    """A factory forcing one §5.2 strategy (for the E4 sweep)."""
+
+    def factory(analyzed: AnalyzedPredicate, sig_id: int) -> Organization:
+        if strategy == "memory_list":
+            return MemoryListOrganization(analyzed.signature)
+        if strategy == "memory_index":
+            return MemoryIndexOrganization(analyzed.signature)
+        if strategy == "db_table":
+            return DbTableOrganization(
+                analyzed.signature,
+                database,
+                f"const_table{sig_id}",
+                indexed=False,
+                sample_constants=analyzed.indexable_constants,
+            )
+        if strategy == "db_table_indexed":
+            return DbTableOrganization(
+                analyzed.signature,
+                database,
+                f"const_table{sig_id}",
+                indexed=True,
+                sample_constants=analyzed.indexable_constants,
+            )
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    return factory
+
+
+def build_naive(specs: Sequence[PredicateSpec]):
+    """The matching naive-ECA baseline over the same predicates."""
+    from ..baselines.naive import NaiveECAProcessor
+
+    processor = NaiveECAProcessor()
+    for i, spec in enumerate(specs):
+        processor.add_trigger(
+            i + 1, spec.data_source, spec.operation, spec.analyze()
+        )
+    return processor
+
+
+# ---------------------------------------------------------------------------
+# Scenario populators (real-estate §2, stock alerts §1)
+# ---------------------------------------------------------------------------
+
+
+def populate_realestate(tman, houses: int = 50, salespeople: int = 10,
+                        neighborhoods: int = 8, seed: int = 5) -> None:
+    """Create and fill the paper's real-estate schema on a TriggerMan
+    instance (house / salesperson / represents / neighborhood)."""
+    rng = random.Random(seed)
+    tman.define_table(
+        "house",
+        [
+            ("hno", "integer"),
+            ("address", "varchar(60)"),
+            ("price", "float"),
+            ("nno", "integer"),
+            ("spno", "integer"),
+        ],
+    )
+    tman.define_table(
+        "salesperson",
+        [("spno", "integer"), ("name", "varchar(40)"), ("phone", "varchar(20)")],
+    )
+    tman.define_table("represents", [("spno", "integer"), ("nno", "integer")])
+    tman.define_table(
+        "neighborhood",
+        [("nno", "integer"), ("name", "varchar(40)"), ("location", "varchar(40)")],
+    )
+    for n in range(neighborhoods):
+        tman.insert(
+            "neighborhood",
+            {"nno": n, "name": f"nbhd{n}", "location": f"loc{n % 3}"},
+        )
+    for s in range(salespeople):
+        tman.insert(
+            "salesperson",
+            {"spno": s, "name": f"sp{s}", "phone": f"555-{s:04d}"},
+        )
+        for n in range(neighborhoods):
+            if rng.random() < 0.4:
+                tman.insert("represents", {"spno": s, "nno": n})
+    for h in range(houses):
+        tman.insert(
+            "house",
+            {
+                "hno": h,
+                "address": f"{h} Main St",
+                "price": float(rng.randrange(100_000, 900_000)),
+                "nno": rng.randrange(neighborhoods),
+                "spno": rng.randrange(salespeople),
+            },
+        )
+    tman.process_all()

@@ -1,0 +1,110 @@
+"""Unit tests for conjunct grouping and the trigger condition graph."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.condition.classify import (
+    build_condition_graph,
+    resolve_unqualified,
+    tuple_variables_of,
+)
+from repro.lang import ast
+from repro.lang.exprparser import parse_expression_text as parse
+
+
+class TestTupleVariables:
+    def test_qualified(self):
+        assert tuple_variables_of(parse("a.x = 1 and b.y = 2")) == {"a", "b"}
+
+    def test_unqualified_ignored(self):
+        assert tuple_variables_of(parse("x = 1")) == set()
+
+    def test_unknown_tvar_rejected(self):
+        with pytest.raises(ConditionError):
+            tuple_variables_of(parse("z.x = 1"), known={"a", "b"})
+
+    def test_params_counted(self):
+        assert tuple_variables_of(parse(":NEW.emp.salary > 1")) == {"emp"}
+
+
+class TestResolveUnqualified:
+    COLS = {"e": ("name", "salary"), "d": ("dname", "budget")}
+
+    def test_resolves_unique(self):
+        expr = resolve_unqualified(parse("salary > 1 and budget < 2"), self.COLS)
+        assert tuple_variables_of(expr) == {"e", "d"}
+
+    def test_ambiguous_rejected(self):
+        cols = {"a": ("x",), "b": ("x",)}
+        with pytest.raises(ConditionError):
+            resolve_unqualified(parse("x = 1"), cols)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConditionError):
+            resolve_unqualified(parse("bogus = 1"), self.COLS)
+
+    def test_validates_qualified(self):
+        with pytest.raises(ConditionError):
+            resolve_unqualified(parse("e.bogus = 1"), self.COLS)
+        with pytest.raises(ConditionError):
+            resolve_unqualified(parse("zz.name = 1"), self.COLS)
+
+    def test_keeps_valid_qualified(self):
+        expr = resolve_unqualified(parse("e.salary > 1"), self.COLS)
+        assert expr == parse("e.salary > 1")
+
+
+class TestConditionGraph:
+    def test_iris_example(self):
+        when = parse("s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno")
+        graph = build_condition_graph(["s", "h", "r"], when)
+        assert set(graph.nodes) == {"s"}
+        assert graph.selection_expr("s").render() == "(s.name = 'Iris')"
+        assert graph.join_for("s", "r")
+        assert graph.join_for("r", "h")
+        assert not graph.join_for("s", "h")
+        assert graph.neighbors("r") == ["h", "s"]
+        assert graph.is_connected()
+
+    def test_selection_only(self):
+        graph = build_condition_graph(["e"], parse("e.salary > 10"))
+        assert graph.selection_for("e")
+        assert not graph.edges
+        assert graph.is_connected()
+
+    def test_no_condition(self):
+        graph = build_condition_graph(["e"], None)
+        assert graph.selection_for("e") == []
+        assert graph.selection_expr("e") is None
+
+    def test_trivial_goes_to_catch_all(self):
+        graph = build_condition_graph(["e"], parse("1 = 1 and e.x = 2"))
+        assert len(graph.catch_all) == 1
+        assert len(graph.selection_for("e")) == 1
+
+    def test_hyper_join_goes_to_catch_all(self):
+        when = parse("a.x + b.y = c.z")
+        graph = build_condition_graph(["a", "b", "c"], when)
+        assert len(graph.catch_all) == 1
+        assert not graph.edges
+
+    def test_disconnected_detected(self):
+        when = parse("a.x = b.y")
+        graph = build_condition_graph(["a", "b", "c"], when)
+        assert not graph.is_connected()
+
+    def test_mixed_clause_classification(self):
+        when = parse(
+            "e.salary > 10 and e.dept = d.dname and d.budget < 5 and 2 > 1"
+        )
+        graph = build_condition_graph(["e", "d"], when)
+        assert len(graph.selection_for("e")) == 1
+        assert len(graph.selection_for("d")) == 1
+        assert len(graph.join_for("e", "d")) == 1
+        assert len(graph.catch_all) == 1
+
+    def test_disjunction_spanning_two_tvars_is_join(self):
+        when = parse("a.x = 1 or b.y = 2")
+        graph = build_condition_graph(["a", "b"], when)
+        assert len(graph.join_for("a", "b")) == 1
+        assert not graph.nodes

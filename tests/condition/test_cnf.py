@@ -1,0 +1,138 @@
+"""Unit and property tests for CNF conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConditionError
+from repro.condition.cnf import (
+    clause_to_expr,
+    cnf_to_expr,
+    push_not_inward,
+    to_cnf,
+)
+from repro.lang import ast
+from repro.lang.evaluator import Bindings, Evaluator
+from repro.lang.exprparser import parse_expression_text as parse
+
+E = Evaluator()
+
+
+def render_cnf(clauses):
+    return [sorted(a.render() for a in clause) for clause in clauses]
+
+
+class TestPushNotInward:
+    def test_double_negation(self):
+        assert push_not_inward(parse("not not a = 1")) == parse("a = 1")
+
+    def test_comparison_flip(self):
+        assert push_not_inward(parse("not a = 1")) == parse("a <> 1")
+        assert push_not_inward(parse("not a < 1")) == parse("a >= 1")
+        assert push_not_inward(parse("not a >= 1")) == parse("a < 1")
+
+    def test_de_morgan(self):
+        expr = push_not_inward(parse("not (a = 1 and b = 2)"))
+        assert isinstance(expr, ast.BoolOp) and expr.op == "OR"
+        assert expr.args[0] == parse("a <> 1")
+
+    def test_absorbs_into_flags(self):
+        expr = push_not_inward(parse("not a in (1, 2)"))
+        assert isinstance(expr, ast.InList) and expr.negated
+        expr = push_not_inward(parse("not a between 1 and 2"))
+        assert isinstance(expr, ast.Between) and expr.negated
+        expr = push_not_inward(parse("not a is null"))
+        assert isinstance(expr, ast.IsNull) and expr.negated
+
+    def test_like_keeps_explicit_not(self):
+        expr = push_not_inward(parse("not a like 'x%'"))
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+
+
+class TestToCnf:
+    def test_none_is_empty(self):
+        assert to_cnf(None) == []
+
+    def test_atom(self):
+        clauses = to_cnf(parse("a = 1"))
+        assert render_cnf(clauses) == [["(a = 1)"]]
+
+    def test_conjunction_splits(self):
+        clauses = to_cnf(parse("a = 1 and b = 2 and c = 3"))
+        assert len(clauses) == 3
+        assert all(len(c) == 1 for c in clauses)
+
+    def test_disjunction_single_clause(self):
+        clauses = to_cnf(parse("a = 1 or b = 2"))
+        assert len(clauses) == 1
+        assert len(clauses[0]) == 2
+
+    def test_distribution(self):
+        clauses = to_cnf(parse("a = 1 or (b = 2 and c = 3)"))
+        assert len(clauses) == 2
+        for clause in clauses:
+            assert any(atom.render() == "(a = 1)" for atom in clause)
+
+    def test_nested_distribution(self):
+        clauses = to_cnf(parse("(a = 1 and b = 2) or (c = 3 and d = 4)"))
+        assert len(clauses) == 4
+
+    def test_duplicate_clauses_removed(self):
+        clauses = to_cnf(parse("a = 1 and a = 1"))
+        assert len(clauses) == 1
+
+    def test_duplicate_atoms_in_clause_removed(self):
+        clauses = to_cnf(parse("a = 1 or a = 1"))
+        assert len(clauses) == 1
+        assert len(clauses[0]) == 1
+
+    def test_blowup_guard(self):
+        # 2^14 clause distribution exceeds MAX_CLAUSES
+        parts = [f"(a{i} = 1 and b{i} = 2)" for i in range(14)]
+        with pytest.raises(ConditionError):
+            to_cnf(parse(" or ".join(parts)))
+
+    def test_roundtrip_builders(self):
+        clauses = to_cnf(parse("a = 1 and (b = 2 or c = 3)"))
+        rebuilt = cnf_to_expr(clauses)
+        assert rebuilt is not None
+        assert to_cnf(rebuilt) == clauses
+        assert cnf_to_expr([]) is None
+        single = to_cnf(parse("a = 1"))
+        assert clause_to_expr(single[0]) == parse("a = 1")
+
+
+# -- property: CNF preserves truth value under random assignments ------------
+
+_columns = ("p", "q", "r")
+
+
+@st.composite
+def boolean_exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        column = draw(st.sampled_from(_columns))
+        value = draw(st.integers(min_value=0, max_value=2))
+        op = draw(st.sampled_from(["=", "<>", "<", ">="]))
+        return ast.BinaryOp(op, ast.ColumnRef(None, column), ast.Literal(value))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return ast.UnaryOp("NOT", draw(boolean_exprs(depth=depth - 1)))
+    args = draw(
+        st.lists(boolean_exprs(depth=depth - 1), min_size=2, max_size=3)
+    )
+    return ast.BoolOp(kind.upper(), tuple(args))
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    boolean_exprs(),
+    st.tuples(*[st.integers(min_value=0, max_value=2) for _ in _columns]),
+)
+def test_cnf_preserves_semantics(expr, values):
+    """Property: the CNF of an expression evaluates identically to the
+    original under every (NULL-free) assignment."""
+    bindings = Bindings({"t": dict(zip(_columns, values))})
+    original = E.evaluate(expr, bindings)
+    rebuilt = cnf_to_expr(to_cnf(expr))
+    converted = True if rebuilt is None else E.evaluate(rebuilt, bindings)
+    assert converted == original

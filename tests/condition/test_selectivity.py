@@ -1,0 +1,64 @@
+"""Unit tests for the selectivity heuristics."""
+
+import pytest
+
+from repro.condition.cnf import to_cnf
+from repro.condition.selectivity import (
+    atom_selectivity,
+    clause_selectivity,
+    most_selective_index,
+)
+from repro.lang.exprparser import parse_expression_text as parse
+
+
+def atom(text):
+    return parse(text)
+
+
+class TestAtomSelectivity:
+    def test_equality_most_selective(self):
+        kinds = [
+            atom("a = 1"),
+            atom("a between 1 and 2"),
+            atom("a like 'x%'"),
+            atom("a > 1"),
+            atom("a like '%x%'"),
+            atom("a <> 1"),
+        ]
+        values = [atom_selectivity(k) for k in kinds]
+        assert values == sorted(values)
+
+    def test_in_scales_with_items(self):
+        small = atom_selectivity(atom("a in (1)"))
+        large = atom_selectivity(atom("a in (1,2,3,4)"))
+        assert small < large
+
+    def test_negation_complements(self):
+        sel = atom_selectivity(atom("a between 1 and 2"))
+        neg = atom_selectivity(atom("a not between 1 and 2"))
+        assert abs((sel + neg) - 1.0) < 1e-9
+
+    def test_is_null(self):
+        assert atom_selectivity(atom("a is null")) < atom_selectivity(
+            atom("a is not null")
+        )
+
+    def test_unknown_defaults(self):
+        assert atom_selectivity(atom("f(a)")) == 0.5
+
+
+class TestClauseSelectivity:
+    def test_disjunction_less_selective(self):
+        single = to_cnf(parse("a = 1"))[0]
+        double = to_cnf(parse("a = 1 or b = 2"))[0]
+        assert clause_selectivity(single) < clause_selectivity(double)
+
+    def test_most_selective_index(self):
+        clauses = tuple(to_cnf(parse("a > 1 and b = 2 and c like '%x%'")))
+        # clause with b = 2 wins
+        best = most_selective_index(clauses)
+        assert "b" in clauses[best][0].render()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            most_selective_index(())

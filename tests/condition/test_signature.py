@@ -1,0 +1,245 @@
+"""Unit and property tests for expression signatures — the paper's core
+equivalence-class machinery (§5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.condition.cnf import to_cnf
+from repro.condition.signature import (
+    EQUALITY,
+    INTERVAL,
+    NONE,
+    RANGE,
+    analyze_selection,
+    generalize,
+    instantiate,
+    normalize_atom,
+)
+from repro.errors import SignatureError
+from repro.lang import ast
+from repro.lang.evaluator import Bindings, Evaluator
+from repro.lang.exprparser import parse_expression_text as parse
+
+E = Evaluator()
+
+
+def analyze(text, operation="insert", source="emp"):
+    return analyze_selection(source, operation, to_cnf(parse(text)))
+
+
+class TestGeneralize:
+    def test_numbering_left_to_right(self):
+        gen, constants = generalize(parse("a = 1 and b = 'x' and c < 2.5"))
+        assert constants == [1, "x", 2.5]
+        rendered = gen.render()
+        assert "CONSTANT_1" in rendered
+        assert "CONSTANT_3" in rendered
+
+    def test_null_not_generalized(self):
+        gen, constants = generalize(parse("a = 1 and b is null"))
+        assert constants == [1]
+
+    def test_instantiate_roundtrip(self):
+        expr = parse("a = 1 and b between 2 and 3")
+        gen, constants = generalize(expr)
+        assert instantiate(gen, constants) == expr
+
+    def test_instantiate_out_of_range(self):
+        gen, _ = generalize(parse("a = 1"))
+        with pytest.raises(SignatureError):
+            instantiate(gen, [])
+
+    def test_placeholder_not_evaluable(self):
+        gen, _ = generalize(parse("a = 1"))
+        from repro.errors import ConditionError
+
+        with pytest.raises(ConditionError):
+            E.evaluate(gen, Bindings({"t": {"a": 1}}))
+
+
+class TestNormalizeAtom:
+    def test_constant_left_flipped(self):
+        assert normalize_atom(parse("5 < a")) == parse("a > 5")
+        assert normalize_atom(parse("5 = a")) == parse("a = 5")
+        assert normalize_atom(parse("5 >= a")) == parse("a <= 5")
+
+    def test_column_left_unchanged(self):
+        assert normalize_atom(parse("a < 5")) == parse("a < 5")
+
+
+class TestEquivalenceClasses:
+    def test_same_structure_different_constants(self):
+        a = analyze("emp.salary > 80000")
+        b = analyze("emp.salary > 50000")
+        assert a.signature == b.signature
+        assert a.constants != b.constants
+
+    def test_different_operator_different_signature(self):
+        assert analyze("salary > 1").signature != analyze("salary < 1").signature
+
+    def test_different_column_different_signature(self):
+        assert analyze("salary > 1").signature != analyze("age > 1").signature
+
+    def test_different_operation_different_signature(self):
+        a = analyze("salary > 1", operation="insert")
+        b = analyze("salary > 1", operation="delete")
+        assert a.signature != b.signature
+
+    def test_different_source_different_signature(self):
+        a = analyze("salary > 1", source="emp")
+        b = analyze("salary > 1", source="mgr")
+        assert a.signature != b.signature
+
+    def test_conjunct_order_irrelevant(self):
+        a = analyze("dept = 'toys' and salary > 10")
+        b = analyze("salary > 20 and dept = 'shoes'")
+        assert a.signature == b.signature
+
+    def test_alias_irrelevant(self):
+        a = analyze("e.salary > 10")
+        b = analyze("emp.salary > 20")
+        assert a.signature == b.signature
+
+    def test_comparison_orientation_irrelevant(self):
+        a = analyze("80000 < emp.salary")
+        b = analyze("emp.salary > 70000")
+        assert a.signature == b.signature
+        assert a.constants == (80000,)
+
+    def test_string_vs_number_same_structure(self):
+        # Signatures are structural: the constant's value (and type) is data.
+        a = analyze("dept = 'toys'")
+        b = analyze("dept = 'shoes'")
+        assert a.signature == b.signature
+
+
+class TestIndexableSplit:
+    def test_single_equality(self):
+        a = analyze("name = 'bob'")
+        sig = a.signature
+        assert sig.indexable.kind == EQUALITY
+        assert sig.indexable.columns == ("name",)
+        assert a.indexable_constants == ("bob",)
+        assert a.residual is None
+
+    def test_composite_equality(self):
+        a = analyze("dept = 'toys' and name = 'bob'")
+        assert a.signature.indexable.kind == EQUALITY
+        assert a.signature.indexable.columns == ("dept", "name")
+        assert a.indexable_constants == ("toys", "bob")
+
+    def test_equality_beats_range(self):
+        a = analyze("salary > 100 and dept = 'toys'")
+        assert a.signature.indexable.kind == EQUALITY
+        assert a.signature.indexable.columns == ("dept",)
+        assert a.residual is not None
+        assert "salary" in a.residual.render()
+
+    def test_range_when_no_equality(self):
+        a = analyze("salary > 100")
+        assert a.signature.indexable.kind == RANGE
+        assert a.signature.indexable.op == ">"
+        assert a.indexable_constants == (100,)
+
+    def test_between_preferred_over_range(self):
+        a = analyze("salary > 100 and age between 20 and 30")
+        assert a.signature.indexable.kind == INTERVAL
+        assert a.signature.indexable.columns == ("age",)
+        assert a.indexable_constants == (20, 30)
+
+    def test_nothing_indexable(self):
+        a = analyze("name like '%x%'")
+        assert a.signature.indexable.kind == NONE
+        assert a.indexable_constants == ()
+        assert a.residual is not None
+
+    def test_disjunctive_clause_not_indexable(self):
+        a = analyze("salary > 10 or dept = 'toys'")
+        assert a.signature.indexable.kind == NONE
+
+    def test_trivial_predicate(self):
+        a = analyze_selection("emp", "insert", [])
+        assert a.signature.text == "TRUE"
+        assert a.signature.num_constants == 0
+        assert a.signature.indexable.kind == NONE
+        assert a.residual is None
+
+    def test_residual_instantiation_matches(self):
+        a = analyze("dept = 'toys' and salary > 123 and name like 'A%'")
+        residual = a.residual.render()
+        assert "123" in residual
+        assert "'A%'" in residual
+        assert "'toys'" not in residual  # indexable part excluded
+
+    def test_full_expr_reconstruction(self):
+        a = analyze("dept = 'toys' and salary > 123")
+        full = a.full_expr()
+        bindings = Bindings({"emp": {"dept": "toys", "salary": 200.0}})
+        assert E.matches(full, bindings)
+        bindings = Bindings({"emp": {"dept": "toys", "salary": 1.0}})
+        assert not E.matches(full, bindings)
+
+
+class TestConstantNumbering:
+    def test_indexable_constants_numbered_first(self):
+        a = analyze("salary > 99 and dept = 'toys'")
+        sig = a.signature
+        # dept equality is the indexable part: its constant must be #1
+        assert sig.indexable.constant_numbers == (1,)
+        assert a.constants[0] == "toys"
+        assert a.constants[1] == 99
+
+    def test_num_constants(self):
+        a = analyze("a = 1 and b = 2 and c like 'x%'")
+        assert a.signature.num_constants == 3
+
+
+# -- property tests ----------------------------------------------------------
+
+_atoms = st.sampled_from(
+    [
+        ("salary", ">", st.integers(0, 10**6)),
+        ("salary", "<", st.integers(0, 10**6)),
+        ("age", "=", st.integers(18, 70)),
+        ("dept", "=", st.sampled_from(["a", "b", "c"])),
+    ]
+)
+
+
+@st.composite
+def predicates(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    parts = []
+    for _ in range(n):
+        column, op, values = draw(_atoms)
+        value = draw(values)
+        rendered = f"'{value}'" if isinstance(value, str) else str(value)
+        parts.append(f"{column} {op} {rendered}")
+    return " and ".join(parts)
+
+
+@settings(max_examples=80, deadline=None)
+@given(predicates(), st.integers(0, 10**6), st.integers(18, 70),
+       st.sampled_from(["a", "b", "c"]))
+def test_signature_roundtrip_preserves_semantics(text, salary, age, dept):
+    """Property: full_expr() (signature + constants) evaluates exactly like
+    the original predicate on random rows."""
+    original = parse(text)
+    analyzed = analyze_selection("emp", "insert", to_cnf(original))
+    row = {"salary": salary, "age": age, "dept": dept}
+    bindings = Bindings({"emp": row})
+    assert E.matches(analyzed.full_expr(), bindings) == E.matches(
+        original, bindings
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates(), predicates())
+def test_structural_equality_iff_same_signature(a_text, b_text):
+    """Property: two predicates share a signature iff their constant-blinded
+    canonical forms coincide."""
+    a = analyze_selection("emp", "insert", to_cnf(parse(a_text)))
+    b = analyze_selection("emp", "insert", to_cnf(parse(b_text)))
+    same_structure = a.signature.text == b.signature.text
+    assert (a.signature == b.signature) == same_structure

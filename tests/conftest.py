@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sql.database import Database
+from repro.sql.schema import schema
+
+
+@pytest.fixture
+def db():
+    """A fresh in-memory database."""
+    return Database()
+
+
+@pytest.fixture
+def emp_table(db):
+    """An employee table with a few rows."""
+    table = db.create_table(
+        schema(
+            "emp",
+            ("eno", "integer"),
+            ("name", "varchar(40)"),
+            ("salary", "float"),
+            ("dept", "varchar(20)"),
+        )
+    )
+    rows = [
+        (1, "alice", 120000.0, "eng"),
+        (2, "bob", 80000.0, "toys"),
+        (3, "carol", 95000.0, "eng"),
+        (4, "dave", 40000.0, "shoes"),
+        (5, "erin", 150000.0, "eng"),
+    ]
+    for row in rows:
+        table.insert(row)
+    return table
+
+
+@pytest.fixture
+def tman():
+    """A fresh in-memory TriggerMan instance."""
+    from repro.engine.triggerman import TriggerMan
+
+    return TriggerMan.in_memory()
+
+
+@pytest.fixture
+def tman_emp(tman):
+    """TriggerMan with the canonical emp table defined."""
+    tman.define_table(
+        "emp",
+        [
+            ("eno", "integer"),
+            ("name", "varchar(40)"),
+            ("salary", "float"),
+            ("dept", "varchar(20)"),
+            ("age", "integer"),
+        ],
+    )
+    return tman

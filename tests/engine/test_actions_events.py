@@ -1,0 +1,174 @@
+"""Unit tests for action execution (macro substitution, events, callbacks)
+and the event manager."""
+
+import pytest
+
+from repro.engine.actions import (
+    ActionExecutor,
+    render_sql_literal,
+    substitute_macros,
+)
+from repro.engine.events import EventManager
+from repro.lang import ast
+from repro.lang.evaluator import Bindings
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.sql.database import Database
+from repro.sql.schema import schema
+
+
+class TestSqlLiteralRendering:
+    def test_values(self):
+        assert render_sql_literal(None) == "NULL"
+        assert render_sql_literal(True) == "TRUE"
+        assert render_sql_literal(7) == "7"
+        assert render_sql_literal(2.5) == "2.5"
+        assert render_sql_literal("it's") == "'it''s'"
+
+
+class TestMacroSubstitution:
+    def test_new_old_qualified(self):
+        bindings = Bindings(
+            rows={"emp": {"salary": 500.0, "name": "bob"}},
+            old_rows={"emp": {"salary": 100.0}},
+        )
+        sql = substitute_macros(
+            "update emp set salary=:NEW.emp.salary, prev=:OLD.emp.salary "
+            "where name = :NEW.emp.name",
+            bindings,
+        )
+        assert sql == (
+            "update emp set salary=500.0, prev=100.0 where name = 'bob'"
+        )
+
+    def test_unqualified_single_binding(self):
+        bindings = Bindings(
+            rows={"emp": {"salary": 1.0}}, old_rows={"emp": {"salary": 2.0}}
+        )
+        assert substitute_macros(":NEW.salary + :OLD.salary", bindings) == (
+            "1.0 + 2.0"
+        )
+
+    def test_case_insensitive(self):
+        bindings = Bindings(rows={"e": {"x": 1}})
+        assert substitute_macros(":new.e.x", bindings) == "1"
+
+    def test_string_escaping(self):
+        bindings = Bindings(rows={"e": {"n": "O'Brien"}})
+        assert substitute_macros(":NEW.e.n", bindings) == "'O''Brien'"
+
+
+@pytest.fixture
+def executor():
+    db = Database()
+    db.create_table(schema("log", ("msg", "varchar(100)")))
+    events = EventManager()
+    return ActionExecutor(db, events), db, events
+
+
+class TestActionExecution:
+    def test_execsql(self, executor):
+        actions, db, _events = executor
+        bindings = Bindings(rows={"emp": {"name": "zed"}})
+        ok = actions.execute(
+            ast.ExecSqlAction("insert into log values (:NEW.emp.name)"),
+            bindings,
+            "t1",
+            1,
+        )
+        assert ok
+        assert db.execute("select * from log") == [("zed",)]
+        assert actions.executed == 1
+
+    def test_raise_event_evaluates_args(self, executor):
+        actions, _db, events = executor
+        got = []
+        events.register("Alert", got.append)
+        bindings = Bindings(rows={"emp": {"salary": 100.0}})
+        action = ast.RaiseEventAction(
+            "Alert", (parse("emp.salary * 2"),)
+        )
+        assert actions.execute(action, bindings, "t1", 1)
+        assert got[0].args == (200.0,)
+        assert got[0].trigger_name == "t1"
+
+    def test_call_action(self, executor):
+        actions, _db, _events = executor
+        seen = []
+        actions.register_callback("handler", lambda rows, old: seen.append(rows))
+        bindings = Bindings(rows={"emp": {"x": 1}})
+        assert actions.execute(ast.CallAction("handler"), bindings, "t", 1)
+        assert seen == [{"emp": {"x": 1}}]
+
+    def test_missing_callback_recorded(self, executor):
+        actions, _db, _events = executor
+        ok = actions.execute(
+            ast.CallAction("ghost"), Bindings(), "t", 1
+        )
+        assert not ok
+        assert len(actions.failures) == 1
+        assert actions.failures[0].trigger_name == "t"
+
+    def test_sql_failure_isolated(self, executor):
+        actions, _db, _events = executor
+        ok = actions.execute(
+            ast.ExecSqlAction("insert into missing values (1)"),
+            Bindings(),
+            "t",
+            1,
+        )
+        assert not ok
+        assert actions.executed == 0
+
+
+class TestEventManager:
+    def test_register_and_raise(self):
+        events = EventManager()
+        got = []
+        events.register("E", got.append)
+        notification = events.raise_event("E", (1, 2), "t", 7)
+        assert got == [notification]
+        assert notification.seq == 1
+        assert events.history[-1] is notification
+
+    def test_multiple_subscribers(self):
+        events = EventManager()
+        a, b = [], []
+        events.register("E", a.append)
+        events.register("E", b.append)
+        events.raise_event("E", (), "t", 1)
+        assert len(a) == len(b) == 1
+
+    def test_unregister(self):
+        events = EventManager()
+        got = []
+        sub = events.register("E", got.append)
+        assert events.unregister(sub)
+        assert not events.unregister(sub)
+        events.raise_event("E", (), "t", 1)
+        assert got == []
+
+    def test_callback_error_isolated(self):
+        events = EventManager()
+
+        def bad(_n):
+            raise RuntimeError("boom")
+
+        good = []
+        events.register("E", bad)
+        events.register("E", good.append)
+        events.raise_event("E", (), "t", 1)
+        assert len(good) == 1
+        assert len(events.delivery_errors) == 1
+
+    def test_history_bounded(self):
+        events = EventManager(history_size=3)
+        for i in range(10):
+            events.raise_event("E", (i,), "t", 1)
+        assert len(events.history) == 3
+        assert events.history[0].args == (7,)
+
+    def test_subscriber_count(self):
+        events = EventManager()
+        events.register("E", lambda n: None)
+        assert events.subscriber_count("E") == 1
+        assert events.subscriber_count("F") == 0

@@ -1,0 +1,139 @@
+"""Unit tests for the trigger cache (pin/unpin, LRU, byte budget)."""
+
+import pytest
+
+from repro.engine.cache import TriggerCache
+from repro.errors import TriggerError
+
+
+class FakeRuntime:
+    def __init__(self, trigger_id, size=4096):
+        self.trigger_id = trigger_id
+        self.size = size
+
+
+def make_cache(capacity=3, capacity_bytes=None, loads=None):
+    loads = loads if loads is not None else []
+
+    def loader(trigger_id):
+        loads.append(trigger_id)
+        return FakeRuntime(trigger_id)
+
+    cache = TriggerCache(
+        loader,
+        capacity=capacity,
+        capacity_bytes=capacity_bytes,
+        size_of=lambda r: r.size,
+    )
+    return cache, loads
+
+
+class TestPinProtocol:
+    def test_pin_loads_once(self):
+        cache, loads = make_cache()
+        a = cache.pin(1)
+        cache.unpin(1)
+        b = cache.pin(1)
+        cache.unpin(1)
+        assert a is b
+        assert loads == [1]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_unpin_without_pin_raises(self):
+        cache, _ = make_cache()
+        with pytest.raises(TriggerError):
+            cache.unpin(1)
+
+    def test_pinned_count(self):
+        cache, _ = make_cache()
+        cache.pin(1)
+        cache.pin(2)
+        cache.unpin(2)
+        assert cache.pinned_count() == 1
+        cache.unpin(1)
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        cache, loads = make_cache(capacity=2)
+        for tid in (1, 2):
+            cache.pin(tid)
+            cache.unpin(tid)
+        cache.pin(1)  # 1 becomes MRU
+        cache.unpin(1)
+        cache.pin(3)  # evicts 2
+        cache.unpin(3)
+        assert 2 not in cache
+        assert 1 in cache
+        assert cache.stats.evictions == 1
+
+    def test_pinned_never_evicted(self):
+        cache, _ = make_cache(capacity=2)
+        cache.pin(1)  # stays pinned
+        cache.pin(2)
+        cache.unpin(2)
+        cache.pin(3)  # must evict 2
+        cache.unpin(3)
+        assert 1 in cache
+        assert 2 not in cache
+        cache.unpin(1)
+
+    def test_overcommit_when_all_pinned(self):
+        cache, _ = make_cache(capacity=2)
+        cache.pin(1)
+        cache.pin(2)
+        cache.pin(3)  # admitted over capacity rather than failing
+        assert len(cache) == 3
+        for tid in (1, 2, 3):
+            cache.unpin(tid)
+
+    def test_byte_budget_eviction(self):
+        """The paper's sizing: descriptions of ~4 KB against a byte budget."""
+        cache, _ = make_cache(capacity=100, capacity_bytes=3 * 4096)
+        for tid in range(1, 5):
+            cache.pin(tid)
+            cache.unpin(tid)
+        assert len(cache) == 3
+        assert cache.resident_bytes() <= 3 * 4096
+
+
+class TestInvalidation:
+    def test_invalidate_removes(self):
+        cache, loads = make_cache()
+        cache.pin(1)
+        cache.unpin(1)
+        cache.invalidate(1)
+        assert 1 not in cache
+        cache.pin(1)
+        cache.unpin(1)
+        assert loads == [1, 1]
+
+    def test_seed_skips_loader(self):
+        cache, loads = make_cache()
+        runtime = FakeRuntime(9)
+        cache.seed(9, runtime)
+        assert cache.pin(9) is runtime
+        cache.unpin(9)
+        assert loads == []
+
+    def test_seed_replaces(self):
+        cache, _ = make_cache()
+        first = FakeRuntime(9)
+        second = FakeRuntime(9)
+        cache.seed(9, first)
+        cache.seed(9, second)
+        assert cache.pin(9) is second
+        cache.unpin(9)
+
+    def test_clear(self):
+        cache, _ = make_cache()
+        cache.pin(1)
+        cache.unpin(1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.resident_bytes() == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(TriggerError):
+            TriggerCache(lambda t: t, capacity=0)

@@ -1,0 +1,156 @@
+"""Unit tests for the TriggerMan system catalogs."""
+
+import pytest
+
+from repro.engine.catalog import DEFAULT_TRIGGER_SET, TriggerManCatalog
+from repro.errors import CatalogError, TriggerError
+from repro.sql.database import Database
+
+
+@pytest.fixture
+def catalog():
+    return TriggerManCatalog(Database())
+
+
+class TestTriggerSets:
+    def test_default_set_exists(self, catalog):
+        assert catalog.trigger_set_id(DEFAULT_TRIGGER_SET) >= 1
+
+    def test_create_and_lookup(self, catalog):
+        ts_id = catalog.create_trigger_set("mine", "comment")
+        assert catalog.trigger_set_id("mine") == ts_id
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.create_trigger_set("mine")
+        with pytest.raises(CatalogError):
+            catalog.create_trigger_set("mine")
+
+    def test_drop_empty_set(self, catalog):
+        catalog.create_trigger_set("mine")
+        catalog.drop_trigger_set("mine")
+        with pytest.raises(CatalogError):
+            catalog.trigger_set_id("mine")
+
+    def test_default_cannot_be_dropped(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop_trigger_set(DEFAULT_TRIGGER_SET)
+
+    def test_nonempty_set_cannot_be_dropped(self, catalog):
+        ts_id = catalog.create_trigger_set("mine")
+        catalog.insert_trigger(catalog.next_trigger_id(), ts_id, "t", "text")
+        with pytest.raises(CatalogError):
+            catalog.drop_trigger_set("mine")
+
+    def test_enable_disable_set(self, catalog):
+        ts_id = catalog.create_trigger_set("mine")
+        catalog.set_trigger_set_enabled("mine", False)
+        assert not catalog.trigger_set_enabled(ts_id)
+        catalog.set_trigger_set_enabled("mine", True)
+        assert catalog.trigger_set_enabled(ts_id)
+
+
+class TestTriggers:
+    def test_insert_and_lookup(self, catalog):
+        ts = catalog.trigger_set_id(DEFAULT_TRIGGER_SET)
+        tid = catalog.next_trigger_id()
+        catalog.insert_trigger(tid, ts, "t1", "create trigger t1 ...")
+        assert catalog.trigger_id("t1") == tid
+        assert catalog.trigger_text(tid) == "create trigger t1 ..."
+        assert catalog.has_trigger("t1")
+        assert catalog.trigger_enabled(tid)
+
+    def test_duplicate_name_rejected(self, catalog):
+        ts = catalog.trigger_set_id(DEFAULT_TRIGGER_SET)
+        catalog.insert_trigger(catalog.next_trigger_id(), ts, "t1", "x")
+        with pytest.raises(TriggerError):
+            catalog.insert_trigger(catalog.next_trigger_id(), ts, "t1", "y")
+
+    def test_unknown_trigger(self, catalog):
+        with pytest.raises(TriggerError):
+            catalog.trigger_id("ghost")
+        with pytest.raises(TriggerError):
+            catalog.trigger_row(999)
+
+    def test_enable_disable(self, catalog):
+        ts = catalog.trigger_set_id(DEFAULT_TRIGGER_SET)
+        tid = catalog.next_trigger_id()
+        catalog.insert_trigger(tid, ts, "t1", "x")
+        catalog.set_trigger_enabled("t1", False)
+        assert not catalog.trigger_enabled(tid)
+
+    def test_set_disable_propagates(self, catalog):
+        ts_id = catalog.create_trigger_set("mine")
+        tid = catalog.next_trigger_id()
+        catalog.insert_trigger(tid, ts_id, "t1", "x")
+        catalog.set_trigger_set_enabled("mine", False)
+        assert not catalog.trigger_enabled(tid)
+
+    def test_delete(self, catalog):
+        ts = catalog.trigger_set_id(DEFAULT_TRIGGER_SET)
+        tid = catalog.next_trigger_id()
+        catalog.insert_trigger(tid, ts, "t1", "x")
+        assert catalog.delete_trigger("t1") == tid
+        assert not catalog.has_trigger("t1")
+
+    def test_list_triggers_sorted(self, catalog):
+        ts = catalog.trigger_set_id(DEFAULT_TRIGGER_SET)
+        for name in ("b", "a", "c"):
+            catalog.insert_trigger(catalog.next_trigger_id(), ts, name, "x")
+        rows = catalog.list_triggers()
+        assert [r["name"] for r in rows] == ["b", "a", "c"]  # id order
+        assert [r["triggerID"] for r in rows] == sorted(
+            r["triggerID"] for r in rows
+        )
+
+
+class TestSignatures:
+    def test_insert_and_stats(self, catalog):
+        sig_id = catalog.next_signature_id()
+        catalog.insert_signature(
+            sig_id, "emp", "insert", "(salary > CONSTANT_1)",
+            "const_table1", "memory_list",
+        )
+        catalog.update_signature_stats(sig_id, 42, "memory_index")
+        rows = catalog.list_signatures()
+        assert rows[0]["constantSetSize"] == 42
+        assert rows[0]["constantSetOrganization"] == "memory_index"
+        assert rows[0]["signatureDesc"] == "(salary > CONSTANT_1)"
+
+
+class TestDataSources:
+    def test_roundtrip(self, catalog):
+        catalog.insert_data_source(1, "emp", "table", "default", "emp")
+        catalog.insert_data_source(
+            2, "ticks", "stream", None, None, [("sym", "varchar(8)")]
+        )
+        rows = catalog.list_data_sources()
+        assert rows[0]["name"] == "emp"
+        assert rows[1]["columns"] == [["sym", "varchar(8)"]]
+
+    def test_delete(self, catalog):
+        catalog.insert_data_source(1, "emp", "table", "default", "emp")
+        catalog.delete_data_source("emp")
+        assert catalog.list_data_sources() == []
+        with pytest.raises(CatalogError):
+            catalog.delete_data_source("emp")
+
+
+class TestPersistence:
+    def test_ids_continue_after_reload(self, tmp_path):
+        path = str(tmp_path / "cat")
+        db = Database(path)
+        catalog = TriggerManCatalog(db)
+        ts = catalog.trigger_set_id(DEFAULT_TRIGGER_SET)
+        tid = catalog.next_trigger_id()
+        catalog.insert_trigger(tid, ts, "t1", "text1")
+        sig = catalog.next_signature_id()
+        catalog.insert_signature(sig, "emp", "insert", "d", None, "memory_list")
+        db.close()
+
+        db2 = Database(path)
+        reloaded = TriggerManCatalog(db2)
+        assert reloaded.trigger_id("t1") == tid
+        assert reloaded.trigger_text(tid) == "text1"
+        assert reloaded.next_trigger_id() > tid
+        assert reloaded.next_signature_id() > sig
+        db2.close()

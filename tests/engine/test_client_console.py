@@ -1,0 +1,145 @@
+"""Unit tests for the client API, the data-source API, and the console."""
+
+import pytest
+
+from repro.engine.client import DataSourceProgram, TriggerManClient
+from repro.engine.console import Console, run_interactive
+from repro.errors import CatalogError
+
+
+class TestClient:
+    def test_command_and_inbox(self, tman_emp):
+        client = TriggerManClient(tman_emp)
+        client.command(
+            "create trigger big from emp on insert "
+            "when emp.salary > 10 do raise event Big(emp.name)"
+        )
+        client.register_for_event("Big")
+        tman_emp.insert("emp", {"name": "x", "salary": 100.0})
+        tman_emp.process_all()
+        notification = client.next_notification()
+        assert notification.args == ("x",)
+        assert client.next_notification() is None
+
+    def test_callback_subscription(self, tman_emp):
+        client = TriggerManClient(tman_emp)
+        got = []
+        client.command(
+            "create trigger t from emp on insert do raise event E"
+        )
+        client.register_for_event("E", got.append)
+        tman_emp.insert("emp", {"name": "x", "salary": 1.0})
+        tman_emp.process_all()
+        assert len(got) == 1
+
+    def test_disconnect_stops_delivery(self, tman_emp):
+        client = TriggerManClient(tman_emp)
+        client.command(
+            "create trigger t from emp on insert do raise event E"
+        )
+        client.register_for_event("E")
+        client.disconnect()
+        tman_emp.insert("emp", {"name": "x", "salary": 1.0})
+        tman_emp.process_all()
+        assert client.next_notification() is None
+
+    def test_create_drop_via_client(self, tman_emp):
+        client = TriggerManClient(tman_emp)
+        client.create_trigger("create trigger t from emp do raise event E")
+        assert tman_emp.catalog.has_trigger("t")
+        client.drop_trigger("t")
+        assert not tman_emp.catalog.has_trigger("t")
+
+
+class TestDataSourceProgram:
+    def test_stream_feed(self, tman):
+        tman.define_stream("ticks", [("sym", "varchar(8)"), ("p", "float")])
+        tman.create_trigger(
+            "create trigger up from ticks on update(ticks.p) "
+            "when ticks.p > 10 do raise event Up(ticks.sym)"
+        )
+        feed = DataSourceProgram(tman, "ticks")
+        feed.insert({"sym": "A", "p": 5.0})
+        feed.update({"sym": "A", "p": 5.0}, {"sym": "A", "p": 50.0})
+        feed.delete({"sym": "A", "p": 50.0})
+        tman.process_all()
+        ups = [n for n in tman.events.history if n.event_name == "Up"]
+        assert len(ups) == 1
+
+    def test_table_source_rejected(self, tman_emp):
+        with pytest.raises(CatalogError):
+            DataSourceProgram(tman_emp, "emp")
+
+
+class TestConsole:
+    def test_create_show_process(self, tman_emp):
+        console = Console(tman_emp)
+        out = console.execute(
+            "create trigger t from emp on insert "
+            "when emp.salary > 1 do raise event E"
+        )
+        assert out.startswith("ok")
+        assert "t" in console.execute("show triggers")
+        assert "CONSTANT_1" in console.execute("show signatures")
+        assert "emp" in console.execute("show sources")
+        tman_emp.insert("emp", {"name": "x", "salary": 5.0})
+        assert "processed 1" in console.execute("process")
+        stats = console.execute("show stats")
+        assert "triggers_fired: 1" in stats
+
+    def test_sql_passthrough(self, tman_emp):
+        console = Console(tman_emp)
+        console.execute("sql insert into emp (name, salary) values ('a', 1.0)")
+        out = console.execute("sql select name from emp")
+        assert "a" in out
+
+    def test_error_reported_not_raised(self, tman_emp):
+        console = Console(tman_emp)
+        out = console.execute("drop trigger ghost")
+        assert out.startswith("error:")
+
+    def test_explain_trigger(self, tman_emp):
+        console = Console(tman_emp)
+        console.execute(
+            "create trigger t from emp on insert "
+            "when emp.salary > 10 and emp.dept = 'x' do raise event E"
+        )
+        out = console.execute("explain trigger t")
+        assert "network: ATreatNetwork" in out
+        assert "emp [insert]" in out
+        assert "sig 1" in out
+        assert "action: raise event E()" in out
+        assert console.execute("explain trigger ghost").startswith("error:")
+
+    def test_explain_join_trigger_lists_edges(self, tman_emp):
+        tman_emp.define_table("dept", [("dname", "varchar(20)")])
+        console = Console(tman_emp)
+        console.execute(
+            "create trigger j from emp e, dept d "
+            "when e.dept = d.dname do raise event J"
+        )
+        out = console.execute("explain trigger j")
+        assert "join predicates:" in out
+        assert "(e.dept = d.dname)" in out
+        assert "entry: alpha:e" in out
+
+    def test_help_and_empty(self, tman_emp):
+        console = Console(tman_emp)
+        assert "console commands" in console.execute("help")
+        assert console.execute("") == ""
+
+    def test_run_interactive(self, tman_emp):
+        lines = iter(["show triggers", "quit"])
+        outputs = []
+        run_interactive(
+            tman_emp,
+            input_fn=lambda prompt: next(lines),
+            print_fn=outputs.append,
+        )
+        assert any("(none)" in o for o in outputs)
+
+    def test_run_interactive_eof(self, tman_emp):
+        def raise_eof(prompt):
+            raise EOFError
+
+        run_interactive(tman_emp, input_fn=raise_eof, print_fn=lambda s: None)

@@ -1,0 +1,149 @@
+"""Unit tests for update descriptors and both queue implementations."""
+
+import pytest
+
+from repro.errors import QueueError
+from repro.engine.descriptors import Operation, UpdateDescriptor
+from repro.engine.queue import MemoryQueue, TableQueue
+from repro.sql.database import Database
+
+
+class TestUpdateDescriptor:
+    def test_insert_requires_new(self):
+        with pytest.raises(QueueError):
+            UpdateDescriptor("s", Operation.INSERT)
+
+    def test_delete_requires_old(self):
+        with pytest.raises(QueueError):
+            UpdateDescriptor("s", Operation.DELETE, new={"a": 1})
+
+    def test_update_requires_both(self):
+        with pytest.raises(QueueError):
+            UpdateDescriptor("s", Operation.UPDATE, new={"a": 1})
+
+    def test_unknown_operation(self):
+        with pytest.raises(QueueError):
+            UpdateDescriptor("s", "merge", new={"a": 1})
+
+    def test_match_row_selection(self):
+        insert = UpdateDescriptor("s", Operation.INSERT, new={"a": 1})
+        assert insert.match_row == {"a": 1}
+        delete = UpdateDescriptor("s", Operation.DELETE, old={"a": 2})
+        assert delete.match_row == {"a": 2}
+        update = UpdateDescriptor.for_update("s", {"a": 1}, {"a": 3})
+        assert update.match_row == {"a": 3}
+
+    def test_for_update_changed_columns(self):
+        d = UpdateDescriptor.for_update(
+            "s", {"a": 1, "b": 2, "c": 3}, {"a": 1, "b": 9, "c": 3}
+        )
+        assert d.changed_columns == frozenset({"b"})
+
+    def test_for_update_detects_added_removed_keys(self):
+        d = UpdateDescriptor.for_update("s", {"a": 1}, {"a": 1, "b": 2})
+        assert d.changed_columns == frozenset({"b"})
+
+    def test_json_roundtrip(self):
+        d = UpdateDescriptor.for_update(
+            "s", {"a": 1, "b": "x"}, {"a": 2, "b": "x"}
+        )
+        rebuilt = UpdateDescriptor.from_parts("s", "update", d.to_json(), 5)
+        assert rebuilt.new == d.new
+        assert rebuilt.old == d.old
+        assert rebuilt.changed_columns == d.changed_columns
+        assert rebuilt.seq == 5
+
+
+class QueueContract:
+    """Shared behaviour both queue kinds must satisfy."""
+
+    def make_queue(self):
+        raise NotImplementedError
+
+    def test_fifo_order(self):
+        queue = self.make_queue()
+        for i in range(5):
+            queue.enqueue(
+                UpdateDescriptor("s", Operation.INSERT, new={"i": i})
+            )
+        got = [queue.dequeue().new["i"] for _ in range(5)]
+        assert got == list(range(5))
+
+    def test_empty_returns_none(self):
+        assert self.make_queue().dequeue() is None
+
+    def test_seq_assigned_monotonically(self):
+        queue = self.make_queue()
+        a = queue.enqueue(UpdateDescriptor("s", Operation.INSERT, new={}))
+        b = queue.enqueue(UpdateDescriptor("s", Operation.INSERT, new={}))
+        assert b.seq > a.seq
+
+    def test_len_tracks(self):
+        queue = self.make_queue()
+        queue.enqueue(UpdateDescriptor("s", Operation.INSERT, new={}))
+        assert len(queue) == 1
+        queue.dequeue()
+        assert len(queue) == 0
+
+    def test_drain(self):
+        queue = self.make_queue()
+        for i in range(3):
+            queue.enqueue(UpdateDescriptor("s", Operation.INSERT, new={"i": i}))
+        assert [d.new["i"] for d in queue.drain()] == [0, 1, 2]
+
+
+class TestMemoryQueue(QueueContract):
+    def make_queue(self):
+        return MemoryQueue()
+
+
+class TestTableQueue(QueueContract):
+    def make_queue(self):
+        return TableQueue(Database())
+
+    def test_survives_restart(self, tmp_path):
+        path = str(tmp_path / "qdb")
+        db = Database(path)
+        queue = TableQueue(db)
+        for i in range(4):
+            queue.enqueue(
+                UpdateDescriptor("s", Operation.INSERT, new={"i": i})
+            )
+        queue.dequeue()  # consume one before "crash"
+        db.close()
+
+        db2 = Database(path)
+        recovered = TableQueue(db2)
+        assert len(recovered) == 3
+        got = [recovered.dequeue().new["i"] for _ in range(3)]
+        assert got == [1, 2, 3]
+        # sequence numbering continues after the old maximum
+        stamped = recovered.enqueue(
+            UpdateDescriptor("s", Operation.INSERT, new={})
+        )
+        assert stamped.seq >= 5
+        db2.close()
+
+    def test_sync_on_enqueue_survives_unflushed_close(self, tmp_path):
+        """With sync_on_enqueue, an enqueue is durable even if the process
+        dies without flushing (simulated by reopening the page files
+        directly, bypassing close())."""
+        path = str(tmp_path / "qdb")
+        db = Database(path)
+        queue = TableQueue(db, sync_on_enqueue=True)
+        queue.enqueue(UpdateDescriptor("s", Operation.INSERT, new={"i": 1}))
+        # no db.close(): simulate a crash by just abandoning the instance
+        db2 = Database(path)
+        recovered = TableQueue(db2)
+        assert len(recovered) == 1
+        assert recovered.dequeue().new == {"i": 1}
+        db2.close()
+
+    def test_oversized_payload_rejected(self):
+        queue = self.make_queue()
+        with pytest.raises(QueueError):
+            queue.enqueue(
+                UpdateDescriptor(
+                    "s", Operation.INSERT, new={"blob": "x" * 5000}
+                )
+            )

@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` console entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_console(stdin_text, *args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        input=stdin_text,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+class TestMainEntry:
+    def test_help(self):
+        result = run_console("", "--help")
+        assert result.returncode == 0
+        assert "console" in result.stdout
+
+    def test_in_memory_session(self):
+        script = "\n".join(
+            [
+                "sql create table t (a integer)",
+                "define data source t from t",
+                "create trigger x from t on insert do raise event E(t.a)",
+                "sql insert into t values (42)",
+                "process",
+                "show stats",
+                "quit",
+            ]
+        )
+        result = run_console(script + "\n")
+        assert result.returncode == 0
+        assert "triggers_fired: 1" in result.stdout
+
+    def test_persistent_session(self, tmp_path):
+        directory = str(tmp_path / "tmandir")
+        first = run_console(
+            "sql create table t (a integer)\n"
+            "define data source t from t\n"
+            "create trigger x from t on insert do raise event E\n"
+            "quit\n",
+            directory,
+        )
+        assert first.returncode == 0
+        second = run_console("show triggers\nquit\n", directory)
+        assert second.returncode == 0
+        assert "x" in second.stdout

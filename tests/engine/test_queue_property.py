@@ -1,0 +1,67 @@
+"""Property test: the durable TableQueue behaves like a FIFO deque model
+under random enqueue/dequeue sequences, including mid-sequence restarts."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.descriptors import Operation, UpdateDescriptor
+from repro.engine.queue import MemoryQueue, TableQueue
+from repro.sql.database import Database
+
+
+def descriptor(i):
+    return UpdateDescriptor("s", Operation.INSERT, new={"i": i})
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("enqueue"), st.integers(0, 10_000)),
+            st.tuples(st.just("dequeue"), st.just(0)),
+        ),
+        max_size=60,
+    )
+)
+def test_table_queue_matches_deque_model(operations):
+    queue = TableQueue(Database())
+    model = deque()
+    for op, value in operations:
+        if op == "enqueue":
+            queue.enqueue(descriptor(value))
+            model.append(value)
+        else:
+            got = queue.dequeue()
+            if model:
+                assert got is not None and got.new["i"] == model.popleft()
+            else:
+                assert got is None
+        assert len(queue) == len(model)
+    drained = [d.new["i"] for d in queue.drain()]
+    assert drained == list(model)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(0, 100), min_size=1, max_size=20),
+    st.integers(min_value=0, max_value=19),
+)
+def test_restart_preserves_order_and_backlog(tmp_path_factory, values, consume):
+    path = str(tmp_path_factory.mktemp("q"))
+    db = Database(path)
+    queue = TableQueue(db)
+    for v in values:
+        queue.enqueue(descriptor(v))
+    consumed = min(consume, len(values))
+    for _ in range(consumed):
+        queue.dequeue()
+    db.close()
+
+    db2 = Database(path)
+    recovered = TableQueue(db2)
+    remaining = [d.new["i"] for d in recovered.drain()]
+    assert remaining == values[consumed:]
+    db2.close()

@@ -1,0 +1,205 @@
+"""Unit tests for the task queue, TmanTest, drivers, partitioning, and the
+deterministic concurrency simulator."""
+
+import time
+
+import pytest
+
+from repro.engine.concurrency import (
+    SimulatedScheduler,
+    partition_round_robin,
+    simulate_response_time,
+)
+from repro.engine.tasks import (
+    TASK_QUEUE_EMPTY,
+    TASKS_REMAINING,
+    Driver,
+    Task,
+    TaskQueue,
+    compute_driver_count,
+    tman_test,
+)
+from repro.errors import ConcurrencyError
+
+
+class TestTaskQueue:
+    def test_fifo(self):
+        queue = TaskQueue()
+        order = []
+        for i in range(3):
+            queue.put(Task("process_token", lambda i=i: order.append(i)))
+        while (task := queue.get()) is not None:
+            task.run()
+        assert order == [0, 1, 2]
+        assert queue.enqueued == 3
+        assert queue.executed == 3
+
+
+class TestTmanTest:
+    def test_empty_queue(self):
+        assert tman_test(TaskQueue()) == TASK_QUEUE_EMPTY
+
+    def test_runs_until_empty(self):
+        queue = TaskQueue()
+        done = []
+        for i in range(5):
+            queue.put(Task("t", lambda i=i: done.append(i)))
+        assert tman_test(queue) == TASK_QUEUE_EMPTY
+        assert done == list(range(5))
+
+    def test_threshold_stops_early(self):
+        queue = TaskQueue()
+        # fake clock advancing 0.1 per call
+        ticks = iter(i * 0.1 for i in range(1000))
+
+        def clock():
+            return next(ticks)
+
+        for i in range(100):
+            queue.put(Task("t", lambda: None))
+        status = tman_test(queue, threshold=0.25, clock=clock)
+        assert status == TASKS_REMAINING
+        assert len(queue) > 0
+
+    def test_refill_extends_work(self):
+        queue = TaskQueue()
+        fed = []
+        budget = [3]
+
+        def refill():
+            if budget[0] == 0:
+                return False
+            budget[0] -= 1
+            queue.put(Task("t", lambda: fed.append(1)))
+            return True
+
+        assert tman_test(queue, refill=refill) == TASK_QUEUE_EMPTY
+        assert len(fed) == 3
+
+    def test_yield_called_between_tasks(self):
+        queue = TaskQueue()
+        yields = []
+        queue.put(Task("t", lambda: None))
+        queue.put(Task("t", lambda: None))
+        tman_test(queue, yield_fn=lambda: yields.append(1))
+        assert len(yields) == 2
+
+
+class TestDriverThread:
+    def test_driver_drains_queue(self):
+        queue = TaskQueue()
+        done = []
+        for i in range(20):
+            queue.put(Task("t", lambda i=i: done.append(i)))
+        driver = Driver(queue, poll_period=0.01)
+        driver.start()
+        deadline = time.time() + 5
+        while len(done) < 20 and time.time() < deadline:
+            time.sleep(0.01)
+        driver.stop()
+        assert len(done) == 20
+
+    def test_multiple_drivers_no_duplication(self):
+        queue = TaskQueue()
+        done = []
+        for i in range(200):
+            queue.put(Task("t", lambda i=i: done.append(i)))
+        drivers = [Driver(queue, poll_period=0.005) for _ in range(4)]
+        for driver in drivers:
+            driver.start()
+        deadline = time.time() + 5
+        while len(done) < 200 and time.time() < deadline:
+            time.sleep(0.01)
+        for driver in drivers:
+            driver.stop()
+        assert sorted(done) == list(range(200))
+
+
+class TestDriverCount:
+    def test_formula(self):
+        assert compute_driver_count(8, 1.0) == 8
+        assert compute_driver_count(8, 0.5) == 4
+        assert compute_driver_count(8, 0.1) == 1
+        assert compute_driver_count(3, 0.5) == 2  # ceil
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            compute_driver_count(4, 0.0)
+        with pytest.raises(ValueError):
+            compute_driver_count(4, 1.5)
+
+
+class TestPartitioning:
+    def test_round_robin(self):
+        parts = partition_round_robin(list(range(10)), 3)
+        assert parts == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+
+    def test_sizes_balanced(self):
+        parts = partition_round_robin(list(range(100)), 7)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ConcurrencyError):
+            partition_round_robin([1], 0)
+
+
+class TestSimulatedScheduler:
+    def test_serial_equals_sum(self):
+        scheduler = SimulatedScheduler(1)
+        result = scheduler.run([1.0, 2.0, 3.0])
+        assert result.makespan == pytest.approx(6.0)
+
+    def test_perfect_speedup_uniform_tasks(self):
+        scheduler = SimulatedScheduler(4)
+        result = scheduler.run([1.0] * 16)
+        assert result.makespan == pytest.approx(4.0)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_longest_task(self):
+        scheduler = SimulatedScheduler(8)
+        result = scheduler.run([10.0] + [0.1] * 10)
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_speedup_over_serial(self):
+        scheduler = SimulatedScheduler(4)
+        speedup = scheduler.speedup_over_serial([1.0] * 100)
+        assert speedup == pytest.approx(4.0)
+
+    def test_dispatch_overhead_counted(self):
+        direct = SimulatedScheduler(1).run([1.0] * 4).makespan
+        with_overhead = (
+            SimulatedScheduler(1, dispatch_overhead=0.5).run([1.0] * 4).makespan
+        )
+        assert with_overhead == pytest.approx(direct + 2.0)
+
+    def test_empty(self):
+        assert SimulatedScheduler(2).run([]).makespan == 0.0
+
+    def test_invalid_driver_count(self):
+        with pytest.raises(ConcurrencyError):
+            SimulatedScheduler(0)
+
+
+class TestResponseTimeModel:
+    def test_polling_adds_latency(self):
+        arrivals = [0.01] * 10
+        costs = [0.001] * 10
+        fast_mean, _ = simulate_response_time(
+            arrivals, costs, drivers=1, poll_period=0.05
+        )
+        slow_mean, _ = simulate_response_time(
+            arrivals, costs, drivers=1, poll_period=1.0
+        )
+        assert slow_mean > fast_mean
+
+    def test_more_drivers_reduce_response(self):
+        arrivals = [0.0] * 20
+        costs = [0.1] * 20
+        single, _ = simulate_response_time(arrivals, costs, drivers=1)
+        quad, _ = simulate_response_time(arrivals, costs, drivers=4)
+        assert quad < single
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConcurrencyError):
+            simulate_response_time([0.0], [], drivers=1)

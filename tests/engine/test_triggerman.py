@@ -1,0 +1,408 @@
+"""Unit tests for the TriggerMan facade: trigger lifecycle (§5.1), token
+processing (§5.4), events, streams, aggregates, and recovery."""
+
+import pytest
+
+from repro.errors import CatalogError, TriggerError
+from repro.engine.descriptors import Operation
+from repro.engine.triggerman import TriggerMan
+
+
+def fired_events(tman, name):
+    return [n for n in tman.events.history if n.event_name == name]
+
+
+class TestTriggerLifecycle:
+    def test_create_updates_catalogs(self, tman_emp):
+        tid = tman_emp.create_trigger(
+            "create trigger t1 from emp on insert "
+            "when emp.salary > 100 do raise event E(emp.name)"
+        )
+        rows = tman_emp.catalog.list_triggers()
+        assert rows[0]["triggerID"] == tid
+        sigs = tman_emp.catalog.list_signatures()
+        assert len(sigs) == 1
+        assert sigs[0]["constantSetSize"] == 1
+        assert tman_emp.index.entry_count() == 1
+
+    def test_shared_signature_counted(self, tman_emp):
+        for i in range(5):
+            tman_emp.create_trigger(
+                f"create trigger t{i} from emp on insert "
+                f"when emp.salary > {i * 100} do raise event E"
+            )
+        assert tman_emp.index.signature_count() == 1
+        assert tman_emp.catalog.list_signatures()[0]["constantSetSize"] == 5
+
+    def test_duplicate_name_rejected(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger t1 from emp do raise event E"
+        )
+        with pytest.raises(TriggerError):
+            tman_emp.create_trigger(
+                "create trigger t1 from emp do raise event E"
+            )
+
+    def test_unknown_source_rejected(self, tman_emp):
+        with pytest.raises(CatalogError):
+            tman_emp.create_trigger(
+                "create trigger t from ghosts do raise event E"
+            )
+
+    def test_unknown_column_rejected(self, tman_emp):
+        from repro.errors import ConditionError
+
+        with pytest.raises(ConditionError):
+            tman_emp.create_trigger(
+                "create trigger t from emp when emp.bogus = 1 "
+                "do raise event E"
+            )
+
+    def test_drop_removes_entries(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger t1 from emp on insert "
+            "when emp.salary > 1 do raise event E"
+        )
+        tman_emp.drop_trigger("t1")
+        assert tman_emp.index.entry_count() == 0
+        tman_emp.insert("emp", {"name": "x", "salary": 100.0})
+        tman_emp.process_all()
+        assert tman_emp.stats.triggers_fired == 0
+
+    def test_trigger_in_set(self, tman_emp):
+        tman_emp.execute_command("create trigger set alerts")
+        tid = tman_emp.create_trigger(
+            "create trigger t1 in alerts from emp do raise event E"
+        )
+        ts_id = tman_emp.catalog.trigger_set_of(tid)
+        assert ts_id == tman_emp.catalog.trigger_set_id("alerts")
+
+    def test_created_disabled(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger t1 disabled from emp on insert "
+            "do raise event E"
+        )
+        tman_emp.insert("emp", {"name": "x", "salary": 1.0})
+        tman_emp.process_all()
+        assert tman_emp.stats.triggers_fired == 0
+
+
+class TestTokenProcessing:
+    def test_insert_event_fires(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger big from emp on insert "
+            "when emp.salary > 80000 do raise event Big(emp.name)"
+        )
+        tman_emp.insert("emp", {"name": "rich", "salary": 100000.0})
+        tman_emp.insert("emp", {"name": "poor", "salary": 10000.0})
+        tman_emp.process_all()
+        events = fired_events(tman_emp, "Big")
+        assert [e.args for e in events] == [("rich",)]
+
+    def test_update_event_with_column_filter(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger watch from emp on update(emp.salary) "
+            "do raise event Changed(emp.name)"
+        )
+        tman_emp.insert("emp", {"name": "a", "salary": 1.0, "dept": "x"})
+        tman_emp.process_all()
+        tman_emp.update_rows("emp", {"name": "a"}, {"dept": "y"})
+        tman_emp.process_all()
+        assert fired_events(tman_emp, "Changed") == []
+        tman_emp.update_rows("emp", {"name": "a"}, {"salary": 2.0})
+        tman_emp.process_all()
+        assert len(fired_events(tman_emp, "Changed")) == 1
+
+    def test_delete_event_uses_old_image(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger gone from emp on delete from emp "
+            "when emp.salary > 50 do raise event Gone(emp.name)"
+        )
+        tman_emp.insert("emp", {"name": "hi", "salary": 100.0})
+        tman_emp.insert("emp", {"name": "lo", "salary": 10.0})
+        tman_emp.process_all()
+        tman_emp.delete_rows("emp", {"name": "hi"})
+        tman_emp.delete_rows("emp", {"name": "lo"})
+        tman_emp.process_all()
+        events = fired_events(tman_emp, "Gone")
+        assert [e.args for e in events] == [("hi",)]
+
+    def test_implicit_insert_or_update(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger any from emp when emp.salary > 10 "
+            "do raise event Any(emp.name)"
+        )
+        tman_emp.insert("emp", {"name": "a", "salary": 100.0})
+        tman_emp.process_all()
+        tman_emp.update_rows("emp", {"name": "a"}, {"salary": 200.0})
+        tman_emp.process_all()
+        tman_emp.delete_rows("emp", {"name": "a"})
+        tman_emp.process_all()
+        assert len(fired_events(tman_emp, "Any")) == 2  # insert + update
+
+    def test_execsql_action_cascades(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger sync from emp on update(emp.salary) "
+            "when emp.name = 'Bob' "
+            "do execSQL 'update emp set salary=:NEW.emp.salary "
+            "where emp.name= ''Fred'''"
+        )
+        tman_emp.create_trigger(
+            "create trigger watchFred from emp on update(emp.salary) "
+            "when emp.name = 'Fred' do raise event FredChanged(emp.salary)"
+        )
+        tman_emp.insert("emp", {"name": "Bob", "salary": 1.0})
+        tman_emp.insert("emp", {"name": "Fred", "salary": 1.0})
+        tman_emp.process_all()
+        tman_emp.update_rows("emp", {"name": "Bob"}, {"salary": 42.0})
+        tman_emp.process_all()
+        # the cascade: Bob's update fires sync, whose execSQL updates Fred,
+        # whose captured update fires watchFred asynchronously
+        events = fired_events(tman_emp, "FredChanged")
+        assert [e.args for e in events] == [(42.0,)]
+
+    def test_call_action(self, tman_emp):
+        seen = []
+        tman_emp.register_callback(
+            "handler", lambda rows, old: seen.append(rows["emp"]["name"])
+        )
+        tman_emp.create_trigger(
+            "create trigger cb from emp on insert do call handler"
+        )
+        tman_emp.insert("emp", {"name": "z", "salary": 0.0})
+        tman_emp.process_all()
+        assert seen == ["z"]
+
+    def test_action_failure_does_not_stop_others(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger bad from emp on insert "
+            "do execSQL 'insert into missing values (1)'"
+        )
+        tman_emp.create_trigger(
+            "create trigger good from emp on insert do raise event OK"
+        )
+        tman_emp.insert("emp", {"name": "x", "salary": 1.0})
+        tman_emp.process_all()
+        assert len(fired_events(tman_emp, "OK")) == 1
+        assert len(tman_emp.actions.failures) == 1
+
+    def test_enable_disable_cycle(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger t from emp on insert do raise event E"
+        )
+        tman_emp.execute_command("disable trigger t")
+        tman_emp.insert("emp", {"name": "a", "salary": 1.0})
+        tman_emp.process_all()
+        assert fired_events(tman_emp, "E") == []
+        tman_emp.execute_command("enable trigger t")
+        tman_emp.insert("emp", {"name": "b", "salary": 1.0})
+        tman_emp.process_all()
+        assert len(fired_events(tman_emp, "E")) == 1
+
+    def test_trigger_set_disable(self, tman_emp):
+        tman_emp.execute_command("create trigger set s")
+        tman_emp.create_trigger(
+            "create trigger t in s from emp on insert do raise event E"
+        )
+        tman_emp.execute_command("disable trigger set s")
+        tman_emp.insert("emp", {"name": "a", "salary": 1.0})
+        tman_emp.process_all()
+        assert fired_events(tman_emp, "E") == []
+
+
+class TestStreams:
+    def test_stream_trigger(self, tman):
+        tman.define_stream("ticks", [("symbol", "varchar(8)"), ("price", "float")])
+        tman.create_trigger(
+            "create trigger spike from ticks on insert "
+            "when ticks.price > 100 do raise event Spike(ticks.symbol)"
+        )
+        tman.push("ticks", Operation.INSERT, new={"symbol": "ACME", "price": 200.0})
+        tman.push("ticks", Operation.INSERT, new={"symbol": "ZZZ", "price": 5.0})
+        tman.process_all()
+        assert [n.args for n in fired_events(tman, "Spike")] == [("ACME",)]
+
+    def test_stream_rejects_unknown_columns(self, tman):
+        tman.define_stream("s", [("a", "integer")])
+        with pytest.raises(Exception):
+            tman.push("s", Operation.INSERT, new={"bogus": 1})
+
+    def test_push_to_table_rejected(self, tman_emp):
+        with pytest.raises(CatalogError):
+            tman_emp.push("emp", Operation.INSERT, new={})
+
+    def test_stream_join_trigger_pinned(self, tman):
+        tman.define_stream("a", [("k", "integer")])
+        tman.define_stream("b", [("k", "integer")])
+        tid = tman.create_trigger(
+            "create trigger j from a, b when a.k = b.k "
+            "do raise event J(a.k)"
+        )
+        assert tid in tman._permanent_pins
+        tman.push("b", Operation.INSERT, new={"k": 1})
+        tman.process_all()
+        tman.push("a", Operation.INSERT, new={"k": 1})
+        tman.process_all()
+        assert len(fired_events(tman, "J")) == 1
+
+
+class TestAggregates:
+    def test_group_by_having(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger crowded from emp on insert "
+            "group by emp.dept having count(*) >= 3 "
+            "do raise event Crowded(emp.dept)"
+        )
+        for i in range(3):
+            tman_emp.insert(
+                "emp", {"name": f"e{i}", "salary": 1.0, "dept": "toys"}
+            )
+        tman_emp.insert("emp", {"name": "x", "salary": 1.0, "dept": "shoes"})
+        tman_emp.process_all()
+        events = fired_events(tman_emp, "Crowded")
+        assert [e.args for e in events] == [("toys",)]
+
+    def test_having_without_group_by(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger total from emp on insert "
+            "having sum(emp.salary) > 100 do raise event Total"
+        )
+        tman_emp.insert("emp", {"name": "a", "salary": 60.0})
+        tman_emp.process_all()
+        assert fired_events(tman_emp, "Total") == []
+        tman_emp.insert("emp", {"name": "b", "salary": 60.0})
+        tman_emp.process_all()
+        assert len(fired_events(tman_emp, "Total")) == 1
+
+    def test_group_by_without_having_rejected(self, tman_emp):
+        with pytest.raises(TriggerError):
+            tman_emp.create_trigger(
+                "create trigger g from emp group by emp.dept "
+                "do raise event E"
+            )
+
+
+class TestCacheIntegration:
+    def test_eviction_and_reload(self, tman):
+        tman = TriggerMan.in_memory(cache_capacity=2)
+        tman.define_table("emp", [("name", "varchar(20)"), ("salary", "float")])
+        for i in range(5):
+            tman.create_trigger(
+                f"create trigger t{i} from emp on insert "
+                f"when emp.salary > {i} do raise event E{i}(emp.name)"
+            )
+        assert len(tman.cache) <= 2
+        tman.insert("emp", {"name": "x", "salary": 100.0})
+        tman.process_all()
+        # every trigger fired despite most being evicted (reloaded on pin)
+        fired = {n.event_name for n in tman.events.history}
+        assert fired == {f"E{i}" for i in range(5)}
+        assert tman.cache.stats.misses > 0
+
+    def test_metrics_shape(self, tman_emp):
+        metrics = tman_emp.metrics()
+        for key in (
+            "tokens_processed",
+            "triggers_fired",
+            "signatures",
+            "cache_hits",
+            "queue_depth",
+        ):
+            assert key in metrics
+
+
+class TestRecovery:
+    def test_persistent_restart_replays_triggers(self, tmp_path):
+        path = str(tmp_path / "tman")
+        tman = TriggerMan.persistent(path)
+        tman.define_table("emp", [("name", "varchar(20)"), ("salary", "float")])
+        tman.create_trigger(
+            "create trigger big from emp on insert "
+            "when emp.salary > 10 do raise event Big(emp.name)"
+        )
+        tman.insert("emp", {"name": "before", "salary": 100.0})
+        # crash before processing: the queued descriptor must survive
+        tman.catalog_db.close()
+
+        tman2 = TriggerMan.persistent(path)
+        tman2.insert("emp", {"name": "after", "salary": 100.0})
+        tman2.process_all()
+        names = [n.args[0] for n in fired_events(tman2, "Big")]
+        assert names == ["before", "after"]
+        tman2.catalog_db.close()
+
+    def test_restart_preserves_disabled_state(self, tmp_path):
+        path = str(tmp_path / "tman")
+        tman = TriggerMan.persistent(path)
+        tman.define_table("emp", [("name", "varchar(20)")])
+        tman.create_trigger(
+            "create trigger t from emp on insert do raise event E"
+        )
+        tman.execute_command("disable trigger t")
+        tman.catalog_db.close()
+
+        tman2 = TriggerMan.persistent(path)
+        tman2.insert("emp", {"name": "x"})
+        tman2.process_all()
+        assert fired_events(tman2, "E") == []
+        tman2.catalog_db.close()
+
+
+class TestLifecycle:
+    def test_context_manager_flushes(self, tmp_path):
+        path = str(tmp_path / "cm")
+        with TriggerMan.persistent(path) as tman:
+            tman.define_table("t", [("a", "integer")])
+            tman.create_trigger(
+                "create trigger x from t on insert do raise event E"
+            )
+        with TriggerMan.persistent(path) as tman2:
+            assert tman2.catalog.has_trigger("x")
+
+    def test_flush_without_close(self, tmp_path):
+        path = str(tmp_path / "fl")
+        tman = TriggerMan.persistent(path)
+        tman.define_table("t", [("a", "integer")])
+        tman.insert("t", {"a": 1})
+        tman.flush()
+        # reopen without closing the first instance ("crash after flush")
+        tman2 = TriggerMan.persistent(path)
+        assert len(tman2.queue) == 1
+        tman2.close()
+
+
+class TestDataSourceManagement:
+    def test_drop_data_source_in_use_rejected(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger t from emp do raise event E"
+        )
+        with pytest.raises(CatalogError):
+            tman_emp.drop_data_source("emp")
+
+    def test_drop_unused_source(self, tman):
+        tman.define_stream("s", [("a", "integer")])
+        tman.drop_data_source("s")
+        assert "s" not in tman.registry
+
+    def test_define_source_over_existing_table(self, tman):
+        tman.default_connection.database.execute(
+            "create table raw (a integer)"
+        )
+        tman.execute_command("define data source raw from raw")
+        tman.create_trigger(
+            "create trigger t from raw on insert do raise event E(raw.a)"
+        )
+        tman.execute_sql("insert into raw values (7)")
+        tman.process_all()
+        assert fired_events(tman, "E")[0].args == (7,)
+
+    def test_tman_test_interface(self, tman_emp):
+        from repro.engine.tasks import TASK_QUEUE_EMPTY
+
+        tman_emp.create_trigger(
+            "create trigger t from emp on insert do raise event E"
+        )
+        tman_emp.insert("emp", {"name": "a", "salary": 1.0})
+        status = tman_emp.tman_test()
+        assert status == TASK_QUEUE_EMPTY
+        assert len(fired_events(tman_emp, "E")) == 1

@@ -1,0 +1,83 @@
+"""Tests for the ``window N`` trigger flag: bounded per-group aggregate
+state (the §9 scalable-aggregates extension point)."""
+
+import pytest
+
+from repro.errors import ParseError, TriggerError
+from repro.lang.parser import parse_command
+
+
+def fired(tman, name):
+    return [n.args for n in tman.events.history if n.event_name == name]
+
+
+class TestParsing:
+    def test_window_flag(self):
+        cmd = parse_command(
+            "create trigger t window 100 from emp "
+            "having count(*) > 5 do raise event E"
+        )
+        assert "WINDOW:100" in cmd.flags
+
+    def test_window_combines_with_disabled(self):
+        cmd = parse_command(
+            "create trigger t disabled window 10 from emp "
+            "having count(*) > 2 do raise event E"
+        )
+        assert cmd.flags == ("DISABLED", "WINDOW:10")
+
+    def test_window_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_command(
+                "create trigger t window lots from emp do raise event E"
+            )
+        with pytest.raises(ParseError):
+            parse_command(
+                "create trigger t window 2.5 from emp do raise event E"
+            )
+
+
+class TestSemantics:
+    def test_window_bounds_group_state(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger recent window 3 from emp on insert "
+            "group by emp.dept having avg(emp.salary) > 100 "
+            "do raise event Hot(emp.dept)"
+        )
+        # three cheap hires: avg stays low
+        for i in range(3):
+            tman_emp.insert(
+                "emp", {"name": f"a{i}", "salary": 10.0, "dept": "toys"}
+            )
+        tman_emp.process_all()
+        assert fired(tman_emp, "Hot") == []
+        # three expensive hires: the window forgets the cheap ones, so the
+        # average over the last 3 crosses the threshold
+        for i in range(3):
+            tman_emp.insert(
+                "emp", {"name": f"b{i}", "salary": 500.0, "dept": "toys"}
+            )
+        tman_emp.process_all()
+        assert ("toys",) in fired(tman_emp, "Hot")
+        runtime = tman_emp.triggers()[0]
+        assert all(len(g) <= 3 for g in runtime.group_state.values())
+
+    def test_unwindowed_state_accumulates(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger total from emp on insert "
+            "group by emp.dept having count(*) >= 4 "
+            "do raise event Big(emp.dept)"
+        )
+        for i in range(4):
+            tman_emp.insert(
+                "emp", {"name": f"x{i}", "salary": 1.0, "dept": "d"}
+            )
+        tman_emp.process_all()
+        assert fired(tman_emp, "Big") == [("d",)]
+
+    def test_zero_window_rejected(self, tman_emp):
+        with pytest.raises(TriggerError):
+            tman_emp.create_trigger(
+                "create trigger t window 0 from emp "
+                "having count(*) > 1 do raise event E"
+            )

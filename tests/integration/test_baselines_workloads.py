@@ -1,0 +1,164 @@
+"""Unit tests for the baseline processors and the workload generators."""
+
+import pytest
+
+from repro.baselines.naive import NaiveECAProcessor
+from repro.baselines.perquery import PerQueryProcessor
+from repro.condition.cnf import to_cnf
+from repro.condition.signature import analyze_selection
+from repro.errors import CatalogError
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.sql.schema import schema
+from repro.workloads import (
+    SIGNATURE_TEMPLATES,
+    build_naive,
+    build_predicate_index,
+    emp_predicates,
+    emp_tokens,
+    zipf_indices,
+)
+
+
+def analyzed(text, op="insert"):
+    return analyze_selection("emp", op, to_cnf(parse(text)))
+
+
+class TestNaiveBaseline:
+    def test_linear_matching(self):
+        naive = NaiveECAProcessor()
+        naive.add_trigger(1, "emp", "insert", analyzed("salary > 100"))
+        naive.add_trigger(2, "emp", "insert", analyzed("salary > 900"))
+        hits = naive.match("emp", "insert", {"salary": 500.0})
+        assert hits == [1]
+        assert naive.conditions_evaluated == 2  # every trigger tested
+
+    def test_operation_filtering(self):
+        naive = NaiveECAProcessor()
+        naive.add_trigger(1, "emp", "delete", analyzed("salary > 0", "delete"))
+        naive.add_trigger(
+            2, "emp", "insert_or_update",
+            analyzed("salary > 0", "insert_or_update"),
+        )
+        assert naive.match("emp", "insert", {"salary": 1.0}) == [2]
+        assert naive.match("emp", "delete", {"salary": 1.0}) == [1]
+
+    def test_update_columns(self):
+        naive = NaiveECAProcessor()
+        naive.add_trigger(
+            1, "emp", "update(salary)", analyzed("salary > 0", "update(salary)")
+        )
+        assert naive.match(
+            "emp", "update", {"salary": 1.0}, frozenset({"dept"})
+        ) == []
+        assert naive.match(
+            "emp", "update", {"salary": 1.0}, frozenset({"salary"})
+        ) == [1]
+
+    def test_remove_trigger(self):
+        naive = NaiveECAProcessor()
+        naive.add_trigger(1, "emp", "insert", analyzed("salary > 0"))
+        assert naive.remove_trigger(1) == 1
+        assert naive.trigger_count() == 0
+
+    def test_trivial_condition(self):
+        naive = NaiveECAProcessor()
+        naive.add_trigger(
+            1, "emp", "insert", analyze_selection("emp", "insert", [])
+        )
+        assert naive.match("emp", "insert", {"x": 1}) == [1]
+
+
+class TestPerQueryBaseline:
+    def _processor(self):
+        p = PerQueryProcessor()
+        p.register_source(
+            "emp", schema("emp", ("name", "varchar(40)"), ("salary", "float"))
+        )
+        return p
+
+    def test_query_per_trigger(self):
+        p = self._processor()
+        p.add_trigger(1, "emp", "insert", analyzed("salary > 100"))
+        p.add_trigger(2, "emp", "insert", analyzed("name = 'x'"))
+        hits = p.match("emp", "insert", {"name": "y", "salary": 500.0})
+        assert hits == [1]
+        assert p.queries_run == 2
+
+    def test_duplicate_source_rejected(self):
+        p = self._processor()
+        with pytest.raises(CatalogError):
+            p.register_source(
+                "emp", schema("emp2", ("name", "varchar(40)"))
+            )
+
+    def test_unregistered_source_rejected(self):
+        p = self._processor()
+        with pytest.raises(CatalogError):
+            p.add_trigger(1, "ghost", "insert", analyzed("salary > 1"))
+
+    def test_agrees_with_index(self):
+        specs = emp_predicates(60, num_signatures=4, seed=8)
+        index = build_predicate_index(specs)
+        p = PerQueryProcessor()
+        p.register_source(
+            "emp",
+            schema(
+                "emp",
+                ("eno", "integer"),
+                ("name", "varchar(40)"),
+                ("salary", "float"),
+                ("dept", "varchar(20)"),
+                ("age", "integer"),
+            ),
+        )
+        for i, spec in enumerate(specs):
+            p.add_trigger(i + 1, "emp", "insert", spec.analyze())
+        for token in emp_tokens(20, seed=12):
+            a = sorted(
+                m.entry.trigger_id for m in index.match("emp", "insert", token)
+            )
+            b = sorted(p.match("emp", "insert", token))
+            assert a == b
+
+
+class TestGenerators:
+    def test_determinism(self):
+        a = emp_predicates(50, num_signatures=4, seed=5)
+        b = emp_predicates(50, num_signatures=4, seed=5)
+        assert [s.clauses for s in a] == [s.clauses for s in b]
+        assert emp_tokens(10, seed=2) == emp_tokens(10, seed=2)
+
+    def test_signature_count_exact(self):
+        for k in (1, 3, 8):
+            index = build_predicate_index(
+                emp_predicates(200, num_signatures=k)
+            )
+            assert index.signature_count() == k
+
+    def test_template_indices(self):
+        specs = emp_predicates(10, template_indices=[1])
+        index = build_predicate_index(specs)
+        assert index.signature_count() == 1
+        assert "name" in index.describe()[0]
+
+    def test_bad_num_signatures(self):
+        with pytest.raises(ValueError):
+            emp_predicates(10, num_signatures=0)
+        with pytest.raises(ValueError):
+            emp_predicates(10, num_signatures=len(SIGNATURE_TEMPLATES) + 1)
+
+    def test_tokens_schema(self):
+        for token in emp_tokens(5):
+            assert set(token) == {"eno", "name", "salary", "dept", "age"}
+
+    def test_zipf_skew(self):
+        indices = zipf_indices(5000, 100, s=1.2, seed=1)
+        assert all(0 <= i < 100 for i in indices)
+        head = sum(1 for i in indices if i < 10)
+        tail = sum(1 for i in indices if i >= 90)
+        assert head > 5 * max(tail, 1)  # strongly skewed
+
+    def test_build_naive_matches_spec_count(self):
+        specs = emp_predicates(25, num_signatures=2)
+        naive = build_naive(specs)
+        assert naive.trigger_count() == 25

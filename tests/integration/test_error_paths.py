@@ -1,0 +1,110 @@
+"""Error-path coverage across subsystems: failures must be specific,
+typed, and non-destructive."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ConditionError,
+    ParseError,
+    ReproError,
+    TriggerError,
+)
+from repro.engine.triggerman import TriggerMan
+from repro.sql.database import Database
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        import inspect
+
+        import repro.errors as errors_module
+
+        for _name, cls in inspect.getmembers(errors_module, inspect.isclass):
+            if issubclass(cls, Exception) and cls is not ReproError:
+                assert issubclass(cls, ReproError), cls
+
+    def test_parse_error_carries_position(self):
+        err = ParseError("boom", line=3, column=7)
+        assert err.line == 3
+        assert err.column == 7
+        assert "line 3" in str(err)
+
+
+class TestEngineErrorPaths:
+    def test_create_trigger_failure_leaves_no_residue(self, tman_emp):
+        """A trigger rejected at validation must not leak catalog rows or
+        predicate entries."""
+        before_triggers = len(tman_emp.catalog.list_triggers())
+        before_entries = tman_emp.index.entry_count()
+        with pytest.raises(ConditionError):
+            tman_emp.create_trigger(
+                "create trigger bad from emp when emp.nope = 1 "
+                "do raise event E"
+            )
+        assert len(tman_emp.catalog.list_triggers()) == before_triggers
+        assert tman_emp.index.entry_count() == before_entries
+        # name is reusable afterwards
+        tman_emp.create_trigger(
+            "create trigger bad from emp do raise event E"
+        )
+
+    def test_drop_missing_trigger(self, tman_emp):
+        with pytest.raises(TriggerError):
+            tman_emp.drop_trigger("ghost")
+
+    def test_command_parse_error_propagates(self, tman_emp):
+        with pytest.raises(ParseError):
+            tman_emp.execute_command("create trigger from nothing")
+
+    def test_action_failures_accumulate_with_details(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger bad from emp on insert "
+            "do execSQL 'select * from missing_table'"
+        )
+        tman_emp.insert("emp", {"name": "x", "salary": 1.0})
+        tman_emp.process_all()
+        (failure,) = tman_emp.actions.failures
+        assert failure.trigger_name == "bad"
+        assert "missing_table" in failure.action_text
+        assert isinstance(failure.error, ReproError)
+
+    def test_unknown_event_target(self, tman_emp):
+        with pytest.raises(TriggerError):
+            tman_emp.create_trigger(
+                "create trigger t from emp on insert to ghosts "
+                "do raise event E"
+            )
+
+
+class TestSqlErrorPaths:
+    def test_unknown_table_everywhere(self):
+        db = Database()
+        for sql in (
+            "select * from nope",
+            "insert into nope values (1)",
+            "update nope set a = 1",
+            "delete from nope",
+            "drop table nope",
+            "create index i on nope (a)",
+        ):
+            with pytest.raises(CatalogError):
+                db.execute(sql)
+
+    def test_insert_arity_mismatch(self):
+        db = Database()
+        db.execute("create table t (a integer, b integer)")
+        with pytest.raises(ReproError):
+            db.execute("insert into t values (1)")
+        with pytest.raises(ReproError):
+            db.execute("insert into t (a) values (1, 2)")
+        assert db.table("t").count() == 0
+
+    def test_update_unknown_column(self):
+        db = Database()
+        db.execute("create table t (a integer)")
+        db.execute("insert into t values (1)")
+        with pytest.raises(ReproError):
+            db.execute("update t set zz = 1")
+        # row unchanged
+        assert db.execute("select a from t") == [(1,)]

@@ -1,0 +1,74 @@
+"""Rendering tests for AST nodes used in catalogs and console output."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.exprparser import parse_expression_text as parse
+
+
+class TestExpressionRender:
+    def test_literal_escaping(self):
+        assert ast.Literal("it's").render() == "'it''s'"
+        assert ast.Literal(None).render() == "NULL"
+        assert ast.Literal(True).render() == "TRUE"
+        assert ast.Literal(False).render() == "FALSE"
+
+    def test_placeholder(self):
+        assert ast.Placeholder(3).render() == "CONSTANT_3"
+
+    def test_param_refs(self):
+        assert ast.ParamRef("NEW", "emp", "salary").render() == (
+            ":NEW.emp.salary"
+        )
+        assert ast.ParamRef("OLD", None, "x").render() == ":OLD.x"
+        assert ast.ParamRef("PARAM", None, "limit").render() == ":limit"
+
+    def test_compound(self):
+        text = "(a = 1) AND ((b LIKE 'x%') OR (NOT (c IS NULL)))"
+        expr = parse(text)
+        assert parse(expr.render()) == expr
+
+
+class TestStatementRender:
+    def test_from_item(self):
+        assert ast.FromItem("emp", "e").render() == "emp e"
+        assert ast.FromItem("emp").render() == "emp"
+        assert ast.FromItem("emp", "e").tvar == "e"
+        assert ast.FromItem("emp").tvar == "emp"
+
+    def test_event_spec(self):
+        spec = ast.EventSpec("update", "emp", ("salary", "dept"))
+        assert spec.render() == "update(salary, dept) to emp"
+        assert ast.EventSpec("insert").render() == "insert"
+
+    def test_actions(self):
+        assert ast.ExecSqlAction("select 'a'").render() == (
+            "execSQL 'select ''a'''"
+        )
+        raise_action = ast.RaiseEventAction(
+            "E", (parse("emp.x"), ast.Literal(1))
+        )
+        assert raise_action.render() == "raise event E(emp.x, 1)"
+        assert ast.CallAction("fn").render() == "call fn"
+
+
+class TestTransform:
+    def test_transform_replaces_bottom_up(self):
+        expr = parse("a + 1 > 2")
+
+        def bump(node):
+            if isinstance(node, ast.Literal) and isinstance(node.value, int):
+                return ast.Literal(node.value * 10)
+            return None
+
+        out = expr.transform(bump)
+        assert out == parse("a + 10 > 20")
+        # original untouched (nodes are immutable)
+        assert expr == parse("a + 1 > 2")
+
+    def test_walk_preorder(self):
+        expr = parse("a = 1 and b = 2")
+        kinds = [type(n).__name__ for n in expr.walk()]
+        assert kinds[0] == "BoolOp"
+        assert kinds.count("BinaryOp") == 2
+        assert kinds.count("Literal") == 2

@@ -1,0 +1,202 @@
+"""Unit tests for expression evaluation, including SQL three-valued logic
+and aggregate (having-clause) evaluation."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.lang.evaluator import Bindings, Evaluator
+from repro.lang.exprparser import parse_expression_text as parse
+
+E = Evaluator()
+
+
+def ev(text, rows=None, old=None, params=None):
+    return E.evaluate(parse(text), Bindings(rows or {}, old, params))
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("(1 + 2) * 3") == 9
+        assert ev("10 / 4") == 2.5
+        assert ev("-(2 + 3)") == -5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ConditionError):
+            ev("1 / 0")
+
+    def test_comparisons(self):
+        assert ev("1 < 2") is True
+        assert ev("2 <= 2") is True
+        assert ev("'a' <> 'b'") is True
+        assert ev("3 >= 4") is False
+
+    def test_incomparable(self):
+        with pytest.raises(ConditionError):
+            ev("1 < 'a'")
+
+
+class TestColumnResolution:
+    ROWS = {"emp": {"name": "bob", "salary": 100.0}}
+
+    def test_qualified(self):
+        assert ev("emp.salary", self.ROWS) == 100.0
+
+    def test_bare_unambiguous(self):
+        assert ev("salary", self.ROWS) == 100.0
+
+    def test_bare_ambiguous(self):
+        rows = {"a": {"x": 1}, "b": {"x": 2}}
+        with pytest.raises(ConditionError):
+            ev("x", rows)
+
+    def test_unknown_column(self):
+        with pytest.raises(ConditionError):
+            ev("bogus", self.ROWS)
+
+    def test_unknown_tvar(self):
+        with pytest.raises(ConditionError):
+            ev("dept.x", self.ROWS)
+
+
+class TestParams:
+    def test_new_old(self):
+        rows = {"emp": {"salary": 200.0}}
+        old = {"emp": {"salary": 100.0}}
+        assert ev(":NEW.emp.salary", rows, old) == 200.0
+        assert ev(":OLD.emp.salary", rows, old) == 100.0
+        assert ev(":NEW.emp.salary - :OLD.emp.salary", rows, old) == 100.0
+
+    def test_named_param(self):
+        assert ev(":limit * 2", params={"limit": 10}) == 20
+
+    def test_unbound_param(self):
+        with pytest.raises(ConditionError):
+            ev(":nope")
+
+    def test_missing_old(self):
+        with pytest.raises(ConditionError):
+            ev(":OLD.emp.salary", {"emp": {"salary": 1.0}})
+
+
+class TestThreeValuedLogic:
+    ROWS = {"t": {"x": None, "y": 5}}
+
+    def test_null_comparison_is_null(self):
+        assert ev("x = 5", self.ROWS) is None
+        assert ev("x <> 5", self.ROWS) is None
+
+    def test_and_or_kleene(self):
+        assert ev("x = 5 and y = 5", self.ROWS) is None
+        assert ev("x = 5 and y = 6", self.ROWS) is False
+        assert ev("x = 5 or y = 5", self.ROWS) is True
+        assert ev("x = 5 or y = 6", self.ROWS) is None
+
+    def test_not_null(self):
+        assert ev("not x = 5", self.ROWS) is None
+
+    def test_is_null(self):
+        assert ev("x is null", self.ROWS) is True
+        assert ev("y is null", self.ROWS) is False
+        assert ev("x is not null", self.ROWS) is False
+
+    def test_in_with_null(self):
+        assert ev("y in (1, 2)", self.ROWS) is False
+        assert ev("y in (5, 2)", self.ROWS) is True
+        assert ev("y in (1, x)", self.ROWS) is None
+        assert ev("x in (1, 2)", self.ROWS) is None
+
+    def test_between_with_null(self):
+        assert ev("y between 1 and 10", self.ROWS) is True
+        assert ev("y between x and 10", self.ROWS) is None
+        assert ev("y between 6 and x", self.ROWS) is False  # 6 > 5 decides
+
+    def test_matches_requires_exactly_true(self):
+        e = Evaluator()
+        bindings = Bindings({"t": {"x": None}})
+        assert not e.matches(parse("x = 1"), bindings)
+
+
+class TestLike:
+    ROWS = {"t": {"s": "hello world"}}
+
+    def test_percent(self):
+        assert ev("s like 'hello%'", self.ROWS) is True
+        assert ev("s like '%world'", self.ROWS) is True
+        assert ev("s like '%lo wo%'", self.ROWS) is True
+        assert ev("s like 'xyz%'", self.ROWS) is False
+
+    def test_underscore(self):
+        assert ev("s like 'hell_ world'", self.ROWS) is True
+        assert ev("s like 'hell__world'", self.ROWS) is True
+
+    def test_regex_metachars_escaped(self):
+        rows = {"t": {"s": "a.b"}}
+        assert ev("s like 'a.b'", rows) is True
+        assert ev("s like 'axb'", rows) is False
+
+
+class TestFunctions:
+    def test_builtin(self):
+        assert ev("upper('abc')") == "ABC"
+        assert ev("length('abcd')") == 4
+        assert ev("abs(0 - 5)") == 5
+
+    def test_custom_registration(self):
+        e = Evaluator()
+        e.register("double", lambda x: x * 2)
+        assert e.evaluate(parse("double(21)"), Bindings()) == 42
+
+    def test_unknown_function(self):
+        with pytest.raises(ConditionError):
+            ev("mystery(1)")
+
+    def test_aggregate_outside_having_rejected(self):
+        with pytest.raises(ConditionError):
+            ev("count(*) > 1")
+
+
+class TestAggregates:
+    def _groups(self):
+        rows = [
+            {"dept": "a", "salary": 100.0},
+            {"dept": "a", "salary": 200.0},
+            {"dept": "a", "salary": None},
+        ]
+        return [Bindings({"emp": r}) for r in rows]
+
+    def test_count_star_and_column(self):
+        group = self._groups()
+        bindings = group[-1]
+        assert E.evaluate_aggregate(parse("count(*)"), group, bindings) == 3
+        assert (
+            E.evaluate_aggregate(parse("count(emp.salary)"), group, bindings)
+            == 2
+        )
+
+    def test_sum_avg_min_max(self):
+        group = self._groups()
+        b = group[0]
+        assert E.evaluate_aggregate(parse("sum(emp.salary)"), group, b) == 300.0
+        assert E.evaluate_aggregate(parse("avg(emp.salary)"), group, b) == 150.0
+        assert E.evaluate_aggregate(parse("min(emp.salary)"), group, b) == 100.0
+        assert E.evaluate_aggregate(parse("max(emp.salary)"), group, b) == 200.0
+
+    def test_empty_aggregate_is_null(self):
+        assert E.evaluate_aggregate(parse("sum(emp.salary)"), [], Bindings()) is None
+
+    def test_having_boolean_combination(self):
+        group = self._groups()
+        b = group[0]
+        expr = parse("count(*) > 2 and avg(emp.salary) >= 150")
+        assert E.evaluate_aggregate(expr, group, b) is True
+        expr = parse("count(*) > 5 or max(emp.salary) = 200")
+        assert E.evaluate_aggregate(expr, group, b) is True
+        expr = parse("not count(*) > 2")
+        assert E.evaluate_aggregate(expr, group, b) is False
+
+    def test_having_mixes_group_columns(self):
+        group = self._groups()
+        b = Bindings({"emp": {"dept": "a", "salary": 100.0}})
+        expr = parse("emp.dept = 'a' and count(*) = 3")
+        assert E.evaluate_aggregate(expr, group, b) is True

@@ -1,0 +1,146 @@
+"""Unit tests for the shared expression grammar."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.exprparser import parse_expression_text as parse
+
+
+class TestLiterals:
+    def test_numbers(self):
+        assert parse("42") == ast.Literal(42)
+        assert parse("3.5") == ast.Literal(3.5)
+        assert parse("-7") == ast.Literal(-7)  # folded negation
+        assert parse("1e3") == ast.Literal(1000.0)
+
+    def test_strings(self):
+        assert parse("'abc'") == ast.Literal("abc")
+
+    def test_named_constants(self):
+        assert parse("NULL") == ast.Literal(None)
+        assert parse("true") == ast.Literal(True)
+        assert parse("FALSE") == ast.Literal(False)
+
+
+class TestReferences:
+    def test_bare_column(self):
+        assert parse("salary") == ast.ColumnRef(None, "salary")
+
+    def test_qualified_column(self):
+        assert parse("emp.salary") == ast.ColumnRef("emp", "salary")
+
+    def test_new_param(self):
+        assert parse(":NEW.emp.salary") == ast.ParamRef("NEW", "emp", "salary")
+        assert parse(":OLD.salary") == ast.ParamRef("OLD", None, "salary")
+
+    def test_named_param(self):
+        assert parse(":limit") == ast.ParamRef("PARAM", None, "limit")
+
+    def test_new_requires_column(self):
+        with pytest.raises(ParseError):
+            parse(":NEW + 1")
+
+
+class TestOperators:
+    def test_precedence_arith_over_comparison(self):
+        expr = parse("a + b * 2 > 10")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == ">"
+        assert isinstance(expr.left, ast.BinaryOp) and expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = parse("a = 1 or b = 2 and c = 3")
+        assert isinstance(expr, ast.BoolOp) and expr.op == "OR"
+        assert isinstance(expr.args[1], ast.BoolOp)
+        assert expr.args[1].op == "AND"
+
+    def test_not(self):
+        expr = parse("not a = 1")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+
+    def test_parentheses(self):
+        expr = parse("(a = 1 or b = 2) and c = 3")
+        assert expr.op == "AND"
+        assert expr.args[0].op == "OR"
+
+    def test_neq_normalized(self):
+        assert parse("a != 1") == parse("a <> 1")
+
+    def test_nary_and_flattened(self):
+        expr = parse("a = 1 and b = 2 and c = 3")
+        assert isinstance(expr, ast.BoolOp)
+        assert len(expr.args) == 3
+
+
+class TestPredicates:
+    def test_like(self):
+        expr = parse("name like 'A%'")
+        assert expr.op == "LIKE"
+
+    def test_not_like(self):
+        expr = parse("name not like 'A%'")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+
+    def test_in_list(self):
+        expr = parse("dept in ('a', 'b')")
+        assert isinstance(expr, ast.InList)
+        assert not expr.negated
+        assert len(expr.items) == 2
+
+    def test_not_in(self):
+        expr = parse("dept not in ('a')")
+        assert expr.negated
+
+    def test_between(self):
+        expr = parse("age between 20 and 30")
+        assert isinstance(expr, ast.Between)
+        assert expr.low == ast.Literal(20)
+
+    def test_not_between(self):
+        assert parse("age not between 1 and 2").negated
+
+    def test_is_null(self):
+        expr = parse("x is null")
+        assert isinstance(expr, ast.IsNull) and not expr.negated
+        assert parse("x is not null").negated
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(ParseError):
+            parse("a not 5")
+
+
+class TestFunctions:
+    def test_call(self):
+        expr = parse("lower(name)")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "lower"
+
+    def test_count_star(self):
+        expr = parse("count(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_nested(self):
+        expr = parse("abs(a - b)")
+        assert isinstance(expr.args[0], ast.BinaryOp)
+
+
+class TestRenderRoundtrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a = 1",
+            "emp.salary > 80000",
+            "a = 1 and b = 2 or not c = 3",
+            "name like 'A%'",
+            "dept in ('a', 'b', 'c')",
+            "age between 20 and 30",
+            "x is not null",
+            "abs(a * -2 + 1) <= 10",
+        ],
+    )
+    def test_parse_render_parse_fixpoint(self, text):
+        first = parse(text)
+        again = parse(first.render())
+        assert first == again
+        assert first.render() == again.render()

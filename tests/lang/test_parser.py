@@ -1,0 +1,144 @@
+"""Unit tests for the TriggerMan command parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_command
+
+
+class TestCreateTrigger:
+    def test_paper_example_update_fred(self):
+        cmd = parse_command(
+            "create trigger updateFred from emp on update(emp.salary) "
+            "when emp.name = 'Bob' "
+            "do execSQL 'update emp set salary=:NEW.emp.salary "
+            "where emp.name= ''Fred'''"
+        )
+        assert cmd.name == "updateFred"
+        assert cmd.from_list == (ast.FromItem("emp"),)
+        assert cmd.event == ast.EventSpec("update", "emp", ("salary",))
+        assert isinstance(cmd.action, ast.ExecSqlAction)
+        assert ":NEW.emp.salary" in cmd.action.sql
+
+    def test_paper_example_iris(self):
+        cmd = parse_command(
+            "create trigger IrisHouseAlert on insert to house "
+            "from salesperson s, house h, represents r "
+            "when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno "
+            "do raise event NewHouseInIrisNeighborhood(h.hno, h.address)"
+        )
+        assert [f.tvar for f in cmd.from_list] == ["s", "h", "r"]
+        assert cmd.event.operation == "insert"
+        assert cmd.event.source == "house"
+        assert isinstance(cmd.action, ast.RaiseEventAction)
+        assert len(cmd.action.args) == 2
+
+    def test_trigger_set_membership(self):
+        cmd = parse_command(
+            "create trigger t1 in mySet from emp do raise event E"
+        )
+        assert cmd.set_name == "mySet"
+
+    def test_flags(self):
+        cmd = parse_command(
+            "create trigger t1 disabled from emp do raise event E"
+        )
+        assert cmd.flags == ("DISABLED",)
+
+    def test_event_after_from_with_from_keyword(self):
+        cmd = parse_command(
+            "create trigger t from emp on delete from emp do raise event E"
+        )
+        assert cmd.event.operation == "delete"
+        assert cmd.event.source == "emp"
+
+    def test_insert_or_update(self):
+        cmd = parse_command(
+            "create trigger t from emp on insert or update to emp "
+            "do raise event E"
+        )
+        assert cmd.event.operation == "insert_or_update"
+
+    def test_group_by_having(self):
+        cmd = parse_command(
+            "create trigger t from emp when emp.salary > 0 "
+            "group by emp.dept having count(*) > 5 and avg(emp.salary) > 100 "
+            "do raise event Busy(emp.dept)"
+        )
+        assert cmd.group_by == (ast.ColumnRef("emp", "dept"),)
+        assert cmd.having is not None
+
+    def test_call_action(self):
+        cmd = parse_command("create trigger t from emp do call my_handler")
+        assert cmd.action == ast.CallAction("my_handler")
+
+    def test_no_when_clause(self):
+        cmd = parse_command("create trigger t from emp on insert do raise event E")
+        assert cmd.when is None
+
+    def test_duplicate_on_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command(
+                "create trigger t on insert to emp from emp on delete from emp "
+                "do raise event E"
+            )
+
+    def test_missing_do_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command("create trigger t from emp when emp.a = 1")
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command("create trigger t from emp do fly")
+
+    def test_event_multi_source_column_list_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command(
+                "create trigger t from a, b on update(a.x, b.y) "
+                "do raise event E"
+            )
+
+
+class TestOtherCommands:
+    def test_drop_trigger(self):
+        assert parse_command("drop trigger t1") == ast.DropTriggerStatement("t1")
+
+    def test_create_trigger_set(self):
+        cmd = parse_command("create trigger set s1 comment 'my set'")
+        assert cmd == ast.CreateTriggerSetStatement("s1", "my set")
+
+    def test_drop_trigger_set(self):
+        assert parse_command("drop trigger set s1") == ast.DropTriggerSetStatement(
+            "s1"
+        )
+
+    def test_enable_disable(self):
+        cmd = parse_command("disable trigger t1")
+        assert cmd == ast.AlterTriggerStatement("t1", False, False)
+        cmd = parse_command("enable trigger set s1")
+        assert cmd == ast.AlterTriggerStatement("s1", True, True)
+
+    def test_define_data_source_from_table(self):
+        cmd = parse_command("define data source emp from emp_table in hr")
+        assert cmd.table == "emp_table"
+        assert cmd.connection == "hr"
+
+    def test_define_stream_source(self):
+        cmd = parse_command(
+            "define data source ticks as stream "
+            "(symbol varchar(8), price float)"
+        )
+        assert cmd.stream_columns == (
+            ("symbol", "varchar(8)"),
+            ("price", "float"),
+        )
+
+    def test_drop_data_source(self):
+        assert parse_command("drop data source s") == ast.DropDataSourceStatement(
+            "s"
+        )
+
+    def test_unknown_command(self):
+        with pytest.raises(ParseError):
+            parse_command("explode everything")

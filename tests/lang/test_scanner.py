@@ -1,0 +1,108 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.scanner import (
+    EOF,
+    IDENT,
+    NUMBER,
+    OP,
+    PARAM,
+    STRING,
+    TokenStream,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTokenKinds:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("create TRIGGER t1")
+        assert [t.kind for t in tokens] == [IDENT, IDENT, IDENT, EOF]
+        assert tokens[0].matches_keyword("CREATE")
+        assert tokens[1].matches_keyword("trigger")
+
+    def test_numbers(self):
+        assert values("42 3.5 1e3 2.5e-2 .75") == ["42", "3.5", "1e3", "2.5e-2", ".75"]
+        assert all(k == NUMBER for k in kinds("42 3.5")[:-1])
+
+    def test_dot_disambiguation(self):
+        # emp.salary is IDENT OP(.) IDENT, not a float
+        tokens = tokenize("emp.salary > 1.5")
+        assert [t.kind for t in tokens[:-1]] == [IDENT, OP, IDENT, OP, NUMBER]
+
+    def test_string_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_params(self):
+        tokens = tokenize(":NEW.emp.salary :old.x :limit")
+        assert tokens[0].kind == PARAM and tokens[0].value == "NEW"
+        assert tokens[5].kind == PARAM and tokens[5].value == "old"
+        assert tokens[-2].kind == PARAM and tokens[-2].value == "limit"
+
+    def test_bare_colon_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("a : b")
+
+    def test_operators(self):
+        assert values("<= >= <> != = < > ( ) , . + - * / ;") == [
+            "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".",
+            "+", "-", "*", "/", ";",
+        ]
+
+    def test_comments_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestTokenStream:
+    def test_accept_expect(self):
+        stream = TokenStream.from_text("from emp")
+        assert stream.accept_keyword("FROM") == "FROM"
+        token = stream.expect_ident("source")
+        assert token.value == "emp"
+        assert stream.at_end()
+
+    def test_expect_failure(self):
+        stream = TokenStream.from_text("when")
+        with pytest.raises(ParseError):
+            stream.expect_keyword("FROM")
+
+    def test_peek_ahead(self):
+        stream = TokenStream.from_text("a b c")
+        assert stream.peek(2).value == "c"
+        assert stream.peek().value == "a"
+
+    def test_trailing_semicolon_ok(self):
+        stream = TokenStream.from_text("a ;")
+        stream.next()
+        stream.expect_end()
+
+    def test_trailing_garbage_rejected(self):
+        stream = TokenStream.from_text("a b")
+        stream.next()
+        with pytest.raises(ParseError):
+            stream.expect_end()

@@ -1,0 +1,88 @@
+"""Unit tests for the embedded SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.sqlparser import parse_sql
+
+
+class TestCreate:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "create table emp (eno integer not null, name varchar(40) null, "
+            "salary float)"
+        )
+        assert stmt.table == "emp"
+        assert stmt.columns[0] == ast.ColumnDef("eno", "integer", False)
+        assert stmt.columns[1] == ast.ColumnDef("name", "varchar(40)", True)
+
+    def test_create_index(self):
+        stmt = parse_sql("create index i on t (a, b)")
+        assert stmt.columns == ("a", "b")
+        assert not stmt.clustered
+        assert stmt.using == "btree"
+
+    def test_create_clustered_index_hash_method(self):
+        stmt = parse_sql("create clustered index i on t (a)")
+        assert stmt.clustered
+        stmt = parse_sql("create index i on t (a) using hash")
+        assert stmt.using == "hash"
+
+    def test_bad_index_method(self):
+        with pytest.raises(ParseError):
+            parse_sql("create index i on t (a) using bitmap")
+
+    def test_clustered_table_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("create clustered table t (a integer)")
+
+
+class TestDml:
+    def test_insert_positional(self):
+        stmt = parse_sql("insert into t values (1, 'x', null)")
+        assert stmt.columns == ()
+        assert len(stmt.values) == 3
+
+    def test_insert_with_columns(self):
+        stmt = parse_sql("insert into t (a, b) values (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_update(self):
+        stmt = parse_sql("update t set a = a + 1, b = 'x' where a > 0")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_sql("delete from t where a = 1")
+        assert stmt.table == "t"
+
+    def test_delete_all(self):
+        assert parse_sql("delete from t").where is None
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_sql("select * from t")
+        assert isinstance(stmt.projection[0], ast.Star)
+
+    def test_projection_order_limit(self):
+        stmt = parse_sql(
+            "select a, b * 2 from t where a > 1 order by b desc, a limit 5"
+        )
+        assert len(stmt.projection) == 2
+        assert stmt.order_by[0][1] is True  # desc
+        assert stmt.order_by[1][1] is False
+        assert stmt.limit == 5
+
+    def test_limit_requires_number(self):
+        with pytest.raises(ParseError):
+            parse_sql("select * from t limit many")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_sql("select * from t garbage")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_sql("vacuum t")

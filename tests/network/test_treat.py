@@ -1,0 +1,214 @@
+"""Unit tests for A-TREAT networks: alpha memories, join search, P-nodes."""
+
+import pytest
+
+from repro.condition.classify import build_condition_graph
+from repro.errors import NetworkError
+from repro.lang.evaluator import Evaluator
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.network.nodes import AlphaMemory, PNode, VirtualAlphaMemory
+from repro.network.treat import ATreatNetwork
+
+
+def make_network(tvars, when_text, fetchers=None):
+    when = parse(when_text) if when_text else None
+    graph = build_condition_graph(tvars, when)
+    return ATreatNetwork(1, graph, Evaluator(), fetchers)
+
+
+class TestAlphaMemory:
+    def test_insert_remove(self):
+        memory = AlphaMemory("alpha:t", "t")
+        memory.insert({"a": 1})
+        memory.insert({"a": 2})
+        assert len(memory) == 2
+        assert memory.remove({"a": 1})
+        assert not memory.remove({"a": 99})
+        assert [r["a"] for r in memory.rows()] == [2]
+
+    def test_rows_are_copies(self):
+        memory = AlphaMemory("alpha:t", "t")
+        row = {"a": 1}
+        memory.insert(row)
+        row["a"] = 2
+        assert next(memory.rows())["a"] == 1
+
+
+class TestVirtualAlphaMemory:
+    def test_filters_by_selection(self):
+        base = [{"x": 1}, {"x": 5}, {"x": 10}]
+        memory = VirtualAlphaMemory(
+            "alpha:t", "t", lambda: iter(base), parse("t.x > 3"), Evaluator()
+        )
+        assert [r["x"] for r in memory.rows()] == [5, 10]
+
+    def test_no_selection_passes_all(self):
+        base = [{"x": 1}, {"x": 2}]
+        memory = VirtualAlphaMemory(
+            "alpha:t", "t", lambda: iter(base), None, Evaluator()
+        )
+        assert len(list(memory.rows())) == 2
+
+
+class TestSingleSourceNetwork:
+    def test_entry_node_is_pnode(self):
+        network = make_network(["e"], "e.x > 1")
+        assert network.entry_node_id("e") == "pnode"
+
+    def test_activate_yields_binding(self):
+        network = make_network(["e"], None)
+        matches = network.activate("e", "insert", {"x": 5})
+        assert len(matches) == 1
+        assert matches[0].rows["e"] == {"x": 5}
+
+    def test_delete_uses_old_row(self):
+        network = make_network(["e"], None)
+        matches = network.activate("e", "delete", None, {"x": 7})
+        assert matches[0].rows["e"] == {"x": 7}
+
+    def test_update_carries_old_image(self):
+        network = make_network(["e"], None)
+        matches = network.activate(
+            "e", "update", {"x": 2}, {"x": 1}
+        )
+        assert matches[0].rows["e"]["x"] == 2
+        assert matches[0].old_rows["e"]["x"] == 1
+
+    def test_single_source_memory_not_grown(self):
+        network = make_network(["e"], None)
+        for i in range(10):
+            network.activate("e", "insert", {"x": i})
+        assert len(network.alpha["e"]) == 0
+
+    def test_missing_image_raises(self):
+        network = make_network(["e"], None)
+        with pytest.raises(NetworkError):
+            network.activate("e", "insert", None)
+        with pytest.raises(NetworkError):
+            network.activate("e", "bogus", {"x": 1})
+
+    def test_catch_all_applied(self):
+        network = make_network(["e"], "1 = 2")
+        assert network.activate("e", "insert", {"x": 1}) == []
+
+
+class TestTwoWayJoin:
+    def _network(self):
+        network = make_network(["a", "b"], "a.k = b.k")
+        network.prime("b", iter([{"k": 1, "v": "b1"}, {"k": 2, "v": "b2"}]))
+        return network
+
+    def test_join_match(self):
+        network = self._network()
+        matches = network.activate("a", "insert", {"k": 1})
+        assert len(matches) == 1
+        assert matches[0].rows["b"]["v"] == "b1"
+
+    def test_join_no_match(self):
+        network = self._network()
+        assert network.activate("a", "insert", {"k": 99}) == []
+
+    def test_seed_from_other_side(self):
+        network = self._network()
+        network.activate("a", "insert", {"k": 1})
+        matches = network.activate("b", "insert", {"k": 1, "v": "b3"})
+        # joins against the 'a' row stored earlier
+        assert len(matches) == 1
+        assert matches[0].rows["a"]["k"] == 1
+
+    def test_delete_maintains_memory(self):
+        network = self._network()
+        network.activate("b", "delete", None, {"k": 1, "v": "b1"})
+        assert network.activate("a", "insert", {"k": 1}) == []
+
+    def test_update_rebinds(self):
+        network = self._network()
+        network.activate(
+            "b", "update", {"k": 5, "v": "b1"}, {"k": 1, "v": "b1"}
+        )
+        assert network.activate("a", "insert", {"k": 1}) == []
+        assert len(network.activate("a", "insert", {"k": 5})) == 1
+
+
+class TestThreeWayJoin:
+    def test_iris_topology(self):
+        when = (
+            "s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno"
+        )
+        network = make_network(["s", "h", "r"], when)
+        network.prime("s", iter([{"spno": 1, "name": "Iris"}]))
+        network.prime("r", iter([{"spno": 1, "nno": 10}, {"spno": 1, "nno": 20}]))
+        matches = network.activate("h", "insert", {"hno": 7, "nno": 10})
+        assert len(matches) == 1
+        assert matches[0].rows["s"]["name"] == "Iris"
+        assert matches[0].rows["r"]["nno"] == 10
+
+    def test_multiple_combinations(self):
+        network = make_network(["a", "b"], "a.k = b.k")
+        network.prime("b", iter([{"k": 1, "i": 1}, {"k": 1, "i": 2}]))
+        matches = network.activate("a", "insert", {"k": 1})
+        assert len(matches) == 2
+
+    def test_cartesian_when_disconnected(self):
+        network = make_network(["a", "b"], None)
+        network.prime("b", iter([{"x": 1}, {"x": 2}]))
+        matches = network.activate("a", "insert", {"y": 9})
+        assert len(matches) == 2
+
+    def test_hyper_join_catch_all(self):
+        when = "a.x + b.y = c.z"
+        network = make_network(["a", "b", "c"], when)
+        network.prime("b", iter([{"y": 2}]))
+        network.prime("c", iter([{"z": 5}]))
+        assert len(network.activate("a", "insert", {"x": 3})) == 1
+        assert network.activate("a", "insert", {"x": 4}) == []
+
+
+class TestVirtualJoin:
+    def test_virtual_alpha_queries_base(self):
+        base_b = [{"k": 1, "v": "fresh"}]
+        network = make_network(
+            ["a", "b"], "a.k = b.k", fetchers={"b": lambda: iter(base_b)}
+        )
+        assert len(network.activate("a", "insert", {"k": 1})) == 1
+        base_b.append({"k": 1, "v": "later"})
+        assert len(network.activate("a", "insert", {"k": 1})) == 2
+
+    def test_virtual_alpha_applies_selection(self):
+        base_b = [{"k": 1, "q": 1}, {"k": 1, "q": 100}]
+        network = make_network(
+            ["a", "b"],
+            "a.k = b.k and b.q > 10",
+            fetchers={"b": lambda: iter(base_b)},
+        )
+        matches = network.activate("a", "insert", {"k": 1})
+        assert len(matches) == 1
+        assert matches[0].rows["b"]["q"] == 100
+
+
+class TestIntrospection:
+    def test_node_lookup(self):
+        network = make_network(["a", "b"], "a.k = b.k")
+        assert isinstance(network.node("pnode"), PNode)
+        assert network.node("alpha:a").tvar == "a"
+        with pytest.raises(NetworkError):
+            network.node("alpha:zz")
+
+    def test_memory_sizes(self):
+        network = make_network(
+            ["a", "b"], "a.k = b.k", fetchers={"b": lambda: iter([])}
+        )
+        network.activate("a", "insert", {"k": 1})
+        sizes = network.memory_sizes()
+        assert sizes["a"] == 1
+        assert sizes["b"] is None  # virtual
+
+    def test_pnode_counts(self):
+        pnode = PNode("pnode")
+        seen = []
+        pnode.on_match = seen.append
+        from repro.lang.evaluator import Bindings
+
+        pnode.activate(Bindings())
+        assert pnode.match_count == 1
+        assert len(seen) == 1

@@ -1,0 +1,97 @@
+"""Unit tests for the organization cost model."""
+
+import pytest
+
+from repro.condition.signature import EQUALITY, INTERVAL, NONE, RANGE
+from repro.predindex.costmodel import (
+    ALL_STRATEGIES,
+    DB_TABLE,
+    DB_TABLE_INDEXED,
+    Limits,
+    MEMORY_INDEX,
+    MEMORY_LIST,
+    choose_organization,
+    crossover_size,
+    probe_cost,
+)
+
+
+class TestProbeCost:
+    def test_zero_size_free(self):
+        for strategy in ALL_STRATEGIES:
+            assert probe_cost(EQUALITY, strategy, 0) == 0.0
+
+    def test_list_linear(self):
+        assert probe_cost(EQUALITY, MEMORY_LIST, 200) == pytest.approx(
+            2 * probe_cost(EQUALITY, MEMORY_LIST, 100)
+        )
+
+    def test_hash_flat_for_equality(self):
+        small = probe_cost(EQUALITY, MEMORY_INDEX, 100)
+        large = probe_cost(EQUALITY, MEMORY_INDEX, 100_000)
+        assert large == pytest.approx(small)
+
+    def test_memory_index_log_for_range(self):
+        c1 = probe_cost(RANGE, MEMORY_INDEX, 1000)
+        c2 = probe_cost(RANGE, MEMORY_INDEX, 2000)
+        # dominated by the k matching entries, which double
+        assert c2 > c1
+
+    def test_indexed_table_beats_plain_for_equality(self):
+        for size in (1000, 100_000, 1_000_000):
+            assert probe_cost(EQUALITY, DB_TABLE_INDEXED, size) < probe_cost(
+                EQUALITY, DB_TABLE, size
+            )
+
+    def test_index_useless_for_unindexable(self):
+        assert probe_cost(NONE, DB_TABLE_INDEXED, 10_000) == pytest.approx(
+            probe_cost(NONE, DB_TABLE, 10_000)
+        )
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            probe_cost(EQUALITY, "bitmap", 10)
+
+
+class TestChooseOrganization:
+    def test_small_class_is_list(self):
+        limits = Limits(list_max=16, memory_max=1000)
+        assert choose_organization(EQUALITY, 5, limits) == MEMORY_LIST
+
+    def test_medium_class_is_memory_index(self):
+        limits = Limits(list_max=16, memory_max=1000)
+        assert choose_organization(EQUALITY, 500, limits) == MEMORY_INDEX
+
+    def test_large_equality_class_is_indexed_table(self):
+        limits = Limits(list_max=16, memory_max=1000)
+        assert (
+            choose_organization(EQUALITY, 10_000, limits) == DB_TABLE_INDEXED
+        )
+
+    def test_large_unindexable_class_plain_or_indexed_equal(self):
+        limits = Limits(list_max=16, memory_max=1000)
+        assert choose_organization(NONE, 10_000, limits) in (
+            DB_TABLE,
+            DB_TABLE_INDEXED,
+        )
+
+    def test_boundaries_inclusive(self):
+        limits = Limits(list_max=16, memory_max=100)
+        assert choose_organization(EQUALITY, 16, limits) == MEMORY_LIST
+        assert choose_organization(EQUALITY, 17, limits) == MEMORY_INDEX
+        assert choose_organization(EQUALITY, 100, limits) == MEMORY_INDEX
+        assert choose_organization(EQUALITY, 101, limits) != MEMORY_INDEX
+
+
+class TestCrossover:
+    def test_list_vs_index_crossover_small(self):
+        size = crossover_size(EQUALITY, MEMORY_LIST, MEMORY_INDEX)
+        assert 2 <= size <= 64
+
+    def test_plain_vs_indexed_crossover(self):
+        size = crossover_size(EQUALITY, DB_TABLE, DB_TABLE_INDEXED)
+        assert size <= 256
+
+    def test_never_crossover_capped(self):
+        # a list never beats... an identical list; cap returned
+        assert crossover_size(EQUALITY, MEMORY_LIST, MEMORY_LIST, 1024) == 1024

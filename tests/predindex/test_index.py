@@ -1,0 +1,187 @@
+"""Unit tests for the root predicate index (Figures 3/4, §5.4)."""
+
+import pytest
+
+from repro.condition.cnf import to_cnf
+from repro.condition.signature import analyze_selection
+from repro.errors import ConditionError, SignatureError
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.predindex.entry import PredicateEntry
+from repro.predindex.index import (
+    PredicateIndex,
+    make_operation_code,
+    parse_operation_code,
+)
+from repro.predindex.organizations import MemoryListOrganization
+from repro.workloads import build_predicate_index, emp_predicates
+
+
+def analyzed_for(text, operation="insert", source="emp"):
+    return analyze_selection(source, operation, to_cnf(parse(text)))
+
+
+def add(index, analyzed, trigger_id, expr_id, sig_id=None):
+    group = index.find_group(analyzed.signature)
+    if group is None:
+        group = index.register_signature(
+            sig_id or expr_id,
+            analyzed.signature,
+            MemoryListOrganization(analyzed.signature),
+        )
+    entry = PredicateEntry(
+        expr_id,
+        trigger_id,
+        "emp",
+        "pnode",
+        analyzed.residual.render() if analyzed.residual is not None else None,
+    )
+    index.add_predicate(analyzed, entry)
+    return group
+
+
+class TestOperationCodes:
+    def test_roundtrip(self):
+        code = make_operation_code("update", ("salary", "name"))
+        assert code == "update(name,salary)"
+        assert parse_operation_code(code) == (
+            "update",
+            frozenset({"name", "salary"}),
+        )
+        assert parse_operation_code("insert") == ("insert", frozenset())
+
+
+class TestMatching:
+    def test_basic_equality_match(self):
+        index = PredicateIndex()
+        add(index, analyzed_for("name = 'bob'"), 1, 1)
+        hits = index.match("emp", "insert", {"name": "bob", "salary": 1.0})
+        assert [m.entry.trigger_id for m in hits] == [1]
+        assert index.match("emp", "insert", {"name": "ann", "salary": 1.0}) == []
+
+    def test_unknown_source_no_match(self):
+        index = PredicateIndex()
+        assert index.match("nowhere", "insert", {}) == []
+
+    def test_operation_filtering(self):
+        index = PredicateIndex()
+        add(index, analyzed_for("salary > 1", operation="insert"), 1, 1)
+        add(index, analyzed_for("salary > 1", operation="delete"), 2, 2)
+        add(index, analyzed_for("salary > 1", operation="insert_or_update"), 3, 3)
+        row = {"salary": 10.0}
+        assert {m.entry.trigger_id for m in index.match("emp", "insert", row)} == {1, 3}
+        assert {m.entry.trigger_id for m in index.match("emp", "delete", row)} == {2}
+        assert {m.entry.trigger_id for m in index.match("emp", "update", row)} == {3}
+
+    def test_update_column_filtering(self):
+        index = PredicateIndex()
+        op = make_operation_code("update", ("salary",))
+        add(index, analyzed_for("name = 'bob'", operation=op), 1, 1)
+        row = {"name": "bob"}
+        hits = index.match("emp", "update", row, frozenset({"salary"}))
+        assert len(hits) == 1
+        assert index.match("emp", "update", row, frozenset({"dept"})) == []
+        # update with no column list on the signature side matches any change
+        add(index, analyzed_for("name = 'bob'", operation="update"), 2, 2)
+        hits = index.match("emp", "update", row, frozenset({"dept"}))
+        assert [m.entry.trigger_id for m in hits] == [2]
+
+    def test_residual_tested_after_probe(self):
+        index = PredicateIndex()
+        add(index, analyzed_for("dept = 'toys' and salary > 100"), 1, 1)
+        matched = index.match(
+            "emp", "insert", {"dept": "toys", "salary": 200.0}
+        )
+        assert len(matched) == 1
+        missed = index.match(
+            "emp", "insert", {"dept": "toys", "salary": 50.0}
+        )
+        assert missed == []
+        assert index.stats.residual_tests == 2
+
+    def test_missing_probe_column_raises(self):
+        index = PredicateIndex()
+        add(index, analyzed_for("name = 'bob'"), 1, 1)
+        with pytest.raises(ConditionError):
+            index.match("emp", "insert", {"salary": 1.0})
+
+    def test_enabled_filter(self):
+        index = PredicateIndex()
+        add(index, analyzed_for("salary > 1"), 1, 1)
+        add(index, analyzed_for("salary > 2"), 2, 2)
+        row = {"salary": 10.0}
+        hits = index.match(
+            "emp", "insert", row, enabled=lambda tid: tid != 1
+        )
+        assert [m.entry.trigger_id for m in hits] == [2]
+
+    def test_trivial_signature_matches_everything(self):
+        index = PredicateIndex()
+        add(index, analyzed_for("TRUE"), 1, 1)
+        assert len(index.match("emp", "insert", {"anything": 1})) == 1
+
+
+class TestRegistration:
+    def test_duplicate_signature_rejected(self):
+        index = PredicateIndex()
+        analyzed = analyzed_for("salary > 1")
+        index.register_signature(
+            1, analyzed.signature, MemoryListOrganization(analyzed.signature)
+        )
+        with pytest.raises(SignatureError):
+            index.register_signature(
+                2,
+                analyzed.signature,
+                MemoryListOrganization(analyzed.signature),
+            )
+
+    def test_add_without_registration_rejected(self):
+        index = PredicateIndex()
+        analyzed = analyzed_for("salary > 1")
+        with pytest.raises(SignatureError):
+            index.add_predicate(
+                analyzed, PredicateEntry(1, 1, "emp", "pnode")
+            )
+
+    def test_signature_sharing(self):
+        index = PredicateIndex()
+        group_a = add(index, analyzed_for("salary > 100"), 1, 1, sig_id=1)
+        group_b = add(index, analyzed_for("salary > 200"), 2, 2, sig_id=99)
+        assert group_a is group_b
+        assert index.signature_count() == 1
+        assert index.entry_count() == 2
+
+    def test_remove_trigger(self):
+        index = PredicateIndex()
+        add(index, analyzed_for("salary > 100"), 1, 1, sig_id=1)
+        add(index, analyzed_for("salary > 200"), 1, 2, sig_id=1)
+        add(index, analyzed_for("salary > 300"), 2, 3, sig_id=1)
+        assert index.remove_trigger(1) == 2
+        assert index.entry_count() == 1
+        hits = index.match("emp", "insert", {"salary": 1000.0})
+        assert [m.entry.trigger_id for m in hits] == [2]
+
+
+class TestStatsAndScale:
+    def test_stats_counters(self):
+        index = PredicateIndex()
+        add(index, analyzed_for("salary > 1"), 1, 1)
+        index.match("emp", "insert", {"salary": 10.0})
+        assert index.stats.tokens == 1
+        assert index.stats.groups_probed == 1
+        assert index.stats.matches == 1
+        index.stats.reset()
+        assert index.stats.tokens == 0
+
+    def test_signature_count_stays_small(self):
+        """§5's claim: many triggers, few signatures."""
+        specs = emp_predicates(2000, num_signatures=4)
+        index = build_predicate_index(specs)
+        assert index.entry_count() == 2000
+        assert index.signature_count() == 4
+
+    def test_describe_lists_groups(self):
+        specs = emp_predicates(10, num_signatures=2)
+        index = build_predicate_index(specs)
+        lines = index.describe()
+        assert len(lines) == 2
+        assert any("CONSTANT_1" in line for line in lines)

@@ -1,0 +1,91 @@
+"""Unit and property tests for the interval stabbing index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predindex.intervalindex import IntervalIndex
+
+
+class TestBasics:
+    def test_empty(self):
+        idx = IntervalIndex()
+        assert idx.stab(5) == []
+        assert len(idx) == 0
+
+    def test_single_interval(self):
+        idx = IntervalIndex()
+        idx.add(1, 10, "a")
+        assert idx.stab(5) == ["a"]
+        assert idx.stab(1) == ["a"]  # closed bounds
+        assert idx.stab(10) == ["a"]
+        assert idx.stab(0) == []
+        assert idx.stab(11) == []
+
+    def test_point_interval(self):
+        idx = IntervalIndex()
+        idx.add(5, 5, "pt")
+        assert idx.stab(5) == ["pt"]
+        assert idx.stab(4) == []
+
+    def test_overlapping(self):
+        idx = IntervalIndex()
+        idx.add(1, 10, "a")
+        idx.add(5, 15, "b")
+        idx.add(12, 20, "c")
+        assert sorted(idx.stab(7)) == ["a", "b"]
+        assert sorted(idx.stab(13)) == ["b", "c"]
+        assert idx.stab(3) == ["a"]
+
+    def test_empty_interval_rejected(self):
+        idx = IntervalIndex()
+        with pytest.raises(ValueError):
+            idx.add(10, 1, "bad")
+
+    def test_remove(self):
+        idx = IntervalIndex()
+        idx.add(1, 10, "a")
+        assert idx.remove(1, 10, "a")
+        assert not idx.remove(1, 10, "a")
+        assert idx.stab(5) == []
+
+    def test_mutation_after_query(self):
+        idx = IntervalIndex()
+        idx.add(1, 10, "a")
+        assert idx.stab(5) == ["a"]
+        idx.add(4, 6, "b")
+        assert sorted(idx.stab(5)) == ["a", "b"]
+
+    def test_string_intervals(self):
+        idx = IntervalIndex()
+        idx.add("apple", "cherry", "fruit")
+        assert idx.stab("banana") == ["fruit"]
+        assert idx.stab("zebra") == []
+
+    def test_items(self):
+        idx = IntervalIndex()
+        idx.add(1, 2, "a")
+        idx.add(3, 4, "b")
+        assert sorted(idx.items()) == [(1, 2, "a"), (3, 4, "b")]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 100), st.integers(0, 100)), max_size=60
+    ),
+    st.lists(st.integers(-5, 105), min_size=1, max_size=20),
+)
+def test_stab_matches_linear_scan(raw_intervals, probes):
+    """Property: stab() returns exactly the intervals a linear scan finds."""
+    idx = IntervalIndex()
+    intervals = []
+    for i, (a, b) in enumerate(raw_intervals):
+        low, high = min(a, b), max(a, b)
+        idx.add(low, high, i)
+        intervals.append((low, high, i))
+    for probe in probes:
+        expected = sorted(
+            payload for low, high, payload in intervals if low <= probe <= high
+        )
+        assert sorted(idx.stab(probe)) == expected

@@ -1,0 +1,148 @@
+"""Unit and property tests for the interval skip list ([Hans96b])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predindex.intervalindex import IntervalIndex
+from repro.predindex.intervalskiplist import IntervalSkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        isl = IntervalSkipList()
+        assert isl.stab(5) == []
+        assert len(isl) == 0
+
+    def test_single(self):
+        isl = IntervalSkipList()
+        isl.add(1, 10, "a")
+        assert isl.stab(5) == ["a"]
+        assert isl.stab(1) == ["a"]
+        assert isl.stab(10) == ["a"]
+        assert isl.stab(0) == []
+        assert isl.stab(11) == []
+
+    def test_point_interval(self):
+        isl = IntervalSkipList()
+        isl.add(5, 5, "pt")
+        assert isl.stab(5) == ["pt"]
+        assert isl.stab(4) == []
+
+    def test_value_between_endpoints(self):
+        """Stabbing a value that is not an endpoint of anything."""
+        isl = IntervalSkipList()
+        isl.add(0, 100, "wide")
+        isl.add(40, 60, "mid")
+        assert sorted(isl.stab(55)) == ["mid", "wide"]
+
+    def test_shared_endpoints(self):
+        isl = IntervalSkipList()
+        isl.add(1, 5, "a")
+        isl.add(5, 9, "b")
+        assert sorted(isl.stab(5)) == ["a", "b"]
+
+    def test_duplicates(self):
+        isl = IntervalSkipList()
+        isl.add(1, 5, "x")
+        isl.add(1, 5, "y")
+        assert sorted(isl.stab(3)) == ["x", "y"]
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSkipList().add(9, 1, "bad")
+
+    def test_remove(self):
+        isl = IntervalSkipList()
+        isl.add(1, 10, "a")
+        isl.add(5, 15, "b")
+        assert isl.remove(1, 10, "a")
+        assert not isl.remove(1, 10, "a")
+        assert isl.stab(7) == ["b"]
+        isl.check_invariants()
+
+    def test_remove_replaces_disturbed_markers(self):
+        """Removing an interval whose endpoints other intervals span."""
+        isl = IntervalSkipList()
+        isl.add(0, 100, "outer")
+        isl.add(40, 60, "inner")
+        isl.remove(40, 60, "inner")  # nodes 40/60 go away; outer re-placed
+        assert isl.stab(50) == ["outer"]
+        isl.check_invariants()
+
+    def test_strings(self):
+        isl = IntervalSkipList()
+        isl.add("apple", "cherry", "fruit")
+        assert isl.stab("banana") == ["fruit"]
+        assert isl.stab("zebra") == []
+
+    def test_factory_through_intervalindex(self):
+        isl = IntervalIndex(structure="skiplist")
+        assert isinstance(isl, IntervalSkipList)
+        isl.add(1, 2, "x")
+        assert isl.stab(1) == ["x"]
+        with pytest.raises(ValueError):
+            IntervalIndex(structure="btree")
+
+    def test_many_nested(self):
+        isl = IntervalSkipList()
+        for i in range(50):
+            isl.add(i, 100 - i, i)
+        # value 50 is inside all 50 intervals
+        assert sorted(isl.stab(50)) == list(range(50))
+        isl.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 60), st.integers(0, 60)),
+        min_size=1,
+        max_size=40,
+    ),
+    st.lists(st.integers(-5, 65), min_size=1, max_size=15),
+    st.data(),
+)
+def test_matches_linear_scan_with_removals(raw, probes, data):
+    """Property: after random adds and removes, stab() equals a scan."""
+    isl = IntervalSkipList()
+    live = []
+    for i, (a, b) in enumerate(raw):
+        low, high = min(a, b), max(a, b)
+        isl.add(low, high, i)
+        live.append((low, high, i))
+    n_remove = data.draw(
+        st.integers(min_value=0, max_value=len(live))
+    )
+    for _ in range(n_remove):
+        idx = data.draw(st.integers(min_value=0, max_value=len(live) - 1))
+        low, high, payload = live.pop(idx)
+        assert isl.remove(low, high, payload)
+    for probe in probes:
+        expected = sorted(p for lo, hi, p in live if lo <= probe <= hi)
+        assert sorted(isl.stab(probe)) == expected
+    isl.check_invariants()
+
+
+def test_randomized_churn_large():
+    """Deterministic large-scale churn with continuous verification."""
+    rng = random.Random(99)
+    isl = IntervalSkipList(seed=1)
+    live = []
+    for step in range(600):
+        if live and rng.random() < 0.35:
+            low, high, payload = live.pop(rng.randrange(len(live)))
+            assert isl.remove(low, high, payload)
+        else:
+            a, b = rng.randrange(1000), rng.randrange(1000)
+            low, high = min(a, b), max(a, b)
+            isl.add(low, high, step)
+            live.append((low, high, step))
+        if step % 50 == 0:
+            probe = rng.randrange(1000)
+            expected = sorted(p for lo, hi, p in live if lo <= probe <= hi)
+            assert sorted(isl.stab(probe)) == expected
+    isl.check_invariants()
+    assert len(isl) == len(live)

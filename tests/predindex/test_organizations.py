@@ -1,0 +1,264 @@
+"""Unit and property tests for the four constant-set organizations (§5.2).
+
+The central property: all four strategies are *observationally equivalent* —
+same adds, same probes, same matched entries — differing only in cost.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.condition.cnf import to_cnf
+from repro.condition.signature import analyze_selection
+from repro.errors import SignatureError
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.predindex.costmodel import (
+    DB_TABLE,
+    DB_TABLE_INDEXED,
+    Limits,
+    MEMORY_INDEX,
+    MEMORY_LIST,
+)
+from repro.predindex.entry import PredicateEntry
+from repro.predindex.organizations import (
+    AutoOrganization,
+    DbTableOrganization,
+    MemoryIndexOrganization,
+    MemoryListOrganization,
+    indexable_match,
+)
+from repro.sql.database import Database
+
+
+def signature_of(text, operation="insert"):
+    return analyze_selection("emp", operation, to_cnf(parse(text)))
+
+
+def entry(i):
+    return PredicateEntry(
+        expr_id=i, trigger_id=i, tvar="emp", next_node="pnode"
+    )
+
+
+def all_orgs(signature, sample):
+    db = Database()
+    return [
+        MemoryListOrganization(signature),
+        MemoryIndexOrganization(signature),
+        DbTableOrganization(signature, db, "ct_plain", False, sample),
+        DbTableOrganization(signature, Database(), "ct_idx", True, sample),
+    ]
+
+
+def probe_ids(org, values):
+    return sorted(e.expr_id for _c, e in org.probe(values))
+
+
+class TestEqualityOrganizations:
+    def test_all_strategies_agree(self):
+        analyzed = signature_of("name = 'x'")
+        sig = analyzed.signature
+        for org in all_orgs(sig, ("x",)):
+            for i in range(50):
+                org.add((f"user{i % 10}",), entry(i))
+            assert org.size() == 50
+            hits = probe_ids(org, ("user3",))
+            assert hits == [3, 13, 23, 33, 43], org.name
+            assert probe_ids(org, ("nope",)) == []
+
+    def test_composite_keys(self):
+        analyzed = signature_of("dept = 'a' and name = 'b'")
+        sig = analyzed.signature
+        for org in all_orgs(sig, ("a", "b")):
+            org.add(("toys", "bob"), entry(1))
+            org.add(("toys", "ann"), entry(2))
+            assert probe_ids(org, ("toys", "bob")) == [1], org.name
+            assert probe_ids(org, ("toys", "zzz")) == [], org.name
+
+    def test_arity_checked(self):
+        sig = signature_of("name = 'x'").signature
+        org = MemoryListOrganization(sig)
+        with pytest.raises(SignatureError):
+            org.add(("a", "b"), entry(1))
+
+
+class TestRangeOrganizations:
+    @pytest.mark.parametrize("op,matches", [
+        (">", [0, 1, 2]),    # constants 0,10,20 < 25
+        (">=", [0, 1, 2]),
+        ("<", [3, 4]),       # constants 30,40 > 25
+        ("<=", [3, 4]),
+    ])
+    def test_one_sided_ops(self, op, matches):
+        analyzed = signature_of(f"salary {op} 1")
+        sig = analyzed.signature
+        for org in all_orgs(sig, (1.0,)):
+            for i in range(5):
+                org.add((float(i * 10),), entry(i))
+            assert probe_ids(org, (25.0,)) == matches, (org.name, op)
+
+    def test_boundary_semantics(self):
+        gt = signature_of("salary > 1").signature
+        ge = signature_of("salary >= 1").signature
+        for sig, expected in ((gt, []), (ge, [1])):
+            for org in all_orgs(sig, (10.0,)):
+                org.add((10.0,), entry(1))
+                assert probe_ids(org, (10.0,)) == expected, (org.name, sig.text)
+
+    def test_remove(self):
+        sig = signature_of("salary > 1").signature
+        for org in all_orgs(sig, (1.0,)):
+            org.add((5.0,), entry(1))
+            org.add((7.0,), entry(2))
+            assert org.remove(1)
+            assert not org.remove(1)
+            assert probe_ids(org, (100.0,)) == [2], org.name
+            assert org.size() == 1
+
+
+class TestIntervalOrganizations:
+    def test_between_stabbing(self):
+        analyzed = signature_of("age between 1 and 2")
+        sig = analyzed.signature
+        for org in all_orgs(sig, (1, 2)):
+            org.add((10, 20), entry(1))
+            org.add((15, 30), entry(2))
+            org.add((25, 40), entry(3))
+            assert probe_ids(org, (18,)) == [1, 2], org.name
+            assert probe_ids(org, (10,)) == [1], org.name
+            assert probe_ids(org, (50,)) == [], org.name
+
+    def test_interval_remove(self):
+        sig = signature_of("age between 1 and 2").signature
+        for org in all_orgs(sig, (1, 2)):
+            org.add((10, 20), entry(1))
+            assert org.remove(1)
+            assert probe_ids(org, (15,)) == [], org.name
+
+
+class TestNoneKindOrganizations:
+    def test_probe_returns_all(self):
+        analyzed = signature_of("name like '%x%'")
+        sig = analyzed.signature
+        for org in all_orgs(sig, analyzed.indexable_constants):
+            org.add((), entry(1))
+            org.add((), entry(2))
+            assert probe_ids(org, ()) == [1, 2], org.name
+
+
+class TestDbTableSpecifics:
+    def test_rows_follow_paper_layout(self):
+        analyzed = signature_of("dept = 'a'")
+        db = Database()
+        org = DbTableOrganization(
+            analyzed.signature, db, "const_table1", True, ("a",)
+        )
+        org.add(("toys",), PredicateEntry(7, 3, "emp", "alpha:emp", "(x > 1)"))
+        names = db.table("const_table1").schema.column_names()
+        assert names == [
+            "exprID", "triggerID", "tvar", "nextNetworkNode", "const1",
+            "restOfPredicate",
+        ]
+        (_c, got), = org.probe(("toys",))
+        assert got.expr_id == 7
+        assert got.trigger_id == 3
+        assert got.next_node == "alpha:emp"
+        assert got.residual_text == "(x > 1)"
+
+    def test_clustered_index_created(self):
+        analyzed = signature_of("dept = 'a'")
+        db = Database()
+        DbTableOrganization(analyzed.signature, db, "ct", True, ("a",))
+        info = db.table("ct").indexes["ct_consts"]
+        assert info.clustered
+        assert info.columns == ("const1",)
+
+    def test_persistent_reopen(self, tmp_path):
+        analyzed = signature_of("dept = 'a'")
+        path = str(tmp_path / "db")
+        db = Database(path)
+        org = DbTableOrganization(analyzed.signature, db, "ct", True, ("a",))
+        org.add(("toys",), entry(1))
+        db.close()
+        db2 = Database(path)
+        org2 = DbTableOrganization(analyzed.signature, db2, "ct", True, ("a",))
+        assert org2.size() == 1
+        assert probe_ids(org2, ("toys",)) == [1]
+        db2.close()
+
+
+class TestAutoOrganization:
+    def _auto(self, text, limits):
+        analyzed = signature_of(text)
+        changes = []
+        org = AutoOrganization(
+            analyzed.signature,
+            Database(),
+            "ct_auto",
+            limits=limits,
+            on_change=changes.append,
+        )
+        return org, changes
+
+    def test_migrates_list_to_index_to_table(self):
+        org, changes = self._auto(
+            "name = 'x'", Limits(list_max=4, memory_max=16)
+        )
+        assert org.name == MEMORY_LIST
+        for i in range(5):
+            org.add((f"u{i}",), entry(i))
+        assert org.name == MEMORY_INDEX
+        for i in range(5, 17):
+            org.add((f"u{i}",), entry(i))
+        # Just past the memory budget the cost model still favours the plain
+        # table (one page scan beats index-depth page reads)...
+        assert org.name == DB_TABLE
+        for i in range(17, 80):
+            org.add((f"u{i}",), entry(i))
+        # ...and flips to the clustered-index table as the class grows.
+        assert org.name == DB_TABLE_INDEXED
+        assert changes == [MEMORY_INDEX, DB_TABLE, DB_TABLE_INDEXED]
+        # entries preserved through all migrations
+        assert probe_ids(org, ("u3",)) == [3]
+        assert org.size() == 80
+
+    def test_migrates_back_on_shrink(self):
+        org, _ = self._auto("name = 'x'", Limits(list_max=4, memory_max=16))
+        for i in range(6):
+            org.add((f"u{i}",), entry(i))
+        assert org.name == MEMORY_INDEX
+        for i in range(3):
+            org.remove(i)
+        assert org.name == MEMORY_LIST
+        assert org.size() == 3
+
+    def test_unindexable_large_class_goes_to_plain_table(self):
+        analyzed = signature_of("name like '%x%'")
+        org = AutoOrganization(
+            analyzed.signature,
+            Database(),
+            "ct_plain",
+            limits=Limits(list_max=2, memory_max=4),
+        )
+        for i in range(6):
+            org.add((), entry(i))
+        assert org.name == DB_TABLE
+        assert probe_ids(org, ()) == list(range(6))
+
+
+# -- property: equivalence of all four strategies -----------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 50), min_size=1, max_size=40),
+    st.lists(st.integers(-10, 60), min_size=1, max_size=10),
+)
+def test_strategies_equivalent_for_range(constants, probes):
+    analyzed = signature_of("salary > 0")
+    orgs = all_orgs(analyzed.signature, (0.0,))
+    for org in orgs:
+        for i, c in enumerate(constants):
+            org.add((float(c),), entry(i))
+    for probe in probes:
+        results = [probe_ids(org, (float(probe),)) for org in orgs]
+        assert results[0] == results[1] == results[2] == results[3]

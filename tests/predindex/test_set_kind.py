@@ -1,0 +1,115 @@
+"""Tests for the IN-list (SET) indexable kind — the operator-extensibility
+direction the paper points at ([Kony98], §9 future work)."""
+
+import pytest
+
+from repro.condition.cnf import to_cnf
+from repro.condition.signature import EQUALITY, SET, analyze_selection
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.predindex.entry import PredicateEntry
+from repro.predindex.organizations import (
+    DbTableOrganization,
+    MemoryIndexOrganization,
+    MemoryListOrganization,
+)
+from repro.sql.database import Database
+
+
+def analyzed(text):
+    return analyze_selection("emp", "insert", to_cnf(parse(text)))
+
+
+def entry(i):
+    return PredicateEntry(i, i, "emp", "pnode")
+
+
+def probe_ids(org, values):
+    return sorted(e.expr_id for _c, e in org.probe(values))
+
+
+class TestSetSignature:
+    def test_in_list_is_indexable(self):
+        a = analyzed("dept in ('a', 'b', 'c')")
+        assert a.signature.indexable.kind == SET
+        assert a.signature.indexable.columns == ("dept",)
+        assert a.indexable_constants == ("a", "b", "c")
+        assert a.residual is None
+
+    def test_arity_in_signature(self):
+        two = analyzed("dept in ('a', 'b')")
+        three = analyzed("dept in ('a', 'b', 'c')")
+        assert two.signature != three.signature  # placeholder count differs
+
+    def test_equality_still_preferred(self):
+        a = analyzed("dept in ('a', 'b') and name = 'x'")
+        assert a.signature.indexable.kind == EQUALITY
+        assert a.residual is not None
+
+    def test_small_in_beats_range(self):
+        a = analyzed("dept in ('a') and salary > 10")
+        assert a.signature.indexable.kind == SET
+
+    def test_negated_in_not_indexable(self):
+        a = analyzed("dept not in ('a', 'b')")
+        assert a.signature.indexable.kind == "none"
+
+
+class TestSetOrganizations:
+    def _orgs(self, analyzed_predicate):
+        sig = analyzed_predicate.signature
+        sample = analyzed_predicate.indexable_constants
+        return [
+            MemoryListOrganization(sig),
+            MemoryIndexOrganization(sig),
+            DbTableOrganization(sig, Database(), "ct", False, sample),
+            DbTableOrganization(sig, Database(), "cti", True, sample),
+        ]
+
+    def test_all_strategies_agree(self):
+        a = analyzed("dept in ('a', 'b', 'c')")
+        for org in self._orgs(a):
+            org.add(("toys", "shoes", "books"), entry(1))
+            org.add(("toys", "auto", "deli"), entry(2))
+            org.add(("x", "y", "z"), entry(3))
+            assert probe_ids(org, ("toys",)) == [1, 2], org.name
+            assert probe_ids(org, ("deli",)) == [2], org.name
+            assert probe_ids(org, ("nope",)) == [], org.name
+            assert probe_ids(org, (None,)) == [], org.name
+
+    def test_memory_index_remove_and_entries(self):
+        a = analyzed("dept in ('a', 'b')")
+        org = MemoryIndexOrganization(a.signature)
+        org.add(("x", "y"), entry(1))
+        org.add(("y", "z"), entry(2))
+        assert org.size() == 2
+        assert len(list(org.entries())) == 2  # deduped across buckets
+        assert org.remove(1)
+        assert not org.remove(1)
+        assert probe_ids(org, ("y",)) == [2]
+        assert org.size() == 1
+
+    def test_duplicate_members_single_match(self):
+        a = analyzed("dept in ('a', 'a')")
+        org = MemoryIndexOrganization(a.signature)
+        org.add(("q", "q"), entry(1))
+        assert probe_ids(org, ("q",)) == [1]
+
+
+class TestSetEndToEnd:
+    def test_engine_in_list_trigger(self, tman_emp):
+        tman_emp.create_trigger(
+            "create trigger vip from emp on insert "
+            "when emp.dept in ('eng', 'sales') do raise event Vip(emp.name)"
+        )
+        tman_emp.insert("emp", {"name": "a", "salary": 1.0, "dept": "eng"})
+        tman_emp.insert("emp", {"name": "b", "salary": 1.0, "dept": "toys"})
+        tman_emp.insert("emp", {"name": "c", "salary": 1.0, "dept": "sales"})
+        tman_emp.process_all()
+        fired = [
+            n.args[0]
+            for n in tman_emp.events.history
+            if n.event_name == "Vip"
+        ]
+        assert fired == ["a", "c"]
+        sigs = tman_emp.catalog.list_signatures()
+        assert "IN" in sigs[0]["signatureDesc"]

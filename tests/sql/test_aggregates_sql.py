@@ -1,0 +1,108 @@
+"""Unit tests for GROUP BY / HAVING / aggregate SELECT in the SQL executor."""
+
+import pytest
+
+from repro.sql.database import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute(
+        "create table emp (name varchar(40), salary float, dept varchar(10))"
+    )
+    rows = [
+        ("a", 100.0, "eng"),
+        ("b", 200.0, "eng"),
+        ("c", 300.0, "eng"),
+        ("d", 50.0, "toys"),
+        ("e", 150.0, "toys"),
+        ("f", None, "shoes"),
+    ]
+    for row in rows:
+        db.execute(
+            "insert into emp values ("
+            + ", ".join(
+                "null" if v is None else (f"'{v}'" if isinstance(v, str) else str(v))
+                for v in row
+            )
+            + ")"
+        )
+    return db
+
+
+class TestGlobalAggregates:
+    def test_count_star(self, db):
+        assert db.execute("select count(*) from emp") == [(6,)]
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("select count(salary) from emp") == [(5,)]
+
+    def test_sum_avg_min_max(self, db):
+        assert db.execute(
+            "select sum(salary), avg(salary), min(salary), max(salary) "
+            "from emp"
+        ) == [(800.0, 160.0, 50.0, 300.0)]
+
+    def test_aggregate_with_where(self, db):
+        assert db.execute(
+            "select count(*) from emp where dept = 'eng'"
+        ) == [(3,)]
+
+    def test_empty_table_global_aggregate(self, db):
+        db.execute("create table empty (x integer)")
+        assert db.execute("select count(*), sum(x) from empty") == [(0, None)]
+
+    def test_aggregate_arithmetic(self, db):
+        assert db.execute(
+            "select max(salary) - min(salary) from emp where dept = 'eng'"
+        ) == [(200.0,)]
+
+
+class TestGroupBy:
+    def test_group_counts(self, db):
+        rows = db.execute(
+            "select dept, count(*) from emp group by dept order by dept"
+        )
+        assert rows == [("eng", 3), ("shoes", 1), ("toys", 2)]
+
+    def test_group_avg(self, db):
+        rows = db.execute(
+            "select dept, avg(salary) from emp group by dept "
+            "order by avg(salary) desc"
+        )
+        assert rows[0] == ("eng", 200.0)
+
+    def test_having(self, db):
+        rows = db.execute(
+            "select dept from emp group by dept having count(*) >= 2 "
+            "order by dept"
+        )
+        assert rows == [("eng",), ("toys",)]
+
+    def test_having_with_where(self, db):
+        rows = db.execute(
+            "select dept, count(*) from emp where salary > 75 "
+            "group by dept having count(*) > 1"
+        )
+        assert rows == [("eng", 3)]
+
+    def test_group_by_expression(self, db):
+        rows = db.execute(
+            "select count(*) from emp group by salary > 100 "
+            "order by count(*)"
+        )
+        # groups: salary>100 {b,c,e}, salary<=100 {a,d}, NULL {f}
+        assert sorted(r[0] for r in rows) == [1, 2, 3]
+
+    def test_limit_applies_after_grouping(self, db):
+        rows = db.execute(
+            "select dept from emp group by dept order by dept limit 2"
+        )
+        assert rows == [("eng",), ("shoes",)]
+
+    def test_empty_group_result(self, db):
+        rows = db.execute(
+            "select dept from emp group by dept having count(*) > 10"
+        )
+        assert rows == []

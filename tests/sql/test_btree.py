@@ -1,0 +1,195 @@
+"""Unit and property tests for the disk-based B+tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.sql.btree import BPlusTree
+from repro.sql.buffer import BufferPool
+from repro.sql.pager import MemoryPager
+
+
+def make_tree(order=8, pool_capacity=256):
+    pool = BufferPool(pool_capacity)
+    fid = pool.register(MemoryPager())
+    return BPlusTree(pool, fid, order=order)
+
+
+class TestBasics:
+    def test_empty_search(self):
+        tree = make_tree()
+        assert tree.search((1,)) == []
+        assert list(tree.items()) == []
+        assert tree.count() == 0
+
+    def test_insert_search(self):
+        tree = make_tree()
+        tree.insert((5,), "five")
+        assert tree.search((5,)) == ["five"]
+        assert tree.search((6,)) == []
+
+    def test_scalar_key_normalized(self):
+        tree = make_tree()
+        tree.insert(5, "five")
+        assert tree.search(5) == ["five"]
+        assert tree.search((5,)) == ["five"]
+
+    def test_duplicates(self):
+        tree = make_tree(order=4)
+        for i in range(20):
+            tree.insert((7,), f"v{i}")
+        assert sorted(tree.search((7,))) == sorted(f"v{i}" for i in range(20))
+
+    def test_null_key_rejected(self):
+        tree = make_tree()
+        with pytest.raises(StorageError):
+            tree.insert((None,), "x")
+
+    def test_many_inserts_splits(self):
+        tree = make_tree(order=4)
+        for i in range(500):
+            tree.insert((i,), i * 10)
+        assert tree.depth() > 2
+        for i in range(0, 500, 37):
+            assert tree.search((i,)) == [i * 10]
+        tree.check_invariants()
+
+    def test_reverse_insert_order(self):
+        tree = make_tree(order=4)
+        for i in reversed(range(300)):
+            tree.insert((i,), i)
+        assert [k[0] for k, _v in tree.items()] == list(range(300))
+
+
+class TestRangeScan:
+    def test_closed_range(self):
+        tree = make_tree(order=4)
+        for i in range(100):
+            tree.insert((i,), i)
+        got = [k[0] for k, _ in tree.range_scan((10,), (20,))]
+        assert got == list(range(10, 21))
+
+    def test_open_bounds(self):
+        tree = make_tree(order=4)
+        for i in range(50):
+            tree.insert((i,), i)
+        assert len(list(tree.range_scan(None, (9,)))) == 10
+        assert len(list(tree.range_scan((40,), None))) == 10
+
+    def test_exclusive_bounds(self):
+        tree = make_tree(order=4)
+        for i in range(30):
+            tree.insert((i,), i)
+        got = [
+            k[0]
+            for k, _ in tree.range_scan(
+                (10,), (20,), include_low=False, include_high=False
+            )
+        ]
+        assert got == list(range(11, 20))
+
+    def test_exclusive_low_with_duplicates_across_leaves(self):
+        tree = make_tree(order=4)
+        for i in range(10):
+            tree.insert((5,), f"dup{i}")
+        tree.insert((6,), "six")
+        got = [v for _k, v in tree.range_scan((5,), None, include_low=False)]
+        assert got == ["six"]
+
+    def test_composite_prefix_scan(self):
+        tree = make_tree(order=4)
+        for a in range(5):
+            for b in range(5):
+                tree.insert((a, b), (a, b))
+        got = [v for _k, v in tree.prefix_scan((3,))]
+        assert got == [(3, b) for b in range(5)]
+
+
+class TestDelete:
+    def test_delete_single(self):
+        tree = make_tree()
+        tree.insert((1,), "a")
+        assert tree.delete((1,)) == 1
+        assert tree.search((1,)) == []
+
+    def test_delete_by_value(self):
+        tree = make_tree()
+        tree.insert((1,), "a")
+        tree.insert((1,), "b")
+        assert tree.delete((1,), "a") == 1
+        assert tree.search((1,)) == ["b"]
+
+    def test_delete_missing(self):
+        tree = make_tree()
+        assert tree.delete((9,)) == 0
+
+    def test_delete_duplicates_across_leaves(self):
+        tree = make_tree(order=4)
+        for i in range(30):
+            tree.insert((5,), i)
+        assert tree.delete((5,)) == 30
+        assert tree.search((5,)) == []
+
+    def test_count_after_deletes(self):
+        tree = make_tree(order=4)
+        for i in range(100):
+            tree.insert((i,), i)
+        assert tree.count() == 100
+        for i in range(0, 100, 2):
+            tree.delete((i,))
+        assert tree.count() == 50
+
+
+class TestPersistenceAcrossBufferPressure:
+    def test_small_pool_forces_io(self):
+        """The tree stays correct when the buffer pool is smaller than the
+        tree (pages evicted and reread)."""
+        pool = BufferPool(8)
+        fid = pool.register(MemoryPager())
+        tree = BPlusTree(pool, fid, order=8)
+        for i in range(2000):
+            tree.insert((i,), i)
+        assert pool.stats.evictions > 0
+        for i in range(0, 2000, 111):
+            assert tree.search((i,)) == [i]
+        tree.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=200), st.integers()),
+        max_size=200,
+    ),
+    st.lists(st.integers(min_value=0, max_value=200), max_size=40),
+)
+def test_btree_matches_dict_model(inserts, deletes):
+    """Property: after random inserts and deletes, the tree agrees with a
+    dict-of-lists model on every key and on full iteration order."""
+    tree = make_tree(order=4)
+    model = {}
+    for key, value in inserts:
+        tree.insert((key,), value)
+        model.setdefault(key, []).append(value)
+    for key in deletes:
+        removed = tree.delete((key,))
+        expected = len(model.pop(key, []))
+        assert removed == expected
+    for key, values in model.items():
+        assert sorted(tree.search((key,)), key=repr) == sorted(values, key=repr)
+    flattened = [k[0] for k, _v in tree.items()]
+    assert flattened == sorted(flattened)
+    assert tree.count() == sum(len(v) for v in model.values())
+    # range scans agree with the model on a few windows
+    for low, high in ((0, 50), (50, 150), (100, 200), (37, 38)):
+        got = [k[0] for k, _v in tree.range_scan((low,), (high,))]
+        expected = sorted(
+            key
+            for key, values in model.items()
+            if low <= key <= high
+            for _ in values
+        )
+        assert got == expected

@@ -1,0 +1,174 @@
+"""Unit tests for the Database facade: DDL, index maintenance, persistence,
+and capture listeners."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sql.database import Database
+from repro.sql.schema import schema
+
+
+@pytest.fixture
+def simple_db():
+    db = Database()
+    db.create_table(schema("t", ("a", "integer"), ("b", "varchar(20)")))
+    return db
+
+
+class TestTableDDL:
+    def test_create_and_lookup(self, simple_db):
+        assert simple_db.has_table("t")
+        assert simple_db.table("t").name == "t"
+
+    def test_duplicate_rejected(self, simple_db):
+        with pytest.raises(CatalogError):
+            simple_db.create_table(schema("t", ("x", "integer")))
+
+    def test_missing_table(self, simple_db):
+        with pytest.raises(CatalogError):
+            simple_db.table("nope")
+
+    def test_drop(self, simple_db):
+        simple_db.drop_table("t")
+        assert not simple_db.has_table("t")
+
+
+class TestIndexMaintenance:
+    def test_index_backfilled(self, simple_db):
+        t = simple_db.table("t")
+        for i in range(20):
+            t.insert([i, f"v{i}"])
+        simple_db.create_index("t_a", "t", ["a"])
+        assert [r for _rid, r in t.index_lookup("t_a", (7,))] == [(7, "v7")]
+
+    def test_index_maintained_on_insert(self, simple_db):
+        simple_db.create_index("t_a", "t", ["a"])
+        t = simple_db.table("t")
+        t.insert([5, "five"])
+        assert len(t.index_lookup("t_a", (5,))) == 1
+
+    def test_index_maintained_on_delete(self, simple_db):
+        simple_db.create_index("t_a", "t", ["a"])
+        t = simple_db.table("t")
+        rid = t.insert([5, "five"])
+        t.delete(rid)
+        assert t.index_lookup("t_a", (5,)) == []
+
+    def test_index_maintained_on_update(self, simple_db):
+        simple_db.create_index("t_a", "t", ["a"])
+        t = simple_db.table("t")
+        rid = t.insert([5, "five"])
+        t.update(rid, {"a": 6})
+        assert t.index_lookup("t_a", (5,)) == []
+        assert len(t.index_lookup("t_a", (6,))) == 1
+
+    def test_hash_index(self, simple_db):
+        simple_db.create_index("t_b", "t", ["b"], using="hash")
+        t = simple_db.table("t")
+        t.insert([1, "x"])
+        t.insert([2, "x"])
+        assert len(t.index_lookup("t_b", ("x",))) == 2
+
+    def test_clustered_index_returns_rows_inline(self, simple_db):
+        simple_db.create_index("t_a", "t", ["a"], clustered=True)
+        t = simple_db.table("t")
+        t.insert([3, "three"])
+        hits = t.index_lookup("t_a", (3,))
+        assert hits[0][1] == (3, "three")
+
+    def test_nulls_not_indexed(self, simple_db):
+        simple_db.create_index("t_a", "t", ["a"])
+        t = simple_db.table("t")
+        t.insert([None, "null-key"])
+        assert t.index_lookup("t_a", (0,)) == []
+        assert t.count() == 1
+
+    def test_duplicate_index_name(self, simple_db):
+        simple_db.create_index("i", "t", ["a"])
+        with pytest.raises(CatalogError):
+            simple_db.create_index("i", "t", ["b"])
+
+    def test_clustered_hash_rejected(self, simple_db):
+        with pytest.raises(CatalogError):
+            simple_db.create_index("i", "t", ["a"], clustered=True, using="hash")
+
+    def test_unknown_column_rejected(self, simple_db):
+        with pytest.raises(Exception):
+            simple_db.create_index("i", "t", ["zzz"])
+
+    def test_drop_index(self, simple_db):
+        simple_db.create_index("i", "t", ["a"])
+        simple_db.drop_index("i")
+        assert "i" not in simple_db.table("t").indexes
+        with pytest.raises(CatalogError):
+            simple_db.drop_index("i")
+
+    def test_find_index_prefix(self, simple_db):
+        simple_db.create_index("i_ab", "t", ["a", "b"])
+        t = simple_db.table("t")
+        assert t.find_index(["a"]).name == "i_ab"
+        assert t.find_index(["b"]) is None
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "dbdir")
+        db = Database(path)
+        db.create_table(schema("t", ("a", "integer"), ("b", "varchar(10)")))
+        db.create_index("t_a", "t", ["a"], clustered=True)
+        for i in range(100):
+            db.table("t").insert([i, f"v{i}"])
+        db.close()
+
+        db2 = Database(path)
+        t = db2.table("t")
+        assert t.count() == 100
+        assert t.index_lookup("t_a", (42,))[0][1] == (42, "v42")
+        db2.close()
+
+    def test_hash_index_rebuilt_on_open(self, tmp_path):
+        path = str(tmp_path / "dbdir")
+        db = Database(path)
+        db.create_table(schema("t", ("a", "integer")))
+        db.create_index("t_a", "t", ["a"], using="hash")
+        db.table("t").insert([7])
+        db.close()
+        db2 = Database(path)
+        assert len(db2.table("t").index_lookup("t_a", (7,))) == 1
+        db2.close()
+
+
+class TestCaptureListeners:
+    def test_listener_sees_all_ops(self, simple_db):
+        events = []
+        t = simple_db.table("t")
+        t.listeners.append(lambda op, old, new: events.append((op, old, new)))
+        rid = t.insert([1, "x"])
+        t.update(rid, {"b": "y"})
+        t.delete(rid)
+        assert [e[0] for e in events] == ["insert", "update", "delete"]
+        assert events[0][2] == {"a": 1, "b": "x"}
+        assert events[1][1]["b"] == "x" and events[1][2]["b"] == "y"
+        assert events[2][1]["b"] == "y"
+
+    def test_sql_path_fires_listeners(self, simple_db):
+        events = []
+        t = simple_db.table("t")
+        t.listeners.append(lambda op, old, new: events.append(op))
+        simple_db.execute("insert into t values (1, 'a')")
+        simple_db.execute("update t set b = 'z' where a = 1")
+        simple_db.execute("delete from t where a = 1")
+        assert events == ["insert", "update", "delete"]
+
+
+class TestTruncate:
+    def test_truncate_clears_indexes(self, simple_db):
+        simple_db.create_index("t_a", "t", ["a"])
+        simple_db.create_index("t_b", "t", ["b"], using="hash")
+        t = simple_db.table("t")
+        for i in range(10):
+            t.insert([i, "v"])
+        t.truncate()
+        assert t.count() == 0
+        assert t.index_lookup("t_a", (3,)) == []
+        assert t.index_lookup("t_b", ("v",)) == []

@@ -1,0 +1,174 @@
+"""Unit tests for the SQL executor and its access-path selection."""
+
+import pytest
+
+from repro.lang.sqlparser import parse_sql
+from repro.sql.database import Database
+from repro.sql.executor import choose_plan, split_conjuncts
+from repro.sql.schema import schema
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute(
+        "create table emp (eno integer not null, name varchar(40), "
+        "salary float, dept varchar(20))"
+    )
+    for i in range(50):
+        db.execute(
+            f"insert into emp values ({i}, 'emp{i}', {i * 1000}.0, "
+            f"'d{i % 5}')"
+        )
+    return db
+
+
+class TestDDL:
+    def test_create_table_via_sql(self, db):
+        assert db.has_table("emp")
+        assert db.table("emp").schema.column("eno").nullable is False
+
+    def test_create_index_via_sql(self, db):
+        db.execute("create index emp_eno on emp (eno)")
+        assert "emp_eno" in db.table("emp").indexes
+
+    def test_create_clustered_index(self, db):
+        db.execute("create clustered index emp_s on emp (salary)")
+        assert db.table("emp").indexes["emp_s"].clustered
+
+    def test_drop_table(self, db):
+        db.execute("drop table emp")
+        assert not db.has_table("emp")
+
+
+class TestSelect:
+    def test_select_star(self, db):
+        rows = db.execute("select * from emp where eno = 7")
+        assert rows == [(7, "emp7", 7000.0, "d2")]
+
+    def test_projection_expressions(self, db):
+        rows = db.execute("select name, salary * 2 from emp where eno = 3")
+        assert rows == [("emp3", 6000.0)]
+
+    def test_order_by_desc_limit(self, db):
+        rows = db.execute(
+            "select eno from emp order by salary desc limit 3"
+        )
+        assert [r[0] for r in rows] == [49, 48, 47]
+
+    def test_order_by_asc(self, db):
+        rows = db.execute(
+            "select eno from emp where salary >= 47000 order by eno"
+        )
+        assert [r[0] for r in rows] == [47, 48, 49]
+
+    def test_where_and(self, db):
+        rows = db.execute(
+            "select eno from emp where dept = 'd0' and salary > 20000"
+        )
+        assert sorted(r[0] for r in rows) == [25, 30, 35, 40, 45]
+
+    def test_where_or(self, db):
+        rows = db.execute("select eno from emp where eno = 1 or eno = 2")
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_like(self, db):
+        rows = db.execute("select eno from emp where name like 'emp4_'")
+        assert sorted(r[0] for r in rows) == list(range(40, 50))
+
+    def test_in_and_between(self, db):
+        rows = db.execute(
+            "select eno from emp where eno in (3, 5, 99)"
+        )
+        assert sorted(r[0] for r in rows) == [3, 5]
+        rows = db.execute(
+            "select eno from emp where salary between 2000 and 4000"
+        )
+        assert sorted(r[0] for r in rows) == [2, 3, 4]
+
+    def test_params(self, db):
+        rows = db.execute(
+            "select name from emp where eno = :target", {"target": 9}
+        )
+        assert rows == [("emp9",)]
+
+
+class TestDml:
+    def test_update_counts(self, db):
+        n = db.execute("update emp set salary = -1.0 where dept = 'd1'")
+        assert n == 10
+        rows = db.execute("select eno from emp where salary = -1.0")
+        assert len(rows) == 10
+
+    def test_update_expression_uses_old_value(self, db):
+        db.execute("update emp set salary = salary + 1 where eno = 0")
+        assert db.execute("select salary from emp where eno = 0") == [(1.0,)]
+
+    def test_delete(self, db):
+        n = db.execute("delete from emp where eno >= 45")
+        assert n == 5
+        assert db.table("emp").count() == 45
+
+    def test_insert_with_columns(self, db):
+        db.execute("insert into emp (eno, name) values (999, 'newbie')")
+        rows = db.execute("select salary from emp where eno = 999")
+        assert rows == [(None,)]
+
+
+class TestPlanSelection:
+    def _plan(self, db, sql):
+        statement = parse_sql(sql)
+        return choose_plan(db.table("emp"), statement.where, {})
+
+    def test_full_scan_without_index(self, db):
+        assert self._plan(db, "select * from emp where eno = 1").kind == "scan"
+
+    def test_equality_uses_hash_index(self, db):
+        db.execute("create index emp_dept on emp (dept) using hash")
+        plan = self._plan(db, "select * from emp where dept = 'd1'")
+        assert plan.kind == "index_eq"
+        assert plan.index.name == "emp_dept"
+
+    def test_range_uses_btree(self, db):
+        db.execute("create index emp_sal on emp (salary)")
+        plan = self._plan(db, "select * from emp where salary > 10000")
+        assert plan.kind == "index_range"
+
+    def test_composite_equality_prefix(self, db):
+        db.execute("create index emp_ds on emp (dept, salary)")
+        plan = self._plan(
+            db, "select * from emp where dept = 'd0' and salary > 1000"
+        )
+        assert plan.kind == "index_range"
+        assert plan.low == ("d0", 1000)
+
+    def test_mirrored_comparison(self, db):
+        db.execute("create index emp_sal on emp (salary)")
+        plan = self._plan(db, "select * from emp where 10000 < salary")
+        assert plan.kind == "index_range"
+
+    def test_or_prevents_index(self, db):
+        db.execute("create index emp_sal on emp (salary)")
+        plan = self._plan(
+            db, "select * from emp where salary = 1 or dept = 'd1'"
+        )
+        assert plan.kind == "scan"
+
+    def test_split_conjuncts(self):
+        from repro.lang.exprparser import parse_expression_text
+
+        expr = parse_expression_text("a = 1 and (b = 2 and c = 3) and d > 4")
+        assert len(split_conjuncts(expr)) == 4
+
+    def test_index_plan_matches_scan_results(self, db):
+        """Index-assisted execution returns exactly what a scan returns."""
+        scan_rows = sorted(
+            db.execute("select eno from emp where salary >= 10000 and "
+                       "salary <= 20000")
+        )
+        db.execute("create clustered index emp_sal on emp (salary)")
+        indexed_rows = sorted(
+            db.execute("select eno from emp where salary >= 10000 and "
+                       "salary <= 20000")
+        )
+        assert indexed_rows == scan_rows

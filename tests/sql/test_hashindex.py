@@ -1,0 +1,74 @@
+"""Unit tests for the main-memory hash index."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sql.buffer import BufferPool
+from repro.sql.hashindex import HashIndex
+from repro.sql.heap import HeapFile
+from repro.sql.pager import MemoryPager
+from repro.sql.schema import schema
+
+
+class TestHashIndex:
+    def test_insert_search(self):
+        idx = HashIndex(["k"])
+        idx.insert((1,), (0, 0))
+        idx.insert((1,), (0, 1))
+        idx.insert((2,), (0, 2))
+        assert sorted(idx.search((1,))) == [(0, 0), (0, 1)]
+        assert idx.search((3,)) == []
+
+    def test_scalar_key_normalized(self):
+        idx = HashIndex(["k"])
+        idx.insert(5, (0, 0))
+        assert idx.search(5) == [(0, 0)]
+        assert idx.search((5,)) == [(0, 0)]
+
+    def test_composite_key(self):
+        idx = HashIndex(["a", "b"])
+        idx.insert(("x", 1), (0, 0))
+        assert idx.search(("x", 1)) == [(0, 0)]
+        assert idx.search(("x", 2)) == []
+
+    def test_delete(self):
+        idx = HashIndex(["k"])
+        idx.insert((1,), (0, 0))
+        assert idx.delete((1,), (0, 0))
+        assert not idx.delete((1,), (0, 0))
+        assert idx.search((1,)) == []
+        assert idx.count() == 0
+
+    def test_null_rejected(self):
+        idx = HashIndex(["k"])
+        with pytest.raises(StorageError):
+            idx.insert((None,), (0, 0))
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(StorageError):
+            HashIndex([])
+
+    def test_counts(self):
+        idx = HashIndex(["k"])
+        for i in range(10):
+            idx.insert((i % 3,), (0, i))
+        assert idx.count() == 10
+        assert idx.distinct_keys() == 3
+
+    def test_rebuild_from_heap_skips_nulls(self):
+        pool = BufferPool(16)
+        fid = pool.register(MemoryPager())
+        heap = HeapFile(schema("t", ("k", "integer"), ("v", "integer")), pool, fid)
+        heap.insert([1, 10])
+        heap.insert([None, 20])
+        heap.insert([1, 30])
+        idx = HashIndex(["k"])
+        idx.rebuild(heap)
+        assert idx.count() == 2
+        assert len(idx.search((1,))) == 2
+
+    def test_items_iteration(self):
+        idx = HashIndex(["k"])
+        idx.insert((1,), (0, 0))
+        idx.insert((2,), (0, 1))
+        assert sorted(idx.items()) == [((1,), (0, 0)), ((2,), (0, 1))]

@@ -1,0 +1,126 @@
+"""Unit and property tests for heap files."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.sql.buffer import BufferPool
+from repro.sql.heap import HeapFile
+from repro.sql.pager import MemoryPager
+from repro.sql.schema import schema
+
+
+def make_heap(pool_capacity=64):
+    pool = BufferPool(pool_capacity)
+    fid = pool.register(MemoryPager())
+    s = schema("t", ("k", "integer"), ("v", "varchar(200)"))
+    return HeapFile(s, pool, fid)
+
+
+class TestHeapBasics:
+    def test_insert_read(self):
+        heap = make_heap()
+        rid = heap.insert([1, "one"])
+        assert heap.read(rid) == (1, "one")
+
+    def test_insert_validates(self):
+        heap = make_heap()
+        with pytest.raises(Exception):
+            heap.insert(["not-int", "x"])
+
+    def test_delete(self):
+        heap = make_heap()
+        rid = heap.insert([1, "x"])
+        heap.delete(rid)
+        assert not heap.exists(rid)
+        with pytest.raises(StorageError):
+            heap.read(rid)
+
+    def test_update_in_place(self):
+        heap = make_heap()
+        rid = heap.insert([1, "short"])
+        new_rid = heap.update(rid, [1, "tiny"])
+        assert new_rid == rid
+        assert heap.read(rid) == (1, "tiny")
+
+    def test_update_relocates_when_page_full(self):
+        heap = make_heap()
+        rids = [heap.insert([i, "x" * 190]) for i in range(25)]
+        # grow one row enough that its (now full) page cannot hold it
+        target = rids[0]
+        new_rid = heap.update(target, [0, "y" * 199])
+        assert heap.read(new_rid) == (0, "y" * 199)
+
+    def test_scan_yields_all_live(self):
+        heap = make_heap()
+        rids = [heap.insert([i, f"v{i}"]) for i in range(100)]
+        heap.delete(rids[10])
+        heap.delete(rids[50])
+        scanned = {row[0] for _rid, row in heap.scan()}
+        assert scanned == set(range(100)) - {10, 50}
+
+    def test_count_tracks_mutations(self):
+        heap = make_heap()
+        rids = [heap.insert([i, "v"]) for i in range(10)]
+        assert heap.count() == 10
+        heap.delete(rids[0])
+        assert heap.count() == 9
+        heap.insert([99, "v"])
+        assert heap.count() == 10
+
+    def test_spans_pages(self):
+        heap = make_heap()
+        for i in range(200):
+            heap.insert([i, "z" * 150])
+        assert heap.num_pages > 1
+        assert heap.count() == 200
+
+    def test_truncate(self):
+        heap = make_heap()
+        for i in range(50):
+            heap.insert([i, "v"])
+        pages_before = heap.num_pages
+        heap.truncate()
+        assert heap.count() == 0
+        assert list(heap.scan()) == []
+        # pages are retained and reused
+        assert heap.num_pages == pages_before
+        heap.insert([1, "again"])
+        assert heap.num_pages == pages_before
+
+    def test_exists_out_of_range(self):
+        heap = make_heap()
+        assert not heap.exists((99, 0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "update"]),
+            st.integers(min_value=0, max_value=1000),
+            st.text(max_size=60),
+        ),
+        max_size=80,
+    )
+)
+def test_heap_model_property(operations):
+    """Heap behaves like a dict rid->row under random mutations."""
+    heap = make_heap()
+    model = {}
+    for op, k, v in operations:
+        if op == "insert":
+            rid = heap.insert([k, v])
+            model[rid] = (k, v)
+        elif op == "delete" and model:
+            rid = next(iter(model))
+            heap.delete(rid)
+            del model[rid]
+        elif op == "update" and model:
+            rid = next(iter(model))
+            new_rid = heap.update(rid, [k, v])
+            del model[rid]
+            model[new_rid] = (k, v)
+    assert dict(heap.scan()) == model
+    assert heap.count() == len(model)

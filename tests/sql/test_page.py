@@ -1,0 +1,161 @@
+"""Unit and property tests for slotted pages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFullError, StorageError
+from repro.sql.page import MAX_RECORD_SIZE, PAGE_SIZE, SlottedPage
+
+
+class TestBasicOperations:
+    def test_fresh_page_is_empty(self):
+        page = SlottedPage()
+        assert page.num_slots == 0
+        assert page.live_count() == 0
+        assert page.free_space() == PAGE_SIZE - 8
+
+    def test_zeroed_buffer_initializes(self):
+        page = SlottedPage(bytearray(PAGE_SIZE))
+        assert page.free_ptr == PAGE_SIZE
+
+    def test_insert_read(self):
+        page = SlottedPage()
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_inserts_distinct_slots(self):
+        page = SlottedPage()
+        slots = [page.insert(f"rec{i}".encode()) for i in range(10)]
+        assert len(set(slots)) == 10
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == f"rec{i}".encode()
+
+    def test_delete_tombstones(self):
+        page = SlottedPage()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        assert not page.is_live(slot)
+        with pytest.raises(StorageError):
+            page.read(slot)
+        with pytest.raises(StorageError):
+            page.delete(slot)
+
+    def test_slot_reuse_after_delete(self):
+        page = SlottedPage()
+        slot = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(slot)
+        reused = page.insert(b"c")
+        assert reused == slot
+        assert page.read(reused) == b"c"
+
+    def test_wrong_size_buffer_rejected(self):
+        with pytest.raises(StorageError):
+            SlottedPage(bytearray(100))
+
+    def test_oversized_record_rejected(self):
+        page = SlottedPage()
+        with pytest.raises(StorageError):
+            page.insert(b"x" * (MAX_RECORD_SIZE + 1))
+
+    def test_page_full(self):
+        page = SlottedPage()
+        record = b"y" * 1000
+        inserted = 0
+        with pytest.raises(PageFullError):
+            for _ in range(10):
+                page.insert(record)
+                inserted += 1
+        assert inserted == 4  # 4 * (1000+8) + header < 4096 < 5 * 1008
+
+
+class TestUpdate:
+    def test_in_place_shrink(self):
+        page = SlottedPage()
+        slot = page.insert(b"longer record")
+        assert page.update(slot, b"short")
+        assert page.read(slot) == b"short"
+
+    def test_grow_within_free_space(self):
+        page = SlottedPage()
+        slot = page.insert(b"ab")
+        assert page.update(slot, b"a much longer record body")
+        assert page.read(slot) == b"a much longer record body"
+
+    def test_grow_after_compaction(self):
+        page = SlottedPage()
+        filler = [page.insert(b"z" * 900) for _ in range(4)]
+        slot = page.insert(b"tiny")
+        for other in filler:
+            page.delete(other)
+        # Free space is fragmented until compaction; update must succeed.
+        assert page.update(slot, b"w" * 2000)
+        assert page.read(slot) == b"w" * 2000
+
+    def test_grow_impossible_returns_false_and_preserves_record(self):
+        page = SlottedPage()
+        slots = [page.insert(b"z" * 900) for _ in range(4)]
+        assert page.update(slots[0], b"w" * 3900) is False
+        assert page.read(slots[0]) == b"z" * 900
+
+    def test_update_deleted_slot_fails(self):
+        page = SlottedPage()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.update(slot, b"y")
+
+
+class TestCompaction:
+    def test_compact_reclaims_space(self):
+        page = SlottedPage()
+        slots = [page.insert(b"r" * 500) for _ in range(7)]
+        for slot in slots[:6]:
+            page.delete(slot)
+        before = page.free_space()
+        page.compact()
+        assert page.free_space() > before
+        assert page.read(slots[6]) == b"r" * 500
+
+    def test_records_iteration(self):
+        page = SlottedPage()
+        page.insert(b"a")
+        b_slot = page.insert(b"b")
+        page.insert(b"c")
+        page.delete(b_slot)
+        assert [rec for _slot, rec in page.records()] == [b"a", b"c"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "update"]),
+            st.binary(min_size=0, max_size=120),
+        ),
+        max_size=60,
+    )
+)
+def test_page_model_property(operations):
+    """The page behaves like a dict slot->record under random ops."""
+    page = SlottedPage()
+    model = {}
+    for op, payload in operations:
+        if op == "insert":
+            try:
+                slot = page.insert(payload)
+            except PageFullError:
+                continue
+            model[slot] = payload
+        elif op == "delete" and model:
+            slot = sorted(model)[0]
+            page.delete(slot)
+            del model[slot]
+        elif op == "update" and model:
+            slot = sorted(model)[-1]
+            if page.update(slot, payload):
+                model[slot] = payload
+            # on failure the old record is preserved; model unchanged
+    live = dict(page.records())
+    assert live == model

@@ -1,0 +1,178 @@
+"""Unit tests for page files and the buffer pool."""
+
+import os
+
+import pytest
+
+from repro.errors import BufferPoolError, StorageError
+from repro.sql.buffer import BufferPool
+from repro.sql.page import PAGE_SIZE, SlottedPage
+from repro.sql.pager import FilePager, MemoryPager, open_pager
+
+
+class TestMemoryPager:
+    def test_allocate_sequential(self):
+        pager = MemoryPager()
+        assert pager.allocate() == 0
+        assert pager.allocate() == 1
+        assert pager.num_pages == 2
+
+    def test_write_read_roundtrip(self):
+        pager = MemoryPager()
+        page_no = pager.allocate()
+        data = bytes([7]) * PAGE_SIZE
+        pager.write(page_no, data)
+        assert bytes(pager.read(page_no)) == data
+
+    def test_read_returns_copy(self):
+        pager = MemoryPager()
+        page_no = pager.allocate()
+        view = pager.read(page_no)
+        view[0] = 99
+        assert pager.read(page_no)[0] == 0
+
+    def test_free_and_reuse(self):
+        pager = MemoryPager()
+        a = pager.allocate()
+        pager.free(a)
+        assert pager.allocate() == a
+
+    def test_out_of_range(self):
+        pager = MemoryPager()
+        with pytest.raises(StorageError):
+            pager.read(0)
+
+    def test_bad_write_size(self):
+        pager = MemoryPager()
+        page_no = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write(page_no, b"short")
+
+    def test_io_counters(self):
+        pager = MemoryPager()
+        page_no = pager.allocate()
+        pager.read(page_no)
+        pager.read(page_no)
+        assert pager.reads == 2
+        assert pager.writes >= 1  # allocate writes zeros
+
+
+class TestFilePager:
+    def test_persistence(self, tmp_path):
+        path = str(tmp_path / "data.pg")
+        pager = FilePager(path)
+        page_no = pager.allocate()
+        pager.write(page_no, bytes([3]) * PAGE_SIZE)
+        pager.close()
+        reopened = FilePager(path)
+        assert reopened.num_pages == 1
+        assert bytes(reopened.read(page_no)) == bytes([3]) * PAGE_SIZE
+        reopened.close()
+
+    def test_corrupt_size_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.pg")
+        with open(path, "wb") as fh:
+            fh.write(b"x" * 100)
+        with pytest.raises(StorageError):
+            FilePager(path)
+
+    def test_open_pager_dispatch(self, tmp_path):
+        assert isinstance(open_pager(None), MemoryPager)
+        pager = open_pager(str(tmp_path / "f.pg"))
+        assert isinstance(pager, FilePager)
+        pager.close()
+
+
+class TestBufferPool:
+    def _pool(self, capacity=4):
+        pool = BufferPool(capacity)
+        file_id = pool.register(MemoryPager())
+        return pool, file_id
+
+    def test_pin_returns_live_view(self):
+        pool, fid = self._pool()
+        page_no = pool.allocate(fid)
+        page = pool.pin(fid, page_no)
+        slot = page.insert(b"data")
+        pool.unpin(fid, page_no, dirty=True)
+        again = pool.pin(fid, page_no)
+        assert again.read(slot) == b"data"
+        pool.unpin(fid, page_no)
+
+    def test_hit_miss_accounting(self):
+        pool, fid = self._pool()
+        page_no = pool.allocate(fid)
+        pool.pin(fid, page_no)
+        pool.unpin(fid, page_no)
+        pool.pin(fid, page_no)
+        pool.unpin(fid, page_no)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.hit_ratio() == 0.5
+
+    def test_eviction_writes_back_dirty(self):
+        pool, fid = self._pool(capacity=2)
+        pages = [pool.allocate(fid) for _ in range(3)]
+        page = pool.pin(fid, pages[0])
+        slot = page.insert(b"persisted")
+        pool.unpin(fid, pages[0], dirty=True)
+        # Touch two more pages to force eviction of page 0.
+        for page_no in pages[1:]:
+            pool.pin(fid, page_no)
+            pool.unpin(fid, page_no)
+        assert pool.stats.evictions >= 1
+        reread = pool.pin(fid, pages[0])
+        assert reread.read(slot) == b"persisted"
+        pool.unpin(fid, pages[0])
+
+    def test_pinned_pages_not_evicted(self):
+        pool, fid = self._pool(capacity=2)
+        pages = [pool.allocate(fid) for _ in range(3)]
+        pool.pin(fid, pages[0])  # stays pinned
+        pool.pin(fid, pages[1])
+        pool.unpin(fid, pages[1])
+        pool.pin(fid, pages[2])  # must evict pages[1], not pages[0]
+        assert (fid, pages[0]) in pool._frames
+        pool.unpin(fid, pages[2])
+        pool.unpin(fid, pages[0])
+
+    def test_all_pinned_raises(self):
+        pool, fid = self._pool(capacity=2)
+        pages = [pool.allocate(fid) for _ in range(3)]
+        pool.pin(fid, pages[0])
+        pool.pin(fid, pages[1])
+        with pytest.raises(BufferPoolError):
+            pool.pin(fid, pages[2])
+
+    def test_unbalanced_unpin_raises(self):
+        pool, fid = self._pool()
+        page_no = pool.allocate(fid)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(fid, page_no)
+
+    def test_flush_clears_dirty(self):
+        pool, fid = self._pool()
+        page_no = pool.allocate(fid)
+        page = pool.pin(fid, page_no)
+        page.insert(b"x")
+        pool.unpin(fid, page_no, dirty=True)
+        pool.flush()
+        raw = pool.pager(fid).read(page_no)
+        assert SlottedPage(raw).live_count() == 1
+
+    def test_multiple_files(self):
+        pool = BufferPool(8)
+        fid_a = pool.register(MemoryPager())
+        fid_b = pool.register(MemoryPager())
+        page_a = pool.allocate(fid_a)
+        page_b = pool.allocate(fid_b)
+        view_a = pool.pin(fid_a, page_a)
+        view_a.insert(b"a-file")
+        pool.unpin(fid_a, page_a, dirty=True)
+        view_b = pool.pin(fid_b, page_b)
+        assert view_b.live_count() == 0
+        pool.unpin(fid_b, page_b)
+
+    def test_capacity_validation(self):
+        with pytest.raises(StorageError):
+            BufferPool(0)

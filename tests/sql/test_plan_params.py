@@ -1,0 +1,57 @@
+"""Access-path selection with named parameters: a plan-time constant from
+``params`` must enable index probes exactly like a literal."""
+
+import pytest
+
+from repro.lang.sqlparser import parse_sql
+from repro.sql.database import Database
+from repro.sql.executor import choose_plan
+from repro.sql.schema import schema
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table(schema("t", ("a", "integer"), ("b", "varchar(10)")))
+    table = db.table("t")
+    for i in range(40):
+        table.insert([i, f"v{i % 5}"])
+    db.create_index("t_a", "t", ["a"])
+    db.create_index("t_b", "t", ["b"], using="hash")
+    return db
+
+
+class TestParamPlans:
+    def test_equality_param_uses_index(self, db):
+        statement = parse_sql("select * from t where a = :target")
+        plan = choose_plan(db.table("t"), statement.where, {"target": 7})
+        assert plan.kind == "index_eq"
+        rows = db.execute("select b from t where a = :target", {"target": 7})
+        assert rows == [("v2",)]
+
+    def test_range_param_uses_index(self, db):
+        statement = parse_sql("select * from t where a >= :lo")
+        plan = choose_plan(db.table("t"), statement.where, {"lo": 35})
+        assert plan.kind == "index_range"
+        rows = db.execute(
+            "select a from t where a >= :lo order by a", {"lo": 35}
+        )
+        assert [r[0] for r in rows] == list(range(35, 40))
+
+    def test_unbound_param_falls_back_to_scan(self, db):
+        statement = parse_sql("select * from t where a = :missing")
+        plan = choose_plan(db.table("t"), statement.where, {})
+        assert plan.kind == "scan"
+
+    def test_hash_param(self, db):
+        rows = db.execute(
+            "select count(*) from t where b = :v", {"v": "v1"}
+        )
+        assert rows == [(8,)]
+
+    def test_param_in_update_and_delete(self, db):
+        n = db.execute("update t set b = 'z' where a = :k", {"k": 3})
+        assert n == 1
+        n = db.execute("delete from t where b = :v", {"v": "z"})
+        assert n == 1
+        assert db.table("t").count() == 39

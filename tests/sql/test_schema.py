@@ -1,0 +1,89 @@
+"""Unit tests for table schemas and the row codec."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.schema import Column, TableSchema, schema
+from repro.sql.types import FLOAT, INTEGER, VarCharType
+
+
+@pytest.fixture
+def emp_schema():
+    return schema(
+        "emp",
+        ("eno", "integer", False),
+        ("name", "varchar(40)"),
+        ("salary", "float"),
+    )
+
+
+class TestSchemaConstruction:
+    def test_builder(self, emp_schema):
+        assert emp_schema.name == "emp"
+        assert emp_schema.column_names() == ["eno", "name", "salary"]
+        assert not emp_schema.column("eno").nullable
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", INTEGER), Column("a", FLOAT)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_bad_column_name(self):
+        with pytest.raises(SchemaError):
+            Column("has space", INTEGER)
+
+    def test_position_lookup(self, emp_schema):
+        assert emp_schema.position("salary") == 2
+        with pytest.raises(SchemaError):
+            emp_schema.position("nope")
+
+
+class TestRowValidation:
+    def test_check_row(self, emp_schema):
+        row = emp_schema.check_row([1, "ann", 10])
+        assert row == (1, "ann", 10.0)
+
+    def test_arity_mismatch(self, emp_schema):
+        with pytest.raises(SchemaError):
+            emp_schema.check_row([1, "ann"])
+
+    def test_not_null_enforced(self, emp_schema):
+        with pytest.raises(SchemaError):
+            emp_schema.check_row([None, "ann", 10.0])
+
+    def test_nullable_allows_none(self, emp_schema):
+        assert emp_schema.check_row([1, None, None]) == (1, None, None)
+
+    def test_check_dict_fills_nulls(self, emp_schema):
+        assert emp_schema.check_dict({"eno": 1}) == (1, None, None)
+
+    def test_check_dict_unknown_column(self, emp_schema):
+        with pytest.raises(SchemaError):
+            emp_schema.check_dict({"eno": 1, "bogus": 2})
+
+
+class TestRowCodec:
+    def test_roundtrip(self, emp_schema):
+        row = emp_schema.check_row([7, "o'hara", 12345.5])
+        assert emp_schema.decode_row(emp_schema.encode_row(row)) == row
+
+    def test_roundtrip_with_nulls(self, emp_schema):
+        row = (9, None, None)
+        assert emp_schema.decode_row(emp_schema.encode_row(row)) == row
+
+    def test_row_to_dict(self, emp_schema):
+        assert emp_schema.row_to_dict((1, "a", 2.0)) == {
+            "eno": 1,
+            "name": "a",
+            "salary": 2.0,
+        }
+
+
+class TestCatalogRoundtrip:
+    def test_to_from_catalog(self, emp_schema):
+        rebuilt = TableSchema.from_catalog(emp_schema.to_catalog())
+        assert rebuilt == emp_schema
+        assert rebuilt.column("eno").nullable is False

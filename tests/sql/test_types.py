@@ -1,0 +1,151 @@
+"""Unit tests for the column type system."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeError_
+from repro.sql.types import (
+    DEFAULT_REGISTRY,
+    FLOAT,
+    INTEGER,
+    CharType,
+    TypeRegistry,
+    UserDefinedType,
+    VarCharType,
+)
+
+
+class TestIntegerType:
+    def test_check_accepts_int(self):
+        assert INTEGER.check(42) == 42
+
+    def test_check_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            INTEGER.check(True)
+
+    def test_check_rejects_string(self):
+        with pytest.raises(TypeError_):
+            INTEGER.check("7")
+
+    def test_check_rejects_out_of_range(self):
+        with pytest.raises(TypeError_):
+            INTEGER.check(2**63)
+        with pytest.raises(TypeError_):
+            INTEGER.check(-(2**63) - 1)
+
+    def test_encode_decode_roundtrip(self):
+        for value in (0, 1, -1, 2**62, -(2**62)):
+            data = INTEGER.encode(value)
+            decoded, offset = INTEGER.decode(data, 0)
+            assert decoded == value
+            assert offset == len(data)
+
+
+class TestFloatType:
+    def test_coerces_int(self):
+        assert FLOAT.check(3) == 3.0
+        assert isinstance(FLOAT.check(3), float)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            FLOAT.check(False)
+
+    def test_roundtrip(self):
+        data = FLOAT.encode(2.5)
+        assert FLOAT.decode(data, 0) == (2.5, 8)
+
+
+class TestVarCharType:
+    def test_length_enforced(self):
+        t = VarCharType(5)
+        assert t.check("hello") == "hello"
+        with pytest.raises(TypeError_):
+            t.check("toolong")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError_):
+            VarCharType(5).check(5)
+
+    def test_roundtrip_unicode(self):
+        t = VarCharType(20)
+        data = t.encode("héllo wörld")
+        value, _ = t.decode(data, 0)
+        assert value == "héllo wörld"
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(SchemaError):
+            VarCharType(0)
+
+
+class TestCharType:
+    def test_strips_trailing_blanks(self):
+        t = CharType(8)
+        assert t.check("abc") == "abc"
+
+    def test_name(self):
+        assert CharType(8).name == "char(8)"
+
+
+class TestNullableCodec:
+    def test_none_roundtrip(self):
+        data = INTEGER.encode_nullable(None)
+        assert INTEGER.decode_nullable(data, 0) == (None, 1)
+
+    def test_present_roundtrip(self):
+        data = INTEGER.encode_nullable(9)
+        value, offset = INTEGER.decode_nullable(data, 0)
+        assert value == 9
+        assert offset == len(data)
+
+
+class TestTypeRegistry:
+    def test_resolves_builtins(self):
+        r = TypeRegistry()
+        assert r.resolve("integer") is INTEGER
+        assert r.resolve("float") is FLOAT
+        assert r.resolve("varchar(10)").max_length == 10
+        assert r.resolve("char(4)").name == "char(4)"
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            TypeRegistry().resolve("blob")
+
+    def test_bad_parameter(self):
+        with pytest.raises(SchemaError):
+            TypeRegistry().resolve("varchar(x)")
+
+    def test_udt_roundtrip(self):
+        r = TypeRegistry()
+        point = UserDefinedType(
+            "point",
+            validate=lambda v: (float(v[0]), float(v[1])),
+            to_bytes=lambda v: f"{v[0]},{v[1]}".encode(),
+            from_bytes=lambda b: tuple(float(x) for x in b.decode().split(",")),
+        )
+        r.register(point)
+        resolved = r.resolve("point")
+        assert resolved.check((1, 2)) == (1.0, 2.0)
+        data = resolved.encode((1.0, 2.0))
+        assert resolved.decode(data, 0)[0] == (1.0, 2.0)
+
+    def test_udt_cannot_shadow_builtin(self):
+        r = TypeRegistry()
+        bad = UserDefinedType(
+            "integer", lambda v: v, lambda v: b"", lambda b: None
+        )
+        with pytest.raises(SchemaError):
+            r.register(bad)
+
+    def test_duplicate_udt(self):
+        r = TypeRegistry()
+        udt = UserDefinedType("p", lambda v: v, lambda v: b"", lambda b: None)
+        r.register(udt)
+        with pytest.raises(SchemaError):
+            r.register(udt)
+
+    def test_udt_validation_error_wrapped(self):
+        udt = UserDefinedType(
+            "strict", lambda v: (_ for _ in ()).throw(ValueError("nope")),
+            lambda v: b"", lambda b: None,
+        )
+        with pytest.raises(TypeError_):
+            udt.check(1)
