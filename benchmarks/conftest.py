@@ -5,14 +5,23 @@ experiment index (E1–E10).  pytest-benchmark provides the timing harness;
 in addition every experiment prints a paper-style summary table via
 :func:`report` so `pytest benchmarks/ --benchmark-only -s` reproduces the
 rows recorded in EXPERIMENTS.md.
+
+At session end the collected tables plus any records benchmarks pushed via
+``repro.obs.export.record`` are written as one machine-readable JSON file
+(schema ``triggerman-bench-v1``).  The destination defaults to
+``BENCH_PR1.json`` next to this file; override with ``BENCH_JSON=path``.
 """
 
+import os
 from typing import Iterable, Sequence
 
 import pytest
 
 
 _REPORTS = {}
+
+#: default export path (PR-numbered so successive PRs can diff trajectories)
+BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__), "BENCH_PR1.json")
 
 
 def report(experiment: str, header: Sequence[str], row: Iterable) -> None:
@@ -22,6 +31,7 @@ def report(experiment: str, header: Sequence[str], row: Iterable) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
+    _write_bench_json()
     if not _REPORTS:
         return
     out = ["", "=" * 72, "EXPERIMENT SUMMARY TABLES", "=" * 72]
@@ -42,6 +52,16 @@ def pytest_sessionfinish(session, exitstatus):
         for row in table["rows"]:
             out.append(fmt.format(*[str(c) for c in row]))
     print("\n".join(out))
+
+
+def _write_bench_json() -> None:
+    from repro.obs import export
+
+    if not _REPORTS and not export.records():
+        return
+    path = os.environ.get("BENCH_JSON", BENCH_JSON_DEFAULT)
+    export.write(path, tables=_REPORTS)
+    print(f"\nbenchmark export written to {path}")
 
 
 @pytest.fixture(scope="session")

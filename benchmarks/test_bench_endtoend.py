@@ -7,13 +7,17 @@ per-stage work counters, for both the durable table queue and the memory
 queue (the paper's planned fast path).
 """
 
+import os
+
 import pytest
 
 from repro.engine.triggerman import TriggerMan
+from repro.obs import export
 from repro.predindex.costmodel import Limits
 from repro.workloads import emp_tokens
 
-N_TRIGGERS = 10_000
+# Overridable so CI can run a quick smoke (BENCH_N_TRIGGERS=200).
+N_TRIGGERS = int(os.environ.get("BENCH_N_TRIGGERS", 10_000))
 EMP = [
     ("eno", "integer"),
     ("name", "varchar(40)"),
@@ -71,9 +75,17 @@ def test_end_to_end_throughput(benchmark, durable, summary):
     tokens_per_sec = len(tokens) / benchmark.stats.stats.mean
     queue_kind = "table queue (durable)" if durable else "memory queue"
     summary(
-        "E10: end-to-end throughput (10k triggers, mixed signatures)",
+        f"E10: end-to-end throughput ({N_TRIGGERS} triggers, mixed signatures)",
         ["queue", "tokens/sec"],
         [queue_kind, f"{tokens_per_sec:.0f}"],
+    )
+    export.record(
+        "E10",
+        queue=queue_kind,
+        n_triggers=N_TRIGGERS,
+        tokens=len(tokens),
+        tokens_per_sec=round(tokens_per_sec, 1),
+        observability="off",
     )
 
 
@@ -90,7 +102,7 @@ def test_work_counters(benchmark, summary):
     benchmark.pedantic(run, rounds=1, iterations=1)
     stats = tman.index.stats
     summary(
-        "E10b: per-token index work (10k triggers)",
+        f"E10b: per-token index work ({N_TRIGGERS} triggers)",
         ["tokens", "signatures probed", "entries probed", "residual tests",
          "matches"],
         [stats.tokens, stats.groups_probed, stats.entries_probed,
@@ -98,3 +110,44 @@ def test_work_counters(benchmark, summary):
     )
     # entries probed must be far below the naive 10k-per-token bound
     assert stats.entries_probed < 0.2 * N_TRIGGERS * stats.tokens
+
+
+def test_observed_latencies(benchmark, summary):
+    """E10c — the same pipeline with metrics timing enabled: per-token
+    latency percentiles and per-stage time shares for the bench export."""
+    tman = engine(False)
+    tman.obs.metrics.enable()
+    tman.obs.metrics.reset()
+    tokens = emp_tokens(100, seed=606)
+
+    def run():
+        for token in tokens:
+            tman.insert("emp", token)
+        tman.process_all()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    registry = tman.obs.metrics
+    token_hist = registry.histogram("engine.token_ns")
+    latency = export.latency_summary(token_hist)
+    shares = export.stage_shares(registry)
+    tman.obs.metrics.disable()
+    summary(
+        "E10c: observed per-token latency (metrics enabled)",
+        ["tokens", "p50 (ns)", "p99 (ns)", "mean (ns)"],
+        [
+            latency["count"],
+            f"{latency['p50_ns']:.0f}",
+            f"{latency['p99_ns']:.0f}",
+            f"{latency['mean_ns']:.0f}",
+        ],
+    )
+    export.record(
+        "E10c",
+        n_triggers=N_TRIGGERS,
+        latency=latency,
+        stage_shares=shares,
+        observability="metrics",
+    )
+    assert latency["count"] == len(tokens)
+    # Every instrumented stage under the token span accounted for some time.
+    assert 0 < shares["index_probe"] <= 1.0

@@ -4,6 +4,8 @@ Options::
 
     python -m repro                  # in-memory instance, interactive REPL
     python -m repro /path/to/dir     # persistent instance rooted at dir
+    python -m repro --trace [dir]    # start with token tracing enabled
+    python -m repro --metrics [dir]  # start with timing metrics enabled
 """
 
 import sys
@@ -17,10 +19,22 @@ def main(argv=None) -> int:
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    trace = metrics = False
+    while argv and argv[0].startswith("--"):
+        flag = argv.pop(0)
+        if flag == "--trace":
+            trace = True
+        elif flag == "--metrics":
+            metrics = True
+        else:
+            print(f"unknown option {flag}\n{__doc__}")
+            return 2
     if argv:
-        tman = TriggerMan.persistent(argv[0])
+        tman = TriggerMan.persistent(argv[0], observability=metrics)
     else:
-        tman = TriggerMan.in_memory()
+        tman = TriggerMan.in_memory(observability=metrics)
+    if trace:
+        tman.set_tracing(True)
     try:
         run_interactive(tman)
     finally:

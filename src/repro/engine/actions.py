@@ -84,6 +84,13 @@ class ActionExecutor:
         self.callbacks: Dict[str, Callable[..., Any]] = {}
         self.failures: List[ActionFailure] = []
         self.executed = 0
+        #: optional Observability bundle (attached by the engine)
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        self.obs = obs
+        self._m_run_ns = obs.metrics.histogram("action.run_ns")
+        self._m_failures = obs.metrics.counter("action.failures")
 
     def register_callback(self, name: str, fn: Callable[..., Any]) -> None:
         self.callbacks[name] = fn
@@ -96,6 +103,11 @@ class ActionExecutor:
         trigger_id: int,
     ) -> bool:
         """Run one action; returns False (and records) on failure."""
+        obs = self.obs
+        if obs is not None and (obs.metrics.enabled or obs.trace.enabled):
+            return self._execute_observed(
+                action, bindings, trigger_name, trigger_id
+            )
         try:
             self._dispatch(action, bindings, trigger_name, trigger_id)
         except Exception as exc:  # noqa: BLE001 - isolate trigger failures
@@ -104,6 +116,51 @@ class ActionExecutor:
             )
             return False
         self.executed += 1
+        return True
+
+    def _execute_observed(
+        self,
+        action: ast.Action,
+        bindings: Bindings,
+        trigger_name: str,
+        trigger_id: int,
+    ) -> bool:
+        obs = self.obs
+        timing = obs.metrics.enabled
+        tracing = obs.trace.enabled and obs.trace.current_id()
+        if timing or tracing:
+            start = obs.trace.clock()
+        try:
+            self._dispatch(action, bindings, trigger_name, trigger_id)
+        except Exception as exc:  # noqa: BLE001 - isolate trigger failures
+            self.failures.append(
+                ActionFailure(trigger_name, action.render(), exc)
+            )
+            if timing:
+                self._m_failures.inc()
+            if tracing:
+                obs.trace.record(
+                    "action.execute",
+                    start,
+                    obs.trace.clock(),
+                    {"trigger": trigger_name, "ok": False},
+                )
+            return False
+        self.executed += 1
+        end = obs.trace.clock() if (timing or tracing) else 0
+        if timing:
+            self._m_run_ns.observe(end - start)
+        if tracing:
+            obs.trace.record(
+                "action.execute",
+                start,
+                end,
+                {
+                    "trigger": trigger_name,
+                    "action": action.render(),
+                    "ok": True,
+                },
+            )
         return True
 
     def _dispatch(

@@ -25,9 +25,21 @@ from ..errors import TriggerError
 
 @dataclass
 class CacheStats:
+    """Always-on accounting.  Invariants (enforced in ``tests/obs``):
+    ``hits + misses == lookups`` and
+    ``pins - unpins - dropped_pins == sum of live pin counts``."""
+
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    pins: int = 0
+    unpins: int = 0
+    #: pins discarded because their entry was invalidated/cleared while held
+    dropped_pins: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
 
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
@@ -35,6 +47,7 @@ class CacheStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = 0
+        self.pins = self.unpins = self.dropped_pins = 0
 
 
 class _CacheEntry:
@@ -89,6 +102,7 @@ class TriggerCache:
                 self._entries[trigger_id] = entry
                 self._bytes += entry.size_bytes
             entry.pin_count += 1
+            self.stats.pins += 1
             return entry.runtime
 
     def unpin(self, trigger_id: int) -> None:
@@ -99,6 +113,7 @@ class TriggerCache:
                     f"unpin of trigger {trigger_id} that is not pinned"
                 )
             entry.pin_count -= 1
+            self.stats.unpins += 1
 
     def _make_room(self, incoming_bytes: int) -> None:
         def over_limit() -> bool:
@@ -130,6 +145,11 @@ class TriggerCache:
             if old is not None:
                 self._bytes -= old.size_bytes
             entry = _CacheEntry(runtime, self._size_of(runtime))
+            if old is not None:
+                # Re-seeding must not orphan pins held on the replaced
+                # entry: carry the count over so the holders' unpin calls
+                # balance (pin-accounting invariant).
+                entry.pin_count = old.pin_count
             self._make_room(entry.size_bytes)
             self._entries[trigger_id] = entry
             self._bytes += entry.size_bytes
@@ -141,9 +161,12 @@ class TriggerCache:
             entry = self._entries.pop(trigger_id, None)
             if entry is not None:
                 self._bytes -= entry.size_bytes
+                self.stats.dropped_pins += entry.pin_count
 
     def clear(self) -> None:
         with self._lock:
+            for entry in self._entries.values():
+                self.stats.dropped_pins += entry.pin_count
             self._entries.clear()
             self._bytes = 0
 
@@ -161,3 +184,9 @@ class TriggerCache:
     def pinned_count(self) -> int:
         with self._lock:
             return sum(1 for e in self._entries.values() if e.pin_count > 0)
+
+    def current_pins(self) -> int:
+        """Total live pin count across resident entries (the quantity the
+        pin-accounting invariant balances against)."""
+        with self._lock:
+            return sum(e.pin_count for e in self._entries.values())

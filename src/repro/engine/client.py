@@ -41,6 +41,24 @@ class TriggerManClient:
     def drop_trigger(self, name: str) -> int:
         return self.tman.drop_trigger(name)
 
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Full metrics-registry snapshot (obs subsystem)."""
+        return self.tman.stats_snapshot()
+
+    def explain_trigger(self, name: str) -> str:
+        """EXPLAIN-style report: predicate analysis, signature equivalence
+        class, and the §5.2 organization strategy currently in use."""
+        return self.tman.explain(name)
+
+    def set_tracing(self, enabled: bool) -> None:
+        self.tman.set_tracing(enabled)
+
+    def traces_json(self) -> str:
+        """All held traces as ``triggerman-trace-v1`` JSON."""
+        return self.tman.obs.trace.to_json()
+
     # -- events --------------------------------------------------------------
 
     def register_for_event(

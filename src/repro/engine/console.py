@@ -7,7 +7,9 @@ results; ``run_interactive`` wraps it in a tiny REPL.  Besides the §2
 command language it understands a handful of administrative verbs::
 
     show triggers | show signatures | show sources | show stats
+    stats              -- full metrics-registry snapshot (obs subsystem)
     explain trigger <name>   -- condition graph, signatures, network
+    trace on|off|show|json|clear   -- token tracing controls
     process            -- drain the update queue (one TmanTest-style pump)
     sql <statement>    -- run SQL on the default connection
     help, quit
@@ -27,7 +29,11 @@ TriggerMan console commands:
   enable|disable trigger [set] <name>
   define data source <name> from <table> [in <conn>] | as stream (...)
   show triggers | show signatures | show sources | show stats
-  explain trigger <name>   condition graph, signatures, network layout
+  stats               full metrics-registry snapshot (counters + timings)
+  explain trigger <name>   condition graph, predicate analysis, network
+  trace on|off        enable/disable per-token span tracing
+  trace show|json     render the last trace as a tree / all traces as JSON
+  trace clear         discard collected traces
   process             drain the update queue and run pending actions
   sql <statement>     execute SQL on the default connection
   help | quit"""
@@ -57,6 +63,10 @@ class Console:
             if lowered == "show stats":
                 metrics = self.tman.metrics()
                 return "\n".join(f"{k}: {v}" for k, v in sorted(metrics.items()))
+            if lowered == "stats":
+                return self.tman.render_stats()
+            if lowered.startswith("trace"):
+                return self._trace(lowered.split()[1:])
             if lowered.startswith("explain trigger "):
                 return self._explain(line.split()[-1])
             if lowered == "process":
@@ -75,58 +85,31 @@ class Console:
             return f"error: {exc}"
 
     def _explain(self, name: str) -> str:
-        """Describe one trigger: its condition graph (§5.1 step 3), the
-        signature group each selection predicate landed in, and the
-        discrimination network layout."""
-        trigger_id = self.tman.catalog.trigger_id(name)
-        runtime = self.tman.cache.pin(trigger_id)
-        try:
-            out = [f"trigger {name} (id {trigger_id})"]
-            out.append(f"  network: {type(runtime.network).__name__}")
-            out.append("  tuple variables:")
-            for tvar in runtime.tvars:
-                source = runtime.tvar_sources[tvar]
-                operation = runtime.operation_code(tvar)
-                selection = runtime.graph.selection_expr(tvar)
-                selection_text = (
-                    selection.render() if selection is not None else "TRUE"
-                )
-                entry_node = runtime.network.entry_node_id(tvar)
-                out.append(
-                    f"    {tvar} -> {source} [{operation}] "
-                    f"when {selection_text}  (entry: {entry_node})"
-                )
-            edges = [
-                f"    {' ⋈ '.join(sorted(pair))}: "
-                f"{runtime.graph.join_expr(*sorted(pair)).render()}"
-                for pair in runtime.graph.edges
-            ]
-            if edges:
-                out.append("  join predicates:")
-                out.extend(sorted(edges))
-            if runtime.graph.catch_all:
-                out.append(
-                    f"  catch-all clauses: {len(runtime.graph.catch_all)}"
-                )
-            out.append("  signature groups used:")
-            for group in self.tman.index.groups():
-                entries = [
-                    e
-                    for _c, e in group.organization.entries()
-                    if e.trigger_id == trigger_id
-                ]
-                if entries:
-                    out.append(
-                        f"    sig {group.sig_id}: "
-                        f"{group.signature.describe()} "
-                        f"[{group.organization.name}, "
-                        f"class size {group.organization.size()}]"
-                    )
-            out.append(f"  action: {runtime.action.render()}")
-            out.append(f"  fired {runtime.fire_count} time(s)")
-            return "\n".join(out)
-        finally:
-            self.tman.cache.unpin(trigger_id)
+        """Describe one trigger: condition graph (§5.1 step 3), predicate
+        analysis with the live §5.2 organization strategy, signature groups,
+        and the discrimination network layout (see obs/explain.py)."""
+        return self.tman.explain(name)
+
+    def _trace(self, args: list) -> str:
+        tracer = self.tman.obs.trace
+        verb = args[0] if args else "status"
+        if verb == "on":
+            self.tman.set_tracing(True)
+            return "tracing on"
+        if verb == "off":
+            self.tman.set_tracing(False)
+            return "tracing off"
+        if verb == "show":
+            return tracer.render()
+        if verb == "json":
+            return tracer.to_json(indent=2)
+        if verb == "clear":
+            tracer.clear()
+            return "traces cleared"
+        if verb == "status":
+            state = "on" if tracer.enabled else "off"
+            return f"tracing {state} ({len(tracer.traces())} trace(s) held)"
+        return "usage: trace on|off|show|json|clear"
 
     def _show_triggers(self) -> str:
         rows = self.tman.catalog.list_triggers()

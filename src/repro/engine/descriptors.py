@@ -35,6 +35,9 @@ class UpdateDescriptor:
     old: Optional[Dict[str, Any]] = None
     changed_columns: FrozenSet[str] = frozenset()
     seq: int = 0
+    #: observability tag (0 = untraced); assigned by the TraceRecorder at
+    #: capture time and carried through the queue
+    trace_id: int = 0
 
     def __post_init__(self) -> None:
         if self.operation not in Operation.ALL:
@@ -82,14 +85,14 @@ class UpdateDescriptor:
     # -- persistence (queue table payloads) ---------------------------------
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "new": self.new,
-                "old": self.old,
-                "changed": sorted(self.changed_columns),
-            },
-            separators=(",", ":"),
-        )
+        payload = {
+            "new": self.new,
+            "old": self.old,
+            "changed": sorted(self.changed_columns),
+        }
+        if self.trace_id:
+            payload["trace"] = self.trace_id
+        return json.dumps(payload, separators=(",", ":"))
 
     @classmethod
     def from_parts(
@@ -107,4 +110,5 @@ class UpdateDescriptor:
             old=data.get("old"),
             changed_columns=frozenset(data.get("changed", ())),
             seq=seq,
+            trace_id=data.get("trace", 0),
         )

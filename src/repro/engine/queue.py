@@ -11,6 +11,7 @@ lost").
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import deque
 from typing import Deque, Iterable, List, Optional, Tuple
@@ -25,7 +26,34 @@ QUEUE_TABLE = "tman_queue"
 
 
 class UpdateQueue:
-    """Interface shared by both queue implementations."""
+    """Interface shared by both queue implementations.
+
+    Both implementations keep always-on accounting counters with the
+    invariant ``enqueued - dequeued == len(queue)`` (a restored durable
+    backlog counts as enqueued); the observability layer exposes them as
+    registry views and the invariant tests in ``tests/obs`` enforce them.
+    """
+
+    def __init__(self) -> None:
+        #: lifetime counts (backlog restored on open counts as enqueued)
+        self.enqueued = 0
+        self.dequeued = 0
+        #: optional Observability bundle (attached by the engine)
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Expose this queue's accounting as registry callback gauges (read
+        at snapshot time only — the hot path pays nothing)."""
+        self.obs = obs
+        obs.metrics.gauge("queue.enqueued", callback=lambda: self.enqueued)
+        obs.metrics.gauge("queue.dequeued", callback=lambda: self.dequeued)
+        obs.metrics.gauge("queue.depth", callback=lambda: len(self))
+
+    def _count_enqueue(self) -> None:
+        self.enqueued += 1
+
+    def _count_dequeue(self) -> None:
+        self.dequeued += 1
 
     def enqueue(self, descriptor: UpdateDescriptor) -> UpdateDescriptor:
         """Store the descriptor; returns it stamped with its sequence no."""
@@ -49,32 +77,29 @@ class MemoryQueue(UpdateQueue):
     """Volatile FIFO queue (thread-safe)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._items: Deque[UpdateDescriptor] = deque()
         self._lock = threading.Lock()
         self._next_seq = 1
 
     def enqueue(self, descriptor: UpdateDescriptor) -> UpdateDescriptor:
         with self._lock:
-            stamped = UpdateDescriptor(
-                data_source=descriptor.data_source,
-                operation=descriptor.operation,
-                new=descriptor.new,
-                old=descriptor.old,
-                changed_columns=descriptor.changed_columns,
-                seq=self._next_seq,
-            )
+            stamped = dataclasses.replace(descriptor, seq=self._next_seq)
             self._next_seq += 1
             self._items.append(stamped)
+            self._count_enqueue()
             return stamped
 
     def dequeue(self) -> Optional[UpdateDescriptor]:
         with self._lock:
             if not self._items:
                 return None
+            self._count_dequeue()
             return self._items.popleft()
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)
 
 
 class TableQueue(UpdateQueue):
@@ -92,6 +117,7 @@ class TableQueue(UpdateQueue):
         credits the table queue with, at a per-update I/O cost.  The
         default defers durability to the next flush/close, like a DBMS
         running without forced log writes."""
+        super().__init__()
         self.database = database
         self.sync_on_enqueue = sync_on_enqueue
         if not database.has_table(QUEUE_TABLE):
@@ -117,6 +143,9 @@ class TableQueue(UpdateQueue):
         backlog.sort()
         self._pending.extend(rid for _seq, rid in backlog)
         self._next_seq = max_seq + 1
+        # A restored backlog was enqueued (by a previous incarnation), so
+        # count it: enqueued - dequeued must always equal the queue depth.
+        self.enqueued = len(backlog)
 
     def enqueue(self, descriptor: UpdateDescriptor) -> UpdateDescriptor:
         with self._lock:
@@ -132,16 +161,10 @@ class TableQueue(UpdateQueue):
                 [seq, descriptor.data_source, descriptor.operation, payload]
             )
             self._pending.append(rid)
+            self._count_enqueue()
             if self.sync_on_enqueue:
                 self.database.flush()
-            return UpdateDescriptor(
-                data_source=descriptor.data_source,
-                operation=descriptor.operation,
-                new=descriptor.new,
-                old=descriptor.old,
-                changed_columns=descriptor.changed_columns,
-                seq=seq,
-            )
+            return dataclasses.replace(descriptor, seq=seq)
 
     def dequeue(self) -> Optional[UpdateDescriptor]:
         with self._lock:
@@ -150,6 +173,7 @@ class TableQueue(UpdateQueue):
             rid = self._pending.popleft()
             row = self.table.read(rid)
             self.table.delete(rid)
+            self._count_dequeue()
         seq, data_source, operation, payload = row
         return UpdateDescriptor.from_parts(data_source, operation, payload, seq)
 

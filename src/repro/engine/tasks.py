@@ -44,6 +44,8 @@ class Task:
     #: real driver ignores it.
     cost: float = 0.0
     label: str = ""
+    #: observability tag: the trace id of the token this task belongs to
+    trace_id: int = 0
 
     def run(self) -> None:
         self.fn()
@@ -57,6 +59,15 @@ class TaskQueue:
         self._lock = threading.Lock()
         self.enqueued = 0
         self.executed = 0
+        #: optional Observability bundle (attached by the engine)
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Expose the task queue's accounting as registry callback gauges."""
+        self.obs = obs
+        obs.metrics.gauge("tasks.enqueued", callback=lambda: self.enqueued)
+        obs.metrics.gauge("tasks.executed", callback=lambda: self.executed)
+        obs.metrics.gauge("tasks.depth", callback=lambda: len(self._items))
 
     def put(self, task: Task) -> None:
         with self._lock:

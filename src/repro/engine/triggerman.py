@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..condition.signature import AnalyzedPredicate
 from ..errors import CatalogError, TriggerError
+from ..obs import Observability
 from ..lang import ast
 from ..lang.evaluator import Bindings, Evaluator
 from ..lang.parser import parse_command
@@ -86,7 +87,13 @@ class TriggerMan:
         durable_queue: bool = True,
         evaluator: Optional[Evaluator] = None,
         network_type: str = "atreat",
+        obs: Optional[Observability] = None,
+        observability: bool = False,
     ):
+        """``obs`` supplies a pre-built observability bundle (metrics
+        registry + trace recorder); ``observability=True`` enables metrics
+        timing on the instance's own bundle from the start.  Both default
+        to off: an un-observed engine pays only boolean guard checks."""
         self.catalog_db = catalog_db if catalog_db is not None else Database()
         default_db = default_db if default_db is not None else self.catalog_db
         self.connections: Dict[str, Connection] = {
@@ -95,15 +102,22 @@ class TriggerMan:
         self.evaluator = evaluator or Evaluator()
         self.limits = limits
         self.network_type = network_type
+        self.obs = obs if obs is not None else Observability(
+            enable_metrics=observability
+        )
         self.catalog = TriggerManCatalog(self.catalog_db)
         self.registry = DataSourceRegistry()
         self.events = EventManager()
         self.actions = ActionExecutor(default_db, self.events, self.evaluator)
+        self.actions.attach_obs(self.obs)
         self.index = PredicateIndex(self.evaluator)
+        self.index.obs = self.obs
         self.queue: UpdateQueue = (
             TableQueue(self.catalog_db) if durable_queue else MemoryQueue()
         )
+        self.queue.attach_obs(self.obs)
         self.tasks = TaskQueue()
+        self.tasks.attach_obs(self.obs)
         self.cache = TriggerCache(
             self._load_runtime,
             capacity=cache_capacity,
@@ -111,6 +125,25 @@ class TriggerMan:
             size_of=lambda runtime: runtime.estimated_size(),
         )
         self.stats = EngineStats()
+        # Pre-bound stage histograms (observe() is a no-op while the
+        # registry is disabled, so the hot path pays one attribute read).
+        metrics = self.obs.metrics
+        self._m_token_ns = metrics.histogram(
+            "engine.token_ns", "one token through the full §5.4 path"
+        )
+        self._m_match_ns = metrics.histogram(
+            "index.match_ns", "predicate-index probe per token"
+        )
+        self._m_pin_ns = metrics.histogram(
+            "cache.pin_ns", "trigger cache pin (may include a catalog load)"
+        )
+        self._m_network_ns = metrics.histogram(
+            "network.activate_ns", "discrimination network per matched entry"
+        )
+        self._m_task_ns = metrics.histogram(
+            "task.run_ns", "one task queue unit of work"
+        )
+        self._register_metric_views()
         #: trigger id -> enabled flag (fast path; catalog is authoritative)
         self._enabled: Dict[int, bool] = {}
         #: trigger ids pinned permanently (stream-fed materialized memories)
@@ -119,6 +152,38 @@ class TriggerMan:
         self._materialized: Dict[str, List[Tuple[int, str]]] = {}
         self._lock = threading.RLock()
         self._restore()
+
+    def _register_metric_views(self) -> None:
+        """Fold the pre-existing stat dataclasses (EngineStats, IndexStats,
+        CacheStats, BufferStats, queue/task accounting) into the instance
+        registry as callback gauges: one stats story, zero hot-path cost —
+        the callbacks run only at snapshot time."""
+        gauge = self.obs.metrics.gauge
+        engine, index, cache = self.stats, self.index, self.cache
+        gauge("engine.tokens_processed", callback=lambda: engine.tokens_processed)
+        gauge("engine.triggers_fired", callback=lambda: engine.triggers_fired)
+        gauge("engine.actions_executed", callback=lambda: engine.actions_executed)
+        gauge("engine.action_failures", callback=lambda: len(self.actions.failures))
+        gauge("index.tokens", callback=lambda: index.stats.tokens)
+        gauge("index.groups_probed", callback=lambda: index.stats.groups_probed)
+        gauge("index.entries_probed", callback=lambda: index.stats.entries_probed)
+        gauge("index.residual_tests", callback=lambda: index.stats.residual_tests)
+        gauge("index.matches", callback=lambda: index.stats.matches)
+        gauge("index.signatures", callback=index.signature_count)
+        gauge("index.entries", callback=index.entry_count)
+        gauge("cache.hits", callback=lambda: cache.stats.hits)
+        gauge("cache.misses", callback=lambda: cache.stats.misses)
+        gauge("cache.evictions", callback=lambda: cache.stats.evictions)
+        gauge("cache.pins", callback=lambda: cache.stats.pins)
+        gauge("cache.unpins", callback=lambda: cache.stats.unpins)
+        gauge("cache.resident", callback=lambda: len(cache))
+        gauge("cache.resident_bytes", callback=cache.resident_bytes)
+        gauge("cache.pinned", callback=cache.pinned_count)
+        pool = self.catalog_db.pool
+        gauge("buffer.hits", callback=lambda: pool.stats.hits)
+        gauge("buffer.misses", callback=lambda: pool.stats.misses)
+        gauge("buffer.evictions", callback=lambda: pool.stats.evictions)
+        gauge("buffer.writebacks", callback=lambda: pool.stats.writebacks)
 
     # -- constructors --------------------------------------------------------
 
@@ -223,6 +288,8 @@ class TriggerMan:
 
     def _capture(self, descriptor: UpdateDescriptor) -> None:
         """Sink for table capture listeners and the data-source API."""
+        if self.obs.trace.enabled:
+            descriptor = self.obs.trace.begin(descriptor)
         self.queue.enqueue(descriptor)
 
     # -- command interface -------------------------------------------------------
@@ -349,6 +416,7 @@ class TriggerMan:
             on_change=lambda name, sig_id=sig_id: self._organization_changed(
                 sig_id, name
             ),
+            obs=self.obs,
         )
         if existing is None:
             self.catalog.insert_signature(
@@ -550,18 +618,39 @@ class TriggerMan:
         call :func:`tman_test` concurrently (functional token-level
         concurrency; CPU *scaling* studies use the simulator, see §6 notes
         in DESIGN.md)."""
-        with self._lock:
+        obs = self.obs
+        if obs.trace.enabled and descriptor.trace_id:
+            with obs.trace.token(descriptor.trace_id):
+                with self._lock, self._m_token_ns.time():
+                    return self._process_token_locked(descriptor)
+        with self._lock, self._m_token_ns.time():
             return self._process_token_locked(descriptor)
 
     def _process_token_locked(self, descriptor: UpdateDescriptor) -> int:
         self.stats.tokens_processed += 1
-        matches = self.index.match(
-            descriptor.data_source,
-            descriptor.operation,
-            descriptor.match_row,
-            descriptor.changed_columns,
-            enabled=self._is_enabled,
-        )
+        obs = self.obs
+        tracing = obs.trace.enabled and obs.trace.current_id()
+        if tracing:
+            probe_start = obs.trace.clock()
+        with self._m_match_ns.time():
+            matches = self.index.match(
+                descriptor.data_source,
+                descriptor.operation,
+                descriptor.match_row,
+                descriptor.changed_columns,
+                enabled=self._is_enabled,
+            )
+        if tracing:
+            obs.trace.record(
+                "index.probe",
+                probe_start,
+                obs.trace.clock(),
+                {
+                    "data_source": descriptor.data_source,
+                    "operation": descriptor.operation,
+                    "matches": len(matches),
+                },
+            )
         fired = 0
         for match in matches:
             fired += self._apply_match(descriptor, match)
@@ -594,6 +683,12 @@ class TriggerMan:
                     self.cache.unpin(trigger_id)
 
     def _apply_match(self, descriptor: UpdateDescriptor, match: Match) -> int:
+        # This runs once per matched predicate entry — with large trigger
+        # populations that is hundreds of times per token, so the un-observed
+        # path must pay only this one guard before doing real work.
+        obs = self.obs
+        if obs.metrics.enabled or obs.trace.enabled:
+            return self._apply_match_observed(descriptor, match)
         entry = match.entry
         runtime = self.cache.pin(entry.trigger_id)
         try:
@@ -603,19 +698,58 @@ class TriggerMan:
                 descriptor.new,
                 descriptor.old,
             )
-            fired = 0
-            for bindings in complete:
-                if runtime.group_by or runtime.having is not None:
-                    ready = runtime.aggregate_fire(bindings, self.evaluator)
-                    if ready is None:
-                        continue
-                    bindings = ready
-                self._fire(runtime, bindings)
-                fired += 1
-            return fired
+            return self._fire_bindings(runtime, complete)
         finally:
             if entry.trigger_id not in self._permanent_pins:
                 self.cache.unpin(entry.trigger_id)
+
+    def _apply_match_observed(
+        self, descriptor: UpdateDescriptor, match: Match
+    ) -> int:
+        """_apply_match with cache-pin/network timing and trace spans."""
+        entry = match.entry
+        obs = self.obs
+        tracing = obs.trace.enabled and obs.trace.current_id()
+        if tracing:
+            was_resident = entry.trigger_id in self.cache
+            pin_start = obs.trace.clock()
+        with self._m_pin_ns.time():
+            runtime = self.cache.pin(entry.trigger_id)
+        if tracing:
+            obs.trace.record(
+                "cache.pin",
+                pin_start,
+                obs.trace.clock(),
+                {
+                    "trigger": entry.trigger_id,
+                    "hit": was_resident,
+                },
+            )
+            runtime.network.obs = obs
+        try:
+            with self._m_network_ns.time():
+                complete = runtime.network.activate(
+                    entry.tvar,
+                    descriptor.operation,
+                    descriptor.new,
+                    descriptor.old,
+                )
+            return self._fire_bindings(runtime, complete)
+        finally:
+            if entry.trigger_id not in self._permanent_pins:
+                self.cache.unpin(entry.trigger_id)
+
+    def _fire_bindings(self, runtime: TriggerRuntime, complete) -> int:
+        fired = 0
+        for bindings in complete:
+            if runtime.group_by or runtime.having is not None:
+                ready = runtime.aggregate_fire(bindings, self.evaluator)
+                if ready is None:
+                    continue
+                bindings = ready
+            self._fire(runtime, bindings)
+            fired += 1
+        return fired
 
     def _fire(self, runtime: TriggerRuntime, bindings: Bindings) -> None:
         runtime.fire_count += 1
@@ -628,7 +762,55 @@ class TriggerMan:
             self.actions.execute(action, bindings, name, trigger_id)
             self.stats.actions_executed += 1
 
-        self.tasks.put(Task(RUN_ACTION, run, label=name))
+        task = Task(RUN_ACTION, run, label=name)
+        obs = self.obs
+        if obs.trace.enabled or obs.metrics.enabled:
+            self._put_task(task)
+        else:
+            # Per-firing hot path: skip the wrapper frame entirely.
+            self.tasks.put(task)
+
+    def _put_task(self, task: Task, trace_id: Optional[int] = None) -> None:
+        """Enqueue a task, stamped with (and wrapped to re-establish) the
+        current trace so task.run/action.execute spans land on the token's
+        trace even though the task runs later, possibly on another thread."""
+        obs = self.obs
+        if not obs.trace.enabled:
+            trace_id = 0
+        elif trace_id is None:
+            trace_id = obs.trace.current_id()
+        timing = obs.metrics.enabled
+        if trace_id or timing:
+            inner, kind, label = task.fn, task.kind, task.label
+            task_ns = self._m_task_ns
+            tracer = obs.trace
+
+            def run_observed() -> None:
+                start = tracer.clock()
+                if trace_id:
+                    with tracer.token(trace_id):
+                        inner()
+                else:
+                    inner()
+                end = tracer.clock()
+                if timing:
+                    task_ns.observe(end - start)
+                if trace_id:
+                    tracer.record(
+                        "task.run",
+                        start,
+                        end,
+                        {"kind": kind, "label": label},
+                        trace_id=trace_id,
+                    )
+
+            task.fn = run_observed
+            task.trace_id = trace_id
+            if trace_id:
+                obs.trace.event(
+                    "task.enqueue", {"kind": kind, "label": label}
+                )
+        self.tasks.put(task)
 
     def enqueue_condition_tasks(
         self, descriptor: UpdateDescriptor, partitions: int
@@ -679,13 +861,14 @@ class TriggerMan:
                     self._maintain_memories(descriptor, shared["matches"])
 
         for subset in subsets:
-            self.tasks.put(
+            self._put_task(
                 Task(
                     CONDITION_SUBSET,
                     lambda s=subset: run_subset(s),
                     label=f"{descriptor.data_source}:{descriptor.operation}"
                     f"[{len(subset)} groups]",
-                )
+                ),
+                trace_id=descriptor.trace_id,
             )
         return len(subsets)
 
@@ -694,16 +877,20 @@ class TriggerMan:
     def _refill_tasks(self, batch: int = 64) -> bool:
         """Convert pending update descriptors into type-1 tasks."""
         added = False
+        tracer = self.obs.trace
         for _ in range(batch):
             descriptor = self.queue.dequeue()
             if descriptor is None:
                 break
-            self.tasks.put(
+            if tracer.enabled:
+                tracer.record_dequeue(descriptor)
+            self._put_task(
                 Task(
                     PROCESS_TOKEN,
                     lambda d=descriptor: self.process_token(d),
                     label=f"{descriptor.data_source}:{descriptor.operation}",
-                )
+                ),
+                trace_id=descriptor.trace_id,
             )
             added = True
         return added
@@ -720,6 +907,8 @@ class TriggerMan:
             descriptor = self.queue.dequeue()
             if descriptor is None:
                 break
+            if self.obs.trace.enabled:
+                self.obs.trace.record_dequeue(descriptor)
             self.process_token(descriptor)
             processed += 1
             self._run_pending_tasks()
@@ -829,3 +1018,27 @@ class TriggerMan:
             "cache_resident": len(self.cache),
             "queue_depth": len(self.queue),
         }
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Full registry snapshot: every callback-gauge view plus whatever
+        counters/histograms timing has collected (see obs/metrics.py)."""
+        return self.obs.metrics.snapshot()
+
+    def explain(self, name: str) -> str:
+        """EXPLAIN-style report for one trigger (see obs/explain.py)."""
+        from ..obs.explain import explain_trigger
+
+        return explain_trigger(self, name)
+
+    def render_stats(self) -> str:
+        """Human-readable registry snapshot (console ``stats`` command)."""
+        from ..obs.explain import render_stats
+
+        return render_stats(self)
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Turn token tracing on or off (console ``trace on|off``)."""
+        if enabled:
+            self.obs.trace.enable()
+        else:
+            self.obs.trace.disable()

@@ -81,6 +81,8 @@ class GatorNetwork:
         self.trigger_id = trigger_id
         self.graph = graph
         self.evaluator = evaluator or Evaluator()
+        #: optional Observability bundle (set by the engine while tracing)
+        self.obs = None
         if join_order is not None:
             if sorted(join_order) != sorted(graph.tvars):
                 raise NetworkError(
@@ -181,6 +183,34 @@ class GatorNetwork:
     # -- token processing ------------------------------------------------------
 
     def activate(
+        self,
+        tvar: str,
+        operation: str,
+        new_row: Optional[Row],
+        old_row: Optional[Row] = None,
+    ) -> List[Bindings]:
+        obs = self.obs
+        if obs is not None and obs.trace.enabled and obs.trace.current_id():
+            tracer = obs.trace
+            start = tracer.clock()
+            complete = self._activate(tvar, operation, new_row, old_row)
+            tracer.record(
+                f"network.{self.entry_node_id(tvar)}",
+                start,
+                tracer.clock(),
+                {
+                    "network": "gator",
+                    "trigger": self.trigger_id,
+                    "tvar": tvar,
+                    "operation": operation,
+                    "emitted": len(complete),
+                    "memory_entries": self.total_memory_entries(),
+                },
+            )
+            return complete
+        return self._activate(tvar, operation, new_row, old_row)
+
+    def _activate(
         self,
         tvar: str,
         operation: str,

@@ -42,6 +42,8 @@ class ATreatNetwork:
         self.trigger_id = trigger_id
         self.graph = graph
         self.evaluator = evaluator or Evaluator()
+        #: optional Observability bundle (set by the engine while tracing)
+        self.obs = None
         self.alpha: Dict[str, Node] = {}
         fetchers = fetchers or {}
         for tvar in graph.tvars:
@@ -121,6 +123,33 @@ class ATreatNetwork:
         The row used for condition evaluation is the new image for
         insert/update and the old image for delete.
         """
+        obs = self.obs
+        if obs is not None and obs.trace.enabled and obs.trace.current_id():
+            tracer = obs.trace
+            start = tracer.clock()
+            complete = self._activate(tvar, operation, new_row, old_row)
+            tracer.record(
+                f"network.{self.entry_node_id(tvar)}",
+                start,
+                tracer.clock(),
+                {
+                    "network": "atreat",
+                    "trigger": self.trigger_id,
+                    "tvar": tvar,
+                    "operation": operation,
+                    "emitted": len(complete),
+                },
+            )
+            return complete
+        return self._activate(tvar, operation, new_row, old_row)
+
+    def _activate(
+        self,
+        tvar: str,
+        operation: str,
+        new_row: Optional[Dict[str, Any]],
+        old_row: Optional[Dict[str, Any]] = None,
+    ) -> List[Bindings]:
         memory = self.alpha[tvar]
         if operation == "insert":
             row = new_row

@@ -1,0 +1,76 @@
+"""Observability: metrics, token tracing, and EXPLAIN-style introspection.
+
+The paper's scalability story (§5–§6) is about *where tokens spend time* —
+signature matching, constant-set probes, rest-of-predicate tests, network
+joins, task dispatch.  This package gives every one of those stages a
+uniform way to be observed:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms with nanosecond timer contexts.  Near-zero overhead when
+  disabled; a process-global default registry plus per-``TriggerMan``
+  instance registries.
+* :mod:`repro.obs.trace` — a :class:`TraceRecorder` that tags each update
+  descriptor with a trace id and records spans as the token moves
+  queue → predicate-index probe → constant-set organization →
+  rest-of-predicate → trigger cache pin → network nodes → task queue →
+  action execution.  Exportable as JSON and as a human-readable tree.
+* :mod:`repro.obs.explain` — ``explain trigger <name>`` and ``stats``
+  renderings for the console and client.
+* :mod:`repro.obs.export` — machine-readable benchmark export
+  (``BENCH_PR*.json``: throughput, p50/p99 latencies, per-stage shares).
+
+:class:`Observability` bundles one metrics registry and one trace recorder;
+every engine component holds (or is handed) one of these bundles and guards
+its instrumentation with cheap ``enabled`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry, default_registry
+from .trace import TraceRecorder
+
+
+class Observability:
+    """One engine's observability bundle: metrics + tracing.
+
+    Both halves start disabled unless requested, so an un-observed engine
+    pays only boolean guard checks on its hot paths.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        *,
+        enable_metrics: bool = False,
+        enable_trace: bool = False,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            enabled=enable_metrics
+        )
+        self.trace = trace if trace is not None else TraceRecorder(
+            enabled=enable_trace
+        )
+
+    def enable(self) -> None:
+        """Turn on both metrics timing and token tracing."""
+        self.metrics.enable()
+        self.trace.enable()
+
+    def disable(self) -> None:
+        self.metrics.disable()
+        self.trace.disable()
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.metrics.enabled or self.trace.enabled
+
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "default_registry",
+]

@@ -1,0 +1,126 @@
+"""Machine-readable benchmark export: the ``BENCH_PR*.json`` trajectory.
+
+Benchmarks call :func:`record` with whatever they measured (throughput,
+latency percentiles, per-stage time shares); the benchmark session's
+conftest calls :func:`write` once at session end to produce one JSON file
+that future PRs diff against.
+
+Schema (``triggerman-bench-v1``)::
+
+    {"schema": "triggerman-bench-v1",
+     "created": "<iso8601>",
+     "python": "3.11.x", "platform": "...",
+     "records": [{"experiment": "E10", "...": ...}, ...],
+     "tables": {"<experiment>": {"header": [...], "rows": [[...], ...]}}}
+
+Helpers:
+
+* :func:`latency_summary` — p50/p99/mean out of a metrics histogram;
+* :func:`stage_shares` — per-stage time shares from the ``*_ns`` stage
+  histograms, relative to the whole-token histogram.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+from .metrics import Histogram, MetricsRegistry
+
+SCHEMA = "triggerman-bench-v1"
+
+#: stage histogram -> share label (relative to engine.token_ns)
+STAGE_HISTOGRAMS = {
+    "index.match_ns": "index_probe",
+    "cache.pin_ns": "cache_pin",
+    "network.activate_ns": "network",
+    "task.run_ns": "task",
+    "action.run_ns": "action",
+}
+
+_RECORDS: List[Dict[str, Any]] = []
+_LOCK = threading.Lock()
+
+
+def record(experiment: str, **fields: Any) -> Dict[str, Any]:
+    """Add one benchmark record to the session export."""
+    entry = {"experiment": experiment, **fields}
+    with _LOCK:
+        _RECORDS.append(entry)
+    return entry
+
+
+def records() -> List[Dict[str, Any]]:
+    with _LOCK:
+        return list(_RECORDS)
+
+
+def reset() -> None:
+    with _LOCK:
+        _RECORDS.clear()
+
+
+def latency_summary(histogram: Histogram) -> Dict[str, Any]:
+    """p50/p90/p99/mean (ns) of one timing histogram."""
+    summary = histogram.summary()
+    return {
+        "count": summary["count"],
+        "mean_ns": summary["mean"],
+        "p50_ns": summary["p50"],
+        "p90_ns": summary["p90"],
+        "p99_ns": summary["p99"],
+        "max_ns": summary["max"],
+    }
+
+
+def stage_shares(
+    registry: MetricsRegistry, total_name: str = "engine.token_ns"
+) -> Dict[str, float]:
+    """Fraction of total token time spent in each instrumented stage.
+
+    Stages overlap (the network span nests inside the token span), so the
+    shares describe where time goes, not a partition summing to 1.0.
+    """
+    total = registry.get(total_name)
+    if not isinstance(total, Histogram) or not total.total:
+        return {}
+    shares: Dict[str, float] = {}
+    for name, label in STAGE_HISTOGRAMS.items():
+        metric = registry.get(name)
+        if isinstance(metric, Histogram) and metric.count:
+            shares[label] = metric.total / total.total
+    return shares
+
+
+def build_payload(
+    tables: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "records": records(),
+        "tables": tables or {},
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write(
+    path: str,
+    tables: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Serialize the session's records to ``path``; returns the path."""
+    payload = build_payload(tables, extra)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+    return path

@@ -1,0 +1,336 @@
+"""The metrics registry: counters, gauges, histograms, ns timers.
+
+Design constraints (ISSUE 1):
+
+* **near-zero overhead when disabled** — every mutator starts with one
+  attribute read (``registry.enabled``); disabled timer contexts are a
+  shared singleton, so the fast path allocates nothing;
+* **one stats story** — existing ad-hoc counters (``IndexStats``,
+  ``CacheStats``, ``BufferStats``, ``EngineStats``) are folded in as
+  *callback gauges*: they keep their cheap dataclass increments on the hot
+  path, and the registry reads them only at snapshot time;
+* **process-global default registry plus per-instance registries** —
+  library users share :func:`default_registry`; every ``TriggerMan`` owns
+  its own :class:`MetricsRegistry` so two engines in one process do not
+  mix numbers.
+
+Histograms keep a bounded window of recent samples (default 8192) plus
+exact count/sum/min/max, so percentiles are over the recent window while
+totals stay exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TIMER",
+    "default_registry",
+]
+
+
+class _NullTimer:
+    """Shared no-op timer context (the disabled-mode zero-allocation path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_TIMER = _NullTimer()
+
+
+class Metric:
+    """Base: a named metric owned by one registry."""
+
+    __slots__ = ("registry", "name", "help")
+    kind = "abstract"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = ""):
+        self.registry = registry
+        self.name = name
+        self.help = help
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def value_snapshot(self) -> Any:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing counter."""
+
+    __slots__ = ("_value", "_lock")
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = ""):
+        super().__init__(registry, name, help)
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if not self.registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def value_snapshot(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge(Metric):
+    """A point-in-time value: either set explicitly or read from a callback.
+
+    Callback gauges are the bridge to the pre-existing stats dataclasses:
+    the callback runs only at snapshot time, so the observed hot path pays
+    nothing.  Callback gauges report even when the registry is disabled
+    (their sources are always-on counters); settable gauges respect the
+    enabled flag like counters do.
+    """
+
+    __slots__ = ("_value", "_callback")
+    kind = "gauge"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str = "",
+        callback: Optional[Callable[[], Any]] = None,
+    ):
+        super().__init__(registry, name, help)
+        self._value: Any = 0
+        self._callback = callback
+
+    def set(self, value: Any) -> None:
+        if not self.registry.enabled:
+            return
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        if self._callback is not None:
+            return self._callback()
+        return self._value
+
+    def value_snapshot(self) -> Any:
+        try:
+            return self.value
+        except Exception:  # noqa: BLE001 - a broken callback must not sink stats
+            return None
+
+    def reset(self) -> None:
+        if self._callback is None:
+            self._value = 0
+
+
+class Histogram(Metric):
+    """Sample distribution: exact count/sum/min/max, windowed percentiles."""
+
+    __slots__ = ("_lock", "_samples", "count", "total", "min", "max")
+    kind = "histogram"
+
+    #: recent-sample window used for percentile estimates
+    WINDOW = 8192
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = ""):
+        super().__init__(registry, name, help)
+        self._lock = threading.Lock()
+        self._samples: Deque[float] = deque(maxlen=self.WINDOW)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        if not self.registry.enabled:
+            return
+        with self._lock:
+            self._samples.append(value)
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def time(self) -> Any:
+        """A context manager that observes the elapsed nanoseconds."""
+        if not self.registry.enabled:
+            return NULL_TIMER
+        return _Timer(self)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (0 <= q <= 100) over the recent window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        if len(samples) == 1:
+            return samples[0]
+        # Linear interpolation between closest ranks.
+        rank = (q / 100.0) * (len(samples) - 1)
+        low = int(rank)
+        high = min(low + 1, len(samples) - 1)
+        fraction = rank - low
+        return samples[low] + (samples[high] - samples[low]) * fraction
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def value_snapshot(self) -> Dict[str, Any]:
+        return self.summary()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+
+class _Timer:
+    """Times one block and records the elapsed time in nanoseconds."""
+
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._start = 0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.histogram.observe(time.perf_counter_ns() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """A named collection of metrics with a single enable switch.
+
+    Metric accessors are create-or-return: ``registry.counter("x")`` always
+    hands back the same object, so callers can pre-bind metrics once and
+    mutate them without per-call dict lookups.
+    """
+
+    def __init__(self, enabled: bool = True, namespace: str = ""):
+        self.enabled = enabled
+        self.namespace = namespace
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.RLock()
+
+    # -- switches ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- metric accessors --------------------------------------------------
+
+    def _get(self, cls: type, name: str, **kwargs: Any) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(self, name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a "
+                    f"{cls.kind}"  # type: ignore[attr-defined]
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help=help)  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        callback: Optional[Callable[[], Any]] = None,
+    ) -> Gauge:
+        gauge = self._get(Gauge, name, help=help)  # type: ignore[assignment]
+        if callback is not None:
+            gauge._callback = callback  # type: ignore[attr-defined]
+        return gauge  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help=help)  # type: ignore[return-value]
+
+    def timer(self, name: str) -> Any:
+        """Shorthand: a timing context over ``histogram(name)``."""
+        if not self.enabled:
+            return NULL_TIMER
+        return self.histogram(name).time()
+
+    # -- introspection -----------------------------------------------------
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A flat ``name -> value`` dict (histograms become summary dicts)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.value_snapshot() for name, metric in metrics}
+
+    def reset(self) -> None:
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+
+_DEFAULT = MetricsRegistry(enabled=False, namespace="default")
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry (disabled until someone enables it)."""
+    return _DEFAULT

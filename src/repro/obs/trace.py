@@ -1,0 +1,299 @@
+"""Token tracing: spans for one update descriptor's trip through the engine.
+
+When tracing is on, :meth:`TraceRecorder.begin` tags each captured
+:class:`~repro.engine.descriptors.UpdateDescriptor` with a trace id; the
+engine then records *spans* — named, nanosecond-stamped stages — as the
+token moves::
+
+    queue  →  index.probe  →  org.probe  →  residual.test
+           →  cache.pin    →  network.<node>  →  task.run  →  action.execute
+
+Spans nest (depth is tracked per thread), so the export renders both as a
+flat JSON list and as an indented tree.  The recorder keeps a bounded
+number of recent traces (oldest evicted) and records nothing when disabled
+or when no trace is current, so untraced processing pays only a boolean
+check.
+
+Trace JSON schema (see API.md)::
+
+    {"schema": "triggerman-trace-v1",
+     "traces": [
+       {"trace_id": 7, "data_source": "emp", "operation": "insert",
+        "seq": 12, "started_ns": 123, "spans": [
+          {"stage": "queue", "start_ns": 123, "end_ns": 456,
+           "depth": 0, "detail": {"seq": 12}} ... ]}]}
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Trace", "TraceRecorder"]
+
+
+@dataclass
+class Span:
+    """One stage of one token's journey."""
+
+    stage: str
+    start_ns: int
+    end_ns: int
+    depth: int = 0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "depth": self.depth,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class Trace:
+    """All spans recorded for one update descriptor."""
+
+    trace_id: int
+    data_source: str
+    operation: str
+    seq: int
+    started_ns: int
+    spans: List[Span] = field(default_factory=list)
+
+    def stages(self) -> List[str]:
+        """Stage names in start order (ties broken by recording order)."""
+        return [s.stage for s in sorted(self.spans, key=lambda s: s.start_ns)]
+
+    def duration_ns(self) -> int:
+        if not self.spans:
+            return 0
+        return max(s.end_ns for s in self.spans) - self.started_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "data_source": self.data_source,
+            "operation": self.operation,
+            "seq": self.seq,
+            "started_ns": self.started_ns,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+
+class TraceRecorder:
+    """Records per-token spans; disabled by default.
+
+    ``begin()`` stamps descriptors at capture time; the engine makes the
+    stamped id *current* for a thread with :meth:`token` while it processes
+    that token, and every component in between calls :meth:`span` /
+    :meth:`record` without needing the id threaded through its signature.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_traces: int = 256,
+        clock=time.perf_counter_ns,
+    ):
+        self.enabled = enabled
+        self.max_traces = max_traces
+        self.clock = clock
+        self._traces: "OrderedDict[int, Trace]" = OrderedDict()
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- switches ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; already-collected traces stay readable."""
+        self.enabled = False
+
+    # -- trace lifecycle ---------------------------------------------------
+
+    def begin(self, descriptor):
+        """Tag a descriptor with a fresh trace id; returns the stamped copy.
+
+        No-op (returns the descriptor unchanged) when disabled.
+        """
+        if not self.enabled:
+            return descriptor
+        import dataclasses
+
+        with self._lock:
+            trace_id = self._next_id
+            self._next_id += 1
+            self._traces[trace_id] = Trace(
+                trace_id=trace_id,
+                data_source=descriptor.data_source,
+                operation=descriptor.operation,
+                seq=descriptor.seq,
+                started_ns=self.clock(),
+            )
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+        return dataclasses.replace(descriptor, trace_id=trace_id)
+
+    def current_id(self) -> int:
+        """The trace id current on this thread (0 when none)."""
+        return getattr(self._local, "current", 0)
+
+    @contextmanager
+    def token(self, trace_id: int) -> Iterator[None]:
+        """Make ``trace_id`` current for the calling thread."""
+        previous = getattr(self._local, "current", 0)
+        previous_depth = getattr(self._local, "depth", 0)
+        self._local.current = trace_id
+        self._local.depth = 0
+        try:
+            yield
+        finally:
+            self._local.current = previous
+            self._local.depth = previous_depth
+
+    # -- span recording ----------------------------------------------------
+
+    def record(
+        self,
+        stage: str,
+        start_ns: int,
+        end_ns: int,
+        detail: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[int] = None,
+    ) -> None:
+        """Append one finished span to a trace (current trace by default)."""
+        if not self.enabled:
+            return
+        tid = trace_id if trace_id is not None else self.current_id()
+        if not tid:
+            return
+        span = Span(
+            stage=stage,
+            start_ns=start_ns,
+            end_ns=end_ns,
+            depth=getattr(self._local, "depth", 0),
+            detail=detail or {},
+        )
+        with self._lock:
+            trace = self._traces.get(tid)
+            if trace is not None:
+                trace.spans.append(span)
+
+    def event(
+        self,
+        stage: str,
+        detail: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[int] = None,
+    ) -> None:
+        """A zero-duration span stamped 'now'."""
+        now = self.clock()
+        self.record(stage, now, now, detail, trace_id)
+
+    @contextmanager
+    def span(self, stage: str, **detail: Any) -> Iterator[None]:
+        """Record a nested span around a block (no-op without a current
+        trace)."""
+        if not self.enabled or not self.current_id():
+            yield
+            return
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        start = self.clock()
+        try:
+            yield
+        finally:
+            end = self.clock()
+            self._local.depth = depth
+            self.record(stage, start, end, detail or None)
+
+    def record_dequeue(self, descriptor) -> None:
+        """The 'queue' span: capture/enqueue time → dequeue time."""
+        if not self.enabled or not descriptor.trace_id:
+            return
+        with self._lock:
+            trace = self._traces.get(descriptor.trace_id)
+        if trace is None:
+            return
+        self.record(
+            "queue",
+            trace.started_ns,
+            self.clock(),
+            {"seq": descriptor.seq},
+            trace_id=descriptor.trace_id,
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def traces(self) -> List[Trace]:
+        with self._lock:
+            return list(self._traces.values())
+
+    def get(self, trace_id: int) -> Optional[Trace]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def last(self) -> Optional[Trace]:
+        with self._lock:
+            if not self._traces:
+                return None
+            return next(reversed(self._traces.values()))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(
+            {
+                "schema": "triggerman-trace-v1",
+                "traces": [t.to_dict() for t in self.traces()],
+            },
+            indent=indent,
+            default=str,
+        )
+
+    def render(self, trace_id: Optional[int] = None) -> str:
+        """Human-readable tree of one trace (the last one by default)."""
+        trace = self.get(trace_id) if trace_id is not None else self.last()
+        if trace is None:
+            return "(no traces recorded)"
+        out = [
+            f"trace {trace.trace_id}  {trace.data_source}:{trace.operation}"
+            f"  seq={trace.seq}  total={_fmt_ns(trace.duration_ns())}"
+        ]
+        for span in sorted(trace.spans, key=lambda s: (s.start_ns, s.depth)):
+            pad = "  " * (span.depth + 1)
+            detail = ""
+            if span.detail:
+                detail = "  " + ", ".join(
+                    f"{k}={v}" for k, v in span.detail.items()
+                )
+            out.append(
+                f"{pad}{span.stage:<24} {_fmt_ns(span.duration_ns):>10}{detail}"
+            )
+        return "\n".join(out)
+
+
+def _fmt_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1_000_000_000:.2f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1_000_000:.2f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1_000:.1f}µs"
+    return f"{ns}ns"

@@ -151,6 +151,9 @@ class PredicateIndex:
         self._sources: Dict[str, DataSourcePredicateIndex] = {}
         self.evaluator = evaluator or Evaluator()
         self.stats = IndexStats()
+        #: optional Observability bundle (attached by the engine); probes
+        #: record spans only when tracing is on and a trace is current
+        self.obs = None
         #: trigger id -> [(group, expr_id)] for O(entries-of-trigger) drops
         self._by_trigger: Dict[int, List[Tuple[SignatureGroup, int]]] = {}
 
@@ -253,11 +256,19 @@ class PredicateIndex:
             groups[0].signature.data_source if groups else ""
         )
         bindings = Bindings(rows={binding_source: row})
+        obs = self.obs
+        tracer = obs.trace if obs is not None else None
+        tracing = (
+            tracer is not None and tracer.enabled and tracer.current_id()
+        )
         for group in groups:
             if not group.matches_operation(operation, changed_columns):
                 continue
             self.stats.groups_probed += 1
             values = group.probe_values(row)
+            if tracing:
+                probe_start = tracer.clock()
+                probed_before = self.stats.entries_probed
             for constants, entry in group.organization.probe(values):
                 self.stats.entries_probed += 1
                 if enabled is not None and not enabled(entry.trigger_id):
@@ -265,9 +276,38 @@ class PredicateIndex:
                 residual = entry.residual
                 if residual is not None:
                     self.stats.residual_tests += 1
-                    if not self.evaluator.matches(residual, bindings):
+                    if tracing:
+                        residual_start = tracer.clock()
+                        ok = self.evaluator.matches(residual, bindings)
+                        tracer.record(
+                            "residual.test",
+                            residual_start,
+                            tracer.clock(),
+                            {
+                                "trigger": entry.trigger_id,
+                                "expr": residual.render(),
+                                "passed": ok,
+                            },
+                        )
+                        if not ok:
+                            continue
+                    elif not self.evaluator.matches(residual, bindings):
                         continue
                 matches.append(Match(entry, group.signature, constants))
+            if tracing:
+                tracer.record(
+                    "org.probe",
+                    probe_start,
+                    tracer.clock(),
+                    {
+                        "sig": group.sig_id,
+                        "signature": group.signature.text,
+                        "organization": group.organization.name,
+                        "entries_probed": (
+                            self.stats.entries_probed - probed_before
+                        ),
+                    },
+                )
         self.stats.matches += len(matches)
         return matches
 

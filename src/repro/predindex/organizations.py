@@ -536,12 +536,15 @@ class AutoOrganization(Organization):
         table_name: str,
         limits: Limits = DEFAULT_LIMITS,
         on_change=None,
+        obs=None,
     ):
         super().__init__(signature)
         self.database = database
         self.table_name = table_name
         self.limits = limits
         self.on_change = on_change
+        #: optional Observability bundle: migrations are counted and traced
+        self.obs = obs
         self._current: Organization = MemoryListOrganization(signature)
 
     @property
@@ -577,6 +580,20 @@ class AutoOrganization(Organization):
             ):
                 return
         replacement = self._build(target, sample)
+        obs = self.obs
+        if obs is not None:
+            if obs.metrics.enabled:
+                obs.metrics.counter("org.migrations").inc()
+            if obs.trace.enabled:
+                obs.trace.event(
+                    "org.migrate",
+                    {
+                        "signature": self.signature.text,
+                        "from": self._current.name,
+                        "to": target,
+                        "size": size,
+                    },
+                )
         if isinstance(self._current, DbTableOrganization) and isinstance(
             replacement, DbTableOrganization
         ):

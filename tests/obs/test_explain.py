@@ -1,0 +1,157 @@
+"""EXPLAIN-style introspection and the console observability commands."""
+
+import json
+
+import pytest
+
+from repro.engine.console import Console
+from repro.engine.client import TriggerManClient
+from repro.engine.triggerman import TriggerMan
+from repro.obs.explain import STRATEGY_NUMBERS, describe_strategy
+from repro.predindex.costmodel import Limits
+
+
+@pytest.fixture
+def tman_t():
+    tman = TriggerMan.in_memory(limits=Limits(list_max=2, memory_max=1000))
+    tman.define_table(
+        "emp",
+        [("name", "varchar(40)"), ("salary", "float"), ("dept", "varchar(20)")],
+    )
+    return tman
+
+
+class TestDescribeStrategy:
+    def test_all_four_strategies_numbered(self):
+        assert STRATEGY_NUMBERS == {
+            "memory_list": 1,
+            "memory_index": 2,
+            "db_table": 3,
+            "db_table_indexed": 4,
+        }
+        assert describe_strategy("memory_list") == "memory_list (§5.2 strategy 1)"
+        assert describe_strategy("custom") == "custom"
+
+
+class TestExplainTrigger:
+    def test_reports_predicate_analysis(self, tman_t):
+        tman_t.create_trigger(
+            "create trigger t from emp on insert "
+            "when emp.salary > 10 and emp.dept = 'x' "
+            "do raise event E(emp.name)"
+        )
+        out = tman_t.explain("t")
+        assert "trigger t (id 1)" in out
+        assert "network: ATreatNetwork" in out
+        assert "predicate analysis (§5.1 step 5):" in out
+        # dept = 'x' (equality) beats salary > 10 as the indexable part.
+        assert "equality on (dept)" in out
+        assert "residual: (salary > 10)" in out
+        assert "organization: memory_list (§5.2 strategy 1)" in out
+        assert "action: raise event E(emp.name)" in out
+
+    def test_reports_live_organization_after_migration(self, tman_t):
+        # list_max=2: the third trigger on the same signature migrates the
+        # equivalence class to strategy 2, and explain must say so.
+        for i in range(3):
+            tman_t.create_trigger(
+                f"create trigger t{i} from emp on insert "
+                f"when emp.dept = 'd{i}' do raise event E{i}()"
+            )
+        out = tman_t.explain("t0")
+        assert "organization: memory_index (§5.2 strategy 2)" in out
+        assert "class size 3" in out
+
+    def test_legacy_console_lines_preserved(self, tman_t):
+        tman_t.define_table("dept", [("dname", "varchar(20)")])
+        console = Console(tman_t)
+        console.execute(
+            "create trigger j from emp e, dept d "
+            "when e.dept = d.dname do raise event J"
+        )
+        out = console.execute("explain trigger j")
+        assert "join predicates:" in out
+        assert "(e.dept = d.dname)" in out
+        assert "entry: alpha:e" in out
+        assert "fired 0 time(s)" in out
+
+
+class TestConsoleCommands:
+    def test_stats_command(self, tman_t):
+        console = Console(tman_t)
+        tman_t.insert("emp", {"name": "a", "salary": 1.0, "dept": "x"})
+        tman_t.process_all()
+        out = console.execute("stats")
+        assert "counters and gauges:" in out
+        assert "engine.tokens_processed: 1" in out
+        assert "observability: metrics off, trace off" in out
+
+    def test_stats_includes_timings_when_metrics_on(self, tman_t):
+        tman_t.obs.metrics.enable()
+        console = Console(tman_t)
+        tman_t.insert("emp", {"name": "a", "salary": 1.0, "dept": "x"})
+        tman_t.process_all()
+        out = console.execute("stats")
+        assert "timings:" in out
+        assert "engine.token_ns" in out
+        assert "observability: metrics on, trace off" in out
+
+    def test_trace_on_off_status(self, tman_t):
+        console = Console(tman_t)
+        assert console.execute("trace") == "tracing off (0 trace(s) held)"
+        assert console.execute("trace on") == "tracing on"
+        assert tman_t.obs.trace.enabled
+        assert console.execute("trace off") == "tracing off"
+        assert not tman_t.obs.trace.enabled
+        assert "usage:" in console.execute("trace bogus")
+
+    def test_trace_show_and_json_and_clear(self, tman_t):
+        console = Console(tman_t)
+        tman_t.create_trigger(
+            "create trigger t from emp on insert "
+            "when emp.salary > 10 do raise event E()"
+        )
+        console.execute("trace on")
+        tman_t.insert("emp", {"name": "a", "salary": 50.0, "dept": "x"})
+        tman_t.process_all()
+        assert "action.execute" in console.execute("trace show")
+        payload = json.loads(console.execute("trace json"))
+        assert payload["schema"] == "triggerman-trace-v1"
+        assert payload["traces"]
+        assert console.execute("trace clear") == "traces cleared"
+        assert tman_t.obs.trace.traces() == []
+
+    def test_show_stats_legacy_still_works(self, tman_t):
+        console = Console(tman_t)
+        tman_t.create_trigger(
+            "create trigger t from emp on insert "
+            "when emp.salary > 10 do raise event E()"
+        )
+        tman_t.insert("emp", {"name": "a", "salary": 50.0, "dept": "x"})
+        tman_t.process_all()
+        out = console.execute("show stats")
+        assert "triggers_fired: 1" in out
+
+
+class TestClientApi:
+    def test_stats_snapshot(self, tman_t):
+        client = TriggerManClient(tman_t)
+        tman_t.insert("emp", {"name": "a", "salary": 1.0, "dept": "x"})
+        tman_t.process_all()
+        snap = client.stats()
+        assert snap["engine.tokens_processed"] == 1
+        assert snap["queue.enqueued"] == 1
+        assert snap["queue.depth"] == 0
+
+    def test_explain_and_tracing(self, tman_t):
+        client = TriggerManClient(tman_t)
+        client.create_trigger(
+            "create trigger t from emp on insert "
+            "when emp.dept = 'x' do raise event E()"
+        )
+        assert "§5.2 strategy" in client.explain_trigger("t")
+        client.set_tracing(True)
+        tman_t.insert("emp", {"name": "a", "salary": 1.0, "dept": "x"})
+        tman_t.process_all()
+        payload = json.loads(client.traces_json())
+        assert payload["traces"][0]["spans"]

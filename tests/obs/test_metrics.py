@@ -1,0 +1,193 @@
+"""The metrics registry: arithmetic, percentiles, and the disabled fast path."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.metrics import (
+    NULL_TIMER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_arithmetic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_counter_noop_when_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        counter.inc(100)
+        assert counter.value == 0
+
+    def test_settable_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_callback_gauge_reports_even_when_disabled(self):
+        # Callback gauges bridge the always-on stat dataclasses: they must
+        # report regardless of the registry switch.
+        registry = MetricsRegistry(enabled=False)
+        backing = {"n": 0}
+        gauge = registry.gauge("g", callback=lambda: backing["n"])
+        backing["n"] = 42
+        assert gauge.value == 42
+        assert registry.snapshot()["g"] == 42
+
+    def test_broken_callback_does_not_sink_snapshot(self):
+        registry = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("broken source")
+
+        registry.gauge("bad", callback=boom)
+        registry.counter("ok").inc()
+        snap = registry.snapshot()
+        assert snap["bad"] is None
+        assert snap["ok"] == 1
+
+
+class TestHistogram:
+    def test_exact_accounting(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for v in [10, 20, 30, 40]:
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == 100
+        assert hist.min == 10
+        assert hist.max == 40
+        assert hist.mean == 25
+
+    def test_percentiles_interpolate(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for v in range(1, 101):  # 1..100
+            hist.observe(v)
+        assert hist.percentile(0) == 1
+        assert hist.percentile(100) == 100
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(99) == pytest.approx(99.01)
+
+    def test_percentile_edge_cases(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        assert hist.percentile(50) is None
+        hist.observe(7)
+        assert hist.percentile(99) == 7
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_summary_keys(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe(5)
+        summary = hist.summary()
+        assert set(summary) == {
+            "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+        }
+
+    def test_timer_records_nanoseconds(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        with hist.time():
+            pass
+        assert hist.count == 1
+        assert hist.total >= 0
+
+
+class TestDisabledFastPath:
+    def test_disabled_timer_is_the_shared_singleton(self):
+        # The zero-allocation fast path: every disabled time() call returns
+        # the same NULL_TIMER object, never a fresh context.
+        registry = MetricsRegistry(enabled=False)
+        hist = registry.histogram("h")
+        assert hist.time() is NULL_TIMER
+        assert registry.timer("h") is NULL_TIMER
+        with hist.time():
+            pass
+        assert hist.count == 0
+
+    def test_enable_disable_switch(self):
+        registry = MetricsRegistry(enabled=False)
+        hist = registry.histogram("h")
+        registry.enable()
+        assert hist.time() is not NULL_TIMER
+        registry.disable()
+        assert hist.time() is NULL_TIMER
+
+
+class TestRegistry:
+    def test_create_or_return(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(9)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 9
+        assert snap["h"]["count"] == 1
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["c"] == 0
+        assert snap["h"]["count"] == 0
+
+    def test_instances_are_separate(self):
+        # Two engines in one process must not mix numbers.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc()
+        assert b.counter("c").value == 0
+
+    def test_default_registry_is_global_and_starts_disabled(self):
+        assert default_registry() is default_registry()
+        assert default_registry().enabled is False
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+
+
+class TestObservabilityBundle:
+    def test_defaults_off(self):
+        obs = Observability()
+        assert not obs.metrics.enabled
+        assert not obs.trace.enabled
+        assert not obs.any_enabled
+
+    def test_enable_disable(self):
+        obs = Observability()
+        obs.enable()
+        assert obs.metrics.enabled and obs.trace.enabled
+        assert obs.any_enabled
+        obs.disable()
+        assert not obs.any_enabled
+
+    def test_constructor_flags(self):
+        obs = Observability(enable_metrics=True)
+        assert obs.metrics.enabled and not obs.trace.enabled

@@ -1,0 +1,193 @@
+"""Token tracing: span ordering through the full §5.4 path, JSON export."""
+
+import json
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.obs.trace import TraceRecorder
+
+
+@pytest.fixture
+def traced_join_tman():
+    """An engine with a two-table join trigger and tracing enabled."""
+    tman = TriggerMan.in_memory()
+    tman.define_table(
+        "emp",
+        [("name", "varchar(40)"), ("salary", "float"), ("dept", "varchar(20)")],
+    )
+    tman.define_table("dept", [("dname", "varchar(20)"), ("floor", "integer")])
+    tman.insert("dept", {"dname": "eng", "floor": 3})
+    tman.create_trigger(
+        "create trigger j on insert to e from emp e, dept d "
+        "when e.salary > 1000 and e.dept = d.dname "
+        "do raise event J(e.name)"
+    )
+    tman.set_tracing(True)
+    return tman
+
+
+class TestRecorder:
+    def test_disabled_recorder_stamps_nothing(self, tman_emp):
+        recorder = tman_emp.obs.trace
+        assert not recorder.enabled
+        tman_emp.insert("emp", {"eno": 1, "name": "a", "salary": 1.0,
+                                "dept": "x", "age": 1})
+        tman_emp.process_all()
+        assert recorder.traces() == []
+
+    def test_begin_stamps_descriptor(self):
+        from repro.engine.descriptors import UpdateDescriptor
+
+        recorder = TraceRecorder(enabled=True)
+        descriptor = UpdateDescriptor("s", "insert", new={"a": 1})
+        stamped = recorder.begin(descriptor)
+        assert stamped.trace_id == 1
+        assert descriptor.trace_id == 0  # original untouched (frozen)
+        assert recorder.get(1).data_source == "s"
+
+    def test_bounded_buffer_evicts_oldest(self):
+        from repro.engine.descriptors import UpdateDescriptor
+
+        recorder = TraceRecorder(enabled=True, max_traces=3)
+        for i in range(5):
+            recorder.begin(UpdateDescriptor("s", "insert", new={"i": i}))
+        ids = [t.trace_id for t in recorder.traces()]
+        assert ids == [3, 4, 5]
+
+    def test_token_context_restores_previous(self):
+        recorder = TraceRecorder(enabled=True)
+        assert recorder.current_id() == 0
+        with recorder.token(7):
+            assert recorder.current_id() == 7
+            with recorder.token(9):
+                assert recorder.current_id() == 9
+            assert recorder.current_id() == 7
+        assert recorder.current_id() == 0
+
+    def test_span_nesting_depth(self):
+        recorder = TraceRecorder(enabled=True)
+        from repro.engine.descriptors import UpdateDescriptor
+
+        stamped = recorder.begin(
+            UpdateDescriptor("s", "insert", new={"a": 1})
+        )
+        with recorder.token(stamped.trace_id):
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    pass
+        trace = recorder.get(stamped.trace_id)
+        depths = {s.stage: s.depth for s in trace.spans}
+        assert depths["inner"] == depths["outer"] + 1
+
+
+class TestEndToEndJoinTrace:
+    def test_insert_records_every_stage(self, traced_join_tman):
+        tman = traced_join_tman
+        tman.insert("emp", {"name": "ada", "salary": 5000.0, "dept": "eng"})
+        tman.process_all()
+        trace = tman.obs.trace.last()
+        assert trace is not None
+        assert trace.data_source == "emp"
+        assert trace.operation == "insert"
+        stages = trace.stages()
+        for expected in [
+            "queue",
+            "index.probe",
+            "org.probe",
+            "cache.pin",
+            "task.enqueue",
+            "task.run",
+            "action.execute",
+        ]:
+            assert expected in stages, f"missing {expected} in {stages}"
+        # The network entry node for tuple variable e is its alpha memory.
+        assert any(s.startswith("network.alpha:e") for s in stages)
+
+    def test_span_ordering_follows_the_pipeline(self, traced_join_tman):
+        tman = traced_join_tman
+        tman.insert("emp", {"name": "bo", "salary": 2000.0, "dept": "eng"})
+        tman.process_all()
+        stages = tman.obs.trace.last().stages()
+        # queue residency starts first (span opens at capture time).
+        assert stages[0] == "queue"
+        order = {stage: i for i, stage in enumerate(stages)}
+        network_stage = next(s for s in stages if s.startswith("network."))
+        assert order["org.probe"] < order["cache.pin"]
+        assert order["cache.pin"] < order[network_stage]
+        assert order[network_stage] < order["task.run"]
+        assert order["task.run"] < order["action.execute"]
+
+    def test_residual_span_when_residual_present(self, traced_join_tman):
+        tman = traced_join_tman
+        # salary > 1000 is the indexable conjunct; the equality join clause
+        # is handled by the network, so give the trigger a residual-bearing
+        # sibling to observe the residual.test stage.
+        tman.create_trigger(
+            "create trigger r from emp on insert "
+            "when emp.salary > 10 and emp.name != 'zz' "
+            "do raise event R(emp.name)"
+        )
+        tman.insert("emp", {"name": "cy", "salary": 3000.0, "dept": "eng"})
+        tman.process_all()
+        stages = tman.obs.trace.last().stages()
+        assert "residual.test" in stages
+
+    def test_non_matching_token_still_traced(self, traced_join_tman):
+        tman = traced_join_tman
+        tman.insert("emp", {"name": "dee", "salary": 1.0, "dept": "eng"})
+        tman.process_all()
+        trace = tman.obs.trace.last()
+        stages = trace.stages()
+        assert "index.probe" in stages
+        assert "cache.pin" not in stages  # nothing matched, nothing pinned
+
+    def test_trace_off_stops_recording(self, traced_join_tman):
+        tman = traced_join_tman
+        tman.set_tracing(False)
+        tman.insert("emp", {"name": "ed", "salary": 9000.0, "dept": "eng"})
+        tman.process_all()
+        assert tman.obs.trace.traces() == []
+
+
+class TestExport:
+    def test_json_schema(self, traced_join_tman):
+        tman = traced_join_tman
+        tman.insert("emp", {"name": "fi", "salary": 8000.0, "dept": "eng"})
+        tman.process_all()
+        payload = json.loads(tman.obs.trace.to_json())
+        assert payload["schema"] == "triggerman-trace-v1"
+        trace = payload["traces"][-1]
+        assert set(trace) == {
+            "trace_id", "data_source", "operation", "seq", "started_ns",
+            "spans",
+        }
+        span = trace["spans"][0]
+        assert set(span) == {"stage", "start_ns", "end_ns", "depth", "detail"}
+        assert span["end_ns"] >= span["start_ns"]
+
+    def test_render_tree(self, traced_join_tman):
+        tman = traced_join_tman
+        tman.insert("emp", {"name": "gus", "salary": 7000.0, "dept": "eng"})
+        tman.process_all()
+        text = tman.obs.trace.render()
+        assert text.startswith("trace ")
+        assert "emp:insert" in text
+        assert "action.execute" in text
+
+    def test_render_without_traces(self):
+        assert TraceRecorder().render() == "(no traces recorded)"
+
+    def test_durable_queue_preserves_trace_id(self, tmp_path):
+        # The trace id rides the JSON payload through the table queue.
+        tman = TriggerMan.persistent(str(tmp_path / "db"))
+        tman.define_table("t", [("a", "integer")])
+        tman.create_trigger(
+            "create trigger x from t on insert when t.a > 0 "
+            "do raise event X(t.a)"
+        )
+        tman.set_tracing(True)
+        tman.insert("t", {"a": 5})
+        stamped = tman.queue.dequeue()
+        assert stamped.trace_id == 1
+        tman.close()
