@@ -1,0 +1,87 @@
+"""E11a — What sync-on-enqueue costs, and what fixing it bought.
+
+``TableQueue(sync_on_enqueue=True)`` historically flushed **every dirty
+page in the database** per enqueue — the queue's durability tax scaled
+with how much unrelated work happened to be in the buffer pool.  The
+rewrite narrows that to (a) one group-committed log force when a WAL is
+attached, or (b) a flush of the queue table's *file only* without one.
+This benchmark measures all three shapes against the same workload: a
+database with a deliberately large dirty working set (simulating a busy
+engine) absorbing a burst of enqueues.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.descriptors import Operation, UpdateDescriptor
+from repro.engine.queue import TableQueue
+from repro.obs import export
+from repro.sql.database import Database
+from repro.sql.schema import schema
+
+# Overridable so CI can run a quick smoke (BENCH_QUEUE_ENQUEUES=50).
+N_ENQUEUES = int(os.environ.get("BENCH_QUEUE_ENQUEUES", 500))
+N_DIRTY_TABLES = 8
+ROWS_PER_TABLE = 200
+
+
+def _descriptor(i):
+    return UpdateDescriptor(
+        data_source="emp",
+        operation=Operation.INSERT,
+        new={"eno": i, "name": f"e{i}"},
+    )
+
+
+def _dirty_database(tmp_path, variant):
+    """A database with a large dirty working set outside the queue."""
+    wal = "auto" if variant == "wal log force" else False
+    db = Database(str(tmp_path / variant.replace(" ", "_")), wal=wal)
+    for t in range(N_DIRTY_TABLES):
+        table = db.create_table(
+            schema(f"hot{t}", ("k", "integer"), ("pad", "varchar(80)"),
+                   registry=db.registry)
+        )
+        for i in range(ROWS_PER_TABLE):
+            table.insert((i, "x" * 60))
+    return db
+
+
+@pytest.mark.parametrize(
+    "variant", ["legacy full flush", "queue-file flush", "wal log force"]
+)
+def test_sync_on_enqueue_cost(benchmark, variant, tmp_path, summary):
+    db = _dirty_database(tmp_path, variant)
+    # Legacy behavior is emulated on top of the new code: a whole-database
+    # flush after every enqueue, exactly what sync_on_enqueue used to do.
+    legacy = variant == "legacy full flush"
+    queue = TableQueue(db, sync_on_enqueue=not legacy)
+    position = [0]
+
+    def run():
+        for _ in range(N_ENQUEUES):
+            i = position[0]
+            position[0] += 1
+            queue.enqueue(_descriptor(i))
+            if legacy:
+                db.flush()
+        return N_ENQUEUES
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    per_sec = N_ENQUEUES / benchmark.stats.stats.mean
+    fsyncs = db.pool.total_fsyncs() + (db.wal.fsyncs if db.wal else 0)
+    summary(
+        "E11a: durable enqueue cost (dirty working set of "
+        f"{N_DIRTY_TABLES}x{ROWS_PER_TABLE} rows)",
+        ["variant", "enqueues/sec", "fsyncs"],
+        [variant, f"{per_sec:.0f}", fsyncs],
+    )
+    export.record(
+        "E11a",
+        variant=variant,
+        enqueues=N_ENQUEUES,
+        enqueues_per_sec=round(per_sec, 1),
+        fsyncs=fsyncs,
+    )
+    db.close()

@@ -1,0 +1,87 @@
+"""E11 — Durability overhead: end-to-end token throughput by sync mode.
+
+The same trigger workload runs over four durability shapes: no WAL at all
+(the seed's volatile behavior), and the WAL under ``sync=off`` (durability
+deferred to checkpoints), ``sync=group`` (log forced every group_size
+appends — the default), and ``sync=always`` (every append forced).  This
+is the overhead row EXPERIMENTS.md quotes: what exactly-once token
+processing costs at each point on the durability dial.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.obs import export
+from repro.workloads import emp_tokens
+
+# Overridable so CI can run a quick smoke.
+N_TRIGGERS = int(os.environ.get("BENCH_WAL_TRIGGERS", 1_000))
+N_TOKENS = int(os.environ.get("BENCH_WAL_TOKENS", 200))
+
+EMP = [
+    ("eno", "integer"),
+    ("name", "varchar(40)"),
+    ("salary", "float"),
+    ("dept", "varchar(20)"),
+    ("age", "integer"),
+]
+
+MODES = ["no-wal", "off", "group", "always"]
+
+
+def build(tmp_path, mode):
+    path = str(tmp_path / f"db_{mode}")
+    if mode == "no-wal":
+        tman = TriggerMan.persistent(path, wal=False)
+    else:
+        tman = TriggerMan.persistent(path, wal_sync=mode)
+    tman.define_table("emp", EMP)
+    for i in range(N_TRIGGERS):
+        kind = i % 3
+        if kind == 0:
+            condition = f"emp.name = 'user{i}'"
+        elif kind == 1:
+            condition = f"emp.dept = 'toys' and emp.eno = {i}"
+        else:
+            condition = f"emp.salary > {100_000 + i * 50}"
+        tman.create_trigger(
+            f"create trigger t{i} from emp on insert when {condition} "
+            f"do raise event E{i}(emp.name)"
+        )
+    return tman
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_wal_sync_mode_throughput(benchmark, mode, tmp_path, summary):
+    tman = build(tmp_path, mode)
+    tokens = emp_tokens(N_TOKENS, seed=1999)
+
+    def run():
+        start = tman.stats.tokens_processed
+        for token in tokens:
+            tman.insert("emp", token)
+        tman.process_all()
+        return tman.stats.tokens_processed - start
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    tokens_per_sec = len(tokens) / benchmark.stats.stats.mean
+    wal = tman.catalog_db.wal
+    fsyncs = wal.fsyncs if wal is not None else 0
+    appends = wal.appends if wal is not None else 0
+    summary(
+        f"E11: durability overhead ({N_TRIGGERS} triggers, {N_TOKENS} tokens)",
+        ["sync mode", "tokens/sec", "log appends", "log fsyncs"],
+        [mode, f"{tokens_per_sec:.0f}", appends, fsyncs],
+    )
+    export.record(
+        "E11",
+        sync=mode,
+        n_triggers=N_TRIGGERS,
+        tokens=len(tokens),
+        tokens_per_sec=round(tokens_per_sec, 1),
+        log_appends=appends,
+        log_fsyncs=fsyncs,
+    )
+    tman.catalog_db.close()

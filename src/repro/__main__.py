@@ -6,6 +6,13 @@ Options::
     python -m repro /path/to/dir     # persistent instance rooted at dir
     python -m repro --trace [dir]    # start with token tracing enabled
     python -m repro --metrics [dir]  # start with timing metrics enabled
+    python -m repro --sync=MODE dir  # WAL durability: off | group | always
+    python -m repro --no-wal dir     # persistent but without a write-ahead
+                                     # log (pre-durability behaviour)
+
+Persistent instances keep a write-ahead log and run crash recovery on
+open; the console's ``checkpoint`` and ``recover`` commands expose the
+durability machinery (see DESIGN.md §7).
 """
 
 import sys
@@ -20,17 +27,33 @@ def main(argv=None) -> int:
         print(__doc__)
         return 0
     trace = metrics = False
-    while argv and argv[0].startswith("--"):
-        flag = argv.pop(0)
-        if flag == "--trace":
+    wal = "auto"
+    wal_sync = "group"
+    positional = []
+    for flag in argv:
+        if not flag.startswith("--"):
+            positional.append(flag)
+        elif flag == "--trace":
             trace = True
         elif flag == "--metrics":
             metrics = True
+        elif flag == "--no-wal":
+            wal = False
+        elif flag.startswith("--sync="):
+            wal_sync = flag.split("=", 1)[1]
+            if wal_sync not in ("off", "group", "always"):
+                print(f"bad sync mode {wal_sync!r} (want off|group|always)")
+                return 2
         else:
             print(f"unknown option {flag}\n{__doc__}")
             return 2
-    if argv:
-        tman = TriggerMan.persistent(argv[0], observability=metrics)
+    if len(positional) > 1:
+        print(f"expected at most one database directory, got {positional}")
+        return 2
+    if positional:
+        tman = TriggerMan.persistent(
+            positional[0], wal=wal, wal_sync=wal_sync, observability=metrics
+        )
     else:
         tman = TriggerMan.in_memory(observability=metrics)
     if trace:

@@ -11,6 +11,8 @@ command language it understands a handful of administrative verbs::
     explain trigger <name>   -- condition graph, signatures, network
     trace on|off|show|json|clear   -- token tracing controls
     process            -- drain the update queue (one TmanTest-style pump)
+    checkpoint         -- fuzzy checkpoint: flush pages, compact the WAL
+    recover            -- show what crash recovery did at open / would redo
     sql <statement>    -- run SQL on the default connection
     help, quit
 """
@@ -35,6 +37,8 @@ TriggerMan console commands:
   trace show|json     render the last trace as a tree / all traces as JSON
   trace clear         discard collected traces
   process             drain the update queue and run pending actions
+  checkpoint          flush dirty pages, log a checkpoint, compact the WAL
+  recover             report the recovery pass run when this instance opened
   sql <statement>     execute SQL on the default connection
   help | quit"""
 
@@ -72,6 +76,10 @@ class Console:
             if lowered == "process":
                 processed = self.tman.process_all()
                 return f"processed {processed} update descriptor(s)"
+            if lowered == "checkpoint":
+                return self._checkpoint()
+            if lowered == "recover":
+                return self._recover()
             if lowered.startswith("sql "):
                 result = self.tman.execute_sql(line[4:])
                 if isinstance(result, list):
@@ -83,6 +91,24 @@ class Console:
             return f"ok ({result})"
         except ReproError as exc:
             return f"error: {exc}"
+
+    def _checkpoint(self) -> str:
+        if self.tman.wal is None:
+            return "no WAL on this instance (in-memory or wal=False)"
+        report = self.tman.checkpoint()
+        return (
+            f"checkpoint at LSN {report['checkpoint_lsn']}: "
+            f"{report['pages_flushed']} page(s) flushed, "
+            f"{report['incomplete_tokens']} token(s) in flight, "
+            f"log {report['log_bytes_before']} -> "
+            f"{report['log_bytes_after']} bytes"
+        )
+
+    def _recover(self) -> str:
+        recovery = self.tman.catalog_db.recovery
+        if recovery is None:
+            return "no WAL on this instance (in-memory or wal=False)"
+        return f"recovery at open: {recovery.summary()}"
 
     def _explain(self, name: str) -> str:
         """Describe one trigger: condition graph (§5.1 step 3), predicate

@@ -20,6 +20,7 @@ from ..errors import QueueError
 from ..sql.database import Database
 from ..sql.schema import Column, TableSchema
 from ..sql.types import INTEGER, VarCharType
+from ..wal.log import TOKEN_DEQUEUE, TOKEN_ENQUEUE
 from .descriptors import UpdateDescriptor
 
 QUEUE_TABLE = "tman_queue"
@@ -112,13 +113,18 @@ class TableQueue(UpdateQueue):
     """
 
     def __init__(self, database: Database, sync_on_enqueue: bool = False):
-        """``sync_on_enqueue=True`` flushes the database after every
-        enqueue — the full "safety of persistent update queuing" the paper
-        credits the table queue with, at a per-update I/O cost.  The
-        default defers durability to the next flush/close, like a DBMS
-        running without forced log writes."""
+        """``sync_on_enqueue=True`` makes every enqueue durable before it
+        returns — the full "safety of persistent update queuing" the paper
+        credits the table queue with.  Under a WAL that is one log force
+        (group-committed with any concurrent appends); without one it
+        flushes the *queue table's* file only.  (It historically flushed
+        every dirty page in the database — see benchmarks/
+        test_bench_queue_sync.py for what that cost.)  The default defers
+        durability to the next flush/close, like a DBMS running without
+        forced log writes."""
         super().__init__()
         self.database = database
+        self.wal = database.wal
         self.sync_on_enqueue = sync_on_enqueue
         if not database.has_table(QUEUE_TABLE):
             database.create_table(
@@ -160,11 +166,55 @@ class TableQueue(UpdateQueue):
             rid = self.table.insert(
                 [seq, descriptor.data_source, descriptor.operation, payload]
             )
+            if self.wal is not None:
+                # Informational marker: durability of the row rides on its
+                # page image (logged by the insert above).
+                self.wal.append_json(
+                    TOKEN_ENQUEUE,
+                    {"seq": seq, "dataSrc": descriptor.data_source,
+                     "op": descriptor.operation},
+                )
+                self.wal.fault("queue.enqueue")
             self._pending.append(rid)
             self._count_enqueue()
             if self.sync_on_enqueue:
-                self.database.flush()
+                if self.wal is not None:
+                    self.wal.flush()
+                else:
+                    self.database.flush_table(QUEUE_TABLE)
             return dataclasses.replace(descriptor, seq=seq)
+
+    def advance_seq(self, next_seq: int) -> None:
+        """Never mint a seq at or below one with durable evidence (recovery:
+        the in-table high-water mark vanishes when the queue drains, but the
+        log remembers)."""
+        with self._lock:
+            self._next_seq = max(self._next_seq, next_seq)
+
+    @property
+    def high_seq(self) -> int:
+        """Highest seq assigned so far (the checkpoint carries this)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    def purge_seqs(self, seqs) -> int:
+        """Drop restored rows whose dequeue is already durable in the log.
+
+        TOKEN_DEQUEUE precedes the row delete, so a crash between the two
+        resurrects the row on redo while recovery *also* replays the token
+        from the log — without this purge it would be delivered twice.
+        """
+        if not seqs:
+            return 0
+        with self._lock:
+            doomed = [
+                rid for rid in self._pending if self.table.read(rid)[0] in seqs
+            ]
+            for rid in doomed:
+                self._pending.remove(rid)
+                self.table.delete(rid)
+                self.enqueued -= 1
+        return len(doomed)
 
     def dequeue(self) -> Optional[UpdateDescriptor]:
         with self._lock:
@@ -172,6 +222,17 @@ class TableQueue(UpdateQueue):
                 return None
             rid = self._pending.popleft()
             row = self.table.read(rid)
+            if self.wal is not None:
+                # The dequeue record MUST precede the row delete in the log:
+                # the delete's page image then has a higher LSN, so any
+                # durable state in which the row is gone also contains the
+                # dequeue record — a token can never silently vanish.
+                self.wal.append_json(
+                    TOKEN_DEQUEUE,
+                    {"seq": row[0], "dataSrc": row[1], "op": row[2],
+                     "payload": row[3]},
+                )
+                self.wal.fault("queue.dequeue")
             self.table.delete(rid)
             self._count_dequeue()
         seq, data_source, operation, payload = row

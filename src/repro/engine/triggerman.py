@@ -22,9 +22,12 @@ actions as tasks.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
+from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..condition.signature import AnalyzedPredicate
 from ..errors import CatalogError, TriggerError
@@ -38,6 +41,7 @@ from ..predindex.index import Match, PredicateIndex, SignatureGroup
 from ..predindex.organizations import AutoOrganization
 from ..sql.database import Database
 from ..sql.schema import schema as make_schema
+from ..wal.log import ACTION_FIRED, TOKEN_DONE
 from .actions import ActionExecutor
 from .cache import TriggerCache
 from .catalog import DEFAULT_TRIGGER_SET, TriggerManCatalog
@@ -59,6 +63,22 @@ from .tasks import (
     tman_test,
 )
 from .trigger import TriggerRuntime, analyze_trigger, build_runtime
+
+
+def _firing_digest(trigger_name: str, bindings: Bindings) -> str:
+    """Stable identity of one firing: the trigger plus its bound rows.
+
+    The digest keys the durable ACTION_FIRED ledger; replay after a crash
+    skips firings whose digests are already in the ledger (a multiset —
+    counts matter, order does not, because task scheduling may interleave
+    differently on replay)."""
+    body = {
+        "trigger": trigger_name,
+        "rows": bindings.rows,
+        "old": bindings.old_rows,
+    }
+    encoded = json.dumps(body, sort_keys=True, default=repr).encode()
+    return hashlib.sha1(encoded).hexdigest()[:16]
 
 
 @dataclass
@@ -85,6 +105,7 @@ class TriggerMan:
         cache_capacity: int = 16384,
         cache_bytes: Optional[int] = None,
         durable_queue: bool = True,
+        sync_on_enqueue: bool = False,
         evaluator: Optional[Evaluator] = None,
         network_type: str = "atreat",
         obs: Optional[Observability] = None,
@@ -113,8 +134,14 @@ class TriggerMan:
         self.index = PredicateIndex(self.evaluator)
         self.index.obs = self.obs
         self.queue: UpdateQueue = (
-            TableQueue(self.catalog_db) if durable_queue else MemoryQueue()
+            TableQueue(self.catalog_db, sync_on_enqueue=sync_on_enqueue)
+            if durable_queue
+            else MemoryQueue()
         )
+        #: exactly-once token processing is on when the catalog database
+        #: keeps a WAL *and* tokens flow through the durable queue
+        self.wal = self.catalog_db.wal
+        self._durable_tokens = self.wal is not None and durable_queue
         self.queue.attach_obs(self.obs)
         self.tasks = TaskQueue()
         self.tasks.attach_obs(self.obs)
@@ -151,7 +178,26 @@ class TriggerMan:
         #: source name -> [(trigger_id, tvar)] needing memory maintenance
         self._materialized: Dict[str, List[Tuple[int, str]]] = {}
         self._lock = threading.RLock()
+        # -- exactly-once token state (durable mode only) ------------------
+        #: seq -> {dataSrc, op, payload, fired Counter, idx, pending, matched}
+        #: for every token between its dequeue and its TOKEN_DONE record
+        self._inflight: Dict[int, dict] = {}
+        self._inflight_lock = threading.Lock()
+        #: the seq being matched right now (guarded by self._lock)
+        self._current_seq = 0
+        #: tokens recovered as dequeued-but-unfinished, consumed before the
+        #: queue on the next processing call
+        self._replay: Deque = deque()
+        #: seq -> consumable Counter of digests NOT to re-execute on replay
+        self._replay_skip: Dict[int, Counter] = {}
+        #: seq -> pristine Counter of firings already in the durable ledger
+        self._replay_fired: Dict[int, Counter] = {}
+        #: redo-resurrected queue rows dropped because their dequeue was
+        #: already durable (see TableQueue.purge_seqs)
+        self._stale_rows_purged = 0
         self._restore()
+        self._recover_tokens()
+        self.catalog_db.checkpoint_state_provider = self._checkpoint_token_state
 
     def _register_metric_views(self) -> None:
         """Fold the pre-existing stat dataclasses (EngineStats, IndexStats,
@@ -184,6 +230,28 @@ class TriggerMan:
         gauge("buffer.misses", callback=lambda: pool.stats.misses)
         gauge("buffer.evictions", callback=lambda: pool.stats.evictions)
         gauge("buffer.writebacks", callback=lambda: pool.stats.writebacks)
+        gauge("buffer.flush_pages", callback=lambda: dict(pool.flush_pages))
+        gauge("buffer.fsyncs", callback=pool.total_fsyncs)
+        wal = self.catalog_db.wal
+        if wal is not None:
+            gauge("wal.appends", callback=lambda: wal.appends)
+            gauge("wal.fsyncs", callback=lambda: wal.fsyncs)
+            gauge("wal.bytes_appended", callback=lambda: wal.bytes_appended)
+            gauge("wal.page_images", callback=lambda: wal.page_images)
+            gauge("wal.last_lsn", callback=lambda: wal.last_lsn)
+            gauge("wal.durable_lsn", callback=lambda: wal.durable_lsn)
+            gauge("wal.inflight_tokens", callback=lambda: len(self._inflight))
+            gauge("wal.replay_tokens", callback=lambda: len(self._replay))
+        recovery = self.catalog_db.recovery
+        if recovery is not None:
+            gauge("recovery.records_scanned",
+                  callback=lambda: recovery.records_scanned)
+            gauge("recovery.redo_applied",
+                  callback=lambda: recovery.redo_applied)
+            gauge("recovery.redo_skipped",
+                  callback=lambda: recovery.redo_skipped)
+            gauge("recovery.tokens_replayed",
+                  callback=lambda: len(recovery.incomplete))
 
     # -- constructors --------------------------------------------------------
 
@@ -194,10 +262,21 @@ class TriggerMan:
         return cls(Database(), **kwargs)
 
     @classmethod
-    def persistent(cls, path: str, **kwargs) -> "TriggerMan":
+    def persistent(
+        cls,
+        path: str,
+        *,
+        wal: Any = "auto",
+        wal_sync: str = "group",
+        **kwargs,
+    ) -> "TriggerMan":
         """An instance whose catalogs, queue, and tables live under
-        ``path``; restarting replays the trigger catalog."""
-        return cls(Database(path), **kwargs)
+        ``path``.  A write-ahead log (``wal.log``) is kept by default:
+        opening runs crash recovery, restarting replays the trigger catalog
+        plus any tokens that were dequeued but not finished.  ``wal_sync``
+        picks the durability mode (``off`` / ``group`` / ``always``);
+        ``wal=False`` opts out of logging entirely."""
+        return cls(Database(path, wal=wal, wal_sync=wal_sync), **kwargs)
 
     # -- connections -----------------------------------------------------------
 
@@ -628,6 +707,12 @@ class TriggerMan:
 
     def _process_token_locked(self, descriptor: UpdateDescriptor) -> int:
         self.stats.tokens_processed += 1
+        durable = self._durable_tokens and descriptor.seq > 0
+        if durable:
+            # Normally a no-op (registered at dequeue); covers direct
+            # process_token() calls with a stamped descriptor.
+            self._register_inflight(descriptor)
+            self._current_seq = descriptor.seq
         obs = self.obs
         tracing = obs.trace.enabled and obs.trace.current_id()
         if tracing:
@@ -652,9 +737,18 @@ class TriggerMan:
                 },
             )
         fired = 0
-        for match in matches:
-            fired += self._apply_match(descriptor, match)
-        self._maintain_memories(descriptor, matches)
+        try:
+            for match in matches:
+                fired += self._apply_match(descriptor, match)
+            self._maintain_memories(descriptor, matches)
+        finally:
+            self._current_seq = 0
+        if durable:
+            with self._inflight_lock:
+                entry = self._inflight.get(descriptor.seq)
+                if entry is not None:
+                    entry["matched"] = True
+            self._maybe_token_done(descriptor.seq)
         return fired
 
     def _maintain_memories(self, descriptor: UpdateDescriptor, matches) -> None:
@@ -752,15 +846,51 @@ class TriggerMan:
         return fired
 
     def _fire(self, runtime: TriggerRuntime, bindings: Bindings) -> None:
-        runtime.fire_count += 1
-        self.stats.triggers_fired += 1
         action = runtime.action
         name = runtime.name
         trigger_id = runtime.trigger_id
+        seq = self._current_seq
+        durable = self._durable_tokens and seq > 0
+        if durable:
+            digest = _firing_digest(name, bindings)
+            skip = self._replay_skip.get(seq)
+            if skip is not None and skip.get(digest, 0) > 0:
+                # Already durably fired (and executed) before the crash:
+                # the ledger has it, so replay must not run it again.
+                skip[digest] -= 1
+                if skip[digest] <= 0:
+                    del skip[digest]
+                if not skip:
+                    del self._replay_skip[seq]
+                return
+            with self._inflight_lock:
+                entry = self._inflight[seq]
+                idx = entry["idx"]
+                entry["idx"] += 1
+                entry["fired"][digest] += 1
+                entry["pending"] += 1
+            # Append-before-execute: the firing is in the ledger before the
+            # action can have any effect.  (Under sync=group the record may
+            # not be *durable* yet when the action runs; a crash in that
+            # window replays the firing — the ledger stays exactly-once,
+            # external action effects are at-least-once.)
+            self.wal.append_json(
+                ACTION_FIRED,
+                {"seq": seq, "idx": idx, "trigger": name, "digest": digest},
+            )
+            self.wal.fault("engine.fire")
+        runtime.fire_count += 1
+        self.stats.triggers_fired += 1
 
         def run() -> None:
+            if durable:
+                self.wal.fault("engine.action")
             self.actions.execute(action, bindings, name, trigger_id)
             self.stats.actions_executed += 1
+            if durable:
+                # Deliberately not in a finally: a simulated crash must not
+                # fall through to TOKEN_DONE accounting while unwinding.
+                self._task_finished(seq)
 
         task = Task(RUN_ACTION, run, label=name)
         obs = self.obs
@@ -879,7 +1009,7 @@ class TriggerMan:
         added = False
         tracer = self.obs.trace
         for _ in range(batch):
-            descriptor = self.queue.dequeue()
+            descriptor = self._next_descriptor()
             if descriptor is None:
                 break
             if tracer.enabled:
@@ -904,7 +1034,7 @@ class TriggerMan:
         tokens processed."""
         processed = 0
         while True:
-            descriptor = self.queue.dequeue()
+            descriptor = self._next_descriptor()
             if descriptor is None:
                 break
             if self.obs.trace.enabled:
@@ -978,6 +1108,121 @@ class TriggerMan:
                 row["triggerID"]
             )
             self._put_runtime(runtime)
+
+    # -- exactly-once token processing (durable mode) -----------------------
+
+    def _recover_tokens(self) -> None:
+        """Queue up the crash's unfinished business: every token the log
+        shows as dequeued but not TOKEN_DONE is replayed ahead of the queue
+        on the next processing call, skipping firings already in the
+        durable ledger — neither lost nor duplicated."""
+        recovery = self.catalog_db.recovery
+        if not self._durable_tokens or recovery is None:
+            return
+        for token in recovery.incomplete:
+            self._replay.append(token)
+            if token.fired:
+                self._replay_skip[token.seq] = Counter(token.fired)
+                self._replay_fired[token.seq] = Counter(token.fired)
+        # Rows whose dequeue is durable come back via replay (or are done);
+        # drop their redo-resurrected queue rows so nothing delivers twice,
+        # and never reuse a seq the log has already seen.
+        claimed = {t.seq for t in recovery.incomplete} | set(recovery.done_seqs)
+        self._stale_rows_purged = self.queue.purge_seqs(claimed)
+        self.queue.advance_seq(recovery.max_seq + 1)
+
+    def _register_inflight(self, descriptor: UpdateDescriptor) -> None:
+        """Track a dequeued token until its TOKEN_DONE record.  Registered
+        at dequeue time (not first match) so a checkpoint taken while the
+        token waits in the task queue still carries it forward."""
+        seq = descriptor.seq
+        if not self._durable_tokens or seq <= 0:
+            return
+        with self._inflight_lock:
+            if seq in self._inflight:
+                return
+            fired = Counter(self._replay_fired.pop(seq, ()))
+            self._inflight[seq] = {
+                "seq": seq,
+                "dataSrc": descriptor.data_source,
+                "op": descriptor.operation,
+                "payload": descriptor.to_json(),
+                "fired": fired,
+                "idx": sum(fired.values()),
+                "pending": 0,
+                "matched": False,
+            }
+
+    def _next_descriptor(self) -> Optional[UpdateDescriptor]:
+        """Recovered replay tokens first, then the live queue."""
+        if self._replay:
+            token = self._replay.popleft()
+            descriptor = UpdateDescriptor.from_parts(
+                token.data_source, token.operation, token.payload, token.seq
+            )
+        else:
+            descriptor = self.queue.dequeue()
+            if descriptor is None:
+                return None
+        self._register_inflight(descriptor)
+        return descriptor
+
+    def _task_finished(self, seq: int) -> None:
+        """One of the token's action tasks completed (not crashed)."""
+        with self._inflight_lock:
+            entry = self._inflight.get(seq)
+            if entry is None:
+                return
+            entry["pending"] -= 1
+        self._maybe_token_done(seq)
+
+    def _maybe_token_done(self, seq: int) -> None:
+        """Append TOKEN_DONE once matching finished and no task is pending."""
+        with self._inflight_lock:
+            entry = self._inflight.get(seq)
+            if entry is None or not entry["matched"] or entry["pending"] > 0:
+                return
+            del self._inflight[seq]
+        self.wal.fault("engine.token_done")
+        self.wal.append_json(TOKEN_DONE, {"seq": seq})
+
+    def _checkpoint_token_state(self) -> Dict[str, Any]:
+        """Snapshot of unfinished tokens (plus the seq high-water mark) for
+        a fuzzy checkpoint record.  Compaction drops their pre-checkpoint
+        TOKEN_DEQUEUE / ACTION_FIRED records, so the checkpoint must carry
+        equivalent state."""
+        out = []
+        with self._inflight_lock:
+            for entry in self._inflight.values():
+                out.append(
+                    {
+                        "seq": entry["seq"],
+                        "dataSrc": entry["dataSrc"],
+                        "op": entry["op"],
+                        "payload": entry["payload"],
+                        "fired": dict(entry["fired"]),
+                    }
+                )
+        for token in self._replay:
+            out.append(
+                {
+                    "seq": token.seq,
+                    "dataSrc": token.data_source,
+                    "op": token.operation,
+                    "payload": token.payload,
+                    "fired": dict(token.fired),
+                }
+            )
+        out.sort(key=lambda e: e["seq"])
+        max_seq = self.queue.high_seq if hasattr(self.queue, "high_seq") else 0
+        return {"incomplete": out, "max_seq": max_seq}
+
+    def checkpoint(self, compact: bool = True) -> Dict[str, int]:
+        """Take a fuzzy checkpoint of the catalog database: flush dirty
+        pages under the WAL rule, record the page-LSN table plus in-flight
+        token state, then compact the log (console ``checkpoint``)."""
+        with self._lock:
+            return self.catalog_db.checkpoint(compact=compact)
 
     # -- lifecycle ---------------------------------------------------------------------------------
 

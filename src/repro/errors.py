@@ -78,3 +78,7 @@ class QueueError(ReproError):
 
 class ConcurrencyError(ReproError):
     """A failure in the task queue / driver scheduler."""
+
+
+class WalError(StorageError):
+    """A failure in the write-ahead log or during crash recovery."""

@@ -379,6 +379,11 @@ class BPlusTree:
 
     # -- maintenance --------------------------------------------------------------
 
+    def flush(self) -> int:
+        """Write this index's dirty node pages back through the buffer pool
+        (WAL-ruled when a log is attached); returns pages written."""
+        return self.pool.flush(self.file_id)
+
     def depth(self) -> int:
         """Height of the tree (1 = just a root leaf)."""
         depth = 1

@@ -7,6 +7,16 @@ queue table, constant tables) and a :class:`~repro.sql.pager.Pager`.  Frames
 are keyed by ``(file_id, page_no)`` so one pool can serve many files; stats
 (hits, misses, evictions, dirty write-backs) feed the predicate-index cost
 model and the benchmarks.
+
+When a :class:`~repro.wal.log.WriteAheadLog` is attached the pool is the
+WAL choke point: every ``unpin(dirty=True)`` — the single path by which
+heap, B+tree, and queue mutations reach a page — appends the page's
+post-image to the log *before* the frame is marked dirty, and the record's
+LSN becomes the frame's **pageLSN**.  Eviction and flush then enforce the
+WAL rule: the log must be durable through a frame's pageLSN before the
+page itself may be written back.  Flushing under a WAL skips pinned frames
+(a pinned page may be mid-mutation, and writing state the log has not seen
+would let a crash split one logical operation in half).
 """
 
 from __future__ import annotations
@@ -44,6 +54,9 @@ class _Frame:
     page: bytearray
     pin_count: int = 0
     dirty: bool = False
+    #: pageLSN: log position of the last mutation's page image (0 = never
+    #: logged; only meaningful while a WAL is attached)
+    lsn: int = 0
 
 
 class BufferPool:
@@ -56,16 +69,30 @@ class BufferPool:
         self.stats = BufferStats()
         self._frames: "OrderedDict[FrameKey, _Frame]" = OrderedDict()
         self._pagers: Dict[int, Pager] = {}
+        self._names: Dict[int, str] = {}
         self._next_file_id = 0
+        self._wal = None
+        #: pages written back by flush(), per file name (obs gauge)
+        self.flush_pages: Dict[str, int] = {}
 
     # -- file registration ------------------------------------------------
 
-    def register(self, pager: Pager) -> int:
-        """Register a pager and return its file id."""
+    def register(self, pager: Pager, name: Optional[str] = None) -> int:
+        """Register a pager and return its file id.  ``name`` is the stable
+        file name WAL records and flush counters are keyed by."""
         file_id = self._next_file_id
         self._next_file_id += 1
         self._pagers[file_id] = pager
+        self._names[file_id] = name if name is not None else f"file{file_id}"
         return file_id
+
+    def file_name(self, file_id: int) -> str:
+        return self._names[file_id]
+
+    def attach_wal(self, wal) -> None:
+        """Route dirty unpins through ``wal`` (a WriteAheadLog) and enforce
+        the WAL rule on every write-back from here on."""
+        self._wal = wal
 
     def pager(self, file_id: int) -> Pager:
         try:
@@ -118,6 +145,12 @@ class BufferPool:
             raise BufferPoolError(f"unpin of page {key} that is not pinned")
         frame.pin_count -= 1
         if dirty:
+            if self._wal is not None:
+                # WAL first: the page image is in the log (buffered) before
+                # the frame is dirty, so no write-back can ever precede it.
+                frame.lsn = self._wal.log_page(
+                    self._names[file_id], page_no, bytes(frame.page)
+                )
             frame.dirty = True
 
     def _make_room(self) -> None:
@@ -136,25 +169,43 @@ class BufferPool:
         self.stats.evictions += 1
         if frame.dirty:
             file_id, page_no = key
+            if self._wal is not None and frame.lsn:
+                self._wal.flush(upto=frame.lsn)  # the WAL rule
             self.pager(file_id).write(page_no, bytes(frame.page))
             self.stats.writebacks += 1
 
     # -- durability ---------------------------------------------------------
 
-    def flush(self, file_id: Optional[int] = None) -> None:
-        """Write every dirty (unpinned or pinned) frame back to its pager."""
+    def flush(self, file_id: Optional[int] = None) -> int:
+        """Write dirty frames back to their pagers; returns the number of
+        pages written.  Under a WAL, pinned dirty frames are skipped (their
+        mid-mutation state may not be logged yet) and the log is forced
+        through each frame's pageLSN before the page write (the WAL rule).
+        Without a WAL the historical contract holds: every dirty frame,
+        pinned or not, is written."""
+        written = 0
         for (fid, page_no), frame in list(self._frames.items()):
             if file_id is not None and fid != file_id:
                 continue
-            if frame.dirty:
-                self.pager(fid).write(page_no, bytes(frame.page))
-                frame.dirty = False
-                self.stats.writebacks += 1
+            if not frame.dirty:
+                continue
+            if self._wal is not None:
+                if frame.pin_count > 0:
+                    continue
+                if frame.lsn:
+                    self._wal.flush(upto=frame.lsn)
+            self.pager(fid).write(page_no, bytes(frame.page))
+            frame.dirty = False
+            self.stats.writebacks += 1
+            written += 1
+            name = self._names[fid]
+            self.flush_pages[name] = self.flush_pages.get(name, 0) + 1
         if file_id is None:
             for pager in self._pagers.values():
                 pager.sync()
         else:
             self.pager(file_id).sync()
+        return written
 
     def close(self) -> None:
         self.flush()
@@ -163,6 +214,10 @@ class BufferPool:
         self._frames.clear()
 
     # -- introspection -----------------------------------------------------
+
+    def total_fsyncs(self) -> int:
+        """Sum of fsync calls across every registered pager (obs gauge)."""
+        return sum(pager.fsyncs for pager in self._pagers.values())
 
     def pinned_pages(self) -> int:
         return sum(1 for f in self._frames.values() if f.pin_count > 0)

@@ -19,14 +19,14 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import CatalogError, StorageError
 from .btree import BPlusTree
 from .buffer import BufferPool
 from .hashindex import HashIndex
 from .heap import RID, HeapFile
-from .pager import FilePager, MemoryPager
+from .pager import FilePager, MemoryPager, Pager
 from .schema import TableSchema
 from .types import DEFAULT_REGISTRY, TypeRegistry
 
@@ -220,24 +220,87 @@ class Database:
     ``path=None`` gives a fully in-memory database; a directory path gives a
     persistent one whose catalog (``catalog.json``) and page files live in
     that directory.
+
+    Persistent databases keep a write-ahead log (``wal.log``) by default:
+    every page mutation is logged before the page can be written back, and
+    opening the database runs crash recovery (torn-tail repair, then redo
+    of page images newer than each page's durable pageLSN — see
+    :mod:`repro.wal.recovery`).  ``wal=False`` opts out; passing a
+    :class:`~repro.wal.log.WriteAheadLog` instance supplies a custom log
+    (the fault harness runs in-memory databases over simulated-disk logs
+    this way, combined with ``pager_factory``).
     """
 
     CATALOG_FILE = "catalog.json"
+    WAL_FILE = "wal.log"
 
     def __init__(
         self,
         path: Optional[str] = None,
         pool_capacity: int = 1024,
         registry: Optional[TypeRegistry] = None,
+        *,
+        wal: Any = "auto",
+        wal_sync: str = "group",
+        pager_factory: Optional[Callable[[str], Pager]] = None,
+        catalog_store: Any = None,
+        faults: Any = None,
     ):
         self.path = path
         self.registry = registry or DEFAULT_REGISTRY
         self.pool = BufferPool(pool_capacity)
         self.tables: Dict[str, Table] = {}
         self._index_tables: Dict[str, str] = {}  # index name -> table name
+        self._pager_factory = pager_factory
+        self._catalog_store = catalog_store
+        self._tmp_file_counter = 0
+        self.faults = faults
+        self.wal = None
+        #: RecoveryResult of the redo pass run at open (None without a WAL)
+        self.recovery = None
+        #: optional hook: () -> in-flight token state for checkpoint records
+        #: (installed by the trigger engine; see TriggerMan.checkpoint)
+        self.checkpoint_state_provider: Optional[Callable[[], List[dict]]] = None
         if path is not None:
             os.makedirs(path, exist_ok=True)
+        if wal == "auto":
+            wal = path is not None
+        if wal:
+            from ..wal.log import FileLogStorage, WriteAheadLog
+
+            if isinstance(wal, WriteAheadLog):
+                self.wal = wal
+                if faults is not None and self.wal.faults is None:
+                    self.wal.faults = faults
+            else:
+                assert path is not None, "a file-backed WAL needs a directory"
+                self.wal = WriteAheadLog(
+                    FileLogStorage(os.path.join(path, self.WAL_FILE)),
+                    sync=wal_sync,
+                    faults=faults,
+                )
+            self._recover()
+            self.pool.attach_wal(self.wal)
+        if path is not None or catalog_store is not None:
             self._load_catalog()
+
+    # -- crash recovery -----------------------------------------------------
+
+    def _recover(self) -> None:
+        """Redo page images from the log before any pager is opened through
+        the pool, so the catalog and every table open onto repaired files."""
+        from ..wal.recovery import recover
+
+        if self._pager_factory is not None:
+            resolver, close = self._pager_factory, False
+        else:
+            assert self.path is not None
+
+            def resolver(name: str) -> Pager:
+                return FilePager(os.path.join(self.path, name))
+
+            close = True
+        self.recovery = recover(self.wal, resolver, close_pagers=close)
 
     # -- catalog persistence ----------------------------------------------------
 
@@ -246,7 +309,7 @@ class Database:
         return os.path.join(self.path, self.CATALOG_FILE)
 
     def _save_catalog(self) -> None:
-        if self.path is None:
+        if self.path is None and self._catalog_store is None:
             return
         desc = {
             "tables": [t.schema.to_catalog() for t in self.tables.values()],
@@ -262,16 +325,26 @@ class Database:
                 for i in t.indexes.values()
             ],
         }
+        if self._catalog_store is not None:
+            # The store's save is atomic-and-durable by contract, matching
+            # the write-temp-then-rename semantics of the file path below.
+            self._catalog_store.save(desc)
+            return
         tmp = self._catalog_path() + ".tmp"
         with open(tmp, "w") as fh:
             json.dump(desc, fh, indent=1)
         os.replace(tmp, self._catalog_path())
 
     def _load_catalog(self) -> None:
-        if not os.path.exists(self._catalog_path()):
+        if self._catalog_store is not None:
+            desc = self._catalog_store.load()
+            if desc is None:
+                return
+        elif not os.path.exists(self._catalog_path()):
             return
-        with open(self._catalog_path()) as fh:
-            desc = json.load(fh)
+        else:
+            with open(self._catalog_path()) as fh:
+                desc = json.load(fh)
         for table_desc in desc.get("tables", []):
             schema = TableSchema.from_catalog(table_desc, self.registry)
             self._attach_table(schema)
@@ -287,11 +360,13 @@ class Database:
     # -- file management ------------------------------------------------------------
 
     def _open_file(self, filename: str) -> int:
-        if self.path is None:
-            pager: Any = MemoryPager()
+        if self._pager_factory is not None:
+            pager: Any = self._pager_factory(filename)
+        elif self.path is None:
+            pager = MemoryPager()
         else:
             pager = FilePager(os.path.join(self.path, filename))
-        return self.pool.register(pager)
+        return self.pool.register(pager, name=filename)
 
     # -- table DDL ---------------------------------------------------------------------
 
@@ -383,8 +458,11 @@ class Database:
         return info
 
     def _reset_btree(self, table: Table, info: IndexInfo) -> None:
-        """Replace a B+tree with a fresh empty one (used by truncate)."""
-        file_id = self._open_file(f"{info.name}.idx.tmp{id(info)}")
+        """Replace a B+tree with a fresh empty one (used by truncate).  The
+        replacement file name is a deterministic counter, not ``id()``, so
+        crash-recovery replay regenerates the same file sequence."""
+        self._tmp_file_counter += 1
+        file_id = self._open_file(f"{info.name}.idx.tmp{self._tmp_file_counter}")
         info.structure = BPlusTree(self.pool, file_id)
 
     def drop_index(self, name: str) -> None:
@@ -413,9 +491,40 @@ class Database:
     def flush(self) -> None:
         self.pool.flush()
 
+    def flush_table(self, name: str) -> int:
+        """Flush (and fsync) one table's heap file only — the targeted
+        durability the update queue's ``sync_on_enqueue`` needs, instead of
+        writing back every dirty page in the database."""
+        return self.table(name).heap.flush()
+
+    def checkpoint(self, compact: bool = True) -> Dict[str, int]:
+        """Take a fuzzy checkpoint (see :mod:`repro.wal.checkpoint`): flush
+        dirty pages under the WAL rule, log the page-LSN table plus any
+        engine-provided in-flight token state, then compact the log."""
+        if self.wal is None:
+            return {"pages_flushed": self.pool.flush()}
+        from ..wal.checkpoint import take_checkpoint
+
+        state = (
+            self.checkpoint_state_provider()
+            if self.checkpoint_state_provider is not None
+            else None
+        )
+        if isinstance(state, dict):
+            incomplete, max_seq = state.get("incomplete"), state.get("max_seq", 0)
+        else:
+            incomplete, max_seq = state, 0
+        return take_checkpoint(
+            self.pool, self.wal, incomplete, compact=compact, max_seq=max_seq
+        )
+
     def close(self) -> None:
         self._save_catalog()
+        if self.wal is not None:
+            self.checkpoint(compact=True)
         self.pool.close()
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self) -> "Database":
         return self

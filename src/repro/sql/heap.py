@@ -147,6 +147,14 @@ class HeapFile:
         if self._row_count is not None:
             self._row_count += delta
 
+    def flush(self) -> int:
+        """Write this file's dirty pages back (and fsync its pager alone).
+
+        The durable update queue uses this for ``sync_on_enqueue`` when no
+        WAL is attached: one table's pages, not the whole database.  Under
+        a WAL the buffer pool forces the log first (the WAL rule)."""
+        return self.pool.flush(self.file_id)
+
     def truncate(self) -> None:
         """Delete every row (pages are kept and reused)."""
         for page_no in range(self.num_pages):

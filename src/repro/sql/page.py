@@ -15,6 +15,15 @@ Records are opaque byte strings (the schema codec lives above this layer).
 Deleting a record tombstones its slot; :meth:`SlottedPage.compact` reclaims
 the space.  Updates that fit in place reuse the slot; larger updates are
 handled by the heap layer as delete+insert with a forwarding convention.
+
+Durability note: the page **LSN** (the write-ahead-log position of the last
+mutation, see :mod:`repro.wal`) is deliberately *not* part of the on-page
+layout — it is tracked per buffer frame by :class:`repro.sql.buffer
+.BufferPool` and persisted in the WAL's checkpoint page-LSN table.  Redo
+uses full page post-images, so it never needs to read an LSN off a
+(possibly torn) page, and the slotted layout keeps its full record
+capacity.  :func:`page_checksum` supports torn-page *detection* in the
+fault harness and recovery verification.
 """
 
 from __future__ import annotations
@@ -32,6 +41,15 @@ SLOT_SIZE = _SLOT.size
 
 #: Largest record a single page can hold (one slot, empty page).
 MAX_RECORD_SIZE = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+
+
+def page_checksum(data: bytes) -> int:
+    """CRC32 of a page image.  Used by the fault-injection tests to prove a
+    torn write happened and that redo repaired it, and available to callers
+    that want to verify an image round-tripped through the WAL intact."""
+    import zlib
+
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
 
 
 class SlottedPage:

@@ -32,6 +32,7 @@ class Pager:
     def __init__(self) -> None:
         self.reads = 0
         self.writes = 0
+        self.fsyncs = 0
         self._free: List[int] = []
 
     # -- backend hooks ---------------------------------------------------
@@ -72,6 +73,18 @@ class Pager:
         self._check(page_no)
         if len(data) != PAGE_SIZE:
             raise StorageError(f"page write of {len(data)} bytes (want {PAGE_SIZE})")
+        self.writes += 1
+        self._write_raw(page_no, data)
+
+    def redo_write(self, page_no: int, data: bytes) -> None:
+        """Recovery-only write: allowed to extend the file past its current
+        end (redo replays page images in LSN order, and a crash may have
+        lost the allocations that originally grew the file).  Gap pages are
+        zero-filled, which is exactly a freshly allocated page's state."""
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"page write of {len(data)} bytes (want {PAGE_SIZE})")
+        while self.num_pages < page_no:
+            self._write_raw(self.num_pages, bytes(PAGE_SIZE))
         self.writes += 1
         self._write_raw(page_no, data)
 
@@ -145,6 +158,7 @@ class FilePager(Pager):
     def sync(self) -> None:
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        self.fsyncs += 1
 
     def close(self) -> None:
         try:

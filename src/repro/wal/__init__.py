@@ -1,0 +1,82 @@
+"""Durability: write-ahead logging, crash recovery, and fault injection.
+
+The paper's asynchronous trigger model leans on "the safety of persistent
+update queuing" (§4): the host transaction commits once its update
+descriptors are durably queued, and TriggerMan processes them later.  That
+promise is empty unless the queue — and everything trigger processing
+mutates — survives being killed at any instant.  This package closes the
+gap DESIGN.md §7 used to concede ("no ARIES-style WAL"):
+
+* :mod:`repro.wal.log` — an append-only write-ahead log
+  (``triggerman-wal-v1``): LSN-stamped, CRC-protected records with
+  torn-tail detection on open and group-commit batching.  Physical page
+  post-images from the storage engine and logical token-lifecycle records
+  from the trigger engine share one totally-ordered log, so every durable
+  prefix of it is a consistent state.
+* :mod:`repro.wal.recovery` — analysis + redo from the last checkpoint.
+  Page redo is idempotent (pageLSN comparison skips pages already durable
+  at or beyond a record's LSN; full-image redo makes re-application safe),
+  and token analysis reconstructs which update descriptors were dequeued
+  but not finished so the engine replays them exactly once.
+* :mod:`repro.wal.checkpoint` — fuzzy checkpoints: flush dirty pages under
+  the WAL rule, record the durable page-LSN table plus in-flight token
+  state, then compact the log.
+* :mod:`repro.wal.faults` — a deterministic fault-injection harness:
+  simulated disks whose unsynced writes vanish on :meth:`SimDisk.crash`,
+  torn page/log writes, and counted crash points threaded through the
+  engine's enqueue / dequeue / action sites.  ``tests/wal`` uses it to
+  kill and recover the engine hundreds of times while checking firing-set
+  equivalence against an uncrashed oracle run.
+"""
+
+from .log import (
+    ACTION_FIRED,
+    CHECKPOINT,
+    PAGE_IMAGE,
+    SYNC_ALWAYS,
+    SYNC_GROUP,
+    SYNC_OFF,
+    TOKEN_DEQUEUE,
+    TOKEN_DONE,
+    TOKEN_ENQUEUE,
+    FileLogStorage,
+    MemoryLogStorage,
+    WalRecord,
+    WriteAheadLog,
+)
+from .recovery import RecoveryResult, TokenState, recover
+from .checkpoint import take_checkpoint
+from .faults import (
+    CrashingLogStorage,
+    CrashingPager,
+    FaultInjector,
+    SimCatalogStore,
+    SimDisk,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "WriteAheadLog",
+    "WalRecord",
+    "FileLogStorage",
+    "MemoryLogStorage",
+    "PAGE_IMAGE",
+    "CHECKPOINT",
+    "TOKEN_ENQUEUE",
+    "TOKEN_DEQUEUE",
+    "ACTION_FIRED",
+    "TOKEN_DONE",
+    "SYNC_OFF",
+    "SYNC_GROUP",
+    "SYNC_ALWAYS",
+    "recover",
+    "RecoveryResult",
+    "TokenState",
+    "take_checkpoint",
+    "FaultInjector",
+    "SimDisk",
+    "SimulatedCrash",
+    "CrashingPager",
+    "CrashingLogStorage",
+    "SimCatalogStore",
+]

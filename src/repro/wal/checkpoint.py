@@ -1,0 +1,69 @@
+"""Fuzzy checkpoints: bound recovery work and let the log be compacted.
+
+A checkpoint:
+
+1. flushes every dirty, unpinned buffer frame (the buffer pool enforces
+   the WAL rule — the log is durable through a frame's pageLSN before the
+   page itself is written);
+2. appends a CHECKPOINT record carrying the durable page-LSN table and
+   the engine's in-flight token state (descriptors dequeued but not yet
+   finished, each with the multiset of firing digests already durably
+   executed);
+3. forces the log, then (optionally) compacts it — records before the
+   checkpoint can never be needed again, because every page is durable at
+   or beyond their LSNs and every finished token's records are subsumed.
+
+The checkpoint is *fuzzy* in the classical sense: it does not quiesce the
+engine's queue — tokens may sit half-processed, which is exactly what the
+``incomplete`` state in the record preserves.  Pinned dirty frames are
+skipped (their pins are transient; the next checkpoint or flush catches
+them) so a checkpoint never blocks on in-flight page accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .log import CHECKPOINT, WriteAheadLog
+
+
+def take_checkpoint(
+    pool,
+    wal: WriteAheadLog,
+    incomplete: Optional[List[dict]] = None,
+    compact: bool = True,
+    max_seq: int = 0,
+) -> Dict[str, int]:
+    """Checkpoint ``pool``'s dirty pages against ``wal``; returns a report
+    dict (pages flushed, checkpoint LSN, log bytes before/after).
+
+    ``incomplete`` is the engine-provided in-flight token state — a list of
+    ``{"seq", "dataSrc", "op", "payload", "fired": {digest: count}}``
+    entries (empty for a bare storage-level checkpoint).  ``max_seq`` is
+    the queue's seq high-water mark; carrying it across compaction keeps
+    seqs unique for the life of the log even after the records proving a
+    seq was used are discarded.
+    """
+    bytes_before = wal.size()
+    pages_flushed = pool.flush()
+    payload = {
+        "v": 1,
+        "page_lsns": [
+            [name, page_no, lsn]
+            for (name, page_no), lsn in sorted(wal.page_lsns.items())
+        ],
+        "incomplete": incomplete or [],
+        "max_seq": max_seq,
+    }
+    lsn = wal.append_json(CHECKPOINT, payload)
+    wal.flush()
+    bytes_after = wal.size()
+    if compact:
+        bytes_after = wal.compact(keep_from_lsn=lsn)
+    return {
+        "pages_flushed": pages_flushed,
+        "checkpoint_lsn": lsn,
+        "log_bytes_before": bytes_before,
+        "log_bytes_after": bytes_after,
+        "incomplete_tokens": len(incomplete or []),
+    }

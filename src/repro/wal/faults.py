@@ -1,0 +1,235 @@
+"""Deterministic fault injection: simulated disks and counted crash points.
+
+The crash model: a process dies at an arbitrary instant.  Everything in
+memory — buffer-pool frames, the WAL's group-commit buffer, the engine's
+task queue — vanishes; only what a backend had *synced* survives, plus
+possibly a torn suffix (a page or log append cut off mid-write).
+
+:class:`SimDisk` gives a database that exact physics without touching the
+real filesystem: every "file" is a :class:`CrashingPager` (or the log's
+:class:`CrashingLogStorage`) holding a *volatile* layer over a *durable*
+layer.  Writes land in the volatile layer; ``sync`` promotes them;
+:meth:`SimDisk.crash` discards every volatile layer.  Torn writes are
+modeled on the durable path: a crash point during a log append keeps only
+a prefix of the bytes, and one during a page sync leaves a half-old /
+half-new page (recovery's full-image redo repairs it; the torn log tail is
+truncated by CRC scan on reopen).
+
+:class:`FaultInjector` arms *crash points*: named sites threaded through
+the WAL (``wal.append``, ``wal.sync``), the simulated disk (``disk.sync``,
+``disk.sync.torn``), and the engine (``queue.enqueue``, ``queue.dequeue``,
+``engine.action``, ``engine.token_done``).  ``arm(site, at_hit)`` raises
+:class:`SimulatedCrash` on the N-th hit of that site — fully deterministic
+for a given workload, which is what lets the crash-loop test sweep
+hundreds of seeds and still be debuggable.
+
+:class:`SimulatedCrash` deliberately subclasses :class:`BaseException`:
+the engine isolates trigger-action failures with ``except Exception``, and
+a simulated kill must cut through that like a real ``SIGKILL`` would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sql.page import PAGE_SIZE
+from ..sql.pager import Pager
+from .log import MemoryLogStorage
+
+
+class SimulatedCrash(BaseException):
+    """The process 'died' at an injected crash point.
+
+    A BaseException on purpose: it must pierce the engine's blanket
+    ``except Exception`` action isolation, like a real kill signal.
+    """
+
+    def __init__(self, site: str):
+        self.site = site
+        super().__init__(f"simulated crash at {site!r}")
+
+
+class FaultInjector:
+    """Counted, named crash points.
+
+    ``arm("wal.append", 5)`` crashes on the 5th hit of that site after
+    arming.  ``arm(site, n, torn=True)`` additionally asks the site to
+    leave a torn write behind (only sites that can tear honor it).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self._armed: Dict[str, int] = {}
+        self._torn: Dict[str, bool] = {}
+        #: every site name ever hit, in order (lets tests enumerate sites)
+        self.seen: List[str] = []
+        self.crashes = 0
+
+    def arm(self, site: str, at_hit: int, torn: bool = False) -> None:
+        if at_hit < 1:
+            raise ValueError(f"at_hit must be >= 1, got {at_hit}")
+        self._armed[site] = at_hit
+        self._torn[site] = torn
+        self.counters[site] = 0
+
+    def disarm(self) -> None:
+        self._armed.clear()
+        self._torn.clear()
+
+    def hit(self, site: str) -> None:
+        count = self.counters.get(site, 0) + 1
+        self.counters[site] = count
+        if not self.counters.get(site + ".seen"):
+            self.seen.append(site)
+            self.counters[site + ".seen"] = 1
+        if self._armed.get(site) == count:
+            self.crashes += 1
+            raise SimulatedCrash(site)
+
+    def tearing(self, site: str) -> bool:
+        """True when the *next* hit of ``site`` will crash and the site was
+        armed to tear (backends consult this to cut a write short)."""
+        return (
+            self._torn.get(site, False)
+            and self._armed.get(site) == self.counters.get(site, 0) + 1
+        )
+
+
+class CrashingPager(Pager):
+    """A memory pager with a volatile layer over a durable layer.
+
+    ``write`` touches only the volatile layer.  ``sync`` promotes dirty
+    pages one at a time, hitting the ``disk.sync`` site between pages
+    (partial flush) and honoring torn arming via ``disk.sync.torn``
+    (half-promoted page).  ``crash`` resets volatile to durable.
+    """
+
+    def __init__(self, name: str, faults: Optional[FaultInjector] = None):
+        super().__init__()
+        self.name = name
+        self.faults = faults
+        self._volatile: List[bytearray] = []
+        self._durable: List[bytes] = []
+        self._dirty: set = set()
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._volatile)
+
+    def _read_raw(self, page_no: int) -> bytearray:
+        return bytearray(self._volatile[page_no])
+
+    def _write_raw(self, page_no: int, data: bytes) -> None:
+        if page_no == len(self._volatile):
+            self._volatile.append(bytearray(data))
+        else:
+            self._volatile[page_no] = bytearray(data)
+        self._dirty.add(page_no)
+
+    def sync(self) -> None:
+        while len(self._durable) < len(self._volatile):
+            self._durable.append(bytes(PAGE_SIZE))
+        for page_no in sorted(self._dirty):
+            if self.faults is not None:
+                if self.faults.tearing("disk.sync"):
+                    # Promote half the page, then die: a torn page write.
+                    half = PAGE_SIZE // 2
+                    torn = (
+                        bytes(self._volatile[page_no][:half])
+                        + self._durable[page_no][half:]
+                    )
+                    self._durable[page_no] = torn
+                self.faults.hit("disk.sync")
+            self._durable[page_no] = bytes(self._volatile[page_no])
+        self._dirty.clear()
+        self.fsyncs += 1
+
+    def crash(self) -> None:
+        """Discard unsynced writes (the volatile layer)."""
+        self._volatile = [bytearray(p) for p in self._durable]
+        self._dirty.clear()
+
+    def durable_page(self, page_no: int) -> bytes:
+        return self._durable[page_no]
+
+
+class CrashingLogStorage(MemoryLogStorage):
+    """Log storage whose appends can tear.
+
+    The WriteAheadLog only hands bytes down at flush time (its group-commit
+    buffer is the 'process memory' that a crash wipes), so this layer is
+    durable-on-append — except when an armed ``disk.log_append`` site cuts
+    the append short, leaving the torn tail that the CRC scan truncates on
+    the next open.
+    """
+
+    def __init__(self, faults: Optional[FaultInjector] = None):
+        super().__init__()
+        self.faults = faults
+
+    def append(self, data: bytes) -> None:
+        if self.faults is not None:
+            if self.faults.tearing("disk.log_append"):
+                cut = max(1, len(data) // 2)
+                self.data += data[:cut]
+            self.faults.hit("disk.log_append")
+        self.data += data
+
+
+class SimCatalogStore:
+    """In-memory stand-in for the database's ``catalog.json``.
+
+    The real catalog is written with write-temp-then-rename, which is
+    atomic-and-durable on any sane filesystem; this mirrors that contract
+    (``save`` is all-or-nothing, never torn), so the fault harness tests
+    the WAL's guarantees rather than re-litigating ``os.replace``.
+    """
+
+    def __init__(self) -> None:
+        self._durable: Optional[dict] = None
+        self.saves = 0
+
+    def save(self, desc: dict) -> None:
+        import json
+
+        # Round-trip through JSON like the file path does, so the stored
+        # descriptor has no live references into the dying incarnation.
+        self._durable = json.loads(json.dumps(desc))
+        self.saves += 1
+
+    def load(self) -> Optional[dict]:
+        return self._durable
+
+
+class SimDisk:
+    """One simulated machine's stable storage: page files + the WAL file.
+
+    A database incarnation is built over ``pager_factory`` /
+    ``log_storage``; killing it is :meth:`crash` (volatile layers dropped,
+    the dead incarnation's objects are simply abandoned) followed by
+    constructing a fresh database over the same SimDisk.
+    """
+
+    def __init__(self, faults: Optional[FaultInjector] = None):
+        self.faults = faults if faults is not None else FaultInjector()
+        self.pagers: Dict[str, CrashingPager] = {}
+        self.log = CrashingLogStorage(self.faults)
+        self.catalog = SimCatalogStore()
+
+    def pager_factory(self, name: str) -> CrashingPager:
+        pager = self.pagers.get(name)
+        if pager is None:
+            pager = self.pagers[name] = CrashingPager(name, self.faults)
+        return pager
+
+    def crash(self) -> None:
+        """Power-fail every device; armed sites stay armed."""
+        for pager in self.pagers.values():
+            pager.crash()
+        # The log's durable bytes stay; there is no volatile log layer to
+        # drop because the WAL's own buffer dies with the process object.
+
+    def durable_bytes(self) -> int:
+        return len(self.log.data) + sum(
+            len(p._durable) * PAGE_SIZE for p in self.pagers.values()
+        )

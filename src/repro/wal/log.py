@@ -1,0 +1,381 @@
+"""The write-ahead log proper (format ``triggerman-wal-v1``).
+
+File layout::
+
+    offset 0   8-byte magic  b"TWALv1\\x00\\n"
+    then, per record:
+        u32  payload length
+        u32  crc32 over (lsn || type || payload)
+        u64  LSN (monotonically increasing, never reused, survives restarts
+             and compaction)
+        u8   record type
+        ...  payload bytes
+
+A record is valid only if its header fits, its payload fits, and its CRC
+matches — anything else marks the *torn tail* left by a crash mid-append,
+and :class:`WriteAheadLog` truncates the log back to the last valid record
+on open.  Because page images and logical token records share this one
+totally-ordered log, every durable prefix is a consistent snapshot: a
+token's dequeue record can never be durable without the page images it
+depends on, and vice versa (see recovery.py for the ordering contract).
+
+Appends are buffered for *group commit*: ``sync="always"`` makes every
+append durable immediately (one fsync per record), ``sync="group"``
+batches up to ``group_size`` records per fsync, ``sync="off"`` defers to
+explicit flushes (checkpoint / close / the WAL rule).  The buffer lives
+above the storage backend, so a crash simply drops it — exactly the
+semantics the fault harness needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import WalError
+
+MAGIC = b"TWALv1\x00\n"
+_REC = struct.Struct("<IIQB")  # payload_len, crc32, lsn, type
+
+#: record types
+PAGE_IMAGE = 1  # physical page post-image (file name, page no, bytes)
+CHECKPOINT = 2  # fuzzy checkpoint: page-LSN table + in-flight token state
+TOKEN_ENQUEUE = 3  # informational: an update descriptor entered the queue
+TOKEN_DEQUEUE = 4  # a descriptor left the queue (payload carried for replay)
+ACTION_FIRED = 5  # one trigger firing executed (the durable firing ledger)
+TOKEN_DONE = 6  # a descriptor finished processing (all firings executed)
+
+TYPE_NAMES = {
+    PAGE_IMAGE: "page_image",
+    CHECKPOINT: "checkpoint",
+    TOKEN_ENQUEUE: "token_enqueue",
+    TOKEN_DEQUEUE: "token_dequeue",
+    ACTION_FIRED: "action_fired",
+    TOKEN_DONE: "token_done",
+}
+
+SYNC_OFF = "off"
+SYNC_GROUP = "group"
+SYNC_ALWAYS = "always"
+SYNC_MODES = (SYNC_OFF, SYNC_GROUP, SYNC_ALWAYS)
+
+_PAGE_HDR = struct.Struct("<HI")  # file-name length, page number
+
+
+@dataclass
+class WalRecord:
+    """One decoded log record."""
+
+    lsn: int
+    rtype: int
+    payload: bytes
+
+    def json(self) -> dict:
+        return json.loads(self.payload.decode("utf-8"))
+
+    def page_image(self) -> Tuple[str, int, bytes]:
+        """Decode a PAGE_IMAGE payload to ``(file_name, page_no, data)``."""
+        if self.rtype != PAGE_IMAGE:
+            raise WalError(f"record {self.lsn} is not a page image")
+        name_len, page_no = _PAGE_HDR.unpack_from(self.payload, 0)
+        offset = _PAGE_HDR.size
+        name = self.payload[offset : offset + name_len].decode("utf-8")
+        data = zlib.decompress(self.payload[offset + name_len :])
+        return name, page_no, data
+
+
+def _crc(lsn: int, rtype: int, payload: bytes) -> int:
+    return zlib.crc32(struct.pack("<QB", lsn, rtype) + payload) & 0xFFFFFFFF
+
+
+def encode_record(lsn: int, rtype: int, payload: bytes) -> bytes:
+    return _REC.pack(len(payload), _crc(lsn, rtype, payload), lsn, rtype) + payload
+
+
+def scan_records(data: bytes) -> Tuple[List[WalRecord], int]:
+    """Decode every valid record; returns ``(records, valid_byte_count)``.
+
+    Stops at the first structural or CRC mismatch — the torn tail a crash
+    mid-append leaves behind.  ``valid_byte_count`` is where the log should
+    be truncated to repair it.
+    """
+    if data[: len(MAGIC)] != MAGIC:
+        if not data:
+            return [], 0
+        raise WalError("not a triggerman-wal-v1 log (bad magic)")
+    records: List[WalRecord] = []
+    offset = len(MAGIC)
+    last_lsn = 0
+    while True:
+        if offset + _REC.size > len(data):
+            break
+        length, crc, lsn, rtype = _REC.unpack_from(data, offset)
+        end = offset + _REC.size + length
+        if end > len(data):
+            break  # torn: payload cut short
+        payload = bytes(data[offset + _REC.size : end])
+        if _crc(lsn, rtype, payload) != crc:
+            break  # torn or corrupt: stop here
+        if lsn <= last_lsn:
+            break  # LSNs are strictly increasing; garbage after compaction
+        records.append(WalRecord(lsn, rtype, payload))
+        last_lsn = lsn
+        offset = end
+    return records, offset
+
+
+class LogStorage:
+    """Backend byte store for the log.  ``append`` must be durable once
+    ``sync`` returns; implementations may buffer before that."""
+
+    def read_all(self) -> bytes:
+        raise NotImplementedError
+
+    def append(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        raise NotImplementedError
+
+    def truncate_to(self, size: int) -> None:
+        raise NotImplementedError
+
+    def replace(self, data: bytes) -> None:
+        """Atomically replace the whole log (compaction)."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class FileLogStorage(LogStorage):
+    """A real file; ``sync`` is an ``fsync``."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "ab+")
+
+    def read_all(self) -> bytes:
+        self._fh.seek(0)
+        return self._fh.read()
+
+    def append(self, data: bytes) -> None:
+        self._fh.seek(0, os.SEEK_END)
+        self._fh.write(data)
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def truncate_to(self, size: int) -> None:
+        self._fh.truncate(size)
+
+    def replace(self, data: bytes) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab+")
+
+    def size(self) -> int:
+        self._fh.seek(0, os.SEEK_END)
+        return self._fh.tell()
+
+    def close(self) -> None:
+        try:
+            self._fh.flush()
+        finally:
+            self._fh.close()
+
+
+class MemoryLogStorage(LogStorage):
+    """Bytes held in memory (in-memory databases and unit tests; the fault
+    harness subclasses this with crash/torn-write semantics)."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def read_all(self) -> bytes:
+        return bytes(self.data)
+
+    def append(self, data: bytes) -> None:
+        self.data += data
+
+    def sync(self) -> None:
+        pass
+
+    def truncate_to(self, size: int) -> None:
+        del self.data[size:]
+
+    def replace(self, data: bytes) -> None:
+        self.data = bytearray(data)
+
+    def size(self) -> int:
+        return len(self.data)
+
+
+class WriteAheadLog:
+    """The log manager: LSN assignment, group commit, page-LSN tracking.
+
+    One instance serves one database (and the trigger engine above it).
+    Thread-safe: appends and flushes are serialized by an internal lock.
+    """
+
+    def __init__(
+        self,
+        storage: LogStorage,
+        sync: str = SYNC_GROUP,
+        group_size: int = 128,
+        faults: Optional["FaultInjectorProtocol"] = None,
+    ):
+        if sync not in SYNC_MODES:
+            raise WalError(f"unknown sync mode {sync!r} (want one of {SYNC_MODES})")
+        self.storage = storage
+        self.sync_mode = sync
+        self.group_size = max(1, group_size)
+        self.faults = faults
+        self._lock = threading.RLock()
+        self._buffer: List[bytes] = []
+        #: last LSN handed out (buffered or durable)
+        self.last_lsn = 0
+        #: last LSN guaranteed on stable storage
+        self.durable_lsn = 0
+        #: durable LSN per (file name, page no) — the page-LSN table.
+        #: Seeded from the last checkpoint by recovery, updated on every
+        #: page-image append, snapshotted into the next checkpoint.
+        self.page_lsns: Dict[Tuple[str, int], int] = {}
+        #: accounting (exposed as registry gauges by the engine)
+        self.appends = 0
+        self.fsyncs = 0
+        self.bytes_appended = 0
+        self.page_images = 0
+        # Repair the torn tail (if any) and resume LSN assignment.
+        existing = storage.read_all()
+        if existing:
+            records, valid = scan_records(existing)
+            if valid < len(existing):
+                storage.truncate_to(valid)
+            if records:
+                self.last_lsn = self.durable_lsn = records[-1].lsn
+        else:
+            storage.append(MAGIC)
+            storage.sync()
+
+    # -- fault-injection hook ------------------------------------------------
+
+    def fault(self, site: str) -> None:
+        """Hit a named crash point (no-op without an injector)."""
+        if self.faults is not None:
+            self.faults.hit(site)
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, rtype: int, payload: bytes) -> int:
+        """Buffer one record; returns its LSN.  Durability follows the sync
+        mode (``always`` flushes now, ``group`` flushes every
+        ``group_size`` records, ``off`` waits for an explicit flush)."""
+        with self._lock:
+            self.fault("wal.append")
+            self.last_lsn += 1
+            lsn = self.last_lsn
+            encoded = encode_record(lsn, rtype, payload)
+            self._buffer.append(encoded)
+            self.appends += 1
+            self.bytes_appended += len(encoded)
+            if self.sync_mode == SYNC_ALWAYS or (
+                self.sync_mode == SYNC_GROUP
+                and len(self._buffer) >= self.group_size
+            ):
+                self._flush_locked()
+            return lsn
+
+    def append_json(self, rtype: int, obj: dict) -> int:
+        return self.append(rtype, json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+    def log_page(self, file_name: str, page_no: int, data: bytes) -> int:
+        """Append a physical page post-image; returns its LSN (the page's
+        new pageLSN, stamped onto the buffer frame by the caller)."""
+        name_bytes = file_name.encode("utf-8")
+        payload = (
+            _PAGE_HDR.pack(len(name_bytes), page_no)
+            + name_bytes
+            + zlib.compress(bytes(data), 1)
+        )
+        with self._lock:
+            lsn = self.append(PAGE_IMAGE, payload)
+            self.page_lsns[(file_name, page_no)] = lsn
+            self.page_images += 1
+            return lsn
+
+    # -- durability ----------------------------------------------------------
+
+    def flush(self, upto: Optional[int] = None) -> None:
+        """Make every buffered record durable (group commit: one write, one
+        fsync).  ``upto`` is an optimization hint: a no-op when the log is
+        already durable through that LSN."""
+        with self._lock:
+            if upto is not None and self.durable_lsn >= upto:
+                return
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        data = b"".join(self._buffer)
+        # The buffer is dropped first: if the storage crashes mid-append
+        # (fault injection), the unwritten suffix is lost — exactly what a
+        # real crash does to an OS-buffered write.
+        self._buffer = []
+        pending_lsn = self.last_lsn
+        self.storage.append(data)
+        self.fault("wal.sync")
+        self.storage.sync()
+        self.fsyncs += 1
+        self.durable_lsn = pending_lsn
+
+    # -- reading / maintenance -----------------------------------------------
+
+    def scan(self) -> List[WalRecord]:
+        """Every durable record, in LSN order (used by recovery and the
+        console's ``recover`` dry run — the unsynced buffer is excluded)."""
+        records, _valid = scan_records(self.storage.read_all())
+        return records
+
+    def compact(self, keep_from_lsn: int) -> int:
+        """Drop durable records with LSN < ``keep_from_lsn`` (everything
+        before the latest checkpoint).  Returns the new byte size."""
+        with self._lock:
+            self._flush_locked()
+            kept = [
+                encode_record(r.lsn, r.rtype, r.payload)
+                for r in self.scan()
+                if r.lsn >= keep_from_lsn
+            ]
+            self.storage.replace(MAGIC + b"".join(kept))
+            return self.storage.size()
+
+    def size(self) -> int:
+        return self.storage.size()
+
+    def close(self) -> None:
+        with self._lock:
+            self._flush_locked()
+            self.storage.close()
+
+
+class FaultInjectorProtocol:
+    """Anything with a ``hit(site)`` method (see faults.FaultInjector)."""
+
+    def hit(self, site: str) -> None:  # pragma: no cover - protocol stub
+        raise NotImplementedError

@@ -1,0 +1,217 @@
+"""Crash recovery: analysis + redo from the last checkpoint.
+
+Recovery runs when a database opens over an existing log, in two passes
+over the durable records (the torn tail was already truncated by
+:class:`~repro.wal.log.WriteAheadLog` on open):
+
+**Analysis** finds the most recent CHECKPOINT record.  It carries the
+page-LSN table (durable LSN per page as of the checkpoint) and the
+in-flight token state (descriptors dequeued but not yet finished, with the
+multiset of firings already durably executed for each).  Without a
+checkpoint, analysis starts from the beginning of the log with an empty
+page-LSN table.
+
+**Redo** walks the records after the checkpoint in LSN order and
+re-applies every PAGE_IMAGE whose LSN is newer than the page's durable
+pageLSN — the pageLSN comparison that makes redo idempotent.  Images are
+full page post-images, so re-applying one is byte-identical; running
+recovery twice applies zero additional redo the second time (the engine
+re-checkpoints after recovery, advancing the page-LSN table past every
+record).  Redo writes through a *resolver* (``file name -> pager``) so the
+same code serves real directories and the fault harness's simulated disks.
+
+**Token analysis** folds the logical records into the exactly-once
+contract the engine needs (see engine/triggerman.py):
+
+* dequeued + TOKEN_DONE          → finished; never reprocess.
+* dequeued, no TOKEN_DONE        → replay, skipping firings whose
+  digests are already in the durable ledger (no duplicates), then
+  executing the rest (no losses).
+* still in the queue table       → redo restored the row; the queue's
+  normal backlog scan re-delivers it.  TOKEN_DEQUEUE is logged *before*
+  the row delete, so a durable deletion implies a durable dequeue record
+  — a token can never vanish between the two.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .log import (
+    ACTION_FIRED,
+    CHECKPOINT,
+    PAGE_IMAGE,
+    TOKEN_DEQUEUE,
+    TOKEN_DONE,
+    TOKEN_ENQUEUE,
+    WalRecord,
+    WriteAheadLog,
+)
+
+#: record types whose JSON body carries a token ``seq``
+_TOKEN_RECORDS = (TOKEN_ENQUEUE, TOKEN_DEQUEUE, ACTION_FIRED, TOKEN_DONE)
+
+
+@dataclass
+class TokenState:
+    """One update descriptor that must be replayed after the crash."""
+
+    seq: int
+    data_source: str
+    operation: str
+    payload: str  #: JSON old/new images, as stored in the queue table
+    #: digest -> count of firings already durably executed for this token
+    fired: Counter = field(default_factory=Counter)
+
+    def fired_total(self) -> int:
+        return sum(self.fired.values())
+
+
+@dataclass
+class RecoveryResult:
+    """What recovery did and what the engine still has to replay."""
+
+    records_scanned: int = 0
+    checkpoint_lsn: int = 0
+    redo_applied: int = 0
+    redo_skipped: int = 0
+    files_touched: int = 0
+    #: tokens dequeued but not finished, in seq order
+    incomplete: List[TokenState] = field(default_factory=list)
+    #: seqs that completed (TOKEN_DONE durable)
+    done_seqs: set = field(default_factory=set)
+    #: highest token seq with any durable evidence — the queue must mint
+    #: fresh seqs above this, or a reused seq would alias a dead token's
+    #: ledger entries
+    max_seq: int = 0
+    #: durable page-LSN table after redo (seeds WriteAheadLog.page_lsns)
+    page_lsns: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"scanned {self.records_scanned} record(s), "
+            f"checkpoint at LSN {self.checkpoint_lsn}, "
+            f"redo applied {self.redo_applied} / skipped {self.redo_skipped} "
+            f"page image(s) across {self.files_touched} file(s), "
+            f"{len(self.incomplete)} token(s) to replay"
+        )
+
+
+def _last_checkpoint(records: List[WalRecord]) -> Tuple[Optional[dict], int]:
+    """Returns ``(checkpoint payload, index of first record after it)``."""
+    for i in range(len(records) - 1, -1, -1):
+        if records[i].rtype == CHECKPOINT:
+            return records[i].json(), i
+    return None, -1
+
+
+def analyze_tokens(
+    records: List[WalRecord], checkpoint: Optional[dict]
+) -> Tuple[List[TokenState], set]:
+    """Fold logical records (post-checkpoint) over the checkpointed
+    in-flight state; returns ``(incomplete tokens in seq order, done seqs)``."""
+    pending: Dict[int, TokenState] = {}
+    done: set = set()
+    if checkpoint:
+        for entry in checkpoint.get("incomplete", []):
+            state = TokenState(
+                seq=entry["seq"],
+                data_source=entry["dataSrc"],
+                operation=entry["op"],
+                payload=entry["payload"],
+                fired=Counter(entry.get("fired", {})),
+            )
+            pending[state.seq] = state
+    for record in records:
+        if record.rtype == TOKEN_DEQUEUE:
+            body = record.json()
+            seq = body["seq"]
+            if seq not in pending:
+                pending[seq] = TokenState(
+                    seq=seq,
+                    data_source=body["dataSrc"],
+                    operation=body["op"],
+                    payload=body["payload"],
+                )
+        elif record.rtype == ACTION_FIRED:
+            body = record.json()
+            state = pending.get(body["seq"])
+            if state is not None:
+                state.fired[body["digest"]] += 1
+        elif record.rtype == TOKEN_DONE:
+            seq = record.json()["seq"]
+            pending.pop(seq, None)
+            done.add(seq)
+    return sorted(pending.values(), key=lambda s: s.seq), done
+
+
+def recover(
+    wal: WriteAheadLog,
+    resolver: Callable[[str], "PagerLike"],
+    close_pagers: bool = False,
+) -> RecoveryResult:
+    """Run analysis + redo; seeds ``wal.page_lsns`` and returns the result.
+
+    ``resolver`` maps a logged file name to a pager with ``redo_write`` /
+    ``sync``.  With ``close_pagers=True`` every pager the resolver returns
+    is synced and closed afterwards (directory-backed recovery opens its
+    own short-lived handles; the fault harness keeps its simulated disks).
+    """
+    result = RecoveryResult()
+    records = wal.scan()
+    result.records_scanned = len(records)
+    checkpoint, ckpt_index = _last_checkpoint(records)
+    page_lsns: Dict[Tuple[str, int], int] = {}
+    if checkpoint is not None:
+        result.checkpoint_lsn = records[ckpt_index].lsn
+        for name, page_no, lsn in checkpoint.get("page_lsns", []):
+            page_lsns[(name, page_no)] = lsn
+    after = records[ckpt_index + 1 :]
+    pagers: Dict[str, "PagerLike"] = {}
+    for record in after:
+        if record.rtype != PAGE_IMAGE:
+            continue
+        name, page_no, data = record.page_image()
+        if page_lsns.get((name, page_no), 0) >= record.lsn:
+            result.redo_skipped += 1
+            continue
+        pager = pagers.get(name)
+        if pager is None:
+            pager = pagers[name] = resolver(name)
+        pager.redo_write(page_no, data)
+        page_lsns[(name, page_no)] = record.lsn
+        result.redo_applied += 1
+    result.files_touched = len(pagers)
+    for pager in pagers.values():
+        pager.sync()
+        if close_pagers:
+            pager.close()
+    result.incomplete, result.done_seqs = analyze_tokens(after, checkpoint)
+    max_seq = checkpoint.get("max_seq", 0) if checkpoint else 0
+    for entry in (checkpoint or {}).get("incomplete", []):
+        max_seq = max(max_seq, entry.get("seq", 0))
+    for record in after:
+        if record.rtype in _TOKEN_RECORDS:
+            max_seq = max(max_seq, record.json().get("seq", 0))
+    result.max_seq = max_seq
+    result.page_lsns = page_lsns
+    # Seed the live log's page-LSN table so the next checkpoint carries the
+    # full durable picture, not just pages touched since this boot.
+    wal.page_lsns.update(page_lsns)
+    return result
+
+
+class PagerLike:
+    """Protocol: what recovery needs from a pager."""
+
+    def redo_write(self, page_no: int, data: bytes) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def sync(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,33 @@
+"""Shared fixtures for the durability suite: simulated machines that can be
+killed and rebooted, and engines built over them."""
+
+import pytest
+
+from repro.sql.database import Database
+from repro.wal import SimDisk, WriteAheadLog
+
+
+@pytest.fixture
+def disk():
+    """One simulated machine's stable storage (with a fault injector)."""
+    return SimDisk()
+
+
+def open_database(disk, sync="always", **kwargs):
+    """A Database incarnation over ``disk`` (call again after a crash)."""
+    wal = WriteAheadLog(disk.log, sync=sync, faults=disk.faults)
+    return Database(
+        path=None,
+        wal=wal,
+        pager_factory=disk.pager_factory,
+        catalog_store=disk.catalog,
+        faults=disk.faults,
+        **kwargs,
+    )
+
+
+def open_engine(disk, sync="always", **kwargs):
+    """A TriggerMan incarnation over ``disk``."""
+    from repro.engine.triggerman import TriggerMan
+
+    return TriggerMan(open_database(disk, sync=sync), **kwargs)

@@ -1,0 +1,135 @@
+"""Crash/restart of the trigger catalog (satellite: catalog durability).
+
+The trigger catalog lives in ordinary tman_* tables inside the catalog
+database, so its durability rides on the WAL like any other data.  These
+tests kill the process before and after the log is forced and check that
+descriptors come back byte-identical — and that stream-fed triggers, whose
+materialized memories cannot be rebuilt from a base table, are re-pinned
+for their lifetime on reboot.
+"""
+
+import pytest
+
+from conftest import open_engine
+from repro.engine.descriptors import Operation
+from repro.wal import SimulatedCrash
+
+EMP_TRIGGER = (
+    "create trigger highpaid from emp on insert "
+    "when emp.salary > 100 do raise event HighPaid(emp.name)"
+)
+DEPT_TRIGGER = (
+    "create trigger newdept from emp on insert "
+    "do raise event NewDept(emp.dept)"
+)
+JOIN_TRIGGER = (
+    "create trigger j from a, b when a.k = b.k do raise event J(a.k)"
+)
+
+
+def _engine_with_emp(disk, sync="always"):
+    tman = open_engine(disk, sync=sync)
+    if "emp" not in tman.registry:
+        tman.define_table(
+            "emp",
+            [("name", "varchar(20)"), ("salary", "float"),
+             ("dept", "varchar(20)")],
+        )
+    return tman
+
+
+def test_descriptors_identical_after_kill_past_flush(disk):
+    tman = _engine_with_emp(disk)
+    tman.create_trigger(EMP_TRIGGER)
+    tman.create_trigger(DEPT_TRIGGER)
+    before = tman.catalog.list_triggers()
+    disk.crash()  # sync=always: every log append is already durable
+
+    tman2 = _engine_with_emp(disk)
+    assert tman2.catalog.list_triggers() == before
+    # The replayed trigger is live, not just listed.
+    events = []
+    tman2.register_for_event("HighPaid", lambda n: events.append(n.args))
+    tman2.insert("emp", {"name": "ada", "salary": 200.0, "dept": "eng"})
+    tman2.process_all()
+    assert events == [("ada",)]
+
+
+def test_kill_before_flush_loses_the_definition_cleanly(disk):
+    tman = _engine_with_emp(disk, sync="off")
+    tman.catalog_db.wal.flush()  # table + data source are durable
+    tman.create_trigger(EMP_TRIGGER)
+    disk.crash()  # the trigger's catalog rows never reached the disk
+
+    tman2 = _engine_with_emp(disk, sync="off")
+    assert tman2.catalog.list_triggers() == []
+    # Nothing half-written blocks redefining it.
+    tman2.create_trigger(EMP_TRIGGER)
+    assert [row["name"] for row in tman2.catalog.list_triggers()] == ["highpaid"]
+
+
+def test_kill_after_explicit_flush_keeps_the_definition(disk):
+    tman = _engine_with_emp(disk, sync="off")
+    tman.create_trigger(EMP_TRIGGER)
+    before = tman.catalog.list_triggers()
+    tman.catalog_db.wal.flush()
+    disk.crash()
+
+    tman2 = _engine_with_emp(disk, sync="off")
+    assert tman2.catalog.list_triggers() == before
+
+
+def test_stream_fed_trigger_is_repinned_on_reboot(disk):
+    tman = open_engine(disk)
+    tman.define_stream("a", [("k", "integer")])
+    tman.define_stream("b", [("k", "integer")])
+    tid = tman.create_trigger(JOIN_TRIGGER)
+    assert tid in tman._permanent_pins
+    disk.crash()
+
+    tman2 = open_engine(disk)
+    assert tid in tman2._permanent_pins
+    assert tman2.cache.current_pins() >= 1  # the runtime holds its lifetime pin
+    # The join memory works across the reboot (both inputs post-crash: the
+    # stream's pre-crash alpha memory is legitimately volatile state).
+    events = []
+    tman2.register_for_event("J", lambda n: events.append(n.args))
+    tman2.push("b", Operation.INSERT, new={"k": 1})
+    tman2.process_all()
+    tman2.push("a", Operation.INSERT, new={"k": 1})
+    tman2.process_all()
+    assert events == [(1,)]
+
+
+def test_disabled_flag_survives_a_crash(disk):
+    tman = _engine_with_emp(disk)
+    tman.create_trigger(EMP_TRIGGER)
+    tman.set_trigger_enabled("highpaid", False)
+    disk.crash()
+
+    tman2 = _engine_with_emp(disk)
+    (row,) = tman2.catalog.list_triggers()
+    assert row["isEnabled"] is False
+    assert tman2._enabled[row["triggerID"]] is False
+
+
+def test_crash_mid_creation_leaves_catalog_usable(disk):
+    """Kill the process partway through CREATE TRIGGER's catalog writes.
+    The trigger may or may not have made it to the trigger table, but the
+    survivor must reboot and accept definitions either way."""
+    tman = _engine_with_emp(disk)
+    disk.faults.arm("wal.append", 2)
+    with pytest.raises(SimulatedCrash):
+        tman.create_trigger(EMP_TRIGGER)
+    disk.faults.disarm()
+    disk.crash()
+
+    tman2 = _engine_with_emp(disk)
+    names = [row["name"] for row in tman2.catalog.list_triggers()]
+    if "highpaid" not in names:
+        tman2.create_trigger(EMP_TRIGGER)
+    events = []
+    tman2.register_for_event("HighPaid", lambda n: events.append(n.args))
+    tman2.insert("emp", {"name": "bob", "salary": 500.0, "dept": "ops"})
+    tman2.process_all()
+    assert events == [("bob",)]

@@ -1,0 +1,79 @@
+"""Fuzzy checkpoints: flush + record + compact, end to end on a Database."""
+
+from conftest import open_database
+from repro.sql.schema import schema
+from repro.wal.log import CHECKPOINT
+
+
+def _emp(db):
+    return db.create_table(
+        schema("emp", ("eno", "integer"), ("name", "varchar(40)"),
+               registry=db.registry)
+    )
+
+
+def test_checkpoint_flushes_and_compacts(disk):
+    db = open_database(disk)
+    table = _emp(db)
+    for i in range(200):
+        table.insert((i, f"e{i}"))
+    bytes_before = db.wal.size()
+    report = db.checkpoint()
+    assert report["pages_flushed"] > 0
+    assert report["log_bytes_after"] < bytes_before
+    # The checkpoint record is the only thing left in the log.
+    records = db.wal.scan()
+    assert [r.rtype for r in records] == [CHECKPOINT]
+    body = records[0].json()
+    assert body["incomplete"] == []
+    assert body["page_lsns"]  # carries the durable page-LSN table
+
+
+def test_recovery_after_checkpoint_redoes_nothing(disk):
+    db = open_database(disk)
+    table = _emp(db)
+    for i in range(50):
+        table.insert((i, f"e{i}"))
+    db.checkpoint()
+    disk.crash()
+    db2 = open_database(disk)
+    assert db2.recovery.redo_applied == 0
+    assert db2.table("emp").count() == 50
+
+
+def test_mutations_after_checkpoint_are_redone(disk):
+    db = open_database(disk)
+    table = _emp(db)
+    table.insert((1, "before"))
+    db.checkpoint()
+    table.insert((2, "after"))
+    db.wal.flush()
+    disk.crash()  # pages with the second row were never flushed
+    db2 = open_database(disk)
+    assert db2.recovery.redo_applied > 0
+    assert sorted(r[1] for r in db2.table("emp").rows()) == ["after", "before"]
+
+
+def test_close_checkpoints_and_bounds_the_log(disk):
+    db = open_database(disk)
+    table = _emp(db)
+    for i in range(100):
+        table.insert((i, f"e{i}"))
+    db.close()
+    # After a clean close, recovery has nothing to do and the log holds only
+    # the final checkpoint.
+    db2 = open_database(disk)
+    assert db2.recovery.redo_applied == 0
+    assert db2.recovery.incomplete == []
+    assert db2.table("emp").count() == 100
+
+
+def test_checkpoint_without_compaction_keeps_history(disk):
+    db = open_database(disk)
+    table = _emp(db)
+    table.insert((1, "x"))
+    before = len(db.wal.scan())
+    db.checkpoint(compact=False)
+    after = db.wal.scan()
+    assert len(after) == before + 1  # history + the checkpoint record
+    assert after[-1].rtype == CHECKPOINT

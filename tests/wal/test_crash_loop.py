@@ -1,0 +1,193 @@
+"""Acceptance: randomized crash-loop equivalence.
+
+A driver feeds stream updates to an engine while killing it at randomized
+fault sites (log append, fsync, enqueue, dequeue, firing, action
+execution, completion accounting — with occasional torn writes), rebooting
+and recovering after every kill, until at least ``WAL_CRASH_COUNT``
+(default 100) crashes have landed.  The harness never trusts an
+in-process acknowledgement: which tokens count as *accepted* is decided
+purely from durable evidence after recovery —
+
+* rows still in the queue table (redo restored them),
+* TOKEN_DEQUEUE records (logged before the row delete), and
+* checkpoint-carried in-flight state (surfaced as replay tokens).
+
+The cumulative firing ledger is folded from ACTION_FIRED records, keyed
+by ``(seq, idx)`` so a replayed append of the same firing never counts
+twice.  At the end, an uncrashed oracle engine processes exactly the
+accepted updates; its ledger must equal the survivor's as a multiset of
+``(trigger, digest)`` — no firing lost, none invented.
+"""
+
+import json
+import os
+import random
+from collections import Counter
+
+import pytest
+
+from conftest import open_engine
+from repro.engine.descriptors import Operation
+from repro.wal import SimDisk, SimulatedCrash
+from repro.wal.log import ACTION_FIRED, TOKEN_DEQUEUE
+
+SEED = int(os.environ.get("WAL_CRASH_SEED", "1999"))
+TARGET_CRASHES = int(os.environ.get("WAL_CRASH_COUNT", "100"))
+
+#: (site, max randomized hit count) — every stage of the token pipeline
+SITES = [
+    ("wal.append", 6),
+    ("wal.sync", 3),
+    ("disk.log_append", 6),
+    ("disk.sync", 3),
+    ("queue.enqueue", 3),
+    ("queue.dequeue", 3),
+    ("engine.fire", 3),
+    ("engine.action", 3),
+    ("engine.token_done", 2),
+]
+
+TRIGGERS = [
+    "create trigger high from s when s.v > 50 do raise event High(s.k)",
+    "create trigger low from s when s.v < 50 do raise event Low(s.k)",
+    "create trigger seen from s do raise event Seen(s.k, s.v)",
+]
+
+
+def _boot(disk, sync="always"):
+    tman = open_engine(disk, sync=sync)
+    if "s" not in tman.registry:
+        tman.define_stream("s", [("k", "integer"), ("v", "integer")])
+        for text in TRIGGERS:
+            tman.create_trigger(text)
+    return tman
+
+
+def _accept(payload, accepted):
+    new = json.loads(payload).get("new") or {}
+    if "k" in new:
+        accepted[new["k"]] = new["v"]
+
+
+def _scan(tman, ledger, accepted):
+    """Fold this incarnation's durable evidence into the cumulative caches
+    (call right after boot and right before any compacting checkpoint)."""
+    for record in tman.catalog_db.wal.scan():
+        if record.rtype == ACTION_FIRED:
+            body = record.json()
+            ledger[(body["seq"], body["idx"])] = (body["trigger"], body["digest"])
+        elif record.rtype == TOKEN_DEQUEUE:
+            _accept(record.json()["payload"], accepted)
+    for _rid, row in tman.queue.table.scan():
+        _accept(row[3], accepted)
+    for token in tman._replay:
+        _accept(token.payload, accepted)
+
+
+def _crash_loop(sync, target_crashes, seed):
+    rng = random.Random(seed)
+    disk = SimDisk()
+    ledger, accepted = {}, {}
+    tman = _boot(disk, sync)  # setup incarnation runs unfaulted
+    next_k = 0
+    iterations = 0
+    while disk.faults.crashes < target_crashes:
+        iterations += 1
+        assert iterations < target_crashes * 30, "crash loop failed to converge"
+        site, span = SITES[rng.randrange(len(SITES))]
+        disk.faults.arm(site, rng.randint(1, span), torn=rng.random() < 0.3)
+        try:
+            for _ in range(rng.randint(1, 4)):
+                k = next_k
+                next_k += 1
+                tman.push(
+                    "s", Operation.INSERT, new={"k": k, "v": rng.randrange(100)}
+                )
+            tman.process_all()
+            if rng.random() < 0.25:
+                _scan(tman, ledger, accepted)  # compaction drops records
+                tman.checkpoint()
+            disk.faults.disarm()
+        except SimulatedCrash:
+            disk.faults.disarm()
+            disk.crash()
+            tman = _boot(disk, sync)
+            _scan(tman, ledger, accepted)
+
+    # Final incarnation: drain everything unfaulted, collect the last word.
+    tman.process_all()
+    _scan(tman, ledger, accepted)
+    assert len(tman.queue) == 0
+    assert tman._inflight == {}
+    assert not tman._replay
+
+    # Oracle: a machine that never crashes processes exactly the accepted
+    # updates, in submission order.
+    oracle = _boot(SimDisk())
+    for k in sorted(accepted):
+        oracle.push("s", Operation.INSERT, new={"k": k, "v": accepted[k]})
+    oracle.process_all()
+    oracle_ledger = {}
+    _scan(oracle, oracle_ledger, {})
+    return disk, ledger, oracle_ledger
+
+
+def test_crash_loop_firing_set_equals_oracle():
+    disk, ledger, oracle_ledger = _crash_loop("always", TARGET_CRASHES, SEED)
+    assert disk.faults.crashes >= TARGET_CRASHES
+    # The loop must have died at a healthy variety of pipeline stages.
+    assert len(set(disk.faults.seen)) >= 5, disk.faults.seen
+    assert Counter(ledger.values()) == Counter(oracle_ledger.values())
+
+
+def test_crash_loop_under_group_commit():
+    """Group commit widens the at-least-once window for action *effects*,
+    but the (seq, idx)-keyed durable ledger still reconciles to exactly
+    the oracle's firing multiset."""
+    disk, ledger, oracle_ledger = _crash_loop("group", 25, SEED + 1)
+    assert disk.faults.crashes >= 25
+    assert Counter(ledger.values()) == Counter(oracle_ledger.values())
+
+
+def _durable_snapshot(disk, tman):
+    """Durable state that recovery must not change: every page file's
+    contents plus the logical token records.  (The raw log is *allowed* to
+    grow across boots — catalog replay rebuilds constant tables, logging
+    fresh page images with new LSNs — but the images must redo to the same
+    bytes and no token record may appear or vanish.)"""
+    pages = {
+        name: [bytes(page) for page in pager._durable]
+        for name, pager in disk.pagers.items()
+    }
+    tokens = [
+        (r.rtype, r.json())
+        for r in tman.catalog_db.wal.scan()
+        if r.rtype in (TOKEN_DEQUEUE, ACTION_FIRED)
+    ]
+    return pages, tokens
+
+
+def test_double_recovery_is_a_noop(disk):
+    """Recover, crash without doing any work, recover again: the second
+    pass must land on byte-identical durable state and the same replay."""
+    tman = _boot(disk)
+    for i in range(5):
+        tman.push("s", Operation.INSERT, new={"k": i, "v": 75})
+    disk.faults.arm("engine.fire", 2)
+    with pytest.raises(SimulatedCrash):
+        tman.process_all()
+    disk.faults.disarm()
+    disk.crash()
+
+    first = _boot(disk)
+    replay_first = [(t.seq, dict(t.fired)) for t in first._replay]
+    disk.crash()  # nothing processed: only volatile state is lost
+    durable_first = _durable_snapshot(disk, first)
+
+    second = _boot(disk)
+    replay_second = [(t.seq, dict(t.fired)) for t in second._replay]
+    disk.crash()
+    durable_second = _durable_snapshot(disk, second)
+
+    assert replay_first == replay_second
+    assert durable_first == durable_second

@@ -1,0 +1,121 @@
+"""The fault harness itself: counted crash points, volatile/durable layers,
+torn writes on both the page and log paths."""
+
+import pytest
+
+from conftest import open_database
+from repro.sql.page import PAGE_SIZE, page_checksum
+from repro.sql.schema import schema
+from repro.wal import FaultInjector, SimDisk, SimulatedCrash
+from repro.wal.faults import CrashingPager
+from repro.wal.log import TOKEN_DONE, WriteAheadLog
+
+
+def test_injector_crashes_on_the_nth_hit():
+    faults = FaultInjector()
+    faults.arm("site", 3)
+    faults.hit("site")
+    faults.hit("site")
+    with pytest.raises(SimulatedCrash):
+        faults.hit("site")
+    assert faults.crashes == 1
+    assert faults.counters["site"] == 3
+
+
+def test_simulated_crash_pierces_except_exception():
+    """The engine isolates action failures with ``except Exception``; a
+    simulated kill must cut through that like a real SIGKILL."""
+    faults = FaultInjector()
+    faults.arm("site", 1)
+    with pytest.raises(SimulatedCrash):
+        try:
+            faults.hit("site")
+        except Exception:  # noqa: BLE001 - the point of the test
+            pytest.fail("SimulatedCrash must not be caught as Exception")
+
+
+def test_unsynced_writes_vanish_on_crash():
+    pager = CrashingPager("f")
+    pager.allocate()
+    pager.write(0, b"\x01" * PAGE_SIZE)
+    pager.sync()
+    pager.write(0, b"\x02" * PAGE_SIZE)  # volatile only
+    pager.crash()
+    assert pager.read(0) == bytearray(b"\x01" * PAGE_SIZE)
+
+
+def test_torn_page_write_leaves_a_mixed_page():
+    faults = FaultInjector()
+    pager = CrashingPager("f", faults)
+    pager.allocate()
+    pager.write(0, b"\x01" * PAGE_SIZE)
+    pager.sync()
+    pager.write(0, b"\x02" * PAGE_SIZE)
+    faults.arm("disk.sync", 1, torn=True)
+    with pytest.raises(SimulatedCrash):
+        pager.sync()
+    pager.crash()
+    durable = pager.durable_page(0)
+    half = PAGE_SIZE // 2
+    assert durable[:half] == b"\x02" * half  # new prefix promoted
+    assert durable[half:] == b"\x01" * half  # old suffix left behind
+    assert page_checksum(durable) not in (
+        page_checksum(b"\x01" * PAGE_SIZE),
+        page_checksum(b"\x02" * PAGE_SIZE),
+    )
+
+
+def test_torn_log_append_keeps_a_prefix():
+    disk = SimDisk()
+    wal = WriteAheadLog(disk.log, sync="always", faults=disk.faults)
+    wal.append(TOKEN_DONE, b"good")
+    good_size = len(disk.log.data)
+    disk.faults.arm("disk.log_append", 1, torn=True)
+    with pytest.raises(SimulatedCrash):
+        wal.append(TOKEN_DONE, b"torn")
+    assert len(disk.log.data) > good_size  # a partial suffix landed
+    # Reopen: the torn tail is truncated back to the last valid record.
+    reopened = WriteAheadLog(disk.log, sync="always")
+    assert [r.payload for r in reopened.scan()] == [b"good"]
+    assert len(disk.log.data) == good_size
+
+
+def test_database_survives_a_torn_page_flush(disk):
+    """Crash mid-flush with a torn page; redo repairs it byte-for-byte."""
+    db = open_database(disk)
+    table = db.create_table(
+        schema("emp", ("eno", "integer"), ("name", "varchar(40)"),
+               registry=db.registry)
+    )
+    for i in range(50):
+        table.insert((i, f"e{i}"))
+    db.wal.flush()
+    disk.faults.arm("disk.sync", 1, torn=True)
+    with pytest.raises(SimulatedCrash):
+        db.flush()
+    disk.faults.disarm()
+    disk.crash()
+    db2 = open_database(disk)
+    assert db2.recovery.redo_applied > 0
+    assert db2.table("emp").count() == 50
+    assert sorted(r[0] for r in db2.table("emp").rows()) == list(range(50))
+
+
+def test_crash_during_recovery_is_survivable(disk):
+    """Recovery itself can die (power cut during restart): a second
+    recovery still converges to the same state."""
+    db = open_database(disk)
+    table = db.create_table(
+        schema("emp", ("eno", "integer"), registry=db.registry)
+    )
+    for i in range(30):
+        table.insert((i,))
+    db.wal.flush()
+    disk.crash()
+    disk.faults.arm("disk.sync", 1)
+    with pytest.raises(SimulatedCrash):
+        open_database(disk)
+    disk.faults.disarm()
+    disk.crash()
+    db2 = open_database(disk)
+    assert db2.table("emp").count() == 30

@@ -1,0 +1,147 @@
+"""The log itself: framing, CRCs, torn-tail repair, group commit."""
+
+import os
+
+import pytest
+
+from repro.errors import WalError
+from repro.wal.log import (
+    ACTION_FIRED,
+    MAGIC,
+    TOKEN_DONE,
+    FileLogStorage,
+    MemoryLogStorage,
+    WriteAheadLog,
+    encode_record,
+    scan_records,
+)
+
+
+def test_lsns_are_assigned_monotonically():
+    wal = WriteAheadLog(MemoryLogStorage(), sync="always")
+    lsns = [wal.append(TOKEN_DONE, b"{}") for _ in range(5)]
+    assert lsns == [1, 2, 3, 4, 5]
+    assert wal.last_lsn == wal.durable_lsn == 5
+
+
+def test_records_round_trip_through_scan():
+    wal = WriteAheadLog(MemoryLogStorage(), sync="always")
+    wal.append_json(TOKEN_DONE, {"seq": 7})
+    wal.append_json(ACTION_FIRED, {"seq": 8, "digest": "abc"})
+    records = wal.scan()
+    assert [r.rtype for r in records] == [TOKEN_DONE, ACTION_FIRED]
+    assert records[0].json() == {"seq": 7}
+    assert records[1].json()["digest"] == "abc"
+
+
+def test_page_image_round_trip():
+    wal = WriteAheadLog(MemoryLogStorage(), sync="always")
+    data = bytes(range(256)) * 16  # 4096 bytes
+    lsn = wal.log_page("emp.tbl", 3, data)
+    assert wal.page_lsns[("emp.tbl", 3)] == lsn
+    (record,) = wal.scan()
+    assert record.page_image() == ("emp.tbl", 3, data)
+
+
+def test_scan_stops_at_crc_mismatch():
+    storage = MemoryLogStorage()
+    wal = WriteAheadLog(storage, sync="always")
+    wal.append(TOKEN_DONE, b"first")
+    wal.append(TOKEN_DONE, b"second")
+    # Flip a payload byte of the second record.
+    storage.data[-1] ^= 0xFF
+    records, valid = scan_records(bytes(storage.data))
+    assert len(records) == 1
+    assert records[0].payload == b"first"
+    assert valid < len(storage.data)
+
+
+def test_torn_tail_is_truncated_on_open():
+    storage = MemoryLogStorage()
+    wal = WriteAheadLog(storage, sync="always")
+    wal.append(TOKEN_DONE, b"keep me")
+    good_size = storage.size()
+    # A crash mid-append leaves half a record behind.
+    torn = encode_record(2, TOKEN_DONE, b"torn away")
+    storage.append(torn[: len(torn) // 2])
+    reopened = WriteAheadLog(storage, sync="always")
+    assert storage.size() == good_size
+    assert [r.payload for r in reopened.scan()] == [b"keep me"]
+    # LSN assignment resumes after the last valid record.
+    assert reopened.append(TOKEN_DONE, b"next") == 2
+
+
+def test_bad_magic_is_rejected():
+    storage = MemoryLogStorage()
+    storage.append(b"definitely not a wal file")
+    with pytest.raises(WalError):
+        WriteAheadLog(storage)
+
+
+def test_group_commit_batches_fsyncs():
+    storage = MemoryLogStorage()
+    wal = WriteAheadLog(storage, sync="group", group_size=10)
+    for _ in range(25):
+        wal.append(TOKEN_DONE, b"x")
+    # 25 appends with group_size=10: two automatic flushes, 5 still buffered.
+    assert wal.fsyncs == 2
+    assert wal.durable_lsn == 20
+    wal.flush()
+    assert wal.durable_lsn == 25
+
+
+def test_sync_always_flushes_every_append():
+    wal = WriteAheadLog(MemoryLogStorage(), sync="always")
+    for _ in range(5):
+        wal.append(TOKEN_DONE, b"x")
+    assert wal.fsyncs == 5
+    assert wal.durable_lsn == 5
+
+
+def test_sync_off_defers_until_explicit_flush():
+    wal = WriteAheadLog(MemoryLogStorage(), sync="off")
+    for _ in range(50):
+        wal.append(TOKEN_DONE, b"x")
+    assert wal.fsyncs == 0
+    assert wal.durable_lsn == 0
+    assert wal.scan() == []  # nothing durable yet
+    wal.flush()
+    assert wal.durable_lsn == 50
+    assert len(wal.scan()) == 50
+
+
+def test_flush_upto_is_a_noop_when_already_durable():
+    wal = WriteAheadLog(MemoryLogStorage(), sync="off")
+    lsn = wal.append(TOKEN_DONE, b"x")
+    wal.flush(upto=lsn)
+    fsyncs = wal.fsyncs
+    wal.flush(upto=lsn)  # already durable through lsn
+    assert wal.fsyncs == fsyncs
+
+
+def test_compact_keeps_records_from_lsn():
+    wal = WriteAheadLog(MemoryLogStorage(), sync="always")
+    for i in range(10):
+        wal.append_json(TOKEN_DONE, {"seq": i})
+    wal.compact(keep_from_lsn=8)
+    assert [r.lsn for r in wal.scan()] == [8, 9, 10]
+    # LSNs keep increasing after compaction.
+    assert wal.append(TOKEN_DONE, b"x") == 11
+
+
+def test_unknown_sync_mode_is_rejected():
+    with pytest.raises(WalError):
+        WriteAheadLog(MemoryLogStorage(), sync="sometimes")
+
+
+def test_file_storage_round_trip(tmp_path):
+    path = os.path.join(tmp_path, "wal.log")
+    storage = FileLogStorage(path)
+    wal = WriteAheadLog(storage, sync="always")
+    wal.append_json(TOKEN_DONE, {"seq": 1})
+    wal.close()
+    with open(path, "rb") as fh:
+        assert fh.read(len(MAGIC)) == MAGIC
+    reopened = WriteAheadLog(FileLogStorage(path), sync="always")
+    assert [r.json() for r in reopened.scan()] == [{"seq": 1}]
+    reopened.close()
