@@ -7,6 +7,8 @@ Options::
     python -m repro --trace [dir]    # start with token tracing enabled
     python -m repro --metrics [dir]  # start with timing metrics enabled
     python -m repro --sync=MODE dir  # WAL durability: off | group | always
+    python -m repro --drivers=N      # start N real driver threads (§6) that
+                                     # process tokens while the REPL runs
     python -m repro --no-wal dir     # persistent but without a write-ahead
                                      # log (pre-durability behaviour)
 
@@ -29,6 +31,7 @@ def main(argv=None) -> int:
     trace = metrics = False
     wal = "auto"
     wal_sync = "group"
+    drivers = 0
     positional = []
     for flag in argv:
         if not flag.startswith("--"):
@@ -39,6 +42,14 @@ def main(argv=None) -> int:
             metrics = True
         elif flag == "--no-wal":
             wal = False
+        elif flag.startswith("--drivers="):
+            try:
+                drivers = int(flag.split("=", 1)[1])
+            except ValueError:
+                drivers = -1
+            if drivers < 1:
+                print(f"bad driver count in {flag!r} (want an integer >= 1)")
+                return 2
         elif flag.startswith("--sync="):
             wal_sync = flag.split("=", 1)[1]
             if wal_sync not in ("off", "group", "always"):
@@ -58,10 +69,12 @@ def main(argv=None) -> int:
         tman = TriggerMan.in_memory(observability=metrics)
     if trace:
         tman.set_tracing(True)
+    if drivers:
+        tman.start_drivers(drivers)
     try:
         run_interactive(tman)
     finally:
-        tman.close()
+        tman.close()  # stops any running driver pool first
     return 0
 
 

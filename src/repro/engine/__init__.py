@@ -20,7 +20,13 @@ from .datasource import (
     TableDataSource,
 )
 from .descriptors import Operation, UpdateDescriptor
+from .drivers import DriverPool
 from .events import EventManager, Notification
+from .firing import FiringEngine, firing_digest
+from .locks import AtomicCounter, ReadWriteLock, ShardedRWLock, TimedLock
+from .matcher import MatchExecutor
+from .pipeline import TokenPipeline
+from .runtime import RuntimeManager
 from .queue import MemoryQueue, TableQueue, UpdateQueue
 from .tasks import (
     DEFAULT_POLL_PERIOD,
@@ -58,8 +64,18 @@ __all__ = [
     "TableDataSource",
     "Operation",
     "UpdateDescriptor",
+    "DriverPool",
     "EventManager",
     "Notification",
+    "FiringEngine",
+    "firing_digest",
+    "AtomicCounter",
+    "ReadWriteLock",
+    "ShardedRWLock",
+    "TimedLock",
+    "MatchExecutor",
+    "TokenPipeline",
+    "RuntimeManager",
     "MemoryQueue",
     "TableQueue",
     "UpdateQueue",

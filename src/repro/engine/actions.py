@@ -20,6 +20,7 @@ take down the trigger processor.
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -84,6 +85,8 @@ class ActionExecutor:
         self.callbacks: Dict[str, Callable[..., Any]] = {}
         self.failures: List[ActionFailure] = []
         self.executed = 0
+        #: guards executed/failures (actions run on concurrent drivers)
+        self._lock = threading.Lock()
         #: optional Observability bundle (attached by the engine)
         self.obs = None
 
@@ -111,11 +114,13 @@ class ActionExecutor:
         try:
             self._dispatch(action, bindings, trigger_name, trigger_id)
         except Exception as exc:  # noqa: BLE001 - isolate trigger failures
-            self.failures.append(
-                ActionFailure(trigger_name, action.render(), exc)
-            )
+            with self._lock:
+                self.failures.append(
+                    ActionFailure(trigger_name, action.render(), exc)
+                )
             return False
-        self.executed += 1
+        with self._lock:
+            self.executed += 1
         return True
 
     def _execute_observed(
@@ -133,9 +138,10 @@ class ActionExecutor:
         try:
             self._dispatch(action, bindings, trigger_name, trigger_id)
         except Exception as exc:  # noqa: BLE001 - isolate trigger failures
-            self.failures.append(
-                ActionFailure(trigger_name, action.render(), exc)
-            )
+            with self._lock:
+                self.failures.append(
+                    ActionFailure(trigger_name, action.render(), exc)
+                )
             if timing:
                 self._m_failures.inc()
             if tracing:
@@ -146,7 +152,8 @@ class ActionExecutor:
                     {"trigger": trigger_name, "ok": False},
                 )
             return False
-        self.executed += 1
+        with self._lock:
+            self.executed += 1
         end = obs.trace.clock() if (timing or tracing) else 0
         if timing:
             self._m_run_ns.observe(end - start)

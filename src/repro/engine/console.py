@@ -37,6 +37,9 @@ TriggerMan console commands:
   trace show|json     render the last trace as a tree / all traces as JSON
   trace clear         discard collected traces
   process             drain the update queue and run pending actions
+  drivers start [N]   start N real driver threads looping TmanTest() (§6)
+  drivers stop        stop the running driver pool
+  drivers status      driver count, TmanTest calls, idle waits
   checkpoint          flush dirty pages, log a checkpoint, compact the WAL
   recover             report the recovery pass run when this instance opened
   sql <statement>     execute SQL on the default connection
@@ -76,6 +79,8 @@ class Console:
             if lowered == "process":
                 processed = self.tman.process_all()
                 return f"processed {processed} update descriptor(s)"
+            if lowered.startswith("drivers"):
+                return self._drivers(lowered.split()[1:])
             if lowered == "checkpoint":
                 return self._checkpoint()
             if lowered == "recover":
@@ -103,6 +108,33 @@ class Console:
             f"log {report['log_bytes_before']} -> "
             f"{report['log_bytes_after']} bytes"
         )
+
+    def _drivers(self, args: list) -> str:
+        verb = args[0] if args else "status"
+        if verb == "start":
+            n = int(args[1]) if len(args) > 1 else None
+            pool = self.tman.start_drivers(n)
+            return f"started {pool.n} driver thread(s)"
+        if verb == "stop":
+            pool = self.tman.stop_drivers()
+            if pool is None:
+                return "no driver pool running"
+            errors = pool.errors
+            suffix = f", {len(errors)} driver error(s)" if errors else ""
+            return (
+                f"stopped {pool.n} driver(s) after {pool.calls} "
+                f"TmanTest call(s){suffix}"
+            )
+        if verb == "status":
+            pool = self.tman.driver_pool
+            if pool is None:
+                return "no driver pool running"
+            return (
+                f"{pool.running}/{pool.n} driver(s) running, "
+                f"{pool.calls} TmanTest call(s), "
+                f"{pool.idle_waits} idle wait(s)"
+            )
+        return "usage: drivers start [N] | stop | status"
 
     def _recover(self) -> str:
         recovery = self.tman.catalog_db.recovery

@@ -1,0 +1,149 @@
+"""The driver pool: real concurrent drivers for one TriggerMan instance
+(§6, Figure 1).
+
+The paper's drivers are client processes that sit in a loop calling
+``TmanTest()``; N is derived from ``NUM_CPUS × TMAN_CONCURRENCY_LEVEL``.
+Here each driver is a Python thread running the same loop against the
+engine's shared task queue, blocking on its condition variable while idle.
+
+Real threads exercise *functional* concurrency — every lock, ordering, and
+exactly-once guarantee in the engine is load-bearing under this pool.
+Throughput *scaling* studies still use the deterministic
+:class:`repro.engine.concurrency.SimulatedScheduler` (the GIL serializes
+CPU-bound Python); the two are compared side by side in experiment E6d.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional
+
+from .tasks import (
+    DEFAULT_POLL_PERIOD,
+    DEFAULT_THRESHOLD,
+    Driver,
+    compute_driver_count,
+)
+
+
+class DriverPool:
+    """N driver threads looping TmanTest() against one engine.
+
+    Use as a context manager for tests, or ``start()``/``stop()`` for the
+    console's ``drivers`` command::
+
+        with DriverPool(tman, 4) as pool:
+            feed_updates(tman)
+            assert pool.quiesce()
+    """
+
+    def __init__(
+        self,
+        tman,
+        n: Optional[int] = None,
+        *,
+        threshold: float = DEFAULT_THRESHOLD,
+        poll_period: float = DEFAULT_POLL_PERIOD,
+        concurrency_level: float = 1.0,
+    ):
+        if n is None:
+            n = compute_driver_count(os.cpu_count() or 1, concurrency_level)
+        if n < 1:
+            raise ValueError(f"driver count must be >= 1: {n}")
+        self.tman = tman
+        self.n = n
+        self.threshold = threshold
+        self.poll_period = poll_period
+        self.drivers: List[Driver] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "DriverPool":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.n):
+            driver = Driver(
+                self.tman.tasks,
+                threshold=self.threshold,
+                poll_period=self.poll_period,
+                refill=self.tman._refill_tasks,
+                name=f"tman-driver-{i}",
+            )
+            self.drivers.append(driver)
+            driver.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        for driver in self.drivers:
+            driver.stop(timeout)
+        self._started = False
+
+    def __enter__(self) -> "DriverPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- status ------------------------------------------------------------
+
+    @property
+    def running(self) -> int:
+        return sum(1 for d in self.drivers if d.is_alive())
+
+    @property
+    def calls(self) -> int:
+        return sum(d.calls for d in self.drivers)
+
+    @property
+    def idle_waits(self) -> int:
+        return sum(d.idle_waits for d in self.drivers)
+
+    @property
+    def errors(self) -> List[BaseException]:
+        """Exceptions (SimulatedCrash included) that killed drivers."""
+        return [d.error for d in self.drivers if d.error is not None]
+
+    def attach_obs(self, obs) -> None:
+        metrics = obs.metrics
+        metrics.gauge("drivers.count", callback=lambda: self.running)
+        metrics.gauge("drivers.calls", callback=lambda: self.calls)
+        metrics.gauge("drivers.idle_waits", callback=lambda: self.idle_waits)
+
+    # -- quiesce ------------------------------------------------------------
+
+    def _idle(self) -> bool:
+        tman = self.tman
+        return (
+            tman.pipeline.converting.value == 0
+            and len(tman.queue) == 0
+            and not tman.firing.replay
+            and tman.tasks.outstanding == 0
+            and not tman.firing.inflight
+        )
+
+    def quiesce(self, timeout: float = 10.0, poll: float = 0.005) -> bool:
+        """Wait until the pool has drained all pending work.
+
+        Idle means: no driver is mid-conversion, the update queue and
+        replay are empty, every enqueued task has completed, and (durable
+        mode) no token awaits its TOKEN_DONE record.  Returns False on
+        timeout or if any driver died; its exception is in :attr:`errors`.
+        """
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            if self.errors:
+                return False
+            if self._idle():
+                # The counters cross their zero points independently; only a
+                # settled re-read (after a scheduling breath) counts.
+                time.sleep(poll)
+                if self._idle() and not self.errors:
+                    return True
+                continue
+            # Work remains: make sure nobody is parked past a missed notify.
+            self.tman.tasks.kick()
+            time.sleep(poll)
+        return False

@@ -8,6 +8,7 @@ and tests can inspect recent activity.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Tuple
@@ -34,6 +35,8 @@ class EventManager:
         self._subscribers: Dict[str, Dict[int, Callback]] = {}
         self._next_subscription = 1
         self._seq = 0
+        #: guards seq/subscription assignment (events fire on any driver)
+        self._lock = threading.Lock()
         self.history: Deque[Notification] = deque(maxlen=history_size)
         #: callbacks that raised are recorded here rather than crashing the
         #: trigger processor (errors must not poison unrelated triggers).
@@ -41,17 +44,19 @@ class EventManager:
 
     def register(self, event_name: str, callback: Callback) -> int:
         """Subscribe; returns a subscription id for :meth:`unregister`."""
-        subscription = self._next_subscription
-        self._next_subscription += 1
-        self._subscribers.setdefault(event_name, {})[subscription] = callback
+        with self._lock:
+            subscription = self._next_subscription
+            self._next_subscription += 1
+            self._subscribers.setdefault(event_name, {})[subscription] = callback
         return subscription
 
     def unregister(self, subscription: int) -> bool:
-        for subs in self._subscribers.values():
-            if subscription in subs:
-                del subs[subscription]
-                return True
-        return False
+        with self._lock:
+            for subs in self._subscribers.values():
+                if subscription in subs:
+                    del subs[subscription]
+                    return True
+            return False
 
     def raise_event(
         self,
@@ -60,16 +65,20 @@ class EventManager:
         trigger_name: str,
         trigger_id: int,
     ) -> Notification:
-        self._seq += 1
-        notification = Notification(
-            event_name=event_name,
-            args=args,
-            trigger_name=trigger_name,
-            trigger_id=trigger_id,
-            seq=self._seq,
-        )
-        self.history.append(notification)
-        for callback in list(self._subscribers.get(event_name, {}).values()):
+        with self._lock:
+            self._seq += 1
+            notification = Notification(
+                event_name=event_name,
+                args=args,
+                trigger_name=trigger_name,
+                trigger_id=trigger_id,
+                seq=self._seq,
+            )
+            self.history.append(notification)
+            callbacks = list(self._subscribers.get(event_name, {}).values())
+        # Deliver outside the lock: a subscriber callback may raise further
+        # events (or block) without wedging concurrent raisers.
+        for callback in callbacks:
             try:
                 callback(notification)
             except Exception as exc:  # noqa: BLE001 - deliberate isolation

@@ -1,0 +1,324 @@
+"""The firing engine: action dispatch plus the durable exactly-once ledger.
+
+One of the four layers the TriggerMan facade delegates to (§6 driver
+architecture; see DESIGN.md):
+
+* :class:`EngineStats` — the engine's headline counters, backed by
+  *always-on* thread-safe registry counters so concurrent drivers never
+  lose an increment (a bare ``int += 1`` drops updates under interleaving);
+* :class:`FiringEngine` — everything between "a trigger's condition is
+  satisfied" and "its action ran exactly once": the in-flight token table,
+  the ACTION_FIRED / TOKEN_DONE ledger records, crash-replay skip counters,
+  and the hand-off of actions to the task queue.
+
+Lock discipline: the firing engine owns a single mutex over the in-flight
+table and replay bookkeeping.  It is near the bottom of the engine's lock
+hierarchy — holders may append to the WAL but never call back up into the
+pipeline, matcher, or cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import Counter, deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from ..lang.evaluator import Bindings
+from ..wal.log import ACTION_FIRED, TOKEN_DONE
+from .descriptors import UpdateDescriptor
+from .tasks import RUN_ACTION, Task
+from .trigger import TriggerRuntime
+
+
+def firing_digest(trigger_name: str, bindings: Bindings) -> str:
+    """Stable identity of one firing: the trigger plus its bound rows.
+
+    The digest keys the durable ACTION_FIRED ledger; replay after a crash
+    skips firings whose digests are already in the ledger (a multiset —
+    counts matter, order does not, because task scheduling may interleave
+    differently on replay)."""
+    body = {
+        "trigger": trigger_name,
+        "rows": bindings.rows,
+        "old": bindings.old_rows,
+    }
+    encoded = json.dumps(body, sort_keys=True, default=repr).encode()
+    return hashlib.sha1(encoded).hexdigest()[:16]
+
+
+class EngineStats:
+    """Headline engine counters, safe under concurrent drivers.
+
+    Each counter is an *always-on* registry counter: it counts even while
+    the metrics registry is disabled, and it doubles as the snapshot's
+    ``engine.tokens_processed`` / ``engine.triggers_fired`` /
+    ``engine.actions_executed`` entries — one storage location, one story.
+    """
+
+    def __init__(self, registry=None):
+        if registry is None:
+            from ..obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry(enabled=False, namespace="engine-stats")
+        self._tokens = registry.counter(
+            "engine.tokens_processed",
+            "tokens matched through the §5.4 path",
+            always=True,
+        )
+        self._fired = registry.counter(
+            "engine.triggers_fired",
+            "trigger firings produced (pre-action)",
+            always=True,
+        )
+        self._actions = registry.counter(
+            "engine.actions_executed",
+            "trigger actions run to completion",
+            always=True,
+        )
+
+    # -- reads (attribute-compatible with the old dataclass) ---------------
+
+    @property
+    def tokens_processed(self) -> int:
+        return self._tokens.value
+
+    @property
+    def triggers_fired(self) -> int:
+        return self._fired.value
+
+    @property
+    def actions_executed(self) -> int:
+        return self._actions.value
+
+    # -- writes ------------------------------------------------------------
+
+    def token_processed(self) -> None:
+        self._tokens.inc()
+
+    def trigger_fired(self) -> None:
+        self._fired.inc()
+
+    def action_executed(self) -> None:
+        self._actions.inc()
+
+    def reset(self) -> None:
+        self._tokens.reset()
+        self._fired.reset()
+        self._actions.reset()
+
+
+class FiringEngine:
+    """Action dispatch plus the WAL-backed exactly-once token ledger.
+
+    ``durable=False`` (no WAL, or a volatile queue) degrades gracefully:
+    :meth:`fire` just counts and submits the action task, and every ledger
+    method is a no-op.
+    """
+
+    def __init__(
+        self,
+        wal,
+        durable: bool,
+        stats: EngineStats,
+        actions,
+        submit: Callable[[Task], None],
+        queue,
+    ):
+        self.wal = wal
+        #: exactly-once tokens are on when a WAL backs the durable queue
+        self.durable = durable
+        self.stats = stats
+        self.actions = actions
+        #: task sink (the pipeline's submit; trace/timing wrapping happens there)
+        self.submit = submit
+        self.queue = queue
+        #: guards the in-flight table and all replay bookkeeping
+        self._lock = threading.Lock()
+        #: seq -> {seq, dataSrc, op, payload, fired Counter, idx, pending,
+        #: matched} for every token between dequeue and TOKEN_DONE
+        self.inflight: Dict[int, dict] = {}
+        #: tokens recovered as dequeued-but-unfinished, consumed before the
+        #: queue on the next processing call
+        self.replay: Deque[Any] = deque()
+        #: seq -> consumable Counter of digests NOT to re-execute on replay
+        self.replay_skip: Dict[int, Counter] = {}
+        #: seq -> pristine Counter of firings already in the durable ledger
+        self._replay_fired: Dict[int, Counter] = {}
+        #: redo-resurrected queue rows dropped because their dequeue was
+        #: already durable (see TableQueue.purge_seqs)
+        self.stale_rows_purged = 0
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover_tokens(self, recovery) -> None:
+        """Queue up the crash's unfinished business: every token the log
+        shows as dequeued but not TOKEN_DONE is replayed ahead of the queue
+        on the next processing call, skipping firings already in the
+        durable ledger — neither lost nor duplicated."""
+        if not self.durable or recovery is None:
+            return
+        for token in recovery.incomplete:
+            self.replay.append(token)
+            if token.fired:
+                self.replay_skip[token.seq] = Counter(token.fired)
+                self._replay_fired[token.seq] = Counter(token.fired)
+        # Rows whose dequeue is durable come back via replay (or are done);
+        # drop their redo-resurrected queue rows so nothing delivers twice,
+        # and never reuse a seq the log has already seen.
+        claimed = {t.seq for t in recovery.incomplete} | set(recovery.done_seqs)
+        self.stale_rows_purged = self.queue.purge_seqs(claimed)
+        self.queue.advance_seq(recovery.max_seq + 1)
+
+    def next_replay(self) -> Optional[UpdateDescriptor]:
+        """Pop the next recovered token (None when replay is drained)."""
+        with self._lock:
+            if not self.replay:
+                return None
+            token = self.replay.popleft()
+        return UpdateDescriptor.from_parts(
+            token.data_source, token.operation, token.payload, token.seq
+        )
+
+    # -- the in-flight ledger ----------------------------------------------
+
+    def register_inflight(self, descriptor: UpdateDescriptor) -> None:
+        """Track a dequeued token until its TOKEN_DONE record.  Registered
+        at dequeue time (not first match) so a checkpoint taken while the
+        token waits in the task queue still carries it forward."""
+        seq = descriptor.seq
+        if not self.durable or seq <= 0:
+            return
+        with self._lock:
+            if seq in self.inflight:
+                return
+            fired = Counter(self._replay_fired.pop(seq, ()))
+            self.inflight[seq] = {
+                "seq": seq,
+                "dataSrc": descriptor.data_source,
+                "op": descriptor.operation,
+                "payload": descriptor.to_json(),
+                "fired": fired,
+                "idx": sum(fired.values()),
+                "pending": 0,
+                "matched": False,
+            }
+
+    def token_matched(self, seq: int) -> None:
+        """Matching finished for the token (every firing is registered)."""
+        if not self.durable or seq <= 0:
+            return
+        with self._lock:
+            entry = self.inflight.get(seq)
+            if entry is not None:
+                entry["matched"] = True
+        self._maybe_token_done(seq)
+
+    def _task_finished(self, seq: int) -> None:
+        """One of the token's action tasks completed (not crashed)."""
+        with self._lock:
+            entry = self.inflight.get(seq)
+            if entry is None:
+                return
+            entry["pending"] -= 1
+        self._maybe_token_done(seq)
+
+    def _maybe_token_done(self, seq: int) -> None:
+        """Append TOKEN_DONE once matching finished and no task is pending."""
+        with self._lock:
+            entry = self.inflight.get(seq)
+            if entry is None or not entry["matched"] or entry["pending"] > 0:
+                return
+            del self.inflight[seq]
+        self.wal.fault("engine.token_done")
+        self.wal.append_json(TOKEN_DONE, {"seq": seq})
+
+    # -- firing ------------------------------------------------------------
+
+    def fire(self, runtime: TriggerRuntime, bindings: Bindings, seq: int) -> None:
+        """Record one firing in the ledger and submit its action task.
+
+        The caller (the match executor) holds ``runtime.lock``, so the
+        ``fire_count`` bump is safe; two firings of the *same* trigger are
+        already serialized above us."""
+        action = runtime.action
+        name = runtime.name
+        trigger_id = runtime.trigger_id
+        durable = self.durable and seq > 0
+        if durable:
+            digest = firing_digest(name, bindings)
+            with self._lock:
+                skip = self.replay_skip.get(seq)
+                if skip is not None and skip.get(digest, 0) > 0:
+                    # Already durably fired (and executed) before the crash:
+                    # the ledger has it, so replay must not run it again.
+                    skip[digest] -= 1
+                    if skip[digest] <= 0:
+                        del skip[digest]
+                    if not skip:
+                        del self.replay_skip[seq]
+                    return
+                entry = self.inflight[seq]
+                idx = entry["idx"]
+                entry["idx"] += 1
+                entry["fired"][digest] += 1
+                entry["pending"] += 1
+            # Append-before-execute: the firing is in the ledger before the
+            # action can have any effect.  (Under sync=group the record may
+            # not be *durable* yet when the action runs; a crash in that
+            # window replays the firing — the ledger stays exactly-once,
+            # external action effects are at-least-once.)
+            self.wal.append_json(
+                ACTION_FIRED,
+                {"seq": seq, "idx": idx, "trigger": name, "digest": digest},
+            )
+            self.wal.fault("engine.fire")
+        runtime.fire_count += 1
+        self.stats.trigger_fired()
+
+        def run() -> None:
+            if durable:
+                self.wal.fault("engine.action")
+            self.actions.execute(action, bindings, name, trigger_id)
+            self.stats.action_executed()
+            if durable:
+                # Deliberately not in a finally: a simulated crash must not
+                # fall through to TOKEN_DONE accounting while unwinding.
+                self._task_finished(seq)
+
+        self.submit(Task(RUN_ACTION, run, label=name))
+
+    # -- checkpoint support --------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Snapshot of unfinished tokens (plus the seq high-water mark) for
+        a fuzzy checkpoint record.  Compaction drops their pre-checkpoint
+        TOKEN_DEQUEUE / ACTION_FIRED records, so the checkpoint must carry
+        equivalent state."""
+        out: List[dict] = []
+        with self._lock:
+            for entry in self.inflight.values():
+                out.append(
+                    {
+                        "seq": entry["seq"],
+                        "dataSrc": entry["dataSrc"],
+                        "op": entry["op"],
+                        "payload": entry["payload"],
+                        "fired": dict(entry["fired"]),
+                    }
+                )
+            replay = list(self.replay)
+        for token in replay:
+            out.append(
+                {
+                    "seq": token.seq,
+                    "dataSrc": token.data_source,
+                    "op": token.operation,
+                    "payload": token.payload,
+                    "fired": dict(token.fired),
+                }
+            )
+        out.sort(key=lambda e: e["seq"])
+        max_seq = self.queue.high_seq if hasattr(self.queue, "high_seq") else 0
+        return {"incomplete": out, "max_seq": max_seq}

@@ -1,0 +1,231 @@
+"""Concurrency primitives for the layered engine (§6).
+
+The paper's driver architecture has N concurrent processes calling
+``TmanTest()`` against shared structures — the predicate index, the trigger
+cache, the update and task queues, and the log.  This module supplies the
+lock vocabulary those layers share:
+
+* :class:`ReadWriteLock` — many concurrent readers or one writer, with
+  writer preference so DDL cannot starve behind a stream of token probes;
+* :class:`ShardedRWLock` — one read-write lock per shard key (the predicate
+  index shards by data source, Figure 3's root hash);
+* :class:`TimedLock` — a mutex whose *blocking* acquisitions are measured
+  into a lock-wait histogram when metrics are enabled (uncontended
+  acquisitions pay one failed ``acquire(blocking=False)`` at most);
+* :class:`AtomicCounter` — a lock-protected integer for always-on
+  accounting that plain ``+=`` would lose under concurrent drivers.
+
+Lock hierarchy (acquire strictly downward, see DESIGN.md §6):
+pipeline/task queue → index shard (read or write) → signature group →
+cache → trigger runtime → inflight ledger → database → WAL.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+
+class AtomicCounter:
+    """A thread-safe integer counter (always-on, registry-independent)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, value: int = 0):
+        self._lock = threading.Lock()
+        self._value = value
+
+    def inc(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def dec(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value -= amount
+            return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+def _observe_wait(hist: Optional[Any], start_ns: int) -> None:
+    if hist is not None:
+        hist.observe(time.perf_counter_ns() - start_ns)
+
+
+class TimedLock:
+    """A reentrant mutex with optional lock-wait observation.
+
+    ``hist`` is a metrics Histogram (or None); only acquisitions that
+    actually block are timed, and only while the histogram's registry is
+    enabled — the uncontended fast path pays a single non-blocking acquire.
+    """
+
+    __slots__ = ("_lock", "hist")
+
+    def __init__(self, hist: Optional[Any] = None):
+        self._lock = threading.RLock()
+        self.hist = hist
+
+    def acquire(self) -> None:
+        if self._lock.acquire(blocking=False):
+            return
+        hist = self.hist
+        if hist is not None and hist.enabled:
+            start = time.perf_counter_ns()
+            self._lock.acquire()
+            _observe_wait(hist, start)
+        else:
+            self._lock.acquire()
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "TimedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.release()
+        return False
+
+
+class ReadWriteLock:
+    """A condition-variable read-write lock with writer preference.
+
+    Readers may not recursively re-acquire while a writer waits (classic
+    writer-preference caveat); the engine's layers never nest same-shard
+    read sections, so the restriction is free.
+    """
+
+    def __init__(self, hist: Optional[Any] = None):
+        self._cv = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        #: optional metrics Histogram observing blocking-wait nanoseconds
+        self.hist = hist
+
+    # -- read side ---------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cv:
+            if self._writer or self._writers_waiting:
+                hist = self.hist
+                timed = hist is not None and hist.enabled
+                start = time.perf_counter_ns() if timed else 0
+                while self._writer or self._writers_waiting:
+                    self._cv.wait()
+                if timed:
+                    _observe_wait(hist, start)
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cv:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cv.notify_all()
+
+    # -- write side --------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cv:
+            self._writers_waiting += 1
+            try:
+                if self._writer or self._readers:
+                    hist = self.hist
+                    timed = hist is not None and hist.enabled
+                    start = time.perf_counter_ns() if timed else 0
+                    while self._writer or self._readers:
+                        self._cv.wait()
+                    if timed:
+                        _observe_wait(hist, start)
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cv:
+            self._writer = False
+            self._cv.notify_all()
+
+    # -- context managers --------------------------------------------------
+
+    def read(self) -> "_ReadGuard":
+        return _ReadGuard(self)
+
+    def write(self) -> "_WriteGuard":
+        return _WriteGuard(self)
+
+
+class _ReadGuard:
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: ReadWriteLock):
+        self._lock = lock
+
+    def __enter__(self) -> ReadWriteLock:
+        self._lock.acquire_read()
+        return self._lock
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._lock.release_read()
+        return False
+
+
+class _WriteGuard:
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: ReadWriteLock):
+        self._lock = lock
+
+    def __enter__(self) -> ReadWriteLock:
+        self._lock.acquire_write()
+        return self._lock
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._lock.release_write()
+        return False
+
+
+class ShardedRWLock:
+    """One :class:`ReadWriteLock` per shard key, created on first use.
+
+    The predicate index shards by data-source name: probes for different
+    sources never contend, and DDL for one source write-locks only that
+    source's shard.
+    """
+
+    def __init__(self, hist: Optional[Any] = None):
+        self._shards: Dict[Any, ReadWriteLock] = {}
+        self._lock = threading.Lock()
+        self.hist = hist
+
+    def shard(self, key: Any) -> ReadWriteLock:
+        shard = self._shards.get(key)
+        if shard is None:
+            with self._lock:
+                shard = self._shards.get(key)
+                if shard is None:
+                    shard = self._shards[key] = ReadWriteLock(self.hist)
+        return shard
+
+    def attach_hist(self, hist: Any) -> None:
+        """(Re)bind the lock-wait histogram on every existing shard."""
+        with self._lock:
+            self.hist = hist
+            for shard in self._shards.values():
+                shard.hist = hist
+
+    def read(self, key: Any) -> _ReadGuard:
+        return self.shard(key).read()
+
+    def write(self, key: Any) -> _WriteGuard:
+        return self.shard(key).write()

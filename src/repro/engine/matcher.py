@@ -1,0 +1,295 @@
+"""The match executor: one token through the §5.4 path.
+
+Index probe → trigger cache pin → discrimination-network activation →
+firing, plus materialized-memory maintenance for non-matching delete and
+update tokens.  This layer owns no global lock: concurrency is carried by
+the structures it touches —
+
+* predicate-index probes take the data source's shard read lock and each
+  signature group's mutation lock (see :mod:`repro.predindex.index`);
+* cache pins are refcounted and loader-safe (:mod:`repro.engine.cache`);
+* per-trigger state (network memories, aggregate groups, fire counts) is
+  serialized by ``runtime.lock`` — tokens for *different* triggers process
+  in parallel, two tokens for the *same* trigger take turns.
+
+Concurrent DDL is handled pin-tolerantly: a trigger dropped between the
+index probe and the cache pin raises from the loader; the match is simply
+skipped, exactly as if the drop had happened a moment earlier.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from ..errors import CatalogError, TriggerError
+from ..lang.evaluator import Bindings
+from ..predindex.index import Match
+from .descriptors import Operation, UpdateDescriptor
+from .tasks import CONDITION_SUBSET, Task
+from .trigger import TriggerRuntime
+
+
+class MatchExecutor:
+    """Matches tokens and fires triggers; thread-safe without a big lock."""
+
+    def __init__(
+        self,
+        index,
+        cache,
+        evaluator,
+        stats,
+        firing,
+        runtimes,
+        obs,
+        m_match_ns,
+        m_pin_ns,
+        m_network_ns,
+        submit,
+    ):
+        self.index = index
+        self.cache = cache
+        self.evaluator = evaluator
+        self.stats = stats
+        self.firing = firing
+        self.runtimes = runtimes
+        self.obs = obs
+        self._m_match_ns = m_match_ns
+        self._m_pin_ns = m_pin_ns
+        self._m_network_ns = m_network_ns
+        #: task sink (the pipeline's submit) for condition-subset tasks
+        self.submit = submit
+
+    # -- pin helpers (tolerant of concurrent drops) ------------------------
+
+    def _pin(self, trigger_id: int) -> Optional[TriggerRuntime]:
+        try:
+            return self.cache.pin(trigger_id)
+        except (CatalogError, TriggerError):
+            # Dropped between the index probe and the pin: skip the match.
+            return None
+
+    def _unpin(self, trigger_id: int) -> None:
+        if self.runtimes.is_permanent(trigger_id):
+            return
+        try:
+            self.cache.unpin(trigger_id)
+        except TriggerError:
+            pass  # invalidated while we held it
+
+    # -- token processing (§5.4) -------------------------------------------
+
+    def process_token(self, descriptor: UpdateDescriptor) -> int:
+        """Match one token and enqueue its action tasks; returns the number
+        of trigger firings produced."""
+        self.stats.token_processed()
+        seq = descriptor.seq
+        # Normally a no-op (registered at dequeue); covers direct
+        # process_token() calls with a stamped descriptor.
+        self.firing.register_inflight(descriptor)
+        obs = self.obs
+        tracing = obs.trace.enabled and obs.trace.current_id()
+        if tracing:
+            probe_start = obs.trace.clock()
+        with self._m_match_ns.time():
+            matches = self.index.match(
+                descriptor.data_source,
+                descriptor.operation,
+                descriptor.match_row,
+                descriptor.changed_columns,
+                enabled=self.runtimes.is_enabled,
+            )
+        if tracing:
+            obs.trace.record(
+                "index.probe",
+                probe_start,
+                obs.trace.clock(),
+                {
+                    "data_source": descriptor.data_source,
+                    "operation": descriptor.operation,
+                    "matches": len(matches),
+                },
+            )
+        fired = 0
+        for match in matches:
+            fired += self.apply_match(descriptor, match, seq)
+        self.maintain_memories(descriptor, matches)
+        # Matching is complete and every firing is in the in-flight entry;
+        # TOKEN_DONE follows once the last action task drains.
+        self.firing.token_matched(seq)
+        return fired
+
+    def apply_match(
+        self, descriptor: UpdateDescriptor, match: Match, seq: int
+    ) -> int:
+        # This runs once per matched predicate entry — with large trigger
+        # populations that is hundreds of times per token, so the un-observed
+        # path must pay only this one guard before doing real work.
+        obs = self.obs
+        if obs.metrics.enabled or obs.trace.enabled:
+            return self._apply_match_observed(descriptor, match, seq)
+        entry = match.entry
+        runtime = self._pin(entry.trigger_id)
+        if runtime is None:
+            return 0
+        try:
+            with runtime.lock:
+                complete = runtime.network.activate(
+                    entry.tvar,
+                    descriptor.operation,
+                    descriptor.new,
+                    descriptor.old,
+                )
+                return self.fire_bindings(runtime, complete, seq)
+        finally:
+            self._unpin(entry.trigger_id)
+
+    def _apply_match_observed(
+        self, descriptor: UpdateDescriptor, match: Match, seq: int
+    ) -> int:
+        """apply_match with cache-pin/network timing and trace spans."""
+        entry = match.entry
+        obs = self.obs
+        tracing = obs.trace.enabled and obs.trace.current_id()
+        if tracing:
+            was_resident = entry.trigger_id in self.cache
+            pin_start = obs.trace.clock()
+        with self._m_pin_ns.time():
+            runtime = self._pin(entry.trigger_id)
+        if runtime is None:
+            return 0
+        if tracing:
+            obs.trace.record(
+                "cache.pin",
+                pin_start,
+                obs.trace.clock(),
+                {
+                    "trigger": entry.trigger_id,
+                    "hit": was_resident,
+                },
+            )
+            runtime.network.obs = obs
+        try:
+            with runtime.lock:
+                with self._m_network_ns.time():
+                    complete = runtime.network.activate(
+                        entry.tvar,
+                        descriptor.operation,
+                        descriptor.new,
+                        descriptor.old,
+                    )
+                return self.fire_bindings(runtime, complete, seq)
+        finally:
+            self._unpin(entry.trigger_id)
+
+    def fire_bindings(
+        self, runtime: TriggerRuntime, complete, seq: int
+    ) -> int:
+        """Caller holds ``runtime.lock`` (aggregate state is per-trigger)."""
+        fired = 0
+        for bindings in complete:
+            if runtime.group_by or runtime.having is not None:
+                ready = runtime.aggregate_fire(bindings, self.evaluator)
+                if ready is None:
+                    continue
+                bindings = ready
+            self.firing.fire(runtime, bindings, seq)
+            fired += 1
+        return fired
+
+    def maintain_memories(
+        self, descriptor: UpdateDescriptor, matches: List[Match]
+    ) -> None:
+        """Retract stale rows from materialized memories for delete/update
+        tokens that did NOT match a trigger's event condition (matched
+        tokens are maintained inside network.activate)."""
+        if descriptor.operation == Operation.INSERT or descriptor.old is None:
+            return
+        bucket = self.runtimes.materialized_for(descriptor.data_source)
+        if not bucket:
+            return
+        handled = {(m.entry.trigger_id, m.entry.tvar) for m in matches}
+        for trigger_id, tvar in bucket:
+            if (trigger_id, tvar) in handled:
+                continue
+            runtime = self._pin(trigger_id)
+            if runtime is None:
+                continue
+            try:
+                with runtime.lock:
+                    selection = runtime.graph.selection_expr(tvar)
+                    old_matches = (
+                        selection is None
+                        or self.evaluator.matches(
+                            selection, Bindings(rows={tvar: descriptor.old})
+                        )
+                    )
+                    if old_matches:
+                        runtime.network.retract(tvar, descriptor.old)
+            finally:
+                self._unpin(trigger_id)
+
+    # -- condition-level concurrency (§6 task type 3) -----------------------
+
+    def enqueue_condition_tasks(
+        self, descriptor: UpdateDescriptor, partitions: int
+    ) -> int:
+        """Split the data source's signature groups round-robin into
+        ``partitions`` subsets and enqueue one task per subset.  Each task
+        matches the token against its subset and fires the results; the
+        last task to finish also runs materialized-memory maintenance
+        (which needs the union of all subsets' matches).  Returns the
+        number of tasks enqueued.
+
+        Subset tasks run lock-free at the top level — match_in_groups and
+        apply_match carry their own locking — so §6's condition-level
+        parallelism is real on a DriverPool, not just simulated.  Subset
+        matches fire non-durably (parity with the single-task path before
+        the descriptor enters the durable pipeline).
+        """
+        from .concurrency import partition_round_robin
+
+        groups = self.index.source_index(descriptor.data_source).groups()
+        if not groups:
+            return 0
+        self.stats.token_processed()
+        self.index.stats.tokens += 1
+        subsets = [
+            s
+            for s in partition_round_robin(
+                groups, min(partitions, len(groups))
+            )
+            if s
+        ]
+        shared = {"remaining": len(subsets), "matches": []}
+        state_lock = threading.Lock()
+
+        def run_subset(subset):
+            matches = self.index.match_in_groups(
+                subset,
+                descriptor.operation,
+                descriptor.match_row,
+                descriptor.changed_columns,
+                self.runtimes.is_enabled,
+                data_source=descriptor.data_source,
+            )
+            for match in matches:
+                self.apply_match(descriptor, match, 0)
+            with state_lock:
+                shared["matches"].extend(matches)
+                shared["remaining"] -= 1
+                last = shared["remaining"] == 0
+            if last:
+                self.maintain_memories(descriptor, shared["matches"])
+
+        for subset in subsets:
+            self.submit(
+                Task(
+                    CONDITION_SUBSET,
+                    lambda s=subset: run_subset(s),
+                    label=f"{descriptor.data_source}:{descriptor.operation}"
+                    f"[{len(subset)} groups]",
+                ),
+                trace_id=descriptor.trace_id,
+            )
+        return len(subsets)

@@ -1,0 +1,133 @@
+"""The token pipeline: capture → update queue → task conversion.
+
+The front half of the engine's dataflow.  Table capture listeners and the
+data-source API push update descriptors in at :meth:`TokenPipeline.capture`;
+driver threads pull work out through :meth:`refill_tasks`, which converts
+pending descriptors (recovered replay tokens first) into PROCESS_TOKEN
+tasks on the shared task queue.
+
+The pipeline also owns :meth:`submit` — the single funnel every task takes
+into the task queue, where trace stamping and task timing are applied — and
+the ``converting`` count that lets :meth:`repro.engine.drivers.DriverPool.quiesce`
+tell "queue momentarily empty" apart from "a driver is mid-conversion".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .descriptors import UpdateDescriptor
+from .locks import AtomicCounter
+from .tasks import PROCESS_TOKEN, Task
+
+
+class TokenPipeline:
+    """Capture sink, descriptor source, and the task-submission funnel."""
+
+    def __init__(self, queue, tasks, obs, m_task_ns):
+        self.queue = queue
+        self.tasks = tasks
+        self.obs = obs
+        self._m_task_ns = m_task_ns
+        #: drivers currently inside refill_tasks (descriptors may be out of
+        #: the queue but not yet visible as tasks — quiesce must wait)
+        self.converting = AtomicCounter()
+        # Bound by the facade after the firing/matching layers exist:
+        #: the firing engine (replay + in-flight registration)
+        self.firing = None
+        #: descriptor -> fired count (the match executor's process_token)
+        self.process: Callable[[UpdateDescriptor], int] = lambda d: 0
+
+    # -- capture (the producer side) ---------------------------------------
+
+    def capture(self, descriptor: UpdateDescriptor) -> None:
+        """Sink for table capture listeners and the data-source API."""
+        if self.obs.trace.enabled:
+            descriptor = self.obs.trace.begin(descriptor)
+        self.queue.enqueue(descriptor)
+        # Wake any driver blocked in wait_for_work: new tokens mean new
+        # type-1 tasks on its next refill.
+        self.tasks.kick()
+
+    # -- task submission ----------------------------------------------------
+
+    def submit(self, task: Task, trace_id: Optional[int] = None) -> None:
+        """Enqueue a task, stamped with (and wrapped to re-establish) the
+        current trace so task.run/action.execute spans land on the token's
+        trace even though the task runs later, possibly on another thread."""
+        obs = self.obs
+        if not obs.trace.enabled:
+            trace_id = 0
+        elif trace_id is None:
+            trace_id = obs.trace.current_id()
+        timing = obs.metrics.enabled
+        if trace_id or timing:
+            inner, kind, label = task.fn, task.kind, task.label
+            task_ns = self._m_task_ns
+            tracer = obs.trace
+
+            def run_observed() -> None:
+                start = tracer.clock()
+                if trace_id:
+                    with tracer.token(trace_id):
+                        inner()
+                else:
+                    inner()
+                end = tracer.clock()
+                if timing:
+                    task_ns.observe(end - start)
+                if trace_id:
+                    tracer.record(
+                        "task.run",
+                        start,
+                        end,
+                        {"kind": kind, "label": label},
+                        trace_id=trace_id,
+                    )
+
+            task.fn = run_observed
+            task.trace_id = trace_id
+            if trace_id:
+                obs.trace.event(
+                    "task.enqueue", {"kind": kind, "label": label}
+                )
+        self.tasks.put(task)
+
+    # -- the consumer side ---------------------------------------------------
+
+    def next_descriptor(self) -> Optional[UpdateDescriptor]:
+        """Recovered replay tokens first, then the live queue."""
+        descriptor = self.firing.next_replay()
+        if descriptor is None:
+            descriptor = self.queue.dequeue()
+            if descriptor is None:
+                return None
+        self.firing.register_inflight(descriptor)
+        return descriptor
+
+    def refill_tasks(self, batch: int = 64) -> bool:
+        """Convert pending update descriptors into type-1 tasks."""
+        added = False
+        tracer = self.obs.trace
+        self.converting.inc()
+        try:
+            for _ in range(batch):
+                descriptor = self.next_descriptor()
+                if descriptor is None:
+                    break
+                if tracer.enabled:
+                    tracer.record_dequeue(descriptor)
+                self.submit(
+                    Task(
+                        PROCESS_TOKEN,
+                        lambda d=descriptor: self.process(d),
+                        label=(
+                            f"{descriptor.data_source}:{descriptor.operation}"
+                        ),
+                    ),
+                    trace_id=descriptor.trace_id,
+                )
+                added = True
+        finally:
+            self.converting.dec()
+        return added

@@ -239,4 +239,5 @@ class TableQueue(UpdateQueue):
         return UpdateDescriptor.from_parts(data_source, operation, payload, seq)
 
     def __len__(self) -> int:
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)

@@ -1,0 +1,351 @@
+"""The runtime manager: trigger lifecycle over catalog, cache, and index.
+
+Owns §5.1 (create: parse → analyze → network → signature registration →
+publication) and its inverse (drop), plus the enabled-flag fast path, the
+permanent-pin set, and the materialized-memory registry that the match
+executor consults for memory maintenance.
+
+DDL is serialized by one re-entrant ``ddl_lock`` — trigger creation and
+deletion are rare, multi-catalog operations, so fine-graining them buys
+nothing — but token processing NEVER takes it.  Safe interleaving with
+concurrent matching comes from ordering instead:
+
+* **create publishes last**: the runtime is built, catalogued, cached, and
+  enabled before its predicates enter the index — a probing token either
+  misses the trigger entirely or finds it fully operational;
+* **drop unpublishes first**: predicates leave the index before anything
+  else is torn down — a token that already probed out an entry either pins
+  the still-cached runtime (and fires: the drop landed "after") or loses
+  the race to invalidate and skips (the drop landed "before").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..condition.signature import AnalyzedPredicate
+from ..errors import TriggerError
+from ..lang import ast
+from ..lang.parser import parse_command
+from ..predindex.entry import PredicateEntry
+from ..predindex.index import SignatureGroup
+from ..predindex.organizations import AutoOrganization
+from .catalog import DEFAULT_TRIGGER_SET
+from .trigger import TriggerRuntime, analyze_trigger, build_runtime
+
+
+class RuntimeManager:
+    """Trigger definition, teardown, and runtime state."""
+
+    def __init__(
+        self,
+        catalog,
+        catalog_db,
+        registry,
+        index,
+        cache,
+        evaluator,
+        limits,
+        network_type: str,
+        obs,
+    ):
+        self.catalog = catalog
+        self.catalog_db = catalog_db
+        self.registry = registry
+        self.index = index
+        self.cache = cache
+        self.evaluator = evaluator
+        self.limits = limits
+        self.network_type = network_type
+        self.obs = obs
+        #: serializes DDL (create/drop/alter); never taken by token flow
+        self.ddl_lock = threading.RLock()
+        #: trigger id -> enabled flag (fast path; catalog is authoritative)
+        self.enabled: Dict[int, bool] = {}
+        #: trigger ids pinned permanently (stream-fed materialized memories)
+        self.permanent_pins: set = set()
+        #: source name -> [(trigger_id, tvar)] needing memory maintenance
+        self.materialized: Dict[str, List[Tuple[int, str]]] = {}
+
+    # -- trigger definition (§5.1) -----------------------------------------
+
+    def create_trigger_statement(
+        self, statement: ast.CreateTriggerStatement, text: str
+    ) -> int:
+        with self.ddl_lock:
+            return self._create_trigger_locked(statement, text)
+
+    def _create_trigger_locked(
+        self, statement: ast.CreateTriggerStatement, text: str
+    ) -> int:
+        if self.catalog.has_trigger(statement.name):
+            raise TriggerError(f"trigger {statement.name!r} already exists")
+        set_name = statement.set_name or DEFAULT_TRIGGER_SET
+        ts_id = self.catalog.trigger_set_id(set_name)  # validates
+        trigger_id = self.catalog.next_trigger_id()
+
+        # Steps 1-4: parse/validate, CNF + grouping, condition graph, network.
+        runtime = build_runtime(
+            trigger_id,
+            statement,
+            text,
+            self.registry,
+            self.evaluator,
+            set_name=set_name,
+            network_type=self.network_type,
+        )
+
+        enabled = "DISABLED" not in statement.flags
+        self.catalog.insert_trigger(
+            trigger_id, ts_id, statement.name, text, enabled
+        )
+        self.enabled[trigger_id] = enabled
+        self.put_runtime(runtime)
+        self._prime(runtime)
+        # Step 5 LAST: per-tuple-variable signature registration + constant
+        # sets.  Publishing into the index is the commit point for
+        # concurrent matching — everything a match needs (catalog row,
+        # cached runtime, enabled flag) is in place before a probe can see
+        # the trigger.
+        self._install_predicates(runtime)
+        return trigger_id
+
+    def _install_predicates(self, runtime: TriggerRuntime) -> None:
+        for tvar, analyzed in analyze_trigger(runtime):
+            group = self._signature_group(analyzed)
+            entry = PredicateEntry(
+                expr_id=self.catalog.next_expr_id(),
+                trigger_id=runtime.trigger_id,
+                tvar=tvar,
+                next_node=runtime.network.entry_node_id(tvar),
+                residual_text=(
+                    analyzed.residual.render()
+                    if analyzed.residual is not None
+                    else None
+                ),
+            )
+            self.index.add_predicate(analyzed, entry)
+            self.catalog.update_signature_stats(
+                group.sig_id,
+                group.organization.size(),
+                group.organization.name,
+            )
+
+    def _signature_group(self, analyzed: AnalyzedPredicate) -> SignatureGroup:
+        signature = analyzed.signature
+        group = self.index.find_group(signature)
+        if group is not None:
+            return group
+        # A catalog row may already exist (recovery replay): reuse its id
+        # and constant-table name rather than minting duplicates.
+        existing = self.catalog.find_signature(
+            signature.data_source, signature.operation, signature.text
+        )
+        if existing is not None:
+            sig_id = existing["sigID"]
+            const_table = existing["constTableName"]
+        else:
+            sig_id = self.catalog.next_signature_id()
+            const_table = (
+                f"const_table{sig_id}" if signature.num_constants else None
+            )
+        organization = AutoOrganization(
+            signature,
+            self.catalog_db,
+            const_table or f"const_table{sig_id}",
+            limits=self.limits,
+            on_change=lambda name, sig_id=sig_id: self._organization_changed(
+                sig_id, name
+            ),
+            obs=self.obs,
+        )
+        if existing is None:
+            self.catalog.insert_signature(
+                sig_id,
+                signature.data_source,
+                signature.operation,
+                signature.text,
+                const_table,
+                organization.name,
+            )
+        return self.index.register_signature(sig_id, signature, organization)
+
+    def _organization_changed(self, sig_id: int, name: str) -> None:
+        # Size is refreshed by the caller's update_signature_stats; record
+        # the new organization eagerly so catalog readers see it.
+        for row in self.catalog.list_signatures():
+            if row["sigID"] == sig_id:
+                self.catalog.update_signature_stats(
+                    sig_id, row["constantSetSize"], name
+                )
+                return
+
+    def put_runtime(self, runtime: TriggerRuntime) -> None:
+        """Install a freshly built runtime without a loader round-trip."""
+        self.cache.seed(runtime.trigger_id, runtime)
+        with self.ddl_lock:
+            for tvar in runtime.network.materialized_tvars():
+                source = runtime.tvar_sources[tvar]
+                entry = (runtime.trigger_id, tvar)
+                bucket = self.materialized.setdefault(source, [])
+                if entry not in bucket:
+                    bucket.append(entry)
+            if self._needs_permanent_pin(runtime):
+                # Stream-fed materialized memories cannot be rebuilt from a
+                # base table, so such triggers stay pinned for their
+                # lifetime.
+                self.cache.pin(runtime.trigger_id)
+                self.permanent_pins.add(runtime.trigger_id)
+
+    def _needs_permanent_pin(self, runtime: TriggerRuntime) -> bool:
+        """Materialized memories over *stream* sources hold state that a
+        cache reload cannot reconstruct (table-backed memories are re-primed
+        by the loader)."""
+        for tvar in runtime.network.materialized_tvars():
+            source = self.registry.get(runtime.tvar_sources[tvar])
+            if source.fetcher() is None:
+                return True
+        return False
+
+    def _prime(self, runtime: TriggerRuntime) -> None:
+        """§5.1: 'prime' the trigger.  Virtual alpha memories need nothing;
+        materialized memories over table sources (when virtual is disabled)
+        would be loaded here.  Stream memories start empty."""
+
+    def load_runtime(self, trigger_id: int) -> TriggerRuntime:
+        """Cache loader: rebuild a runtime from its catalogued text."""
+        text = self.catalog.trigger_text(trigger_id)
+        statement = parse_command(text)
+        assert isinstance(statement, ast.CreateTriggerStatement)
+        set_name = statement.set_name or DEFAULT_TRIGGER_SET
+        return build_runtime(
+            trigger_id,
+            statement,
+            text,
+            self.registry,
+            self.evaluator,
+            set_name=set_name,
+            network_type=self.network_type,
+        )
+
+    # -- teardown -----------------------------------------------------------
+
+    def drop_trigger(self, name: str) -> int:
+        with self.ddl_lock:
+            trigger_id = self.catalog.trigger_id(name)
+            # Unpublish FIRST: once the predicates are out of the index no
+            # new token can match the trigger; in-flight matches pin the
+            # still-cached runtime or skip on the loader error.
+            self.index.remove_trigger(trigger_id)
+            self.catalog.delete_trigger(name)
+            for group in self.index.groups():
+                self.catalog.update_signature_stats(
+                    group.sig_id,
+                    group.organization.size(),
+                    group.organization.name,
+                )
+            for bucket in self.materialized.values():
+                bucket[:] = [e for e in bucket if e[0] != trigger_id]
+            if trigger_id in self.permanent_pins:
+                self.permanent_pins.discard(trigger_id)
+                self.cache.unpin(trigger_id)
+            self.cache.invalidate(trigger_id)
+            self.enabled.pop(trigger_id, None)
+            return trigger_id
+
+    # -- enabled flags --------------------------------------------------------
+
+    def set_trigger_enabled(self, name: str, enabled: bool) -> int:
+        with self.ddl_lock:
+            trigger_id = self.catalog.set_trigger_enabled(name, enabled)
+            self.enabled[trigger_id] = (
+                enabled and self.catalog.trigger_enabled(trigger_id)
+            )
+            self._refresh_enabled()
+            return trigger_id
+
+    def set_trigger_set_enabled(self, name: str, enabled: bool) -> None:
+        with self.ddl_lock:
+            self.catalog.set_trigger_set_enabled(name, enabled)
+            self._refresh_enabled()
+
+    def _refresh_enabled(self) -> None:
+        for row in self.catalog.list_triggers():
+            self.enabled[row["triggerID"]] = self.catalog.trigger_enabled(
+                row["triggerID"]
+            )
+
+    def is_enabled(self, trigger_id: int) -> bool:
+        return self.enabled.get(trigger_id, True)
+
+    def is_permanent(self, trigger_id: int) -> bool:
+        return trigger_id in self.permanent_pins
+
+    def materialized_for(self, source: str) -> List[Tuple[int, str]]:
+        """Snapshot of (trigger_id, tvar) pairs with materialized memories
+        over ``source`` (copied: concurrent DDL may resize the bucket)."""
+        with self.ddl_lock:
+            bucket = self.materialized.get(source)
+            return list(bucket) if bucket else []
+
+    # -- restore ---------------------------------------------------------------
+
+    def restore(self, connection_resolver, capture) -> None:
+        """Rebuild data sources and replay trigger definitions from the
+        catalog (recovery = catalog replay; constant tables are rebuilt).
+        Boot-time and single-threaded, so publish ordering is moot."""
+        from .datasource import StreamDataSource, TableDataSource
+
+        rows = self.catalog.list_data_sources()
+        for row in rows:
+            if row["name"] in self.registry:
+                continue
+            if row["kind"] == "stream":
+                source = StreamDataSource(
+                    row["dsID"], row["name"],
+                    [tuple(c) for c in row["columns"] or []],
+                )
+                self.registry.add(source)
+            else:
+                conn = connection_resolver(row["connection"])
+                table = conn.database.table(row["tableName"])
+                source = TableDataSource(row["dsID"], row["name"], conn, table)
+                source.install_capture(capture)
+                self.registry.add(source)
+        triggers = self.catalog.list_triggers()
+        if not triggers:
+            return
+        # Drop stale constant tables (they are rebuilt by replay).
+        for sig_row in self.catalog.list_signatures():
+            name = sig_row["constTableName"]
+            if name and self.catalog_db.has_table(name):
+                self.catalog_db.table(name).truncate()
+        for row in triggers:
+            statement = parse_command(row["trigger_text"])
+            assert isinstance(statement, ast.CreateTriggerStatement)
+            runtime = build_runtime(
+                row["triggerID"],
+                statement,
+                row["trigger_text"],
+                self.registry,
+                self.evaluator,
+                set_name=statement.set_name or DEFAULT_TRIGGER_SET,
+                network_type=self.network_type,
+            )
+            self._install_predicates(runtime)
+            self.enabled[row["triggerID"]] = self.catalog.trigger_enabled(
+                row["triggerID"]
+            )
+            self.put_runtime(runtime)
+
+    # -- introspection -----------------------------------------------------------
+
+    def triggers(self) -> List[TriggerRuntime]:
+        """Runtimes for every catalogued trigger (loads through the cache)."""
+        out = []
+        for trigger_id in self.catalog.trigger_ids():
+            runtime = self.cache.pin(trigger_id)
+            self.cache.unpin(trigger_id)
+            out.append(runtime)
+        return out

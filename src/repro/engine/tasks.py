@@ -4,8 +4,11 @@ TriggerMan cannot spawn threads inside its host (the paper's Informix
 process-architecture constraint), so work is queued explicitly and one or
 more *driver* processes repeatedly call ``TmanTest()``, which executes tasks
 until a time THRESHOLD elapses or the queue empties, yielding between tasks.
-The driver waits T between calls while the queue is empty and calls back
-immediately otherwise; both default to 250 ms in the paper.
+The driver waits up to T between calls while the queue is empty and calls
+back immediately otherwise; both default to 250 ms in the paper.  Idle
+drivers *block* on the queue's condition variable rather than spinning on
+the poll period — a new task (or the capture path's kick) wakes one
+immediately, and T degrades into a fallback heartbeat.
 
 Task kinds (§6): 1 — process one token against the predicate index,
 2 — run one rule action, 3 — process a token against a subset of
@@ -52,13 +55,27 @@ class Task:
 
 
 class TaskQueue:
-    """Thread-safe FIFO of tasks (the shared-memory task queue of §6)."""
+    """Thread-safe FIFO of tasks (the shared-memory task queue of §6).
+
+    A condition variable over the queue lock lets idle drivers block in
+    :meth:`wait_for_work` instead of busy-polling; ``put`` and ``kick``
+    wake them.  ``mark_done`` closes the loop on executed tasks so
+    ``outstanding`` (enqueued − completed) can answer "is any work still
+    queued *or running*?" — the quiesce primitive the driver pool needs.
+    """
 
     def __init__(self) -> None:
         self._items: Deque[Task] = deque()
         self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        #: count of threads currently blocked in wait_for_work (kick checks
+        #: it without the lock: a stale read only costs one extra notify)
+        self._waiters = 0
         self.enqueued = 0
         self.executed = 0
+        self.completed = 0
+        #: condition-variable wakeups delivered to idle drivers
+        self.wakeups = 0
         #: optional Observability bundle (attached by the engine)
         self.obs = None
 
@@ -68,18 +85,56 @@ class TaskQueue:
         obs.metrics.gauge("tasks.enqueued", callback=lambda: self.enqueued)
         obs.metrics.gauge("tasks.executed", callback=lambda: self.executed)
         obs.metrics.gauge("tasks.depth", callback=lambda: len(self._items))
+        obs.metrics.gauge("tasks.wakeups", callback=lambda: self.wakeups)
+        obs.metrics.gauge(
+            "tasks.outstanding", callback=lambda: self.outstanding
+        )
 
     def put(self, task: Task) -> None:
-        with self._lock:
+        with self._cv:
             self._items.append(task)
             self.enqueued += 1
+            self._cv.notify()
 
     def get(self) -> Optional[Task]:
+        """Non-blocking pop (None when empty) — the TmanTest inner loop."""
         with self._lock:
             if not self._items:
                 return None
             self.executed += 1
             return self._items.popleft()
+
+    def mark_done(self, count: int = 1) -> None:
+        """Record that a previously-gotten task finished running."""
+        with self._lock:
+            self.completed += count
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks enqueued but not yet finished (queued or mid-run)."""
+        return self.enqueued - self.completed
+
+    def wait_for_work(self, timeout: Optional[float] = None) -> bool:
+        """Block until a task is available (or ``timeout`` elapses); returns
+        True when the queue is non-empty.  This is the idle driver's parking
+        spot: a ``put`` or ``kick`` ends the wait immediately."""
+        with self._cv:
+            if self._items:
+                return True
+            self._waiters += 1
+            try:
+                self._cv.wait(timeout)
+            finally:
+                self._waiters -= 1
+            self.wakeups += 1
+            return bool(self._items)
+
+    def kick(self) -> None:
+        """Wake every blocked driver (new upstream work, e.g. an update
+        descriptor arrived and needs a refill pass — or shutdown)."""
+        if self._waiters:
+            with self._cv:
+                self._cv.notify_all()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -106,7 +161,10 @@ def tman_test(
             if refill is not None and refill():
                 continue
             return TASK_QUEUE_EMPTY
-        task.run()
+        try:
+            task.run()
+        finally:
+            queue.mark_done()
         if yield_fn is not None:
             yield_fn()
     if len(queue) == 0 and (refill is None or not refill()):
@@ -115,9 +173,11 @@ def tman_test(
 
 
 class Driver(threading.Thread):
-    """A driver thread: calls TmanTest periodically (Figure 1's driver
-    program).  Real threads serve functional concurrency tests; throughput
-    *scaling* benchmarks use the deterministic simulator in
+    """A driver thread: calls TmanTest in a loop (Figure 1's driver
+    program), blocking on the task queue's condition variable while idle
+    (``poll_period`` is the fallback heartbeat, the paper's T).  Real
+    threads serve functional concurrency tests; throughput *scaling*
+    benchmarks use the deterministic simulator in
     :mod:`repro.engine.concurrency` instead (GIL)."""
 
     def __init__(
@@ -134,17 +194,29 @@ class Driver(threading.Thread):
         self.poll_period = poll_period
         self.refill = refill
         self.calls = 0
+        #: times this driver parked on the queue's condition variable
+        self.idle_waits = 0
+        #: the exception (SimulatedCrash included) that killed this driver
+        self.error: Optional[BaseException] = None
         self._stop_event = threading.Event()
 
     def run(self) -> None:
-        while not self._stop_event.is_set():
-            self.calls += 1
-            status = tman_test(self.queue, self.threshold, self.refill)
-            if status == TASK_QUEUE_EMPTY:
-                self._stop_event.wait(self.poll_period)
+        try:
+            while not self._stop_event.is_set():
+                self.calls += 1
+                status = tman_test(self.queue, self.threshold, self.refill)
+                if status == TASK_QUEUE_EMPTY and not self._stop_event.is_set():
+                    self.idle_waits += 1
+                    self.queue.wait_for_work(self.poll_period)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            # A SimulatedCrash (or any bug) must not vanish with the thread:
+            # record it for the pool/test harness and stop quietly.
+            self.error = exc
+            self._stop_event.set()
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop_event.set()
+        self.queue.kick()
         self.join(timeout)
 
 

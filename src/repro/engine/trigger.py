@@ -13,6 +13,7 @@ touches the shared predicate index and catalogs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -54,6 +55,12 @@ class TriggerRuntime:
     #: group key -> accumulated bindings (aggregate trigger state)
     group_state: Dict[Tuple, List[Bindings]] = field(default_factory=dict)
     fire_count: int = 0
+    #: serializes network activation and aggregate-state mutation: tokens
+    #: for *different* triggers process in parallel, two tokens for the
+    #: *same* trigger take turns (its memories are stateful)
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def tvars(self) -> Tuple[str, ...]:

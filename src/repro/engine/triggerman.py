@@ -1,6 +1,14 @@
 """The TriggerMan facade: the asynchronous trigger processor of the paper,
-wired together — catalogs, data sources, the predicate index, the trigger
-cache, the update queue, the task queue, and action execution.
+wired together from four layered components —
+
+* :class:`repro.engine.pipeline.TokenPipeline` — capture → update queue →
+  task conversion (and the single task-submission funnel);
+* :class:`repro.engine.matcher.MatchExecutor` — index probe, cache pin,
+  network activation, memory maintenance (§5.4);
+* :class:`repro.engine.firing.FiringEngine` — action dispatch plus the
+  WAL-backed exactly-once token ledger;
+* :class:`repro.engine.runtime.RuntimeManager` — trigger lifecycle over
+  catalog, cache, and predicate index (§5.1).
 
 Typical use::
 
@@ -17,84 +25,46 @@ Processing is asynchronous (§3): table mutations are captured into the
 update-descriptor queue; ``process_all()`` / ``tman_test()`` consume the
 queue, match tokens through the predicate index (§5.4), pin matched
 triggers in the cache, run their A-TREAT networks, and execute fired
-actions as tasks.
+actions as tasks.  There is no big engine lock: any number of real driver
+threads (see :class:`repro.engine.drivers.DriverPool`) may call
+``tman_test()`` concurrently — each layer carries its own fine-grained
+locking, ordered by the hierarchy documented in :mod:`repro.engine.locks`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import threading
-from collections import Counter, deque
-from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..condition.signature import AnalyzedPredicate
-from ..errors import CatalogError, TriggerError
+from ..errors import TriggerError
 from ..obs import Observability
+from ..obs.views import register_engine_views
 from ..lang import ast
-from ..lang.evaluator import Bindings, Evaluator
+from ..lang.evaluator import Evaluator
 from ..lang.parser import parse_command
+from .ingest import IngestionMixin
 from ..predindex.costmodel import DEFAULT_LIMITS, Limits
-from ..predindex.entry import PredicateEntry
-from ..predindex.index import Match, PredicateIndex, SignatureGroup
-from ..predindex.organizations import AutoOrganization
+from ..predindex.index import PredicateIndex
 from ..sql.database import Database
-from ..sql.schema import schema as make_schema
-from ..wal.log import ACTION_FIRED, TOKEN_DONE
 from .actions import ActionExecutor
 from .cache import TriggerCache
-from .catalog import DEFAULT_TRIGGER_SET, TriggerManCatalog
-from .datasource import (
-    Connection,
-    DataSourceRegistry,
-    StreamDataSource,
-    TableDataSource,
-)
-from .descriptors import Operation, UpdateDescriptor
+from .catalog import TriggerManCatalog
+from .datasource import Connection, DataSourceRegistry
+from .descriptors import UpdateDescriptor
 from .events import EventManager
+from .firing import EngineStats, FiringEngine
+from .firing import firing_digest as _firing_digest  # compat re-export
+from .matcher import MatchExecutor
+from .pipeline import TokenPipeline
 from .queue import MemoryQueue, TableQueue, UpdateQueue
-from .tasks import (
-    DEFAULT_THRESHOLD,
-    RUN_ACTION,
-    PROCESS_TOKEN,
-    Task,
-    TaskQueue,
-    tman_test,
-)
-from .trigger import TriggerRuntime, analyze_trigger, build_runtime
+from .runtime import RuntimeManager
+from .tasks import DEFAULT_THRESHOLD, TaskQueue, tman_test
+from .trigger import TriggerRuntime
+
+__all__ = ["EngineStats", "TriggerMan", "_firing_digest"]
 
 
-def _firing_digest(trigger_name: str, bindings: Bindings) -> str:
-    """Stable identity of one firing: the trigger plus its bound rows.
-
-    The digest keys the durable ACTION_FIRED ledger; replay after a crash
-    skips firings whose digests are already in the ledger (a multiset —
-    counts matter, order does not, because task scheduling may interleave
-    differently on replay)."""
-    body = {
-        "trigger": trigger_name,
-        "rows": bindings.rows,
-        "old": bindings.old_rows,
-    }
-    encoded = json.dumps(body, sort_keys=True, default=repr).encode()
-    return hashlib.sha1(encoded).hexdigest()[:16]
-
-
-@dataclass
-class EngineStats:
-    tokens_processed: int = 0
-    triggers_fired: int = 0
-    actions_executed: int = 0
-
-    def reset(self) -> None:
-        self.tokens_processed = 0
-        self.triggers_fired = 0
-        self.actions_executed = 0
-
-
-class TriggerMan:
-    """The trigger processor."""
+class TriggerMan(IngestionMixin):
+    """The trigger processor (a facade over the four engine layers)."""
 
     def __init__(
         self,
@@ -132,7 +102,7 @@ class TriggerMan:
         self.actions = ActionExecutor(default_db, self.events, self.evaluator)
         self.actions.attach_obs(self.obs)
         self.index = PredicateIndex(self.evaluator)
-        self.index.obs = self.obs
+        self.index.attach_obs(self.obs)
         self.queue: UpdateQueue = (
             TableQueue(self.catalog_db, sync_on_enqueue=sync_on_enqueue)
             if durable_queue
@@ -145,13 +115,15 @@ class TriggerMan:
         self.queue.attach_obs(self.obs)
         self.tasks = TaskQueue()
         self.tasks.attach_obs(self.obs)
+        # The loader closure is late-bound: the cache must exist before the
+        # runtime manager that loads into it.
         self.cache = TriggerCache(
-            self._load_runtime,
+            lambda trigger_id: self.runtimes.load_runtime(trigger_id),
             capacity=cache_capacity,
             capacity_bytes=cache_bytes,
             size_of=lambda runtime: runtime.estimated_size(),
         )
-        self.stats = EngineStats()
+        self.stats = EngineStats(self.obs.metrics)
         # Pre-bound stage histograms (observe() is a no-op while the
         # registry is disabled, so the hot path pays one attribute read).
         metrics = self.obs.metrics
@@ -170,88 +142,49 @@ class TriggerMan:
         self._m_task_ns = metrics.histogram(
             "task.run_ns", "one task queue unit of work"
         )
-        self._register_metric_views()
-        #: trigger id -> enabled flag (fast path; catalog is authoritative)
-        self._enabled: Dict[int, bool] = {}
-        #: trigger ids pinned permanently (stream-fed materialized memories)
-        self._permanent_pins: set = set()
-        #: source name -> [(trigger_id, tvar)] needing memory maintenance
-        self._materialized: Dict[str, List[Tuple[int, str]]] = {}
-        self._lock = threading.RLock()
-        # -- exactly-once token state (durable mode only) ------------------
-        #: seq -> {dataSrc, op, payload, fired Counter, idx, pending, matched}
-        #: for every token between its dequeue and its TOKEN_DONE record
-        self._inflight: Dict[int, dict] = {}
-        self._inflight_lock = threading.Lock()
-        #: the seq being matched right now (guarded by self._lock)
-        self._current_seq = 0
-        #: tokens recovered as dequeued-but-unfinished, consumed before the
-        #: queue on the next processing call
-        self._replay: Deque = deque()
-        #: seq -> consumable Counter of digests NOT to re-execute on replay
-        self._replay_skip: Dict[int, Counter] = {}
-        #: seq -> pristine Counter of firings already in the durable ledger
-        self._replay_fired: Dict[int, Counter] = {}
-        #: redo-resurrected queue rows dropped because their dequeue was
-        #: already durable (see TableQueue.purge_seqs)
-        self._stale_rows_purged = 0
-        self._restore()
-        self._recover_tokens()
-        self.catalog_db.checkpoint_state_provider = self._checkpoint_token_state
-
-    def _register_metric_views(self) -> None:
-        """Fold the pre-existing stat dataclasses (EngineStats, IndexStats,
-        CacheStats, BufferStats, queue/task accounting) into the instance
-        registry as callback gauges: one stats story, zero hot-path cost —
-        the callbacks run only at snapshot time."""
-        gauge = self.obs.metrics.gauge
-        engine, index, cache = self.stats, self.index, self.cache
-        gauge("engine.tokens_processed", callback=lambda: engine.tokens_processed)
-        gauge("engine.triggers_fired", callback=lambda: engine.triggers_fired)
-        gauge("engine.actions_executed", callback=lambda: engine.actions_executed)
-        gauge("engine.action_failures", callback=lambda: len(self.actions.failures))
-        gauge("index.tokens", callback=lambda: index.stats.tokens)
-        gauge("index.groups_probed", callback=lambda: index.stats.groups_probed)
-        gauge("index.entries_probed", callback=lambda: index.stats.entries_probed)
-        gauge("index.residual_tests", callback=lambda: index.stats.residual_tests)
-        gauge("index.matches", callback=lambda: index.stats.matches)
-        gauge("index.signatures", callback=index.signature_count)
-        gauge("index.entries", callback=index.entry_count)
-        gauge("cache.hits", callback=lambda: cache.stats.hits)
-        gauge("cache.misses", callback=lambda: cache.stats.misses)
-        gauge("cache.evictions", callback=lambda: cache.stats.evictions)
-        gauge("cache.pins", callback=lambda: cache.stats.pins)
-        gauge("cache.unpins", callback=lambda: cache.stats.unpins)
-        gauge("cache.resident", callback=lambda: len(cache))
-        gauge("cache.resident_bytes", callback=cache.resident_bytes)
-        gauge("cache.pinned", callback=cache.pinned_count)
-        pool = self.catalog_db.pool
-        gauge("buffer.hits", callback=lambda: pool.stats.hits)
-        gauge("buffer.misses", callback=lambda: pool.stats.misses)
-        gauge("buffer.evictions", callback=lambda: pool.stats.evictions)
-        gauge("buffer.writebacks", callback=lambda: pool.stats.writebacks)
-        gauge("buffer.flush_pages", callback=lambda: dict(pool.flush_pages))
-        gauge("buffer.fsyncs", callback=pool.total_fsyncs)
-        wal = self.catalog_db.wal
-        if wal is not None:
-            gauge("wal.appends", callback=lambda: wal.appends)
-            gauge("wal.fsyncs", callback=lambda: wal.fsyncs)
-            gauge("wal.bytes_appended", callback=lambda: wal.bytes_appended)
-            gauge("wal.page_images", callback=lambda: wal.page_images)
-            gauge("wal.last_lsn", callback=lambda: wal.last_lsn)
-            gauge("wal.durable_lsn", callback=lambda: wal.durable_lsn)
-            gauge("wal.inflight_tokens", callback=lambda: len(self._inflight))
-            gauge("wal.replay_tokens", callback=lambda: len(self._replay))
-        recovery = self.catalog_db.recovery
-        if recovery is not None:
-            gauge("recovery.records_scanned",
-                  callback=lambda: recovery.records_scanned)
-            gauge("recovery.redo_applied",
-                  callback=lambda: recovery.redo_applied)
-            gauge("recovery.redo_skipped",
-                  callback=lambda: recovery.redo_skipped)
-            gauge("recovery.tokens_replayed",
-                  callback=lambda: len(recovery.incomplete))
+        # -- the four layers ----------------------------------------------
+        self.runtimes = RuntimeManager(
+            self.catalog,
+            self.catalog_db,
+            self.registry,
+            self.index,
+            self.cache,
+            self.evaluator,
+            self.limits,
+            self.network_type,
+            self.obs,
+        )
+        self.pipeline = TokenPipeline(
+            self.queue, self.tasks, self.obs, self._m_task_ns
+        )
+        self.firing = FiringEngine(
+            self.wal,
+            self._durable_tokens,
+            self.stats,
+            self.actions,
+            self.pipeline.submit,
+            self.queue,
+        )
+        self.matcher = MatchExecutor(
+            self.index,
+            self.cache,
+            self.evaluator,
+            self.stats,
+            self.firing,
+            self.runtimes,
+            self.obs,
+            self._m_match_ns,
+            self._m_pin_ns,
+            self._m_network_ns,
+            self.pipeline.submit,
+        )
+        self.pipeline.firing = self.firing
+        self.pipeline.process = self.process_token
+        self._driver_pool = None
+        register_engine_views(self)
+        self.runtimes.restore(self._connection, self._capture)
+        self.firing.recover_tokens(self.catalog_db.recovery)
+        self.catalog_db.checkpoint_state_provider = self.firing.checkpoint_state
 
     # -- constructors --------------------------------------------------------
 
@@ -278,133 +211,7 @@ class TriggerMan:
         ``wal=False`` opts out of logging entirely."""
         return cls(Database(path, wal=wal, wal_sync=wal_sync), **kwargs)
 
-    # -- connections -----------------------------------------------------------
-
-    @property
-    def default_connection(self) -> Connection:
-        return self.connections["default"]
-
-    def add_connection(self, name: str, database: Database) -> Connection:
-        if name in self.connections:
-            raise CatalogError(f"connection {name!r} already defined")
-        connection = Connection(name, database)
-        self.connections[name] = connection
-        return connection
-
-    def _connection(self, name: Optional[str]) -> Connection:
-        if name is None:
-            return self.default_connection
-        try:
-            return self.connections[name]
-        except KeyError:
-            raise CatalogError(f"no such connection {name!r}")
-
-    # -- data sources ----------------------------------------------------------
-
-    def define_table(
-        self,
-        name: str,
-        columns: Sequence[Tuple[str, str]],
-        connection: Optional[str] = None,
-    ):
-        """Create a table on a connection and register it as a data source
-        (update capture included).  Returns the data source."""
-        conn = self._connection(connection)
-        table = conn.database.create_table(
-            make_schema(name, *columns, registry=conn.database.registry)
-        )
-        return self._register_table_source(name, conn, table, persist=True)
-
-    def define_data_source_from_table(
-        self, name: str, table_name: Optional[str] = None,
-        connection: Optional[str] = None,
-    ):
-        """Register an *existing* table as a data source (the paper's
-        ``define data source`` for local tables)."""
-        conn = self._connection(connection)
-        table = conn.database.table(table_name or name)
-        return self._register_table_source(name, conn, table, persist=True)
-
-    def _register_table_source(
-        self, name: str, conn: Connection, table, persist: bool
-    ) -> TableDataSource:
-        source = TableDataSource(
-            self.registry.next_id(), name, conn, table
-        )
-        source.install_capture(self._capture)
-        self.registry.add(source)
-        if persist:
-            self.catalog.insert_data_source(
-                source.ds_id, name, "table", conn.name, table.name
-            )
-        return source
-
-    def define_stream(
-        self, name: str, columns: Sequence[Tuple[str, str]]
-    ) -> StreamDataSource:
-        """Register a generic data-source program feed."""
-        source = StreamDataSource(self.registry.next_id(), name, list(columns))
-        self.registry.add(source)
-        self.catalog.insert_data_source(
-            source.ds_id, name, "stream", None, None, list(columns)
-        )
-        return source
-
-    def drop_data_source(self, name: str) -> None:
-        used_by = [
-            row["name"]
-            for row in self.catalog.list_triggers()
-            if name in row["trigger_text"]
-        ]
-        source = self.registry.get(name)
-        for trigger in self.triggers():
-            if name in trigger.tvar_sources.values():
-                raise CatalogError(
-                    f"data source {name!r} is used by trigger {trigger.name!r}"
-                )
-        self.registry.drop(name)
-        self.catalog.delete_data_source(name)
-
-    def _capture(self, descriptor: UpdateDescriptor) -> None:
-        """Sink for table capture listeners and the data-source API."""
-        if self.obs.trace.enabled:
-            descriptor = self.obs.trace.begin(descriptor)
-        self.queue.enqueue(descriptor)
-
-    # -- command interface -------------------------------------------------------
-
-    def execute_command(self, text: str):
-        """Parse and execute one TriggerMan command (§2 syntax)."""
-        statement = parse_command(text)
-        if isinstance(statement, ast.CreateTriggerStatement):
-            return self.create_trigger_statement(statement, text)
-        if isinstance(statement, ast.DropTriggerStatement):
-            return self.drop_trigger(statement.name)
-        if isinstance(statement, ast.CreateTriggerSetStatement):
-            return self.catalog.create_trigger_set(
-                statement.name, statement.comments
-            )
-        if isinstance(statement, ast.DropTriggerSetStatement):
-            return self.catalog.drop_trigger_set(statement.name)
-        if isinstance(statement, ast.AlterTriggerStatement):
-            if statement.is_set:
-                return self.set_trigger_set_enabled(
-                    statement.name, statement.enabled
-                )
-            return self.set_trigger_enabled(statement.name, statement.enabled)
-        if isinstance(statement, ast.DefineDataSourceStatement):
-            if statement.stream_columns:
-                return self.define_stream(
-                    statement.name, list(statement.stream_columns)
-                )
-            return self.define_data_source_from_table(
-                statement.name, statement.table, statement.connection
-            )
-        if isinstance(statement, ast.DropDataSourceStatement):
-            return self.drop_data_source(statement.name)
-        raise TriggerError(f"cannot execute {type(statement).__name__}")
-
-    # -- trigger definition (§5.1) ---------------------------------------------------
+    # -- trigger management (delegated to the runtime manager) ------------------
 
     def create_trigger(self, text: str) -> int:
         statement = parse_command(text)
@@ -415,623 +222,82 @@ class TriggerMan:
     def create_trigger_statement(
         self, statement: ast.CreateTriggerStatement, text: str
     ) -> int:
-        with self._lock:
-            return self._create_trigger_locked(statement, text)
-
-    def _create_trigger_locked(
-        self, statement: ast.CreateTriggerStatement, text: str
-    ) -> int:
-        if self.catalog.has_trigger(statement.name):
-            raise TriggerError(f"trigger {statement.name!r} already exists")
-        set_name = statement.set_name or DEFAULT_TRIGGER_SET
-        ts_id = self.catalog.trigger_set_id(set_name)  # validates
-        trigger_id = self.catalog.next_trigger_id()
-
-        # Steps 1-4: parse/validate, CNF + grouping, condition graph, network.
-        runtime = build_runtime(
-            trigger_id,
-            statement,
-            text,
-            self.registry,
-            self.evaluator,
-            set_name=set_name,
-            network_type=self.network_type,
-        )
-
-        # Step 5: per-tuple-variable signature registration + constants.
-        self._install_predicates(runtime)
-
-        enabled = "DISABLED" not in statement.flags
-        self.catalog.insert_trigger(trigger_id, ts_id, statement.name, text, enabled)
-        self._enabled[trigger_id] = enabled
-        self._seed_cache(runtime)
-        self._prime(runtime)
-        return trigger_id
-
-    def _install_predicates(self, runtime: TriggerRuntime) -> None:
-        for tvar, analyzed in analyze_trigger(runtime):
-            group = self._signature_group(analyzed)
-            entry = PredicateEntry(
-                expr_id=self.catalog.next_expr_id(),
-                trigger_id=runtime.trigger_id,
-                tvar=tvar,
-                next_node=runtime.network.entry_node_id(tvar),
-                residual_text=(
-                    analyzed.residual.render()
-                    if analyzed.residual is not None
-                    else None
-                ),
-            )
-            self.index.add_predicate(analyzed, entry)
-            self.catalog.update_signature_stats(
-                group.sig_id,
-                group.organization.size(),
-                group.organization.name,
-            )
-
-    def _signature_group(self, analyzed: AnalyzedPredicate) -> SignatureGroup:
-        signature = analyzed.signature
-        group = self.index.find_group(signature)
-        if group is not None:
-            return group
-        # A catalog row may already exist (recovery replay): reuse its id
-        # and constant-table name rather than minting duplicates.
-        existing = self.catalog.find_signature(
-            signature.data_source, signature.operation, signature.text
-        )
-        if existing is not None:
-            sig_id = existing["sigID"]
-            const_table = existing["constTableName"]
-        else:
-            sig_id = self.catalog.next_signature_id()
-            const_table = (
-                f"const_table{sig_id}" if signature.num_constants else None
-            )
-        organization = AutoOrganization(
-            signature,
-            self.catalog_db,
-            const_table or f"const_table{sig_id}",
-            limits=self.limits,
-            on_change=lambda name, sig_id=sig_id: self._organization_changed(
-                sig_id, name
-            ),
-            obs=self.obs,
-        )
-        if existing is None:
-            self.catalog.insert_signature(
-                sig_id,
-                signature.data_source,
-                signature.operation,
-                signature.text,
-                const_table,
-                organization.name,
-            )
-        return self.index.register_signature(sig_id, signature, organization)
-
-    def _organization_changed(self, sig_id: int, name: str) -> None:
-        # Size is refreshed by the caller's update_signature_stats; record
-        # the new organization eagerly so catalog readers see it.
-        for row in self.catalog.list_signatures():
-            if row["sigID"] == sig_id:
-                self.catalog.update_signature_stats(
-                    sig_id, row["constantSetSize"], name
-                )
-                return
-
-    def _seed_cache(self, runtime: TriggerRuntime) -> None:
-        """Install a freshly built runtime without a loader round-trip."""
-        self._put_runtime(runtime)
-
-    def _put_runtime(self, runtime: TriggerRuntime) -> None:
-        self.cache.seed(runtime.trigger_id, runtime)
-        for tvar in runtime.network.materialized_tvars():
-            source = runtime.tvar_sources[tvar]
-            entry = (runtime.trigger_id, tvar)
-            bucket = self._materialized.setdefault(source, [])
-            if entry not in bucket:
-                bucket.append(entry)
-        if self._needs_permanent_pin(runtime):
-            # Stream-fed materialized memories cannot be rebuilt from a base
-            # table, so such triggers stay pinned for their lifetime.
-            self.cache.pin(runtime.trigger_id)
-            self._permanent_pins.add(runtime.trigger_id)
-
-    def _needs_permanent_pin(self, runtime: TriggerRuntime) -> bool:
-        """Materialized memories over *stream* sources hold state that a
-        cache reload cannot reconstruct (table-backed memories are re-primed
-        by the loader)."""
-        for tvar in runtime.network.materialized_tvars():
-            source = self.registry.get(runtime.tvar_sources[tvar])
-            if source.fetcher() is None:
-                return True
-        return False
-
-    def _prime(self, runtime: TriggerRuntime) -> None:
-        """§5.1: 'prime' the trigger.  Virtual alpha memories need nothing;
-        materialized memories over table sources (when virtual is disabled)
-        would be loaded here.  Stream memories start empty."""
-
-    def _load_runtime(self, trigger_id: int) -> TriggerRuntime:
-        text = self.catalog.trigger_text(trigger_id)
-        statement = parse_command(text)
-        assert isinstance(statement, ast.CreateTriggerStatement)
-        set_name = statement.set_name or DEFAULT_TRIGGER_SET
-        return build_runtime(
-            trigger_id,
-            statement,
-            text,
-            self.registry,
-            self.evaluator,
-            set_name=set_name,
-            network_type=self.network_type,
-        )
-
-    # -- trigger management -------------------------------------------------------------
+        return self.runtimes.create_trigger_statement(statement, text)
 
     def drop_trigger(self, name: str) -> int:
-        with self._lock:
-            trigger_id = self.catalog.delete_trigger(name)
-            self.index.remove_trigger(trigger_id)
-            for group in self.index.groups():
-                self.catalog.update_signature_stats(
-                    group.sig_id,
-                    group.organization.size(),
-                    group.organization.name,
-                )
-            for bucket in self._materialized.values():
-                bucket[:] = [e for e in bucket if e[0] != trigger_id]
-            if trigger_id in self._permanent_pins:
-                self._permanent_pins.discard(trigger_id)
-                self.cache.unpin(trigger_id)
-            self.cache.invalidate(trigger_id)
-            self._enabled.pop(trigger_id, None)
-            return trigger_id
+        return self.runtimes.drop_trigger(name)
 
     def set_trigger_enabled(self, name: str, enabled: bool) -> int:
-        trigger_id = self.catalog.set_trigger_enabled(name, enabled)
-        self._enabled[trigger_id] = enabled and self.catalog.trigger_enabled(
-            trigger_id
-        )
-        self._refresh_enabled()
-        return trigger_id
+        return self.runtimes.set_trigger_enabled(name, enabled)
 
     def set_trigger_set_enabled(self, name: str, enabled: bool) -> None:
-        self.catalog.set_trigger_set_enabled(name, enabled)
-        self._refresh_enabled()
-
-    def _refresh_enabled(self) -> None:
-        for row in self.catalog.list_triggers():
-            self._enabled[row["triggerID"]] = self.catalog.trigger_enabled(
-                row["triggerID"]
-            )
-
-    def _is_enabled(self, trigger_id: int) -> bool:
-        return self._enabled.get(trigger_id, True)
+        self.runtimes.set_trigger_set_enabled(name, enabled)
 
     def triggers(self) -> List[TriggerRuntime]:
         """Runtimes for every catalogued trigger (loads through the cache)."""
-        out = []
-        for trigger_id in self.catalog.trigger_ids():
-            runtime = self.cache.pin(trigger_id)
-            self.cache.unpin(trigger_id)
-            out.append(runtime)
-        return out
+        return self.runtimes.triggers()
 
-    # -- update ingestion ------------------------------------------------------------------
-
-    def table(self, source_name: str):
-        source = self.registry.get(source_name)
-        if not isinstance(source, TableDataSource):
-            raise CatalogError(f"data source {source_name!r} is not a table")
-        return source.table
-
-    def insert(self, source_name: str, values: Union[Dict[str, Any], Sequence[Any]]):
-        """Insert into a table source (captured) or push onto a stream."""
-        source = self.registry.get(source_name)
-        if isinstance(source, TableDataSource):
-            return source.table.insert(values)
-        if not isinstance(values, dict):
-            raise TriggerError("stream tuples must be dicts")
-        self._capture(source.descriptor_for(Operation.INSERT, new=values))
-        return None
-
-    def delete_rows(self, source_name: str, where: Dict[str, Any]) -> int:
-        """Delete table rows matching the column-equality filter."""
-        table = self.table(source_name)
-        victims = [
-            rid
-            for rid, row in table.scan()
-            if self._row_matches(table, row, where)
-        ]
-        for rid in victims:
-            table.delete(rid)
-        return len(victims)
-
-    def update_rows(
-        self,
-        source_name: str,
-        where: Dict[str, Any],
-        changes: Dict[str, Any],
-    ) -> int:
-        table = self.table(source_name)
-        targets = [
-            rid
-            for rid, row in table.scan()
-            if self._row_matches(table, row, where)
-        ]
-        for rid in targets:
-            table.update(rid, changes)
-        return len(targets)
-
-    @staticmethod
-    def _row_matches(table, row, where: Dict[str, Any]) -> bool:
-        row_dict = table.schema.row_to_dict(row)
-        return all(row_dict.get(k) == v for k, v in where.items())
-
-    def push(
-        self,
-        source_name: str,
-        operation: str,
-        new: Optional[Dict[str, Any]] = None,
-        old: Optional[Dict[str, Any]] = None,
-    ) -> None:
-        """Data source API: submit an update descriptor for a stream."""
-        source = self.registry.get(source_name)
-        if not isinstance(source, StreamDataSource):
-            raise CatalogError(
-                f"push() targets stream sources; {source_name!r} is a table"
-            )
-        self._capture(source.descriptor_for(operation, new=new, old=old))
-
-    def execute_sql(self, sql: str, connection: Optional[str] = None):
-        """Run SQL on a connection; table mutations are captured normally."""
-        return self._connection(connection).database.execute(sql)
-
-    # -- token processing (§5.4) ----------------------------------------------------------------
+    # -- token processing (§5.4, delegated to the match executor) ---------------
 
     def process_token(self, descriptor: UpdateDescriptor) -> int:
         """Match one token and enqueue its action tasks; returns the number
-        of trigger firings produced.
-
-        Serialized by the engine lock so that multiple driver threads can
-        call :func:`tman_test` concurrently (functional token-level
-        concurrency; CPU *scaling* studies use the simulator, see §6 notes
-        in DESIGN.md)."""
+        of trigger firings produced.  Thread-safe: concurrent drivers
+        process distinct tokens in parallel (the layers below carry the
+        locking; there is no engine-wide mutex)."""
         obs = self.obs
         if obs.trace.enabled and descriptor.trace_id:
             with obs.trace.token(descriptor.trace_id):
-                with self._lock, self._m_token_ns.time():
-                    return self._process_token_locked(descriptor)
-        with self._lock, self._m_token_ns.time():
-            return self._process_token_locked(descriptor)
-
-    def _process_token_locked(self, descriptor: UpdateDescriptor) -> int:
-        self.stats.tokens_processed += 1
-        durable = self._durable_tokens and descriptor.seq > 0
-        if durable:
-            # Normally a no-op (registered at dequeue); covers direct
-            # process_token() calls with a stamped descriptor.
-            self._register_inflight(descriptor)
-            self._current_seq = descriptor.seq
-        obs = self.obs
-        tracing = obs.trace.enabled and obs.trace.current_id()
-        if tracing:
-            probe_start = obs.trace.clock()
-        with self._m_match_ns.time():
-            matches = self.index.match(
-                descriptor.data_source,
-                descriptor.operation,
-                descriptor.match_row,
-                descriptor.changed_columns,
-                enabled=self._is_enabled,
-            )
-        if tracing:
-            obs.trace.record(
-                "index.probe",
-                probe_start,
-                obs.trace.clock(),
-                {
-                    "data_source": descriptor.data_source,
-                    "operation": descriptor.operation,
-                    "matches": len(matches),
-                },
-            )
-        fired = 0
-        try:
-            for match in matches:
-                fired += self._apply_match(descriptor, match)
-            self._maintain_memories(descriptor, matches)
-        finally:
-            self._current_seq = 0
-        if durable:
-            with self._inflight_lock:
-                entry = self._inflight.get(descriptor.seq)
-                if entry is not None:
-                    entry["matched"] = True
-            self._maybe_token_done(descriptor.seq)
-        return fired
-
-    def _maintain_memories(self, descriptor: UpdateDescriptor, matches) -> None:
-        """Retract stale rows from materialized memories for delete/update
-        tokens that did NOT match a trigger's event condition (matched
-        tokens are maintained inside network.activate)."""
-        if descriptor.operation == Operation.INSERT or descriptor.old is None:
-            return
-        bucket = self._materialized.get(descriptor.data_source)
-        if not bucket:
-            return
-        handled = {(m.entry.trigger_id, m.entry.tvar) for m in matches}
-        for trigger_id, tvar in list(bucket):
-            if (trigger_id, tvar) in handled:
-                continue
-            runtime = self.cache.pin(trigger_id)
-            try:
-                selection = runtime.graph.selection_expr(tvar)
-                old_matches = selection is None or self.evaluator.matches(
-                    selection, Bindings(rows={tvar: descriptor.old})
-                )
-                if old_matches:
-                    runtime.network.retract(tvar, descriptor.old)
-            finally:
-                if trigger_id not in self._permanent_pins:
-                    self.cache.unpin(trigger_id)
-
-    def _apply_match(self, descriptor: UpdateDescriptor, match: Match) -> int:
-        # This runs once per matched predicate entry — with large trigger
-        # populations that is hundreds of times per token, so the un-observed
-        # path must pay only this one guard before doing real work.
-        obs = self.obs
-        if obs.metrics.enabled or obs.trace.enabled:
-            return self._apply_match_observed(descriptor, match)
-        entry = match.entry
-        runtime = self.cache.pin(entry.trigger_id)
-        try:
-            complete = runtime.network.activate(
-                entry.tvar,
-                descriptor.operation,
-                descriptor.new,
-                descriptor.old,
-            )
-            return self._fire_bindings(runtime, complete)
-        finally:
-            if entry.trigger_id not in self._permanent_pins:
-                self.cache.unpin(entry.trigger_id)
-
-    def _apply_match_observed(
-        self, descriptor: UpdateDescriptor, match: Match
-    ) -> int:
-        """_apply_match with cache-pin/network timing and trace spans."""
-        entry = match.entry
-        obs = self.obs
-        tracing = obs.trace.enabled and obs.trace.current_id()
-        if tracing:
-            was_resident = entry.trigger_id in self.cache
-            pin_start = obs.trace.clock()
-        with self._m_pin_ns.time():
-            runtime = self.cache.pin(entry.trigger_id)
-        if tracing:
-            obs.trace.record(
-                "cache.pin",
-                pin_start,
-                obs.trace.clock(),
-                {
-                    "trigger": entry.trigger_id,
-                    "hit": was_resident,
-                },
-            )
-            runtime.network.obs = obs
-        try:
-            with self._m_network_ns.time():
-                complete = runtime.network.activate(
-                    entry.tvar,
-                    descriptor.operation,
-                    descriptor.new,
-                    descriptor.old,
-                )
-            return self._fire_bindings(runtime, complete)
-        finally:
-            if entry.trigger_id not in self._permanent_pins:
-                self.cache.unpin(entry.trigger_id)
-
-    def _fire_bindings(self, runtime: TriggerRuntime, complete) -> int:
-        fired = 0
-        for bindings in complete:
-            if runtime.group_by or runtime.having is not None:
-                ready = runtime.aggregate_fire(bindings, self.evaluator)
-                if ready is None:
-                    continue
-                bindings = ready
-            self._fire(runtime, bindings)
-            fired += 1
-        return fired
-
-    def _fire(self, runtime: TriggerRuntime, bindings: Bindings) -> None:
-        action = runtime.action
-        name = runtime.name
-        trigger_id = runtime.trigger_id
-        seq = self._current_seq
-        durable = self._durable_tokens and seq > 0
-        if durable:
-            digest = _firing_digest(name, bindings)
-            skip = self._replay_skip.get(seq)
-            if skip is not None and skip.get(digest, 0) > 0:
-                # Already durably fired (and executed) before the crash:
-                # the ledger has it, so replay must not run it again.
-                skip[digest] -= 1
-                if skip[digest] <= 0:
-                    del skip[digest]
-                if not skip:
-                    del self._replay_skip[seq]
-                return
-            with self._inflight_lock:
-                entry = self._inflight[seq]
-                idx = entry["idx"]
-                entry["idx"] += 1
-                entry["fired"][digest] += 1
-                entry["pending"] += 1
-            # Append-before-execute: the firing is in the ledger before the
-            # action can have any effect.  (Under sync=group the record may
-            # not be *durable* yet when the action runs; a crash in that
-            # window replays the firing — the ledger stays exactly-once,
-            # external action effects are at-least-once.)
-            self.wal.append_json(
-                ACTION_FIRED,
-                {"seq": seq, "idx": idx, "trigger": name, "digest": digest},
-            )
-            self.wal.fault("engine.fire")
-        runtime.fire_count += 1
-        self.stats.triggers_fired += 1
-
-        def run() -> None:
-            if durable:
-                self.wal.fault("engine.action")
-            self.actions.execute(action, bindings, name, trigger_id)
-            self.stats.actions_executed += 1
-            if durable:
-                # Deliberately not in a finally: a simulated crash must not
-                # fall through to TOKEN_DONE accounting while unwinding.
-                self._task_finished(seq)
-
-        task = Task(RUN_ACTION, run, label=name)
-        obs = self.obs
-        if obs.trace.enabled or obs.metrics.enabled:
-            self._put_task(task)
-        else:
-            # Per-firing hot path: skip the wrapper frame entirely.
-            self.tasks.put(task)
-
-    def _put_task(self, task: Task, trace_id: Optional[int] = None) -> None:
-        """Enqueue a task, stamped with (and wrapped to re-establish) the
-        current trace so task.run/action.execute spans land on the token's
-        trace even though the task runs later, possibly on another thread."""
-        obs = self.obs
-        if not obs.trace.enabled:
-            trace_id = 0
-        elif trace_id is None:
-            trace_id = obs.trace.current_id()
-        timing = obs.metrics.enabled
-        if trace_id or timing:
-            inner, kind, label = task.fn, task.kind, task.label
-            task_ns = self._m_task_ns
-            tracer = obs.trace
-
-            def run_observed() -> None:
-                start = tracer.clock()
-                if trace_id:
-                    with tracer.token(trace_id):
-                        inner()
-                else:
-                    inner()
-                end = tracer.clock()
-                if timing:
-                    task_ns.observe(end - start)
-                if trace_id:
-                    tracer.record(
-                        "task.run",
-                        start,
-                        end,
-                        {"kind": kind, "label": label},
-                        trace_id=trace_id,
-                    )
-
-            task.fn = run_observed
-            task.trace_id = trace_id
-            if trace_id:
-                obs.trace.event(
-                    "task.enqueue", {"kind": kind, "label": label}
-                )
-        self.tasks.put(task)
+                with self._m_token_ns.time():
+                    return self.matcher.process_token(descriptor)
+        with self._m_token_ns.time():
+            return self.matcher.process_token(descriptor)
 
     def enqueue_condition_tasks(
         self, descriptor: UpdateDescriptor, partitions: int
     ) -> int:
-        """§6 condition-level concurrency (task type 3): split the data
-        source's signature groups round-robin into ``partitions`` subsets
-        and enqueue one task per subset.  Each task matches the token
-        against its subset and fires the results; the last task to finish
-        also runs materialized-memory maintenance (which needs the union of
-        all subsets' matches).  Returns the number of tasks enqueued.
-        """
-        from .concurrency import partition_round_robin
-        from .tasks import CONDITION_SUBSET
+        """§6 condition-level concurrency (task type 3); see
+        :meth:`repro.engine.matcher.MatchExecutor.enqueue_condition_tasks`."""
+        return self.matcher.enqueue_condition_tasks(descriptor, partitions)
 
-        groups = self.index.source_index(descriptor.data_source).groups()
-        if not groups:
-            return 0
-        self.stats.tokens_processed += 1
-        self.index.stats.tokens += 1
-        subsets = [
-            s
-            for s in partition_round_robin(
-                groups, min(partitions, len(groups))
-            )
-            if s
-        ]
-        shared = {"remaining": len(subsets), "matches": []}
-        state_lock = threading.Lock()
-
-        def run_subset(subset):
-            with self._lock:
-                matches = self.index.match_in_groups(
-                    subset,
-                    descriptor.operation,
-                    descriptor.match_row,
-                    descriptor.changed_columns,
-                    self._is_enabled,
-                    data_source=descriptor.data_source,
-                )
-                for match in matches:
-                    self._apply_match(descriptor, match)
-            with state_lock:
-                shared["matches"].extend(matches)
-                shared["remaining"] -= 1
-                last = shared["remaining"] == 0
-            if last:
-                with self._lock:
-                    self._maintain_memories(descriptor, shared["matches"])
-
-        for subset in subsets:
-            self._put_task(
-                Task(
-                    CONDITION_SUBSET,
-                    lambda s=subset: run_subset(s),
-                    label=f"{descriptor.data_source}:{descriptor.operation}"
-                    f"[{len(subset)} groups]",
-                ),
-                trace_id=descriptor.trace_id,
-            )
-        return len(subsets)
-
-    # -- the driver surface (§6) --------------------------------------------------------------------
+    # -- the driver surface (§6) -------------------------------------------------
 
     def _refill_tasks(self, batch: int = 64) -> bool:
         """Convert pending update descriptors into type-1 tasks."""
-        added = False
-        tracer = self.obs.trace
-        for _ in range(batch):
-            descriptor = self._next_descriptor()
-            if descriptor is None:
-                break
-            if tracer.enabled:
-                tracer.record_dequeue(descriptor)
-            self._put_task(
-                Task(
-                    PROCESS_TOKEN,
-                    lambda d=descriptor: self.process_token(d),
-                    label=f"{descriptor.data_source}:{descriptor.operation}",
-                ),
-                trace_id=descriptor.trace_id,
-            )
-            added = True
-        return added
+        return self.pipeline.refill_tasks(batch)
+
+    def _next_descriptor(self) -> Optional[UpdateDescriptor]:
+        return self.pipeline.next_descriptor()
 
     def tman_test(self, threshold: float = DEFAULT_THRESHOLD) -> str:
         """One TmanTest() call: §6's driver entry point."""
         return tman_test(self.tasks, threshold, refill=self._refill_tasks)
 
+    def start_drivers(self, n: Optional[int] = None, **kwargs):
+        """Start a pool of N real driver threads (see
+        :class:`repro.engine.drivers.DriverPool`); returns the pool."""
+        from .drivers import DriverPool
+
+        if self._driver_pool is not None and self._driver_pool.running:
+            raise TriggerError("a driver pool is already running")
+        pool = DriverPool(self, n, **kwargs)
+        pool.attach_obs(self.obs)
+        self._driver_pool = pool
+        return pool.start()
+
+    def stop_drivers(self, timeout: float = 5.0):
+        """Stop the running driver pool (if any); returns it for inspection."""
+        pool, self._driver_pool = self._driver_pool, None
+        if pool is not None:
+            pool.stop(timeout)
+        return pool
+
+    @property
+    def driver_pool(self):
+        return self._driver_pool
+
     def process_all(self, max_tokens: Optional[int] = None) -> int:
-        """Drain the update queue and the task queue; returns the number of
-        tokens processed."""
+        """Drain the update queue and the task queue on the calling thread;
+        returns the number of tokens processed."""
         processed = 0
         while True:
             descriptor = self._next_descriptor()
@@ -1052,7 +318,10 @@ class TriggerMan:
             task = self.tasks.get()
             if task is None:
                 return
-            task.run()
+            try:
+                task.run()
+            finally:
+                self.tasks.mark_done()
 
     # -- events / callbacks -------------------------------------------------------------------
 
@@ -1062,169 +331,49 @@ class TriggerMan:
     def register_callback(self, name: str, fn) -> None:
         self.actions.register_callback(name, fn)
 
-    # -- restore ------------------------------------------------------------------------------
+    # -- compatibility views over the layers ------------------------------------
 
-    def _restore(self) -> None:
-        """Rebuild data sources and replay trigger definitions from the
-        catalog (recovery = catalog replay; constant tables are rebuilt)."""
-        rows = self.catalog.list_data_sources()
-        for row in rows:
-            if row["name"] in self.registry:
-                continue
-            if row["kind"] == "stream":
-                source = StreamDataSource(
-                    row["dsID"], row["name"],
-                    [tuple(c) for c in row["columns"] or []],
-                )
-                self.registry.add(source)
-            else:
-                conn = self._connection(row["connection"])
-                table = conn.database.table(row["tableName"])
-                source = TableDataSource(row["dsID"], row["name"], conn, table)
-                source.install_capture(self._capture)
-                self.registry.add(source)
-        triggers = self.catalog.list_triggers()
-        if not triggers:
-            return
-        # Drop stale constant tables (they are rebuilt by replay).
-        for sig_row in self.catalog.list_signatures():
-            name = sig_row["constTableName"]
-            if name and self.catalog_db.has_table(name):
-                self.catalog_db.table(name).truncate()
-        for row in triggers:
-            statement = parse_command(row["trigger_text"])
-            assert isinstance(statement, ast.CreateTriggerStatement)
-            runtime = build_runtime(
-                row["triggerID"],
-                statement,
-                row["trigger_text"],
-                self.registry,
-                self.evaluator,
-                set_name=statement.set_name or DEFAULT_TRIGGER_SET,
-                network_type=self.network_type,
-            )
-            self._install_predicates(runtime)
-            self._enabled[row["triggerID"]] = self.catalog.trigger_enabled(
-                row["triggerID"]
-            )
-            self._put_runtime(runtime)
+    @property
+    def _enabled(self) -> Dict[int, bool]:
+        return self.runtimes.enabled
 
-    # -- exactly-once token processing (durable mode) -----------------------
+    @property
+    def _permanent_pins(self) -> set:
+        return self.runtimes.permanent_pins
 
-    def _recover_tokens(self) -> None:
-        """Queue up the crash's unfinished business: every token the log
-        shows as dequeued but not TOKEN_DONE is replayed ahead of the queue
-        on the next processing call, skipping firings already in the
-        durable ledger — neither lost nor duplicated."""
-        recovery = self.catalog_db.recovery
-        if not self._durable_tokens or recovery is None:
-            return
-        for token in recovery.incomplete:
-            self._replay.append(token)
-            if token.fired:
-                self._replay_skip[token.seq] = Counter(token.fired)
-                self._replay_fired[token.seq] = Counter(token.fired)
-        # Rows whose dequeue is durable come back via replay (or are done);
-        # drop their redo-resurrected queue rows so nothing delivers twice,
-        # and never reuse a seq the log has already seen.
-        claimed = {t.seq for t in recovery.incomplete} | set(recovery.done_seqs)
-        self._stale_rows_purged = self.queue.purge_seqs(claimed)
-        self.queue.advance_seq(recovery.max_seq + 1)
+    @property
+    def _materialized(self) -> Dict[str, List[Tuple[int, str]]]:
+        return self.runtimes.materialized
 
-    def _register_inflight(self, descriptor: UpdateDescriptor) -> None:
-        """Track a dequeued token until its TOKEN_DONE record.  Registered
-        at dequeue time (not first match) so a checkpoint taken while the
-        token waits in the task queue still carries it forward."""
-        seq = descriptor.seq
-        if not self._durable_tokens or seq <= 0:
-            return
-        with self._inflight_lock:
-            if seq in self._inflight:
-                return
-            fired = Counter(self._replay_fired.pop(seq, ()))
-            self._inflight[seq] = {
-                "seq": seq,
-                "dataSrc": descriptor.data_source,
-                "op": descriptor.operation,
-                "payload": descriptor.to_json(),
-                "fired": fired,
-                "idx": sum(fired.values()),
-                "pending": 0,
-                "matched": False,
-            }
+    def _is_enabled(self, trigger_id: int) -> bool:
+        return self.runtimes.is_enabled(trigger_id)
 
-    def _next_descriptor(self) -> Optional[UpdateDescriptor]:
-        """Recovered replay tokens first, then the live queue."""
-        if self._replay:
-            token = self._replay.popleft()
-            descriptor = UpdateDescriptor.from_parts(
-                token.data_source, token.operation, token.payload, token.seq
-            )
-        else:
-            descriptor = self.queue.dequeue()
-            if descriptor is None:
-                return None
-        self._register_inflight(descriptor)
-        return descriptor
+    @property
+    def _inflight(self) -> Dict[int, dict]:
+        return self.firing.inflight
 
-    def _task_finished(self, seq: int) -> None:
-        """One of the token's action tasks completed (not crashed)."""
-        with self._inflight_lock:
-            entry = self._inflight.get(seq)
-            if entry is None:
-                return
-            entry["pending"] -= 1
-        self._maybe_token_done(seq)
+    @property
+    def _replay(self):
+        return self.firing.replay
 
-    def _maybe_token_done(self, seq: int) -> None:
-        """Append TOKEN_DONE once matching finished and no task is pending."""
-        with self._inflight_lock:
-            entry = self._inflight.get(seq)
-            if entry is None or not entry["matched"] or entry["pending"] > 0:
-                return
-            del self._inflight[seq]
-        self.wal.fault("engine.token_done")
-        self.wal.append_json(TOKEN_DONE, {"seq": seq})
+    @property
+    def _replay_skip(self):
+        return self.firing.replay_skip
 
-    def _checkpoint_token_state(self) -> Dict[str, Any]:
-        """Snapshot of unfinished tokens (plus the seq high-water mark) for
-        a fuzzy checkpoint record.  Compaction drops their pre-checkpoint
-        TOKEN_DEQUEUE / ACTION_FIRED records, so the checkpoint must carry
-        equivalent state."""
-        out = []
-        with self._inflight_lock:
-            for entry in self._inflight.values():
-                out.append(
-                    {
-                        "seq": entry["seq"],
-                        "dataSrc": entry["dataSrc"],
-                        "op": entry["op"],
-                        "payload": entry["payload"],
-                        "fired": dict(entry["fired"]),
-                    }
-                )
-        for token in self._replay:
-            out.append(
-                {
-                    "seq": token.seq,
-                    "dataSrc": token.data_source,
-                    "op": token.operation,
-                    "payload": token.payload,
-                    "fired": dict(token.fired),
-                }
-            )
-        out.sort(key=lambda e: e["seq"])
-        max_seq = self.queue.high_seq if hasattr(self.queue, "high_seq") else 0
-        return {"incomplete": out, "max_seq": max_seq}
+    @property
+    def _stale_rows_purged(self) -> int:
+        return self.firing.stale_rows_purged
+
+    # -- checkpoint / lifecycle ---------------------------------------------------
 
     def checkpoint(self, compact: bool = True) -> Dict[str, int]:
         """Take a fuzzy checkpoint of the catalog database: flush dirty
         pages under the WAL rule, record the page-LSN table plus in-flight
-        token state, then compact the log (console ``checkpoint``)."""
-        with self._lock:
+        token state, then compact the log (console ``checkpoint``).
+        Serialized against DDL; token flow proceeds (the checkpoint is
+        fuzzy — in-flight tokens are carried in its state record)."""
+        with self.runtimes.ddl_lock:
             return self.catalog_db.checkpoint(compact=compact)
-
-    # -- lifecycle ---------------------------------------------------------------------------------
 
     def flush(self) -> None:
         """Write all dirty pages (catalog + every connection) to disk."""
@@ -1233,7 +382,9 @@ class TriggerMan:
             connection.database.flush()
 
     def close(self) -> None:
-        """Flush and close every database this instance opened."""
+        """Stop drivers, then flush and close every database this instance
+        opened."""
+        self.stop_drivers()
         seen = {id(self.catalog_db)}
         self.catalog_db.close()
         for connection in self.connections.values():

@@ -74,18 +74,31 @@ class Metric:
 
 
 class Counter(Metric):
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
 
-    __slots__ = ("_value", "_lock")
+    ``always=True`` makes the counter count even while the registry is
+    disabled — the thread-safe backing store for accounting that must never
+    lose updates (e.g. ``EngineStats`` under concurrent drivers), replacing
+    bare ``int`` increments that drop under interleaving.
+    """
+
+    __slots__ = ("_value", "_lock", "_always")
     kind = "counter"
 
-    def __init__(self, registry: "MetricsRegistry", name: str, help: str = ""):
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str = "",
+        always: bool = False,
+    ):
         super().__init__(registry, name, help)
         self._value = 0
         self._lock = threading.Lock()
+        self._always = always
 
     def inc(self, amount: int = 1) -> None:
-        if not self.registry.enabled:
+        if not (self._always or self.registry.enabled):
             return
         with self._lock:
             self._value += amount
@@ -284,8 +297,13 @@ class MetricsRegistry:
                 )
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(Counter, name, help=help)  # type: ignore[return-value]
+    def counter(
+        self, name: str, help: str = "", always: bool = False
+    ) -> Counter:
+        counter = self._get(Counter, name, help=help)
+        if always:
+            counter._always = True  # type: ignore[attr-defined]
+        return counter  # type: ignore[return-value]
 
     def gauge(
         self,

@@ -1,0 +1,72 @@
+"""Registry views over the engine's component stats.
+
+Folds the pre-existing stat structures (IndexStats, CacheStats,
+BufferStats, queue/task/WAL accounting) into one TriggerMan instance's
+metrics registry as *callback gauges*: one stats story, zero hot-path cost
+— the callbacks run only at snapshot time.
+
+The three headline counters (``engine.tokens_processed``,
+``engine.triggers_fired``, ``engine.actions_executed``) are NOT gauges:
+:class:`repro.engine.firing.EngineStats` registers them directly as
+always-on counters in the same registry, so they appear in snapshots
+without a view here (registering a gauge under a counter's name would be a
+kind mismatch).
+"""
+
+from __future__ import annotations
+
+
+def register_engine_views(tman) -> None:
+    """Bind every component-stats view to ``tman.obs.metrics``."""
+    gauge = tman.obs.metrics.gauge
+    index, cache = tman.index, tman.cache
+    firing = tman.firing
+    gauge("engine.action_failures", callback=lambda: len(tman.actions.failures))
+    gauge("index.tokens", callback=lambda: index.stats.tokens)
+    gauge("index.groups_probed", callback=lambda: index.stats.groups_probed)
+    gauge("index.entries_probed", callback=lambda: index.stats.entries_probed)
+    gauge("index.residual_tests", callback=lambda: index.stats.residual_tests)
+    gauge("index.matches", callback=lambda: index.stats.matches)
+    gauge("index.signatures", callback=index.signature_count)
+    gauge("index.entries", callback=index.entry_count)
+    gauge("cache.hits", callback=lambda: cache.stats.hits)
+    gauge("cache.misses", callback=lambda: cache.stats.misses)
+    gauge("cache.evictions", callback=lambda: cache.stats.evictions)
+    gauge("cache.pins", callback=lambda: cache.stats.pins)
+    gauge("cache.unpins", callback=lambda: cache.stats.unpins)
+    gauge("cache.load_waits", callback=lambda: cache.stats.load_waits)
+    gauge("cache.dropped_pins", callback=lambda: cache.stats.dropped_pins)
+    gauge("cache.resident", callback=lambda: len(cache))
+    gauge("cache.resident_bytes", callback=cache.resident_bytes)
+    gauge("cache.pinned", callback=cache.pinned_count)
+    pool = tman.catalog_db.pool
+    gauge("buffer.hits", callback=lambda: pool.stats.hits)
+    gauge("buffer.misses", callback=lambda: pool.stats.misses)
+    gauge("buffer.evictions", callback=lambda: pool.stats.evictions)
+    gauge("buffer.writebacks", callback=lambda: pool.stats.writebacks)
+    gauge("buffer.flush_pages", callback=lambda: dict(pool.flush_pages))
+    gauge("buffer.fsyncs", callback=pool.total_fsyncs)
+    wal = tman.catalog_db.wal
+    if wal is not None:
+        gauge("wal.appends", callback=lambda: wal.appends)
+        gauge("wal.fsyncs", callback=lambda: wal.fsyncs)
+        gauge("wal.bytes_appended", callback=lambda: wal.bytes_appended)
+        gauge("wal.page_images", callback=lambda: wal.page_images)
+        gauge("wal.last_lsn", callback=lambda: wal.last_lsn)
+        gauge("wal.durable_lsn", callback=lambda: wal.durable_lsn)
+        gauge(
+            "wal.group_commit_waits",
+            callback=lambda: wal.group_commit_waits,
+        )
+        gauge("wal.inflight_tokens", callback=lambda: len(firing.inflight))
+        gauge("wal.replay_tokens", callback=lambda: len(firing.replay))
+    recovery = tman.catalog_db.recovery
+    if recovery is not None:
+        gauge("recovery.records_scanned",
+              callback=lambda: recovery.records_scanned)
+        gauge("recovery.redo_applied",
+              callback=lambda: recovery.redo_applied)
+        gauge("recovery.redo_skipped",
+              callback=lambda: recovery.redo_skipped)
+        gauge("recovery.tokens_replayed",
+              callback=lambda: len(recovery.incomplete))

@@ -18,6 +18,7 @@ the trigger cache pin → network activation step.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
@@ -87,6 +88,9 @@ class SignatureGroup:
         self.sig_id = sig_id
         self.signature = signature
         self.organization = organization
+        #: serializes constant-set mutation (add/remove) against probes —
+        #: per group, so DDL on one signature never stalls probes of another
+        self.lock = threading.RLock()
         self.op_base, self.update_columns = parse_operation_code(
             signature.operation
         )
@@ -119,11 +123,20 @@ class SignatureGroup:
 
 
 class DataSourcePredicateIndex:
-    """The expression-signature list for one data source."""
+    """The expression-signature list for one data source.
+
+    ``rwlock`` is this source's shard of the index-wide read-write locking:
+    token probes hold it shared, signature registration holds it exclusive.
+    Probes for *different* data sources never contend (Figure 3's root hash
+    is the shard key).
+    """
 
     def __init__(self, data_source: str):
         self.data_source = data_source
         self._groups: Dict[Tuple[str, str, str], SignatureGroup] = {}
+        from ..engine.locks import ReadWriteLock  # deferred: import cycle
+
+        self.rwlock = ReadWriteLock()
 
     def group_for(
         self, signature: ExpressionSignature
@@ -156,23 +169,43 @@ class PredicateIndex:
         self.obs = None
         #: trigger id -> [(group, expr_id)] for O(entries-of-trigger) drops
         self._by_trigger: Dict[int, List[Tuple[SignatureGroup, int]]] = {}
+        #: guards the root maps (_sources, _by_trigger) only — held for
+        #: dict bookkeeping, never across a probe
+        self._lock = threading.RLock()
+
+    def attach_obs(self, obs) -> None:
+        """Bind the observability bundle; shard-lock blocking waits feed the
+        ``index.lock_wait_ns`` histogram from here on."""
+        self.obs = obs
+        hist = obs.metrics.histogram(
+            "index.lock_wait_ns",
+            help="blocking waits on predicate-index shard locks",
+        )
+        with self._lock:
+            for index in self._sources.values():
+                index.rwlock.hist = hist
+            self._shard_hist = hist
 
     # -- registration -----------------------------------------------------
 
     def source_index(self, data_source: str) -> DataSourcePredicateIndex:
-        index = self._sources.get(data_source)
-        if index is None:
-            index = DataSourcePredicateIndex(data_source)
-            self._sources[data_source] = index
-        return index
+        with self._lock:
+            index = self._sources.get(data_source)
+            if index is None:
+                index = DataSourcePredicateIndex(data_source)
+                index.rwlock.hist = getattr(self, "_shard_hist", None)
+                self._sources[data_source] = index
+            return index
 
     def find_group(
         self, signature: ExpressionSignature
     ) -> Optional[SignatureGroup]:
-        index = self._sources.get(signature.data_source)
+        with self._lock:
+            index = self._sources.get(signature.data_source)
         if index is None:
             return None
-        return index.group_for(signature)
+        with index.rwlock.read():
+            return index.group_for(signature)
 
     def register_signature(
         self,
@@ -181,7 +214,9 @@ class PredicateIndex:
         organization: Organization,
     ) -> SignatureGroup:
         group = SignatureGroup(sig_id, signature, organization)
-        self.source_index(signature.data_source).register(group)
+        index = self.source_index(signature.data_source)
+        with index.rwlock.write():
+            index.register(group)
         return group
 
     def add_predicate(
@@ -196,10 +231,14 @@ class PredicateIndex:
             raise SignatureError(
                 f"signature not registered: {analyzed.signature.describe()}"
             )
-        group.organization.add(analyzed.indexable_constants, entry)
-        self._by_trigger.setdefault(entry.trigger_id, []).append(
-            (group, entry.expr_id)
-        )
+        # Constant-set mutation is per-group: concurrent creates touching
+        # different signatures (or different sources) proceed in parallel.
+        with group.lock:
+            group.organization.add(analyzed.indexable_constants, entry)
+        with self._lock:
+            self._by_trigger.setdefault(entry.trigger_id, []).append(
+                (group, entry.expr_id)
+            )
         return group
 
     def remove_trigger(self, trigger_id: int) -> int:
@@ -209,9 +248,12 @@ class PredicateIndex:
         to the trigger's own predicate count, not the index size.
         """
         removed = 0
-        for group, expr_id in self._by_trigger.pop(trigger_id, ()):
-            if group.organization.remove(expr_id):
-                removed += 1
+        with self._lock:
+            entries = self._by_trigger.pop(trigger_id, ())
+        for group, expr_id in entries:
+            with group.lock:
+                if group.organization.remove(expr_id):
+                    removed += 1
         return removed
 
     # -- matching ------------------------------------------------------------
@@ -232,13 +274,18 @@ class PredicateIndex:
         before the (possibly expensive) residual test.
         """
         self.stats.tokens += 1
-        index = self._sources.get(data_source)
+        with self._lock:
+            index = self._sources.get(data_source)
         if index is None:
             return []
-        return self.match_in_groups(
-            index.groups(), operation, row, changed_columns, enabled,
-            data_source=data_source,
-        )
+        # Shard read lock: concurrent probes of this source share it, DDL
+        # registering a new signature group takes it exclusively.  Probes of
+        # other data sources use other shards and never touch this one.
+        with index.rwlock.read():
+            return self.match_in_groups(
+                index.groups(), operation, row, changed_columns, enabled,
+                data_source=data_source,
+            )
 
     def match_in_groups(
         self,
@@ -269,31 +316,35 @@ class PredicateIndex:
             if tracing:
                 probe_start = tracer.clock()
                 probed_before = self.stats.entries_probed
-            for constants, entry in group.organization.probe(values):
-                self.stats.entries_probed += 1
-                if enabled is not None and not enabled(entry.trigger_id):
-                    continue
-                residual = entry.residual
-                if residual is not None:
-                    self.stats.residual_tests += 1
-                    if tracing:
-                        residual_start = tracer.clock()
-                        ok = self.evaluator.matches(residual, bindings)
-                        tracer.record(
-                            "residual.test",
-                            residual_start,
-                            tracer.clock(),
-                            {
-                                "trigger": entry.trigger_id,
-                                "expr": residual.render(),
-                                "passed": ok,
-                            },
-                        )
-                        if not ok:
-                            continue
-                    elif not self.evaluator.matches(residual, bindings):
+            # Group lock held across the probe: the organization's constant
+            # sets must not be mutated mid-iteration by a concurrent
+            # create/drop of a trigger sharing this signature.
+            with group.lock:
+                for constants, entry in group.organization.probe(values):
+                    self.stats.entries_probed += 1
+                    if enabled is not None and not enabled(entry.trigger_id):
                         continue
-                matches.append(Match(entry, group.signature, constants))
+                    residual = entry.residual
+                    if residual is not None:
+                        self.stats.residual_tests += 1
+                        if tracing:
+                            residual_start = tracer.clock()
+                            ok = self.evaluator.matches(residual, bindings)
+                            tracer.record(
+                                "residual.test",
+                                residual_start,
+                                tracer.clock(),
+                                {
+                                    "trigger": entry.trigger_id,
+                                    "expr": residual.render(),
+                                    "passed": ok,
+                                },
+                            )
+                            if not ok:
+                                continue
+                        elif not self.evaluator.matches(residual, bindings):
+                            continue
+                    matches.append(Match(entry, group.signature, constants))
             if tracing:
                 tracer.record(
                     "org.probe",
@@ -313,24 +364,30 @@ class PredicateIndex:
 
     # -- introspection --------------------------------------------------------
 
+    def _source_snapshot(self) -> List[DataSourcePredicateIndex]:
+        with self._lock:
+            return list(self._sources.values())
+
     def groups(self) -> Iterator[SignatureGroup]:
-        for index in self._sources.values():
+        for index in self._source_snapshot():
             yield from index.groups()
 
     def signature_count(self) -> int:
-        return sum(len(index) for index in self._sources.values())
+        return sum(len(index) for index in self._source_snapshot())
 
     def entry_count(self) -> int:
         return sum(
             group.organization.size()
-            for index in self._sources.values()
+            for index in self._source_snapshot()
             for group in index.groups()
         )
 
     def describe(self) -> List[str]:
         """Human-readable dump (console's ``show signatures``)."""
         out = []
-        for source, index in sorted(self._sources.items()):
+        with self._lock:
+            sources = sorted(self._sources.items())
+        for source, index in sources:
             for group in index.groups():
                 out.append(
                     f"{group.sig_id}: {group.signature.describe()} "

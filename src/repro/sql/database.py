@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -106,57 +107,70 @@ class Table:
     # -- row operations -----------------------------------------------------------
 
     def insert(self, values: Union[Sequence[Any], Dict[str, Any]]) -> RID:
-        if isinstance(values, dict):
-            row = self.schema.check_dict(values)
-        else:
-            row = self.schema.check_row(values)
-        rid = self.heap.insert(row)
-        self._index_insert(row, rid)
+        with self._db.lock:
+            if isinstance(values, dict):
+                row = self.schema.check_dict(values)
+            else:
+                row = self.schema.check_row(values)
+            rid = self.heap.insert(row)
+            self._index_insert(row, rid)
+        # Listeners run outside the database lock: the capture path goes on
+        # to take the update-queue lock, while the dequeue path takes the
+        # queue lock *before* deleting the queue row (db lock) — notifying
+        # under the db lock would invert that order (ABBA deadlock).
         self._notify("insert", None, row)
         return rid
 
     def delete(self, rid: RID) -> Tuple[Any, ...]:
-        row = self.heap.read(rid)
-        self.heap.delete(rid)
-        self._index_delete(row, rid)
+        with self._db.lock:
+            row = self.heap.read(rid)
+            self.heap.delete(rid)
+            self._index_delete(row, rid)
         self._notify("delete", row, None)
         return row
 
     def update(self, rid: RID, values: Union[Sequence[Any], Dict[str, Any]]) -> RID:
-        old_row = self.heap.read(rid)
-        if isinstance(values, dict):
-            merged = self.schema.row_to_dict(old_row)
-            merged.update(values)
-            new_row = self.schema.check_dict(merged)
-        else:
-            new_row = self.schema.check_row(values)
-        new_rid = self.heap.update(rid, new_row)
-        self._index_delete(old_row, rid)
-        self._index_insert(new_row, new_rid)
+        with self._db.lock:
+            old_row = self.heap.read(rid)
+            if isinstance(values, dict):
+                merged = self.schema.row_to_dict(old_row)
+                merged.update(values)
+                new_row = self.schema.check_dict(merged)
+            else:
+                new_row = self.schema.check_row(values)
+            new_rid = self.heap.update(rid, new_row)
+            self._index_delete(old_row, rid)
+            self._index_insert(new_row, new_rid)
         self._notify("update", old_row, new_row)
         return new_rid
 
     def read(self, rid: RID) -> Tuple[Any, ...]:
-        return self.heap.read(rid)
+        with self._db.lock:
+            return self.heap.read(rid)
 
     def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
-        return self.heap.scan()
+        # Materialized under the lock so callers iterate a stable snapshot
+        # even while concurrent drivers mutate the heap.
+        with self._db.lock:
+            return iter(list(self.heap.scan()))
 
     def rows(self) -> Iterator[Tuple[Any, ...]]:
-        for _, row in self.heap.scan():
-            yield row
+        with self._db.lock:
+            return iter([row for _, row in self.heap.scan()])
 
     def count(self) -> int:
-        return self.heap.count()
+        with self._db.lock:
+            return self.heap.count()
 
     def truncate(self) -> None:
-        self.heap.truncate()
-        for info in self.indexes.values():
-            if info.using == "hash":
-                info.structure.clear()
-            else:
-                # Rebuild the B+tree fresh (cheaper than per-entry deletes).
-                self._db._reset_btree(self, info)
+        with self._db.lock:
+            self.heap.truncate()
+            for info in self.indexes.values():
+                if info.using == "hash":
+                    info.structure.clear()
+                else:
+                    # Rebuild the B+tree fresh (cheaper than per-entry deletes).
+                    self._db._reset_btree(self, info)
 
     # -- index-assisted access ------------------------------------------------------
 
@@ -168,12 +182,15 @@ class Table:
         For clustered indexes the rows come straight from the index leaves
         (no heap access); otherwise RIDs are resolved against the heap.
         """
-        info = self._index(index_name)
-        if info.using == "hash":
+        with self._db.lock:
+            info = self._index(index_name)
+            if info.using == "hash":
+                return [
+                    (rid, self.heap.read(rid)) for rid in info.structure.search(key)
+                ]
+            if info.clustered:
+                return [(rid, row) for rid, row in info.structure.search(key)]
             return [(rid, self.heap.read(rid)) for rid in info.structure.search(key)]
-        if info.clustered:
-            return [(rid, row) for rid, row in info.structure.search(key)]
-        return [(rid, self.heap.read(rid)) for rid in info.structure.search(key)]
 
     def index_range(
         self,
@@ -183,17 +200,19 @@ class Table:
         include_low: bool = True,
         include_high: bool = True,
     ) -> Iterator[Tuple[Optional[RID], Tuple[Any, ...]]]:
-        info = self._index(index_name)
-        if info.using != "btree":
-            raise StorageError(f"index {index_name!r} does not support ranges")
-        for _key, value in info.structure.range_scan(
-            low, high, include_low, include_high
-        ):
-            if info.clustered:
-                rid, row = value
-                yield rid, row
-            else:
-                yield value, self.heap.read(value)
+        with self._db.lock:
+            info = self._index(index_name)
+            if info.using != "btree":
+                raise StorageError(f"index {index_name!r} does not support ranges")
+            results: List[Tuple[Optional[RID], Tuple[Any, ...]]] = []
+            for _key, value in info.structure.range_scan(
+                low, high, include_low, include_high
+            ):
+                if info.clustered:
+                    results.append(value)
+                else:
+                    results.append((value, self.heap.read(value)))
+        return iter(results)
 
     def _index(self, name: str) -> IndexInfo:
         try:
@@ -248,6 +267,11 @@ class Database:
     ):
         self.path = path
         self.registry = registry or DEFAULT_REGISTRY
+        #: one database-wide mutex (reentrant: DDL saves the catalog, SQL
+        #: statements touch several tables).  Table row operations hold it
+        #: around heap+index mutation but release it before notifying
+        #: capture listeners — see Table.insert for the ordering contract.
+        self.lock = threading.RLock()
         self.pool = BufferPool(pool_capacity)
         self.tables: Dict[str, Table] = {}
         self._index_tables: Dict[str, str] = {}  # index name -> table name
@@ -371,11 +395,12 @@ class Database:
     # -- table DDL ---------------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> Table:
-        if schema.name in self.tables:
-            raise CatalogError(f"table {schema.name!r} already exists")
-        table = self._attach_table(schema)
-        self._save_catalog()
-        return table
+        with self.lock:
+            if schema.name in self.tables:
+                raise CatalogError(f"table {schema.name!r} already exists")
+            table = self._attach_table(schema)
+            self._save_catalog()
+            return table
 
     def _attach_table(self, schema: TableSchema) -> Table:
         file_id = self._open_file(f"{schema.name}.tbl")
@@ -385,11 +410,12 @@ class Database:
         return table
 
     def drop_table(self, name: str) -> None:
-        table = self.table(name)
-        for index_name in list(table.indexes):
-            self._index_tables.pop(index_name, None)
-        del self.tables[name]
-        self._save_catalog()
+        with self.lock:
+            table = self.table(name)
+            for index_name in list(table.indexes):
+                self._index_tables.pop(index_name, None)
+            del self.tables[name]
+            self._save_catalog()
         # Page files are left on disk (dropped from the catalog); a vacuum
         # utility could reclaim them.  In-memory pagers are garbage collected.
 
@@ -412,30 +438,33 @@ class Database:
         clustered: bool = False,
         using: str = "btree",
     ) -> IndexInfo:
-        if name in self._index_tables:
-            raise CatalogError(f"index {name!r} already exists")
-        if using not in ("btree", "hash"):
-            raise CatalogError(f"unknown index method {using!r}")
-        if using == "hash" and clustered:
-            raise CatalogError("hash indexes cannot be clustered")
-        table = self.table(table_name)
-        for column in columns:
-            table.schema.position(column)  # validates
-        info = self._attach_index(name, table_name, tuple(columns), clustered, using)
-        # Backfill B+trees from existing rows (_attach_index already rebuilt
-        # hash indexes from the heap).
-        if using == "btree":
-            positions = info.key_positions(table.schema)
-            for rid, row in table.heap.scan():
-                key = tuple(row[p] for p in positions)
-                if any(part is None for part in key):
-                    continue
-                if clustered:
-                    info.structure.insert(key, (rid, row))
-                else:
-                    info.structure.insert(key, rid)
-        self._save_catalog()
-        return info
+        with self.lock:
+            if name in self._index_tables:
+                raise CatalogError(f"index {name!r} already exists")
+            if using not in ("btree", "hash"):
+                raise CatalogError(f"unknown index method {using!r}")
+            if using == "hash" and clustered:
+                raise CatalogError("hash indexes cannot be clustered")
+            table = self.table(table_name)
+            for column in columns:
+                table.schema.position(column)  # validates
+            info = self._attach_index(
+                name, table_name, tuple(columns), clustered, using
+            )
+            # Backfill B+trees from existing rows (_attach_index already
+            # rebuilt hash indexes from the heap).
+            if using == "btree":
+                positions = info.key_positions(table.schema)
+                for rid, row in table.heap.scan():
+                    key = tuple(row[p] for p in positions)
+                    if any(part is None for part in key):
+                        continue
+                    if clustered:
+                        info.structure.insert(key, (rid, row))
+                    else:
+                        info.structure.insert(key, rid)
+            self._save_catalog()
+            return info
 
     def _attach_index(
         self,
@@ -466,11 +495,12 @@ class Database:
         info.structure = BPlusTree(self.pool, file_id)
 
     def drop_index(self, name: str) -> None:
-        table_name = self._index_tables.pop(name, None)
-        if table_name is None:
-            raise CatalogError(f"no such index {name!r}")
-        del self.tables[table_name].indexes[name]
-        self._save_catalog()
+        with self.lock:
+            table_name = self._index_tables.pop(name, None)
+            if table_name is None:
+                raise CatalogError(f"no such index {name!r}")
+            del self.tables[table_name].indexes[name]
+            self._save_catalog()
 
     # -- SQL ---------------------------------------------------------------------------------
 
@@ -489,13 +519,15 @@ class Database:
     # -- lifecycle -------------------------------------------------------------------------------
 
     def flush(self) -> None:
-        self.pool.flush()
+        with self.lock:
+            self.pool.flush()
 
     def flush_table(self, name: str) -> int:
         """Flush (and fsync) one table's heap file only — the targeted
         durability the update queue's ``sync_on_enqueue`` needs, instead of
         writing back every dirty page in the database."""
-        return self.table(name).heap.flush()
+        with self.lock:
+            return self.table(name).heap.flush()
 
     def checkpoint(self, compact: bool = True) -> Dict[str, int]:
         """Take a fuzzy checkpoint (see :mod:`repro.wal.checkpoint`): flush
@@ -505,6 +537,9 @@ class Database:
             return {"pages_flushed": self.pool.flush()}
         from ..wal.checkpoint import take_checkpoint
 
+        # The state provider reads the engine's in-flight ledger (its own
+        # lock, above the database in the hierarchy) — call it before taking
+        # the database lock so lock order stays strictly downward.
         state = (
             self.checkpoint_state_provider()
             if self.checkpoint_state_provider is not None
@@ -514,15 +549,18 @@ class Database:
             incomplete, max_seq = state.get("incomplete"), state.get("max_seq", 0)
         else:
             incomplete, max_seq = state, 0
-        return take_checkpoint(
-            self.pool, self.wal, incomplete, compact=compact, max_seq=max_seq
-        )
+        with self.lock:
+            return take_checkpoint(
+                self.pool, self.wal, incomplete, compact=compact, max_seq=max_seq
+            )
 
     def close(self) -> None:
-        self._save_catalog()
+        with self.lock:
+            self._save_catalog()
         if self.wal is not None:
             self.checkpoint(compact=True)
-        self.pool.close()
+        with self.lock:
+            self.pool.close()
         if self.wal is not None:
             self.wal.close()
 

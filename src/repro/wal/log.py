@@ -245,7 +245,10 @@ class WriteAheadLog:
         self.sync_mode = sync
         self.group_size = max(1, group_size)
         self.faults = faults
-        self._lock = threading.RLock()
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        #: True while one leader thread is inside storage append+sync
+        self._flushing = False
         self._buffer: List[bytes] = []
         #: last LSN handed out (buffered or durable)
         self.last_lsn = 0
@@ -260,6 +263,9 @@ class WriteAheadLog:
         self.fsyncs = 0
         self.bytes_appended = 0
         self.page_images = 0
+        #: flush calls that piggybacked on another thread's in-flight fsync
+        #: (group commit under concurrent drivers)
+        self.group_commit_waits = 0
         # Repair the torn tail (if any) and resume LSN assignment.
         existing = storage.read_all()
         if existing:
@@ -286,19 +292,26 @@ class WriteAheadLog:
         mode (``always`` flushes now, ``group`` flushes every
         ``group_size`` records, ``off`` waits for an explicit flush)."""
         with self._lock:
-            self.fault("wal.append")
-            self.last_lsn += 1
-            lsn = self.last_lsn
-            encoded = encode_record(lsn, rtype, payload)
-            self._buffer.append(encoded)
-            self.appends += 1
-            self.bytes_appended += len(encoded)
-            if self.sync_mode == SYNC_ALWAYS or (
-                self.sync_mode == SYNC_GROUP
-                and len(self._buffer) >= self.group_size
-            ):
-                self._flush_locked()
+            lsn = self._append_locked(rtype, payload)
+            self._maybe_flush_locked(lsn)
             return lsn
+
+    def _append_locked(self, rtype: int, payload: bytes) -> int:
+        self.fault("wal.append")
+        self.last_lsn += 1
+        lsn = self.last_lsn
+        encoded = encode_record(lsn, rtype, payload)
+        self._buffer.append(encoded)
+        self.appends += 1
+        self.bytes_appended += len(encoded)
+        return lsn
+
+    def _maybe_flush_locked(self, lsn: int) -> None:
+        if self.sync_mode == SYNC_ALWAYS or (
+            self.sync_mode == SYNC_GROUP
+            and len(self._buffer) >= self.group_size
+        ):
+            self._flush_locked(lsn)
 
     def append_json(self, rtype: int, obj: dict) -> int:
         return self.append(rtype, json.dumps(obj, sort_keys=True).encode("utf-8"))
@@ -313,9 +326,10 @@ class WriteAheadLog:
             + zlib.compress(bytes(data), 1)
         )
         with self._lock:
-            lsn = self.append(PAGE_IMAGE, payload)
+            lsn = self._append_locked(PAGE_IMAGE, payload)
             self.page_lsns[(file_name, page_no)] = lsn
             self.page_images += 1
+            self._maybe_flush_locked(lsn)
             return lsn
 
     # -- durability ----------------------------------------------------------
@@ -327,10 +341,25 @@ class WriteAheadLog:
         with self._lock:
             if upto is not None and self.durable_lsn >= upto:
                 return
-            self._flush_locked()
+            self._flush_locked(self.last_lsn if upto is None else upto)
 
-    def _flush_locked(self) -> None:
-        if not self._buffer:
+    def _flush_locked(self, target: Optional[int] = None) -> None:
+        """Single-writer group commit (call with the log lock held).
+
+        One *leader* thread at a time owns the storage append+fsync; it
+        releases the log lock for the I/O so concurrent appends keep
+        accumulating into the next group.  *Followers* whose records are
+        covered by an in-flight flush park on the condition variable and
+        return once ``durable_lsn`` passes their target — one fsync commits
+        the whole group."""
+        if target is None:
+            target = self.last_lsn
+        while self._flushing:
+            if self.durable_lsn >= target:
+                return
+            self.group_commit_waits += 1
+            self._cv.wait()
+        if self.durable_lsn >= target or not self._buffer:
             return
         data = b"".join(self._buffer)
         # The buffer is dropped first: if the storage crashes mid-append
@@ -338,9 +367,18 @@ class WriteAheadLog:
         # real crash does to an OS-buffered write.
         self._buffer = []
         pending_lsn = self.last_lsn
-        self.storage.append(data)
-        self.fault("wal.sync")
-        self.storage.sync()
+        self._flushing = True
+        self._lock.release()
+        try:
+            try:
+                self.storage.append(data)
+                self.fault("wal.sync")
+                self.storage.sync()
+            finally:
+                self._lock.acquire()
+        finally:
+            self._flushing = False
+            self._cv.notify_all()
         self.fsyncs += 1
         self.durable_lsn = pending_lsn
 

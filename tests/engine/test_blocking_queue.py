@@ -1,0 +1,135 @@
+"""TaskQueue's blocking idle path (§6): drivers wait on a condition
+variable instead of spin-polling, are woken by new work or an explicit
+kick, and the outstanding-work accounting that quiesce relies on."""
+
+import threading
+import time
+
+from repro.engine.tasks import PROCESS_TOKEN, Task, TaskQueue
+from repro.obs import Observability
+
+
+def _noop_task(label="t"):
+    return Task(PROCESS_TOKEN, lambda: 0, label=label)
+
+
+class TestWaitForWork:
+    def test_returns_true_when_work_already_queued(self):
+        queue = TaskQueue()
+        queue.put(_noop_task())
+        assert queue.wait_for_work(timeout=0.01) is True
+
+    def test_returns_false_on_timeout(self):
+        queue = TaskQueue()
+        start = time.perf_counter()
+        assert queue.wait_for_work(timeout=0.05) is False
+        assert time.perf_counter() - start >= 0.04
+
+    def test_put_wakes_a_blocked_waiter(self):
+        queue = TaskQueue()
+        woke = threading.Event()
+
+        def waiter():
+            if queue.wait_for_work(timeout=5.0):
+                woke.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.02)
+        queue.put(_noop_task())
+        assert woke.wait(2.0)
+        t.join(2.0)
+
+    def test_kick_wakes_waiters_without_work(self):
+        queue = TaskQueue()
+        results = []
+
+        def waiter():
+            results.append(queue.wait_for_work(timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.02)
+        queue.kick()
+        t.join(2.0)
+        assert not t.is_alive()
+        assert results == [False]  # woken, but no task appeared
+
+    def test_wakeups_are_counted(self):
+        queue = TaskQueue()
+        before = queue.wakeups
+        queue.wait_for_work(timeout=0.01)
+        assert queue.wakeups == before + 1
+
+
+class TestOutstandingAccounting:
+    def test_outstanding_tracks_enqueued_minus_completed(self):
+        queue = TaskQueue()
+        assert queue.outstanding == 0
+        queue.put(_noop_task())
+        queue.put(_noop_task())
+        assert queue.outstanding == 2
+        task = queue.get()
+        task.run()
+        # Dequeued-but-unfinished work still counts as outstanding.
+        assert queue.outstanding == 2
+        queue.mark_done()
+        assert queue.outstanding == 1
+        queue.get().run()
+        queue.mark_done()
+        assert queue.outstanding == 0
+
+    def test_obs_gauges_include_wakeups_and_outstanding(self):
+        queue = TaskQueue()
+        obs = Observability(enable_metrics=True)
+        queue.attach_obs(obs)
+        queue.put(_noop_task())
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["tasks.outstanding"] == 1
+        assert "tasks.wakeups" in snapshot
+        queue.get()
+        queue.mark_done()
+        assert obs.metrics.snapshot()["tasks.outstanding"] == 0
+
+
+class TestConcurrentConsumers:
+    def test_many_producers_many_consumers_drain_exactly(self):
+        queue = TaskQueue()
+        executed = []
+        lock = threading.Lock()
+        total = 200
+
+        def make(i):
+            def run():
+                with lock:
+                    executed.append(i)
+            return Task(PROCESS_TOKEN, run, label=f"t{i}")
+
+        stop = threading.Event()
+
+        def consumer():
+            while not stop.is_set():
+                if not queue.wait_for_work(timeout=0.05):
+                    continue
+                task = queue.get()
+                if task is None:
+                    continue
+                try:
+                    task.run()
+                finally:
+                    queue.mark_done()
+
+        consumers = [threading.Thread(target=consumer) for _ in range(4)]
+        for t in consumers:
+            t.start()
+        for i in range(total):
+            queue.put(make(i))
+        deadline = time.time() + 10
+        while queue.outstanding and time.time() < deadline:
+            time.sleep(0.005)
+        stop.set()
+        queue.kick()
+        for t in consumers:
+            t.join(2.0)
+        assert sorted(executed) == list(range(total))
+        assert queue.outstanding == 0

@@ -1,0 +1,151 @@
+"""DriverPool (§6): N real threads looping TmanTest() against one engine.
+
+These tests exercise the pool lifecycle (start/stop/context manager), the
+facade integration (start_drivers/stop_drivers, double-start protection),
+quiesce, observability gauges, and concurrent DDL against live drivers.
+"""
+
+import pytest
+
+from repro.engine import DriverPool, TriggerMan
+from repro.engine.tasks import compute_driver_count
+from repro.errors import TriggerError
+
+
+def build(triggers=10, observability=False):
+    tman = TriggerMan.in_memory(observability=observability)
+    tman.define_table("emp", [("name", "varchar(40)"), ("salary", "float")])
+    for i in range(triggers):
+        tman.create_trigger(
+            f"create trigger t{i} from emp on insert "
+            f"when emp.salary > {i * 100} do raise event E(emp.name)"
+        )
+    return tman
+
+
+def feed(tman, tokens, salary=5_000.0):
+    for i in range(tokens):
+        tman.insert("emp", {"name": f"e{i}", "salary": salary})
+
+
+class TestComputeDriverCount:
+    def test_paper_formula(self):
+        # N = ceil(NUM_CPUS * TMAN_CONCURRENCY_LEVEL), §6
+        assert compute_driver_count(4, 1.0) == 4
+        assert compute_driver_count(4, 0.5) == 2
+        assert compute_driver_count(3, 0.5) == 2  # ceil
+        assert compute_driver_count(1, 0.1) == 1
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            compute_driver_count(4, 0.0)
+        with pytest.raises(ValueError):
+            compute_driver_count(4, 1.5)
+
+
+class TestDriverPool:
+    def test_pool_drains_tokens_and_quiesces(self):
+        tman = build(triggers=10)
+        tokens = 40
+        with DriverPool(tman, 4, threshold=0.05, poll_period=0.005) as pool:
+            feed(tman, tokens)
+            assert pool.quiesce(timeout=15.0)
+            assert pool.errors == []
+        # salary 5000 beats every `salary > i*100` predicate for i in 0..9
+        assert tman.stats.tokens_processed == tokens
+        assert tman.stats.triggers_fired == tokens * 10
+        assert tman.stats.actions_executed == tokens * 10
+        assert len(tman.queue) == 0
+        assert tman.tasks.outstanding == 0
+        tman.close()
+
+    def test_pool_rejects_zero_drivers(self):
+        tman = build(triggers=0)
+        with pytest.raises(ValueError):
+            DriverPool(tman, 0)
+        tman.close()
+
+    def test_stop_is_idempotent(self):
+        tman = build(triggers=1)
+        pool = DriverPool(tman, 2, poll_period=0.005)
+        pool.start()
+        assert pool.running == 2
+        pool.stop()
+        assert pool.running == 0
+        pool.stop()  # second stop is a no-op
+        tman.close()
+
+    def test_work_arriving_while_idle_gets_processed(self):
+        tman = build(triggers=3)
+        with DriverPool(tman, 2, threshold=0.05, poll_period=0.02) as pool:
+            # Let the drivers go idle first, then feed.
+            assert pool.quiesce(timeout=5.0)
+            feed(tman, 5)
+            assert pool.quiesce(timeout=15.0)
+        assert tman.stats.tokens_processed == 5
+        assert tman.stats.triggers_fired == 15
+        tman.close()
+
+
+class TestFacadeIntegration:
+    def test_start_and_stop_drivers(self):
+        tman = build(triggers=5)
+        pool = tman.start_drivers(2, threshold=0.05, poll_period=0.005)
+        assert tman.driver_pool is pool
+        feed(tman, 10)
+        assert pool.quiesce(timeout=15.0)
+        stopped = tman.stop_drivers()
+        assert stopped is pool
+        assert tman.driver_pool is None
+        assert tman.stats.tokens_processed == 10
+        tman.close()
+
+    def test_double_start_raises(self):
+        tman = build(triggers=1)
+        tman.start_drivers(1, poll_period=0.005)
+        with pytest.raises(TriggerError):
+            tman.start_drivers(1)
+        tman.stop_drivers()
+        tman.close()
+
+    def test_close_stops_the_pool(self):
+        tman = build(triggers=1)
+        pool = tman.start_drivers(2, poll_period=0.005)
+        tman.close()
+        assert pool.running == 0
+
+    def test_obs_gauges(self):
+        tman = build(triggers=2, observability=True)
+        pool = tman.start_drivers(2, threshold=0.05, poll_period=0.005)
+        feed(tman, 4)
+        assert pool.quiesce(timeout=15.0)
+        snapshot = tman.obs.metrics.snapshot()
+        assert snapshot["drivers.count"] == 2
+        assert snapshot["drivers.calls"] >= 1
+        assert "drivers.idle_waits" in snapshot
+        tman.stop_drivers()
+        tman.close()
+
+
+class TestConcurrentDDL:
+    def test_create_and_drop_while_drivers_run(self):
+        """DDL races token processing: publish-last creation and
+        unpublish-first drop must keep every layer consistent."""
+        tman = build(triggers=4)
+        with DriverPool(tman, 4, threshold=0.05, poll_period=0.005) as pool:
+            for round_no in range(5):
+                name = f"churn{round_no}"
+                tman.create_trigger(
+                    f"create trigger {name} from emp on insert "
+                    "when emp.salary > 1000000000 do raise event X(emp.name)"
+                )
+                feed(tman, 4)
+                tman.drop_trigger(name)
+            assert pool.quiesce(timeout=20.0)
+            assert pool.errors == []
+        assert tman.stats.tokens_processed == 20
+        # The churn trigger never matches; the 4 stable ones always do.
+        assert tman.stats.triggers_fired == 20 * 4
+        assert len(tman.queue) == 0
+        assert not tman.actions.failures
+        tman.close()

@@ -1,0 +1,216 @@
+"""The engine's concurrency primitives (engine/locks.py): atomic counters,
+timed mutexes, read-write locks with writer preference, and shards."""
+
+import threading
+import time
+
+from repro.engine.locks import (
+    AtomicCounter,
+    ReadWriteLock,
+    ShardedRWLock,
+    TimedLock,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _run_all(threads):
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestAtomicCounter:
+    def test_inc_dec_value(self):
+        counter = AtomicCounter()
+        assert counter.inc() == 1
+        assert counter.inc(4) == 5
+        assert counter.dec() == 4
+        assert counter.value == 4
+        counter.reset()
+        assert counter.value == 0
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = AtomicCounter()
+        per_thread = 10_000
+
+        def bump():
+            for _ in range(per_thread):
+                counter.inc()
+
+        _run_all([threading.Thread(target=bump) for _ in range(8)])
+        assert counter.value == 8 * per_thread
+
+
+class TestTimedLock:
+    def test_reentrant(self):
+        lock = TimedLock()
+        with lock:
+            with lock:
+                pass  # no deadlock
+
+    def test_mutual_exclusion(self):
+        lock = TimedLock()
+        state = {"inside": 0, "max": 0}
+
+        def worker():
+            for _ in range(200):
+                with lock:
+                    state["inside"] += 1
+                    state["max"] = max(state["max"], state["inside"])
+                    state["inside"] -= 1
+
+        _run_all([threading.Thread(target=worker) for _ in range(4)])
+        assert state["max"] == 1
+
+    def test_blocking_acquire_feeds_histogram(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("lock.wait_ns")
+        lock = TimedLock(hist)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                entered.set()
+                release.wait(2.0)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        entered.wait(2.0)
+
+        def wait_for_lock():
+            with lock:
+                pass
+
+        waiter = threading.Thread(target=wait_for_lock)
+        waiter.start()
+        time.sleep(0.02)
+        release.set()
+        waiter.join(2.0)
+        t.join(2.0)
+        assert hist.count == 1
+        assert hist.min > 0
+
+    def test_uncontended_acquire_records_nothing(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("lock.wait_ns")
+        lock = TimedLock(hist)
+        with lock:
+            pass
+        assert hist.count == 0
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = AtomicCounter()
+        peak = {"max": 0}
+        gate = threading.Barrier(4)
+
+        def reader():
+            gate.wait(2.0)
+            with lock.read():
+                n = inside.inc()
+                peak["max"] = max(peak["max"], n)
+                time.sleep(0.02)
+                inside.dec()
+
+        _run_all([threading.Thread(target=reader) for _ in range(4)])
+        assert peak["max"] > 1  # readers genuinely overlapped
+
+    def test_writer_excludes_everyone(self):
+        lock = ReadWriteLock()
+        log = []
+
+        def writer():
+            with lock.write():
+                log.append("w-in")
+                time.sleep(0.02)
+                log.append("w-out")
+
+        def reader():
+            with lock.read():
+                log.append("r")
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        _run_all(threads)
+        start = log.index("w-in")
+        assert log[start + 1] == "w-out"  # nothing interleaved the writer
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_done = threading.Event()
+        reader_done = threading.Event()
+
+        threading.Thread(
+            target=lambda: (lock.acquire_write(), writer_done.set())
+        ).start()
+        time.sleep(0.02)  # let the writer queue up
+
+        threading.Thread(
+            target=lambda: (
+                lock.acquire_read(),
+                reader_done.set(),
+                lock.release_read(),
+            )
+        ).start()
+        time.sleep(0.02)
+        # The late reader must wait behind the queued writer.
+        assert not reader_done.is_set()
+        assert not writer_done.is_set()
+
+        lock.release_read()
+        assert writer_done.wait(2.0)
+        assert not reader_done.is_set()
+        lock.release_write()
+        assert reader_done.wait(2.0)
+
+    def test_blocked_reader_feeds_histogram(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("index.lock_wait_ns")
+        lock = ReadWriteLock(hist)
+        lock.acquire_write()
+        done = threading.Event()
+        t = threading.Thread(
+            target=lambda: (lock.acquire_read(), done.set())
+        )
+        t.start()
+        time.sleep(0.02)
+        lock.release_write()
+        assert done.wait(2.0)
+        lock.release_read()
+        assert hist.count == 1
+
+
+class TestShardedRWLock:
+    def test_shards_are_independent(self):
+        sharded = ShardedRWLock()
+        with sharded.write("a"):
+            # A write lock on shard "a" must not block shard "b" readers.
+            acquired = threading.Event()
+            t = threading.Thread(
+                target=lambda: (
+                    sharded.read("b").__enter__(),
+                    acquired.set(),
+                )
+            )
+            t.start()
+            assert acquired.wait(2.0)
+
+    def test_same_shard_same_lock(self):
+        sharded = ShardedRWLock()
+        assert sharded.shard("x") is sharded.shard("x")
+        assert sharded.shard("x") is not sharded.shard("y")
+
+    def test_attach_hist_rebinds_existing_shards(self):
+        sharded = ShardedRWLock()
+        shard = sharded.shard("x")
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("h")
+        sharded.attach_hist(hist)
+        assert shard.hist is hist
+        assert sharded.shard("new").hist is hist

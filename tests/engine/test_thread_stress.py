@@ -1,0 +1,211 @@
+"""Acceptance: seeded multi-driver stress with a durable firing ledger.
+
+A 4-thread :class:`DriverPool` processes tokens while other threads churn
+DDL (create/drop) against the same engine; the cumulative firing ledger —
+folded from durable ACTION_FIRED records keyed by ``(seq, idx)`` — must
+equal, as a multiset of ``(trigger, digest)``, what a single-threaded
+oracle engine produces from the same updates.  A second variant keeps the
+WAL crash-loop fault injector armed while the pool runs: drivers die at
+randomized crash points, the machine reboots and recovers, and the ledger
+must still reconcile exactly.
+
+Seeds come from ``THREAD_STRESS_SEED`` (default 1999) so CI can sweep a
+matrix; ``THREAD_STRESS_CRASHES`` scales the crash variant.
+"""
+
+import json
+import os
+import random
+import threading
+import time
+
+from collections import Counter
+
+from repro.engine.descriptors import Operation
+from repro.engine.drivers import DriverPool
+from repro.engine.triggerman import TriggerMan
+from repro.sql.database import Database
+from repro.wal import SimDisk, SimulatedCrash, WriteAheadLog
+from repro.wal.log import ACTION_FIRED, TOKEN_DEQUEUE
+
+SEED = int(os.environ.get("THREAD_STRESS_SEED", "1999"))
+TARGET_CRASHES = int(os.environ.get("THREAD_STRESS_CRASHES", "10"))
+
+TRIGGERS = [
+    "create trigger high from s when s.v > 50 do raise event High(s.k)",
+    "create trigger low from s when s.v < 50 do raise event Low(s.k)",
+    "create trigger seen from s do raise event Seen(s.k, s.v)",
+]
+
+#: fault sites armed while the pool runs (site, max randomized hit count)
+SITES = [
+    ("wal.append", 6),
+    ("wal.sync", 3),
+    ("disk.log_append", 6),
+    ("queue.enqueue", 3),
+    ("queue.dequeue", 3),
+    ("engine.fire", 3),
+    ("engine.action", 3),
+    ("engine.token_done", 2),
+]
+
+#: a churn trigger's predicate can never match (v is 0..99)
+CHURN_PREDICATE = "s.v > 1000000000"
+
+
+def _open_engine(disk, sync="always"):
+    wal = WriteAheadLog(disk.log, sync=sync, faults=disk.faults)
+    database = Database(
+        path=None,
+        wal=wal,
+        pager_factory=disk.pager_factory,
+        catalog_store=disk.catalog,
+        faults=disk.faults,
+    )
+    return TriggerMan(database)
+
+
+def _boot(disk, sync="always"):
+    tman = _open_engine(disk, sync=sync)
+    if "s" not in tman.registry:
+        tman.define_stream("s", [("k", "integer"), ("v", "integer")])
+        for text in TRIGGERS:
+            tman.create_trigger(text)
+    return tman
+
+
+def _accept(payload, accepted):
+    new = json.loads(payload).get("new") or {}
+    if "k" in new:
+        accepted[new["k"]] = new["v"]
+
+
+def _scan(tman, ledger, accepted):
+    """Fold one incarnation's durable evidence into the cumulative caches
+    (same protocol as tests/wal/test_crash_loop.py)."""
+    for record in tman.catalog_db.wal.scan():
+        if record.rtype == ACTION_FIRED:
+            body = record.json()
+            ledger[(body["seq"], body["idx"])] = (body["trigger"], body["digest"])
+        elif record.rtype == TOKEN_DEQUEUE:
+            _accept(record.json()["payload"], accepted)
+    for _rid, row in tman.queue.table.scan():
+        _accept(row[3], accepted)
+    for token in tman._replay:
+        _accept(token.payload, accepted)
+
+
+def _oracle_ledger(accepted):
+    """A single-threaded engine that never crashes processes exactly the
+    accepted updates, in key order; returns its firing ledger."""
+    oracle = _boot(SimDisk())
+    for k in sorted(accepted):
+        oracle.push("s", Operation.INSERT, new={"k": k, "v": accepted[k]})
+    oracle.process_all()
+    ledger = {}
+    _scan(oracle, ledger, {})
+    return ledger
+
+
+def test_concurrent_ddl_stress_matches_oracle():
+    """Producers + DDL churn + a 4-driver pool, no faults: the durable
+    firing ledger equals the single-threaded oracle's exactly."""
+    rng = random.Random(SEED)
+    disk = SimDisk()
+    tman = _boot(disk)
+    per_producer = 30
+    values = [
+        [rng.randrange(100) for _ in range(per_producer)] for _ in range(2)
+    ]
+
+    def producer(pid):
+        base = pid * per_producer
+        for i, v in enumerate(values[pid]):
+            tman.push("s", Operation.INSERT, new={"k": base + i, "v": v})
+
+    def churner(cid):
+        for round_no in range(6):
+            name = f"churn_{cid}_{round_no}"
+            tman.create_trigger(
+                f"create trigger {name} from s when {CHURN_PREDICATE} "
+                f"do raise event X(s.k)"
+            )
+            time.sleep(0.002)
+            tman.drop_trigger(name)
+
+    with DriverPool(tman, 4, threshold=0.05, poll_period=0.005) as pool:
+        threads = [threading.Thread(target=producer, args=(p,)) for p in (0, 1)]
+        threads += [threading.Thread(target=churner, args=(c,)) for c in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert pool.quiesce(timeout=30.0)
+        assert pool.errors == []
+
+    ledger, accepted = {}, {}
+    _scan(tman, ledger, accepted)
+    assert len(accepted) == 2 * per_producer
+    assert len(tman.queue) == 0
+    assert tman._inflight == {}
+    assert not tman._replay
+    assert Counter(ledger.values()) == Counter(_oracle_ledger(accepted).values())
+    # Only the three stable triggers ever fire; churn triggers never match.
+    assert {t for t, _ in ledger.values()} <= {"high", "low", "seen"}
+
+
+def test_crash_loop_stress_matches_oracle():
+    """The same pool with the WAL fault injector armed: a driver (or the
+    producer) dies at a randomized crash point, the machine reboots and
+    recovers, and the cumulative ledger still reconciles to the oracle."""
+    rng = random.Random(SEED + 1)
+    disk = SimDisk()
+    ledger, accepted = {}, {}
+    tman = _boot(disk)  # setup incarnation runs unfaulted
+    next_k = 0
+    iterations = 0
+    while disk.faults.crashes < TARGET_CRASHES:
+        iterations += 1
+        assert iterations < TARGET_CRASHES * 30, "crash loop failed to converge"
+        crashes_before = disk.faults.crashes
+        site, span = SITES[rng.randrange(len(SITES))]
+        pool = DriverPool(tman, 4, threshold=0.05, poll_period=0.005)
+        pool.start()
+        disk.faults.arm(site, rng.randint(1, span), torn=rng.random() < 0.2)
+        try:
+            for _ in range(rng.randint(2, 6)):
+                k = next_k
+                next_k += 1
+                tman.push(
+                    "s", Operation.INSERT, new={"k": k, "v": rng.randrange(100)}
+                )
+        except SimulatedCrash:
+            pass
+        # Wait for the pool to either drain or die at the armed site.
+        deadline = time.time() + 15
+        while time.time() < deadline:
+            if pool.errors:
+                break
+            if pool.quiesce(timeout=0.5):
+                break
+        pool.stop()
+        disk.faults.disarm()
+        if disk.faults.crashes > crashes_before:
+            # Someone hit the crash point: power-fail, reboot, recover.
+            disk.crash()
+            tman = _boot(disk)
+            _scan(tman, ledger, accepted)
+        elif rng.random() < 0.2:
+            _scan(tman, ledger, accepted)  # compaction drops records
+            tman.checkpoint()
+
+    # Final incarnation drains unfaulted under a live pool.
+    with DriverPool(tman, 4, threshold=0.05, poll_period=0.005) as pool:
+        assert pool.quiesce(timeout=30.0)
+    _scan(tman, ledger, accepted)
+    assert len(tman.queue) == 0
+    assert tman._inflight == {}
+    assert not tman._replay
+    assert disk.faults.crashes >= TARGET_CRASHES
+    assert len(set(disk.faults.seen)) >= 4, disk.faults.seen
+    assert Counter(ledger.values()) == Counter(_oracle_ledger(accepted).values())
