@@ -1,0 +1,94 @@
+"""Throughput regression guard for the bench-smoke CI job.
+
+Compares a freshly produced benchmark export against the committed
+baseline JSON: any record that carries a ``tokens_per_sec`` field and
+matches a baseline record on experiment + config keys must not have
+dropped by more than the allowed fraction (default 20%).
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json BASELINE.json \
+        [--max-drop 0.20]
+
+Exit status 1 (with a per-row report) on any violation.  Absolute numbers
+differ across machines, which is why the guard is a *ratio within one
+machine's run* only when the baseline was produced on comparable hardware;
+CI regenerates both sides' workloads at the same (reduced) populations,
+so the committed baseline is refreshed whenever the workload knobs change.
+"""
+
+import argparse
+import json
+import sys
+
+#: fields that identify a record's configuration (never compared as values)
+CONFIG_KEYS = ("experiment", "mode", "batch_size", "sync", "drivers")
+
+
+def config_key(record):
+    return tuple((k, record[k]) for k in CONFIG_KEYS if k in record)
+
+
+def load(path):
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != "triggerman-bench-v1":
+        raise SystemExit(f"{path}: unexpected schema {payload.get('schema')!r}")
+    return {
+        config_key(r): r
+        for r in payload.get("records", [])
+        if "tokens_per_sec" in r
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-drop", type=float, default=0.20)
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    if not baseline:
+        raise SystemExit(f"{args.baseline}: no tokens_per_sec records")
+
+    failures = []
+    compared = 0
+    for key, base in sorted(baseline.items()):
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"MISSING  {dict(key)} (in baseline, not in run)")
+            continue
+        compared += 1
+        base_tps = base["tokens_per_sec"]
+        cur_tps = cur["tokens_per_sec"]
+        if base_tps <= 0:
+            continue
+        drop = 1.0 - cur_tps / base_tps
+        status = "FAIL" if drop > args.max_drop else "ok"
+        line = (
+            f"{status:8s}{dict(key)}: {base_tps:.0f} -> {cur_tps:.0f} tok/s "
+            f"({-drop * 100:+.1f}%)"
+        )
+        print(line)
+        if status == "FAIL":
+            failures.append(line)
+
+    if compared == 0:
+        raise SystemExit("no comparable records between run and baseline")
+    if failures:
+        print(
+            f"\n{len(failures)} regression(s) beyond "
+            f"{args.max_drop * 100:.0f}% vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\n{compared} record(s) within {args.max_drop * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

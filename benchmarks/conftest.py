@@ -21,7 +21,7 @@ import pytest
 _REPORTS = {}
 
 #: default export path (PR-numbered so successive PRs can diff trajectories)
-BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__), "BENCH_PR3.json")
+BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__), "BENCH_PR4.json")
 
 
 def report(experiment: str, header: Sequence[str], row: Iterable) -> None:

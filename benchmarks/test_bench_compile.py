@@ -1,0 +1,231 @@
+"""E12 — Signature-compiled predicates + batched token pipeline.
+
+The match stage is isolated by construction: every trigger shares one
+signature ``dept = C1 and salary > C2`` whose equality indexes on a small
+department set (so each token probes ~N/|depts| entries) and whose
+residual never passes (so no firing/action cost pollutes the stage).  The
+grid is interpreted-vs-compiled × batch size 1/8/64; the headline
+acceptance row is compiled+batched vs the interpreted single-token
+engine — the PR3 configuration — at ≥2x tokens/sec.
+
+E12b is the :meth:`Bindings.bind` satellite: the chained-lookup bind
+against an in-bench reference that copies all three maps (the shape PR3
+shipped), nanoseconds per bind.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.lang.evaluator import Bindings
+from repro.obs import export
+from repro.predindex import reset_compiled_residuals
+from repro.workloads import emp_tokens
+
+N_TOKENS = int(os.environ.get("BENCH_COMPILE_TOKENS", "150"))
+N_TRIGGERS = int(os.environ.get("BENCH_COMPILE_TRIGGERS", "400"))
+DEPARTMENTS = ["eng", "toys", "shoes", "sales", "hr", "ops", "legal", "labs"]
+
+GRID = [
+    ("interpreted", False, 1),
+    ("interpreted", False, 8),
+    ("interpreted", False, 64),
+    ("compiled", True, 1),
+    ("compiled", True, 8),
+    ("compiled", True, 64),
+]
+
+
+def build_engine(compiled, batch_size):
+    reset_compiled_residuals()
+    tman = TriggerMan.in_memory(
+        compile_predicates=compiled, batch_size=batch_size
+    )
+    tman.define_table(
+        "emp",
+        [
+            ("eno", "integer"),
+            ("name", "varchar(40)"),
+            ("salary", "float"),
+            ("dept", "varchar(20)"),
+            ("age", "integer"),
+        ],
+    )
+    for i in range(N_TRIGGERS):
+        dept = DEPARTMENTS[i % len(DEPARTMENTS)]
+        tman.create_trigger(
+            f"create trigger t{i} from emp on insert "
+            f"when emp.dept = '{dept}' and emp.age >= {i % 10} "
+            f"and emp.name <> 'nobody{i}' and emp.salary > {3_000_000 + i} "
+            f"do raise event E{i}"
+        )
+    return tman
+
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("mode,compiled,batch_size", GRID)
+def test_match_stage_throughput(benchmark, mode, compiled, batch_size, summary):
+    tman = build_engine(compiled, batch_size)
+    tokens = list(emp_tokens(N_TOKENS, seed=9))
+
+    def run():
+        for token in tokens:
+            tman.insert("emp", token)
+        start = time.perf_counter()
+        processed = tman.process_all()
+        elapsed = time.perf_counter() - start
+        assert processed == N_TOKENS
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    throughput = N_TOKENS / elapsed
+    _RESULTS[(mode, batch_size)] = throughput
+    residual_tests = tman.index.stats.residual_tests
+    summary(
+        "E12: match-stage throughput (interpreted vs compiled x batch)",
+        ["mode", "batch", "tokens/s", "residual tests"],
+        [mode, batch_size, f"{throughput:.0f}", residual_tests],
+    )
+    export.record(
+        "E12",
+        mode=mode,
+        batch_size=batch_size,
+        tokens=N_TOKENS,
+        triggers=N_TRIGGERS,
+        tokens_per_sec=round(throughput, 1),
+        residual_tests=residual_tests,
+    )
+    assert len(tman.queue) == 0
+    assert tman.stats.triggers_fired == 0  # residuals never pass
+    tman.close()
+    if len(_RESULTS) == len(GRID):
+        _headline(summary)
+
+
+def _headline(summary):
+    """The PR's acceptance row: compiled+batched vs interpreted batch-1
+    (emitted once, after the last grid cell completes)."""
+    baseline = _RESULTS[("interpreted", 1)]
+    best = max(v for (m, _b), v in _RESULTS.items() if m == "compiled")
+    speedup = best / baseline
+    summary(
+        "E12: headline speedup",
+        ["interpreted b1 tok/s", "best compiled tok/s", "speedup"],
+        [f"{baseline:.0f}", f"{best:.0f}", f"{speedup:.2f}x"],
+    )
+    export.record(
+        "E12-speedup",
+        interpreted_tokens_per_sec=round(baseline, 1),
+        compiled_tokens_per_sec=round(best, 1),
+        speedup=round(speedup, 2),
+    )
+    assert speedup >= 2.0, (
+        f"compiled+batched must be >= 2x interpreted single-token "
+        f"({speedup:.2f}x)"
+    )
+
+
+@pytest.mark.parametrize("batch_size", [1, 8, 64])
+def test_durable_batched_throughput(benchmark, tmp_path, batch_size, summary):
+    """E12c: the WAL side of batching — sync=always, one TOKEN_DEQUEUE
+    group + one ACTION_FIRED group commit per batch instead of per token."""
+    reset_compiled_residuals()
+    tman = TriggerMan.persistent(
+        str(tmp_path / f"wal_b{batch_size}"),
+        wal_sync="always",
+        batch_size=batch_size,
+        compile_predicates=True,
+    )
+    tman.define_table(
+        "emp",
+        [
+            ("eno", "integer"),
+            ("name", "varchar(40)"),
+            ("salary", "float"),
+            ("dept", "varchar(20)"),
+            ("age", "integer"),
+        ],
+    )
+    for i in range(20):
+        dept = DEPARTMENTS[i % len(DEPARTMENTS)]
+        tman.create_trigger(
+            f"create trigger t{i} from emp on insert "
+            f"when emp.dept = '{dept}' and emp.salary > {i} "
+            f"do raise event E{i}"
+        )
+    n = max(20, N_TOKENS // 3)
+    tokens = list(emp_tokens(n, seed=13))
+
+    def run():
+        for token in tokens:
+            tman.insert("emp", token)
+        start = time.perf_counter()
+        processed = tman.process_all()
+        elapsed = time.perf_counter() - start
+        assert processed == n
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    throughput = n / elapsed
+    summary(
+        "E12c: durable (sync=always) batched throughput",
+        ["batch", "tokens/s"],
+        [batch_size, f"{throughput:.0f}"],
+    )
+    export.record(
+        "E12c",
+        batch_size=batch_size,
+        tokens=n,
+        tokens_per_sec=round(throughput, 1),
+    )
+    tman.close()
+
+
+def _bind_copy_all(bindings, tvar, row):
+    """The PR3 shape: every bind copies all three maps."""
+    return Bindings(
+        dict(bindings.rows, **{tvar: row}),
+        dict(bindings.old_rows) if bindings.old_rows else None,
+        dict(bindings.params) if bindings.params else None,
+    )
+
+
+def test_bindings_bind_micro(benchmark, summary):
+    """E12b: chained-lookup bind vs the copy-all reference."""
+    base = Bindings(
+        {"a": {"x": 1}, "b": {"y": 2}},
+        {"a": {"x": 0}},
+        {"p": 3, "q": 4},
+    )
+    row = {"z": 9}
+    n = 10_000
+
+    def shared():
+        start = time.perf_counter()
+        for _ in range(n):
+            base.bind("c", row)
+        return time.perf_counter() - start
+
+    elapsed = benchmark.pedantic(shared, rounds=3, iterations=1)
+    shared_ns = elapsed / n * 1e9
+    start = time.perf_counter()
+    for _ in range(n):
+        _bind_copy_all(base, "c", row)
+    copy_ns = (time.perf_counter() - start) / n * 1e9
+    summary(
+        "E12b: Bindings.bind cost",
+        ["shared ns/bind", "copy-all ns/bind", "ratio"],
+        [f"{shared_ns:.0f}", f"{copy_ns:.0f}", f"{copy_ns / shared_ns:.2f}x"],
+    )
+    export.record(
+        "E12b",
+        shared_ns_per_bind=round(shared_ns, 1),
+        copy_all_ns_per_bind=round(copy_ns, 1),
+        ratio=round(copy_ns / shared_ns, 2),
+    )
+    # The rewrite must not be slower than the map-copying shape it replaced.
+    assert shared_ns <= copy_ns * 1.10

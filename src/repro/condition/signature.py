@@ -27,7 +27,7 @@ in CNF):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SignatureError
 from ..lang import ast
@@ -158,6 +158,16 @@ class ExpressionSignature:
     def describe(self) -> str:
         return f"[{self.data_source}, {self.operation}] {self.text}"
 
+    def residual_slot_map(self) -> Dict[int, int]:
+        """Placeholder number → position in the residual constant row.
+
+        The predicate compiler keys its cache per signature and compiles
+        the residual template once with this mapping; each trigger in the
+        equivalence class then binds its own constant-table row
+        (:attr:`AnalyzedPredicate.residual_constants`) per evaluation.
+        """
+        return {n: i for i, n in enumerate(self.residual_constant_numbers)}
+
 
 @dataclass(frozen=True)
 class AnalyzedPredicate:
@@ -171,6 +181,15 @@ class AnalyzedPredicate:
         return tuple(
             self.constants[n - 1]
             for n in self.signature.indexable.constant_numbers
+        )
+
+    @property
+    def residual_constants(self) -> Tuple[Any, ...]:
+        """The residual template's constant row for this predicate, in
+        :meth:`ExpressionSignature.residual_slot_map` slot order."""
+        return tuple(
+            self.constants[n - 1]
+            for n in self.signature.residual_constant_numbers
         )
 
     @property

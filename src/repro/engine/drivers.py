@@ -46,6 +46,7 @@ class DriverPool:
         threshold: float = DEFAULT_THRESHOLD,
         poll_period: float = DEFAULT_POLL_PERIOD,
         concurrency_level: float = 1.0,
+        batch_size: Optional[int] = None,
     ):
         if n is None:
             n = compute_driver_count(os.cpu_count() or 1, concurrency_level)
@@ -55,8 +56,14 @@ class DriverPool:
         self.n = n
         self.threshold = threshold
         self.poll_period = poll_period
+        #: tokens per PROCESS_BATCH task for this pool's refills (None uses
+        #: the engine's own ``batch_size`` knob)
+        self.batch_size = batch_size
         self.drivers: List[Driver] = []
         self._started = False
+
+    def _refill(self) -> bool:
+        return self.tman._refill_tasks(batch_size=self.batch_size)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -69,7 +76,7 @@ class DriverPool:
                 self.tman.tasks,
                 threshold=self.threshold,
                 poll_period=self.poll_period,
-                refill=self.tman._refill_tasks,
+                refill=self._refill,
                 name=f"tman-driver-{i}",
             )
             self.drivers.append(driver)

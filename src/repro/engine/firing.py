@@ -149,6 +149,9 @@ class FiringEngine:
         #: redo-resurrected queue rows dropped because their dequeue was
         #: already durable (see TableQueue.purge_seqs)
         self.stale_rows_purged = 0
+        #: per-thread deferred-flush context (see begin_batch/flush_batch);
+        #: thread-local because each driver batches its own tokens
+        self._batch_local = threading.local()
 
     # -- recovery ----------------------------------------------------------
 
@@ -234,6 +237,37 @@ class FiringEngine:
         self.wal.fault("engine.token_done")
         self.wal.append_json(TOKEN_DONE, {"seq": seq})
 
+    # -- batched firing ----------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Start deferring this thread's ACTION_FIRED appends and action
+        task submissions until :meth:`flush_batch`.
+
+        In-flight bookkeeping (idx/fired/pending) stays immediate — only
+        the WAL append and the task hand-off are deferred, so one
+        leader/follower group commit and one submission burst cover the
+        whole batch.  The crash window this opens (records appended,
+        action tasks not yet submitted) is the same window the single-token
+        path already has between its append and its submit: the ledger
+        stays exactly-once, replay skips the durably-recorded firings.
+        """
+        self._batch_local.ctx = {"records": [], "tasks": []}
+
+    def flush_batch(self) -> None:
+        """Append the deferred ledger records as one WAL group, then submit
+        the deferred action tasks.  Append-before-execute holds batch-wide:
+        no action task exists until every record of the batch is appended
+        (and, under sync=always, group-committed)."""
+        ctx = getattr(self._batch_local, "ctx", None)
+        self._batch_local.ctx = None
+        if ctx is None:
+            return
+        if ctx["records"]:
+            self.wal.append_json_many(ACTION_FIRED, ctx["records"])
+            self.wal.fault("engine.fire")
+        for task in ctx["tasks"]:
+            self.submit(task)
+
     # -- firing ------------------------------------------------------------
 
     def fire(self, runtime: TriggerRuntime, bindings: Bindings, seq: int) -> None:
@@ -246,6 +280,7 @@ class FiringEngine:
         name = runtime.name
         trigger_id = runtime.trigger_id
         durable = self.durable and seq > 0
+        ctx = getattr(self._batch_local, "ctx", None)
         if durable:
             digest = firing_digest(name, bindings)
             with self._lock:
@@ -264,16 +299,23 @@ class FiringEngine:
                 entry["idx"] += 1
                 entry["fired"][digest] += 1
                 entry["pending"] += 1
-            # Append-before-execute: the firing is in the ledger before the
-            # action can have any effect.  (Under sync=group the record may
-            # not be *durable* yet when the action runs; a crash in that
-            # window replays the firing — the ledger stays exactly-once,
-            # external action effects are at-least-once.)
-            self.wal.append_json(
-                ACTION_FIRED,
-                {"seq": seq, "idx": idx, "trigger": name, "digest": digest},
-            )
-            self.wal.fault("engine.fire")
+            record = {
+                "seq": seq, "idx": idx, "trigger": name, "digest": digest,
+            }
+            if ctx is not None:
+                # Batch mode: the record joins the batch's single WAL group
+                # in flush_batch.  In-flight accounting above is already
+                # done, so TOKEN_DONE can never overtake a pending firing.
+                ctx["records"].append(record)
+            else:
+                # Append-before-execute: the firing is in the ledger before
+                # the action can have any effect.  (Under sync=group the
+                # record may not be *durable* yet when the action runs; a
+                # crash in that window replays the firing — the ledger
+                # stays exactly-once, external action effects are
+                # at-least-once.)
+                self.wal.append_json(ACTION_FIRED, record)
+                self.wal.fault("engine.fire")
         runtime.fire_count += 1
         self.stats.trigger_fired()
 
@@ -287,7 +329,11 @@ class FiringEngine:
                 # fall through to TOKEN_DONE accounting while unwinding.
                 self._task_finished(seq)
 
-        self.submit(Task(RUN_ACTION, run, label=name))
+        task = Task(RUN_ACTION, run, label=name)
+        if ctx is not None:
+            ctx["tasks"].append(task)
+        else:
+            self.submit(task)
 
     # -- checkpoint support --------------------------------------------------
 

@@ -14,21 +14,30 @@ tell "queue momentarily empty" apart from "a driver is mid-conversion".
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from .descriptors import UpdateDescriptor
 from .locks import AtomicCounter
-from .tasks import PROCESS_TOKEN, Task
+from .tasks import PROCESS_BATCH, PROCESS_TOKEN, Task
 
 
 class TokenPipeline:
     """Capture sink, descriptor source, and the task-submission funnel."""
 
-    def __init__(self, queue, tasks, obs, m_task_ns):
+    def __init__(self, queue, tasks, obs, m_task_ns, batch_size: int = 1):
         self.queue = queue
         self.tasks = tasks
         self.obs = obs
         self._m_task_ns = m_task_ns
+        #: tokens per PROCESS_BATCH task; 1 keeps the single-token path
+        self.batch_size = max(1, batch_size)
+        #: tokens actually grouped per batch task (depth-limited batches
+        #: show up here; always-on would cost the single-token path, so the
+        #: histogram only fills when metrics are enabled)
+        self._m_batch_tokens = obs.metrics.histogram(
+            "pipeline.batch_tokens",
+            help="tokens per PROCESS_BATCH task",
+        )
         #: drivers currently inside refill_tasks (descriptors may be out of
         #: the queue but not yet visible as tasks — quiesce must wait)
         self.converting = AtomicCounter()
@@ -37,6 +46,11 @@ class TokenPipeline:
         self.firing = None
         #: descriptor -> fired count (the match executor's process_token)
         self.process: Callable[[UpdateDescriptor], int] = lambda d: 0
+        #: batch of descriptors -> fired count (the match executor's
+        #: match_batch, bound by the facade like ``process``)
+        self.process_batch: Callable[[List[UpdateDescriptor]], int] = (
+            lambda ds: 0
+        )
 
     # -- capture (the producer side) ---------------------------------------
 
@@ -105,10 +119,37 @@ class TokenPipeline:
         self.firing.register_inflight(descriptor)
         return descriptor
 
-    def refill_tasks(self, batch: int = 64) -> bool:
-        """Convert pending update descriptors into type-1 tasks."""
-        added = False
+    def next_descriptors(self, n: int) -> List[UpdateDescriptor]:
+        """Up to ``n`` descriptors: recovered replay tokens first, then one
+        batched dequeue (a single queue lock + WAL group for the rest)."""
+        batch: List[UpdateDescriptor] = []
+        while len(batch) < n:
+            descriptor = self.firing.next_replay()
+            if descriptor is None:
+                break
+            batch.append(descriptor)
+        if len(batch) < n:
+            batch.extend(self.queue.dequeue_batch(n - len(batch)))
+        for descriptor in batch:
+            self.firing.register_inflight(descriptor)
+        return batch
+
+    def refill_tasks(
+        self, batch: int = 64, batch_size: Optional[int] = None
+    ) -> bool:
+        """Convert pending update descriptors into type-1 tasks.
+
+        ``batch`` caps how many descriptors one refill converts;
+        ``batch_size`` (default: the pipeline's knob) groups them into
+        PROCESS_BATCH tasks.  Tracing keeps the single-token path — spans
+        and trace ids are per token.
+        """
+        if batch_size is None:
+            batch_size = self.batch_size
         tracer = self.obs.trace
+        if batch_size > 1 and not tracer.enabled:
+            return self._refill_batched(batch, batch_size)
+        added = False
         self.converting.inc()
         try:
             for _ in range(batch):
@@ -126,6 +167,31 @@ class TokenPipeline:
                         ),
                     ),
                     trace_id=descriptor.trace_id,
+                )
+                added = True
+        finally:
+            self.converting.dec()
+        return added
+
+    def _refill_batched(self, batch: int, batch_size: int) -> bool:
+        added = False
+        observe_sizes = self.obs.metrics.enabled
+        self.converting.inc()
+        try:
+            remaining = batch
+            while remaining > 0:
+                chunk = self.next_descriptors(min(batch_size, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+                if observe_sizes:
+                    self._m_batch_tokens.observe(len(chunk))
+                self.submit(
+                    Task(
+                        PROCESS_BATCH,
+                        lambda ds=chunk: self.process_batch(ds),
+                        label=f"batch[{len(chunk)}]",
+                    )
                 )
                 added = True
         finally:

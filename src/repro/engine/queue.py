@@ -63,6 +63,20 @@ class UpdateQueue:
     def dequeue(self) -> Optional[UpdateDescriptor]:
         raise NotImplementedError
 
+    def dequeue_batch(self, n: int) -> List[UpdateDescriptor]:
+        """Up to ``n`` descriptors in FIFO order (possibly empty).
+
+        Subclasses override to amortize locking and WAL work across the
+        batch; this fallback just loops :meth:`dequeue`.
+        """
+        batch: List[UpdateDescriptor] = []
+        while len(batch) < n:
+            descriptor = self.dequeue()
+            if descriptor is None:
+                break
+            batch.append(descriptor)
+        return batch
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -97,6 +111,14 @@ class MemoryQueue(UpdateQueue):
                 return None
             self._count_dequeue()
             return self._items.popleft()
+
+    def dequeue_batch(self, n: int) -> List[UpdateDescriptor]:
+        with self._lock:
+            batch: List[UpdateDescriptor] = []
+            while len(batch) < n and self._items:
+                batch.append(self._items.popleft())
+                self._count_dequeue()
+            return batch
 
     def __len__(self) -> int:
         with self._lock:
@@ -237,6 +259,43 @@ class TableQueue(UpdateQueue):
             self._count_dequeue()
         seq, data_source, operation, payload = row
         return UpdateDescriptor.from_parts(data_source, operation, payload, seq)
+
+    def dequeue_batch(self, n: int) -> List[UpdateDescriptor]:
+        """Up to ``n`` descriptors under one lock acquisition and one WAL
+        group: all TOKEN_DEQUEUE records are appended (and group-committed
+        together) *before* any row is deleted, so the log-before-delete
+        rule holds for the whole batch — any durable state missing a row
+        also contains its dequeue record.  One ``queue.dequeue`` crash
+        point covers the batch: a crash after the appends but before the
+        deletes resurrects rows on redo, which recovery purges against the
+        durable dequeue records exactly as in the single-token path.
+        """
+        with self._lock:
+            if not self._pending:
+                return []
+            rows: List[tuple] = []
+            rids: List[object] = []
+            while len(rows) < n and self._pending:
+                rid = self._pending.popleft()
+                rids.append(rid)
+                rows.append(self.table.read(rid))
+            if self.wal is not None:
+                self.wal.append_json_many(
+                    TOKEN_DEQUEUE,
+                    [
+                        {"seq": row[0], "dataSrc": row[1], "op": row[2],
+                         "payload": row[3]}
+                        for row in rows
+                    ],
+                )
+                self.wal.fault("queue.dequeue")
+            for rid in rids:
+                self.table.delete(rid)
+                self._count_dequeue()
+        return [
+            UpdateDescriptor.from_parts(row[1], row[2], row[3], row[0])
+            for row in rows
+        ]
 
     def __len__(self) -> int:
         with self._lock:

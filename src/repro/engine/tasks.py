@@ -28,6 +28,9 @@ PROCESS_TOKEN = "process_token"
 RUN_ACTION = "run_action"
 CONDITION_SUBSET = "condition_subset"
 ACTION_SUBSET = "action_subset"
+#: a type-1 task covering a whole dequeued batch (the batched pipeline's
+#: unit of work; one task amortizes queue/WAL/lock costs over its tokens)
+PROCESS_BATCH = "process_batch"
 
 TASK_QUEUE_EMPTY = "TASK_QUEUE_EMPTY"
 TASKS_REMAINING = "TASKS_REMAINING"

@@ -33,6 +33,7 @@ locking, ordered by the hierarchy documented in :mod:`repro.engine.locks`.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import TriggerError
@@ -80,11 +81,20 @@ class TriggerMan(IngestionMixin):
         network_type: str = "atreat",
         obs: Optional[Observability] = None,
         observability: bool = False,
+        batch_size: int = 1,
+        compile_predicates: Optional[bool] = None,
     ):
         """``obs`` supplies a pre-built observability bundle (metrics
         registry + trace recorder); ``observability=True`` enables metrics
         timing on the instance's own bundle from the start.  Both default
-        to off: an un-observed engine pays only boolean guard checks."""
+        to off: an un-observed engine pays only boolean guard checks.
+
+        ``batch_size`` groups that many dequeued tokens per PROCESS_BATCH
+        task (1 keeps the single-token pipeline).  ``compile_predicates``
+        toggles the signature-keyed predicate compilation cache; the
+        default resolves from the ``TMAN_COMPILE`` environment variable
+        (``off``/``0``/``false`` disables — the escape hatch) and is
+        otherwise on."""
         self.catalog_db = catalog_db if catalog_db is not None else Database()
         default_db = default_db if default_db is not None else self.catalog_db
         self.connections: Dict[str, Connection] = {
@@ -101,7 +111,16 @@ class TriggerMan(IngestionMixin):
         self.events = EventManager()
         self.actions = ActionExecutor(default_db, self.events, self.evaluator)
         self.actions.attach_obs(self.obs)
-        self.index = PredicateIndex(self.evaluator)
+        if compile_predicates is None:
+            compile_predicates = (
+                os.environ.get("TMAN_COMPILE", "on").lower()
+                not in ("off", "0", "false")
+            )
+        self.compile_predicates = compile_predicates
+        self.batch_size = max(1, batch_size)
+        self.index = PredicateIndex(
+            self.evaluator, compile_predicates=compile_predicates
+        )
         self.index.attach_obs(self.obs)
         self.queue: UpdateQueue = (
             TableQueue(self.catalog_db, sync_on_enqueue=sync_on_enqueue)
@@ -155,7 +174,8 @@ class TriggerMan(IngestionMixin):
             self.obs,
         )
         self.pipeline = TokenPipeline(
-            self.queue, self.tasks, self.obs, self._m_task_ns
+            self.queue, self.tasks, self.obs, self._m_task_ns,
+            batch_size=self.batch_size,
         )
         self.firing = FiringEngine(
             self.wal,
@@ -180,6 +200,7 @@ class TriggerMan(IngestionMixin):
         )
         self.pipeline.firing = self.firing
         self.pipeline.process = self.process_token
+        self.pipeline.process_batch = self.process_batch
         self._driver_pool = None
         register_engine_views(self)
         self.runtimes.restore(self._connection, self._capture)
@@ -252,6 +273,13 @@ class TriggerMan(IngestionMixin):
         with self._m_token_ns.time():
             return self.matcher.process_token(descriptor)
 
+    def process_batch(self, descriptors: List[UpdateDescriptor]) -> int:
+        """Match a batch of tokens (one firing group commit, one index probe
+        pass per data source); returns the total firings produced.  See
+        :meth:`repro.engine.matcher.MatchExecutor.match_batch`."""
+        with self._m_token_ns.time():
+            return self.matcher.match_batch(descriptors)
+
     def enqueue_condition_tasks(
         self, descriptor: UpdateDescriptor, partitions: int
     ) -> int:
@@ -261,9 +289,12 @@ class TriggerMan(IngestionMixin):
 
     # -- the driver surface (§6) -------------------------------------------------
 
-    def _refill_tasks(self, batch: int = 64) -> bool:
-        """Convert pending update descriptors into type-1 tasks."""
-        return self.pipeline.refill_tasks(batch)
+    def _refill_tasks(
+        self, batch: int = 64, batch_size: Optional[int] = None
+    ) -> bool:
+        """Convert pending update descriptors into type-1 tasks.
+        ``batch_size`` overrides the engine's batching knob per call."""
+        return self.pipeline.refill_tasks(batch, batch_size)
 
     def _next_descriptor(self) -> Optional[UpdateDescriptor]:
         return self.pipeline.next_descriptor()
@@ -298,6 +329,19 @@ class TriggerMan(IngestionMixin):
     def process_all(self, max_tokens: Optional[int] = None) -> int:
         """Drain the update queue and the task queue on the calling thread;
         returns the number of tokens processed."""
+        if (
+            max_tokens is None
+            and self.batch_size > 1
+            and not self.obs.trace.enabled
+        ):
+            # Batched engines drain through the same refill path the
+            # drivers use, so PROCESS_BATCH amortization is exercised even
+            # on a single thread.
+            before = self.stats.tokens_processed
+            while self._refill_tasks():
+                self._run_pending_tasks()
+            self._run_pending_tasks()
+            return self.stats.tokens_processed - before
         processed = 0
         while True:
             descriptor = self._next_descriptor()

@@ -1,0 +1,439 @@
+"""Predicate compilation: AST → Python closures with SQL three-valued logic.
+
+The paper's scalability lever (§5) is that millions of triggers collapse
+into a handful of expression signatures.  The signature is therefore the
+unit of *compilation*: the generalized restOfPredicate of one signature is
+compiled once into a Python function of ``(row, constants)``, and every
+trigger in the equivalence class reuses it with its own constant-table row
+bound as the ``constants`` tuple — no per-tuple AST walk, no per-tuple
+placeholder resolution.
+
+Two compilation modes:
+
+* **row mode** (:func:`compile_row_template`) — the engine's hot path.
+  Compiles a generalized residual template (tuple-variable-stripped, with
+  ``CONSTANT_n`` placeholders) to ``fn(row, constants, functions)``.
+* **bindings mode** (:func:`compile_predicate`) — a general predicate over
+  a full :class:`~repro.lang.evaluator.Bindings` (params, ``:OLD`` images,
+  multiple tuple variables), wrapped in :class:`CompiledPredicate`.
+
+Parity contract with the interpreter (enforced by the differential suite in
+``tests/lang/test_compiler.py``):
+
+* Kleene logic — AND short-circuits on the first FALSE, OR on the first
+  TRUE; otherwise *every* argument is evaluated and NULL is sticky.
+* Comparison/arithmetic over NULL yields NULL; both operands are always
+  evaluated (the interpreter evaluates left and right before its null
+  check, so the generated code forces both with a bitwise ``|``).
+* Any exception from compiled code falls back to the interpreter, which
+  re-raises the interpreter's own error (``ConditionError`` with its exact
+  message, ``TypeError``, ...).  The compiler never needs inline error
+  parity — the fallback *is* the parity.
+
+Constructs outside the compilable subset (aggregates, ``*``, placeholders
+in bindings mode, qualified columns in row mode) return ``None`` from the
+compile entry points; callers keep the interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..errors import ConditionError
+from . import ast
+from .evaluator import (
+    AGGREGATE_NAMES,
+    ARITHMETIC_OPS,
+    COMPARISON_OPS,
+    Bindings,
+    Evaluator,
+    _compare,
+    _like,
+    like_regex,
+)
+
+__all__ = [
+    "CompiledPredicate",
+    "CompileError",
+    "CompilerStats",
+    "STATS",
+    "compile_predicate",
+    "compile_row_template",
+]
+
+
+class CompileError(Exception):
+    """A node outside the compilable subset (internal control flow)."""
+
+
+class CompilerStats:
+    """Module-wide compilation/cache counters.
+
+    Plain ints: increments race under concurrent compiles, which only
+    blurs monitoring gauges — correctness never reads these.  Exposed as
+    ``compiler.*`` registry gauges by ``obs.views.register_engine_views``.
+    """
+
+    __slots__ = (
+        "compiles",
+        "compile_failures",
+        "cache_hits",
+        "cache_misses",
+        "runtime_fallbacks",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: templates successfully compiled to Python functions
+        self.compiles = 0
+        #: compile attempts that hit an uncompilable construct
+        self.compile_failures = 0
+        #: residual-matcher cache hits (one per residual test, ideally)
+        self.cache_hits = 0
+        #: residual-matcher cache misses (one per distinct predicate)
+        self.cache_misses = 0
+        #: compiled calls that raised and re-ran under the interpreter
+        self.runtime_fallbacks = 0
+
+
+STATS = CompilerStats()
+
+
+# -- helpers bound into every compiled function's namespace -----------------
+
+
+def _rcol(row: Mapping[str, Any], name: str) -> Any:
+    """Row-mode column access with the interpreter's error contract."""
+    try:
+        return row[name]
+    except KeyError:
+        raise ConditionError(f"unknown column {name!r}")
+
+
+def _param(bindings: Bindings, name: str) -> Any:
+    if name not in bindings.params:
+        raise ConditionError(f"unbound parameter :{name}")
+    return bindings.params[name]
+
+
+def _lookup(functions: Mapping[str, Callable[..., Any]], name: str):
+    fn = functions.get(name)
+    if fn is None:
+        raise ConditionError(f"unknown function {name!r}")
+    return fn
+
+
+def _ingen(value: Any, items: tuple, negated: bool) -> Optional[bool]:
+    """IN-list semantics over pre-evaluated items (same truth table and
+    first-match short-circuit as ``Evaluator._eval_InList``)."""
+    if value is None:
+        return None
+    found = False
+    saw_null = False
+    for candidate in items:
+        if candidate is None:
+            saw_null = True
+        elif candidate == value:
+            found = True
+            break
+    if found:
+        result: Optional[bool] = True
+    elif saw_null:
+        result = None
+    else:
+        result = False
+    if negated and result is not None:
+        result = not result
+    return result
+
+
+def _btw(value: Any, low: Any, high: Any, negated: bool) -> Optional[bool]:
+    """BETWEEN semantics (mirrors ``Evaluator._eval_Between``)."""
+    lower = _compare("<=", low, value)
+    upper = _compare("<=", value, high)
+    if lower is False or upper is False:
+        result: Optional[bool] = False
+    elif lower is None or upper is None:
+        result = None
+    else:
+        result = True
+    if negated and result is not None:
+        result = not result
+    return result
+
+
+_BASE_NAMESPACE = {
+    "_rcol": _rcol,
+    "_param": _param,
+    "_lookup": _lookup,
+    "_ingen": _ingen,
+    "_btw": _btw,
+    "_like": _like,
+    "ConditionError": ConditionError,
+}
+
+_CMP_PY = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=",
+           ">": ">", ">=": ">="}
+
+MODE_BINDINGS = "bindings"
+MODE_ROW = "row"
+
+
+class _Emitter:
+    """Generates one Python expression string for an AST, bottom-up.
+
+    Walrus-operator temporaries (``_tN``) let a single expression both
+    short-circuit like the interpreter and re-inspect already-evaluated
+    arguments for the sticky-NULL check.
+    """
+
+    def __init__(self, mode: str, slot_map: Optional[Dict[int, int]] = None):
+        self.mode = mode
+        self.slot_map = slot_map or {}
+        self.namespace: Dict[str, Any] = dict(_BASE_NAMESPACE)
+        self._tmp = 0
+        self._bound = 0
+
+    def _temp(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    def _bind(self, value: Any) -> str:
+        """Bind a Python object into the namespace as a named constant."""
+        self._bound += 1
+        name = f"_k{self._bound}"
+        self.namespace[name] = value
+        return name
+
+    # -- dispatch ---------------------------------------------------------
+
+    def emit(self, node: ast.Expr) -> str:
+        method = getattr(self, f"_emit_{type(node).__name__}", None)
+        if method is None:
+            raise CompileError(f"cannot compile {type(node).__name__}")
+        return method(node)
+
+    # -- leaves -----------------------------------------------------------
+
+    def _emit_Literal(self, node: ast.Literal) -> str:
+        value = node.value
+        if value is None or value is True or value is False:
+            return repr(value)
+        if isinstance(value, int):
+            return repr(value)
+        if isinstance(value, float):
+            if not math.isfinite(value):
+                return self._bind(value)
+            return repr(value)
+        if isinstance(value, str):
+            return repr(value)
+        # Unusual literal type: bind the object itself, no repr round-trip.
+        return self._bind(value)
+
+    def _emit_Placeholder(self, node: ast.Placeholder) -> str:
+        if self.mode != MODE_ROW:
+            raise CompileError("placeholder outside a row-mode template")
+        slot = self.slot_map.get(node.number)
+        if slot is None:
+            raise CompileError(f"no slot for CONSTANT_{node.number}")
+        return f"_c[{slot}]"
+
+    def _emit_ColumnRef(self, node: ast.ColumnRef) -> str:
+        if self.mode == MODE_ROW:
+            if node.tvar is not None:
+                raise CompileError("qualified column in a row-mode template")
+            return f"_rcol(_r, {node.column!r})"
+        return f"_b.column({node.tvar!r}, {node.column!r})"
+
+    def _emit_ParamRef(self, node: ast.ParamRef) -> str:
+        if self.mode == MODE_ROW:
+            raise CompileError("parameter reference in a row-mode template")
+        if node.kind == "NEW":
+            return f"_b.column({node.tvar!r}, {node.column!r})"
+        if node.kind == "OLD":
+            return f"_b.old_column({node.tvar!r}, {node.column!r})"
+        return f"_param(_b, {node.column!r})"
+
+    # -- operators --------------------------------------------------------
+
+    def _emit_BinaryOp(self, node: ast.BinaryOp) -> str:
+        op = node.op.upper() if node.op.isalpha() else node.op
+        if op == "LIKE":
+            return self._emit_like(node)
+        left = self.emit(node.left)
+        right = self.emit(node.right)
+        if op in COMPARISON_OPS:
+            py = _CMP_PY[op]
+        elif op in ARITHMETIC_OPS:
+            py = op
+        else:
+            raise CompileError(f"unknown binary operator {node.op!r}")
+        t1, t2 = self._temp(), self._temp()
+        # Bitwise | forces evaluation of BOTH operands before the null
+        # check, exactly like the interpreter (an error in the right
+        # operand must surface even when the left is NULL).
+        return (
+            f"(None if ((({t1} := {left}) is None) | "
+            f"(({t2} := {right}) is None)) else ({t1} {py} {t2}))"
+        )
+
+    def _emit_like(self, node: ast.BinaryOp) -> str:
+        left = self.emit(node.left)
+        pattern = node.right
+        if isinstance(pattern, ast.Literal) and isinstance(pattern.value, str):
+            # Literal pattern: bind the compiled regex as a closure cell —
+            # zero cache lookups per call (ISSUE 4 satellite).
+            rx = self._bind(like_regex(pattern.value))
+            t = self._temp()
+            return (
+                f"(None if ({t} := {left}) is None "
+                f"else ({rx}.match({t}) is not None))"
+            )
+        right = self.emit(pattern)
+        return f"_like(({left}), ({right}))"
+
+    def _emit_UnaryOp(self, node: ast.UnaryOp) -> str:
+        operand = self.emit(node.operand)
+        t = self._temp()
+        if node.op == "-":
+            return f"(None if ({t} := {operand}) is None else (-{t}))"
+        if node.op.upper() == "NOT":
+            return f"(None if ({t} := {operand}) is None else (not {t}))"
+        raise CompileError(f"unknown unary operator {node.op!r}")
+
+    def _emit_BoolOp(self, node: ast.BoolOp) -> str:
+        op = node.op.upper()
+        if op not in ("AND", "OR") or not node.args:
+            raise CompileError(f"unknown boolean operator {node.op!r}")
+        bail = "False" if op == "AND" else "True"
+        temps = []
+        parts = []
+        for arg in node.args:
+            t = self._temp()
+            temps.append(t)
+            parts.append(
+                f"{bail} if (({t} := {self.emit(arg)}) is {bail}) else"
+            )
+        null_check = " | ".join(f"({t} is None)" for t in temps)
+        tail = "True" if op == "AND" else "False"
+        return (
+            "(" + " ".join(parts) + f" (None if ({null_check}) else {tail}))"
+        )
+
+    def _emit_InList(self, node: ast.InList) -> str:
+        value = self.emit(node.expr)
+        items = ", ".join(self.emit(i) for i in node.items)
+        if len(node.items) == 1:
+            items += ","
+        return f"_ingen(({value}), ({items}), {node.negated!r})"
+
+    def _emit_Between(self, node: ast.Between) -> str:
+        value = self.emit(node.expr)
+        low = self.emit(node.low)
+        high = self.emit(node.high)
+        return f"_btw(({value}), ({low}), ({high}), {node.negated!r})"
+
+    def _emit_IsNull(self, node: ast.IsNull) -> str:
+        if isinstance(node.expr, ast.Literal):
+            # Constant-fold: `'x' is None` would be a SyntaxWarning.
+            return repr((node.expr.value is None) != node.negated)
+        test = "is not None" if node.negated else "is None"
+        return f"(({self.emit(node.expr)}) {test})"
+
+    def _emit_FuncCall(self, node: ast.FuncCall) -> str:
+        name = node.name.lower()
+        if name in AGGREGATE_NAMES:
+            raise CompileError(f"aggregate {name}() is not compilable")
+        args = ", ".join(self.emit(a) for a in node.args)
+        # The callable is resolved before the arguments evaluate — the
+        # same order as the interpreter's _eval_FuncCall.
+        return f"_lookup(_fns, {name!r})({args})"
+
+
+def _build(expr: ast.Expr, mode: str,
+           slot_map: Optional[Dict[int, int]] = None,
+           ) -> Optional[Callable[..., Any]]:
+    """Compile one expression; None when outside the compilable subset."""
+    emitter = _Emitter(mode, slot_map)
+    try:
+        body = emitter.emit(expr)
+    except CompileError:
+        STATS.compile_failures += 1
+        return None
+    args = "_r, _c, _fns" if mode == MODE_ROW else "_b, _fns"
+    source = f"def _pred({args}):\n    return {body}\n"
+    namespace = emitter.namespace
+    try:
+        exec(compile(source, "<compiled-predicate>", "exec"), namespace)
+    except (SyntaxError, RecursionError, MemoryError, ValueError):
+        STATS.compile_failures += 1
+        return None
+    STATS.compiles += 1
+    fn = namespace["_pred"]
+    fn.__source__ = source  # introspection for tests / EXPLAIN
+    return fn
+
+
+def compile_row_template(
+    template: ast.Expr, slot_map: Dict[int, int]
+) -> Optional[Callable[..., Any]]:
+    """Compile a generalized residual template to ``fn(row, constants,
+    functions)``.
+
+    ``slot_map`` maps each ``CONSTANT_n`` placeholder number to its
+    position in the per-entry constants tuple — the constant-table row is
+    bound per call, so one compiled template serves every trigger in the
+    signature's equivalence class.  Returns None when the template is
+    outside the compilable subset (caller keeps the interpreter).
+    """
+    return _build(template, MODE_ROW, slot_map)
+
+
+class CompiledPredicate:
+    """A bindings-mode compiled predicate with interpreter self-healing.
+
+    Any exception from the compiled function re-runs the expression under
+    the interpreter, which either produces the value (a compiler bug would
+    be masked, not wrong) or raises its own canonical error.  Registered
+    functions with side effects may thus run twice on the error path.
+    """
+
+    __slots__ = ("expr", "evaluator", "_fn")
+
+    def __init__(self, expr: ast.Expr, fn: Callable[..., Any],
+                 evaluator: Evaluator):
+        self.expr = expr
+        self._fn = fn
+        self.evaluator = evaluator
+
+    def evaluate(self, bindings: Bindings) -> Any:
+        try:
+            return self._fn(bindings, self.evaluator.functions)
+        except Exception:
+            STATS.runtime_fallbacks += 1
+            return self.evaluator.evaluate(self.expr, bindings)
+
+    def matches(self, bindings: Bindings) -> bool:
+        return self.evaluate(bindings) is True
+
+    @property
+    def source(self) -> str:
+        return getattr(self._fn, "__source__", "")
+
+
+def compile_predicate(
+    expr: ast.Expr, evaluator: Optional[Evaluator] = None
+) -> Optional[CompiledPredicate]:
+    """Compile a full predicate over :class:`Bindings`; None when the
+    expression is outside the compilable subset."""
+    fn = _build(expr, MODE_BINDINGS)
+    if fn is None:
+        return None
+    if evaluator is None:
+        from .evaluator import DEFAULT_EVALUATOR
+
+        evaluator = DEFAULT_EVALUATOR
+    return CompiledPredicate(expr, fn, evaluator)

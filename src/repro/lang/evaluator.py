@@ -41,9 +41,19 @@ class Bindings:
         self.params: Dict[str, Any] = dict(params or {})
 
     def bind(self, tvar: str, row: Mapping[str, Any]) -> "Bindings":
-        """Return a new Bindings with one more tuple variable bound."""
-        child = Bindings(self.rows, self.old_rows, self.params)
-        child.rows[tvar] = row
+        """Return a new Bindings with one more tuple variable bound.
+
+        The child copies only ``rows`` (the one dict it shadows) and shares
+        ``old_rows``/``params`` with its parent — neither is ever mutated
+        after construction, and nested-loop matching calls bind() once per
+        candidate row, so one dict copy instead of three matters (E12b).
+        """
+        child = Bindings.__new__(Bindings)
+        rows = dict(self.rows)
+        rows[tvar] = row
+        child.rows = rows
+        child.old_rows = self.old_rows
+        child.params = self.params
         return child
 
     def column(self, tvar: Optional[str], column: str) -> Any:
@@ -105,16 +115,26 @@ def _like_to_regex(pattern: str) -> "re.Pattern[str]":
 _LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
 
 
-def _like(value: Any, pattern: Any) -> Optional[bool]:
-    if value is None or pattern is None:
-        return None
+def like_regex(pattern: str) -> "re.Pattern[str]":
+    """The compiled regex for a LIKE pattern, memoized per pattern string.
+
+    Shared by the interpreter's :func:`_like` and the predicate compiler,
+    which binds the compiled regex into generated closures for literal
+    patterns so repeated evaluations skip even this dict lookup.
+    """
     regex = _LIKE_CACHE.get(pattern)
     if regex is None:
         regex = _like_to_regex(pattern)
         if len(_LIKE_CACHE) > 4096:
             _LIKE_CACHE.clear()
         _LIKE_CACHE[pattern] = regex
-    return regex.match(value) is not None
+    return regex
+
+
+def _like(value: Any, pattern: Any) -> Optional[bool]:
+    if value is None or pattern is None:
+        return None
+    return like_regex(pattern).match(value) is not None
 
 
 def _compare(op: str, left: Any, right: Any) -> Optional[bool]:

@@ -29,6 +29,31 @@ def register_engine_views(tman) -> None:
     gauge("index.matches", callback=lambda: index.stats.matches)
     gauge("index.signatures", callback=index.signature_count)
     gauge("index.entries", callback=index.entry_count)
+    from ..lang.compiler import STATS as compiler_stats
+    from ..predindex import entry as predindex_entry
+
+    gauge("compiler.enabled", callback=lambda: int(index.compile_predicates))
+    gauge("compiler.compiles", callback=lambda: compiler_stats.compiles)
+    gauge(
+        "compiler.compile_failures",
+        callback=lambda: compiler_stats.compile_failures,
+    )
+    gauge("compiler.cache_hits", callback=lambda: compiler_stats.cache_hits)
+    gauge(
+        "compiler.cache_misses", callback=lambda: compiler_stats.cache_misses
+    )
+    gauge(
+        "compiler.runtime_fallbacks",
+        callback=lambda: compiler_stats.runtime_fallbacks,
+    )
+    gauge(
+        "compiler.cached_matchers",
+        callback=lambda: len(predindex_entry._MATCHER_CACHE),
+    )
+    gauge(
+        "compiler.cached_templates",
+        callback=lambda: len(predindex_entry._TEMPLATE_CACHE),
+    )
     gauge("cache.hits", callback=lambda: cache.stats.hits)
     gauge("cache.misses", callback=lambda: cache.stats.misses)
     gauge("cache.evictions", callback=lambda: cache.stats.evictions)

@@ -14,7 +14,12 @@ from .costmodel import (
     crossover_size,
     probe_cost,
 )
-from .entry import PredicateEntry
+from .entry import (
+    PredicateEntry,
+    compiled_residual,
+    reset_compiled_residuals,
+    seed_residual_matcher,
+)
 from .index import (
     DataSourcePredicateIndex,
     IndexStats,
@@ -47,6 +52,9 @@ __all__ = [
     "crossover_size",
     "probe_cost",
     "PredicateEntry",
+    "compiled_residual",
+    "reset_compiled_residuals",
+    "seed_residual_matcher",
     "DataSourcePredicateIndex",
     "IndexStats",
     "Match",

@@ -9,9 +9,10 @@ NULL when the whole predicate was indexable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Optional, Tuple
 
-from ..lang import ast
+from ..condition.signature import ExpressionSignature, generalize
+from ..lang import ast, compiler
 from ..lang.exprparser import parse_expression_text
 
 #: Shared cache of parsed restOfPredicate texts; many triggers share the
@@ -29,6 +30,94 @@ def parse_residual(text: Optional[str]) -> Optional[ast.Expr]:
             _RESIDUAL_CACHE.clear()
         _RESIDUAL_CACHE[text] = cached
     return cached
+
+
+#: The compiled-matcher type: ``fn(row, constants, functions) -> verdict``
+#: paired with the entry's bound constant row.
+ResidualMatcher = Tuple[Callable[..., Any], Tuple[Any, ...]]
+
+_MISS = object()
+#: instantiated residual text -> ResidualMatcher | None (None = keep the
+#: interpreter for this text).  Entries are reconstructed from constant-
+#: table rows on every probe, so the text — not the entry object — is the
+#: stable cache key.
+_MATCHER_CACHE: dict = {}
+#: template identity -> compiled row-mode function | None.  This is the
+#: compile-once-per-signature level: 100k triggers sharing one signature
+#: hit one compilation.
+_TEMPLATE_CACHE: dict = {}
+
+
+def _cache_put(cache: dict, key, value) -> None:
+    if len(cache) > 65536:
+        cache.clear()
+    cache[key] = value
+
+
+def reset_compiled_residuals() -> None:
+    """Drop both compiled-residual cache levels (tests)."""
+    _MATCHER_CACHE.clear()
+    _TEMPLATE_CACHE.clear()
+
+
+def compiled_residual(text: Optional[str]) -> Optional[ResidualMatcher]:
+    """The compiled matcher for an instantiated restOfPredicate, or None.
+
+    Re-generalizing the parsed text reproduces the (template, constants)
+    split — ``generalize`` numbers constants left to right from 1, so slot
+    ``i`` of the constant tuple is placeholder ``i+1`` — and the rendered
+    template keys the compile-once level.  Distinct texts of one signature
+    class therefore share a single compiled function and differ only in
+    the constant row bound per call.
+    """
+    if text is None or text == "":
+        return None
+    found = _MATCHER_CACHE.get(text, _MISS)
+    if found is not _MISS:
+        compiler.STATS.cache_hits += 1
+        return found
+    compiler.STATS.cache_misses += 1
+    expr = parse_residual(text)
+    template, constants = generalize(expr)
+    key = template.render()
+    fn = _TEMPLATE_CACHE.get(key, _MISS)
+    if fn is _MISS:
+        slot_map = {i + 1: i for i in range(len(constants))}
+        fn = compiler.compile_row_template(template, slot_map)
+        _cache_put(_TEMPLATE_CACHE, key, fn)
+    matcher = None if fn is None else (fn, tuple(constants))
+    _cache_put(_MATCHER_CACHE, text, matcher)
+    return matcher
+
+
+def seed_residual_matcher(
+    signature: ExpressionSignature,
+    residual_constants: Tuple[Any, ...],
+    residual_text: Optional[str],
+) -> None:
+    """Install-time warm-up keyed per ``(signature, restOfPredicate)``.
+
+    Compiles the signature's residual template once (exclusive of the
+    lazy path's canonical key, but with the same sharing: one compile per
+    signature) and binds this predicate's constant-table row, so the first
+    token against a freshly created trigger pays no compilation.
+    """
+    if not residual_text or signature.residual_template is None:
+        return
+    if residual_text in _MATCHER_CACHE:
+        return
+    key = ("sig",) + signature.key
+    fn = _TEMPLATE_CACHE.get(key, _MISS)
+    if fn is _MISS:
+        fn = compiler.compile_row_template(
+            signature.residual_template, signature.residual_slot_map()
+        )
+        _cache_put(_TEMPLATE_CACHE, key, fn)
+    if fn is None:
+        # Not compilable from the signature template; leave the text unseeded
+        # so the lazy path can still try its canonical form.
+        return
+    _cache_put(_MATCHER_CACHE, residual_text, (fn, tuple(residual_constants)))
 
 
 @dataclass(frozen=True)

@@ -19,13 +19,24 @@ the trigger cache pin → network activation step.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..condition.signature import AnalyzedPredicate, ExpressionSignature
 from ..errors import ConditionError, SignatureError
+from ..lang.compiler import STATS as COMPILER_STATS
 from ..lang.evaluator import Bindings, Evaluator
-from .entry import PredicateEntry
+from .entry import PredicateEntry, compiled_residual, seed_residual_matcher
 from .organizations import Constants, Organization
 
 #: Operation codes (the paper's opcode component of a signature).
@@ -160,9 +171,16 @@ class DataSourcePredicateIndex:
 class PredicateIndex:
     """The root structure: a hash table on data source ID (Figure 3)."""
 
-    def __init__(self, evaluator: Optional[Evaluator] = None):
+    def __init__(
+        self,
+        evaluator: Optional[Evaluator] = None,
+        compile_predicates: bool = True,
+    ):
         self._sources: Dict[str, DataSourcePredicateIndex] = {}
         self.evaluator = evaluator or Evaluator()
+        #: residual tests go through the signature-keyed compilation cache
+        #: when True; the interpreter remains the fallback either way
+        self.compile_predicates = compile_predicates
         self.stats = IndexStats()
         #: optional Observability bundle (attached by the engine); probes
         #: record spans only when tracing is on and a trace is current
@@ -231,6 +249,16 @@ class PredicateIndex:
             raise SignatureError(
                 f"signature not registered: {analyzed.signature.describe()}"
             )
+        if self.compile_predicates:
+            # Warm the (signature, restOfPredicate) compilation cache at
+            # install time: the template compiles once per signature, this
+            # entry's constant row binds per call, and the first token
+            # never pays compilation.
+            seed_residual_matcher(
+                analyzed.signature,
+                analyzed.residual_constants,
+                entry.residual_text,
+            )
         # Constant-set mutation is per-group: concurrent creates touching
         # different signatures (or different sources) proceed in parallel.
         with group.lock:
@@ -287,6 +315,44 @@ class PredicateIndex:
                 data_source=data_source,
             )
 
+    def match_tokens(
+        self,
+        data_source: str,
+        descriptors: Sequence[Any],
+        enabled: Optional[Any] = None,
+        timer: Optional[Any] = None,
+    ) -> List[List[Match]]:
+        """Match a batch of tokens of one data source.
+
+        The root hash lookup, the shard read-lock acquisition, and the
+        group-list snapshot are paid once for the whole batch instead of
+        once per token.  ``timer`` is an optional histogram; each token's
+        match work is timed individually so per-stage shares stay
+        per-token.  Returns one match list per descriptor, in order.
+        """
+        self.stats.tokens += len(descriptors)
+        with self._lock:
+            index = self._sources.get(data_source)
+        if index is None:
+            return [[] for _ in descriptors]
+        results: List[List[Match]] = []
+        with index.rwlock.read():
+            groups = index.groups()
+            for descriptor in descriptors:
+                ctx = timer.time() if timer is not None else nullcontext()
+                with ctx:
+                    results.append(
+                        self.match_in_groups(
+                            groups,
+                            descriptor.operation,
+                            descriptor.match_row,
+                            descriptor.changed_columns,
+                            enabled,
+                            data_source=data_source,
+                        )
+                    )
+        return results
+
     def match_in_groups(
         self,
         groups: List[SignatureGroup],
@@ -302,7 +368,11 @@ class PredicateIndex:
         binding_source = data_source or (
             groups[0].signature.data_source if groups else ""
         )
-        bindings = Bindings(rows={binding_source: row})
+        # Created lazily: when every residual test takes the compiled path
+        # the per-token Bindings allocation is skipped entirely.
+        bindings: Optional[Bindings] = None
+        compiling = self.compile_predicates
+        functions = self.evaluator.functions
         obs = self.obs
         tracer = obs.trace if obs is not None else None
         tracing = (
@@ -324,25 +394,45 @@ class PredicateIndex:
                     self.stats.entries_probed += 1
                     if enabled is not None and not enabled(entry.trigger_id):
                         continue
-                    residual = entry.residual
-                    if residual is not None:
+                    text = entry.residual_text
+                    if text is not None and text != "":
                         self.stats.residual_tests += 1
                         if tracing:
                             residual_start = tracer.clock()
-                            ok = self.evaluator.matches(residual, bindings)
+                        ok: Optional[bool] = None
+                        if compiling:
+                            matcher = compiled_residual(text)
+                            if matcher is not None:
+                                fn, consts = matcher
+                                try:
+                                    ok = fn(row, consts, functions) is True
+                                except Exception:
+                                    # Self-healing: anything the compiled
+                                    # form can't settle is re-decided (and
+                                    # any error canonically raised) by the
+                                    # interpreter below.
+                                    COMPILER_STATS.runtime_fallbacks += 1
+                                    ok = None
+                        if ok is None:
+                            if bindings is None:
+                                bindings = Bindings(
+                                    rows={binding_source: row}
+                                )
+                            ok = self.evaluator.matches(
+                                entry.residual, bindings
+                            )
+                        if tracing:
                             tracer.record(
                                 "residual.test",
                                 residual_start,
                                 tracer.clock(),
                                 {
                                     "trigger": entry.trigger_id,
-                                    "expr": residual.render(),
+                                    "expr": text,
                                     "passed": ok,
                                 },
                             )
-                            if not ok:
-                                continue
-                        elif not self.evaluator.matches(residual, bindings):
+                        if not ok:
                             continue
                     matches.append(Match(entry, group.signature, constants))
             if tracing:

@@ -1,0 +1,338 @@
+"""Acceptance for the batched token pipeline + compiled predicates.
+
+Equivalence is the whole game: with batching and compilation on, the
+durable firing ledger (ACTION_FIRED keyed by ``(seq, idx)``) must equal —
+as a multiset of ``(trigger, digest)`` — what the interpreted single-token
+engine produces from the same updates, under a multi-driver pool and under
+the crash-loop fault injector.  Plus unit invariants on
+``dequeue_batch`` (batch-wide log-before-delete) and the new
+observability surface (compiler gauges, batch-size histogram)."""
+
+import json
+import os
+import random
+import threading
+import time
+
+from collections import Counter
+
+from repro.engine.descriptors import Operation, UpdateDescriptor
+from repro.engine.drivers import DriverPool
+from repro.engine.queue import MemoryQueue
+from repro.engine.triggerman import TriggerMan
+from repro.predindex import reset_compiled_residuals
+from repro.sql.database import Database
+from repro.wal import SimDisk, SimulatedCrash, WriteAheadLog
+from repro.wal.log import ACTION_FIRED, TOKEN_DEQUEUE
+
+SEED = int(os.environ.get("THREAD_STRESS_SEED", "1999"))
+TARGET_CRASHES = int(os.environ.get("THREAD_STRESS_CRASHES", "6"))
+
+#: residual-bearing predicates: the equality indexes, the rest compiles
+#: into the signature-keyed residual cache.
+TRIGGERS = [
+    "create trigger high from s when s.k >= 0 and s.v > 50 "
+    "do raise event High(s.k)",
+    "create trigger low from s when s.k >= 0 and s.v < 50 "
+    "do raise event Low(s.k)",
+    "create trigger seen from s do raise event Seen(s.k, s.v)",
+]
+
+SITES = [
+    ("wal.append", 6),
+    ("wal.sync", 3),
+    ("disk.log_append", 6),
+    ("queue.enqueue", 3),
+    ("queue.dequeue", 3),
+    ("engine.fire", 3),
+    ("engine.token_done", 2),
+]
+
+
+def _open_engine(disk, sync="always", **kwargs):
+    wal = WriteAheadLog(disk.log, sync=sync, faults=disk.faults)
+    database = Database(
+        path=None,
+        wal=wal,
+        pager_factory=disk.pager_factory,
+        catalog_store=disk.catalog,
+        faults=disk.faults,
+    )
+    return TriggerMan(database, **kwargs)
+
+
+def _boot(disk, sync="always", **kwargs):
+    tman = _open_engine(disk, sync=sync, **kwargs)
+    if "s" not in tman.registry:
+        tman.define_stream("s", [("k", "integer"), ("v", "integer")])
+        for text in TRIGGERS:
+            tman.create_trigger(text)
+    return tman
+
+
+def _accept(payload, accepted):
+    new = json.loads(payload).get("new") or {}
+    if "k" in new:
+        accepted[new["k"]] = new["v"]
+
+
+def _scan(tman, ledger, accepted):
+    for record in tman.catalog_db.wal.scan():
+        if record.rtype == ACTION_FIRED:
+            body = record.json()
+            ledger[(body["seq"], body["idx"])] = (
+                body["trigger"],
+                body["digest"],
+            )
+        elif record.rtype == TOKEN_DEQUEUE:
+            _accept(record.json()["payload"], accepted)
+    for _rid, row in tman.queue.table.scan():
+        _accept(row[3], accepted)
+    for token in tman._replay:
+        _accept(token.payload, accepted)
+
+
+def _oracle_ledger(accepted):
+    """Interpreted, unbatched, single-threaded: the reference execution."""
+    oracle = _boot(SimDisk(), compile_predicates=False)
+    for k in sorted(accepted):
+        oracle.push("s", Operation.INSERT, new={"k": k, "v": accepted[k]})
+    oracle.process_all()
+    ledger = {}
+    _scan(oracle, ledger, {})
+    return ledger
+
+
+def _descriptor(i):
+    return UpdateDescriptor(
+        "s", Operation.INSERT, new={"k": i, "v": i}
+    )
+
+
+class TestDequeueBatch:
+    def test_memory_queue_fifo(self):
+        q = MemoryQueue()
+        for i in range(5):
+            q.enqueue(_descriptor(i))
+        batch = q.dequeue_batch(3)
+        assert [d.new["k"] for d in batch] == [0, 1, 2]
+        # Oversized request drains what's there; empty queue returns [].
+        assert [d.new["k"] for d in q.dequeue_batch(10)] == [3, 4]
+        assert q.dequeue_batch(4) == []
+        assert q.dequeued == 5
+
+    def test_table_queue_logs_before_delete(self):
+        disk = SimDisk()
+        tman = _boot(disk)
+        for i in range(6):
+            tman.push("s", Operation.INSERT, new={"k": i, "v": i})
+        batch = tman.queue.dequeue_batch(4)
+        assert [d.new["k"] for d in batch] == [0, 1, 2, 3]
+        assert all(d.seq for d in batch)
+        # One TOKEN_DEQUEUE record per token, in dequeue order, already
+        # durable; the two undequeued rows are still in the table.
+        seqs = [
+            r.json()["seq"]
+            for r in tman.catalog_db.wal.scan()
+            if r.rtype == TOKEN_DEQUEUE
+        ]
+        assert seqs == [d.seq for d in batch]
+        assert len(list(tman.queue.table.scan())) == 2
+        assert len(tman.queue) == 2
+
+    def test_table_queue_crash_mid_batch_resurrects(self):
+        """A crash on the queue.dequeue fault site (after the WAL group,
+        before the deletes) loses no tokens: recovery replays them."""
+        disk = SimDisk()
+        tman = _boot(disk)
+        for i in range(4):
+            tman.push("s", Operation.INSERT, new={"k": i, "v": i})
+        disk.faults.arm("queue.dequeue", 1)
+        try:
+            tman.queue.dequeue_batch(3)
+            raise AssertionError("expected the armed crash")
+        except SimulatedCrash:
+            pass
+        disk.faults.disarm()
+        disk.crash()
+        tman = _boot(disk)
+        ledger, accepted = {}, {}
+        _scan(tman, ledger, accepted)
+        assert set(accepted) == {0, 1, 2, 3}
+        with DriverPool(tman, 2, threshold=0.05, poll_period=0.005) as pool:
+            assert pool.quiesce(timeout=15.0)
+        _scan(tman, ledger, accepted)
+        assert Counter(ledger.values()) == Counter(
+            _oracle_ledger(accepted).values()
+        )
+
+
+class TestBatchedEquivalence:
+    def _run(self, batch_size, compile_predicates):
+        reset_compiled_residuals()
+        disk = SimDisk()
+        tman = _boot(
+            disk,
+            batch_size=batch_size,
+            compile_predicates=compile_predicates,
+        )
+        rng = random.Random(SEED)
+        for k in range(60):
+            tman.push(
+                "s", Operation.INSERT, new={"k": k, "v": rng.randrange(100)}
+            )
+        tman.process_all()
+        ledger, accepted = {}, {}
+        _scan(tman, ledger, accepted)
+        assert len(tman.queue) == 0 and tman._inflight == {}
+        return Counter(ledger.values()), accepted
+
+    def test_ledger_invariant_across_configs(self):
+        base, accepted = self._run(1, False)
+        assert base == Counter(_oracle_ledger(accepted).values())
+        for batch_size in (1, 8, 64):
+            for compiled in (False, True):
+                ledger, _ = self._run(batch_size, compiled)
+                assert ledger == base, (batch_size, compiled)
+
+    def test_compile_off_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("TMAN_COMPILE", "off")
+        assert TriggerMan.in_memory().compile_predicates is False
+        monkeypatch.setenv("TMAN_COMPILE", "on")
+        assert TriggerMan.in_memory().compile_predicates is True
+        monkeypatch.delenv("TMAN_COMPILE")
+        assert TriggerMan.in_memory().compile_predicates is True
+
+
+def test_batched_pool_stress_matches_oracle():
+    """Seeded 4-driver stress with compilation AND batching on: the
+    durable ledger still reconciles exactly to the interpreted oracle."""
+    rng = random.Random(SEED)
+    reset_compiled_residuals()
+    disk = SimDisk()
+    tman = _boot(disk, batch_size=8, compile_predicates=True)
+    per_producer = 30
+    values = [
+        [rng.randrange(100) for _ in range(per_producer)] for _ in range(2)
+    ]
+
+    def producer(pid):
+        base = pid * per_producer
+        for i, v in enumerate(values[pid]):
+            tman.push("s", Operation.INSERT, new={"k": base + i, "v": v})
+
+    def churner(cid):
+        for round_no in range(6):
+            name = f"churn_{cid}_{round_no}"
+            tman.create_trigger(
+                f"create trigger {name} from s when s.v > 1000000000 "
+                f"do raise event X(s.k)"
+            )
+            time.sleep(0.002)
+            tman.drop_trigger(name)
+
+    with DriverPool(tman, 4, threshold=0.05, poll_period=0.005) as pool:
+        threads = [
+            threading.Thread(target=producer, args=(p,)) for p in (0, 1)
+        ]
+        threads += [
+            threading.Thread(target=churner, args=(c,)) for c in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert pool.quiesce(timeout=30.0)
+        assert pool.errors == []
+
+    ledger, accepted = {}, {}
+    _scan(tman, ledger, accepted)
+    assert len(accepted) == 2 * per_producer
+    assert len(tman.queue) == 0
+    assert tman._inflight == {}
+    assert not tman._replay
+    assert Counter(ledger.values()) == Counter(
+        _oracle_ledger(accepted).values()
+    )
+    assert {t for t, _ in ledger.values()} <= {"high", "low", "seen"}
+
+
+def test_batched_crash_loop_matches_oracle():
+    """Crash-loop variant with batching + compilation armed: randomized
+    faults kill drivers mid-batch, recovery replays, the cumulative ledger
+    reconciles exactly once per accepted token."""
+    rng = random.Random(SEED + 2)
+    reset_compiled_residuals()
+    disk = SimDisk()
+    ledger, accepted = {}, {}
+    tman = _boot(disk, batch_size=8, compile_predicates=True)
+    next_k = 0
+    iterations = 0
+    while disk.faults.crashes < TARGET_CRASHES:
+        iterations += 1
+        assert iterations < TARGET_CRASHES * 30, "crash loop failed to converge"
+        crashes_before = disk.faults.crashes
+        site, span = SITES[rng.randrange(len(SITES))]
+        pool = DriverPool(tman, 4, threshold=0.05, poll_period=0.005)
+        pool.start()
+        disk.faults.arm(site, rng.randint(1, span), torn=rng.random() < 0.2)
+        try:
+            for _ in range(rng.randint(2, 6)):
+                k = next_k
+                next_k += 1
+                tman.push(
+                    "s", Operation.INSERT,
+                    new={"k": k, "v": rng.randrange(100)},
+                )
+        except SimulatedCrash:
+            pass
+        deadline = time.time() + 15
+        while time.time() < deadline:
+            if pool.errors:
+                break
+            if pool.quiesce(timeout=0.5):
+                break
+        pool.stop()
+        disk.faults.disarm()
+        if disk.faults.crashes > crashes_before:
+            disk.crash()
+            tman = _boot(disk, batch_size=8, compile_predicates=True)
+            _scan(tman, ledger, accepted)
+
+    with DriverPool(tman, 4, threshold=0.05, poll_period=0.005) as pool:
+        assert pool.quiesce(timeout=30.0)
+    _scan(tman, ledger, accepted)
+    assert len(tman.queue) == 0
+    assert tman._inflight == {}
+    assert not tman._replay
+    assert Counter(ledger.values()) == Counter(
+        _oracle_ledger(accepted).values()
+    )
+
+
+class TestObservability:
+    def test_compiler_gauges_and_batch_histogram(self):
+        reset_compiled_residuals()
+        tman = TriggerMan.in_memory(
+            observability=True, batch_size=4, compile_predicates=True
+        )
+        tman.define_stream("s", [("k", "integer"), ("v", "integer")])
+        for text in TRIGGERS:
+            tman.create_trigger(text)
+        for k in range(10):
+            tman.push("s", Operation.INSERT, new={"k": k, "v": k * 11})
+        while tman._refill_tasks():
+            while True:
+                task = tman.tasks.get()
+                if task is None:
+                    break
+                task.run()
+                tman.tasks.mark_done()
+        snap = tman.stats_snapshot()
+        assert snap["compiler.enabled"] == 1
+        assert snap["compiler.cached_matchers"] >= 1
+        assert snap["compiler.cache_hits"] > 0
+        assert snap["compiler.runtime_fallbacks"] == 0
+        hist = snap["pipeline.batch_tokens"]
+        assert hist["count"] >= 3  # 10 tokens in batches of <= 4
+        assert hist["max"] <= 4

@@ -1,0 +1,350 @@
+"""Differential tests for the predicate compiler: compiled closures must be
+observationally equivalent to the interpreter — same values (SQL
+three-valued logic included), same canonical errors via the fallback — over
+hand-picked truth tables AND a seeded random expression fuzzer."""
+
+import random
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.lang import ast
+from repro.lang.compiler import (
+    STATS,
+    CompiledPredicate,
+    compile_predicate,
+    compile_row_template,
+)
+from repro.lang.evaluator import Bindings, Evaluator, like_regex, _LIKE_CACHE
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.condition.signature import generalize
+
+
+E = Evaluator()
+
+
+def both(text, rows=None, old=None, params=None):
+    """Evaluate ``text`` under the interpreter and the compiled closure;
+    assert they agree (value or canonical exception) and return the value."""
+    expr = parse(text)
+    bindings = Bindings(rows or {}, old, params)
+    compiled = compile_predicate(expr, E)
+    assert compiled is not None, f"not compilable: {text}"
+    try:
+        expected = E.evaluate(expr, bindings)
+        failed = None
+    except (ConditionError, TypeError) as exc:
+        expected, failed = None, type(exc)
+    if failed is not None:
+        with pytest.raises(failed):
+            compiled.evaluate(bindings)
+        return None
+    got = compiled.evaluate(bindings)
+    assert got == expected and type(got) is type(expected), (
+        f"{text!r}: compiled={got!r} interpreted={expected!r}"
+    )
+    return got
+
+
+class TestKleeneTruthTables:
+    """SQL three-valued logic, exhaustively on the connectives."""
+
+    VALS = {"true": True, "false": False, "null": None}
+
+    def rows(self, **cols):
+        return {"t": dict(cols)}
+
+    @pytest.mark.parametrize("a", ["true", "false", "null"])
+    @pytest.mark.parametrize("b", ["true", "false", "null"])
+    def test_and_or(self, a, b):
+        rows = self.rows(a=self.VALS[a], b=self.VALS[b])
+        both("t.a and t.b", rows)
+        both("t.a or t.b", rows)
+
+    @pytest.mark.parametrize("a", ["true", "false", "null"])
+    def test_not(self, a):
+        both("not t.a", self.rows(a=self.VALS[a]))
+
+    @pytest.mark.parametrize("a", ["true", "false", "null"])
+    @pytest.mark.parametrize("b", ["true", "false", "null"])
+    @pytest.mark.parametrize("c", ["true", "false", "null"])
+    def test_three_way_chains(self, a, b, c):
+        rows = self.rows(
+            a=self.VALS[a], b=self.VALS[b], c=self.VALS[c]
+        )
+        both("t.a and t.b and t.c", rows)
+        both("t.a or t.b or t.c", rows)
+        both("(t.a or t.b) and not t.c", rows)
+
+    def test_and_short_circuits_before_error(self):
+        # Interpreter stops at the first False; the error in the later arm
+        # must not surface from the compiled form either.
+        rows = self.rows(a=False, x=1)
+        assert both("t.a and t.x < 'str'", rows) is False
+
+    def test_null_comparison_is_null(self):
+        rows = self.rows(x=None)
+        assert both("t.x = 1", rows) is None
+        assert both("t.x <> 1", rows) is None
+        assert both("1 < t.x", rows) is None
+
+
+class TestOperators:
+    ROWS = {"emp": {"name": "bob", "salary": 100.0, "age": 30, "dept": None}}
+
+    def test_between(self):
+        assert both("emp.salary between 50 and 150", self.ROWS) is True
+        assert both("emp.salary not between 50 and 150", self.ROWS) is False
+        assert both("emp.dept between 'a' and 'z'", self.ROWS) is None
+        assert both("emp.salary between 50 and null", self.ROWS) is None
+
+    def test_in_list(self):
+        assert both("emp.age in (10, 20, 30)", self.ROWS) is True
+        assert both("emp.age in (10, 20)", self.ROWS) is False
+        assert both("emp.age not in (10, 20)", self.ROWS) is True
+        assert both("emp.age in (10, null)", self.ROWS) is None
+        assert both("emp.age in (30, null)", self.ROWS) is True
+        assert both("emp.dept in ('eng')", self.ROWS) is None
+
+    def test_like(self):
+        assert both("emp.name like 'b%'", self.ROWS) is True
+        assert both("emp.name like '_ob'", self.ROWS) is True
+        assert both("emp.name like 'z%'", self.ROWS) is False
+        assert both("emp.name not like 'z%'", self.ROWS) is True
+        assert both("emp.dept like 'e%'", self.ROWS) is None
+
+    def test_like_non_literal_pattern(self):
+        rows = {"t": {"s": "abc", "p": "a%"}}
+        assert both("t.s like t.p", rows) is True
+
+    def test_is_null(self):
+        assert both("emp.dept is null", self.ROWS) is True
+        assert both("emp.name is not null", self.ROWS) is True
+
+    def test_arithmetic_and_division_error(self):
+        assert both("emp.salary + emp.age * 2", self.ROWS) == 160.0
+        both("emp.salary / 0", self.ROWS)  # canonical error from both
+        assert both("emp.dept + 1", self.ROWS) is None
+
+    def test_incomparable_error(self):
+        both("emp.name < emp.age", self.ROWS)
+
+    def test_params_and_old(self):
+        rows = {"emp": {"salary": 100.0}}
+        old = {"emp": {"salary": 80.0}}
+        params = {"cap": 90.0}
+        assert (
+            both("emp.salary > :old.emp.salary", rows, old, params) is True
+        )
+        assert both(":new.emp.salary > :cap", rows, old, params) is True
+        assert both(":old.salary < :cap", rows, old, params) is True
+
+    def test_functions_and_late_registration(self):
+        ev = Evaluator()
+        expr = parse("shout(t.s) = 'HI'")
+        compiled = compile_predicate(expr, ev)
+        bindings = Bindings({"t": {"s": "hi"}})
+        # Unknown function: the canonical error surfaces through fallback.
+        with pytest.raises(ConditionError):
+            compiled.evaluate(bindings)
+        # Late registration is visible without recompiling (the functions
+        # dict is passed live at call time).
+        ev.register("shout", lambda s: s.upper())
+        assert compiled.evaluate(bindings) is True
+
+    def test_aggregates_not_compilable(self):
+        assert compile_predicate(parse("count(t.x) > 1"), E) is None
+
+
+class TestRandomDifferential:
+    """Seeded fuzz: random expressions over random rows, compiled must
+    track the interpreter on every sample (value or exception type)."""
+
+    COLUMNS = ["emp.salary", "emp.age", "emp.name", "emp.dept"]
+
+    def _value(self, rng):
+        return rng.choice(
+            [None, 0, 1, -5, 2.5, 100.0, "bob", "eng", "b%", True, False]
+        )
+
+    def _leaf(self, rng):
+        pick = rng.random()
+        if pick < 0.45:
+            return rng.choice(self.COLUMNS)
+        if pick < 0.55:
+            return rng.choice([":cap", ":old.emp.salary", ":new.emp.age"])
+        lit = rng.choice(["1", "2.5", "-3", "'bob'", "'b%'", "null", "0"])
+        return lit
+
+    def _expr(self, rng, depth):
+        if depth <= 0:
+            return self._leaf(rng)
+        kind = rng.random()
+        a = self._expr(rng, depth - 1)
+        b = self._expr(rng, depth - 1)
+        if kind < 0.25:
+            op = rng.choice(["and", "or"])
+            return f"({a} {op} {b})"
+        if kind < 0.30:
+            return f"(not {a})"
+        if kind < 0.55:
+            op = rng.choice(["=", "<>", "<", "<=", ">", ">="])
+            return f"({a} {op} {b})"
+        if kind < 0.65:
+            op = rng.choice(["+", "-", "*", "/"])
+            return f"({a} {op} {b})"
+        if kind < 0.72:
+            neg = rng.choice(["", "not "])
+            return f"({a} {neg}between {b} and {self._leaf(rng)})"
+        if kind < 0.80:
+            neg = rng.choice(["", "not "])
+            items = ", ".join(
+                self._leaf(rng) for _ in range(rng.randint(1, 3))
+            )
+            return f"({a} {neg}in ({items}))"
+        if kind < 0.88:
+            neg = rng.choice(["", "not "])
+            pat = rng.choice(["'b%'", "'_ob'", "'%e%'", "'eng'"])
+            return f"({a} {neg}like {pat})"
+        if kind < 0.94:
+            neg = rng.choice(["", "not "])
+            return f"({a} is {neg}null)"
+        return f"(- {a})"
+
+    def _bindings(self, rng):
+        def row():
+            return {
+                "salary": rng.choice([None, 0.0, 50.0, 100.0, -3.5]),
+                "age": rng.choice([None, 0, 18, 30, 65]),
+                "name": rng.choice([None, "bob", "alice", ""]),
+                "dept": rng.choice([None, "eng", "toys"]),
+            }
+
+        return (
+            {"emp": row()},
+            {"emp": row()},
+            {"cap": rng.choice([None, 10, 90.0, "eng"])},
+        )
+
+    def test_fuzz_compiled_equals_interpreted(self):
+        rng = random.Random(0xE12)
+        checked = 0
+        for _ in range(400):
+            text = self._expr(rng, rng.randint(1, 3))
+            try:
+                expr = parse(text)
+            except Exception:
+                continue
+            compiled = compile_predicate(expr, E)
+            if compiled is None:
+                continue
+            for _ in range(4):
+                rows, old, params = self._bindings(rng)
+                bindings = Bindings(rows, old, params)
+                try:
+                    expected = ("value", E.evaluate(expr, bindings))
+                except (ConditionError, TypeError) as exc:
+                    expected = ("error", type(exc))
+                try:
+                    got = ("value", compiled.evaluate(bindings))
+                except (ConditionError, TypeError) as exc:
+                    got = ("error", type(exc))
+                assert got == expected, (
+                    f"{text!r} on {rows!r}/{old!r}/{params!r}: "
+                    f"compiled={got!r} interpreted={expected!r}"
+                )
+                checked += 1
+        assert checked > 500  # the fuzzer actually exercised the subset
+
+
+class TestRowTemplates:
+    """The predicate-index shape: generalized template + constants tuple."""
+
+    def test_template_binds_constant_row(self):
+        # Residual templates carry bare (tvar-stripped) column refs, the
+        # shape the predicate index stores.
+        expr = parse("salary > 100 and name <> 'x'")
+        template, constants = generalize(expr)
+        slot_map = {i + 1: i for i in range(len(constants))}
+        fn = compile_row_template(template, slot_map)
+        assert fn is not None
+        row = {"salary": 150.0, "name": "bob"}
+        assert fn(row, tuple(constants), E.functions) is True
+        # Same template, a different trigger's constant row: no recompile.
+        assert fn(row, (200.0, "bob"), E.functions) is False
+        assert fn({"salary": None, "name": "bob"}, (100.0, "x"),
+                  E.functions) is None
+
+    def test_template_differential(self):
+        rng = random.Random(7)
+        texts = [
+            "age between 10 and 50 and dept in ('eng', 'toys')",
+            "name like 'b%' or salary >= 90.5",
+            "not (age = 30) and dept is not null",
+        ]
+        for text in texts:
+            expr = parse(text)
+            template, constants = generalize(expr)
+            slot_map = {i + 1: i for i in range(len(constants))}
+            fn = compile_row_template(template, slot_map)
+            assert fn is not None
+            for _ in range(30):
+                row = {
+                    "salary": rng.choice([None, 50.0, 100.0]),
+                    "age": rng.choice([None, 5, 30, 60]),
+                    "name": rng.choice([None, "bob", "zed"]),
+                    "dept": rng.choice([None, "eng", "hr"]),
+                }
+                expected = E.evaluate(expr, Bindings({"t": row}))
+                assert fn(row, tuple(constants), E.functions) == expected
+
+
+class TestStatsAndInfra:
+    def test_compile_counts(self):
+        STATS.reset()
+        compile_predicate(parse("1 < 2"), E)
+        compile_predicate(parse("max(t.x) > 1"), E)  # aggregate: rejected
+        assert STATS.compiles == 1
+        assert STATS.compile_failures == 1
+
+    def test_runtime_fallback_counted(self):
+        STATS.reset()
+        compiled = compile_predicate(parse("t.a = 1"), E)
+        with pytest.raises(ConditionError):
+            compiled.evaluate(Bindings({}))  # unknown tvar
+        assert STATS.runtime_fallbacks == 1
+
+    def test_source_introspection(self):
+        compiled = compile_predicate(parse("t.a = 1"), E)
+        assert "def _pred" in compiled.source
+
+
+class TestLikeRegexMemoized:
+    def test_same_pattern_same_regex(self):
+        _LIKE_CACHE.clear()
+        a = like_regex("b%")
+        assert like_regex("b%") is a
+        assert len(_LIKE_CACHE) == 1
+        assert a.match("bob")
+
+    def test_evaluator_uses_cache(self):
+        _LIKE_CACHE.clear()
+        rows = {"t": {"s": "bob"}}
+        for _ in range(5):
+            assert E.matches(parse("t.s like 'b_b'"), Bindings(rows))
+        assert len(_LIKE_CACHE) == 1
+
+
+class TestBindingsBind:
+    def test_bind_shares_unchanged_maps(self):
+        old = {"a": {"x": 1}}
+        params = {"p": 2}
+        base = Bindings({"a": {"x": 9}}, old, params)
+        child = base.bind("b", {"y": 3})
+        # rows is a fresh dict (the parent must not see the child's tvar)…
+        assert "b" not in base.rows and child.rows["b"] == {"y": 3}
+        # …but the untouched maps are shared, not copied (E12b).
+        assert child.old_rows is base.old_rows
+        assert child.params is base.params
+        assert child.column("a", "x") == 9
+        assert child.old_column("a", "x") == 1
