@@ -22,7 +22,7 @@ import json
 import sys
 
 #: fields that identify a record's configuration (never compared as values)
-CONFIG_KEYS = ("experiment", "mode", "batch_size", "sync", "drivers")
+CONFIG_KEYS = ("experiment", "mode", "batch_size", "sync", "drivers", "transport")
 
 
 def config_key(record):

@@ -1,0 +1,125 @@
+"""E13 — The wire boundary: remote ingest throughput and fan-out latency.
+
+The PR-5 network layer puts a real TCP hop between data-source programs /
+clients and the trigger processor.  Two questions matter:
+
+* **ingest throughput** — tokens/sec pushed through ``RemoteDataSourceProgram``
+  (length-prefixed JSON over loopback, one request/response per token)
+  versus the in-process ``DataSourceProgram`` bound;
+* **notification fan-out latency** — insert → match → fire → ``raise
+  event`` → wire push → client inbox, p50/p99 end to end.
+
+Both export to ``BENCH_PR5.json`` so future transport work (pipelining,
+batch ingest frames) can be measured against this baseline.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.engine.client import DataSourceProgram, TriggerManClient
+from repro.engine.triggerman import TriggerMan
+from repro.net.remote import RemoteDataSourceProgram, RemoteTriggerManClient
+from repro.obs import export
+
+N_TOKENS = int(os.environ.get("BENCH_NET_TOKENS", 2000))
+N_LATENCY = int(os.environ.get("BENCH_NET_LATENCY", 200))
+
+
+def _engine():
+    tman = TriggerMan.in_memory()
+    tman.execute_command(
+        "define data source ticks as stream (symbol varchar(8), price float)"
+    )
+    tman.execute_command(
+        "create trigger hot from ticks on insert "
+        "when ticks.price > 100 do raise event Hot(ticks.price)"
+    )
+    return tman
+
+
+@pytest.mark.parametrize("transport", ["in-process", "remote"])
+def test_ingest_throughput(benchmark, transport, summary):
+    tman = _engine()
+    if transport == "remote":
+        server = tman.serve("127.0.0.1", 0, ingest_high_water=N_TOKENS * 4)
+        feed = RemoteDataSourceProgram(
+            "127.0.0.1", "ticks", server.address[1]
+        )
+    else:
+        feed = DataSourceProgram(tman, "ticks")
+    row = {"symbol": "ACME", "price": 50.0}
+
+    def run():
+        for _ in range(N_TOKENS):
+            feed.insert(row)
+        drained = len(tman.queue)
+        while tman.queue.dequeue() is not None:
+            pass
+        return drained
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    per_sec = N_TOKENS / benchmark.stats.stats.mean
+    summary(
+        "E13: ingest throughput (tokens/sec, loopback TCP vs in-process)",
+        ["transport", "tokens/sec"],
+        [transport, f"{per_sec:.0f}"],
+    )
+    export.record(
+        "E13",
+        transport=transport,
+        tokens=N_TOKENS,
+        tokens_per_sec=round(per_sec, 1),
+    )
+    if transport == "remote":
+        feed.close()
+    tman.close()
+
+
+def test_notification_fanout_latency(benchmark, summary):
+    """Insert → process → event push → client inbox, end to end over TCP."""
+    tman = _engine()
+    server = tman.serve("127.0.0.1", 0)
+    client = RemoteTriggerManClient(*server.address)
+    arrivals = []
+    arrived = threading.Event()
+
+    def sink(notification):
+        arrivals.append(time.perf_counter())
+        arrived.set()
+
+    client.register_for_event("Hot", sink)
+    feed = RemoteDataSourceProgram(client, "ticks")
+    tman.start_drivers(2)
+    latencies = []
+
+    def run():
+        for i in range(N_LATENCY):
+            arrived.clear()
+            start = time.perf_counter()
+            feed.insert({"symbol": "ACME", "price": 150.0 + i})
+            assert arrived.wait(10.0), "notification never arrived"
+            latencies.append((arrivals[-1] - start) * 1e3)
+        return len(latencies)
+
+    try:
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        client.close()
+        tman.close()
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    summary(
+        "E13: notification fan-out latency (ms, insert -> remote inbox)",
+        ["samples", "p50", "p99"],
+        [len(latencies), f"{p50:.2f}", f"{p99:.2f}"],
+    )
+    export.record(
+        "E13-latency",
+        samples=len(latencies),
+        p50_ms=round(p50, 3),
+        p99_ms=round(p99, 3),
+    )

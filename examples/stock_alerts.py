@@ -5,29 +5,35 @@ through the data source API.  Watch the constant-set organizations migrate
 automatically (memory list → memory index → indexed database table) as the
 per-signature equivalence classes grow, exactly as §5.2 prescribes.
 
-Run with::
+The whole workload runs through the *client* surface, so the same program
+works in-process or against a remote trigger processor:
 
-    python examples/stock_alerts.py
+    python examples/stock_alerts.py                    # in-process engine
+    python -m repro --serve 127.0.0.1:7437             # in one terminal
+    python examples/stock_alerts.py --connect 127.0.0.1:7437   # in another
+
+Environment knobs: ``STOCK_USERS`` (triggers, default 4000),
+``STOCK_TICKS`` (stream inserts, default 100), ``STOCK_WATCH`` (alert
+events subscribed to for notification delivery, default 200).
 """
 
+import hashlib
+import os
 import random
+import sys
+import time
 
-from repro import TriggerMan
-from repro.engine.client import DataSourceProgram
-from repro.predindex.costmodel import Limits
-
-USERS = 4000
+USERS = int(os.environ.get("STOCK_USERS", "4000"))
+TICKS = int(os.environ.get("STOCK_TICKS", "100"))
+WATCH = int(os.environ.get("STOCK_WATCH", "200"))
 SYMBOLS = ["ACME", "GLOBEX", "INITECH", "UMBRELLA", "WAYNE", "STARK"]
 
 
-def main() -> None:
+def build_triggers(client) -> None:
     random.seed(7)
-    # Small limits so the organization migrations are visible at demo scale.
-    tman = TriggerMan.in_memory(limits=Limits(list_max=16, memory_max=1000))
-    tman.execute_command(
+    client.command(
         "define data source ticks as stream (symbol varchar(8), price float)"
     )
-
     print(f"{USERS} users creating price alerts...")
     for user in range(USERS):
         symbol = random.choice(SYMBOLS)
@@ -42,47 +48,95 @@ def main() -> None:
         else:
             low = threshold
             condition = f"ticks.price between {low} and {low + 50}"
-        tman.execute_command(
+        client.command(
             f"create trigger user{user}_alert from ticks on insert "
             f"when {condition} do raise event Alert{user}(ticks.price)"
         )
 
-    print("\nsignature catalog (constantSetOrganization chosen by size):")
-    for sig in tman.catalog.list_signatures():
-        print(
-            f"  sig {sig['sigID']}: {sig['signatureDesc']!r} "
-            f"size={sig['constantSetSize']} "
-            f"org={sig['constantSetOrganization']}"
-        )
 
-    # Feed ticks through the data source API.
-    feed = DataSourceProgram(tman, "ticks")
-    print("\nfeeding 100 ticks...")
-    for _ in range(100):
+def drain_notifications(client):
+    """Collect the inbox, waiting for in-flight (remote) pushes to settle."""
+    notifications = []
+    idle_since = time.monotonic()
+    while time.monotonic() - idle_since < 0.5:
+        notification = client.next_notification()
+        if notification is None:
+            time.sleep(0.02)
+            continue
+        notifications.append(notification)
+        idle_since = time.monotonic()
+    return notifications
+
+
+def run(client, make_feed) -> None:
+    build_triggers(client)
+
+    print("\nsignature catalog (constantSetOrganization chosen by size):")
+    print(client.console("show signatures"))
+
+    for user in range(min(WATCH, USERS)):
+        client.register_for_event(f"Alert{user}")
+
+    feed = make_feed()
+    print(f"\nfeeding {TICKS} ticks...")
+    for _ in range(TICKS):
         feed.insert(
             {
                 "symbol": random.choice(SYMBOLS),
                 "price": float(random.randrange(5, 600)),
             }
         )
-    tman.process_all()
+    client.process()
 
-    metrics = tman.metrics()
+    metrics = client.metrics()
+    notifications = drain_notifications(client)
+    digest = hashlib.sha256()
+    for n in notifications:
+        digest.update(
+            f"{n.seq}:{n.event_name}:{list(n.args)}:{n.trigger_name}".encode()
+        )
     print(f"\ntokens processed : {metrics['tokens_processed']}")
     print(f"triggers fired   : {metrics['triggers_fired']}")
     print(f"actions executed : {metrics['actions_executed']}")
-    stats = tman.index.stats
     print(
-        f"index work       : {stats.entries_probed} entries probed, "
-        f"{stats.residual_tests} residual tests "
-        f"for {stats.matches} matches"
+        f"notifications    : {len(notifications)} delivered to this client "
+        f"(watching {min(WATCH, USERS)} of {USERS} alert events)"
     )
+    print(f"notification digest: {digest.hexdigest()[:16]}")
     naive_work = USERS * metrics["tokens_processed"]
-    print(
-        f"naive ECA would have evaluated {naive_work:,} conditions "
-        f"({naive_work / max(1, stats.entries_probed):.0f}x more probes)"
-    )
+    print(f"naive ECA would have evaluated {naive_work:,} conditions")
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--connect":
+        if len(argv) != 2:
+            print("usage: stock_alerts.py [--connect HOST:PORT]")
+            return 2
+        from repro.net.remote import (
+            RemoteDataSourceProgram,
+            RemoteTriggerManClient,
+        )
+
+        client = RemoteTriggerManClient(argv[1], inbox_limit=None)
+        print("connected to", argv[1], client.ping())
+        try:
+            run(client, lambda: RemoteDataSourceProgram(client, "ticks"))
+        finally:
+            client.disconnect()
+            client.close()
+        return 0
+
+    from repro import TriggerMan
+    from repro.engine.client import DataSourceProgram, TriggerManClient
+    from repro.predindex.costmodel import Limits
+
+    # Small limits so the organization migrations are visible at demo scale.
+    tman = TriggerMan.in_memory(limits=Limits(list_max=16, memory_max=1000))
+    client = TriggerManClient(tman, inbox_limit=None)
+    run(client, lambda: DataSourceProgram(tman, "ticks"))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -25,6 +25,9 @@ _LAZY = {
     "Operation": ("repro.engine.descriptors", "Operation"),
     "UpdateDescriptor": ("repro.engine.descriptors", "UpdateDescriptor"),
     "Database": ("repro.sql.database", "Database"),
+    "TriggerManServer": ("repro.net.server", "TriggerManServer"),
+    "RemoteTriggerManClient": ("repro.net.remote", "RemoteTriggerManClient"),
+    "RemoteDataSourceProgram": ("repro.net.remote", "RemoteDataSourceProgram"),
 }
 
 __all__ = list(_LAZY) + ["__version__"]

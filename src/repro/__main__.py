@@ -11,16 +11,66 @@ Options::
                                      # process tokens while the REPL runs
     python -m repro --no-wal dir     # persistent but without a write-ahead
                                      # log (pre-durability behaviour)
+    python -m repro --serve H:P      # also serve remote clients over TCP
+                                     # (triggerman-wire-v1); with a TTY the
+                                     # REPL runs alongside, otherwise the
+                                     # process serves until SIGINT/SIGTERM
+    python -m repro --connect H:P    # remote console: talk to a --serve
+                                     # process over the wire instead of
+                                     # opening a local engine
 
 Persistent instances keep a write-ahead log and run crash recovery on
 open; the console's ``checkpoint`` and ``recover`` commands expose the
-durability machinery (see DESIGN.md §7).
+durability machinery (see DESIGN.md §7).  ``server start|stop|status``
+manages the network server from the local REPL (DESIGN.md §8).
 """
 
 import sys
+import threading
 
 from .engine.console import run_interactive
 from .engine.triggerman import TriggerMan
+
+
+def _parse_address(text: str, flag: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"bad address in {flag}={text!r} (want HOST:PORT)")
+        return None
+    return host, int(port)
+
+
+def _remote_console(host: str, port: int) -> int:
+    """A REPL whose every line executes on a remote trigger processor."""
+    from .errors import RemoteError
+    from .net.remote import RemoteTriggerManClient
+
+    try:
+        client = RemoteTriggerManClient(host, port)
+        hello = client.ping()
+    except (OSError, RemoteError) as exc:
+        print(f"cannot connect to {host}:{port}: {exc}")
+        return 1
+    print(
+        f"connected to {host}:{port} ({hello.get('schema')}) — "
+        "type 'help' for commands"
+    )
+    try:
+        while True:
+            try:
+                line = input("tman> ")
+            except EOFError:
+                return 0
+            if line.strip().lower() in ("quit", "exit"):
+                return 0
+            try:
+                output = client.console(line)
+            except RemoteError as exc:
+                output = f"error: {exc}"
+            if output:
+                print(output)
+    finally:
+        client.close()
 
 
 def main(argv=None) -> int:
@@ -28,10 +78,23 @@ def main(argv=None) -> int:
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    # Accept both ``--serve HOST:PORT`` and ``--serve=HOST:PORT``.
+    merged = []
+    index = 0
+    while index < len(argv):
+        flag = argv[index]
+        if flag in ("--serve", "--connect") and index + 1 < len(argv):
+            merged.append(f"{flag}={argv[index + 1]}")
+            index += 2
+        else:
+            merged.append(flag)
+            index += 1
+    argv = merged
     trace = metrics = False
     wal = "auto"
     wal_sync = "group"
     drivers = 0
+    serve = connect = None
     positional = []
     for flag in argv:
         if not flag.startswith("--"):
@@ -42,6 +105,14 @@ def main(argv=None) -> int:
             metrics = True
         elif flag == "--no-wal":
             wal = False
+        elif flag.startswith("--serve="):
+            serve = _parse_address(flag.split("=", 1)[1], "--serve")
+            if serve is None:
+                return 2
+        elif flag.startswith("--connect="):
+            connect = _parse_address(flag.split("=", 1)[1], "--connect")
+            if connect is None:
+                return 2
         elif flag.startswith("--drivers="):
             try:
                 drivers = int(flag.split("=", 1)[1])
@@ -58,6 +129,12 @@ def main(argv=None) -> int:
         else:
             print(f"unknown option {flag}\n{__doc__}")
             return 2
+    if connect is not None:
+        if serve is not None or positional or drivers:
+            print("--connect runs a remote console; it takes no local "
+                  "engine options")
+            return 2
+        return _remote_console(*connect)
     if len(positional) > 1:
         print(f"expected at most one database directory, got {positional}")
         return 2
@@ -72,9 +149,20 @@ def main(argv=None) -> int:
     if drivers:
         tman.start_drivers(drivers)
     try:
+        if serve is not None:
+            server = tman.serve(*serve)
+            print("serving on {}:{}".format(*server.address), flush=True)
+            if not sys.stdin.isatty():
+                # Headless serving (subprocess / CI): block until signalled.
+                try:
+                    threading.Event().wait()
+                except KeyboardInterrupt:
+                    return 0
         run_interactive(tman)
+    except KeyboardInterrupt:
+        pass
     finally:
-        tman.close()  # stops any running driver pool first
+        tman.close()  # stops the server and any running driver pool first
     return 0
 
 

@@ -5,10 +5,17 @@ applications and data source programs."  This module is the client-side
 library: connect to a TriggerMan instance, issue commands, create and drop
 triggers, register for events, and receive notifications.  The data-source
 API lives in :class:`DataSourceProgram`.
+
+Both classes here run *in-process* against a :class:`TriggerMan` instance;
+:mod:`repro.net.remote` provides wire-protocol twins
+(``RemoteTriggerManClient`` / ``RemoteDataSourceProgram``) with the same
+surface, so programs written against this API run unmodified against a
+remote trigger processor.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
@@ -17,16 +24,35 @@ from .descriptors import Operation
 from .events import Notification
 from .triggerman import TriggerMan
 
+#: default bound on a client's notification inbox
+DEFAULT_INBOX_LIMIT = 8192
+
 
 class TriggerManClient:
-    """A client application's handle on the trigger processor."""
+    """A client application's handle on the trigger processor.
 
-    def __init__(self, tman: TriggerMan, name: str = "client"):
+    The notification ``inbox`` is bounded (``inbox_limit``; ``None`` for
+    unbounded): a slow or abandoned subscriber evicts its *oldest*
+    notifications rather than growing memory forever, and ``inbox_drops``
+    counts the evictions.
+    """
+
+    def __init__(
+        self,
+        tman: TriggerMan,
+        name: str = "client",
+        inbox_limit: Optional[int] = DEFAULT_INBOX_LIMIT,
+    ):
         self.tman = tman
         self.name = name
+        self.inbox_limit = inbox_limit
         self._subscriptions: List[int] = []
         #: notifications delivered to this client, oldest first
         self.inbox: Deque[Notification] = deque()
+        #: oldest notifications evicted because the inbox was full
+        self.inbox_drops = 0
+        #: events arrive on driver threads; reads happen on the client's
+        self._inbox_lock = threading.Lock()
 
     # -- commands -----------------------------------------------------------
 
@@ -41,7 +67,23 @@ class TriggerManClient:
     def drop_trigger(self, name: str) -> int:
         return self.tman.drop_trigger(name)
 
+    def process(self) -> int:
+        """Drain the update queue (one TmanTest-style pump); returns the
+        number of tokens processed."""
+        return self.tman.process_all()
+
+    def console(self, line: str) -> str:
+        """Run one console line; returns the printable text (mirrors
+        ``RemoteTriggerManClient.console``)."""
+        from .console import Console
+
+        return Console(self.tman).execute(line)
+
     # -- observability -------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """The engine's headline counters (``tman.metrics()``)."""
+        return self.tman.metrics()
 
     def stats(self) -> Dict[str, Any]:
         """Full metrics-registry snapshot (obs subsystem)."""
@@ -61,6 +103,16 @@ class TriggerManClient:
 
     # -- events --------------------------------------------------------------
 
+    def _inbox_sink(self, notification: Notification) -> None:
+        with self._inbox_lock:
+            if (
+                self.inbox_limit is not None
+                and len(self.inbox) >= self.inbox_limit
+            ):
+                self.inbox.popleft()
+                self.inbox_drops += 1
+            self.inbox.append(notification)
+
     def register_for_event(
         self,
         event_name: str,
@@ -68,20 +120,24 @@ class TriggerManClient:
     ) -> int:
         """Subscribe to an event; without a callback, notifications land in
         :attr:`inbox`."""
-        sink = callback if callback is not None else self.inbox.append
+        sink = callback if callback is not None else self._inbox_sink
         subscription = self.tman.register_for_event(event_name, sink)
         self._subscriptions.append(subscription)
         return subscription
 
     def next_notification(self) -> Optional[Notification]:
-        if not self.inbox:
-            return None
-        return self.inbox.popleft()
+        with self._inbox_lock:
+            if not self.inbox:
+                return None
+            return self.inbox.popleft()
 
     def disconnect(self) -> None:
-        for subscription in self._subscriptions:
+        """Unregister every subscription this client created.  On return no
+        further notifications will be delivered (``EventManager.unregister``
+        is a barrier against in-flight deliveries on other threads)."""
+        subscriptions, self._subscriptions = self._subscriptions, []
+        for subscription in subscriptions:
             self.tman.events.unregister(subscription)
-        self._subscriptions.clear()
 
 
 class DataSourceProgram:

@@ -40,6 +40,9 @@ TriggerMan console commands:
   drivers start [N]   start N real driver threads looping TmanTest() (§6)
   drivers stop        stop the running driver pool
   drivers status      driver count, TmanTest calls, idle waits
+  server start [HOST:PORT]   serve remote clients (triggerman-wire-v1 TCP)
+  server stop         quiesce: drain outboxes, refuse new commands, close
+  server status       address, connections, bytes, backpressure counters
   checkpoint          flush dirty pages, log a checkpoint, compact the WAL
   recover             report the recovery pass run when this instance opened
   sql <statement>     execute SQL on the default connection
@@ -81,6 +84,8 @@ class Console:
                 return f"processed {processed} update descriptor(s)"
             if lowered.startswith("drivers"):
                 return self._drivers(lowered.split()[1:])
+            if lowered.startswith("server"):
+                return self._server(lowered.split()[1:])
             if lowered == "checkpoint":
                 return self._checkpoint()
             if lowered == "recover":
@@ -135,6 +140,41 @@ class Console:
                 f"{pool.idle_waits} idle wait(s)"
             )
         return "usage: drivers start [N] | stop | status"
+
+    def _server(self, args: list) -> str:
+        verb = args[0] if args else "status"
+        if verb == "start":
+            host, port = "127.0.0.1", 0
+            if len(args) > 1 and ":" in args[1]:
+                host, _, port_text = args[1].rpartition(":")
+                if not port_text.isdigit():
+                    return f"bad address {args[1]!r} (want HOST:PORT)"
+                port = int(port_text)
+            server = self.tman.serve(host, port)
+            return "serving on {}:{}".format(*server.address)
+        if verb == "stop":
+            server = self.tman.stop_serving()
+            if server is None:
+                return "no server running"
+            status = server.status()
+            return (
+                "server stopped ({bytes_in} bytes in, {bytes_out} bytes out, "
+                "{notifications_dropped} notification(s) dropped, "
+                "{ingest_rejected} ingest(s) rejected)".format(**status)
+            )
+        if verb == "status":
+            server = self.tman.server
+            if server is None:
+                return "no server running"
+            status = server.status()
+            return (
+                "serving on {address[0]}:{address[1]} — "
+                "{connections} connection(s), queue depth {queue_depth}/"
+                "{ingest_high_water}, {bytes_in} bytes in, "
+                "{bytes_out} bytes out, {notifications_dropped} dropped, "
+                "{ingest_rejected} rejected".format(**status)
+            )
+        return "usage: server start [HOST:PORT] | stop | status"
 
     def _recover(self) -> str:
         recovery = self.tman.catalog_db.recovery

@@ -4,6 +4,29 @@
 applications register for named events and receive a :class:`Notification`
 whenever a trigger raises one.  A bounded history ring is kept so consoles
 and tests can inspect recent activity.
+
+Delivery guarantees (relied on by the network layer and tested in
+``tests/engine/test_events_concurrency.py``):
+
+* **snapshot semantics** — ``raise_event`` delivers to the subscriptions
+  registered at the moment the event is sequenced; a subscription added
+  concurrently may or may not see that event, but never a later-registered
+  one retroactively;
+* **unregister is a barrier** — once ``unregister()`` returns, the callback
+  will not be invoked again: subscriptions removed between the snapshot and
+  delivery are skipped, and ``unregister`` blocks until deliveries already
+  in flight on *other* threads have completed.  (Calling ``unregister`` for
+  your own subscription from inside its callback returns immediately — the
+  in-progress delivery is, by construction, the current thread's.)
+* **bounded error state** — callbacks that raise are recorded in a bounded
+  ring (``delivery_errors``) plus an always-on counter
+  (``delivery_error_count``, exported as ``events.delivery_errors``), so a
+  misbehaving subscriber cannot grow memory without bound while staying
+  observable after eviction.
+
+A caveat follows from the barrier: a callback that unregisters a *different*
+subscription may block on that subscription's in-flight deliveries; two
+callbacks cross-unregistering each other can deadlock.  Don't do that.
 """
 
 from __future__ import annotations
@@ -24,6 +47,26 @@ class Notification:
     trigger_id: int
     seq: int
 
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe payload for the network layer (args become a list)."""
+        return {
+            "event_name": self.event_name,
+            "args": list(self.args),
+            "trigger_name": self.trigger_name,
+            "trigger_id": self.trigger_id,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "Notification":
+        return cls(
+            event_name=payload["event_name"],
+            args=tuple(payload["args"]),
+            trigger_name=payload["trigger_name"],
+            trigger_id=payload["trigger_id"],
+            seq=payload["seq"],
+        )
+
 
 Callback = Callable[[Notification], None]
 
@@ -31,16 +74,45 @@ Callback = Callable[[Notification], None]
 class EventManager:
     """Register callbacks per event name; fan out raised events."""
 
-    def __init__(self, history_size: int = 1024):
+    #: default bound on the retained (notification, exception) pairs
+    ERROR_HISTORY = 256
+
+    def __init__(self, history_size: int = 1024, error_history: int = ERROR_HISTORY):
         self._subscribers: Dict[str, Dict[int, Callback]] = {}
         self._next_subscription = 1
         self._seq = 0
-        #: guards seq/subscription assignment (events fire on any driver)
+        #: guards seq/subscription assignment (events fire on any driver);
+        #: doubles as the condition predicate lock for in-flight delivery
+        #: tracking, so ``unregister`` can wait for other threads' deliveries.
         self._lock = threading.Lock()
+        self._delivered = threading.Condition(self._lock)
+        #: subscription id -> threads currently delivering to it
+        self._active: Dict[int, List[threading.Thread]] = {}
         self.history: Deque[Notification] = deque(maxlen=history_size)
         #: callbacks that raised are recorded here rather than crashing the
         #: trigger processor (errors must not poison unrelated triggers).
-        self.delivery_errors: List[Tuple[Notification, Exception]] = []
+        #: Bounded: old entries are evicted, the counter below never resets.
+        self.delivery_errors: Deque[Tuple[Notification, Exception]] = deque(
+            maxlen=error_history
+        )
+        self.delivery_error_count = 0
+        self.delivered_count = 0
+
+    def attach_obs(self, obs) -> None:
+        """Expose delivery accounting as registry callback gauges."""
+        obs.metrics.gauge(
+            "events.delivery_errors",
+            "callbacks that raised (lifetime; ring keeps only the tail)",
+            callback=lambda: self.delivery_error_count,
+        )
+        obs.metrics.gauge(
+            "events.raised", "events sequenced", callback=lambda: self._seq
+        )
+        obs.metrics.gauge(
+            "events.delivered",
+            "successful callback invocations",
+            callback=lambda: self.delivered_count,
+        )
 
     def register(self, event_name: str, callback: Callback) -> int:
         """Subscribe; returns a subscription id for :meth:`unregister`."""
@@ -51,12 +123,26 @@ class EventManager:
         return subscription
 
     def unregister(self, subscription: int) -> bool:
-        with self._lock:
+        """Remove a subscription.  On return the callback is guaranteed not
+        to be invoked again (in-flight deliveries on other threads have
+        drained; see the module docstring for the reentrant case)."""
+        me = threading.current_thread()
+        with self._delivered:
+            found = False
             for subs in self._subscribers.values():
                 if subscription in subs:
                     del subs[subscription]
-                    return True
-            return False
+                    found = True
+                    break
+            while any(
+                t is not me for t in self._active.get(subscription, ())
+            ):
+                self._delivered.wait()
+            return found
+
+    def _still_registered(self, event_name: str, subscription: int) -> bool:
+        subs = self._subscribers.get(event_name)
+        return subs is not None and subscription in subs
 
     def raise_event(
         self,
@@ -75,15 +161,41 @@ class EventManager:
                 seq=self._seq,
             )
             self.history.append(notification)
-            callbacks = list(self._subscribers.get(event_name, {}).values())
+            # Snapshot (subscription, callback) pairs: this sequenced event
+            # goes to exactly these subscribers, minus any unregistered
+            # before their delivery begins.
+            entries = list(self._subscribers.get(event_name, {}).items())
         # Deliver outside the lock: a subscriber callback may raise further
-        # events (or block) without wedging concurrent raisers.
-        for callback in callbacks:
+        # events (or block) without wedging concurrent raisers.  Each
+        # delivery is bracketed by in-flight tracking so unregister() can
+        # act as a barrier.
+        me = threading.current_thread()
+        for subscription, callback in entries:
+            with self._lock:
+                if not self._still_registered(event_name, subscription):
+                    continue  # unregistered since the snapshot: must not see it
+                self._active.setdefault(subscription, []).append(me)
+            delivered = False
+            error = None
             try:
                 callback(notification)
+                delivered = True
             except Exception as exc:  # noqa: BLE001 - deliberate isolation
-                self.delivery_errors.append((notification, exc))
+                error = exc
+            finally:
+                with self._delivered:
+                    active = self._active[subscription]
+                    active.remove(me)
+                    if not active:
+                        del self._active[subscription]
+                    if delivered:
+                        self.delivered_count += 1
+                    elif error is not None:
+                        self.delivery_errors.append((notification, error))
+                        self.delivery_error_count += 1
+                    self._delivered.notify_all()
         return notification
 
     def subscriber_count(self, event_name: str) -> int:
-        return len(self._subscribers.get(event_name, {}))
+        with self._lock:
+            return len(self._subscribers.get(event_name, {}))

@@ -109,6 +109,7 @@ class TriggerMan(IngestionMixin):
         self.catalog = TriggerManCatalog(self.catalog_db)
         self.registry = DataSourceRegistry()
         self.events = EventManager()
+        self.events.attach_obs(self.obs)
         self.actions = ActionExecutor(default_db, self.events, self.evaluator)
         self.actions.attach_obs(self.obs)
         if compile_predicates is None:
@@ -202,6 +203,7 @@ class TriggerMan(IngestionMixin):
         self.pipeline.process = self.process_token
         self.pipeline.process_batch = self.process_batch
         self._driver_pool = None
+        self._server = None
         register_engine_views(self)
         self.runtimes.restore(self._connection, self._capture)
         self.firing.recover_tokens(self.catalog_db.recovery)
@@ -326,6 +328,31 @@ class TriggerMan(IngestionMixin):
     def driver_pool(self):
         return self._driver_pool
 
+    # -- the network surface (§3's process boundary) ------------------------
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        """Start a :class:`repro.net.server.TriggerManServer` for this
+        instance; returns the server (``server.address`` has the bound
+        host/port).  Remote clients connect with
+        :class:`repro.net.remote.RemoteTriggerManClient`."""
+        from ..net.server import TriggerManServer
+
+        if self._server is not None and not self._server._stopped:
+            raise TriggerError("a network server is already running")
+        self._server = TriggerManServer(self, host, port, **kwargs)
+        return self._server.start()
+
+    def stop_serving(self, drain_timeout: Optional[float] = None):
+        """Quiesce and stop the network server (if any); returns it."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.stop(drain_timeout)
+        return server
+
+    @property
+    def server(self):
+        return self._server
+
     def process_all(self, max_tokens: Optional[int] = None) -> int:
         """Drain the update queue and the task queue on the calling thread;
         returns the number of tokens processed."""
@@ -426,8 +453,9 @@ class TriggerMan(IngestionMixin):
             connection.database.flush()
 
     def close(self) -> None:
-        """Stop drivers, then flush and close every database this instance
-        opened."""
+        """Stop the network server and drivers, then flush and close every
+        database this instance opened."""
+        self.stop_serving()
         self.stop_drivers()
         seen = {id(self.catalog_db)}
         self.catalog_db.close()

@@ -82,3 +82,20 @@ class ConcurrencyError(ReproError):
 
 class WalError(StorageError):
     """A failure in the write-ahead log or during crash recovery."""
+
+
+class WireError(ReproError):
+    """A malformed, oversized, or truncated frame on the network wire."""
+
+
+class RemoteError(ReproError):
+    """An error reported by (or while talking to) a remote trigger
+    processor.  ``code`` is a stable ``triggerman-wire-v1`` error code;
+    ``retryable`` tells clients whether backing off and resending is
+    sensible (backpressure, timeouts) or pointless (parse errors)."""
+
+    def __init__(self, message: str, code: str = "E_INTERNAL",
+                 retryable: bool = False):
+        self.code = code
+        self.retryable = retryable
+        super().__init__(f"[{code}] {message}")

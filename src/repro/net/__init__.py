@@ -1,0 +1,32 @@
+"""The network layer: a real process boundary for §3's architecture.
+
+The paper assumes client applications and data-source programs talk to a
+*separate* trigger-processor process through two libraries.  This package
+makes that wire boundary real:
+
+* :mod:`repro.net.protocol` — ``triggerman-wire-v1``, a length-prefixed
+  JSON frame protocol with stable error codes;
+* :mod:`repro.net.server` — :class:`TriggerManServer`, a threaded TCP
+  server with bounded per-connection outboxes (slow-consumer policy),
+  ingest admission control, and graceful quiesce;
+* :mod:`repro.net.remote` — :class:`RemoteTriggerManClient` and
+  :class:`RemoteDataSourceProgram`, wire twins of the in-process client
+  libraries with timeout/retry/backoff built in.
+"""
+
+from .protocol import MAX_FRAME, WIRE_SCHEMA
+from .remote import (
+    RemoteConnection,
+    RemoteDataSourceProgram,
+    RemoteTriggerManClient,
+)
+from .server import TriggerManServer
+
+__all__ = [
+    "MAX_FRAME",
+    "WIRE_SCHEMA",
+    "RemoteConnection",
+    "RemoteDataSourceProgram",
+    "RemoteTriggerManClient",
+    "TriggerManServer",
+]

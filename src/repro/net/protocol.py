@@ -1,0 +1,153 @@
+"""``triggerman-wire-v1`` — the length-prefixed JSON wire protocol.
+
+Every frame on the wire is::
+
+    +----------------+----------------------+
+    | 4-byte length  | UTF-8 JSON payload   |
+    | big-endian     | (length bytes)       |
+    +----------------+----------------------+
+
+Three payload shapes flow over one connection:
+
+* **request** (client → server)::
+
+      {"id": 7, "op": "command", "text": "create trigger ..."}
+
+* **response** (server → client, matched by ``id``)::
+
+      {"id": 7, "ok": true, "result": 3}
+      {"id": 7, "ok": false,
+       "error": {"code": "E_BACKPRESSURE", "message": "...",
+                 "retryable": true}}
+
+* **event push** (server → client, unsolicited)::
+
+      {"event": {...Notification.to_wire()...}, "sub": 12}
+
+Frames above ``max_frame`` bytes are refused on both send (the caller gets
+a :class:`WireError` before anything hits the socket) and receive (the
+reader raises without allocating the oversized payload).  A truncated
+header or body — the mid-frame disconnect case — raises :class:`WireError`;
+a clean EOF at a frame boundary reads as ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import WireError
+
+#: protocol schema tag, sent in the hello response and bench exports
+WIRE_SCHEMA = "triggerman-wire-v1"
+
+#: default refusal threshold for a single frame (header excluded)
+MAX_FRAME = 4 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+# -- stable error codes -------------------------------------------------------
+
+E_PARSE = "E_PARSE"              # unparseable frame or missing fields
+E_UNKNOWN_OP = "E_UNKNOWN_OP"    # request op the server does not speak
+E_COMMAND = "E_COMMAND"          # a ReproError raised by the engine
+E_BACKPRESSURE = "E_BACKPRESSURE"  # ingest refused: queue over high water
+E_SHUTTING_DOWN = "E_SHUTTING_DOWN"  # server quiescing; no new commands
+E_TIMEOUT = "E_TIMEOUT"          # client-side: no response in time
+E_CONNECTION = "E_CONNECTION"    # client-side: transport failed mid-call
+E_INTERNAL = "E_INTERNAL"        # unexpected server-side exception
+
+#: codes a client may retry after backing off
+RETRYABLE = frozenset({E_BACKPRESSURE, E_TIMEOUT})
+
+
+def encode_frame(payload: Dict[str, Any], max_frame: int = MAX_FRAME) -> bytes:
+    """Header + JSON body for one payload; refuses oversized frames."""
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"payload is not JSON-serializable: {exc}")
+    if len(body) > max_frame:
+        raise WireError(
+            f"frame of {len(body)} bytes exceeds max_frame={max_frame}"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def read_frame(rfile, max_frame: int = MAX_FRAME) -> Optional[Dict[str, Any]]:
+    """Read one frame from a buffered binary file-like (``socket.makefile``).
+
+    Returns the decoded payload, or ``None`` on clean EOF (the peer closed
+    between frames).  Raises :class:`WireError` for a truncated header or
+    body (mid-frame disconnect), an oversized declared length, or a body
+    that is not a JSON object.
+    """
+    header = rfile.read(HEADER_SIZE)
+    if not header:
+        return None
+    if len(header) < HEADER_SIZE:
+        raise WireError(
+            f"truncated frame header ({len(header)}/{HEADER_SIZE} bytes)"
+        )
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise WireError(
+            f"declared frame length {length} exceeds max_frame={max_frame}"
+        )
+    body = rfile.read(length)
+    if len(body) < length:
+        raise WireError(
+            f"truncated frame body ({len(body)}/{length} bytes)"
+        )
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireError(f"frame body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# -- payload constructors -----------------------------------------------------
+
+def request(request_id: int, op: str, **params: Any) -> Dict[str, Any]:
+    payload = {"id": request_id, "op": op}
+    payload.update(params)
+    return payload
+
+
+def ok_response(request_id: int, result: Any = None) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: int,
+    code: str,
+    message: str,
+    retryable: Optional[bool] = None,
+) -> Dict[str, Any]:
+    if retryable is None:
+        retryable = code in RETRYABLE
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message, "retryable": retryable},
+    }
+
+
+def event_frame(notification_wire: Dict[str, Any], sub: int) -> Dict[str, Any]:
+    return {"event": notification_wire, "sub": sub}
+
+
+def parse_response(payload: Dict[str, Any]) -> Tuple[int, bool, Any]:
+    """Split a response payload into (id, ok, result-or-error-dict)."""
+    if "id" not in payload or "ok" not in payload:
+        raise WireError(f"not a response frame: {sorted(payload)}")
+    if payload["ok"]:
+        return payload["id"], True, payload.get("result")
+    error = payload.get("error") or {}
+    return payload["id"], False, error

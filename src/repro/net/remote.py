@@ -1,0 +1,399 @@
+"""Remote twins of the §3 client libraries.
+
+:class:`RemoteTriggerManClient` and :class:`RemoteDataSourceProgram` mirror
+the in-process :class:`repro.engine.client.TriggerManClient` /
+``DataSourceProgram`` surfaces over ``triggerman-wire-v1``, so client
+applications and data-source programs run unmodified against a trigger
+processor in another process (``TriggerMan.serve()`` /
+``python -m repro --serve HOST:PORT``).
+
+Transport robustness lives here, not in application code:
+
+* every call has a **timeout**; an expired wait raises a retryable
+  :class:`RemoteError` (``E_TIMEOUT``);
+* **retryable errors** (timeouts, ``E_BACKPRESSURE`` from ingest admission
+  control) are retried up to ``retries`` times with exponential backoff and
+  full jitter;
+* pushed notifications land in a **bounded inbox** with drop-oldest
+  semantics and a drop counter, matching the in-process client.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..engine.events import Notification
+from ..errors import RemoteError
+from . import protocol
+from .protocol import E_CONNECTION, E_TIMEOUT, MAX_FRAME
+
+#: default bound on a remote client's notification inbox
+DEFAULT_INBOX_LIMIT = 8192
+
+
+class _Waiter:
+    """One outstanding request: the caller blocks until the receiver thread
+    resolves it (or the timeout expires)."""
+
+    __slots__ = ("event", "ok", "payload")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.ok = False
+        self.payload: Any = None
+
+    def resolve(self, ok: bool, payload: Any) -> None:
+        self.ok = ok
+        self.payload = payload
+        self.event.set()
+
+
+class RemoteConnection:
+    """A socket to a TriggerMan server plus request/response plumbing.
+
+    Thread-safe: any number of application threads may issue calls; one
+    receiver thread matches responses by request id and dispatches event
+    pushes to subscription sinks.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        retries: int = 4,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        max_frame: int = MAX_FRAME,
+        connect_timeout: float = 5.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.max_frame = max_frame
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, _Waiter] = {}
+        self._request_ids = itertools.count(1)
+        #: subscription id -> notification sink
+        self._sinks: Dict[int, Callable[[Notification], None]] = {}
+        self.closed = False
+        self._jitter = random.Random()
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name="tman-net-client", daemon=True
+        )
+        self._receiver.start()
+
+    # -- calls --------------------------------------------------------------
+
+    def call(
+        self, op: str, timeout: Optional[float] = None, **params: Any
+    ) -> Any:
+        """One request/response round trip with timeout + jittered-backoff
+        retries for retryable failures."""
+        timeout = self.timeout if timeout is None else timeout
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(op, timeout, params)
+            except RemoteError as exc:
+                if not exc.retryable or attempt >= self.retries or self.closed:
+                    raise
+                delay = min(self.backoff_cap, self.backoff * (2 ** attempt))
+                time.sleep(self._jitter.uniform(0, delay))
+                attempt += 1
+
+    def _call_once(self, op: str, timeout: float, params: Dict[str, Any]) -> Any:
+        if self.closed:
+            raise RemoteError("connection is closed", E_CONNECTION)
+        request_id = next(self._request_ids)
+        waiter = _Waiter()
+        with self._pending_lock:
+            self._pending[request_id] = waiter
+        try:
+            frame = protocol.encode_frame(
+                protocol.request(request_id, op, **params), self.max_frame
+            )
+            try:
+                with self._send_lock:
+                    self._sock.sendall(frame)
+            except OSError as exc:
+                raise RemoteError(f"send failed: {exc}", E_CONNECTION)
+            if not waiter.event.wait(timeout):
+                raise RemoteError(
+                    f"no response to {op!r} within {timeout}s",
+                    E_TIMEOUT, retryable=True,
+                )
+        finally:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+        if waiter.ok:
+            return waiter.payload
+        error = waiter.payload or {}
+        raise RemoteError(
+            error.get("message", "remote error"),
+            error.get("code", protocol.E_INTERNAL),
+            retryable=bool(error.get("retryable")),
+        )
+
+    # -- receiver -----------------------------------------------------------
+
+    def _receive_loop(self) -> None:
+        try:
+            while True:
+                payload = protocol.read_frame(self._rfile, self.max_frame)
+                if payload is None:
+                    break
+                if "event" in payload:
+                    self._dispatch_event(payload)
+                elif "id" in payload:
+                    self._dispatch_response(payload)
+        except Exception:  # noqa: BLE001 - any transport fault ends the loop
+            pass
+        finally:
+            self._fail_pending()
+
+    def _dispatch_response(self, payload: Dict[str, Any]) -> None:
+        request_id, ok, body = protocol.parse_response(payload)
+        with self._pending_lock:
+            waiter = self._pending.get(request_id)
+        if waiter is not None:
+            waiter.resolve(ok, body)
+
+    def _dispatch_event(self, payload: Dict[str, Any]) -> None:
+        sink = self._sinks.get(payload.get("sub"))
+        if sink is None:
+            return
+        try:
+            sink(Notification.from_wire(payload["event"]))
+        except Exception:  # noqa: BLE001 - a broken sink must not kill the link
+            pass
+
+    def _fail_pending(self) -> None:
+        self.closed = True
+        with self._pending_lock:
+            pending, self._pending = dict(self._pending), {}
+        for waiter in pending.values():
+            waiter.resolve(
+                False,
+                {
+                    "code": E_CONNECTION,
+                    "message": "connection lost mid-call",
+                    "retryable": False,
+                },
+            )
+
+    # -- subscriptions ------------------------------------------------------
+
+    def add_sink(self, sub: int, sink: Callable[[Notification], None]) -> None:
+        self._sinks[sub] = sink
+
+    def remove_sink(self, sub: int) -> None:
+        self._sinks.pop(sub, None)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._receiver.join(timeout=2.0)
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _parse_address(address: str) -> Tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise RemoteError(
+            f"bad address {address!r} (want HOST:PORT)", protocol.E_PARSE
+        )
+    return host, int(port)
+
+
+class RemoteTriggerManClient:
+    """Wire twin of :class:`repro.engine.client.TriggerManClient`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: Optional[int] = None,
+        name: str = "client",
+        *,
+        inbox_limit: Optional[int] = DEFAULT_INBOX_LIMIT,
+        connection: Optional[RemoteConnection] = None,
+        **connection_kwargs: Any,
+    ):
+        if port is None:
+            host, port = _parse_address(host)
+        self.name = name
+        self.conn = connection or RemoteConnection(
+            host, port, **connection_kwargs
+        )
+        self.inbox_limit = inbox_limit
+        self.inbox: Deque[Notification] = deque()
+        self.inbox_drops = 0
+        self._inbox_lock = threading.Lock()
+        self._subscriptions: List[int] = []
+
+    # -- commands -----------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.conn.call("ping")
+
+    def command(self, text: str):
+        return self.conn.call("command", text=text)
+
+    def create_trigger(self, text: str) -> int:
+        return self.conn.call("command", text=text)
+
+    def drop_trigger(self, name: str) -> int:
+        return self.conn.call("command", text=f"drop trigger {name}")
+
+    def console(self, line: str) -> str:
+        """Run one console line server-side; returns the printable text."""
+        return self.conn.call("console", text=line)
+
+    def sql(self, text: str):
+        return self.conn.call("sql", text=text)
+
+    def process(self) -> int:
+        """Ask the server to drain its update queue (demo/test pump; real
+        deployments run driver threads server-side instead)."""
+        return self.conn.call("process")
+
+    # -- observability -------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.conn.call("metrics")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.conn.call("stats")
+
+    def explain_trigger(self, name: str) -> str:
+        return self.conn.call("explain", name=name)
+
+    # -- events --------------------------------------------------------------
+
+    def _inbox_sink(self, notification: Notification) -> None:
+        with self._inbox_lock:
+            if (
+                self.inbox_limit is not None
+                and len(self.inbox) >= self.inbox_limit
+            ):
+                self.inbox.popleft()
+                self.inbox_drops += 1
+            self.inbox.append(notification)
+
+    def register_for_event(
+        self,
+        event_name: str,
+        callback: Optional[Callable[[Notification], None]] = None,
+    ) -> int:
+        sink = callback if callback is not None else self._inbox_sink
+        subscription = self.conn.call("register_event", event=event_name)
+        self.conn.add_sink(subscription, sink)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def next_notification(self) -> Optional[Notification]:
+        with self._inbox_lock:
+            if not self.inbox:
+                return None
+            return self.inbox.popleft()
+
+    def disconnect(self) -> None:
+        """Unregister every subscription server-side, then keep the
+        connection for further commands."""
+        subscriptions, self._subscriptions = self._subscriptions, []
+        for subscription in subscriptions:
+            self.conn.remove_sink(subscription)
+            try:
+                self.conn.call("unregister_event", sub=subscription)
+            except RemoteError:
+                if not self.conn.closed:
+                    raise
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "RemoteTriggerManClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class RemoteDataSourceProgram:
+    """Wire twin of :class:`repro.engine.client.DataSourceProgram`.
+
+    ``insert``/``delete``/``update`` become ``ingest`` requests; admission
+    refusals (``E_BACKPRESSURE``) are retried with jittered backoff by the
+    underlying connection, so a well-behaved feed slows down instead of
+    overrunning the server.
+    """
+
+    def __init__(
+        self,
+        client_or_host,
+        source_name: str,
+        port: Optional[int] = None,
+        **connection_kwargs: Any,
+    ):
+        if isinstance(client_or_host, RemoteTriggerManClient):
+            self.conn = client_or_host.conn
+            self._owns_connection = False
+        elif isinstance(client_or_host, RemoteConnection):
+            self.conn = client_or_host
+            self._owns_connection = False
+        else:
+            host = client_or_host
+            if port is None:
+                host, port = _parse_address(host)
+            self.conn = RemoteConnection(host, port, **connection_kwargs)
+            self._owns_connection = True
+        self.source_name = source_name
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        self.conn.call("ingest", source=self.source_name,
+                       operation="insert", new=row)
+
+    def delete(self, row: Dict[str, Any]) -> None:
+        self.conn.call("ingest", source=self.source_name,
+                       operation="delete", old=row)
+
+    def update(self, old: Dict[str, Any], new: Dict[str, Any]) -> None:
+        self.conn.call("ingest", source=self.source_name,
+                       operation="update", new=new, old=old)
+
+    def close(self) -> None:
+        if self._owns_connection:
+            self.conn.close()

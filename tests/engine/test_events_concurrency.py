@@ -1,0 +1,262 @@
+"""ISSUE 5 satellites: EventManager delivery guarantees under concurrency.
+
+Covers the three event-delivery bugs: unbounded ``delivery_errors`` state,
+the unregister/in-flight-delivery race (snapshot semantics + unregister
+barrier), and the unbounded client inbox — plus the 4-driver hammer test
+asserting no lost or duplicated sequence numbers and bounded memory.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.client import TriggerManClient
+from repro.engine.events import EventManager
+from repro.obs import Observability
+
+
+def raise_n(events, name, n, collect=None):
+    for _ in range(n):
+        notification = events.raise_event(name, (), "t", 1)
+        if collect is not None:
+            collect.append(notification)
+
+
+class TestDeliveryErrors:
+    def test_errors_are_bounded_and_counted(self):
+        events = EventManager(error_history=8)
+
+        def bad(notification):
+            raise RuntimeError("boom")
+
+        events.register("E", bad)
+        raise_n(events, "E", 50)
+        assert len(events.delivery_errors) == 8  # ring keeps only the tail
+        assert events.delivery_error_count == 50  # counter never resets
+        # the retained tail is the most recent failures
+        assert events.delivery_errors[-1][0].seq == 50
+
+    def test_error_counter_exported_as_gauge(self):
+        events = EventManager()
+        obs = Observability(enable_metrics=True)
+        events.attach_obs(obs)
+        events.register("E", lambda n: 1 / 0)
+        raise_n(events, "E", 3)
+        assert obs.metrics.snapshot()["events.delivery_errors"] == 3
+
+    def test_failures_do_not_poison_other_subscribers(self):
+        events = EventManager()
+        got = []
+        events.register("E", lambda n: 1 / 0)
+        events.register("E", got.append)
+        raise_n(events, "E", 2)
+        assert len(got) == 2
+        assert events.delivered_count == 2
+        assert events.delivery_error_count == 2
+
+
+class TestUnregisterBarrier:
+    def test_unregister_waits_for_inflight_delivery(self):
+        """unregister() on thread B must block until a delivery running on
+        thread A has completed."""
+        events = EventManager()
+        entered = threading.Event()
+        release = threading.Event()
+        finished_at = []
+
+        def slow(notification):
+            entered.set()
+            release.wait(5.0)
+            finished_at.append(time.monotonic())
+
+        sub = events.register("E", slow)
+        raiser = threading.Thread(
+            target=events.raise_event, args=("E", (), "t", 1)
+        )
+        raiser.start()
+        assert entered.wait(5.0)
+        unregistered_at = []
+
+        def unregister():
+            events.unregister(sub)
+            unregistered_at.append(time.monotonic())
+
+        waiter = threading.Thread(target=unregister)
+        waiter.start()
+        time.sleep(0.05)
+        assert not unregistered_at  # still blocked on the in-flight delivery
+        release.set()
+        waiter.join(5.0)
+        raiser.join(5.0)
+        assert unregistered_at and finished_at
+        assert unregistered_at[0] >= finished_at[0]
+
+    def test_no_delivery_after_unregister_returns(self):
+        events = EventManager()
+        got = []
+        sub = events.register("E", got.append)
+        events.raise_event("E", (), "t", 1)
+        events.unregister(sub)
+        events.raise_event("E", (), "t", 1)
+        assert [n.seq for n in got] == [1]
+
+    def test_reentrant_unregister_from_own_callback(self):
+        """A callback unregistering its own subscription must not deadlock
+        and must stop deliveries from then on."""
+        events = EventManager()
+        got = []
+        sub_holder = []
+
+        def once(notification):
+            got.append(notification)
+            events.unregister(sub_holder[0])
+
+        sub_holder.append(events.register("E", once))
+        raise_n(events, "E", 3)
+        assert len(got) == 1
+
+    def test_unregister_unknown_subscription(self):
+        events = EventManager()
+        assert events.unregister(999) is False
+
+
+class TestClientInbox:
+    def test_inbox_bounded_with_drop_oldest(self, tman_emp):
+        client = TriggerManClient(tman_emp, inbox_limit=5)
+        client.command(
+            "create trigger t from emp on insert do raise event E(emp.eno)"
+        )
+        client.register_for_event("E")
+        for i in range(12):
+            tman_emp.insert("emp", {"eno": i, "name": "x", "salary": 1.0})
+        tman_emp.process_all()
+        assert len(client.inbox) == 5
+        assert client.inbox_drops == 7
+        # oldest were evicted: the retained tail is the 5 newest
+        kept = [n.args[0] for n in client.inbox]
+        assert kept == [7, 8, 9, 10, 11]
+
+    def test_unbounded_inbox_opt_in(self, tman_emp):
+        client = TriggerManClient(tman_emp, inbox_limit=None)
+        client.command(
+            "create trigger t from emp on insert do raise event E"
+        )
+        client.register_for_event("E")
+        for i in range(20):
+            tman_emp.insert("emp", {"eno": i, "name": "x", "salary": 1.0})
+        tman_emp.process_all()
+        assert len(client.inbox) == 20
+        assert client.inbox_drops == 0
+
+    def test_disconnect_unregisters_everything(self, tman_emp):
+        """Regression: events raised after disconnect() must not land in the
+        inbox or fire callbacks, for every subscription the client made."""
+        client = TriggerManClient(tman_emp)
+        via_callback = []
+        client.command(
+            "create trigger t1 from emp on insert do raise event A"
+        )
+        client.command(
+            "create trigger t2 from emp on insert do raise event B"
+        )
+        client.register_for_event("A")
+        client.register_for_event("B")
+        client.register_for_event("A", via_callback.append)
+        tman_emp.insert("emp", {"eno": 1, "name": "x", "salary": 1.0})
+        tman_emp.process_all()
+        assert len(client.inbox) == 2 and len(via_callback) == 1
+        client.disconnect()
+        assert tman_emp.events.subscriber_count("A") == 0
+        assert tman_emp.events.subscriber_count("B") == 0
+        tman_emp.insert("emp", {"eno": 2, "name": "y", "salary": 1.0})
+        tman_emp.process_all()
+        assert len(client.inbox) == 2 and len(via_callback) == 1
+
+
+class TestConcurrentHammer:
+    N_THREADS = 4
+    N_EVENTS = 250
+
+    def test_no_lost_or_duplicate_seqs_under_churn(self):
+        """4 raiser threads vs. churning register/unregister: sequence
+        numbers stay unique and gap-free, stable subscribers see every
+        event for their name exactly once and in order, and the error ring
+        stays bounded."""
+        events = EventManager(error_history=16)
+        raised = [[] for _ in range(self.N_THREADS)]
+        stable = {f"E{i}": [] for i in range(self.N_THREADS)}
+        for name, sink in stable.items():
+            events.register(name, sink.append)
+
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                subs = [
+                    events.register(f"E{i % self.N_THREADS}", lambda n: None)
+                    for i in range(8)
+                ]
+                # some subscribers misbehave, some unregister mid-flight
+                bad = events.register("E0", lambda n: 1 / 0)
+                for sub in subs:
+                    events.unregister(sub)
+                events.unregister(bad)
+
+        churners = [threading.Thread(target=churn) for _ in range(2)]
+        for thread in churners:
+            thread.start()
+        raisers = [
+            threading.Thread(
+                target=raise_n,
+                args=(events, f"E{i}", self.N_EVENTS, raised[i]),
+            )
+            for i in range(self.N_THREADS)
+        ]
+        for thread in raisers:
+            thread.start()
+        for thread in raisers:
+            thread.join(30.0)
+        stop.set()
+        for thread in churners:
+            thread.join(30.0)
+
+        total = self.N_THREADS * self.N_EVENTS
+        seqs = [n.seq for group in raised for n in group]
+        assert len(seqs) == total
+        assert sorted(seqs) == list(range(1, total + 1))  # no loss, no dups
+        for i in range(self.N_THREADS):
+            # one raiser per name -> deliveries are sequential and ordered
+            got = [n.seq for n in stable[f"E{i}"]]
+            want = [n.seq for n in raised[i]]
+            assert got == want
+        assert len(events.delivery_errors) <= 16  # bounded under churn
+        assert not events._active  # no in-flight bookkeeping leaked
+
+    def test_client_disconnect_race_with_raisers(self, tman_emp):
+        """Clients disconnecting while drivers deliver: no delivery may
+        land after disconnect() returns."""
+        events = tman_emp.events
+        stop = threading.Event()
+
+        def raiser():
+            while not stop.is_set():
+                events.raise_event("E", (), "t", 1)
+
+        raisers = [threading.Thread(target=raiser) for _ in range(4)]
+        for thread in raisers:
+            thread.start()
+        try:
+            for _ in range(50):
+                client = TriggerManClient(tman_emp, inbox_limit=64)
+                client.register_for_event("E")
+                time.sleep(0.001)
+                client.disconnect()
+                size_after = len(client.inbox) + client.inbox_drops
+                time.sleep(0.002)
+                assert len(client.inbox) + client.inbox_drops == size_after
+        finally:
+            stop.set()
+            for thread in raisers:
+                thread.join(10.0)
+        assert not events._active

@@ -1,0 +1,122 @@
+"""net-smoke: the full process boundary, end to end.
+
+Starts ``python -m repro --serve`` as a real subprocess, runs
+``examples/stock_alerts.py`` against it through ``RemoteTriggerManClient``,
+and asserts the notification digest is identical to the in-process run of
+the same example — then shuts the server down cleanly (SIGINT → exit 0).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+EXAMPLE = os.path.join(REPO, "examples", "stock_alerts.py")
+
+SMOKE_ENV = {
+    "STOCK_USERS": "150",
+    "STOCK_TICKS": "20",
+    "STOCK_WATCH": "40",
+}
+
+
+def example_env():
+    env = dict(os.environ)
+    env.update(SMOKE_ENV)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO, "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def digest_line(output: str) -> str:
+    for line in output.splitlines():
+        if line.startswith("notification digest:"):
+            return line
+    raise AssertionError(f"no digest line in output:\n{output}")
+
+
+@pytest.mark.slow
+def test_example_identical_in_process_and_remote():
+    env = example_env()
+    local = subprocess.run(
+        [sys.executable, EXAMPLE],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert local.returncode == 0, local.stderr
+    local_digest = digest_line(local.stdout)
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--serve", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        stdin=subprocess.DEVNULL, env=env, cwd=REPO,
+    )
+    try:
+        line = server.stdout.readline().strip()
+        assert line.startswith("serving on "), line
+        address = line.split()[-1]
+
+        remote = subprocess.run(
+            [sys.executable, EXAMPLE, "--connect", address],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert remote.returncode == 0, remote.stderr
+        assert digest_line(remote.stdout) == local_digest
+        # the remote run matched the in-process headline numbers too
+        for key in ("tokens processed", "triggers fired"):
+            local_line = next(
+                l for l in local.stdout.splitlines() if l.startswith(key)
+            )
+            assert local_line in remote.stdout
+    finally:
+        # graceful shutdown: SIGINT must quiesce and exit 0
+        server.send_signal(signal.SIGINT)
+        try:
+            out, err = server.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            raise AssertionError("server did not shut down on SIGINT")
+    assert server.returncode == 0, (out, err)
+
+
+@pytest.mark.slow
+def test_headless_server_survives_misbehaving_client():
+    """A client that sends garbage and disconnects mid-frame must not take
+    the server down for the next well-behaved client."""
+    import socket
+    import struct
+
+    from repro.net.remote import RemoteTriggerManClient
+
+    env = example_env()
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--serve", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        stdin=subprocess.DEVNULL, env=env, cwd=REPO,
+    )
+    try:
+        line = server.stdout.readline().strip()
+        host, _, port = line.split()[-1].rpartition(":")
+
+        bad = socket.create_connection((host, int(port)), timeout=5.0)
+        bad.sendall(struct.pack(">I", 999) + b"partial")
+        bad.close()
+        time.sleep(0.1)
+
+        client = RemoteTriggerManClient(host, int(port))
+        assert client.ping()["engine"] == "triggerman"
+        client.close()
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            raise
+    assert server.returncode == 0

@@ -1,0 +1,90 @@
+"""``triggerman-wire-v1`` frame-level tests: round trips plus the
+malformed-frame, oversized-frame, and mid-frame-disconnect paths."""
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import WireError
+from repro.net import protocol
+
+
+def frame_stream(*payloads, max_frame=protocol.MAX_FRAME):
+    return io.BytesIO(
+        b"".join(protocol.encode_frame(p, max_frame) for p in payloads)
+    )
+
+
+class TestRoundTrip:
+    def test_encode_read_round_trip(self):
+        payload = {"id": 1, "op": "command", "text": "create trigger ..."}
+        stream = frame_stream(payload)
+        assert protocol.read_frame(stream) == payload
+        assert protocol.read_frame(stream) is None  # clean EOF
+
+    def test_multiple_frames_in_sequence(self):
+        payloads = [protocol.request(i, "ping") for i in range(5)]
+        stream = frame_stream(*payloads)
+        for expected in payloads:
+            assert protocol.read_frame(stream) == expected
+
+    def test_unicode_and_nested_values_survive(self):
+        payload = protocol.request(
+            7, "ingest", new={"symbol": "héllo™", "price": 1.5},
+            old=None, nested={"a": [1, [2, {"b": None}]]},
+        )
+        assert protocol.read_frame(frame_stream(payload)) == payload
+
+    def test_response_helpers(self):
+        ok = protocol.ok_response(3, {"x": 1})
+        assert protocol.parse_response(ok) == (3, True, {"x": 1})
+        err = protocol.error_response(4, protocol.E_BACKPRESSURE, "full")
+        request_id, success, error = protocol.parse_response(err)
+        assert (request_id, success) == (4, False)
+        assert error["retryable"] is True  # backpressure defaults retryable
+        err2 = protocol.error_response(5, protocol.E_PARSE, "bad")
+        assert protocol.parse_response(err2)[2]["retryable"] is False
+
+
+class TestMalformedFrames:
+    def test_garbage_body_raises(self):
+        body = b"not json at all"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(WireError, match="not valid JSON"):
+            protocol.read_frame(stream)
+
+    def test_non_object_payload_raises(self):
+        body = b"[1,2,3]"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(WireError, match="must be a JSON object"):
+            protocol.read_frame(stream)
+
+    def test_oversized_declared_length_refused_before_allocation(self):
+        stream = io.BytesIO(struct.pack(">I", 10 * 1024 * 1024))
+        with pytest.raises(WireError, match="exceeds max_frame"):
+            protocol.read_frame(stream)
+
+    def test_oversized_payload_refused_on_send(self):
+        with pytest.raises(WireError, match="exceeds max_frame"):
+            protocol.encode_frame({"blob": "x" * 100}, max_frame=50)
+
+    def test_unserializable_payload_refused_on_send(self):
+        with pytest.raises(WireError, match="not JSON-serializable"):
+            protocol.encode_frame({"bad": object()})
+
+
+class TestMidFrameDisconnect:
+    def test_truncated_header(self):
+        stream = io.BytesIO(b"\x00\x00")
+        with pytest.raises(WireError, match="truncated frame header"):
+            protocol.read_frame(stream)
+
+    def test_truncated_body(self):
+        full = protocol.encode_frame({"id": 1, "op": "ping"})
+        stream = io.BytesIO(full[:-3])  # peer died mid-body
+        with pytest.raises(WireError, match="truncated frame body"):
+            protocol.read_frame(stream)
+
+    def test_eof_at_frame_boundary_is_clean(self):
+        assert protocol.read_frame(io.BytesIO(b"")) is None

@@ -1,0 +1,384 @@
+"""End-to-end server/remote-client tests over real sockets.
+
+Covers the tentpole behaviours: command/ingest/notification round trips
+matching the in-process path, ingest admission control (retryable
+backpressure), the slow-consumer policies (drop-oldest with counters, or
+disconnect), malformed/oversized/mid-frame wire faults, client-side
+timeout+retry, and graceful quiesce.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.engine.client import DataSourceProgram, TriggerManClient
+from repro.engine.triggerman import TriggerMan
+from repro.errors import RemoteError
+from repro.net import protocol
+from repro.net.remote import (
+    RemoteDataSourceProgram,
+    RemoteTriggerManClient,
+)
+
+
+@pytest.fixture
+def served():
+    """A served in-memory engine with the ticks stream defined."""
+    tman = TriggerMan.in_memory()
+    tman.execute_command(
+        "define data source ticks as stream (symbol varchar(8), price float)"
+    )
+    server = tman.serve("127.0.0.1", 0)
+    yield tman, server
+    tman.close()
+
+
+def wait_for(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestRoundTrips:
+    def test_ping_command_ingest_process_metrics(self, served):
+        tman, server = served
+        with RemoteTriggerManClient(*server.address) as client:
+            assert client.ping()["schema"] == protocol.WIRE_SCHEMA
+            client.command(
+                "create trigger hot from ticks on insert "
+                "when ticks.price > 100 do raise event Hot(ticks.price)"
+            )
+            client.register_for_event("Hot")
+            feed = RemoteDataSourceProgram(client, "ticks")
+            feed.insert({"symbol": "ACME", "price": 150.0})
+            feed.insert({"symbol": "ACME", "price": 50.0})
+            assert client.process() == 2
+            assert wait_for(lambda: len(client.inbox) == 1)
+            notification = client.next_notification()
+            assert notification.event_name == "Hot"
+            assert notification.args == (150.0,)
+            metrics = client.metrics()
+            assert metrics["tokens_processed"] == 2
+            assert metrics["triggers_fired"] == 1
+
+    def test_remote_matches_in_process_notifications(self, served):
+        """The wire client must see byte-for-byte the notifications the
+        in-process client sees for the same workload."""
+        tman, server = served
+        ticks = [
+            {"symbol": "ACME", "price": float(price)}
+            for price in (50, 150, 250, 99, 101)
+        ]
+        with RemoteTriggerManClient(*server.address) as remote:
+            remote.command(
+                "create trigger hot from ticks on insert "
+                "when ticks.price > 100 do raise event Hot(ticks.price)"
+            )
+            local = TriggerManClient(tman)
+            local.register_for_event("Hot")
+            remote.register_for_event("Hot")
+            feed = RemoteDataSourceProgram(remote, "ticks")
+            for tick in ticks:
+                feed.insert(tick)
+            remote.process()
+            assert wait_for(lambda: len(remote.inbox) == len(local.inbox))
+            assert list(remote.inbox) == list(local.inbox)  # identical tuples
+
+    def test_sql_console_explain_stats(self, served):
+        tman, server = served
+        with RemoteTriggerManClient(*server.address) as client:
+            client.command(
+                "create trigger hot from ticks on insert "
+                "when ticks.price > 100 do raise event Hot"
+            )
+            assert "hot" in client.console("show triggers")
+            assert "hot" in client.explain_trigger("hot")
+            assert "queue.depth" in client.stats() or client.stats()
+            client.sql("create table t (a integer)")
+            client.sql("insert into t values (42)")
+            assert client.sql("select a from t") == [[42]]
+
+    def test_engine_errors_carry_wire_code(self, served):
+        tman, server = served
+        with RemoteTriggerManClient(*server.address) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.command("drop trigger nosuch")
+            assert excinfo.value.code == protocol.E_COMMAND
+            assert not excinfo.value.retryable
+            with pytest.raises(RemoteError) as excinfo:
+                client.conn.call("definitely_not_an_op")
+            assert excinfo.value.code == protocol.E_UNKNOWN_OP
+
+    def test_unregister_stops_push(self, served):
+        tman, server = served
+        with RemoteTriggerManClient(*server.address) as client:
+            client.command(
+                "create trigger t from ticks on insert do raise event E"
+            )
+            client.register_for_event("E")
+            feed = RemoteDataSourceProgram(client, "ticks")
+            feed.insert({"symbol": "A", "price": 1.0})
+            client.process()
+            assert wait_for(lambda: len(client.inbox) == 1)
+            client.disconnect()
+            assert tman.events.subscriber_count("E") == 0
+            feed.insert({"symbol": "A", "price": 2.0})
+            client.process()
+            time.sleep(0.1)
+            assert len(client.inbox) == 1
+
+
+class TestAdmissionControl:
+    def test_ingest_rejected_over_high_water(self):
+        tman = TriggerMan.in_memory()
+        tman.execute_command(
+            "define data source ticks as stream (symbol varchar(8))"
+        )
+        server = tman.serve("127.0.0.1", 0, ingest_high_water=3)
+        try:
+            feed = RemoteDataSourceProgram(
+                "127.0.0.1", "ticks", server.address[1], retries=0
+            )
+            with pytest.raises(RemoteError) as excinfo:
+                for _ in range(20):
+                    feed.insert({"symbol": "A"})
+            assert excinfo.value.code == protocol.E_BACKPRESSURE
+            assert excinfo.value.retryable
+            assert server.status()["ingest_rejected"] >= 1
+            assert len(tman.queue) <= 4  # backlog stayed bounded
+            feed.close()
+        finally:
+            tman.close()
+
+    def test_backpressure_retry_succeeds_once_drained(self):
+        """A feed with retries enabled rides out backpressure while a
+        consumer drains the queue."""
+        tman = TriggerMan.in_memory()
+        tman.execute_command(
+            "define data source ticks as stream (symbol varchar(8))"
+        )
+        server = tman.serve("127.0.0.1", 0, ingest_high_water=2)
+        stop = threading.Event()
+
+        def drain():
+            while not stop.is_set():
+                tman.process_all()
+                time.sleep(0.005)
+
+        drainer = threading.Thread(target=drain)
+        drainer.start()
+        try:
+            feed = RemoteDataSourceProgram(
+                "127.0.0.1", "ticks", server.address[1],
+                retries=8, backoff=0.01,
+            )
+            for _ in range(30):
+                feed.insert({"symbol": "A"})
+            feed.close()
+        finally:
+            stop.set()
+            drainer.join(5.0)
+            tman.close()
+        assert tman.stats.tokens_processed + len(tman.queue) == 30
+
+
+class TestSlowConsumer:
+    def _stalled_subscriber(self, server):
+        """A raw socket that registers for an event and then never reads."""
+        sock = socket.create_connection(server.address, timeout=5.0)
+        sock.sendall(
+            protocol.encode_frame(protocol.request(1, "register_event",
+                                                   event="E"))
+        )
+        rfile = sock.makefile("rb")
+        response = protocol.read_frame(rfile)
+        assert response["ok"]
+        # tiny receive buffer so the server's sends back up quickly
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1024)
+        return sock
+
+    def test_drop_policy_bounds_memory_and_counts(self):
+        tman = TriggerMan.in_memory()
+        server = tman.serve("127.0.0.1", 0, outbox_limit=16)
+        try:
+            sock = self._stalled_subscriber(server)
+            for _ in range(5000):
+                tman.events.raise_event("E", ("x" * 200,), "t", 1)
+            connection = next(iter(server._connections.values()))
+            assert connection.outbox_depth() <= 16 + 1  # bounded outbox
+            assert server.status()["notifications_dropped"] > 0
+            # the server is still responsive to other clients
+            with RemoteTriggerManClient(*server.address) as other:
+                assert other.ping()["engine"] == "triggerman"
+            sock.close()
+        finally:
+            tman.close()
+
+    def test_disconnect_policy_closes_the_stalled_connection(self):
+        tman = TriggerMan.in_memory()
+        server = tman.serve(
+            "127.0.0.1", 0, outbox_limit=8, slow_consumer="disconnect"
+        )
+        try:
+            sock = self._stalled_subscriber(server)
+            for _ in range(5000):
+                tman.events.raise_event("E", ("x" * 200,), "t", 1)
+            assert wait_for(
+                lambda: server.status()["slow_consumer_disconnects"] >= 1
+            )
+            assert wait_for(lambda: server.status()["connections"] == 0)
+            sock.close()
+        finally:
+            tman.close()
+
+
+class TestWireFaults:
+    def test_malformed_frame_gets_error_then_close(self, served):
+        tman, server = served
+        sock = socket.create_connection(server.address, timeout=5.0)
+        body = b"this is not json"
+        sock.sendall(struct.pack(">I", len(body)) + body)
+        rfile = sock.makefile("rb")
+        response = protocol.read_frame(rfile)
+        assert response["ok"] is False
+        assert response["error"]["code"] == protocol.E_PARSE
+        assert rfile.read(1) == b""  # server closed the connection
+        sock.close()
+        # and the server survived
+        with RemoteTriggerManClient(*server.address) as client:
+            assert client.ping()
+
+    def test_oversized_frame_is_refused(self, served):
+        tman, server = served
+        sock = socket.create_connection(server.address, timeout=5.0)
+        sock.sendall(struct.pack(">I", 512 * 1024 * 1024))
+        rfile = sock.makefile("rb")
+        response = protocol.read_frame(rfile)
+        assert response["error"]["code"] == protocol.E_PARSE
+        sock.close()
+
+    def test_mid_frame_disconnect_leaves_server_up(self, served):
+        tman, server = served
+        sock = socket.create_connection(server.address, timeout=5.0)
+        sock.sendall(struct.pack(">I", 1000) + b"only part of the bo")
+        sock.close()  # died mid-frame
+        assert wait_for(lambda: server.status()["connections"] == 0)
+        with RemoteTriggerManClient(*server.address) as client:
+            assert client.ping()
+
+    def test_pending_calls_fail_when_connection_lost(self, served):
+        tman, server = served
+        client = RemoteTriggerManClient(*server.address, timeout=5.0)
+        # cut the transport from under an in-flight call
+        original = server._op_ping
+
+        def slow_ping(connection, payload):
+            client.conn._sock.shutdown(socket.SHUT_RDWR)
+            time.sleep(0.1)
+            return original(connection, payload)
+
+        server._op_ping = slow_ping
+        with pytest.raises(RemoteError) as excinfo:
+            client.ping()
+        assert excinfo.value.code in (
+            protocol.E_CONNECTION, protocol.E_TIMEOUT
+        )
+        client.close()
+
+
+class TestTimeoutRetry:
+    def test_timeout_is_retried_then_raised(self, served):
+        tman, server = served
+        calls = []
+        original = server._op_ping
+
+        def stuck(connection, payload):
+            calls.append(1)
+            time.sleep(0.5)
+            return original(connection, payload)
+
+        server._op_ping = stuck
+        client = RemoteTriggerManClient(
+            *server.address, timeout=0.05, retries=2, backoff=0.01
+        )
+        start = time.monotonic()
+        with pytest.raises(RemoteError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == protocol.E_TIMEOUT
+        assert excinfo.value.retryable
+        assert len(calls) >= 1  # requests actually reached the server
+        assert time.monotonic() - start < 5.0
+        server._op_ping = original
+        # connection still usable afterwards (generous timeout: the server
+        # is still chewing through the stuck requests serially)
+        assert client.conn.call("ping", timeout=10.0)
+        client.close()
+
+    def test_no_retry_for_non_retryable_errors(self, served):
+        tman, server = served
+        calls = []
+        original_handle = server._op_command
+
+        def counting(connection, payload):
+            calls.append(1)
+            return original_handle(connection, payload)
+
+        server._op_command = counting
+        with RemoteTriggerManClient(*server.address, retries=5) as client:
+            with pytest.raises(RemoteError):
+                client.command("drop trigger nosuch")
+        assert len(calls) == 1  # parse/command errors are not retried
+
+
+class TestQuiesce:
+    def test_quiescing_refuses_new_commands(self, served):
+        tman, server = served
+        with RemoteTriggerManClient(*server.address, retries=0) as client:
+            server._quiescing = True
+            with pytest.raises(RemoteError) as excinfo:
+                client.command("show triggers")
+            assert excinfo.value.code == protocol.E_SHUTTING_DOWN
+            assert client.ping()  # ping stays answerable during drain
+            server._quiescing = False
+
+    def test_stop_serving_drains_and_closes(self, served):
+        tman, server = served
+        client = RemoteTriggerManClient(*server.address)
+        assert client.ping()
+        stopped = tman.stop_serving()
+        assert stopped is server
+        assert server._stopped
+        assert wait_for(lambda: client.conn.closed)
+        with pytest.raises(RemoteError):
+            client.command("show triggers")
+        client.close()
+
+    def test_shutdown_op_quiesces_server(self, served):
+        tman, server = served
+        client = RemoteTriggerManClient(*server.address)
+        assert client.conn.call("shutdown") == "quiescing"
+        assert wait_for(lambda: server._stopped)
+        client.close()
+
+    def test_double_stop_is_idempotent(self, served):
+        tman, server = served
+        tman.stop_serving()
+        server.stop()  # second stop: no-op
+        assert server._stopped
+
+    def test_serve_twice_refused_then_allowed_after_stop(self, served):
+        tman, server = served
+        from repro.errors import TriggerError
+
+        with pytest.raises(TriggerError):
+            tman.serve()
+        tman.stop_serving()
+        second = tman.serve("127.0.0.1", 0)
+        assert second.address[1] != 0
+        tman.stop_serving()
