@@ -22,7 +22,10 @@ import json
 import sys
 
 #: fields that identify a record's configuration (never compared as values)
-CONFIG_KEYS = ("experiment", "mode", "batch_size", "sync", "drivers", "transport")
+CONFIG_KEYS = (
+    "experiment", "mode", "batch_size", "sync", "drivers", "transport",
+    "shards",
+)
 
 
 def config_key(record):

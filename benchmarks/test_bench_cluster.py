@@ -1,0 +1,227 @@
+"""E14 — Cluster scale-out: aggregate tokens/sec across worker processes.
+
+The PR-5 driver pool parallelizes *within* one process and is bounded by
+the GIL for CPU-heavy matching; the cluster moves shards into separate
+processes, so ``process`` really runs on N cores.  This experiment feeds
+a multi-source workload (each source carrying one large §5.1 equivalence
+class, so sources — and their matching work — partition cleanly across
+shards) and measures end-to-end aggregate throughput: parallel ingest
+over the wire plus a broadcast ``process`` drain.
+
+Scaling only exists where cores do: the ≥``BENCH_CLUSTER_MIN_SPEEDUP``
+assertion (default 2.5× at 4 workers) is enforced only when the machine
+exposes at least as many usable CPUs as shards — on a 1-core container
+the numbers are still exported, just not gated.
+
+Also exports ``E14-recovery``: a durable worker is SIGKILLed with ACKed
+but unprocessed tokens, respawned on its WAL, and its ACTION_FIRED ledger
+audited — ``lost`` and ``duplicates`` must both be 0.
+
+Knobs: ``BENCH_CLUSTER_SHARDS`` (comma list, default ``1,4``),
+``BENCH_CLUSTER_SOURCES`` (default 8), ``BENCH_CLUSTER_TRIGGERS`` (per
+source, default 200), ``BENCH_CLUSTER_TOKENS`` (per source, default 60),
+``BENCH_CLUSTER_MIN_SPEEDUP`` (default 2.5).
+"""
+
+import os
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.worker import WorkerProcess, shard_dir
+from repro.obs import export
+from repro.sql.database import Database
+from repro.wal.log import ACTION_FIRED, scan_file
+
+SHARD_COUNTS = [
+    int(s) for s in os.environ.get("BENCH_CLUSTER_SHARDS", "1,4").split(",")
+]
+SOURCES = int(os.environ.get("BENCH_CLUSTER_SOURCES", 8))
+TRIGGERS = int(os.environ.get("BENCH_CLUSTER_TRIGGERS", 200))
+TOKENS = int(os.environ.get("BENCH_CLUSTER_TOKENS", 60))
+MIN_SPEEDUP = float(os.environ.get("BENCH_CLUSTER_MIN_SPEEDUP", "2.5"))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _source(i: int) -> str:
+    return f"feed{i}"
+
+
+def _build(coordinator: ClusterCoordinator) -> None:
+    for i in range(SOURCES):
+        source = _source(i)
+        coordinator.execute_command(
+            f"define data source {source} as stream "
+            "(symbol varchar(8), price float)"
+        )
+        # One big equivalence class per source; every token matches every
+        # trigger (price > k, k < token price), so matching + firing work
+        # scales with TRIGGERS and partitions with the sources.
+        for t in range(TRIGGERS):
+            coordinator.execute_command(
+                f"create trigger {source}_t{t} from {source} on insert "
+                f"when {source}.price > {t} "
+                f"do raise event E{source}_{t}({source}.price)"
+            )
+
+
+def _feed_and_drain(coordinator: ClusterCoordinator) -> float:
+    """Parallel per-source feed + broadcast process; returns wall seconds."""
+    errors = []
+
+    def feed(i: int) -> None:
+        try:
+            source = _source(i)
+            for n in range(TOKENS):
+                coordinator.push(
+                    source, "insert",
+                    new={"symbol": source, "price": float(TRIGGERS + n)},
+                )
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    feeders = [
+        threading.Thread(target=feed, args=(i,), daemon=True)
+        for i in range(SOURCES)
+    ]
+    start = time.perf_counter()
+    for thread in feeders:
+        thread.start()
+    for thread in feeders:
+        thread.join()
+    processed = coordinator.process_all()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    assert processed == SOURCES * TOKENS, (processed, SOURCES * TOKENS)
+    return elapsed
+
+
+#: per-shard-count tokens/sec shared across the parametrized instances so
+#: the last one can compute the scale-out speedup (pytest runs them in
+#: parametrize order within this file).
+_THROUGHPUT = {}
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_cluster_scale_out(benchmark, summary, shards):
+    total_tokens = SOURCES * TOKENS
+    coordinator = ClusterCoordinator(shards=shards).start()
+    try:
+        _build(coordinator)
+        elapsed = benchmark.pedantic(
+            lambda: _feed_and_drain(coordinator), rounds=1, iterations=1
+        )
+    finally:
+        coordinator.close()
+    per_sec = total_tokens / elapsed
+    _THROUGHPUT[shards] = per_sec
+    summary(
+        "E14: cluster scale-out (aggregate tokens/sec, "
+        f"{SOURCES} sources x {TRIGGERS} triggers)",
+        ["shards", "tokens", "tokens/sec", "firings"],
+        [shards, total_tokens, f"{per_sec:.0f}",
+         total_tokens * TRIGGERS],
+    )
+    export.record(
+        "E14",
+        shards=shards,
+        sources=SOURCES,
+        triggers_per_source=TRIGGERS,
+        tokens=total_tokens,
+        tokens_per_sec=round(per_sec, 1),
+    )
+    base, top = SHARD_COUNTS[0], SHARD_COUNTS[-1]
+    if shards != top or top == base or base not in _THROUGHPUT:
+        return
+    speedup = _THROUGHPUT[top] / _THROUGHPUT[base]
+    cpus = _usable_cpus()
+    summary(
+        "E14: cluster scale-out (aggregate tokens/sec, "
+        f"{SOURCES} sources x {TRIGGERS} triggers)",
+        ["shards", "tokens", "tokens/sec", "firings"],
+        [f"{top}v{base}", "", f"speedup {speedup:.2f}x", f"cpus={cpus}"],
+    )
+    export.record(
+        "E14-speedup",
+        shards=top,
+        baseline_shards=base,
+        speedup=round(speedup, 2),
+        usable_cpus=cpus,
+        gated=cpus >= top,
+    )
+    if cpus >= top:
+        assert speedup >= MIN_SPEEDUP, (
+            f"{top}-shard speedup {speedup:.2f}x < {MIN_SPEEDUP}x "
+            f"with {cpus} usable cpus"
+        )
+
+
+def test_cluster_recovery_ledger(benchmark, summary, tmp_path):
+    """Kill -9 with ACKed-but-unprocessed durable tokens, respawn, audit."""
+    from repro.net.remote import RemoteTriggerManClient
+
+    rows = int(os.environ.get("BENCH_CLUSTER_RECOVERY_TOKENS", 50))
+    worker = WorkerProcess(
+        0, data_dir=str(tmp_path), wal_sync="always"
+    ).spawn()
+    try:
+        with RemoteTriggerManClient(*worker.address) as client:
+            client.command(
+                "define data source ticks as stream "
+                "(symbol varchar(8), price float)"
+            )
+            client.command(
+                "create trigger hot from ticks on insert "
+                "when ticks.price > 100 do raise event Hot(ticks.price)"
+            )
+            for i in range(rows):
+                client.conn.call(
+                    "ingest", source="ticks", operation="insert",
+                    new={"symbol": "a", "price": 200.0 + i},
+                )
+        worker.kill()
+
+        def respawn_and_drain():
+            start = time.perf_counter()
+            worker.respawn()
+            with RemoteTriggerManClient(*worker.address) as client:
+                client.process()
+            return time.perf_counter() - start
+
+        recovered = benchmark.pedantic(
+            respawn_and_drain, rounds=1, iterations=1
+        )
+        ledger = Counter(
+            record.json()["digest"]
+            for record in scan_file(
+                os.path.join(shard_dir(str(tmp_path), 0), Database.WAL_FILE)
+            )
+            if record.rtype == ACTION_FIRED
+        )
+    finally:
+        worker.terminate()
+    lost = rows - len(ledger)
+    duplicates = sum(count - 1 for count in ledger.values())
+    assert lost == 0 and duplicates == 0, (lost, duplicates)
+    summary(
+        "E14: shard-local crash recovery (kill -9 -> respawn -> replay)",
+        ["tokens", "lost", "duplicates", "recover+drain (s)"],
+        [rows, lost, duplicates, f"{recovered:.2f}"],
+    )
+    export.record(
+        "E14-recovery",
+        tokens=rows,
+        lost=lost,
+        duplicates=duplicates,
+        recover_seconds=round(recovered, 3),
+    )

@@ -9,7 +9,7 @@ clients and the trigger processor.  Two questions matter:
 * **notification fan-out latency** — insert → match → fire → ``raise
   event`` → wire push → client inbox, p50/p99 end to end.
 
-Both export to ``BENCH_PR5.json`` so future transport work (pipelining,
+Both export to ``BENCH_PR6.json`` so future transport work (pipelining,
 batch ingest frames) can be measured against this baseline.
 """
 

@@ -11,6 +11,14 @@ works in-process or against a remote trigger processor:
     python examples/stock_alerts.py                    # in-process engine
     python -m repro --serve 127.0.0.1:7437             # in one terminal
     python examples/stock_alerts.py --connect 127.0.0.1:7437   # in another
+    python examples/stock_alerts.py --cluster 4        # 4 worker processes
+                                                       # behind a coordinator
+
+The notification digest printed at the end is an order-independent hash
+of *what fired* (event, args, trigger) — per-engine sequence numbers and
+arrival order are excluded — so all three modes print the **same digest**
+for the same seed: the cluster partitions the work without changing the
+answer.
 
 Environment knobs: ``STOCK_USERS`` (triggers, default 4000),
 ``STOCK_TICKS`` (stream inserts, default 100), ``STOCK_WATCH`` (alert
@@ -91,10 +99,11 @@ def run(client, make_feed) -> None:
     metrics = client.metrics()
     notifications = drain_notifications(client)
     digest = hashlib.sha256()
-    for n in notifications:
-        digest.update(
-            f"{n.seq}:{n.event_name}:{list(n.args)}:{n.trigger_name}".encode()
-        )
+    for line in sorted(
+        f"{n.event_name}:{list(n.args)}:{n.trigger_name}"
+        for n in notifications
+    ):
+        digest.update(line.encode())
     print(f"\ntokens processed : {metrics['tokens_processed']}")
     print(f"triggers fired   : {metrics['triggers_fired']}")
     print(f"actions executed : {metrics['actions_executed']}")
@@ -109,6 +118,25 @@ def run(client, make_feed) -> None:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--cluster":
+        if len(argv) != 2 or not argv[1].isdigit():
+            print("usage: stock_alerts.py [--cluster N]")
+            return 2
+        from repro.cluster import (
+            ClusterClient,
+            ClusterCoordinator,
+            ClusterDataSourceProgram,
+        )
+
+        coordinator = ClusterCoordinator(int(argv[1])).start()
+        print(f"spawned {argv[1]} workers:", coordinator.status()["shards"])
+        client = ClusterClient(coordinator, inbox_limit=None)
+        try:
+            run(client, lambda: ClusterDataSourceProgram(client, "ticks"))
+        finally:
+            client.close()
+            coordinator.close()
+        return 0
     if argv and argv[0] == "--connect":
         if len(argv) != 2:
             print("usage: stock_alerts.py [--connect HOST:PORT]")

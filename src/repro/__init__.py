@@ -28,6 +28,12 @@ _LAZY = {
     "TriggerManServer": ("repro.net.server", "TriggerManServer"),
     "RemoteTriggerManClient": ("repro.net.remote", "RemoteTriggerManClient"),
     "RemoteDataSourceProgram": ("repro.net.remote", "RemoteDataSourceProgram"),
+    "ClusterCoordinator": ("repro.cluster.coordinator", "ClusterCoordinator"),
+    "ClusterClient": ("repro.cluster.client", "ClusterClient"),
+    "ClusterDataSourceProgram": (
+        "repro.cluster.client", "ClusterDataSourceProgram",
+    ),
+    "HashRing": ("repro.cluster.ring", "HashRing"),
 }
 
 __all__ = list(_LAZY) + ["__version__"]

@@ -18,6 +18,12 @@ Options::
     python -m repro --connect H:P    # remote console: talk to a --serve
                                      # process over the wire instead of
                                      # opening a local engine
+    python -m repro --cluster N [dir]  # spawn N worker processes (each a
+                                     # --serve engine with its own WAL under
+                                     # dir/shard-I) behind a consistent-hash
+                                     # coordinator; the REPL routes commands
+                                     # and adds cluster status | rebalance |
+                                     # ping | add | remove I | restart I
 
 Persistent instances keep a write-ahead log and run crash recovery on
 open; the console's ``checkpoint`` and ``recover`` commands expose the
@@ -73,6 +79,70 @@ def _remote_console(host: str, port: int) -> int:
         client.close()
 
 
+def _cluster_console(shards, data_dir, wal_sync, drivers) -> int:
+    """A REPL over a spawned worker fleet: ordinary TriggerMan commands are
+    routed by the coordinator; ``cluster ...`` verbs manage membership."""
+    import json
+
+    from .cluster.coordinator import ClusterCoordinator
+    from .errors import RemoteError, TriggerError
+
+    coordinator = ClusterCoordinator(
+        shards, data_dir=data_dir, wal_sync=wal_sync, drivers=drivers,
+        health_interval=2.0,
+    ).start()
+    addresses = ", ".join(
+        "{}:{}".format(*state.address)
+        for _, state in sorted(coordinator.shards.items())
+    )
+    print(f"cluster of {shards} workers up ({addresses}) — "
+          "'cluster status' for the map, 'quit' to stop the fleet")
+    try:
+        while True:
+            try:
+                line = input("tman*> ").strip()
+            except EOFError:
+                return 0
+            if not line:
+                continue
+            if line.lower() in ("quit", "exit"):
+                return 0
+            try:
+                words = line.split()
+                if words[0] != "cluster":
+                    result = coordinator.execute_command(line)
+                    if result is not None:
+                        print(result)
+                elif words[1:] == ["status"]:
+                    print(json.dumps(coordinator.status(), indent=2))
+                elif words[1:] == ["rebalance"]:
+                    print(f"moved {coordinator.rebalance()} trigger(s)")
+                elif words[1:] == ["ping"]:
+                    for shard_id, rtt in coordinator.ping_all().items():
+                        state = "down" if rtt is None else f"{rtt:.3f} ms"
+                        print(f"  shard {shard_id}: {state}")
+                elif words[1:] == ["metrics"]:
+                    print(json.dumps(coordinator.cluster_metrics(), indent=2))
+                elif words[1:] == ["add"]:
+                    print(f"spawned shard {coordinator.add_worker()}")
+                elif len(words) == 3 and words[1] == "remove":
+                    moved = coordinator.remove_worker(int(words[2]))
+                    print(f"removed shard {words[2]}; moved {moved} "
+                          "trigger(s)")
+                elif len(words) == 3 and words[1] == "restart":
+                    coordinator.restart_worker(int(words[2]))
+                    print(f"restarted shard {words[2]}")
+                else:
+                    print("cluster verbs: status | rebalance | ping | "
+                          "metrics | add | remove I | restart I")
+            except (RemoteError, TriggerError, ValueError) as exc:
+                print(f"error: {exc}")
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        coordinator.close()
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in ("-h", "--help"):
@@ -83,7 +153,7 @@ def main(argv=None) -> int:
     index = 0
     while index < len(argv):
         flag = argv[index]
-        if flag in ("--serve", "--connect") and index + 1 < len(argv):
+        if flag in ("--serve", "--connect", "--cluster") and index + 1 < len(argv):
             merged.append(f"{flag}={argv[index + 1]}")
             index += 2
         else:
@@ -95,6 +165,7 @@ def main(argv=None) -> int:
     wal_sync = "group"
     drivers = 0
     serve = connect = None
+    cluster = 0
     positional = []
     for flag in argv:
         if not flag.startswith("--"):
@@ -121,6 +192,14 @@ def main(argv=None) -> int:
             if drivers < 1:
                 print(f"bad driver count in {flag!r} (want an integer >= 1)")
                 return 2
+        elif flag.startswith("--cluster="):
+            try:
+                cluster = int(flag.split("=", 1)[1])
+            except ValueError:
+                cluster = -1
+            if cluster < 1:
+                print(f"bad worker count in {flag!r} (want an integer >= 1)")
+                return 2
         elif flag.startswith("--sync="):
             wal_sync = flag.split("=", 1)[1]
             if wal_sync not in ("off", "group", "always"):
@@ -138,6 +217,13 @@ def main(argv=None) -> int:
     if len(positional) > 1:
         print(f"expected at most one database directory, got {positional}")
         return 2
+    if cluster:
+        if serve is not None:
+            print("--cluster spawns its own servers; drop --serve")
+            return 2
+        return _cluster_console(
+            cluster, positional[0] if positional else None, wal_sync, drivers
+        )
     if positional:
         tman = TriggerMan.persistent(
             positional[0], wal=wal, wal_sync=wal_sync, observability=metrics

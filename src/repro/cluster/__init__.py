@@ -1,0 +1,48 @@
+"""``repro.cluster`` — sharded multi-process scale-out (ROADMAP item 1).
+
+The paper's §6 concurrency model (N TmanTest drivers over one task queue)
+stops at a single process, so :class:`repro.engine.drivers.DriverPool`
+parallelism is capped by the GIL.  This package goes past it using the
+PR-5 ``triggerman-wire-v1`` transport:
+
+* :class:`repro.cluster.ring.HashRing` — a deterministic consistent-hash
+  ring (SHA-1 points, 64 virtual nodes per shard by default) shared by the
+  coordinator and every worker, so any party can compute ownership;
+* :mod:`repro.cluster.routing` — pure functions from command/source text
+  to ring keys (triggers are partitioned by source + blinded-literal
+  condition structure, approximating the §5.1 expression-signature
+  equivalence class, so one class's constant sets stay co-resident);
+* :class:`repro.cluster.worker.WorkerProcess` — spawns/respawns
+  ``python -m repro.cluster.worker`` subprocesses, each bootstrapping a
+  shard-local ``TriggerMan.persistent(wal_sync=...)`` (its own WAL, its
+  own crash recovery) behind a ``--serve`` TCP endpoint on an ephemeral
+  port;
+* :class:`repro.cluster.coordinator.ClusterCoordinator` — owns the ring
+  and the shard map, routes ``create trigger`` to the owning shard, fans
+  ingest out to the shards holding triggers on the source, merges event
+  delivery back into one plane, detects dead workers by ping RTT, and
+  rebalances when membership changes;
+* :class:`repro.cluster.client.ClusterClient` /
+  :class:`~repro.cluster.client.ClusterDataSourceProgram` — thin twins of
+  the §3 client libraries, so applications written against
+  ``TriggerManClient`` run unmodified against a sharded deployment.
+
+Wire additions (all under ``triggerman-wire-v1``): the ``cluster.hello``
+op installs the shard map + epoch on a worker, ``ping`` echoes protocol
+version, shard id, and epoch, and a worker that receives a trigger it
+does not own refuses with ``E_WRONG_SHARD`` naming the owner so clients
+can redirect.
+"""
+
+from .client import ClusterClient, ClusterDataSourceProgram
+from .coordinator import ClusterCoordinator
+from .ring import HashRing
+from .worker import WorkerProcess
+
+__all__ = [
+    "ClusterClient",
+    "ClusterCoordinator",
+    "ClusterDataSourceProgram",
+    "HashRing",
+    "WorkerProcess",
+]

@@ -1,0 +1,155 @@
+"""Client facades that make a cluster look like one TriggerMan.
+
+:class:`ClusterClient` mirrors the in-process
+:class:`repro.engine.client.TriggerManClient` /
+:class:`repro.net.remote.RemoteTriggerManClient` surfaces, but routes
+through a :class:`~repro.cluster.coordinator.ClusterCoordinator`:
+commands go to the owning shard (or broadcast), ``process()`` drains all
+shards in parallel, and ``register_for_event`` subscribes on **every**
+shard and merges the pushes into one bounded inbox — a trigger lives on
+exactly one shard, so the merged stream has no duplicates.
+
+:class:`ClusterDataSourceProgram` mirrors ``DataSourceProgram`` /
+``RemoteDataSourceProgram``: each ``insert``/``delete``/``update``
+becomes an ingest descriptor fanned to the shards currently holding
+triggers on that source.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..engine.events import Notification
+from ..net.remote import DEFAULT_INBOX_LIMIT
+from .coordinator import ClusterCoordinator
+
+
+class ClusterClient:
+    """One application's handle on the whole cluster."""
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        name: str = "client",
+        *,
+        inbox_limit: Optional[int] = DEFAULT_INBOX_LIMIT,
+    ):
+        self.coordinator = coordinator
+        self.name = name
+        self.inbox_limit = inbox_limit
+        self.inbox: Deque[Notification] = deque()
+        self.inbox_drops = 0
+        self._inbox_lock = threading.Lock()
+        #: (event name, shard -> subscription id) per register call
+        self._subscriptions: List[Tuple[str, Dict[int, int]]] = []
+
+    # -- commands -----------------------------------------------------------
+
+    def command(self, text: str):
+        return self.coordinator.execute_command(text)
+
+    def create_trigger(self, text: str):
+        return self.coordinator.execute_command(text)
+
+    def drop_trigger(self, name: str):
+        return self.coordinator.execute_command(f"drop trigger {name}")
+
+    def process(self) -> int:
+        return self.coordinator.process_all()
+
+    def ping(self) -> Dict[int, Optional[float]]:
+        return self.coordinator.ping_all()
+
+    def console(self, line: str) -> str:
+        """Run one console line on every shard; concatenates the outputs
+        under ``-- shard N --`` headers (catalog views like ``show
+        signatures`` are per-shard by construction)."""
+        parts = []
+        for shard_id, state in sorted(self.coordinator.shards.items()):
+            output = state.client.console(line)
+            parts.append(f"-- shard {shard_id} --\n{output}")
+        return "\n".join(parts)
+
+    # -- observability -------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.coordinator.cluster_metrics()
+
+    def status(self) -> Dict[str, Any]:
+        return self.coordinator.status()
+
+    # -- events --------------------------------------------------------------
+
+    def _inbox_sink(self, notification: Notification) -> None:
+        with self._inbox_lock:
+            if (
+                self.inbox_limit is not None
+                and len(self.inbox) >= self.inbox_limit
+            ):
+                self.inbox.popleft()
+                self.inbox_drops += 1
+            self.inbox.append(notification)
+
+    def register_for_event(
+        self,
+        event_name: str,
+        callback: Optional[Callable[[Notification], None]] = None,
+    ) -> Dict[int, int]:
+        """Subscribe on every shard; pushes from all of them land in the
+        shared inbox (or go straight to ``callback``)."""
+        sink = callback if callback is not None else self._inbox_sink
+        subs = self.coordinator.register_for_event(event_name, sink)
+        self._subscriptions.append((event_name, subs))
+        return subs
+
+    def next_notification(self) -> Optional[Notification]:
+        with self._inbox_lock:
+            if not self.inbox:
+                return None
+            return self.inbox.popleft()
+
+    def disconnect(self) -> None:
+        """Tear down this client's subscriptions on every shard."""
+        subscriptions, self._subscriptions = self._subscriptions, []
+        for _, subs in subscriptions:
+            for shard_id, sub in subs.items():
+                state = self.coordinator.shards.get(shard_id)
+                if state is None:
+                    continue
+                state.client.conn.remove_sink(sub)
+                try:
+                    state.client.conn.call("unregister_event", sub=sub)
+                except Exception:  # noqa: BLE001 - shard may be gone
+                    pass
+
+    def close(self) -> None:
+        self.disconnect()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ClusterDataSourceProgram:
+    """A data-source feed whose updates are routed by the coordinator."""
+
+    def __init__(self, cluster, source_name: str):
+        coordinator = getattr(cluster, "coordinator", cluster)
+        self.coordinator: ClusterCoordinator = coordinator
+        self.source_name = source_name
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        self.coordinator.push(self.source_name, "insert", new=row)
+
+    def delete(self, row: Dict[str, Any]) -> None:
+        self.coordinator.push(self.source_name, "delete", old=row)
+
+    def update(self, old: Dict[str, Any], new: Dict[str, Any]) -> None:
+        self.coordinator.push(self.source_name, "update", new=new, old=old)
+
+    def close(self) -> None:  # symmetry with the other program surfaces
+        pass

@@ -1,0 +1,621 @@
+"""The cluster coordinator: ring owner, router, and failure detector.
+
+One coordinator fronts N worker processes (spawned
+:class:`~repro.cluster.worker.WorkerProcess` subprocesses, attached
+addresses, or a mix).  It owns the authoritative
+:class:`~repro.cluster.ring.HashRing` plus a monotonically increasing
+**epoch**; every membership change bumps the epoch and re-gossips the
+shard map to all workers (``cluster.hello``), so a worker holding a stale
+map refuses mis-routed triggers (``E_WRONG_SHARD``) instead of accepting
+them.
+
+Routing (see :mod:`repro.cluster.routing`):
+
+* ``create trigger`` → the ring owner of the trigger's
+  source+condition-structure key (one §5.1 equivalence class stays on one
+  shard, so its constant-set organizations are not fragmented);
+* ``drop trigger`` → the shard recorded in the trigger journal;
+* ``define data source`` and other shared-vocabulary commands →
+  broadcast (and journaled, so late-joining workers replay them);
+* **ingest** → fanned out to exactly the shards currently holding
+  triggers on that source (each shard matches only its own partition of
+  the predicate index, which is how one hot source scales past one
+  process), falling back to the ring owner of the source when no trigger
+  exists yet.
+
+Durability stays **shard-local**: each spawned worker runs on its own
+``persistent(wal_sync=...)`` directory; :meth:`restart_worker` after a
+kill replays only that worker's WAL (catalog redo + exactly-once token
+replay) — the coordinator re-gossips the map and resumes routing, and
+never needs to replay another shard's history.
+
+The failure detector rides the satellite RTT work: a background thread
+pings every worker, records round trips into the coordinator's
+``cluster.ping_rtt_ns`` histogram (per connection they also land in
+``net.client.*``), and after ``down_after`` consecutive misses marks the
+shard down (optionally auto-restarting spawned workers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import RemoteError, TriggerError
+from ..net.protocol import E_WRONG_SHARD
+from ..net.remote import RemoteTriggerManClient
+from ..obs.metrics import MetricsRegistry
+from .ring import DEFAULT_VNODES, HashRing
+from .routing import classify_command, source_key, trigger_statement_parts
+from .worker import WorkerProcess
+
+
+class ShardState:
+    """Coordinator-side bookkeeping for one shard."""
+
+    __slots__ = ("shard_id", "address", "client", "worker", "up", "misses")
+
+    def __init__(self, shard_id: int, address: Tuple[str, int],
+                 client: RemoteTriggerManClient,
+                 worker: Optional[WorkerProcess] = None):
+        self.shard_id = shard_id
+        self.address = address
+        self.client = client
+        self.worker = worker  # None for attached (externally managed) shards
+        self.up = True
+        self.misses = 0
+
+
+class ClusterCoordinator:
+    """Spawn/attach N workers, partition by consistent hash, route, merge."""
+
+    def __init__(
+        self,
+        shards: int = 0,
+        *,
+        workers: Optional[List[Tuple[str, int]]] = None,
+        data_dir: Optional[str] = None,
+        wal_sync: str = "group",
+        drivers: int = 0,
+        vnodes: int = DEFAULT_VNODES,
+        health_interval: Optional[float] = None,
+        down_after: int = 3,
+        auto_restart: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        client_kwargs: Optional[Dict[str, Any]] = None,
+    ):
+        if shards <= 0 and not workers:
+            raise TriggerError(
+                "ClusterCoordinator needs shards=N to spawn or workers=[...] "
+                "to attach"
+            )
+        self._spawn_count = shards
+        self._attach = list(workers or [])
+        self.data_dir = data_dir
+        self.wal_sync = wal_sync
+        self.drivers = drivers
+        self.ring = HashRing(vnodes=vnodes)
+        self.epoch = 0
+        self.shards: Dict[int, ShardState] = {}
+        self.health_interval = health_interval
+        self.down_after = down_after
+        self.auto_restart = auto_restart
+        self._client_kwargs = dict(client_kwargs or {})
+        self._health_thread: Optional[threading.Thread] = None
+        self._health_stop = threading.Event()
+        self._lock = threading.RLock()
+        self.started = False
+        self.closed = False
+        #: trigger name -> (ring key, command text, shard id)
+        self.triggers: Dict[str, Tuple[str, str, int]] = {}
+        #: source name (lowered) -> shard id -> trigger count (ingest fan-out)
+        self.source_triggers: Dict[str, Dict[int, int]] = {}
+        #: broadcast commands in issue order (replayed to late joiners)
+        self.broadcast_log: List[str] = []
+        # -- observability (per-shard gauges registered in start()) --------
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            enabled=True, namespace="cluster"
+        )
+        self._m_commands = self.metrics.counter(
+            "cluster.commands_routed", "commands routed to a single shard",
+            always=True,
+        )
+        self._m_broadcasts = self.metrics.counter(
+            "cluster.commands_broadcast", "commands sent to every shard",
+            always=True,
+        )
+        self._m_tokens = self.metrics.counter(
+            "cluster.tokens_routed", "ingest calls routed (per shard copy)",
+            always=True,
+        )
+        self._m_fanout = self.metrics.counter(
+            "cluster.ingest_fanout",
+            "extra shard copies beyond the first per ingested token",
+            always=True,
+        )
+        self._m_redirects = self.metrics.counter(
+            "cluster.wrong_shard_redirects",
+            "E_WRONG_SHARD refusals that forced a re-gossip + retry",
+            always=True,
+        )
+        self._m_ping_failures = self.metrics.counter(
+            "cluster.ping_failures", "failed health-check pings", always=True
+        )
+        self._m_restarts = self.metrics.counter(
+            "cluster.worker_restarts", "workers respawned after a failure",
+            always=True,
+        )
+        self._m_moved = self.metrics.counter(
+            "cluster.triggers_moved", "triggers relocated by rebalances",
+            always=True,
+        )
+        self._m_rtt = self.metrics.histogram(
+            "cluster.ping_rtt_ns", "health-check round trip per worker"
+        )
+        self._m_rebalance = self.metrics.histogram(
+            "cluster.rebalance_ns", "wall time of one rebalance pass"
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ClusterCoordinator":
+        if self.started:
+            raise TriggerError("coordinator already started")
+        next_id = 0
+        for address in self._attach:
+            self._adopt(next_id, tuple(address), worker=None)
+            next_id += 1
+        for _ in range(self._spawn_count):
+            worker = WorkerProcess(
+                next_id, data_dir=self.data_dir, wal_sync=self.wal_sync,
+                drivers=self.drivers,
+            ).spawn()
+            self._adopt(next_id, worker.address, worker)
+            next_id += 1
+        self.epoch = 1
+        self._announce()
+        self._register_views()
+        if self.health_interval:
+            self._health_thread = threading.Thread(
+                target=self._health_loop, name="cluster-health", daemon=True
+            )
+            self._health_thread.start()
+        self.started = True
+        return self
+
+    def _adopt(self, shard_id: int, address: Tuple[str, int],
+               worker: Optional[WorkerProcess]) -> ShardState:
+        client = RemoteTriggerManClient(
+            address[0], address[1], name=f"shard-{shard_id}",
+            metrics=self.metrics, **self._client_kwargs
+        )
+        state = ShardState(shard_id, address, client, worker)
+        self.shards[shard_id] = state
+        self.ring.add(shard_id)
+        return state
+
+    def _register_views(self) -> None:
+        from ..obs.views import register_cluster_views
+
+        register_cluster_views(self)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=5.0)
+        for state in self.shards.values():
+            try:
+                state.client.close()
+            except Exception:  # noqa: BLE001 - teardown must not cascade
+                pass
+            if state.worker is not None:
+                state.worker.terminate()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- gossip --------------------------------------------------------------
+
+    def _announce(self, only: Optional[int] = None) -> None:
+        """Push the shard map + epoch to every (or one) worker."""
+        members = {
+            str(shard_id): list(state.address)
+            for shard_id, state in self.shards.items()
+        }
+        ring_wire = self.ring.to_wire()
+        for shard_id, state in self.shards.items():
+            if only is not None and shard_id != only:
+                continue
+            if not state.up:
+                continue
+            try:
+                state.client.conn.call(
+                    "cluster.hello", shard=shard_id, epoch=self.epoch,
+                    members=members, ring=ring_wire,
+                )
+            except RemoteError:
+                # The failure detector (or the next routed call) will
+                # notice a genuinely dead worker; gossip is best-effort.
+                pass
+
+    # -- command routing ------------------------------------------------------
+
+    def execute_command(self, text: str) -> Any:
+        """Route one TriggerMan command to the shard(s) that must see it."""
+        kind, key = classify_command(text)
+        if kind == "trigger":
+            return self._create_trigger(text, key)
+        if kind == "drop":
+            return self._drop_trigger(text, key)
+        return self._broadcast_command(text)
+
+    #: compat alias matching the TriggerMan facade
+    command = execute_command
+
+    def create_trigger(self, text: str) -> Any:
+        return self.execute_command(text)
+
+    def _create_trigger(self, text: str, key: str) -> Any:
+        parts = trigger_statement_parts(text)
+        owner = self.ring.owner(key)
+        result = self._call_shard(owner, "command", text=text)
+        self._m_commands.inc()
+        if parts is not None:
+            name, source, _ = parts
+            self.triggers[name.lower()] = (key, text, owner)
+            per_shard = self.source_triggers.setdefault(source.lower(), {})
+            per_shard[owner] = per_shard.get(owner, 0) + 1
+        return result
+
+    def _drop_trigger(self, text: str, name: str) -> Any:
+        entry = self.triggers.get(name.lower())
+        if entry is not None:
+            key, command_text, shard = entry
+            result = self._call_shard(shard, "command", text=text)
+            self._m_commands.inc()
+            self._forget_trigger(name)
+            return result
+        # Unknown to the journal (e.g. created before attach): try every
+        # shard; the one holding it answers, the rest raise E_COMMAND.
+        last: Optional[RemoteError] = None
+        for shard_id in sorted(self.shards):
+            try:
+                result = self._call_shard(shard_id, "command", text=text)
+                self._m_commands.inc()
+                return result
+            except RemoteError as exc:
+                last = exc
+        raise last if last is not None else TriggerError("no shards")
+
+    def _forget_trigger(self, name: str) -> None:
+        entry = self.triggers.pop(name.lower(), None)
+        if entry is None:
+            return
+        key, text, shard = entry
+        parts = trigger_statement_parts(text)
+        if parts is None:
+            return
+        source = parts[1].lower()
+        per_shard = self.source_triggers.get(source)
+        if per_shard and shard in per_shard:
+            per_shard[shard] -= 1
+            if per_shard[shard] <= 0:
+                del per_shard[shard]
+
+    def _broadcast_command(self, text: str) -> Any:
+        results = self._parallel(
+            lambda state: state.client.conn.call("command", text=text)
+        )
+        self.broadcast_log.append(text)
+        self._m_broadcasts.inc()
+        # All shards executed the same shared-vocabulary command; any one
+        # result represents it.
+        return results[min(results)]
+
+    def _call_shard(self, shard_id: int, op: str, **params: Any) -> Any:
+        """One routed call, following an ``E_WRONG_SHARD`` refusal once.
+
+        The coordinator's ring is authoritative, so a refusal means the
+        worker's map is stale (pre-hello or an older epoch): re-gossip,
+        retry the computed owner, and only then follow the worker's owner
+        hint."""
+        state = self._state(shard_id)
+        try:
+            return state.client.conn.call(op, **params)
+        except RemoteError as exc:
+            if exc.code != E_WRONG_SHARD:
+                raise
+            self._m_redirects.inc()
+            self._announce()
+            try:
+                return state.client.conn.call(op, **params)
+            except RemoteError as retry_exc:
+                if retry_exc.code != E_WRONG_SHARD or not isinstance(
+                    getattr(retry_exc, "data", None), dict
+                ):
+                    raise
+                hinted = int(retry_exc.data.get("owner", shard_id))
+                if hinted == shard_id or hinted not in self.shards:
+                    raise
+                return self._state(hinted).client.conn.call(op, **params)
+
+    def _state(self, shard_id: int) -> ShardState:
+        state = self.shards.get(shard_id)
+        if state is None:
+            raise TriggerError(f"no shard {shard_id} in the cluster")
+        return state
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest_targets(self, source: str) -> List[int]:
+        per_shard = self.source_triggers.get(source.lower())
+        targets = sorted(s for s, n in (per_shard or {}).items() if n > 0)
+        if targets:
+            return targets
+        return [self.ring.owner(source_key(source))]
+
+    def push(
+        self,
+        source: str,
+        operation: str,
+        new: Optional[Dict[str, Any]] = None,
+        old: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Deliver one update descriptor to every shard that can match it;
+        returns the number of shard copies made."""
+        targets = self.ingest_targets(source)
+        for shard_id in targets:
+            self._call_shard(
+                shard_id, "ingest", source=source, operation=operation,
+                new=new, old=old,
+            )
+        self._m_tokens.inc(len(targets))
+        if len(targets) > 1:
+            self._m_fanout.inc(len(targets) - 1)
+        return len(targets)
+
+    # -- processing / events ---------------------------------------------------
+
+    def process_all(self) -> int:
+        """Drain every shard's update queue *in parallel* (each shard's
+        ``process`` runs inside its own process — this is the call that
+        actually uses N cores)."""
+        results = self._parallel(
+            lambda state: state.client.conn.call("process", timeout=120.0)
+        )
+        return sum(r for r in results.values() if isinstance(r, int))
+
+    #: compat alias matching the client surface
+    process = process_all
+
+    def register_for_event(
+        self, event_name: str, sink: Callable
+    ) -> Dict[int, int]:
+        """Merged event plane: subscribe ``sink`` on every shard (a trigger
+        lives on exactly one shard, so no notification arrives twice).
+        Returns shard id → subscription id."""
+        subs = {}
+        for shard_id, state in sorted(self.shards.items()):
+            subs[shard_id] = state.client.register_for_event(event_name, sink)
+        return subs
+
+    # -- aggregation -----------------------------------------------------------
+
+    def cluster_metrics(self) -> Dict[str, Any]:
+        """Engine headline counters summed across shards, plus routing
+        counters (``cluster.*``) from the coordinator's own registry."""
+        totals: Dict[str, Any] = {}
+        per_shard = self._parallel(lambda state: state.client.metrics())
+        for shard_id in sorted(per_shard):
+            for field, value in per_shard[shard_id].items():
+                if isinstance(value, (int, float)):
+                    totals[field] = totals.get(field, 0) + value
+        totals["shards"] = len(self.shards)
+        totals["epoch"] = self.epoch
+        totals["commands_routed"] = self._m_commands.value
+        totals["tokens_routed"] = self._m_tokens.value
+        totals["wrong_shard_redirects"] = self._m_redirects.value
+        return totals
+
+    #: compat alias matching the client surface
+    metrics_snapshot = cluster_metrics
+
+    def status(self) -> Dict[str, Any]:
+        shards = {}
+        for shard_id, state in sorted(self.shards.items()):
+            rtt_ns = state.client.conn.last_rtt_ns
+            shards[shard_id] = {
+                "address": list(state.address),
+                "spawned": state.worker is not None,
+                "up": state.up,
+                "restarts": state.worker.restarts if state.worker else 0,
+                "rtt_ms": round(rtt_ns / 1e6, 3) if rtt_ns else None,
+                "triggers": sum(
+                    1 for _, _, shard in self.triggers.values()
+                    if shard == shard_id
+                ),
+            }
+        return {
+            "epoch": self.epoch,
+            "vnodes": self.ring.vnodes,
+            "shards": shards,
+            "triggers_tracked": len(self.triggers),
+            "wrong_shard_redirects": self._m_redirects.value,
+            "triggers_moved": self._m_moved.value,
+            "worker_restarts": self._m_restarts.value,
+        }
+
+    # -- membership / rebalancing ----------------------------------------------
+
+    def add_worker(self) -> int:
+        """Spawn and adopt one more shard, then rebalance onto it."""
+        with self._lock:
+            shard_id = max(self.shards) + 1 if self.shards else 0
+            worker = WorkerProcess(
+                shard_id, data_dir=self.data_dir, wal_sync=self.wal_sync,
+                drivers=self.drivers,
+            ).spawn()
+            self._adopt(shard_id, worker.address, worker)
+            self._register_views()  # idempotent; adds the new shard's gauge
+            self.epoch += 1
+            self._announce()
+            # Late joiner: replay the shared vocabulary before any trigger
+            # can be moved onto it.
+            for text in self.broadcast_log:
+                self._state(shard_id).client.conn.call("command", text=text)
+            self.rebalance()
+            return shard_id
+
+    def remove_worker(self, shard_id: int) -> int:
+        """Drain a shard's triggers to the survivors, then drop it."""
+        with self._lock:
+            state = self._state(shard_id)
+            if len(self.shards) == 1:
+                raise TriggerError("cannot remove the last shard")
+            self.ring.remove(shard_id)
+            self.epoch += 1
+            moved = self.rebalance(drain_from=shard_id)
+            del self.shards[shard_id]
+            self._announce()
+            try:
+                state.client.close()
+            finally:
+                if state.worker is not None:
+                    state.worker.terminate()
+            return moved
+
+    def rebalance(self, drain_from: Optional[int] = None) -> int:
+        """Move every journaled trigger whose ring owner changed: create on
+        the new owner first, then drop from the old (a trigger is never
+        unplaced; at worst a token fires it on the old shard until the
+        drop lands — the same at-least-once window a single-process WAL
+        replay already has)."""
+        moved = 0
+        with self._m_rebalance.time():
+            for name, (key, text, shard) in list(self.triggers.items()):
+                owner = self.ring.owner(key)
+                if owner == shard:
+                    continue
+                self._call_shard(owner, "command", text=text)
+                old_state = self.shards.get(shard)
+                if old_state is not None and (shard != drain_from
+                                              or old_state.up):
+                    try:
+                        drop = f"drop trigger {name}"
+                        old_state.client.conn.call("command", text=drop)
+                    except RemoteError:
+                        pass  # old shard dead: nothing to drop
+                self._forget_trigger(name)
+                parts = trigger_statement_parts(text)
+                self.triggers[name] = (key, text, owner)
+                if parts is not None:
+                    source = parts[1].lower()
+                    per_shard = self.source_triggers.setdefault(source, {})
+                    per_shard[owner] = per_shard.get(owner, 0) + 1
+                moved += 1
+                self._m_moved.inc()
+        return moved
+
+    def restart_worker(self, shard_id: int) -> None:
+        """Respawn a (dead or live) spawned worker on its data directory —
+        shard-local WAL recovery runs in the new process — then reconnect,
+        bump the epoch (the port changed), and re-gossip."""
+        with self._lock:
+            state = self._state(shard_id)
+            if state.worker is None:
+                raise TriggerError(
+                    f"shard {shard_id} was attached, not spawned; "
+                    "restart it externally"
+                )
+            try:
+                state.client.close()
+            except Exception:  # noqa: BLE001
+                pass
+            state.worker.respawn()
+            state.address = state.worker.address
+            state.client = RemoteTriggerManClient(
+                state.address[0], state.address[1],
+                name=f"shard-{shard_id}", metrics=self.metrics,
+                **self._client_kwargs
+            )
+            state.up = True
+            state.misses = 0
+            self.epoch += 1
+            self._m_restarts.inc()
+            self._announce()
+            if state.worker.data_dir is None:
+                # Volatile worker: its catalog died with it; replay the
+                # shared vocabulary plus its journaled triggers.
+                for text in self.broadcast_log:
+                    state.client.conn.call("command", text=text)
+                for name, (key, text, shard) in self.triggers.items():
+                    if shard == shard_id:
+                        state.client.conn.call("command", text=text)
+
+    # -- failure detection -------------------------------------------------------
+
+    def ping_all(self) -> Dict[int, Optional[float]]:
+        """One failure-detector sweep; returns shard id → RTT ms (None for
+        a failed ping)."""
+        rtts: Dict[int, Optional[float]] = {}
+        for shard_id, state in sorted(self.shards.items()):
+            try:
+                state.client.conn.call("ping", timeout=5.0)
+                rtt_ns = state.client.conn.last_rtt_ns or 0
+                self._m_rtt.observe(rtt_ns)
+                rtts[shard_id] = rtt_ns / 1e6
+                state.misses = 0
+                state.up = True
+            except (RemoteError, OSError):
+                self._m_ping_failures.inc()
+                state.misses += 1
+                rtts[shard_id] = None
+                if state.misses >= self.down_after:
+                    state.up = False
+                    if self.auto_restart and state.worker is not None:
+                        try:
+                            self.restart_worker(shard_id)
+                        except Exception:  # noqa: BLE001 - retried next sweep
+                            pass
+        return rtts
+
+    def _health_loop(self) -> None:
+        while not self._health_stop.wait(self.health_interval):
+            if self.closed:
+                return
+            self.ping_all()
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _parallel(
+        self, call: Callable[[ShardState], Any]
+    ) -> Dict[int, Any]:
+        """Run one call against every shard concurrently; raises the first
+        failure after all complete."""
+        results: Dict[int, Any] = {}
+        errors: Dict[int, BaseException] = {}
+
+        def run(shard_id: int, state: ShardState) -> None:
+            try:
+                results[shard_id] = call(state)
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors[shard_id] = exc
+
+        threads = [
+            threading.Thread(target=run, args=item, daemon=True)
+            for item in self.shards.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[min(errors)]
+        return results

@@ -1,0 +1,98 @@
+"""Pure routing functions: command text → ring key → owning shard.
+
+Both the coordinator (to route) and every worker (to verify ownership and
+refuse with ``E_WRONG_SHARD``) compute keys from the *same* text with the
+*same* functions, so routing decisions are reproducible in any process —
+the property the ring's cross-process determinism test pins down.
+
+Triggers are keyed by ``trig:<source>:<structure>`` where *structure* is
+the trigger condition with literal constants blinded and case/whitespace
+normalized.  That approximates the §5.1 expression-signature equivalence
+class cheaply: ``price > 100`` and ``price > 250`` share a structure, so
+one class's constant sets (the mm-list / mm-index / constant-table
+organizations of §5.2) stay co-resident on one shard instead of being
+sprayed across the cluster.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from ..lang import ast
+from ..lang.parser import parse_command
+
+#: quoted strings, then numbers (floats before ints is irrelevant: one
+#: pattern with optional fraction/exponent covers both)
+_LITERAL = re.compile(
+    r"'(?:[^']|'')*'"          # SQL string literal (with '' escapes)
+    r"|\b\d+(?:\.\d+)?(?:[eE][+-]?\d+)?\b"  # numeric literal
+)
+_WS = re.compile(r"\s+")
+
+
+def blind_condition(text: str) -> str:
+    """Literal-blinded, case/whitespace-normalized condition structure."""
+    blinded = _LITERAL.sub("?", text)
+    return _WS.sub(" ", blinded).strip().lower()
+
+
+def trigger_key(source: str, condition: Optional[str]) -> str:
+    structure = blind_condition(condition) if condition else "-"
+    return f"trig:{source.lower()}:{structure}"
+
+
+def source_key(source: str) -> str:
+    return f"src:{source.lower()}"
+
+
+def _condition_text(command_text: str) -> Optional[str]:
+    """The raw ``when ... `` clause of a create-trigger command (up to the
+    ``group by`` / ``having`` / ``do`` keyword), or None without one."""
+    match = re.search(r"\bwhen\b(.*)", command_text, re.IGNORECASE | re.DOTALL)
+    if match is None:
+        return None
+    clause = match.group(1)
+    cut = re.search(r"\b(do|group\s+by|having)\b", clause, re.IGNORECASE)
+    return clause[: cut.start()] if cut else clause
+
+
+def classify_command(text: str) -> Tuple[str, Optional[str]]:
+    """Classify one command for routing.
+
+    Returns ``(kind, key)`` where kind is one of:
+
+    * ``"trigger"``  — key is the trigger's ring key (route to owner);
+    * ``"drop"``     — key is the trigger *name* (route via the name map);
+    * ``"broadcast"``— key is None (define data source, trigger sets,
+      enable/disable by set, and anything unrecognized: every shard must
+      agree on shared vocabulary).
+
+    Unparseable text classifies as broadcast — the owning shard(s) will
+    produce the authoritative parse error.
+    """
+    try:
+        statement = parse_command(text)
+    except Exception:  # noqa: BLE001 - let the shard report the parse error
+        return "broadcast", None
+    if isinstance(statement, ast.CreateTriggerStatement):
+        source = statement.from_list[0].source if statement.from_list else ""
+        return "trigger", trigger_key(source, _condition_text(text))
+    if isinstance(statement, ast.DropTriggerStatement):
+        return "drop", statement.name
+    return "broadcast", None
+
+
+def trigger_statement_parts(
+    text: str,
+) -> Optional[Tuple[str, str, str]]:
+    """``(trigger_name, source, ring_key)`` for a create-trigger command,
+    or None for anything else."""
+    try:
+        statement = parse_command(text)
+    except Exception:  # noqa: BLE001
+        return None
+    if not isinstance(statement, ast.CreateTriggerStatement):
+        return None
+    source = statement.from_list[0].source if statement.from_list else ""
+    return statement.name, source, trigger_key(source, _condition_text(text))

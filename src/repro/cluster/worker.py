@@ -1,0 +1,241 @@
+"""One cluster shard: a ``--serve`` TriggerMan in its own process.
+
+``python -m repro.cluster.worker --shard I --data DIR`` bootstraps a
+shard-local engine — ``TriggerMan.persistent(DIR/shard-I, wal_sync=...)``
+— so every shard keeps its **own WAL and runs its own crash recovery**:
+a worker that dies is restarted on the same directory and replays only
+its local log (catalog redo + exactly-once token replay), with no
+cluster-wide coordination.  The worker announces its actual bound
+address on stdout::
+
+    cluster-worker shard=2 serving on 127.0.0.1:40513
+
+which is how :class:`WorkerProcess` (and tests) learn the ephemeral port
+without a race.  The shard map itself arrives later over the wire
+(``cluster.hello`` from the coordinator), so a bare worker is just a
+normal ``triggerman-wire-v1`` server until it is adopted.
+
+:class:`WorkerProcess` is the coordinator-side handle: spawn, await the
+announce line, kill (the crash-test path), and respawn on the same data
+directory.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+from typing import IO, List, Optional, Tuple
+
+from ..errors import TriggerError
+
+#: stdout announce prefix (parsed by WorkerProcess.wait_ready and tests)
+ANNOUNCE = "cluster-worker"
+
+
+def shard_dir(data_dir: str, shard_id: int) -> str:
+    return os.path.join(data_dir, f"shard-{shard_id}")
+
+
+class WorkerProcess:
+    """Spawn and supervise one worker subprocess.
+
+    ``data_dir=None`` runs the worker in-memory (no WAL — fine for
+    benchmarks that only measure throughput); with a directory the worker
+    is fully durable and :meth:`respawn` after :meth:`kill` exercises
+    shard-local WAL recovery.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        data_dir: Optional[str] = None,
+        host: str = "127.0.0.1",
+        wal_sync: str = "group",
+        drivers: int = 0,
+        env: Optional[dict] = None,
+        ready_timeout: float = 30.0,
+    ):
+        self.shard_id = shard_id
+        self.data_dir = data_dir
+        self.host = host
+        self.wal_sync = wal_sync
+        self.drivers = drivers
+        self.ready_timeout = ready_timeout
+        self._env = env
+        self.process: Optional[subprocess.Popen] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.restarts = 0
+        #: stdout lines printed before the announce (the recovery report)
+        self.banner: List[str] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _argv(self) -> List[str]:
+        argv = [
+            sys.executable, "-m", "repro.cluster.worker",
+            f"--shard={self.shard_id}",
+            f"--listen={self.host}:0",
+            f"--sync={self.wal_sync}",
+        ]
+        if self.data_dir is not None:
+            argv.append(f"--data={shard_dir(self.data_dir, self.shard_id)}")
+        if self.drivers:
+            argv.append(f"--drivers={self.drivers}")
+        return argv
+
+    def spawn(self) -> "WorkerProcess":
+        if self.process is not None and self.process.poll() is None:
+            raise TriggerError(f"worker {self.shard_id} is already running")
+        env = dict(os.environ if self._env is None else self._env)
+        env.setdefault("PYTHONUNBUFFERED", "1")
+        env.setdefault("PYTHONFAULTHANDLER", "1")
+        # The worker imports repro from the same tree this process did.
+        repro_src = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            repro_src + (os.pathsep + existing if existing else "")
+        )
+        self.process = subprocess.Popen(
+            self._argv(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            stdin=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        self.address = self._wait_ready(self.process.stdout)
+        return self
+
+    def _wait_ready(self, stdout: IO[str]) -> Tuple[str, int]:
+        """Parse the announce line (a reader thread enforces the timeout —
+        ``readline`` alone would hang forever on a worker that dies before
+        announcing).  Pre-announce output (the recovery report) is kept in
+        :attr:`banner`."""
+        result: List[str] = []
+        self.banner = []
+
+        def read() -> None:
+            while True:
+                line = stdout.readline()
+                if not line:
+                    return
+                if line.startswith(ANNOUNCE):
+                    result.append(line.strip())
+                    return
+                self.banner.append(line.strip())
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(self.ready_timeout)
+        if not result:
+            self.terminate()
+            raise TriggerError(
+                f"worker {self.shard_id} did not announce within "
+                f"{self.ready_timeout}s"
+            )
+        # "cluster-worker shard=I serving on HOST:PORT"
+        address = result[0].split()[-1]
+        host, _, port = address.rpartition(":")
+        return host, int(port)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the crash-test path (no quiesce, no WAL flush)."""
+        if self.process is not None:
+            try:
+                self.process.kill()
+            except OSError:
+                pass
+            self.process.wait()
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """SIGTERM and reap (graceful: the worker quiesces its server)."""
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            try:
+                self.process.terminate()
+            except OSError:
+                pass
+            try:
+                self.process.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+    def respawn(self) -> "WorkerProcess":
+        """Restart on the same data directory (shard-local WAL recovery
+        runs in the new process before it announces)."""
+        if self.alive:
+            self.terminate(0.5)
+        self.restarts += 1
+        return self.spawn()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shard_id = 0
+    listen = ("127.0.0.1", 0)
+    data: Optional[str] = None
+    wal_sync = "group"
+    drivers = 0
+    for flag in argv:
+        if flag.startswith("--shard="):
+            shard_id = int(flag.split("=", 1)[1])
+        elif flag.startswith("--listen="):
+            host, _, port = flag.split("=", 1)[1].rpartition(":")
+            listen = (host, int(port))
+        elif flag.startswith("--data="):
+            data = flag.split("=", 1)[1]
+        elif flag.startswith("--sync="):
+            wal_sync = flag.split("=", 1)[1]
+        elif flag.startswith("--drivers="):
+            drivers = int(flag.split("=", 1)[1])
+        else:
+            print(f"unknown option {flag}", file=sys.stderr)
+            return 2
+
+    from ..engine.triggerman import TriggerMan
+
+    if data is not None:
+        os.makedirs(data, exist_ok=True)
+        tman = TriggerMan.persistent(data, wal_sync=wal_sync)
+        recovery = tman.catalog_db.recovery
+        if recovery is not None:
+            # Goes out *before* the announce line, so supervisors reading
+            # up to it still capture the recovery report.
+            print(f"recovery shard={shard_id}: {recovery.summary()}",
+                  flush=True)
+    else:
+        tman = TriggerMan.in_memory()
+    if drivers:
+        tman.start_drivers(drivers)
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+
+    server = tman.serve(*listen)
+    print(
+        f"{ANNOUNCE} shard={shard_id} serving on "
+        "{}:{}".format(*server.connect_address),
+        flush=True,
+    )
+    try:
+        stop.wait()
+    finally:
+        tman.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -92,10 +92,14 @@ class RemoteError(ReproError):
     """An error reported by (or while talking to) a remote trigger
     processor.  ``code`` is a stable ``triggerman-wire-v1`` error code;
     ``retryable`` tells clients whether backing off and resending is
-    sensible (backpressure, timeouts) or pointless (parse errors)."""
+    sensible (backpressure, timeouts) or pointless (parse errors).
+    ``data`` carries structured detail for codes that have any — e.g.
+    ``E_WRONG_SHARD`` names the owning shard and its address so the
+    caller can redirect."""
 
     def __init__(self, message: str, code: str = "E_INTERNAL",
-                 retryable: bool = False):
+                 retryable: bool = False, data=None):
         self.code = code
         self.retryable = retryable
+        self.data = data
         super().__init__(f"[{code}] {message}")

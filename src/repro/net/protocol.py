@@ -58,6 +58,8 @@ E_SHUTTING_DOWN = "E_SHUTTING_DOWN"  # server quiescing; no new commands
 E_TIMEOUT = "E_TIMEOUT"          # client-side: no response in time
 E_CONNECTION = "E_CONNECTION"    # client-side: transport failed mid-call
 E_INTERNAL = "E_INTERNAL"        # unexpected server-side exception
+E_WRONG_SHARD = "E_WRONG_SHARD"  # cluster: this shard does not own the key
+                                 # (error data names the owner to redirect to)
 
 #: codes a client may retry after backing off
 RETRYABLE = frozenset({E_BACKPRESSURE, E_TIMEOUT})
@@ -129,14 +131,16 @@ def error_response(
     code: str,
     message: str,
     retryable: Optional[bool] = None,
+    data: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     if retryable is None:
         retryable = code in RETRYABLE
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {"code": code, "message": message, "retryable": retryable},
+    error: Dict[str, Any] = {
+        "code": code, "message": message, "retryable": retryable,
     }
+    if data is not None:
+        error["data"] = data
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def event_frame(notification_wire: Dict[str, Any], sub: int) -> Dict[str, Any]:

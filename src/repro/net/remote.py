@@ -15,7 +15,12 @@ Transport robustness lives here, not in application code:
   control) are retried up to ``retries`` times with exponential backoff and
   full jitter;
 * pushed notifications land in a **bounded inbox** with drop-oldest
-  semantics and a drop counter, matching the in-process client.
+  semantics and a drop counter, matching the in-process client;
+* every completed call records its **round-trip latency**:
+  ``RemoteConnection.last_rtt_ns`` always holds the most recent RTT, and a
+  metrics registry passed as ``metrics=`` additionally collects
+  ``net.client.rtt_ns`` (all ops) and ``net.client.<op>_ns`` histograms —
+  the cluster coordinator's failure detector reads these.
 """
 
 from __future__ import annotations
@@ -49,6 +54,8 @@ class _Waiter:
         self.payload: Any = None
 
     def resolve(self, ok: bool, payload: Any) -> None:
+        if self.event.is_set():
+            return  # first resolution wins (a response beat connection loss)
         self.ok = ok
         self.payload = payload
         self.event.set()
@@ -73,6 +80,7 @@ class RemoteConnection:
         backoff_cap: float = 2.0,
         max_frame: int = MAX_FRAME,
         connect_timeout: float = 5.0,
+        metrics=None,
     ):
         self.host = host
         self.port = port
@@ -81,6 +89,15 @@ class RemoteConnection:
         self.backoff = backoff
         self.backoff_cap = backoff_cap
         self.max_frame = max_frame
+        #: most recent successful call's round trip, in nanoseconds
+        self.last_rtt_ns: Optional[int] = None
+        self._metrics = metrics
+        self._m_rtt = (
+            metrics.histogram(
+                "net.client.rtt_ns", "round trip of any remote call"
+            )
+            if metrics is not None else None
+        )
         self._sock = socket.create_connection(
             (host, port), timeout=connect_timeout
         )
@@ -122,6 +139,7 @@ class RemoteConnection:
     def _call_once(self, op: str, timeout: float, params: Dict[str, Any]) -> Any:
         if self.closed:
             raise RemoteError("connection is closed", E_CONNECTION)
+        start_ns = time.perf_counter_ns()
         request_id = next(self._request_ids)
         waiter = _Waiter()
         with self._pending_lock:
@@ -144,13 +162,23 @@ class RemoteConnection:
             with self._pending_lock:
                 self._pending.pop(request_id, None)
         if waiter.ok:
+            self._record_rtt(op, time.perf_counter_ns() - start_ns)
             return waiter.payload
         error = waiter.payload or {}
         raise RemoteError(
             error.get("message", "remote error"),
             error.get("code", protocol.E_INTERNAL),
             retryable=bool(error.get("retryable")),
+            data=error.get("data"),
         )
+
+    def _record_rtt(self, op: str, elapsed_ns: int) -> None:
+        self.last_rtt_ns = elapsed_ns
+        if self._metrics is not None:
+            self._m_rtt.observe(elapsed_ns)
+            self._metrics.histogram(
+                f"net.client.{op}_ns", f"round trip of remote {op!r}"
+            ).observe(elapsed_ns)
 
     # -- receiver -----------------------------------------------------------
 
@@ -172,7 +200,10 @@ class RemoteConnection:
     def _dispatch_response(self, payload: Dict[str, Any]) -> None:
         request_id, ok, body = protocol.parse_response(payload)
         with self._pending_lock:
-            waiter = self._pending.get(request_id)
+            # Pop, don't peek: if the server drops the link right after
+            # responding (e.g. `shutdown`), _fail_pending must not clobber
+            # an already-answered call with "connection lost".
+            waiter = self._pending.pop(request_id, None)
         if waiter is not None:
             waiter.resolve(ok, body)
 

@@ -46,6 +46,7 @@ from .protocol import (
     E_PARSE,
     E_SHUTTING_DOWN,
     E_UNKNOWN_OP,
+    E_WRONG_SHARD,
     MAX_FRAME,
     WIRE_SCHEMA,
 )
@@ -78,6 +79,7 @@ class _Connection:
         self.rfile = _CountingFile(sock.makefile("rb"), server.count_bytes_in)
         self._outbox: Deque[bytes] = deque()
         self._events_queued = 0  # event frames currently in the outbox
+        self._writing = False  # writer holds popped frames not yet sent
         self._lock = threading.Lock()
         self._writable = threading.Condition(self._lock)
         self.closed = False
@@ -153,7 +155,7 @@ class _Connection:
         closing a connection that was just sent an error frame)."""
         deadline = time.monotonic() + timeout
         with self._writable:
-            while self._outbox and not self.closed:
+            while (self._outbox or self._writing) and not self.closed:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return
@@ -194,6 +196,9 @@ class _Connection:
                 frames = list(self._outbox)
                 self._outbox.clear()
                 self._events_queued = 0
+                # flush() must not return while these frames are in flight:
+                # the outbox is empty now, but sendall hasn't happened yet.
+                self._writing = bool(frames)
                 done = self.closed and not frames
             if frames:
                 try:
@@ -205,6 +210,7 @@ class _Connection:
                     self.close()
                     return
                 with self._writable:
+                    self._writing = False
                     if not self._outbox:
                         self._writable.notify_all()  # wake flush() waiters
             if done:
@@ -265,6 +271,9 @@ class TriggerManServer:
         self.drain_timeout = drain_timeout
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
+        #: cluster membership installed by ``cluster.hello`` (shard id,
+        #: epoch, member addresses, and the shared consistent-hash ring)
+        self.cluster: Optional[Dict[str, Any]] = None
         self._connections: Dict[int, _Connection] = {}
         self._conn_lock = threading.Lock()
         self._conn_ids = itertools.count(1)
@@ -323,7 +332,23 @@ class TriggerManServer:
 
     @property
     def address(self) -> Tuple[str, int]:
+        """The bound address.  ``start()`` rewrites an ephemeral port
+        request (port 0) to the port the kernel actually assigned, so
+        after ``start()`` this is always the real listening address —
+        workers can be spawned on port 0 without port races."""
         return (self.host, self.port)
+
+    @property
+    def connect_address(self) -> Tuple[str, int]:
+        """A *connectable* form of :attr:`address`: a wildcard bind
+        (``0.0.0.0`` / ``::`` / ``""``) is reported as loopback, since
+        clients cannot ``connect()`` to the wildcard address."""
+        host = self.host
+        if host in ("", "0.0.0.0"):
+            host = "127.0.0.1"
+        elif host == "::":
+            host = "::1"
+        return (host, self.port)
 
     def _accept_loop(self) -> None:
         assert self._listener is not None
@@ -435,7 +460,8 @@ class TriggerManServer:
                 )
             )
             return
-        handler = getattr(self, f"_op_{op}", None)
+        # Dotted op names (``cluster.hello``) map to underscore handlers.
+        handler = getattr(self, "_op_" + op.replace(".", "_"), None)
         if handler is None:
             connection.send(
                 protocol.error_response(
@@ -459,7 +485,7 @@ class TriggerManServer:
             connection.send(
                 protocol.error_response(
                     request_id, refused.code, str(refused),
-                    retryable=refused.retryable,
+                    retryable=refused.retryable, data=refused.data,
                 )
             )
         except ReproError as exc:
@@ -476,10 +502,76 @@ class TriggerManServer:
     # -- ops ----------------------------------------------------------------
 
     def _op_ping(self, connection, payload):
-        return {"schema": WIRE_SCHEMA, "engine": "triggerman"}
+        """Health check: protocol-version echo plus liveness detail.  The
+        cluster coordinator's failure detector calls this periodically and
+        reads the round-trip latency off the client connection."""
+        result = {
+            "schema": WIRE_SCHEMA,
+            "version": WIRE_SCHEMA,
+            "engine": "triggerman",
+            "queue_depth": len(self.tman.queue),
+            "quiescing": self._quiescing,
+        }
+        if self.cluster is not None:
+            result["shard"] = self.cluster["shard"]
+            result["epoch"] = self.cluster["epoch"]
+        return result
 
     def _op_command(self, connection, payload):
-        return self.tman.execute_command(_require_str(payload, "text"))
+        text = _require_str(payload, "text")
+        self._check_shard_ownership(text)
+        return self.tman.execute_command(text)
+
+    def _check_shard_ownership(self, text: str) -> None:
+        """In cluster mode, refuse trigger definitions this shard does not
+        own (``E_WRONG_SHARD``, naming the owner) so a client holding a
+        stale shard map redirects instead of mis-placing the trigger."""
+        if self.cluster is None:
+            return
+        from ..cluster.routing import classify_command
+
+        kind, key = classify_command(text)
+        if kind != "trigger":
+            return
+        owner = self.cluster["ring"].owner(key)
+        me = self.cluster["shard"]
+        if owner != me:
+            raise _Refused(
+                E_WRONG_SHARD,
+                f"key {key!r} is owned by shard {owner}, not shard {me} "
+                f"(epoch {self.cluster['epoch']})",
+                data={
+                    "owner": owner,
+                    "address": self.cluster["members"].get(str(owner)),
+                    "epoch": self.cluster["epoch"],
+                },
+            )
+
+    def _op_cluster_hello(self, connection, payload):
+        """Install (or refresh) this worker's view of the cluster: its own
+        shard id, the map epoch, every member's address, and the shared
+        ring.  Stale epochs are refused so a laggard coordinator cannot
+        roll back a newer map."""
+        from ..cluster.ring import HashRing
+
+        epoch = payload.get("epoch")
+        shard = payload.get("shard")
+        if not isinstance(epoch, int) or not isinstance(shard, int):
+            raise _Refused(
+                E_PARSE, "cluster.hello needs integer 'shard' and 'epoch'"
+            )
+        if self.cluster is not None and epoch < self.cluster["epoch"]:
+            raise _Refused(
+                E_COMMAND,
+                f"stale epoch {epoch} < {self.cluster['epoch']}",
+            )
+        self.cluster = {
+            "shard": shard,
+            "epoch": epoch,
+            "members": dict(payload.get("members") or {}),
+            "ring": HashRing.from_wire(payload["ring"]),
+        }
+        return {"shard": shard, "epoch": epoch, "schema": WIRE_SCHEMA}
 
     def _op_sql(self, connection, payload):
         return self.tman.execute_sql(_require_str(payload, "text"))
@@ -561,9 +653,11 @@ class _Responded(Exception):
 class _Refused(ReproError):
     """Internal: a handler refusing a request with a specific wire code."""
 
-    def __init__(self, code: str, message: str, retryable: bool = False):
+    def __init__(self, code: str, message: str, retryable: bool = False,
+                 data: Optional[Dict[str, Any]] = None):
         self.code = code
         self.retryable = retryable
+        self.data = data
         super().__init__(message)
 
 

@@ -16,6 +16,39 @@ kind mismatch).
 from __future__ import annotations
 
 
+def register_cluster_views(coordinator) -> None:
+    """Bind cluster-shape gauges to the coordinator's metrics registry.
+
+    Same callback-gauge pattern as the engine views: membership, epoch,
+    failure-detector verdicts, and journal size are read only at snapshot
+    time.  Per-shard liveness appears as ``cluster.shard.<id>.up`` so a
+    scrape can tell *which* member the detector distrusts, not just how
+    many."""
+    gauge = coordinator.metrics.gauge
+    shards = coordinator.shards
+    gauge("cluster.shards", "cluster members", callback=lambda: len(shards))
+    gauge(
+        "cluster.epoch", "current shard-map epoch",
+        callback=lambda: coordinator.epoch,
+    )
+    gauge(
+        "cluster.shards_up", "members the failure detector trusts",
+        callback=lambda: sum(1 for s in shards.values() if s.up),
+    )
+    gauge(
+        "cluster.triggers_tracked", "journaled trigger placements",
+        callback=lambda: len(coordinator.triggers),
+    )
+    for shard_id in shards:
+        gauge(
+            f"cluster.shard.{shard_id}.up",
+            "1 while the failure detector trusts this member",
+            callback=lambda sid=shard_id: int(
+                sid in shards and shards[sid].up
+            ),
+        )
+
+
 def register_engine_views(tman) -> None:
     """Bind every component-stats view to ``tman.obs.metrics``."""
     gauge = tman.obs.metrics.gauge

@@ -129,6 +129,18 @@ def scan_records(data: bytes) -> Tuple[List[WalRecord], int]:
     return records, offset
 
 
+def scan_file(path: str) -> List[WalRecord]:
+    """Offline scan of a log file (read-only, tolerates a torn tail).
+
+    For auditing tools and tests that compare durable ledgers across
+    processes — e.g. checking a cluster's per-shard ``ACTION_FIRED``
+    records against a single-process oracle — without opening the log
+    for appends."""
+    with open(path, "rb") as fh:
+        records, _valid = scan_records(fh.read())
+    return records
+
+
 class LogStorage:
     """Backend byte store for the log.  ``append`` must be durable once
     ``sync`` returns; implementations may buffer before that."""

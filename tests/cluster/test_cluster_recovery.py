@@ -1,0 +1,156 @@
+"""Kill -9 a worker, respawn it, and audit the durable firing ledger.
+
+The exactly-once story must survive sharding: each worker's ACTION_FIRED
+ledger lives in its *own* WAL, recovery is shard-local, and the union of
+the per-shard ledgers must equal — as a multiset of (trigger, digest)
+pairs, digests being content-based — the ledger a single-process oracle
+produces for the same workload.  No firing lost, none duplicated.
+"""
+
+import os
+
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.routing import trigger_key
+from repro.cluster.worker import shard_dir
+from repro.engine.triggerman import TriggerMan
+from repro.sql.database import Database
+from repro.wal.log import ACTION_FIRED, scan_file
+
+pytestmark = pytest.mark.slow
+
+DEFINE = (
+    "define data source {0} as stream (symbol varchar(8), price float)"
+)
+
+
+def _trigger(name, source):
+    return (
+        f"create trigger {name} from {source} on insert "
+        f"when {source}.price > 100 do raise event Hit{name}({source}.price)"
+    )
+
+
+def _rows(count, offset=0):
+    return [
+        {"symbol": f"s{i % 3}", "price": float(50 + 7 * (i + offset))}
+        for i in range(count)
+    ]
+
+
+def _ledger(wal_path):
+    """The (trigger, digest) multiset of one WAL's ACTION_FIRED records."""
+    return sorted(
+        (record.json()["trigger"], record.json()["digest"])
+        for record in scan_file(wal_path)
+        if record.rtype == ACTION_FIRED
+    )
+
+
+def _sources_on_both_shards(ring):
+    """Two source names whose trigger keys land on different shards."""
+    first = "ticks"
+    first_owner = ring.owner(trigger_key(first, f"{first}.price > 100"))
+    for i in range(1000):
+        name = f"alt{i}"
+        if ring.owner(trigger_key(name, f"{name}.price > 100")) != first_owner:
+            return first, name
+    raise AssertionError("no second-shard source found")
+
+
+def test_killed_worker_recovers_its_own_wal_exactly_once(tmp_path):
+    cluster_dir = str(tmp_path / "cluster")
+    oracle_dir = str(tmp_path / "oracle")
+
+    coordinator = ClusterCoordinator(
+        shards=2, data_dir=cluster_dir, wal_sync="always"
+    ).start()
+    try:
+        src_a, src_b = _sources_on_both_shards(coordinator.ring)
+        for source in (src_a, src_b):
+            coordinator.execute_command(DEFINE.format(source))
+            coordinator.execute_command(_trigger(f"on_{source}", source))
+        assert len({s for _, _, s in coordinator.triggers.values()}) == 2
+
+        # Phase 1: fired and durable before the crash.
+        for source in (src_a, src_b):
+            for row in _rows(10):
+                coordinator.push(source, "insert", new=row)
+        assert coordinator.process_all() == 20
+
+        # Phase 2: ingested (ACKed durable under sync=always) but NOT yet
+        # processed — the tokens the restarted worker must replay.
+        victim = coordinator.triggers[f"on_{src_a}"][2]
+        for source in (src_a, src_b):
+            for row in _rows(10, offset=100):
+                coordinator.push(source, "insert", new=row)
+        coordinator.shards[victim].worker.kill()  # SIGKILL, no flush
+
+        coordinator.restart_worker(victim)
+        assert coordinator.shards[victim].worker.restarts == 1
+        assert coordinator.epoch == 2
+        # The survivor drains its half; the restarted worker replays the
+        # tokens its WAL preserved and then drains them.
+        assert coordinator.process_all() >= 10
+        # Post-recovery the shard keeps working end to end.
+        coordinator.push(src_a, "insert", new={"symbol": "z",
+                                               "price": 999.0})
+        assert coordinator.process_all() == 1
+        # Read the ledgers while the workers are live: graceful shutdown
+        # checkpoints, and checkpoint compaction drops ledger records.
+        cluster_ledger = sorted(
+            entry
+            for shard_id in (0, 1)
+            for entry in _ledger(
+                os.path.join(shard_dir(cluster_dir, shard_id),
+                             Database.WAL_FILE)
+            )
+        )
+    finally:
+        coordinator.close()
+
+    # Oracle: the same workload in one persistent single-process engine.
+    oracle = TriggerMan.persistent(oracle_dir, wal_sync="always")
+    for source in (src_a, src_b):
+        oracle.execute_command(DEFINE.format(source))
+        oracle.execute_command(_trigger(f"on_{source}", source))
+        for row in _rows(10):
+            oracle.push(source, "insert", new=row)
+        for row in _rows(10, offset=100):
+            oracle.push(source, "insert", new=row)
+    oracle.push(src_a, "insert", new={"symbol": "z", "price": 999.0})
+    oracle.process_all()
+    oracle.flush()
+    oracle_ledger = _ledger(os.path.join(oracle_dir, Database.WAL_FILE))
+    oracle.close()
+
+    assert len(oracle_ledger) > 0
+    assert cluster_ledger == oracle_ledger  # nothing lost, nothing doubled
+
+
+def test_recovery_report_is_printed_by_the_respawned_worker(tmp_path):
+    """The worker's stdout carries its shard-local recovery summary (the
+    operator-facing proof that replay ran locally)."""
+    from repro.cluster.worker import WorkerProcess
+
+    worker = WorkerProcess(
+        0, data_dir=str(tmp_path), wal_sync="always"
+    ).spawn()
+    try:
+        from repro.net.remote import RemoteTriggerManClient
+
+        with RemoteTriggerManClient(*worker.address) as client:
+            client.command(DEFINE.format("ticks"))
+            client.command(_trigger("hot", "ticks"))
+            client.conn.call("ingest", source="ticks", operation="insert",
+                             new={"symbol": "a", "price": 500.0})
+        worker.kill()
+        worker.respawn()
+        assert any("recovery shard=0" in line for line in worker.banner), (
+            worker.banner
+        )
+        with RemoteTriggerManClient(*worker.address) as client:
+            assert client.process() == 1
+    finally:
+        worker.terminate()

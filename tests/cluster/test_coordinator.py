@@ -1,0 +1,256 @@
+"""Coordinator routing, gossip, redirects, events, and rebalancing.
+
+These tests attach the coordinator to *in-process* served engines (no
+subprocesses), so they can assert against each shard's engine state
+directly; the subprocess paths are covered by the smoke/recovery tests.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.client import ClusterClient, ClusterDataSourceProgram
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.routing import trigger_key
+from repro.engine.triggerman import TriggerMan
+from repro.errors import RemoteError
+from repro.net.protocol import E_WRONG_SHARD
+
+DEFINE = "define data source ticks as stream (symbol varchar(8), price float)"
+
+
+def _trigger(name, source="ticks", condition="ticks.price > 100"):
+    return (
+        f"create trigger {name} from {source} on insert "
+        f"when {condition} do raise event Hit{name}({source}.price)"
+    )
+
+
+@pytest.fixture
+def cluster():
+    """Two served in-memory engines behind one coordinator."""
+    engines = [TriggerMan.in_memory() for _ in range(2)]
+    servers = [tman.serve("127.0.0.1", 0) for tman in engines]
+    coordinator = ClusterCoordinator(
+        workers=[server.address for server in servers]
+    ).start()
+    yield coordinator, engines
+    coordinator.close()
+    for tman in engines:
+        tman.close()
+
+
+def other_shard_source(coordinator, condition_shape="{0}.price > 100"):
+    """A source name whose standard trigger key lands on the other shard
+    than ticks' does (deterministic: the ring is SHA-1 based)."""
+    ticks_owner = coordinator.ring.owner(
+        trigger_key("ticks", condition_shape.format("ticks"))
+    )
+    for i in range(1000):
+        name = f"alt{i}"
+        key = trigger_key(name, condition_shape.format(name))
+        if coordinator.ring.owner(key) != ticks_owner:
+            return name
+    raise AssertionError("no source found on the other shard")
+
+
+def wait_for(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestRouting:
+    def test_broadcast_reaches_every_shard_and_is_journaled(self, cluster):
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        assert coordinator.broadcast_log == [DEFINE]
+        for tman in engines:
+            assert "ticks" in tman.registry
+
+    def test_trigger_lands_on_its_ring_owner(self, cluster):
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        text = _trigger("t0", condition="ticks.price > 100")
+        coordinator.execute_command(text)
+        key, _, shard = coordinator.triggers["t0"]
+        assert shard == coordinator.ring.owner(key)
+        assert len(engines[shard].triggers()) == 1
+        assert len(engines[1 - shard].triggers()) == 0
+
+    def test_same_structure_triggers_coreside(self, cluster):
+        """One §5.1 equivalence class (same source + condition shape,
+        different constants) must stay on one shard, so its constant-set
+        organization is never fragmented."""
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        for i, threshold in enumerate((10, 250, 4000)):
+            coordinator.execute_command(
+                _trigger(f"s{i}", condition=f"ticks.price > {threshold}")
+            )
+        shards = {shard for _, _, shard in coordinator.triggers.values()}
+        assert len(shards) == 1
+
+    def test_drop_routes_to_the_journaled_shard(self, cluster):
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        coordinator.execute_command(_trigger("t0"))
+        _, _, shard = coordinator.triggers["t0"]
+        coordinator.execute_command("drop trigger t0")
+        assert "t0" not in coordinator.triggers
+        assert coordinator.source_triggers.get("ticks", {}) == {}
+        assert len(engines[shard].triggers()) == 0
+
+    def test_ingest_fans_only_to_shards_with_triggers(self, cluster):
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        coordinator.execute_command(_trigger("t0"))
+        _, _, shard = coordinator.triggers["t0"]
+        copies = coordinator.push(
+            "ticks", "insert", new={"symbol": "ACME", "price": 150.0}
+        )
+        assert copies == 1
+        assert coordinator.process_all() == 1
+        assert engines[shard].metrics()["tokens_processed"] == 1
+        assert engines[1 - shard].metrics()["tokens_processed"] == 0
+
+    def test_ingest_without_triggers_goes_to_source_owner(self, cluster):
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        assert coordinator.push("ticks", "insert", new={"price": 1.0}) == 1
+
+
+class TestGossip:
+    def test_workers_learn_shard_and_epoch(self, cluster):
+        coordinator, engines = cluster
+        for shard_id, state in coordinator.shards.items():
+            hello = state.client.ping()
+            assert hello["shard"] == shard_id
+            assert hello["epoch"] == coordinator.epoch == 1
+
+    def test_stale_epoch_refused(self, cluster):
+        coordinator, engines = cluster
+        state = coordinator.shards[0]
+        with pytest.raises(RemoteError, match="stale epoch"):
+            state.client.conn.call(
+                "cluster.hello", shard=0, epoch=0,
+                members={}, ring=coordinator.ring.to_wire(),
+            )
+
+    def test_wrong_shard_refusal_heals_by_regossip(self, cluster):
+        """Poison one worker's map (it thinks the *other* shard owns
+        everything); the coordinator must absorb the E_WRONG_SHARD
+        refusal, re-gossip the authoritative map, and land the trigger —
+        counting the redirect."""
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        text = _trigger("t0")
+        key = trigger_key("ticks", "ticks.price > 100")
+        owner = coordinator.ring.owner(key)
+        poisoned_ring = {
+            "vnodes": coordinator.ring.vnodes, "shards": [1 - owner]
+        }
+        coordinator.shards[owner].client.conn.call(
+            "cluster.hello", shard=owner, epoch=coordinator.epoch,
+            members={}, ring=poisoned_ring,
+        )
+        # Refusal is visible worker-side before the coordinator heals it.
+        with pytest.raises(RemoteError) as refused:
+            coordinator.shards[owner].client.command(text)
+        assert refused.value.code == E_WRONG_SHARD
+        assert refused.value.data["owner"] == 1 - owner
+        coordinator.execute_command(text)
+        assert coordinator.triggers["t0"][2] == owner
+        assert coordinator._m_redirects.value == 1
+        assert len(engines[owner].triggers()) == 1
+
+
+class TestEventsAndStatus:
+    def test_merged_event_plane(self, cluster):
+        """Triggers living on different shards push into one client inbox."""
+        coordinator, engines = cluster
+        client = ClusterClient(coordinator)
+        client.command(DEFINE)
+        other = other_shard_source(coordinator)
+        client.command(
+            f"define data source {other} as stream (symbol varchar(8), "
+            "price float)"
+        )
+        client.create_trigger(
+            _trigger("a", source="ticks", condition="ticks.price > 100")
+        )
+        client.create_trigger(
+            _trigger("b", source=other, condition=f"{other}.price > 100")
+        )
+        shards = {shard for _, _, shard in coordinator.triggers.values()}
+        assert shards == {0, 1}, "triggers must span both shards"
+        client.register_for_event("Hita")
+        client.register_for_event("Hitb")
+        ticks = ClusterDataSourceProgram(client, "ticks")
+        bonds = ClusterDataSourceProgram(client, other)
+        ticks.insert({"symbol": "x", "price": 200.0})
+        bonds.insert({"symbol": "y", "price": 300.0})
+        client.process()
+        assert wait_for(lambda: len(client.inbox) == 2)
+        events = {client.next_notification().event_name for _ in range(2)}
+        assert events == {"Hita", "Hitb"}
+        client.disconnect()
+
+    def test_status_metrics_and_ping(self, cluster):
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        coordinator.execute_command(_trigger("t0"))
+        rtts = coordinator.ping_all()
+        assert set(rtts) == {0, 1}
+        assert all(rtt is not None for rtt in rtts.values())
+        status = coordinator.status()
+        assert status["epoch"] == 1
+        assert status["triggers_tracked"] == 1
+        assert sum(s["triggers"] for s in status["shards"].values()) == 1
+        metrics = coordinator.cluster_metrics()
+        assert metrics["shards"] == 2
+        assert metrics["commands_routed"] == 1
+        snapshot = coordinator.metrics.snapshot()
+        assert snapshot["cluster.shards"] == 2
+        assert snapshot["cluster.shard.0.up"] == 1
+        assert snapshot["cluster.ping_rtt_ns"]["count"] == 2
+
+
+class TestRebalance:
+    def test_remove_worker_drains_its_triggers(self, cluster):
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        other = other_shard_source(coordinator)
+        coordinator.execute_command(
+            f"define data source {other} as stream (symbol varchar(8), "
+            "price float)"
+        )
+        for i, source in enumerate(["ticks", other, "ticks", other]):
+            coordinator.execute_command(
+                _trigger(f"t{i}", source=source,
+                         condition=f"{source}.price > 100")
+            )
+        placed = {
+            shard for _, _, shard in coordinator.triggers.values()
+        }
+        assert placed == {0, 1}, "fixture needs both shards populated"
+        coordinator.remove_worker(1)
+        assert set(coordinator.shards) == {0}
+        assert all(
+            shard == 0 for _, _, shard in coordinator.triggers.values()
+        )
+        # Every trigger is actually resident on the survivor's engine.
+        assert len(engines[0].triggers()) == 4
+        # ...and still fires there.
+        coordinator.push("ticks", "insert", new={"symbol": "x",
+                                                 "price": 500.0})
+        assert coordinator.process_all() == 1
+
+    def test_rebalance_is_a_noop_when_placement_matches(self, cluster):
+        coordinator, engines = cluster
+        coordinator.execute_command(DEFINE)
+        coordinator.execute_command(_trigger("t0"))
+        assert coordinator.rebalance() == 0

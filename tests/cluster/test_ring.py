@@ -1,0 +1,108 @@
+"""Consistent-hash ring properties the cluster's correctness rests on.
+
+Determinism must hold *across processes* (coordinator and workers compute
+ownership independently from the same map), balance must hold within the
+vnode bound, and membership changes must move only the keys the new
+topology demands.
+"""
+
+import os
+import subprocess
+import sys
+
+import repro
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, build_ring
+from repro.cluster.routing import source_key, trigger_key
+
+KEYS = [f"trig:src{i % 37}:structure-{i % 11}" for i in range(4000)]
+
+
+class TestDeterminism:
+    def test_same_map_same_owner(self):
+        a = build_ring([0, 1, 2, 3])
+        b = build_ring([3, 2, 1, 0])  # insertion order must not matter
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_wire_round_trip(self):
+        ring = build_ring([0, 1, 2], vnodes=16)
+        clone = HashRing.from_wire(ring.to_wire())
+        assert clone.vnodes == 16
+        assert sorted(clone.shards) == [0, 1, 2]
+        assert [ring.owner(k) for k in KEYS] == [clone.owner(k) for k in KEYS]
+
+    def test_owners_stable_across_processes(self):
+        """Python's str hash is per-process salted; the ring must not be.
+        A fresh interpreter (fresh hash seed) must compute identical
+        owners for identical maps."""
+        keys = KEYS[:200]
+        local = build_ring([0, 1, 2])
+        script = (
+            "from repro.cluster.ring import build_ring\n"
+            f"ring = build_ring([0, 1, 2])\n"
+            f"print([ring.owner(k) for k in {keys!r}])\n"
+        )
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env=dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED="random"),
+        ).stdout
+        assert eval(output) == [local.owner(k) for k in keys]
+
+
+class TestBalance:
+    def test_spread_within_20_percent_at_default_vnodes(self):
+        assert DEFAULT_VNODES == 64
+        ring = build_ring([0, 1, 2, 3])
+        spread = ring.spread(f"key-{i}" for i in range(40000))
+        ideal = 40000 / 4
+        for shard, count in spread.items():
+            assert abs(count - ideal) / ideal <= 0.20, (shard, spread)
+
+    def test_routing_keys_spread_too(self):
+        """The real key shapes (trigger structure keys, source keys) must
+        land on every shard, not clump."""
+        ring = build_ring([0, 1, 2, 3])
+        keys = [
+            trigger_key(f"source{i % 29}", f"x.f{i % 13} > CONST")
+            for i in range(2000)
+        ] + [source_key(f"source{i}") for i in range(200)]
+        spread = ring.spread(keys)
+        assert set(spread) == {0, 1, 2, 3}
+        ideal = len(keys) / 4
+        for count in spread.values():
+            assert abs(count - ideal) / ideal <= 0.25, spread
+
+
+class TestMinimalMovement:
+    def test_join_moves_keys_only_to_the_new_shard(self):
+        before = build_ring([0, 1, 2])
+        owners_before = {k: before.owner(k) for k in KEYS}
+        after = build_ring([0, 1, 2])
+        after.add(3)
+        moved = other = 0
+        for key, old in owners_before.items():
+            new = after.owner(key)
+            if new != old:
+                moved += 1
+                if new != 3:
+                    other += 1
+        assert other == 0, "a join relocated keys between old shards"
+        # Roughly 1/4 of the keyspace should migrate to the newcomer.
+        assert 0.10 <= moved / len(owners_before) <= 0.40
+
+    def test_leave_moves_only_the_departed_shards_keys(self):
+        before = build_ring([0, 1, 2, 3])
+        owners_before = {k: before.owner(k) for k in KEYS}
+        after = build_ring([0, 1, 2, 3])
+        after.remove(3)
+        for key, old in owners_before.items():
+            if old != 3:
+                assert after.owner(key) == old, key
+
+    def test_remove_then_add_is_identity(self):
+        ring = build_ring([0, 1, 2, 3])
+        owners = {k: ring.owner(k) for k in KEYS}
+        ring.remove(2)
+        ring.add(2)
+        assert {k: ring.owner(k) for k in KEYS} == owners

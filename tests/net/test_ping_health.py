@@ -1,0 +1,95 @@
+"""The health-check surface: ping echo, RTT capture, and bind addresses.
+
+``ping`` is the cluster failure detector's probe, so its contract is
+pinned here: it must echo the wire protocol version and the server's
+queue depth, and every completed call must surface its round-trip
+latency — always on ``RemoteConnection.last_rtt_ns``, and into
+``net.client.*`` histograms when the connection carries a metrics
+registry.
+"""
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.net import protocol
+from repro.net.remote import RemoteTriggerManClient
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def served():
+    tman = TriggerMan.in_memory()
+    server = tman.serve("127.0.0.1", 0)
+    yield tman, server
+    tman.close()
+
+
+class TestPing:
+    def test_ping_echoes_protocol_version_and_queue_depth(self, served):
+        tman, server = served
+        with RemoteTriggerManClient(*server.address) as client:
+            hello = client.ping()
+            assert hello["schema"] == protocol.WIRE_SCHEMA
+            assert hello["version"] == protocol.WIRE_SCHEMA
+            assert hello["engine"] == "triggerman"
+            assert hello["queue_depth"] == 0
+            assert hello["quiescing"] is False
+            # Not clustered: no shard identity in the echo.
+            assert "shard" not in hello
+
+    def test_every_call_records_last_rtt(self, served):
+        tman, server = served
+        with RemoteTriggerManClient(*server.address) as client:
+            assert client.conn.last_rtt_ns is None
+            client.ping()
+            first = client.conn.last_rtt_ns
+            assert first is not None and first > 0
+            client.metrics()
+            assert client.conn.last_rtt_ns is not None
+
+    def test_rtt_histograms_when_metrics_attached(self, served):
+        tman, server = served
+        registry = MetricsRegistry(enabled=True, namespace="test")
+        with RemoteTriggerManClient(
+            *server.address, metrics=registry
+        ) as client:
+            client.ping()
+            client.ping()
+            client.metrics()
+        snapshot = registry.snapshot()
+        assert snapshot["net.client.rtt_ns"]["count"] == 3
+        assert snapshot["net.client.ping_ns"]["count"] == 2
+        assert snapshot["net.client.metrics_ns"]["count"] == 1
+        assert snapshot["net.client.rtt_ns"]["min"] > 0
+
+    def test_no_histograms_without_metrics(self, served):
+        tman, server = served
+        with RemoteTriggerManClient(*server.address) as client:
+            client.ping()
+            assert client.conn._metrics is None
+
+
+class TestBindAddresses:
+    def test_port_zero_reports_real_bound_port(self, served):
+        tman, server = served
+        host, port = server.address
+        assert port != 0
+        with RemoteTriggerManClient(host, port) as client:
+            assert client.ping()["schema"] == protocol.WIRE_SCHEMA
+
+    def test_connect_address_rewrites_wildcard_hosts(self):
+        tman = TriggerMan.in_memory()
+        try:
+            server = tman.serve("0.0.0.0", 0)
+            assert server.address[0] == "0.0.0.0"  # the literal bind
+            host, port = server.connect_address
+            assert host == "127.0.0.1"  # a dialable address
+            assert port == server.address[1]
+            with RemoteTriggerManClient(host, port) as client:
+                assert client.ping()["engine"] == "triggerman"
+        finally:
+            tman.close()
+
+    def test_connect_address_passes_through_concrete_hosts(self, served):
+        tman, server = served
+        assert server.connect_address == server.address
