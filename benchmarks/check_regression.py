@@ -24,7 +24,7 @@ import sys
 #: fields that identify a record's configuration (never compared as values)
 CONFIG_KEYS = (
     "experiment", "mode", "batch_size", "sync", "drivers", "transport",
-    "shards",
+    "shards", "source",
 )
 
 

@@ -1,0 +1,165 @@
+"""E16 — Source-adapter ingest: events/sec from external feeds into
+temporal window triggers.
+
+One engine hosts a per-host sliding-window burst trigger (incremental
+count plan) plus a plain threshold trigger; the same deterministic
+timestamped event stream (``repro.workloads.event_stream``) is delivered
+through each adapter kind and drained end to end:
+
+* ``webhook`` — real HTTP POSTs (signed, batched ``{"rows": [...]}``)
+  against the adapter's ThreadingHTTPServer;
+* ``cron`` — a ManualClock backlog: every firing's row carries its
+  *scheduled* timestamp, emitted in one pump;
+* ``filewatch`` — the stream written as JSONL, tailed in one poll.
+
+Every exported record carries a ``source`` key, the config dimension the
+regression guard matches on.
+
+Knobs: ``BENCH_SOURCES_EVENTS`` (stream size, default 800),
+``BENCH_SOURCES_BATCH`` (webhook rows per POST, default 50).
+"""
+
+import json
+import os
+import time
+import urllib.request
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.obs import export
+from repro.sources import (
+    SIGNATURE_HEADER,
+    CronSource,
+    FileWatchSource,
+    ManualClock,
+    WebhookSource,
+    sign_payload,
+)
+from repro.workloads import EVENT_STREAM_COLUMNS, event_stream
+
+EVENTS = int(os.environ.get("BENCH_SOURCES_EVENTS", 800))
+BATCH = int(os.environ.get("BENCH_SOURCES_BATCH", 50))
+SECRET = b"bench-secret"
+
+HEADER = ["source", "events", "events/sec", "fired"]
+TITLE = f"E16: source-adapter ingest -> window triggers ({EVENTS} events)"
+
+
+def build_engine():
+    tman = TriggerMan.in_memory()
+    columns = ", ".join(f"{n} {t}" for n, t in EVENT_STREAM_COLUMNS)
+    tman.execute_command(
+        f"define data source events as stream ({columns})"
+    )
+    tman.create_trigger(
+        "create trigger burst window 30 seconds from events "
+        "when events.code >= 500 group by events.host "
+        "having count(*) >= 3 do raise event Burst(events.host)"
+    )
+    tman.create_trigger(
+        "create trigger slow from events on insert "
+        "when events.latency > 450 do raise event Slow(events.host)"
+    )
+    return tman
+
+
+def rows_for_bench():
+    return list(event_stream(EVENTS, hosts=8, interval=0.9, error_rate=0.3))
+
+
+def fired_count(tman):
+    return tman.stats.triggers_fired
+
+
+def _report(summary, source, elapsed, fired):
+    per_sec = EVENTS / elapsed
+    summary(TITLE, HEADER, [source, EVENTS, f"{per_sec:.0f}", fired])
+    export.record(
+        "E16",
+        source=source,
+        events=EVENTS,
+        tokens_per_sec=round(per_sec, 1),
+        fired=fired,
+    )
+
+
+def test_webhook_ingest(benchmark, summary):
+    tman = build_engine()
+    rows = rows_for_bench()
+    try:
+        tman.sources.add(WebhookSource("hook", "events", SECRET, port=0))
+        tman.sources.start("hook")
+        url = tman.sources.get("hook").url
+
+        def run():
+            start = time.perf_counter()
+            for index in range(0, len(rows), BATCH):
+                body = json.dumps(
+                    {"rows": rows[index:index + BATCH]}
+                ).encode()
+                request = urllib.request.Request(
+                    url, data=body, method="POST",
+                    headers={SIGNATURE_HEADER: sign_payload(SECRET, body)},
+                )
+                with urllib.request.urlopen(request, timeout=10) as reply:
+                    assert reply.status == 202
+            tman.process_all()
+            return time.perf_counter() - start
+
+        elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert tman.sources.get("hook").delivered == EVENTS
+        _report(summary, "webhook", elapsed, fired_count(tman))
+    finally:
+        tman.close()
+
+
+def test_cron_backlog(benchmark, summary):
+    tman = build_engine()
+    rows = rows_for_bench()
+    try:
+        clock = ManualClock()
+        registry = tman.sources
+        registry.clock = clock
+        registry.add(CronSource(
+            "beat", "events", 1.0,
+            lambda index, ts: dict(rows[index]),
+            count=EVENTS,
+        ))
+        registry.start("beat")
+        clock.advance(EVENTS + 1.0)  # the whole schedule is overdue
+
+        def run():
+            start = time.perf_counter()
+            delivered = registry.pump()
+            assert delivered == EVENTS
+            tman.process_all()
+            return time.perf_counter() - start
+
+        elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+        _report(summary, "cron", elapsed, fired_count(tman))
+    finally:
+        tman.close()
+
+
+def test_filewatch_tail(benchmark, summary, tmp_path):
+    tman = build_engine()
+    rows = rows_for_bench()
+    try:
+        path = tmp_path / "events.jsonl"
+        path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+        registry = tman.sources
+        registry.add(FileWatchSource("tail", "events", str(path)))
+        registry.start("tail")
+
+        def run():
+            start = time.perf_counter()
+            delivered = registry.pump()
+            assert delivered == EVENTS
+            tman.process_all()
+            return time.perf_counter() - start
+
+        elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+        _report(summary, "filewatch", elapsed, fired_count(tman))
+    finally:
+        tman.close()

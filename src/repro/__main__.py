@@ -15,6 +15,10 @@ Options::
                                      # (triggerman-wire-v1); with a TTY the
                                      # REPL runs alongside, otherwise the
                                      # process serves until SIGINT/SIGTERM
+    python -m repro --sources F      # load source adapters (webhook/cron/
+                                     # filewatch) from a JSON config, start
+                                     # them, and pump; SIGINT stops the
+                                     # adapters before the engine closes
     python -m repro --connect H:P    # remote console: talk to a --serve
                                      # process over the wire instead of
                                      # opening a local engine
@@ -153,7 +157,9 @@ def main(argv=None) -> int:
     index = 0
     while index < len(argv):
         flag = argv[index]
-        if flag in ("--serve", "--connect", "--cluster") and index + 1 < len(argv):
+        if flag in (
+            "--serve", "--connect", "--cluster", "--sources"
+        ) and index + 1 < len(argv):
             merged.append(f"{flag}={argv[index + 1]}")
             index += 2
         else:
@@ -165,6 +171,7 @@ def main(argv=None) -> int:
     wal_sync = "group"
     drivers = 0
     serve = connect = None
+    sources_config = None
     cluster = 0
     positional = []
     for flag in argv:
@@ -184,6 +191,8 @@ def main(argv=None) -> int:
             connect = _parse_address(flag.split("=", 1)[1], "--connect")
             if connect is None:
                 return 2
+        elif flag.startswith("--sources="):
+            sources_config = flag.split("=", 1)[1]
         elif flag.startswith("--drivers="):
             try:
                 drivers = int(flag.split("=", 1)[1])
@@ -209,7 +218,7 @@ def main(argv=None) -> int:
             print(f"unknown option {flag}\n{__doc__}")
             return 2
     if connect is not None:
-        if serve is not None or positional or drivers:
+        if serve is not None or positional or drivers or sources_config:
             print("--connect runs a remote console; it takes no local "
                   "engine options")
             return 2
@@ -235,20 +244,40 @@ def main(argv=None) -> int:
     if drivers:
         tman.start_drivers(drivers)
     try:
+        if sources_config is not None:
+            from .sources.config import load_config
+
+            names = load_config(tman.sources, sources_config)
+            tman.sources.start_all()
+            tman.sources.start_pumping()
+            addresses = [
+                f"{name}@{adapter.url}"
+                for name in names
+                for adapter in [tman.sources.get(name)]
+                if getattr(adapter, "url", None)
+            ]
+            print(
+                f"sources up: {', '.join(addresses or names)}", flush=True
+            )
         if serve is not None:
             server = tman.serve(*serve)
             print("serving on {}:{}".format(*server.address), flush=True)
-            if not sys.stdin.isatty():
-                # Headless serving (subprocess / CI): block until signalled.
-                try:
-                    threading.Event().wait()
-                except KeyboardInterrupt:
-                    return 0
+        headless = (
+            serve is not None or sources_config is not None
+        ) and not sys.stdin.isatty()
+        if headless:
+            # Headless serving (subprocess / CI): block until signalled;
+            # the finally-close below stops adapters before the engine.
+            try:
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                return 0
         run_interactive(tman)
     except KeyboardInterrupt:
         pass
     finally:
-        tman.close()  # stops the server and any running driver pool first
+        # Stops source adapters first, then the server and driver pool.
+        tman.close()
     return 0
 
 

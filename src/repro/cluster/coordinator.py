@@ -104,6 +104,7 @@ class ClusterCoordinator:
         self._client_kwargs = dict(client_kwargs or {})
         self._health_thread: Optional[threading.Thread] = None
         self._health_stop = threading.Event()
+        self._sources = None
         self._lock = threading.RLock()
         self.started = False
         self.closed = False
@@ -200,10 +201,24 @@ class ClusterCoordinator:
 
         register_cluster_views(self)
 
+    @property
+    def sources(self):
+        """A :class:`repro.sources.registry.SourceRegistry` whose sink is
+        this coordinator: adapter events route through ``push`` to the
+        shard(s) whose ring slice holds the stream's triggers, so the same
+        adapter config is cluster-aware unchanged."""
+        if self._sources is None:
+            from ..sources.registry import SourceRegistry
+
+            self._sources = SourceRegistry(self, metrics=self.metrics)
+        return self._sources
+
     def close(self) -> None:
         if self.closed:
             return
         self.closed = True
+        if self._sources is not None:
+            self._sources.stop_all()
         self._health_stop.set()
         if self._health_thread is not None:
             self._health_thread.join(timeout=5.0)

@@ -1,0 +1,502 @@
+"""Temporal trigger predicates: sliding-window aggregate state.
+
+"Fire when ≥ k events matching P arrive within W seconds, per correlation
+key" is the dominant real-world trigger pattern (PAPERS.md, "Threshold
+Queries in Theory and in the Wild").  This module adds it on top of the
+engine's existing group-by/having machinery:
+
+* :func:`window_spec_from_flags` parses the ``window N seconds [of col]``
+  trigger flag into a :class:`WindowSpec`;
+* :class:`WindowStateStore` holds the per-(trigger, correlation key)
+  sliding windows, evaluated *incrementally*: entries carry running
+  count/sum per tracked column, so the common ``count(*) >= k`` /
+  ``sum(x) > c`` / ``avg(x) < c`` thresholds never rescan the window
+  (:func:`compile_incremental_having` builds the closed-form plan; every
+  other having shape falls back to the general aggregate evaluator);
+* durability: each admitted event appends a ``WINDOW_EVENT`` WAL record
+  *before* mutating state, the whole store snapshots into fuzzy
+  checkpoint records (under ``"windows"``), and recovery folds the
+  post-checkpoint events over the snapshot — so a ``kill -9`` neither
+  loses window state nor double-counts a replayed token (replayed seqs
+  whose events are already durable are skipped, mirroring the firing
+  engine's ACTION_FIRED replay-skip).
+
+Timestamps come from the *event row itself* (the ``ts_column``), never
+from a wall clock — the property that makes replay after a crash, and the
+in-process-vs-cluster digest comparisons, deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..lang import ast
+from ..wal.log import WINDOW_EVENT
+
+__all__ = [
+    "WindowAggregates",
+    "WindowSpec",
+    "WindowStateStore",
+    "compile_incremental_having",
+    "window_spec_from_flags",
+]
+
+#: default event-time column when ``window N seconds`` names none
+DEFAULT_TS_COLUMN = "ts"
+
+_COMPARISONS = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One trigger's temporal window: width in seconds + event-time column."""
+
+    seconds: float
+    ts_column: str = DEFAULT_TS_COLUMN
+
+
+def window_spec_from_flags(flags) -> Optional[WindowSpec]:
+    """The ``WINDOWSEC:<seconds>[:<column>]`` flag, parsed (None without)."""
+    for flag in flags:
+        if flag.startswith("WINDOWSEC:"):
+            parts = flag.split(":")
+            seconds = float(parts[1])
+            column = parts[2] if len(parts) > 2 and parts[2] else DEFAULT_TS_COLUMN
+            return WindowSpec(seconds=seconds, ts_column=column)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Incremental having plans
+# ---------------------------------------------------------------------------
+
+
+class WindowAggregates:
+    """The incremental view of one (trigger, key) window the plans read:
+    entry count plus per-tracked-column running sum and non-null count."""
+
+    __slots__ = ("count", "sums", "nonnull")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sums: Dict[str, float] = {}
+        self.nonnull: Dict[str, int] = {}
+
+    def add(self, row: Dict[str, Any], tracked: Tuple[str, ...]) -> None:
+        self.count += 1
+        for column in tracked:
+            value = row.get(column)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.sums[column] = self.sums.get(column, 0) + value
+                self.nonnull[column] = self.nonnull.get(column, 0) + 1
+
+    def remove(self, row: Dict[str, Any], tracked: Tuple[str, ...]) -> None:
+        self.count -= 1
+        for column in tracked:
+            value = row.get(column)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.sums[column] = self.sums.get(column, 0) - value
+                self.nonnull[column] = self.nonnull.get(column, 0) - 1
+
+
+def _aggregate_reader(call: ast.FuncCall) -> Optional[Tuple[Optional[str], Callable]]:
+    """``(tracked column, aggs -> value)`` for an incremental aggregate
+    call, or None when the aggregate cannot be maintained under eviction
+    (min/max need the full window; expressions need per-row evaluation)."""
+    name = call.name.lower()
+    if name == "count" and (not call.args or isinstance(call.args[0], ast.Star)):
+        return None, lambda aggs: aggs.count
+    if not call.args or not isinstance(call.args[0], ast.ColumnRef):
+        return None
+    column = call.args[0].column
+    if name == "count":
+        return column, lambda aggs: aggs.nonnull.get(column, 0)
+    if name == "sum":
+        return column, lambda aggs: (
+            aggs.sums.get(column, 0) if aggs.nonnull.get(column, 0) else None
+        )
+    if name == "avg":
+        def read_avg(aggs: WindowAggregates):
+            n = aggs.nonnull.get(column, 0)
+            return aggs.sums.get(column, 0) / n if n else None
+
+        return column, read_avg
+    return None
+
+
+def compile_incremental_having(
+    having: Optional[ast.Expr],
+) -> Tuple[Optional[Callable[[WindowAggregates], Optional[bool]]], Tuple[str, ...]]:
+    """Compile a having clause into an incremental plan over
+    :class:`WindowAggregates`, SQL three-valued logic preserved.
+
+    Supported: comparisons between an incremental aggregate
+    (``count(*)``, ``count(col)``, ``sum(col)``, ``avg(col)``) and a
+    literal — either side — combined with AND/OR/NOT.  Returns
+    ``(plan, tracked columns)``; ``(None, ())`` means the shape is not
+    incremental and the caller must use the general aggregate evaluator
+    over the window's retained rows.
+    """
+    if having is None:
+        return None, ()
+    tracked: Set[str] = set()
+
+    def compile_expr(expr: ast.Expr) -> Optional[Callable]:
+        if isinstance(expr, ast.BoolOp):
+            parts = [compile_expr(a) for a in expr.args]
+            if any(p is None for p in parts):
+                return None
+            is_and = expr.op.upper() == "AND"
+
+            def run_bool(aggs: WindowAggregates) -> Optional[bool]:
+                values = [p(aggs) for p in parts]
+                if is_and:
+                    if any(v is False for v in values):
+                        return False
+                    return None if any(v is None for v in values) else True
+                if any(v is True for v in values):
+                    return True
+                return None if any(v is None for v in values) else False
+
+            return run_bool
+        if isinstance(expr, ast.UnaryOp) and expr.op.upper() == "NOT":
+            inner = compile_expr(expr.operand)
+            if inner is None:
+                return None
+            return lambda aggs: (
+                None if inner(aggs) is None else not inner(aggs)
+            )
+        if isinstance(expr, ast.BinaryOp) and expr.op in _COMPARISONS:
+            compare = _COMPARISONS[expr.op]
+            left, right = expr.left, expr.right
+            flipped = False
+            if isinstance(left, ast.Literal) and isinstance(right, ast.FuncCall):
+                left, right = right, left
+                flipped = True
+            if not (
+                isinstance(left, ast.FuncCall) and isinstance(right, ast.Literal)
+            ):
+                return None
+            reader_spec = _aggregate_reader(left)
+            if reader_spec is None:
+                return None
+            column, reader = reader_spec
+            if column is not None:
+                tracked.add(column)
+            literal = right.value
+            op = expr.op
+
+            def run_cmp(aggs: WindowAggregates) -> Optional[bool]:
+                value = reader(aggs)
+                if value is None or literal is None:
+                    return None
+                if flipped:
+                    return _COMPARISONS[op](literal, value)
+                return compare(value, literal)
+
+            return run_cmp
+        return None
+
+    plan = compile_expr(having)
+    if plan is None:
+        return None, ()
+    return plan, tuple(sorted(tracked))
+
+
+# ---------------------------------------------------------------------------
+# The window-state store
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Window:
+    """One (trigger, correlation key) sliding window."""
+
+    #: entries sorted by (ts, seq); rows retained for fallback evaluation
+    #: and for reversing incremental sums at eviction
+    entries: List[Tuple[float, int, Dict[str, Any]]] = field(default_factory=list)
+    #: highest event time seen — eviction cutoff is ``watermark - W`` even
+    #: after every entry has aged out (late events stay late)
+    watermark: float = float("-inf")
+    aggs: WindowAggregates = field(default_factory=WindowAggregates)
+
+
+class WindowStateStore:
+    """Sliding-window state for every temporal trigger on one engine.
+
+    Thread-safe: one store mutex (the matcher already serializes per
+    trigger via ``runtime.lock``; the store lock covers cross-trigger
+    access plus checkpoint snapshots).  Durability is optional — without
+    a WAL the store is a plain in-memory structure.
+    """
+
+    def __init__(self, obs=None):
+        self.wal = None
+        self.durable = False
+        self._lock = threading.Lock()
+        self._windows: Dict[str, Dict[Tuple, _Window]] = {}
+        #: replayed-token skip set: seq -> trigger names whose WINDOW_EVENT
+        #: for that seq is already durable (folded at restore); consumed on
+        #: the replay observe so the event is not double-counted
+        self._replay_skip: Dict[int, Set[str]] = {}
+        metrics = obs.metrics if obs is not None else None
+        if metrics is None:
+            from ..obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry(enabled=False, namespace="windows")
+        self._m_observed = metrics.counter(
+            "windows.events_observed", "events admitted into sliding windows",
+            always=True,
+        )
+        self._m_evicted = metrics.counter(
+            "windows.events_evicted", "entries aged out of sliding windows",
+            always=True,
+        )
+        self._m_bad_ts = metrics.counter(
+            "windows.bad_timestamps",
+            "events skipped for a missing/non-numeric event-time column",
+            always=True,
+        )
+        self._m_replayed = metrics.counter(
+            "windows.replay_skips",
+            "replayed observes skipped (event already durable)", always=True,
+        )
+        metrics.gauge(
+            "windows.resident_entries",
+            help="entries currently retained across all windows",
+            callback=self.entry_count,
+        )
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach_wal(self, wal, durable: bool) -> None:
+        self.wal = wal
+        self.durable = durable and wal is not None
+
+    # -- the hot path -------------------------------------------------------
+
+    def observe(
+        self,
+        trigger: str,
+        key: Tuple,
+        ts: float,
+        row: Dict[str, Any],
+        seq: int,
+        seconds: float,
+        tracked: Tuple[str, ...],
+    ) -> _Window:
+        """Admit one event into (trigger, key)'s window, evict expired
+        entries, and return the window for threshold evaluation.
+
+        Durable path: the WINDOW_EVENT record is appended *before* the
+        in-memory mutation, under the store lock — so a checkpoint
+        snapshot can never miss an event whose record precedes the
+        checkpoint record (the fuzzy-checkpoint ordering contract)."""
+        with self._lock:
+            skip = False
+            pending = self._replay_skip.get(seq) if seq > 0 else None
+            if pending is not None and trigger in pending:
+                # Replay of a token whose window event is already durable
+                # (and already folded into state at restore): re-appending
+                # or re-adding would double-count it.
+                pending.discard(trigger)
+                if not pending:
+                    del self._replay_skip[seq]
+                skip = True
+                self._m_replayed.inc()
+            if not skip and self.durable and seq > 0:
+                self.wal.append_json(
+                    WINDOW_EVENT,
+                    {
+                        "seq": seq,
+                        "trigger": trigger,
+                        "key": list(key),
+                        "ts": ts,
+                        "row": row,
+                    },
+                )
+                self.wal.fault("window.observe")
+            window = self._windows.setdefault(trigger, {}).setdefault(
+                key, _Window()
+            )
+            if not skip:
+                entry = (ts, seq, row)
+                if window.entries and entry < window.entries[-1]:
+                    bisect.insort(window.entries, entry)
+                else:
+                    window.entries.append(entry)
+                window.aggs.add(row, tracked)
+                self._m_observed.inc()
+            if ts > window.watermark:
+                window.watermark = ts
+            self._evict(window, seconds, tracked)
+            return window
+
+    def _evict(
+        self, window: _Window, seconds: float, tracked: Tuple[str, ...]
+    ) -> None:
+        cutoff = window.watermark - seconds
+        dropped = 0
+        while window.entries and window.entries[0][0] <= cutoff:
+            _ts, _seq, row = window.entries.pop(0)
+            window.aggs.remove(row, tracked)
+            dropped += 1
+        if dropped:
+            self._m_evicted.inc(dropped)
+
+    def bad_timestamp(self) -> None:
+        """An event lacked a usable (numeric) event-time value."""
+        self._m_bad_ts.inc()
+
+    # -- introspection ------------------------------------------------------
+
+    def entry_count(self) -> int:
+        with self._lock:
+            return sum(
+                len(w.entries)
+                for per_key in self._windows.values()
+                for w in per_key.values()
+            )
+
+    def window_count(self) -> int:
+        with self._lock:
+            return sum(len(per_key) for per_key in self._windows.values())
+
+    def describe(self, trigger: str) -> List[Dict[str, Any]]:
+        """Per-key window summary for one trigger (console/EXPLAIN)."""
+        out = []
+        with self._lock:
+            for key, window in sorted(
+                self._windows.get(trigger, {}).items(), key=lambda kv: str(kv[0])
+            ):
+                out.append(
+                    {
+                        "key": list(key),
+                        "entries": len(window.entries),
+                        "watermark": window.watermark,
+                        "count": window.aggs.count,
+                    }
+                )
+        return out
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def forget(self, trigger: str) -> None:
+        """Drop all state for a dropped trigger."""
+        with self._lock:
+            self._windows.pop(trigger, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._windows.clear()
+            self._replay_skip.clear()
+
+    # -- checkpoint / recovery ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable full state for a fuzzy checkpoint record.
+
+        Rebuilding sums from rows at restore keeps the record small and
+        the arithmetic identical on both sides of the crash."""
+        with self._lock:
+            triggers: Dict[str, List] = {}
+            for trigger, per_key in self._windows.items():
+                groups = []
+                for key, window in per_key.items():
+                    groups.append(
+                        {
+                            "key": list(key),
+                            "watermark": (
+                                window.watermark
+                                if window.watermark != float("-inf")
+                                else None
+                            ),
+                            "entries": [
+                                [ts, seq, row] for ts, seq, row in window.entries
+                            ],
+                        }
+                    )
+                if groups:
+                    triggers[trigger] = groups
+            return {"v": 1, "triggers": triggers}
+
+    def restore(self, recovery, tracked_for: Callable[[str], Tuple[str, ...]]) -> int:
+        """Rebuild state from a RecoveryResult: the checkpoint snapshot
+        plus every post-checkpoint WINDOW_EVENT, deduplicated by
+        (trigger, seq).  Events belonging to tokens the engine will replay
+        feed the replay-skip set.  Returns the number of entries restored.
+
+        ``tracked_for`` maps a trigger name to its incremental-plan
+        columns (empty tuple when the trigger is gone or not incremental).
+        """
+        if recovery is None:
+            return 0
+        restored = 0
+        seen: Set[Tuple[str, int]] = set()
+        replaying = {t.seq for t in recovery.incomplete}
+        with self._lock:
+            self._windows.clear()
+            self._replay_skip.clear()
+            snapshot = recovery.windows or {}
+            for trigger, groups in snapshot.get("triggers", {}).items():
+                tracked = tracked_for(trigger)
+                per_key = self._windows.setdefault(trigger, {})
+                for group in groups:
+                    window = per_key.setdefault(tuple(group["key"]), _Window())
+                    if group.get("watermark") is not None:
+                        window.watermark = group["watermark"]
+                    for ts, seq, row in group.get("entries", []):
+                        self._restore_entry(
+                            window, trigger, ts, seq, row, tracked,
+                            seen, replaying,
+                        )
+                        restored += 1
+            for event in recovery.window_events:
+                trigger = event["trigger"]
+                if (trigger, event["seq"]) in seen:
+                    continue
+                tracked = tracked_for(trigger)
+                window = self._windows.setdefault(trigger, {}).setdefault(
+                    tuple(event["key"]), _Window()
+                )
+                self._restore_entry(
+                    window, trigger, event["ts"], event["seq"], event["row"],
+                    tracked, seen, replaying,
+                )
+                restored += 1
+        return restored
+
+    def _restore_entry(
+        self,
+        window: _Window,
+        trigger: str,
+        ts: float,
+        seq: int,
+        row: Dict[str, Any],
+        tracked: Tuple[str, ...],
+        seen: Set[Tuple[str, int]],
+        replaying: Set[int],
+    ) -> None:
+        seen.add((trigger, seq))
+        entry = (ts, seq, row)
+        if window.entries and entry < window.entries[-1]:
+            bisect.insort(window.entries, entry)
+        else:
+            window.entries.append(entry)
+        window.aggs.add(row, tracked)
+        if ts > window.watermark:
+            window.watermark = ts
+        if seq in replaying:
+            self._replay_skip.setdefault(seq, set()).add(trigger)

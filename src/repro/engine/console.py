@@ -43,6 +43,11 @@ TriggerMan console commands:
   server start [HOST:PORT]   serve remote clients (triggerman-wire-v1 TCP)
   server stop         quiesce: drain outboxes, refuse new commands, close
   server status       address, connections, bytes, backpressure counters
+  sources add <file>  register source adapters from a JSON config
+  sources start [NAME]  start one adapter (or all) + the pumper thread
+  sources stop [NAME]   stop one adapter (or all)
+  sources pump        run one manual scheduling round (poll + deliver)
+  sources status      per-adapter state, retries, pending, delivered
   checkpoint          flush dirty pages, log a checkpoint, compact the WAL
   recover             report the recovery pass run when this instance opened
   sql <statement>     execute SQL on the default connection
@@ -86,6 +91,9 @@ class Console:
                 return self._drivers(lowered.split()[1:])
             if lowered.startswith("server"):
                 return self._server(lowered.split()[1:])
+            if lowered.startswith("sources"):
+                # Original casing: adapter names and file paths matter.
+                return self._sources(line.split()[1:])
             if lowered == "checkpoint":
                 return self._checkpoint()
             if lowered == "recover":
@@ -175,6 +183,59 @@ class Console:
                 "{ingest_rejected} rejected".format(**status)
             )
         return "usage: server start [HOST:PORT] | stop | status"
+
+    def _sources(self, args: list) -> str:
+        registry = self.tman.sources
+        verb = args[0].lower() if args else "status"
+        if verb == "add":
+            if len(args) < 2:
+                return "usage: sources add <config.json>"
+            from ..sources.config import load_config
+
+            try:
+                names = load_config(registry, args[1])
+            except OSError as exc:
+                return f"error: {exc}"
+            return f"added {len(names)} adapter(s): {', '.join(names)}"
+        if verb == "start":
+            if len(args) > 1:
+                started = registry.start(args[1])
+                registry.start_pumping()
+                return (
+                    f"started {args[1]}" if started
+                    else f"{args[1]} already running"
+                )
+            n = registry.start_all()
+            registry.start_pumping()
+            return f"started {n} adapter(s)"
+        if verb == "stop":
+            if len(args) > 1:
+                stopped = registry.stop(args[1])
+                return (
+                    f"stopped {args[1]}" if stopped
+                    else f"{args[1]} not running"
+                )
+            n = registry.stop_all()
+            return f"stopped {n} adapter(s)"
+        if verb == "pump":
+            return f"delivered {registry.pump()} event(s)"
+        if verb == "status":
+            rows = registry.status()
+            if not rows:
+                return "(no source adapters)"
+            out = []
+            for row in rows:
+                line = (
+                    f"{row['name']:<16} {row['kind']:<10} {row['status']:<9} "
+                    f"delivered {row['delivered']}, pending {row['pending']}, "
+                    f"failures {row['failures']}"
+                )
+                if row["last_error"]:
+                    line += f" ({row['last_error']})"
+                out.append(line)
+            return "\n".join(out)
+        return "usage: sources add <file> | start [NAME] | stop [NAME] | " \
+               "pump | status"
 
     def _recover(self) -> str:
         recovery = self.tman.catalog_db.recovery

@@ -46,6 +46,7 @@ class MatchExecutor:
         m_pin_ns,
         m_network_ns,
         submit,
+        windows=None,
     ):
         self.index = index
         self.cache = cache
@@ -59,6 +60,8 @@ class MatchExecutor:
         self._m_network_ns = m_network_ns
         #: task sink (the pipeline's submit) for condition-subset tasks
         self.submit = submit
+        #: WindowStateStore for temporal (time-window) triggers
+        self.windows = windows
 
     # -- pin helpers (tolerant of concurrent drops) ------------------------
 
@@ -230,7 +233,14 @@ class MatchExecutor:
         """Caller holds ``runtime.lock`` (aggregate state is per-trigger)."""
         fired = 0
         for bindings in complete:
-            if runtime.group_by or runtime.having is not None:
+            if runtime.window_spec is not None:
+                ready = runtime.window_fire(
+                    bindings, self.evaluator, self.windows, seq
+                )
+                if ready is None:
+                    continue
+                bindings = ready
+            elif runtime.group_by or runtime.having is not None:
                 ready = runtime.aggregate_fire(bindings, self.evaluator)
                 if ready is None:
                     continue

@@ -23,6 +23,11 @@ from ..condition.classify import (
     resolve_unqualified,
 )
 from ..condition.signature import AnalyzedPredicate, analyze_selection
+from ..condition.windows import (
+    WindowSpec,
+    compile_incremental_having,
+    window_spec_from_flags,
+)
 from ..errors import TriggerError
 from ..lang import ast
 from ..lang.evaluator import Bindings, Evaluator
@@ -52,6 +57,14 @@ class TriggerRuntime:
     #: bound on per-group aggregate state (the ``window N`` flag); None
     #: accumulates forever
     window: Optional[int] = None
+    #: temporal window (the ``window N seconds [of col]`` flag); None for
+    #: non-temporal triggers.  State lives in the engine's WindowStateStore
+    #: (WAL-checkpointed), not on the runtime.
+    window_spec: Optional[WindowSpec] = None
+    #: compiled incremental having plan (None -> general evaluator fallback)
+    window_plan: Optional[object] = field(default=None, repr=False, compare=False)
+    #: columns whose running sums the incremental plan reads
+    window_tracked: Tuple[str, ...] = ()
     #: group key -> accumulated bindings (aggregate trigger state)
     group_state: Dict[Tuple, List[Bindings]] = field(default_factory=dict)
     fire_count: int = 0
@@ -92,6 +105,38 @@ class TriggerRuntime:
         if self.having is None:
             return bindings
         result = evaluator.evaluate_aggregate(self.having, group, bindings)
+        return bindings if result is True else None
+
+    # -- temporal (sliding time-window) handling ---------------------------------
+
+    def window_fire(
+        self, bindings: Bindings, evaluator: Evaluator, windows, seq: int
+    ) -> Optional[Bindings]:
+        """Feed one complete match into the engine's window-state store;
+        returns bindings to fire with when the threshold holds over the
+        last ``window_spec.seconds`` of event time for this group."""
+        spec = self.window_spec
+        tvar = self.tvars[0]
+        row = bindings.rows.get(tvar)
+        ts = None if row is None else row.get(spec.ts_column)
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            windows.bad_timestamp()
+            return None
+        key = tuple(
+            evaluator.evaluate(column, bindings) for column in self.group_by
+        )
+        window = windows.observe(
+            self.name, key, float(ts), dict(row), seq,
+            spec.seconds, self.window_tracked,
+        )
+        if self.window_plan is not None:
+            result = self.window_plan(window.aggs)
+        else:
+            group = [
+                Bindings(rows={tvar: entry_row})
+                for _ts, _seq, entry_row in window.entries
+            ]
+            result = evaluator.evaluate_aggregate(self.having, group, bindings)
         return bindings if result is True else None
 
 
@@ -233,6 +278,30 @@ def build_runtime(
             if window <= 0:
                 raise TriggerError("window size must be positive")
 
+    window_spec = window_spec_from_flags(statement.flags)
+    window_plan = None
+    window_tracked: Tuple[str, ...] = ()
+    if window_spec is not None:
+        if window is not None:
+            raise TriggerError(
+                "a trigger cannot combine a count window and a time window"
+            )
+        if having is None:
+            raise TriggerError(
+                "a temporal window trigger needs a HAVING threshold"
+            )
+        if len(tvar_sources) > 1:
+            raise TriggerError(
+                "temporal window triggers take a single tuple variable"
+            )
+        only_source = registry.get(next(iter(tvar_sources.values())))
+        if not only_source.has_column(window_spec.ts_column):
+            raise TriggerError(
+                f"data source {only_source.name!r} has no timestamp "
+                f"column {window_spec.ts_column!r}"
+            )
+        window_plan, window_tracked = compile_incremental_having(having)
+
     return TriggerRuntime(
         trigger_id=trigger_id,
         name=statement.name,
@@ -247,6 +316,9 @@ def build_runtime(
         group_by=tuple(group_by),
         having=having,
         window=window,
+        window_spec=window_spec,
+        window_plan=window_plan,
+        window_tracked=window_tracked,
     )
 
 

@@ -36,7 +36,8 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import TriggerError
+from ..condition.windows import WindowStateStore
+from ..errors import CatalogError, TriggerError
 from ..obs import Observability
 from ..obs.views import register_engine_views
 from ..lang import ast
@@ -186,6 +187,10 @@ class TriggerMan(IngestionMixin):
             self.pipeline.submit,
             self.queue,
         )
+        #: sliding-window state for temporal (``window N seconds``) triggers,
+        #: WAL-backed alongside the firing ledger
+        self.windows = WindowStateStore(self.obs)
+        self.windows.attach_wal(self.wal, self._durable_tokens)
         self.matcher = MatchExecutor(
             self.index,
             self.cache,
@@ -198,16 +203,19 @@ class TriggerMan(IngestionMixin):
             self._m_pin_ns,
             self._m_network_ns,
             self.pipeline.submit,
+            windows=self.windows,
         )
         self.pipeline.firing = self.firing
         self.pipeline.process = self.process_token
         self.pipeline.process_batch = self.process_batch
         self._driver_pool = None
         self._server = None
+        self._sources = None
         register_engine_views(self)
         self.runtimes.restore(self._connection, self._capture)
         self.firing.recover_tokens(self.catalog_db.recovery)
-        self.catalog_db.checkpoint_state_provider = self.firing.checkpoint_state
+        self.windows.restore(self.catalog_db.recovery, self._window_tracked_for)
+        self.catalog_db.checkpoint_state_provider = self._checkpoint_state
 
     # -- constructors --------------------------------------------------------
 
@@ -248,7 +256,28 @@ class TriggerMan(IngestionMixin):
         return self.runtimes.create_trigger_statement(statement, text)
 
     def drop_trigger(self, name: str) -> int:
-        return self.runtimes.drop_trigger(name)
+        trigger_id = self.runtimes.drop_trigger(name)
+        self.windows.forget(name)
+        return trigger_id
+
+    def _window_tracked_for(self, name: str) -> Tuple[str, ...]:
+        """Restore hook: a temporal trigger's incremental-plan columns
+        (empty for dropped / non-temporal triggers)."""
+        try:
+            trigger_id = self.catalog.trigger_id(name)
+            runtime = self.cache.pin(trigger_id)
+            self.cache.unpin(trigger_id)
+        except (CatalogError, TriggerError):
+            return ()
+        return runtime.window_tracked if runtime.window_spec else ()
+
+    def _checkpoint_state(self) -> Dict[str, Any]:
+        """Engine state carried by fuzzy checkpoints: the firing ledger's
+        in-flight tokens plus the temporal window-state snapshot."""
+        state = self.firing.checkpoint_state()
+        if self._durable_tokens:
+            state["windows"] = self.windows.snapshot()
+        return state
 
     def set_trigger_enabled(self, name: str, enabled: bool) -> int:
         return self.runtimes.set_trigger_enabled(name, enabled)
@@ -353,6 +382,19 @@ class TriggerMan(IngestionMixin):
     def server(self):
         return self._server
 
+    # -- the source-adapter surface ------------------------------------------
+
+    @property
+    def sources(self):
+        """The :class:`repro.sources.registry.SourceRegistry` feeding this
+        engine (created lazily; adapters push tokens onto the normal
+        batched ingest path via ``push``)."""
+        if self._sources is None:
+            from ..sources.registry import SourceRegistry
+
+            self._sources = SourceRegistry(self, obs=self.obs)
+        return self._sources
+
     def process_all(self, max_tokens: Optional[int] = None) -> int:
         """Drain the update queue and the task queue on the calling thread;
         returns the number of tokens processed."""
@@ -453,8 +495,10 @@ class TriggerMan(IngestionMixin):
             connection.database.flush()
 
     def close(self) -> None:
-        """Stop the network server and drivers, then flush and close every
-        database this instance opened."""
+        """Stop source adapters, the network server, and drivers, then
+        flush and close every database this instance opened."""
+        if self._sources is not None:
+            self._sources.stop_all()
         self.stop_serving()
         self.stop_drivers()
         seen = {id(self.catalog_db)}

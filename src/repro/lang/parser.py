@@ -92,10 +92,24 @@ def _parse_create_trigger(stream: TokenStream) -> ast.CreateTriggerStatement:
             from .scanner import NUMBER
 
             token = stream.peek()
-            if token.kind != NUMBER or "." in token.value:
-                raise stream.error("WINDOW requires an integer size")
+            if token.kind != NUMBER:
+                raise stream.error("WINDOW requires a numeric size")
             stream.next()
-            flag = f"WINDOW:{int(token.value)}"
+            if stream.accept_keyword("SECONDS", "SECOND"):
+                # Temporal form: ``window N seconds [of <ts column>]`` — a
+                # sliding window over event time, not a tuple-count window.
+                seconds = float(token.value)
+                if seconds <= 0:
+                    raise stream.error("WINDOW ... SECONDS must be positive")
+                column = ""
+                if stream.accept_keyword("OF"):
+                    column = stream.expect_ident("timestamp column").value
+                size = int(seconds) if seconds == int(seconds) else seconds
+                flag = f"WINDOWSEC:{size}" + (f":{column}" if column else "")
+            else:
+                if "." in token.value:
+                    raise stream.error("WINDOW requires an integer size")
+                flag = f"WINDOW:{int(token.value)}"
         flags.append(flag)
 
     # Clause order per the paper's grammar: from, on, when, group by, having,

@@ -60,6 +60,7 @@ E_CONNECTION = "E_CONNECTION"    # client-side: transport failed mid-call
 E_INTERNAL = "E_INTERNAL"        # unexpected server-side exception
 E_WRONG_SHARD = "E_WRONG_SHARD"  # cluster: this shard does not own the key
                                  # (error data names the owner to redirect to)
+E_UNAUTHORIZED = "E_UNAUTHORIZED"  # webhook: missing/invalid HMAC signature
 
 #: codes a client may retry after backing off
 RETRYABLE = frozenset({E_BACKPRESSURE, E_TIMEOUT})

@@ -1,0 +1,60 @@
+"""Trigger-source adapters: external events onto the ingest path.
+
+The engine core consumes :class:`~repro.engine.descriptors.UpdateDescriptor`
+tokens from its update queue and does not care who produced them (§3's
+asynchronous capture boundary).  This package supplies the producers — a
+:class:`~repro.sources.registry.SourceRegistry` of pluggable
+:class:`~repro.sources.base.SourceAdapter` instances, each converting one
+external event feed into stream tokens:
+
+* :class:`~repro.sources.webhook.WebhookSource` — an HMAC-authenticated
+  HTTP endpoint (push);
+* :class:`~repro.sources.cron.CronSource` — an interval scheduler (pull);
+* :class:`~repro.sources.filewatch.FileWatchSource` — a JSONL file tailer
+  (pull).
+
+Every adapter runs against an injectable :mod:`~repro.sources.clock`, so
+tests drive schedules, backoff, and cooldown deterministically — no test
+ever sleeps.  Failures feed a per-adapter retry/backoff/cooldown state
+machine owned by the registry (see base.py); delivered events carry their
+own timestamps, which is what keeps the temporal window triggers downstream
+(:mod:`repro.condition.windows`) replayable and cluster-deterministic.
+"""
+
+from .base import (
+    BACKOFF,
+    COOLDOWN,
+    FAILED,
+    NEW,
+    RUNNING,
+    STOPPED,
+    RetryPolicy,
+    SourceAdapter,
+    SourceEvent,
+)
+from .clock import Clock, ManualClock, SystemClock
+from .cron import CronSource
+from .filewatch import FileWatchSource
+from .registry import SourceRegistry
+from .webhook import SIGNATURE_HEADER, WebhookSource, sign_payload
+
+__all__ = [
+    "BACKOFF",
+    "SIGNATURE_HEADER",
+    "COOLDOWN",
+    "Clock",
+    "CronSource",
+    "FAILED",
+    "FileWatchSource",
+    "ManualClock",
+    "NEW",
+    "RUNNING",
+    "RetryPolicy",
+    "STOPPED",
+    "SourceAdapter",
+    "SourceEvent",
+    "SourceRegistry",
+    "SystemClock",
+    "WebhookSource",
+    "sign_payload",
+]

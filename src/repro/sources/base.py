@@ -1,0 +1,193 @@
+"""Adapter base: lifecycle, events, and the retry/backoff/cooldown machine.
+
+An adapter's life is a small state machine, driven entirely by the
+injectable clock (never by sleeps):
+
+    NEW --start--> RUNNING --error--> BACKOFF --retries exhausted--> COOLDOWN
+                      ^                  |                              |
+                      +---success--------+<----cooldown elapsed---------+
+    any state --stop--> STOPPED          (a fresh retry round)
+
+* RUNNING: polls run; events deliver.
+* BACKOFF: after a poll/delivery error — the next attempt waits
+  ``policy.delay(attempt)`` (exponential, capped).  Undelivered events
+  stay in the adapter's pending queue and are retried *in order* before
+  any new poll output, so a transient sink failure reorders nothing.
+* COOLDOWN: after ``max_retries`` consecutive failures the adapter rests
+  for ``policy.cooldown`` seconds, then starts a fresh retry round.
+  Cooldown is an adapter-level circuit breaker, not a terminal state —
+  only ``stop()`` is terminal (-> STOPPED).
+* FAILED: ``start()`` itself raised (e.g. the webhook port is taken);
+  a later ``start()`` may retry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+from .clock import Clock, SystemClock
+
+__all__ = [
+    "BACKOFF",
+    "COOLDOWN",
+    "FAILED",
+    "NEW",
+    "RUNNING",
+    "STOPPED",
+    "RetryPolicy",
+    "SourceAdapter",
+    "SourceEvent",
+]
+
+# -- adapter status values (strings: they travel through console/JSON) ------
+NEW = "new"
+RUNNING = "running"
+BACKOFF = "backoff"
+COOLDOWN = "cooldown"
+STOPPED = "stopped"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class SourceEvent:
+    """One external event, normalized: a stream mutation-to-be."""
+
+    stream: str
+    new: Dict[str, Any]
+    operation: str = "insert"
+    old: Optional[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-adapter recovery knobs (defaults suit tests and demos)."""
+
+    #: consecutive failures tolerated before entering cooldown
+    max_retries: int = 3
+    #: first backoff delay, seconds
+    backoff_base: float = 0.5
+    #: exponential growth per consecutive failure
+    backoff_factor: float = 2.0
+    #: backoff ceiling, seconds
+    backoff_cap: float = 30.0
+    #: circuit-breaker rest after retries are exhausted, seconds
+    cooldown: float = 60.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+
+
+class SourceAdapter:
+    """Base class for trigger-source adapters.
+
+    Subclasses implement ``_start``/``_stop`` (resource lifecycle; may
+    raise) and ``poll`` (return new :class:`SourceEvent` s; may raise).
+    Push-style adapters (webhook) instead enqueue via :meth:`enqueue`
+    from their own threads and keep ``poll`` empty.  All recovery logic —
+    retries, backoff, cooldown, pending-event preservation — lives here
+    and in the registry, not in subclasses.
+    """
+
+    #: subclass tag shown in status output ("webhook", "cron", ...)
+    kind = "adapter"
+
+    def __init__(
+        self,
+        name: str,
+        policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.name = name
+        #: back-reference set by SourceRegistry.add (push-side delivery)
+        self.registry = None
+        self.policy = policy or RetryPolicy()
+        #: None inherits the registry's clock at add(); an explicit clock
+        #: (ManualClock in tests) always wins
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self._clock_explicit = clock is not None
+        self.status = NEW
+        #: consecutive failures in the current retry round
+        self.attempts = 0
+        #: clock time before which pump() must not retry (backoff/cooldown)
+        self.not_before = 0.0
+        #: events produced but not yet accepted by the sink, oldest first
+        self.pending: Deque[SourceEvent] = deque()
+        self.delivered = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+
+    # -- subclass surface ---------------------------------------------------
+
+    def _start(self) -> None:
+        """Acquire resources (sockets, offsets).  May raise."""
+
+    def _stop(self) -> None:
+        """Release resources.  Must not raise."""
+
+    def poll(self) -> List[SourceEvent]:
+        """Produce any newly available events.  May raise."""
+        return []
+
+    # -- push-side entry (webhook threads) ----------------------------------
+
+    def enqueue(self, events: List[SourceEvent]) -> None:
+        self.pending.extend(events)
+
+    # -- state machine (driven by the registry) -----------------------------
+
+    def startable(self) -> bool:
+        return self.status in (NEW, STOPPED, FAILED)
+
+    def active(self) -> bool:
+        """Started and not stopped: pump() should consider this adapter."""
+        return self.status in (RUNNING, BACKOFF, COOLDOWN)
+
+    def due(self) -> bool:
+        """Active and past any backoff/cooldown gate."""
+        return self.active() and self.clock.now() >= self.not_before
+
+    def record_success(self) -> None:
+        self.status = RUNNING
+        self.attempts = 0
+        self.not_before = 0.0
+        self.last_error = None
+
+    def record_failure(self, error: Exception) -> str:
+        """Advance the recovery machine after a poll/delivery error;
+        returns the state entered (BACKOFF or COOLDOWN)."""
+        self.failures += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+        if self.status == COOLDOWN:
+            # The retry that ends a cooldown failed: start a new round.
+            self.attempts = 1
+        else:
+            self.attempts += 1
+        if self.attempts > self.policy.max_retries:
+            self.status = COOLDOWN
+            self.not_before = self.clock.now() + self.policy.cooldown
+            self.attempts = 0
+        else:
+            self.status = BACKOFF
+            self.not_before = self.clock.now() + self.policy.delay(
+                self.attempts
+            )
+        return self.status
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "attempts": self.attempts,
+            "not_before": self.not_before,
+            "pending": len(self.pending),
+            "delivered": self.delivered,
+            "failures": self.failures,
+            "last_error": self.last_error,
+        }

@@ -1,0 +1,51 @@
+"""Injectable time: the one seam that keeps every source test sleepless.
+
+Adapters and the registry never call ``time.time()`` directly — they read
+the clock they were built with.  Production uses :class:`SystemClock`;
+tests use :class:`ManualClock` and *advance* it, so cron schedules,
+backoff windows, and cooldown expiries all run instantly and
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "ManualClock", "SystemClock"]
+
+
+class Clock:
+    """Protocol: what the sources layer needs from time."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time (production)."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to (tests)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+        return self._now
+
+    def set(self, now: float) -> float:
+        if now < self._now:
+            raise ValueError("time only moves forward")
+        self._now = float(now)
+        return self._now

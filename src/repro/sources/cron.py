@@ -1,0 +1,82 @@
+"""The interval scheduler: synthetic events on a fixed period.
+
+Every firing's event row is stamped with the *scheduled* time, not the
+time ``poll()`` happened to run — so a pump that arrives late emits the
+whole backlog with exactly the timestamps an on-time pump would have
+produced, and downstream temporal windows see identical streams either
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .base import RetryPolicy, SourceAdapter, SourceEvent
+from .clock import Clock
+
+__all__ = ["CronSource"]
+
+
+class CronSource(SourceAdapter):
+    """Emit one event onto ``stream`` every ``interval`` seconds.
+
+    ``payload`` is either a template dict (copied per firing) or a
+    callable ``(index, scheduled_ts) -> row``.  The scheduled time lands
+    in ``ts_column`` unless the payload already set it.  ``count`` bounds
+    the total firings (None runs forever); ``start_at`` pins the first
+    firing (default: one interval after start).
+    """
+
+    kind = "cron"
+
+    def __init__(
+        self,
+        name: str,
+        stream: str,
+        interval: float,
+        payload: Union[None, Dict[str, Any], Callable[[int, float], Dict]] = None,
+        *,
+        ts_column: str = "ts",
+        count: Optional[int] = None,
+        start_at: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+    ):
+        super().__init__(name, policy=policy, clock=clock)
+        if interval <= 0:
+            raise ValueError("cron interval must be positive")
+        self.stream = stream
+        self.interval = float(interval)
+        self.payload = payload
+        self.ts_column = ts_column
+        self.count = count
+        self.start_at = start_at
+        self._next: Optional[float] = None
+        self._emitted = 0
+
+    def _start(self) -> None:
+        if self._next is None:  # a restart resumes the original schedule
+            self._next = (
+                self.start_at
+                if self.start_at is not None
+                else self.clock.now() + self.interval
+            )
+
+    def poll(self) -> List[SourceEvent]:
+        events: List[SourceEvent] = []
+        now = self.clock.now()
+        while (
+            self._next is not None
+            and self._next <= now
+            and (self.count is None or self._emitted < self.count)
+        ):
+            ts = self._next
+            if callable(self.payload):
+                row = dict(self.payload(self._emitted, ts))
+            else:
+                row = dict(self.payload or {})
+            row.setdefault(self.ts_column, ts)
+            events.append(SourceEvent(self.stream, row))
+            self._emitted += 1
+            self._next += self.interval
+        return events

@@ -1,0 +1,276 @@
+"""The source registry: adapter lifecycle + scheduling + delivery.
+
+One registry fronts one engine-like sink — anything with
+``push(source, operation, new=..., old=...)``: a
+:class:`~repro.engine.triggerman.TriggerMan` (tokens enter the local
+batched ingest path) or a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` (tokens route to
+the shard whose ring slice owns the stream's triggers) — which is how
+adapters are cluster-aware without knowing the cluster exists.
+
+``pump()`` is the single scheduling round: for every started adapter past
+its backoff/cooldown gate, flush pending events (oldest first), poll for
+new ones, deliver.  Everything is clock-driven; tests call ``pump()``
+around a :class:`~repro.sources.clock.ManualClock` and never sleep.
+Production callers either pump from their own loop (the ``--sources``
+headless mode) or start the built-in pumper thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..errors import TriggerError
+from .base import COOLDOWN, FAILED, STOPPED, SourceAdapter, SourceEvent
+from .clock import Clock, SystemClock
+
+__all__ = ["SourceRegistry"]
+
+
+class SourceRegistry:
+    """Named adapters over one token sink; owns start/stop and recovery."""
+
+    def __init__(
+        self, engine, obs=None, clock: Optional[Clock] = None, metrics=None
+    ):
+        self.engine = engine
+        self.clock = clock or SystemClock()
+        self._adapters: Dict[str, SourceAdapter] = {}
+        self._lock = threading.RLock()
+        self._pump_thread: Optional[threading.Thread] = None
+        self._pump_stop: Optional[threading.Event] = None
+        if metrics is None:
+            metrics = obs.metrics if obs is not None else None
+        if metrics is None:
+            from ..obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry(enabled=False, namespace="sources")
+        self._m_delivered = metrics.counter(
+            "sources.events_delivered",
+            "events accepted by the ingest path", always=True,
+        )
+        self._m_failures = metrics.counter(
+            "sources.failures", "adapter poll/delivery errors", always=True,
+        )
+        self._m_retries = metrics.counter(
+            "sources.retries", "failures that entered backoff", always=True,
+        )
+        self._m_cooldowns = metrics.counter(
+            "sources.cooldowns",
+            "retry rounds exhausted into cooldown", always=True,
+        )
+        self._m_rejected = metrics.counter(
+            "sources.rejected",
+            "webhook requests refused (bad signature/body)", always=True,
+        )
+        self._m_poll_events = metrics.histogram(
+            "sources.poll_events", "events returned per successful poll"
+        )
+
+    # -- membership ---------------------------------------------------------
+
+    def add(self, adapter: SourceAdapter) -> SourceAdapter:
+        with self._lock:
+            if adapter.name in self._adapters:
+                raise TriggerError(
+                    f"source adapter {adapter.name!r} already exists"
+                )
+            if not adapter._clock_explicit:
+                adapter.clock = self.clock
+            adapter.registry = self
+            self._adapters[adapter.name] = adapter
+            return adapter
+
+    def get(self, name: str) -> SourceAdapter:
+        with self._lock:
+            adapter = self._adapters.get(name)
+            if adapter is None:
+                raise TriggerError(f"unknown source adapter {name!r}")
+            return adapter
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._adapters)
+
+    def remove(self, name: str) -> SourceAdapter:
+        """Stop (if needed) and forget one adapter."""
+        with self._lock:
+            adapter = self.get(name)
+            self.stop(name)
+            del self._adapters[name]
+            return adapter
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._adapters
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._adapters)
+
+    # -- lifecycle (idempotent) ---------------------------------------------
+
+    def start(self, name: str) -> bool:
+        """Start one adapter; returns False (no-op) if already active.
+        A failing ``_start`` marks the adapter FAILED and re-raises."""
+        with self._lock:
+            adapter = self.get(name)
+            if adapter.active():
+                return False
+            try:
+                adapter._start()
+            except Exception as error:
+                adapter.status = FAILED
+                adapter.last_error = f"{type(error).__name__}: {error}"
+                self._m_failures.inc()
+                raise
+            adapter.record_success()
+            return True
+
+    def stop(self, name: str) -> bool:
+        """Stop one adapter; returns False (no-op) if not active."""
+        with self._lock:
+            adapter = self.get(name)
+            if not adapter.active():
+                return False
+            adapter._stop()
+            adapter.status = STOPPED
+            adapter.not_before = 0.0
+            return True
+
+    def start_all(self) -> int:
+        started = 0
+        for name in self.names():
+            if self.start(name):
+                started += 1
+        return started
+
+    def stop_all(self) -> int:
+        self.stop_pumping()
+        stopped = 0
+        for name in self.names():
+            if self.stop(name):
+                stopped += 1
+        return stopped
+
+    # -- scheduling ---------------------------------------------------------
+
+    def pump(self) -> int:
+        """One scheduling round over every due adapter; returns the number
+        of events delivered to the sink."""
+        total = 0
+        for name in self.names():
+            with self._lock:
+                adapter = self._adapters.get(name)
+                if adapter is None or not adapter.due():
+                    continue
+                total += self._pump_adapter(adapter)
+        return total
+
+    def _pump_adapter(self, adapter: SourceAdapter) -> int:
+        """Caller holds the registry lock."""
+        delivered = 0
+        try:
+            events = adapter.poll()
+            if events:
+                self._m_poll_events.observe(len(events))
+                adapter.pending.extend(events)
+            delivered = self._drain(adapter)
+        except Exception as error:
+            self._record_failure(adapter, error)
+            return delivered
+        adapter.record_success()
+        return delivered
+
+    def deliver(self, adapter: SourceAdapter, events: List[SourceEvent]) -> int:
+        """Push-side entry (webhook threads): enqueue and attempt immediate
+        delivery unless the adapter is gated by backoff/cooldown; returns
+        the number of events that reached the sink now (queued-but-gated
+        events flow on a later pump)."""
+        with self._lock:
+            adapter.pending.extend(events)
+            if not adapter.due():
+                return 0
+            try:
+                delivered = self._drain(adapter)
+            except Exception as error:
+                self._record_failure(adapter, error)
+                return 0
+            adapter.record_success()
+            return delivered
+
+    def _drain(self, adapter: SourceAdapter) -> int:
+        """Deliver pending events oldest-first; leaves the failing event
+        (and everything after it) queued on error."""
+        delivered = 0
+        while adapter.pending:
+            event = adapter.pending[0]
+            self.engine.push(
+                event.stream, event.operation, new=event.new, old=event.old
+            )
+            adapter.pending.popleft()
+            adapter.delivered += 1
+            self._m_delivered.inc()
+            delivered += 1
+        return delivered
+
+    def _record_failure(self, adapter: SourceAdapter, error: Exception) -> None:
+        state = adapter.record_failure(error)
+        self._m_failures.inc()
+        if state == COOLDOWN:
+            self._m_cooldowns.inc()
+        else:
+            self._m_retries.inc()
+
+    def reject(self, reason: str) -> None:
+        """A webhook request was refused before producing events."""
+        self._m_rejected.inc()
+
+    # -- the pumper thread (production convenience) --------------------------
+
+    def start_pumping(self, interval: float = 0.2) -> None:
+        """Run ``pump()`` every ``interval`` seconds on a daemon thread
+        (interactive/serve mode; tests pump manually instead)."""
+        with self._lock:
+            if self._pump_thread is not None and self._pump_thread.is_alive():
+                return
+            stop = self._pump_stop = threading.Event()
+
+            def loop() -> None:
+                while not stop.wait(interval):
+                    self.pump()
+
+            self._pump_thread = threading.Thread(
+                target=loop, name="source-pumper", daemon=True
+            )
+            self._pump_thread.start()
+
+    def stop_pumping(self) -> None:
+        thread, stop = self._pump_thread, self._pump_stop
+        self._pump_thread = self._pump_stop = None
+        if stop is not None:
+            stop.set()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2.0)
+
+    # -- introspection ------------------------------------------------------
+
+    def status(self, name: Optional[str] = None):
+        """One adapter's status dict, or all of them (console ``sources
+        status``)."""
+        if name is not None:
+            return self.get(name).describe()
+        with self._lock:
+            return [a.describe() for a in self._adapters.values()]
+
+    def queue_depth(self) -> Optional[int]:
+        """The sink's ingest queue depth, when it exposes one (webhook
+        backpressure); None for sinks without a visible queue."""
+        queue = getattr(self.engine, "queue", None)
+        if queue is None:
+            return None
+        try:
+            return len(queue)
+        except TypeError:  # pragma: no cover - exotic sinks
+            return None

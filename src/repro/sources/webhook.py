@@ -1,0 +1,205 @@
+"""The webhook adapter: an HMAC-authenticated HTTP ingest endpoint.
+
+External systems POST JSON events; the adapter authenticates each request
+with an HMAC-SHA256 signature over the raw body (GitHub-webhook style:
+``X-TriggerMan-Signature: sha256=<hexdigest>``), applies the same
+backpressure rule as the wire server (refuse ingest while the engine's
+update queue is over the high water), and hands accepted events to the
+registry for delivery.  Responses reuse the wire protocol's stable error
+codes (:mod:`repro.net.protocol`) in its JSON error shape, so a client
+that already speaks ``triggerman-wire-v1`` errors can reuse its retry
+logic verbatim: E_UNAUTHORIZED (401, not retryable), E_PARSE (400, not
+retryable), E_BACKPRESSURE (503, retryable).
+
+The request logic lives in :meth:`WebhookSource.handle`, a pure
+``(body, signature) -> (status, response)`` function — unit tests
+exercise authentication, parsing, and backpressure without opening a
+socket; the stdlib HTTP server is a thin shell around it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..net.protocol import E_BACKPRESSURE, E_PARSE, E_UNAUTHORIZED
+from .base import RetryPolicy, SourceAdapter, SourceEvent
+from .clock import Clock
+
+__all__ = ["SIGNATURE_HEADER", "WebhookSource", "sign_payload"]
+
+SIGNATURE_HEADER = "X-TriggerMan-Signature"
+
+
+def sign_payload(secret: bytes, body: bytes) -> str:
+    """The signature header value a well-behaved sender attaches."""
+    digest = hmac.new(secret, body, hashlib.sha256).hexdigest()
+    return f"sha256={digest}"
+
+
+def _error(code: str, message: str, retryable: bool) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "error": {"code": code, "message": message, "retryable": retryable},
+    }
+
+
+class WebhookSource(SourceAdapter):
+    """POST JSON events onto ``stream`` over HTTP, HMAC-validated.
+
+    Bodies may be a single object, a list of objects, or
+    ``{"rows": [...]}``.  Rows missing ``ts_column`` are stamped with the
+    adapter clock (disable with ``stamp_missing_ts=False`` when senders
+    always timestamp).  ``port=0`` binds an ephemeral port — read
+    ``adapter.address`` after start.
+    """
+
+    kind = "webhook"
+
+    def __init__(
+        self,
+        name: str,
+        stream: str,
+        secret: bytes,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        high_water: int = 10_000,
+        ts_column: str = "ts",
+        stamp_missing_ts: bool = True,
+        policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+    ):
+        super().__init__(name, policy=policy, clock=clock)
+        self.stream = stream
+        self.secret = secret if isinstance(secret, bytes) else secret.encode()
+        self.host = host
+        self.port = port
+        self.high_water = high_water
+        self.ts_column = ts_column
+        self.stamp_missing_ts = stamp_missing_ts
+        self.rejected = 0
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """Bound (host, port) while serving; None when stopped."""
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> Optional[str]:
+        address = self.address
+        if address is None:
+            return None
+        return f"http://{address[0]}:{address[1]}/"
+
+    # -- request logic (socket-free; unit-testable) --------------------------
+
+    def verify(self, body: bytes, signature: Optional[str]) -> bool:
+        """Constant-time HMAC check of ``signature`` against ``body``."""
+        if not signature:
+            return False
+        return hmac.compare_digest(sign_payload(self.secret, body), signature)
+
+    def handle(
+        self, body: bytes, signature: Optional[str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One request: authenticate, gate, parse, deliver.  Returns
+        ``(http status, response json)``.  A rejected request produces no
+        events — nothing reaches the ingest path."""
+        registry = getattr(self, "registry", None)
+        if not self.verify(body, signature):
+            self.rejected += 1
+            if registry is not None:
+                registry.reject("bad-signature")
+            return 401, _error(
+                E_UNAUTHORIZED, "missing or invalid signature", False
+            )
+        depth = registry.queue_depth() if registry is not None else None
+        if depth is not None and depth > self.high_water:
+            return 503, _error(
+                E_BACKPRESSURE,
+                f"ingest queue depth {depth} over high water "
+                f"{self.high_water}",
+                True,
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self.rejected += 1
+            if registry is not None:
+                registry.reject("bad-body")
+            return 400, _error(E_PARSE, f"unparseable body: {error}", False)
+        if isinstance(payload, dict) and "rows" in payload:
+            rows = payload["rows"]
+        elif isinstance(payload, dict):
+            rows = [payload]
+        else:
+            rows = payload
+        if not isinstance(rows, list) or not all(
+            isinstance(r, dict) for r in rows
+        ):
+            self.rejected += 1
+            if registry is not None:
+                registry.reject("bad-rows")
+            return 400, _error(
+                E_PARSE, "body must be an object, a list of objects, "
+                'or {"rows": [...]}', False,
+            )
+        events: List[SourceEvent] = []
+        for row in rows:
+            row = dict(row)
+            if self.stamp_missing_ts:
+                row.setdefault(self.ts_column, self.clock.now())
+            events.append(SourceEvent(self.stream, row))
+        delivered = 0
+        if events and registry is not None:
+            delivered = registry.deliver(self, events)
+        return 202, {
+            "ok": True, "accepted": len(events), "delivered": delivered,
+        }
+
+    # -- HTTP shell ----------------------------------------------------------
+
+    def _start(self) -> None:
+        adapter = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                signature = self.headers.get(SIGNATURE_HEADER)
+                status, response = adapter.handle(body, signature)
+                payload = json.dumps(response).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args) -> None:  # quiet
+                pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"webhook-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=2.0)

@@ -547,11 +547,15 @@ class Database:
         )
         if isinstance(state, dict):
             incomplete, max_seq = state.get("incomplete"), state.get("max_seq", 0)
+            extra = (
+                {"windows": state["windows"]} if "windows" in state else None
+            )
         else:
-            incomplete, max_seq = state, 0
+            incomplete, max_seq, extra = state, 0, None
         with self.lock:
             return take_checkpoint(
-                self.pool, self.wal, incomplete, compact=compact, max_seq=max_seq
+                self.pool, self.wal, incomplete, compact=compact,
+                max_seq=max_seq, extra=extra,
             )
 
     def close(self) -> None:

@@ -33,6 +33,7 @@ def take_checkpoint(
     incomplete: Optional[List[dict]] = None,
     compact: bool = True,
     max_seq: int = 0,
+    extra: Optional[Dict] = None,
 ) -> Dict[str, int]:
     """Checkpoint ``pool``'s dirty pages against ``wal``; returns a report
     dict (pages flushed, checkpoint LSN, log bytes before/after).
@@ -42,7 +43,10 @@ def take_checkpoint(
     entries (empty for a bare storage-level checkpoint).  ``max_seq`` is
     the queue's seq high-water mark; carrying it across compaction keeps
     seqs unique for the life of the log even after the records proving a
-    seq was used are discarded.
+    seq was used are discarded.  ``extra`` merges additional engine state
+    into the record (e.g. the temporal window-state snapshot under
+    ``"windows"`` — compaction drops the WINDOW_EVENT records that built
+    it, so the checkpoint must carry the equivalent state).
     """
     bytes_before = wal.size()
     pages_flushed = pool.flush()
@@ -55,6 +59,8 @@ def take_checkpoint(
         "incomplete": incomplete or [],
         "max_seq": max_seq,
     }
+    if extra:
+        payload.update(extra)
     lsn = wal.append_json(CHECKPOINT, payload)
     wal.flush()
     bytes_after = wal.size()

@@ -49,6 +49,7 @@ TOKEN_ENQUEUE = 3  # informational: an update descriptor entered the queue
 TOKEN_DEQUEUE = 4  # a descriptor left the queue (payload carried for replay)
 ACTION_FIRED = 5  # one trigger firing executed (the durable firing ledger)
 TOKEN_DONE = 6  # a descriptor finished processing (all firings executed)
+WINDOW_EVENT = 7  # a token entered a temporal window (sliding-window state)
 
 TYPE_NAMES = {
     PAGE_IMAGE: "page_image",
@@ -57,6 +58,7 @@ TYPE_NAMES = {
     TOKEN_DEQUEUE: "token_dequeue",
     ACTION_FIRED: "action_fired",
     TOKEN_DONE: "token_done",
+    WINDOW_EVENT: "window_event",
 }
 
 SYNC_OFF = "off"

@@ -47,12 +47,15 @@ from .log import (
     TOKEN_DEQUEUE,
     TOKEN_DONE,
     TOKEN_ENQUEUE,
+    WINDOW_EVENT,
     WalRecord,
     WriteAheadLog,
 )
 
 #: record types whose JSON body carries a token ``seq``
-_TOKEN_RECORDS = (TOKEN_ENQUEUE, TOKEN_DEQUEUE, ACTION_FIRED, TOKEN_DONE)
+_TOKEN_RECORDS = (
+    TOKEN_ENQUEUE, TOKEN_DEQUEUE, ACTION_FIRED, TOKEN_DONE, WINDOW_EVENT,
+)
 
 
 @dataclass
@@ -89,6 +92,11 @@ class RecoveryResult:
     max_seq: int = 0
     #: durable page-LSN table after redo (seeds WriteAheadLog.page_lsns)
     page_lsns: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    #: checkpoint-carried temporal window-state snapshot (None without one)
+    windows: Optional[dict] = None
+    #: post-checkpoint WINDOW_EVENT payloads, in LSN order — folded over
+    #: ``windows`` by the engine's window store at restore time
+    window_events: List[dict] = field(default_factory=list)
 
     def summary(self) -> str:
         return (
@@ -190,6 +198,11 @@ def recover(
         if close_pagers:
             pager.close()
     result.incomplete, result.done_seqs = analyze_tokens(after, checkpoint)
+    if checkpoint is not None:
+        result.windows = checkpoint.get("windows")
+    result.window_events = [
+        record.json() for record in after if record.rtype == WINDOW_EVENT
+    ]
     max_seq = checkpoint.get("max_seq", 0) if checkpoint else 0
     for entry in (checkpoint or {}).get("incomplete", []):
         max_seq = max(max_seq, entry.get("seq", 0))

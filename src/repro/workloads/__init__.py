@@ -3,12 +3,15 @@
 from .generators import (
     DEPARTMENTS,
     EMP_COLUMNS,
+    EVENT_STREAM_COLUMNS,
     SIGNATURE_TEMPLATES,
     PredicateSpec,
     build_naive,
     build_predicate_index,
+    define_event_stream,
     emp_predicates,
     emp_tokens,
+    event_stream,
     organization_factory_for,
     populate_realestate,
     zipf_indices,
@@ -17,12 +20,15 @@ from .generators import (
 __all__ = [
     "DEPARTMENTS",
     "EMP_COLUMNS",
+    "EVENT_STREAM_COLUMNS",
     "SIGNATURE_TEMPLATES",
     "PredicateSpec",
     "build_naive",
     "build_predicate_index",
+    "define_event_stream",
     "emp_predicates",
     "emp_tokens",
+    "event_stream",
     "organization_factory_for",
     "populate_realestate",
     "zipf_indices",

@@ -192,6 +192,64 @@ def emp_tokens(
     return out
 
 
+#: The columns of the canonical timestamped ops-event stream (E16, the
+#: temporal-window tests, and examples/ops_alerts.py).
+EVENT_STREAM_COLUMNS = (
+    ("host", "varchar(40)"),
+    ("code", "integer"),
+    ("latency", "float"),
+    ("ts", "float"),
+)
+
+
+def define_event_stream(tman, name: str = "events") -> str:
+    """Define the canonical ops-event stream on an engine/coordinator
+    (both speak ``execute_command``); returns the stream name."""
+    columns = ", ".join(f"{c} {t}" for c, t in EVENT_STREAM_COLUMNS)
+    tman.execute_command(f"define data source {name} as stream ({columns})")
+    return name
+
+
+def event_stream(
+    count: int,
+    *,
+    hosts: int = 8,
+    interval: float = 0.1,
+    jitter: float = 0.5,
+    error_rate: float = 0.2,
+    seed: int = 17,
+    start: Optional[float] = None,
+    clock: Any = None,
+) -> List[Dict[str, Any]]:
+    """``count`` seeded ops-event rows with nondecreasing ``ts``.
+
+    Each row is ``{host, code, latency, ts}``: ``error_rate`` of the
+    events carry 5xx codes, the rest 200.  Timestamps advance by
+    ``interval`` seconds ± ``jitter`` (as a fraction) from ``start`` —
+    or, with ``start=None``, from ``clock.now()`` (an injectable
+    :class:`repro.sources.clock.Clock`; default 0.0).  Same seed, same
+    stream — the property the window crash tests and the in-process vs
+    cluster digest comparisons rely on.
+    """
+    rng = random.Random(seed)
+    if start is None:
+        start = clock.now() if clock is not None else 0.0
+    ts = float(start)
+    out: List[Dict[str, Any]] = []
+    for _ in range(count):
+        is_error = rng.random() < error_rate
+        out.append(
+            {
+                "host": f"host{rng.randrange(hosts)}",
+                "code": 500 + rng.randrange(5) if is_error else 200,
+                "latency": round(rng.uniform(1.0, 250.0), 3),
+                "ts": round(ts, 6),
+            }
+        )
+        ts += interval * (1.0 + jitter * (rng.random() * 2.0 - 1.0))
+    return out
+
+
 def zipf_indices(count: int, universe: int, s: float = 1.1, seed: int = 13) -> List[int]:
     """``count`` indices in [0, universe) with a Zipf(s) popularity skew
     (used for trigger-cache locality experiments)."""

@@ -1,0 +1,316 @@
+"""Tests for temporal triggers: ``window N seconds [of col]`` — sliding
+event-time windows with incremental count/sum/avg thresholds, per
+correlation key (the PR-7 tentpole's condition-layer half)."""
+
+import pytest
+
+from repro.condition.windows import (
+    WindowSpec,
+    compile_incremental_having,
+    window_spec_from_flags,
+)
+from repro.engine.triggerman import TriggerMan
+from repro.errors import ParseError, TriggerError
+from repro.lang.parser import parse_command
+
+
+def fired(tman, name):
+    return [n.args for n in tman.events.history if n.event_name == name]
+
+
+@pytest.fixture
+def tman_events():
+    tman = TriggerMan.in_memory()
+    tman.define_stream(
+        "ev",
+        [
+            ("host", "varchar(40)"),
+            ("code", "integer"),
+            ("ms", "float"),
+            ("ts", "float"),
+        ],
+    )
+    yield tman
+    tman.close()
+
+
+def _push(tman, host="a", code=500, ms=10.0, ts=0.0):
+    tman.push("ev", "insert", new={"host": host, "code": code, "ms": ms, "ts": ts})
+
+
+class TestParsing:
+    def test_window_seconds_flag(self):
+        cmd = parse_command(
+            "create trigger t window 30 seconds from ev "
+            "having count(*) >= 3 do raise event E"
+        )
+        assert "WINDOWSEC:30" in cmd.flags
+        assert window_spec_from_flags(cmd.flags) == WindowSpec(30.0, "ts")
+
+    def test_window_seconds_of_column(self):
+        cmd = parse_command(
+            "create trigger t window 5 seconds of stamp from ev "
+            "having count(*) >= 2 do raise event E"
+        )
+        assert "WINDOWSEC:5:stamp" in cmd.flags
+        assert window_spec_from_flags(cmd.flags) == WindowSpec(5.0, "stamp")
+
+    def test_fractional_seconds(self):
+        cmd = parse_command(
+            "create trigger t window 2.5 seconds from ev "
+            "having count(*) >= 2 do raise event E"
+        )
+        assert window_spec_from_flags(cmd.flags).seconds == 2.5
+
+    def test_singular_second(self):
+        cmd = parse_command(
+            "create trigger t window 1 second from ev "
+            "having count(*) >= 2 do raise event E"
+        )
+        assert "WINDOWSEC:1" in cmd.flags
+
+    def test_count_window_still_integer_only(self):
+        cmd = parse_command(
+            "create trigger t window 100 from ev "
+            "having count(*) > 5 do raise event E"
+        )
+        assert "WINDOW:100" in cmd.flags
+        with pytest.raises(ParseError):
+            parse_command("create trigger t window 2.5 from ev do raise event E")
+
+    def test_zero_seconds_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command(
+                "create trigger t window 0 seconds from ev "
+                "having count(*) >= 1 do raise event E"
+            )
+
+
+class TestValidation:
+    def test_needs_having(self, tman_events):
+        with pytest.raises(TriggerError, match="HAVING"):
+            tman_events.create_trigger(
+                "create trigger t window 10 seconds from ev do raise event E"
+            )
+
+    def test_single_tvar_only(self, tman_events):
+        tman_events.define_stream("other", [("x", "integer")])
+        with pytest.raises(TriggerError, match="single tuple variable"):
+            tman_events.create_trigger(
+                "create trigger t window 10 seconds from ev, other o "
+                "when ev.code = o.x having count(*) >= 2 do raise event E"
+            )
+
+    def test_ts_column_must_exist(self, tman_events):
+        with pytest.raises(TriggerError, match="nope"):
+            tman_events.create_trigger(
+                "create trigger t window 10 seconds of nope from ev "
+                "having count(*) >= 2 do raise event E"
+            )
+
+    def test_cannot_combine_with_count_window(self, tman_events):
+        with pytest.raises(TriggerError, match="combine"):
+            tman_events.create_trigger(
+                "create trigger t window 5 window 10 seconds from ev "
+                "having count(*) >= 2 do raise event E"
+            )
+
+
+class TestIncrementalCompiler:
+    def _having(self, text):
+        cmd = parse_command(
+            f"create trigger t window 9 seconds from ev "
+            f"having {text} do raise event E"
+        )
+        return cmd.having
+
+    def test_count_star_threshold(self):
+        plan, tracked = compile_incremental_having(self._having("count(*) >= 3"))
+        assert plan is not None and tracked == ()
+
+    def test_sum_and_avg_track_columns(self):
+        plan, tracked = compile_incremental_having(
+            self._having("sum(ms) > 100 and avg(ms) < 900")
+        )
+        assert plan is not None and tracked == ("ms",)
+
+    def test_flipped_literal_side(self):
+        plan, tracked = compile_incremental_having(self._having("3 <= count(*)"))
+        assert plan is not None
+
+    def test_min_max_fall_back(self):
+        plan, tracked = compile_incremental_having(self._having("min(ms) > 5"))
+        assert plan is None and tracked == ()
+
+    def test_non_aggregate_falls_back(self):
+        plan, _ = compile_incremental_having(
+            self._having("count(*) >= 3 and ms > 5")
+        )
+        assert plan is None
+
+
+class TestSemantics:
+    def test_count_threshold_slides(self, tman_events):
+        tman_events.create_trigger(
+            "create trigger burst window 10 seconds from ev "
+            "group by ev.host having count(*) >= 3 "
+            "do raise event Burst(ev.host)"
+        )
+        for ts in (1.0, 2.0, 3.0, 4.0, 20.0, 21.0, 22.0):
+            _push(tman_events, ts=ts)
+        tman_events.process_all()
+        # fires at ts=3 (count 3), ts=4 (count 4), and again at ts=22 after
+        # the window slid past the first burst entirely
+        assert fired(tman_events, "Burst") == [("a",)] * 3
+
+    def test_per_key_isolation(self, tman_events):
+        tman_events.create_trigger(
+            "create trigger burst window 10 seconds from ev "
+            "group by ev.host having count(*) >= 2 "
+            "do raise event Burst(ev.host)"
+        )
+        _push(tman_events, host="a", ts=1.0)
+        _push(tman_events, host="b", ts=1.5)
+        _push(tman_events, host="a", ts=2.0)
+        tman_events.process_all()
+        assert fired(tman_events, "Burst") == [("a",)]
+
+    def test_when_filters_before_window(self, tman_events):
+        tman_events.create_trigger(
+            "create trigger errs window 10 seconds from ev "
+            "when ev.code >= 500 group by ev.host having count(*) >= 2 "
+            "do raise event Errs(ev.host)"
+        )
+        _push(tman_events, code=500, ts=1.0)
+        _push(tman_events, code=200, ts=2.0)  # filtered: not in the window
+        _push(tman_events, code=503, ts=3.0)
+        tman_events.process_all()
+        assert fired(tman_events, "Errs") == [("a",)]
+        assert tman_events.windows.describe("errs")[0]["entries"] == 2
+
+    def test_sum_window(self, tman_events):
+        tman_events.create_trigger(
+            "create trigger spend window 10 seconds from ev "
+            "group by ev.host having sum(ms) > 100 "
+            "do raise event Spend(ev.host)"
+        )
+        _push(tman_events, ms=60.0, ts=1.0)
+        _push(tman_events, ms=60.0, ts=2.0)  # sum 120 -> fires
+        _push(tman_events, ms=10.0, ts=13.0)  # both evicted; sum 10
+        tman_events.process_all()
+        assert fired(tman_events, "Spend") == [("a",)]
+
+    def test_avg_fallback_equivalence(self, tman_events):
+        """The same threshold through the incremental plan and the general
+        evaluator (forced via a non-incremental shape) fire identically."""
+        tman_events.create_trigger(
+            "create trigger fast window 10 seconds from ev "
+            "group by ev.host having avg(ms) < 50 and count(*) >= 2 "
+            "do raise event Fast(ev.host)"
+        )
+        tman_events.create_trigger(
+            "create trigger fast2 window 10 seconds from ev "
+            "group by ev.host having avg(ms) < 50 and count(ms) >= 2 "
+            "and min(ms) >= 0 do raise event Fast2(ev.host)"
+        )
+        runtimes = {r.name: r for r in tman_events.triggers()}
+        assert runtimes["fast"].window_plan is not None
+        assert runtimes["fast2"].window_plan is None  # evaluator fallback
+        for ms, ts in [(10.0, 1.0), (20.0, 2.0), (400.0, 3.0)]:
+            _push(tman_events, ms=ms, ts=ts)
+        tman_events.process_all()
+        assert fired(tman_events, "Fast") == fired(tman_events, "Fast2") == [
+            ("a",)
+        ]
+
+    def test_global_window_without_group_by(self, tman_events):
+        tman_events.create_trigger(
+            "create trigger any window 10 seconds from ev "
+            "having count(*) >= 2 do raise event Any(ev.host)"
+        )
+        _push(tman_events, host="a", ts=1.0)
+        _push(tman_events, host="b", ts=2.0)  # one global key
+        tman_events.process_all()
+        assert fired(tman_events, "Any") == [("b",)]
+
+    def test_bad_timestamp_skipped(self, tman_events):
+        tman_events.create_trigger(
+            "create trigger burst window 10 seconds from ev "
+            "having count(*) >= 1 do raise event Burst(ev.host)"
+        )
+        tman_events.push("ev", "insert", new={"host": "a", "code": 1, "ms": 1.0})
+        tman_events.process_all()
+        assert fired(tman_events, "Burst") == []
+
+    def test_late_event_joins_window(self, tman_events):
+        tman_events.create_trigger(
+            "create trigger burst window 10 seconds from ev "
+            "having count(*) >= 3 do raise event Burst(ev.host)"
+        )
+        _push(tman_events, ts=5.0)
+        _push(tman_events, ts=8.0)
+        _push(tman_events, ts=6.0)  # late, still inside the window
+        tman_events.process_all()
+        assert fired(tman_events, "Burst") == [("a",)]
+
+    def test_drop_trigger_forgets_state(self, tman_events):
+        tman_events.create_trigger(
+            "create trigger burst window 10 seconds from ev "
+            "having count(*) >= 2 do raise event Burst(ev.host)"
+        )
+        _push(tman_events, ts=1.0)
+        tman_events.process_all()
+        assert tman_events.windows.window_count() == 1
+        tman_events.drop_trigger("burst")
+        assert tman_events.windows.window_count() == 0
+
+
+class TestRestart:
+    def test_state_survives_clean_restart(self, tmp_path):
+        path = str(tmp_path / "db")
+
+        def boot():
+            tman = TriggerMan.persistent(path)
+            if "ev" not in tman.registry:
+                tman.define_stream(
+                    "ev", [("host", "varchar(40)"), ("ts", "float")]
+                )
+                tman.create_trigger(
+                    "create trigger burst window 10 seconds from ev "
+                    "group by ev.host having count(*) >= 3 "
+                    "do raise event Burst(ev.host)"
+                )
+            return tman
+
+        tman = boot()
+        tman.push("ev", "insert", new={"host": "a", "ts": 1.0})
+        tman.push("ev", "insert", new={"host": "a", "ts": 2.0})
+        tman.process_all()
+        tman.close()
+
+        tman = boot()
+        assert tman.windows.describe("burst")[0]["entries"] == 2
+        tman.push("ev", "insert", new={"host": "a", "ts": 3.0})
+        tman.process_all()
+        # the third event completes the pre-restart pair: exactly one fire
+        assert fired(tman, "Burst") == [("a",)]
+        tman.close()
+
+    def test_checkpoint_carries_snapshot(self, tmp_path):
+        path = str(tmp_path / "db")
+        tman = TriggerMan.persistent(path)
+        tman.define_stream("ev", [("host", "varchar(40)"), ("ts", "float")])
+        tman.create_trigger(
+            "create trigger burst window 10 seconds from ev "
+            "having count(*) >= 3 do raise event Burst(ev.host)"
+        )
+        tman.push("ev", "insert", new={"host": "a", "ts": 1.0})
+        tman.process_all()
+        tman.checkpoint()  # compacts away the WINDOW_EVENT record
+        tman.push("ev", "insert", new={"host": "a", "ts": 2.0})
+        tman.process_all()
+        tman.close()
+
+        tman = TriggerMan.persistent(path)
+        assert tman.windows.describe("burst")[0]["entries"] == 2
+        tman.close()

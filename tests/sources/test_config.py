@@ -1,0 +1,126 @@
+"""Declarative adapter config: build_adapter validation + load_config."""
+
+import json
+
+import pytest
+
+from repro.errors import TriggerError
+from repro.obs.metrics import MetricsRegistry
+from repro.sources import (
+    CronSource,
+    FileWatchSource,
+    ManualClock,
+    SourceRegistry,
+    WebhookSource,
+)
+from repro.sources.config import build_adapter, load_config
+
+
+class FakeSink:
+    def push(self, source, operation, new=None, old=None):
+        pass
+
+
+def make_registry():
+    return SourceRegistry(
+        FakeSink(), clock=ManualClock(),
+        metrics=MetricsRegistry(enabled=False, namespace="t"),
+    )
+
+
+class TestBuildAdapter:
+    def test_each_kind(self, tmp_path):
+        hook = build_adapter({
+            "kind": "webhook", "name": "h", "stream": "s",
+            "secret": "top", "high_water": 7,
+        })
+        assert isinstance(hook, WebhookSource)
+        assert hook.secret == b"top" and hook.high_water == 7
+
+        cron = build_adapter({
+            "kind": "cron", "name": "c", "stream": "s", "interval": 3,
+            "payload": {"x": 1},
+        })
+        assert isinstance(cron, CronSource) and cron.interval == 3.0
+
+        tail = build_adapter({
+            "kind": "filewatch", "name": "f", "stream": "s",
+            "path": str(tmp_path / "x.jsonl"),
+        })
+        assert isinstance(tail, FileWatchSource)
+
+    def test_unknown_kind(self):
+        with pytest.raises(TriggerError, match="unknown adapter kind"):
+            build_adapter({"kind": "kafka", "name": "k", "stream": "s"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(TriggerError, match="intervall"):
+            build_adapter({
+                "kind": "cron", "name": "c", "stream": "s",
+                "interval": 3, "intervall": 5,
+            })
+
+    def test_missing_required_fields(self):
+        with pytest.raises(TriggerError, match="'name'"):
+            build_adapter({"kind": "cron", "stream": "s", "interval": 1})
+        with pytest.raises(TriggerError, match="'stream'"):
+            build_adapter({"kind": "cron", "name": "c", "interval": 1})
+        with pytest.raises(TriggerError, match="'secret'"):
+            build_adapter({"kind": "webhook", "name": "h", "stream": "s"})
+        with pytest.raises(TriggerError, match="'interval'"):
+            build_adapter({"kind": "cron", "name": "c", "stream": "s"})
+        with pytest.raises(TriggerError, match="'path'"):
+            build_adapter({"kind": "filewatch", "name": "f", "stream": "s"})
+
+    def test_policy_override(self):
+        cron = build_adapter({
+            "kind": "cron", "name": "c", "stream": "s", "interval": 1,
+            "policy": {"max_retries": 9, "cooldown": 5.0},
+        })
+        assert cron.policy.max_retries == 9
+        assert cron.policy.cooldown == 5.0
+        with pytest.raises(TriggerError, match="bad retry policy"):
+            build_adapter({
+                "kind": "cron", "name": "c", "stream": "s", "interval": 1,
+                "policy": {"nope": 1},
+            })
+
+    def test_explicit_clock_threaded_through(self):
+        clock = ManualClock(start=9.0)
+        cron = build_adapter(
+            {"kind": "cron", "name": "c", "stream": "s", "interval": 1},
+            clock=clock,
+        )
+        assert cron.clock is clock and cron._clock_explicit
+
+
+class TestLoadConfig:
+    CONFIG = {
+        "adapters": [
+            {"kind": "cron", "name": "tick", "stream": "beat", "interval": 5},
+            {"kind": "filewatch", "name": "tail", "stream": "logs",
+             "path": "events.jsonl"},
+        ],
+    }
+
+    def test_load_from_dict(self):
+        registry = make_registry()
+        names = load_config(registry, self.CONFIG)
+        assert names == ["tick", "tail"]
+        assert registry.get("tick").status == "new"  # no "start": true
+
+    def test_load_from_file_with_start(self, tmp_path):
+        registry = make_registry()
+        config = dict(self.CONFIG, start=True)
+        path = tmp_path / "sources.json"
+        path.write_text(json.dumps(config))
+        names = load_config(registry, str(path))
+        assert names == ["tick", "tail"]
+        assert registry.get("tick").status == "running"
+
+    def test_bad_shape_rejected(self):
+        registry = make_registry()
+        with pytest.raises(TriggerError, match="adapters"):
+            load_config(registry, {"adapter": []})
+        with pytest.raises(TriggerError, match="adapters"):
+            load_config(registry, [1, 2])

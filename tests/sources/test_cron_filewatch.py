@@ -1,0 +1,170 @@
+"""CronSource schedule determinism and FileWatchSource tailing."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sources import (
+    BACKOFF,
+    CronSource,
+    FileWatchSource,
+    ManualClock,
+    RetryPolicy,
+    SourceRegistry,
+)
+
+
+class FakeSink:
+    def __init__(self):
+        self.rows = []
+
+    def push(self, source, operation, new=None, old=None):
+        self.rows.append(new)
+
+
+def make_registry(sink, clock):
+    return SourceRegistry(
+        sink, clock=clock, metrics=MetricsRegistry(enabled=True, namespace="t")
+    )
+
+
+class TestCron:
+    def test_scheduled_timestamps_not_poll_time(self):
+        sink, clock = FakeSink(), ManualClock()
+        registry = make_registry(sink, clock)
+        registry.add(CronSource("tick", "beat", 5.0, {"src": "cron"}))
+        registry.start("tick")
+        clock.advance(17.0)  # pump arrives late: three firings overdue
+        registry.pump()
+        # backlog carries the *scheduled* times, not now=17
+        assert [row["ts"] for row in sink.rows] == [5.0, 10.0, 15.0]
+        assert all(row["src"] == "cron" for row in sink.rows)
+
+    def test_no_firing_before_first_interval(self):
+        sink, clock = FakeSink(), ManualClock()
+        registry = make_registry(sink, clock)
+        registry.add(CronSource("tick", "beat", 5.0))
+        registry.start("tick")
+        clock.advance(4.9)
+        assert registry.pump() == 0
+
+    def test_start_at_pins_first_firing(self):
+        sink, clock = FakeSink(), ManualClock()
+        registry = make_registry(sink, clock)
+        registry.add(CronSource("tick", "beat", 10.0, start_at=2.0))
+        registry.start("tick")
+        clock.advance(2.0)
+        registry.pump()
+        assert [row["ts"] for row in sink.rows] == [2.0]
+
+    def test_count_bounds_total_firings(self):
+        sink, clock = FakeSink(), ManualClock()
+        registry = make_registry(sink, clock)
+        registry.add(CronSource("tick", "beat", 1.0, count=3))
+        registry.start("tick")
+        clock.advance(100.0)
+        assert registry.pump() == 3
+        assert registry.pump() == 0
+
+    def test_callable_payload_gets_index_and_ts(self):
+        sink, clock = FakeSink(), ManualClock()
+        registry = make_registry(sink, clock)
+        registry.add(CronSource(
+            "tick", "beat", 2.0,
+            lambda index, ts: {"n": index, "at": ts},
+        ))
+        registry.start("tick")
+        clock.advance(4.0)
+        registry.pump()
+        assert sink.rows == [
+            {"n": 0, "at": 2.0, "ts": 2.0},
+            {"n": 1, "at": 4.0, "ts": 4.0},
+        ]
+
+    def test_restart_resumes_schedule(self):
+        sink, clock = FakeSink(), ManualClock()
+        registry = make_registry(sink, clock)
+        registry.add(CronSource("tick", "beat", 5.0))
+        registry.start("tick")
+        clock.advance(5.0)
+        registry.pump()
+        registry.stop("tick")
+        clock.advance(10.0)  # two firings missed while stopped
+        registry.start("tick")
+        registry.pump()
+        assert [row["ts"] for row in sink.rows] == [5.0, 10.0, 15.0]
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CronSource("tick", "beat", 0)
+
+
+class TestFileWatch:
+    POLICY = RetryPolicy(max_retries=3, backoff_base=1.0)
+
+    def make(self, tmp_path):
+        sink, clock = FakeSink(), ManualClock(start=50.0)
+        registry = make_registry(sink, clock)
+        path = tmp_path / "events.jsonl"
+        source = registry.add(FileWatchSource(
+            "tail", "logs", str(path), policy=self.POLICY
+        ))
+        registry.start("tail")
+        return sink, clock, registry, source, path
+
+    def test_missing_file_waits(self, tmp_path):
+        sink, _, registry, _, path = self.make(tmp_path)
+        assert registry.pump() == 0
+        path.write_text(json.dumps({"k": 1}) + "\n")
+        assert registry.pump() == 1
+        assert sink.rows == [{"k": 1, "ts": 50.0}]  # stamped from clock
+
+    def test_appended_lines_only(self, tmp_path):
+        sink, _, registry, _, path = self.make(tmp_path)
+        path.write_text('{"k": 1, "ts": 1.0}\n')
+        registry.pump()
+        with path.open("a") as handle:
+            handle.write('{"k": 2, "ts": 2.0}\n')
+        registry.pump()
+        assert [row["k"] for row in sink.rows] == [1, 2]
+
+    def test_partial_line_waits_for_newline(self, tmp_path):
+        sink, _, registry, _, path = self.make(tmp_path)
+        path.write_text('{"k": 2')  # writer mid-append: no newline yet
+        assert registry.pump() == 0  # the partial line stays unconsumed
+        with path.open("a") as handle:
+            handle.write(', "ts": 2.0}\n{"k": 3')
+        # complete lines flow; the new partial tail keeps waiting
+        assert registry.pump() == 1
+        with path.open("a") as handle:
+            handle.write(', "ts": 3.0}\n')
+        assert registry.pump() == 1
+        assert [row["k"] for row in sink.rows] == [2, 3]
+
+    def test_truncation_restarts_tail(self, tmp_path):
+        sink, _, registry, _, path = self.make(tmp_path)
+        path.write_text('{"k": 1, "ts": 1.0}\n{"k": 2, "ts": 2.0}\n')
+        registry.pump()
+        path.write_text('{"k": 3, "ts": 3.0}\n')  # rotated: smaller file
+        registry.pump()
+        assert [row["k"] for row in sink.rows] == [1, 2, 3]
+
+    def test_bad_json_retries_without_skipping(self, tmp_path):
+        sink, clock, registry, source, path = self.make(tmp_path)
+        path.write_text("not json\n")
+        registry.pump()
+        assert source.status == BACKOFF
+        assert sink.rows == []
+        # the writer fixes the file; after backoff the same span re-polls
+        path.write_text('{"k": 1, "ts": 1.0}\n')
+        clock.advance(1.0)
+        assert registry.pump() == 1
+        assert sink.rows == [{"k": 1, "ts": 1.0}]
+
+    def test_non_object_row_is_an_error(self, tmp_path):
+        _, _, registry, source, path = self.make(tmp_path)
+        path.write_text("[1, 2]\n")
+        registry.pump()
+        assert source.status == BACKOFF
+        assert "objects" in source.last_error

@@ -1,0 +1,295 @@
+"""SourceRegistry lifecycle and the retry/backoff/cooldown machine.
+
+Everything here runs against a fake sink and a ManualClock — no engine,
+no sleeps, no threads."""
+
+import pytest
+
+from repro.errors import TriggerError
+from repro.obs.metrics import MetricsRegistry
+from repro.sources import (
+    BACKOFF,
+    COOLDOWN,
+    FAILED,
+    NEW,
+    RUNNING,
+    STOPPED,
+    ManualClock,
+    RetryPolicy,
+    SourceAdapter,
+    SourceEvent,
+    SourceRegistry,
+)
+
+
+class FakeSink:
+    """Records push() calls; raises while ``broken`` is set."""
+
+    def __init__(self):
+        self.rows = []
+        self.broken = False
+
+    def push(self, source, operation, new=None, old=None):
+        if self.broken:
+            raise RuntimeError("sink down")
+        self.rows.append((source, operation, new))
+
+
+class ScriptedSource(SourceAdapter):
+    """poll() pops pre-scripted batches; a batch of ``RuntimeError`` raises."""
+
+    kind = "scripted"
+
+    def __init__(self, name, batches=(), **kwargs):
+        super().__init__(name, **kwargs)
+        self.batches = list(batches)
+        self.polls = 0
+
+    def poll(self):
+        self.polls += 1
+        if not self.batches:
+            return []
+        batch = self.batches.pop(0)
+        if isinstance(batch, Exception):
+            raise batch
+        return [SourceEvent("s", row) for row in batch]
+
+
+@pytest.fixture
+def rig():
+    sink = FakeSink()
+    clock = ManualClock()
+    metrics = MetricsRegistry(enabled=True, namespace="test")
+    registry = SourceRegistry(sink, clock=clock, metrics=metrics)
+    return sink, clock, metrics, registry
+
+
+class TestLifecycle:
+    def test_add_get_remove(self, rig):
+        _, _, _, registry = rig
+        adapter = registry.add(ScriptedSource("a"))
+        assert adapter.registry is registry
+        assert registry.get("a") is adapter
+        assert "a" in registry and len(registry) == 1
+        registry.remove("a")
+        assert "a" not in registry
+        with pytest.raises(TriggerError):
+            registry.get("a")
+
+    def test_duplicate_name_rejected(self, rig):
+        _, _, _, registry = rig
+        registry.add(ScriptedSource("a"))
+        with pytest.raises(TriggerError, match="already exists"):
+            registry.add(ScriptedSource("a"))
+
+    def test_adapter_inherits_registry_clock(self, rig):
+        _, clock, _, registry = rig
+        inherits = registry.add(ScriptedSource("a"))
+        own = ManualClock(start=99.0)
+        explicit = registry.add(ScriptedSource("b", clock=own))
+        assert inherits.clock is clock
+        assert explicit.clock is own
+
+    def test_start_stop_idempotent(self, rig):
+        _, _, _, registry = rig
+        registry.add(ScriptedSource("a"))
+        assert registry.start("a") is True
+        assert registry.get("a").status == RUNNING
+        assert registry.start("a") is False  # double start: no-op
+        assert registry.stop("a") is True
+        assert registry.get("a").status == STOPPED
+        assert registry.stop("a") is False  # double stop: no-op
+        assert registry.start("a") is True  # restartable after stop
+
+    def test_start_all_stop_all(self, rig):
+        _, _, _, registry = rig
+        registry.add(ScriptedSource("a"))
+        registry.add(ScriptedSource("b"))
+        registry.start("a")
+        assert registry.start_all() == 1  # only b still startable
+        assert registry.stop_all() == 2
+
+    def test_failing_start_marks_failed_and_reraises(self, rig):
+        _, _, metrics, registry = rig
+
+        class Exploding(ScriptedSource):
+            def _start(self):
+                raise OSError("port taken")
+
+        registry.add(Exploding("a"))
+        with pytest.raises(OSError):
+            registry.start("a")
+        adapter = registry.get("a")
+        assert adapter.status == FAILED
+        assert "port taken" in adapter.last_error
+        assert metrics.get("sources.failures").value == 1
+        # FAILED is retryable: a later start may succeed
+        assert adapter.startable()
+
+    def test_stopped_adapter_not_pumped(self, rig):
+        sink, _, _, registry = rig
+        registry.add(ScriptedSource("a", batches=[[{"k": 1}]]))
+        assert registry.pump() == 0  # NEW: never started
+        registry.start("a")
+        registry.stop("a")
+        assert registry.pump() == 0
+        assert sink.rows == []
+
+
+class TestDelivery:
+    def test_pump_polls_and_delivers(self, rig):
+        sink, _, metrics, registry = rig
+        registry.add(ScriptedSource("a", batches=[[{"k": 1}, {"k": 2}]]))
+        registry.start("a")
+        assert registry.pump() == 2
+        assert [row for _, _, row in sink.rows] == [{"k": 1}, {"k": 2}]
+        assert registry.get("a").delivered == 2
+        assert metrics.get("sources.events_delivered").value == 2
+
+    def test_status_rows(self, rig):
+        _, _, _, registry = rig
+        registry.add(ScriptedSource("a"))
+        rows = registry.status()
+        assert rows[0]["name"] == "a" and rows[0]["status"] == NEW
+        assert registry.status("a")["kind"] == "scripted"
+
+    def test_queue_depth_without_queue(self, rig):
+        _, _, _, registry = rig
+        assert registry.queue_depth() is None  # FakeSink has no .queue
+
+
+class TestRecovery:
+    POLICY = RetryPolicy(
+        max_retries=2, backoff_base=1.0, backoff_factor=2.0,
+        backoff_cap=100.0, cooldown=50.0,
+    )
+
+    def test_poll_error_enters_backoff_with_exponential_delay(self, rig):
+        _, clock, metrics, registry = rig
+        source = ScriptedSource(
+            "a",
+            batches=[RuntimeError("x"), RuntimeError("y"), [{"k": 1}]],
+            policy=self.POLICY,
+        )
+        registry.add(source)
+        registry.start("a")
+
+        registry.pump()  # failure 1 -> backoff 1.0s
+        assert source.status == BACKOFF
+        assert source.attempts == 1
+        assert source.not_before == pytest.approx(clock.now() + 1.0)
+        assert metrics.get("sources.retries").value == 1
+
+        assert registry.pump() == 0  # gated: not due yet
+        assert source.polls == 1
+
+        clock.advance(1.0)
+        registry.pump()  # failure 2 -> backoff 2.0s (exponential)
+        assert source.status == BACKOFF
+        assert source.not_before == pytest.approx(clock.now() + 2.0)
+
+        clock.advance(2.0)
+        assert registry.pump() == 1  # recovery
+        assert source.status == RUNNING
+        assert source.attempts == 0 and source.last_error is None
+
+    def test_exhausted_retries_enter_cooldown_then_fresh_round(self, rig):
+        _, clock, metrics, registry = rig
+        source = ScriptedSource(
+            "a",
+            batches=[RuntimeError(i) for i in range(4)] + [[{"k": 1}]],
+            policy=self.POLICY,
+        )
+        registry.add(source)
+        registry.start("a")
+
+        registry.pump()  # attempt 1 -> backoff
+        clock.advance(1.0)
+        registry.pump()  # attempt 2 -> backoff
+        clock.advance(2.0)
+        registry.pump()  # attempt 3 > max_retries=2 -> cooldown
+        assert source.status == COOLDOWN
+        assert source.not_before == pytest.approx(clock.now() + 50.0)
+        assert metrics.get("sources.cooldowns").value == 1
+
+        clock.advance(49.0)
+        assert registry.pump() == 0  # still resting
+        clock.advance(1.0)
+        registry.pump()  # cooldown-ending retry fails: new round, attempt 1
+        assert source.status == BACKOFF and source.attempts == 1
+
+        clock.advance(1.0)
+        assert registry.pump() == 1
+        assert source.status == RUNNING
+
+    def test_sink_failure_preserves_pending_order(self, rig):
+        sink, clock, _, registry = rig
+        source = ScriptedSource(
+            "a",
+            batches=[[{"k": 1}, {"k": 2}], [{"k": 3}]],
+            policy=self.POLICY,
+        )
+        registry.add(source)
+        registry.start("a")
+        sink.broken = True
+        registry.pump()  # poll ok, delivery fails: both rows stay pending
+        assert source.status == BACKOFF
+        assert [e.new for e in source.pending] == [{"k": 1}, {"k": 2}]
+
+        sink.broken = False
+        clock.advance(1.0)
+        assert registry.pump() == 3  # retried rows first, then the new poll
+        assert [row for _, _, row in sink.rows] == [
+            {"k": 1}, {"k": 2}, {"k": 3}
+        ]
+
+    def test_push_side_deliver_gated_by_backoff(self, rig):
+        sink, clock, _, registry = rig
+        source = ScriptedSource("a", policy=self.POLICY)
+        registry.add(source)
+        registry.start("a")
+        sink.broken = True
+        assert registry.deliver(source, [SourceEvent("s", {"k": 1})]) == 0
+        assert source.status == BACKOFF
+        # while gated, push-side events queue without a delivery attempt
+        assert registry.deliver(source, [SourceEvent("s", {"k": 2})]) == 0
+        assert len(source.pending) == 2
+        sink.broken = False
+        clock.advance(1.0)
+        assert registry.deliver(source, [SourceEvent("s", {"k": 3})]) == 3
+        assert [row for _, _, row in sink.rows] == [
+            {"k": 1}, {"k": 2}, {"k": 3}
+        ]
+
+    def test_stop_clears_gate(self, rig):
+        _, _, _, registry = rig
+        source = ScriptedSource(
+            "a", batches=[RuntimeError("x")], policy=self.POLICY
+        )
+        registry.add(source)
+        registry.start("a")
+        registry.pump()
+        assert source.status == BACKOFF
+        registry.stop("a")  # stop wins over backoff
+        assert source.status == STOPPED and source.not_before == 0.0
+
+
+class TestRetryPolicy:
+    def test_delay_schedule(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=2.0,
+                             backoff_cap=3.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4, 9)] == [
+            0.5, 1.0, 2.0, 3.0, 3.0
+        ]
+
+
+class TestManualClock:
+    def test_monotonic_only(self):
+        clock = ManualClock(start=5.0)
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+        clock.set(9.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(8.0)

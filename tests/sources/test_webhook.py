@@ -1,0 +1,169 @@
+"""WebhookSource: HMAC authentication, parsing, backpressure.
+
+Most tests drive the socket-free ``handle()`` directly; one round-trip
+test exercises the real HTTP shell end to end."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sources import (
+    RUNNING,
+    SIGNATURE_HEADER,
+    ManualClock,
+    SourceRegistry,
+    WebhookSource,
+    sign_payload,
+)
+
+SECRET = b"s3cret"
+
+
+class FakeSink:
+    def __init__(self):
+        self.rows = []
+
+    def push(self, source, operation, new=None, old=None):
+        self.rows.append((source, operation, new))
+
+
+@pytest.fixture
+def rig():
+    sink = FakeSink()
+    metrics = MetricsRegistry(enabled=True, namespace="test")
+    registry = SourceRegistry(
+        sink, clock=ManualClock(start=100.0), metrics=metrics
+    )
+    hook = registry.add(WebhookSource("hook", "errors", SECRET))
+    # handle() is socket-free; mark the adapter active without binding
+    hook.status = RUNNING
+    return sink, metrics, registry, hook
+
+
+def post(hook, payload, signature="valid"):
+    body = json.dumps(payload).encode()
+    if signature == "valid":
+        signature = sign_payload(SECRET, body)
+    return hook.handle(body, signature)
+
+
+class TestAuthentication:
+    def test_valid_signature_accepted(self, rig):
+        sink, _, _, hook = rig
+        status, response = post(hook, {"host": "a", "code": 500})
+        assert status == 202
+        assert response == {"ok": True, "accepted": 1, "delivered": 1}
+        assert sink.rows[0][0] == "errors"
+
+    def test_invalid_signature_rejected(self, rig):
+        sink, metrics, _, hook = rig
+        status, response = post(
+            hook, {"host": "a"}, signature="sha256=" + "0" * 64
+        )
+        assert status == 401
+        assert response["error"]["code"] == "E_UNAUTHORIZED"
+        assert response["error"]["retryable"] is False
+        assert sink.rows == []  # nothing reached the ingest path
+        assert hook.rejected == 1
+        assert metrics.get("sources.rejected").value == 1
+
+    def test_missing_signature_rejected(self, rig):
+        _, _, _, hook = rig
+        status, response = post(hook, {"host": "a"}, signature=None)
+        assert status == 401
+        assert response["error"]["code"] == "E_UNAUTHORIZED"
+
+    def test_wrong_secret_rejected(self, rig):
+        _, _, _, hook = rig
+        body = json.dumps({"host": "a"}).encode()
+        status, _ = hook.handle(body, sign_payload(b"other", body))
+        assert status == 401
+
+
+class TestParsing:
+    def test_unparseable_body(self, rig):
+        _, metrics, _, hook = rig
+        body = b"not json"
+        status, response = hook.handle(body, sign_payload(SECRET, body))
+        assert status == 400
+        assert response["error"]["code"] == "E_PARSE"
+        assert metrics.get("sources.rejected").value == 1
+
+    def test_non_object_rows(self, rig):
+        _, _, _, hook = rig
+        status, response = post(hook, [1, 2, 3])
+        assert status == 400
+        assert response["error"]["code"] == "E_PARSE"
+
+    def test_list_and_rows_envelope(self, rig):
+        sink, _, _, hook = rig
+        status, response = post(hook, [{"k": 1}, {"k": 2}])
+        assert (status, response["accepted"]) == (202, 2)
+        status, response = post(hook, {"rows": [{"k": 3}]})
+        assert (status, response["accepted"]) == (202, 1)
+        assert [row["k"] for _, _, row in sink.rows] == [1, 2, 3]
+
+    def test_missing_ts_stamped_from_clock(self, rig):
+        sink, _, _, hook = rig
+        post(hook, {"host": "a"})
+        post(hook, {"host": "b", "ts": 7.0})
+        assert sink.rows[0][2]["ts"] == 100.0  # ManualClock start
+        assert sink.rows[1][2]["ts"] == 7.0  # sender timestamp wins
+
+
+class TestBackpressure:
+    def test_deep_queue_returns_retryable_503(self, rig):
+        sink, _, registry, hook = rig
+        hook.high_water = 5
+        sink.queue = [None] * 6  # registry.queue_depth() reads len(queue)
+        status, response = post(hook, {"host": "a"})
+        assert status == 503
+        assert response["error"]["code"] == "E_BACKPRESSURE"
+        assert response["error"]["retryable"] is True
+        assert sink.rows == []
+
+    def test_shallow_queue_accepted(self, rig):
+        sink, _, _, hook = rig
+        hook.high_water = 5
+        sink.queue = [None] * 5  # at, not over, the high water
+        status, _ = post(hook, {"host": "a"})
+        assert status == 202
+
+
+class TestHTTPShell:
+    def test_round_trip_valid_and_invalid(self):
+        sink = FakeSink()
+        registry = SourceRegistry(
+            sink, metrics=MetricsRegistry(enabled=False, namespace="t")
+        )
+        hook = registry.add(WebhookSource("hook", "errors", SECRET, port=0))
+        assert hook.address is None and hook.url is None
+        registry.start("hook")
+        try:
+            body = json.dumps({"host": "a", "ts": 1.0}).encode()
+            request = urllib.request.Request(
+                hook.url, data=body, method="POST",
+                headers={SIGNATURE_HEADER: sign_payload(SECRET, body)},
+            )
+            with urllib.request.urlopen(request, timeout=5) as reply:
+                assert reply.status == 202
+                assert json.loads(reply.read())["delivered"] == 1
+            assert sink.rows[0][2]["host"] == "a"
+
+            request = urllib.request.Request(
+                hook.url, data=body, method="POST",
+                headers={SIGNATURE_HEADER: "sha256=" + "f" * 64},
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=5)
+            assert info.value.code == 401
+            assert json.loads(info.value.read())["error"]["code"] == (
+                "E_UNAUTHORIZED"
+            )
+            assert len(sink.rows) == 1
+        finally:
+            registry.stop_all()
+        assert hook.address is None  # socket released

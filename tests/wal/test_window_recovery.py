@@ -1,0 +1,210 @@
+"""Acceptance: temporal-window state survives crashes with exactly-once
+firing.
+
+Same oracle technique as test_crash_loop.py, with the window machinery in
+the kill zone: a sliding-window trigger accumulates per-host state that
+must be rebuilt byte-equivalently after every kill — from the checkpoint
+snapshot plus post-checkpoint WINDOW_EVENT records — or the survivor's
+firing ledger diverges from the uncrashed oracle's (a lost window entry
+suppresses a firing; a double-observed one invents a firing)."""
+
+import json
+import os
+import random
+from collections import Counter
+
+import pytest
+
+from conftest import open_engine
+from repro.engine.descriptors import Operation
+from repro.wal import SimDisk, SimulatedCrash
+from repro.wal.log import ACTION_FIRED, TOKEN_DEQUEUE
+
+SEED = int(os.environ.get("WAL_CRASH_SEED", "2026"))
+TARGET_CRASHES = int(os.environ.get("WAL_WINDOW_CRASH_COUNT", "60"))
+
+#: every token-pipeline site plus the new window-observe append
+SITES = [
+    ("wal.append", 6),
+    ("wal.sync", 3),
+    ("disk.log_append", 6),
+    ("disk.sync", 3),
+    ("queue.enqueue", 3),
+    ("queue.dequeue", 3),
+    ("window.observe", 3),
+    ("engine.fire", 3),
+    ("engine.action", 3),
+    ("engine.token_done", 2),
+]
+
+TRIGGERS = [
+    # the tentpole: incremental count over a 5-second window per host
+    "create trigger burst window 5 seconds from s group by s.host "
+    "having count(*) >= 3 do raise event Burst(s.host)",
+    # a sum window (tracked-column aggregates in the kill zone too)
+    "create trigger load window 4 seconds from s group by s.host "
+    "having sum(v) > 150 do raise event Load(s.host)",
+    # a plain trigger: the classic path must keep working alongside
+    "create trigger seen from s when s.v > 90 do raise event Seen(s.k)",
+]
+
+
+def _boot(disk, sync="always"):
+    tman = open_engine(disk, sync=sync)
+    if "s" not in tman.registry:
+        tman.define_stream(
+            "s",
+            [("k", "integer"), ("host", "varchar(8)"), ("v", "integer"),
+             ("ts", "float")],
+        )
+        for text in TRIGGERS:
+            tman.create_trigger(text)
+    return tman
+
+
+def _row(k, v):
+    """Event rows carry their own timestamps (0.7 s apart, two hosts), so
+    the oracle replays the identical event-time stream."""
+    return {"k": k, "host": f"h{k % 2}", "v": v, "ts": round(k * 0.7, 3)}
+
+
+def _accept(payload, accepted):
+    new = json.loads(payload).get("new") or {}
+    if "k" in new:
+        accepted[new["k"]] = new
+
+
+def _scan(tman, ledger, accepted):
+    for record in tman.catalog_db.wal.scan():
+        if record.rtype == ACTION_FIRED:
+            body = record.json()
+            ledger[(body["seq"], body["idx"])] = (body["trigger"], body["digest"])
+        elif record.rtype == TOKEN_DEQUEUE:
+            _accept(record.json()["payload"], accepted)
+    for _rid, row in tman.queue.table.scan():
+        _accept(row[3], accepted)
+    for token in tman._replay:
+        _accept(token.payload, accepted)
+
+
+def _crash_loop(sync, target_crashes, seed):
+    rng = random.Random(seed)
+    disk = SimDisk()
+    ledger, accepted = {}, {}
+    tman = _boot(disk, sync)
+    next_k = 0
+    iterations = 0
+    while disk.faults.crashes < target_crashes:
+        iterations += 1
+        assert iterations < target_crashes * 30, "crash loop failed to converge"
+        site, span = SITES[rng.randrange(len(SITES))]
+        disk.faults.arm(site, rng.randint(1, span), torn=rng.random() < 0.3)
+        try:
+            for _ in range(rng.randint(1, 4)):
+                k = next_k
+                next_k += 1
+                tman.push("s", Operation.INSERT, new=_row(k, rng.randrange(100)))
+            tman.process_all()
+            if rng.random() < 0.25:
+                _scan(tman, ledger, accepted)  # compaction drops records
+                tman.checkpoint()  # snapshot carries the window state
+            disk.faults.disarm()
+        except SimulatedCrash:
+            disk.faults.disarm()
+            disk.crash()
+            tman = _boot(disk, sync)
+            _scan(tman, ledger, accepted)
+
+    tman.process_all()
+    _scan(tman, ledger, accepted)
+    assert len(tman.queue) == 0
+    assert tman._inflight == {}
+    assert not tman._replay
+    survivor_windows = tman.windows.snapshot()
+
+    # Oracle: an uncrashed machine fed exactly the accepted rows in order.
+    oracle = _boot(SimDisk())
+    for k in sorted(accepted):
+        oracle.push("s", Operation.INSERT, new=accepted[k])
+    oracle.process_all()
+    oracle_ledger = {}
+    _scan(oracle, oracle_ledger, {})
+    return disk, ledger, oracle_ledger, survivor_windows, oracle.windows
+
+
+def test_window_crash_loop_firing_set_equals_oracle():
+    disk, ledger, oracle_ledger, survivor_windows, oracle_windows = (
+        _crash_loop("always", TARGET_CRASHES, SEED)
+    )
+    assert disk.faults.crashes >= TARGET_CRASHES
+    assert len(set(disk.faults.seen)) >= 5, disk.faults.seen
+    # window.observe specifically must have been a kill site
+    assert "window.observe" in set(disk.faults.seen)
+    # exactly-once: no firing lost, none invented
+    assert Counter(ledger.values()) == Counter(oracle_ledger.values())
+    # and the surviving window *state* equals the oracle's (same entries,
+    # same watermarks), so future firings stay equivalent too
+    assert survivor_windows == oracle_windows.snapshot()
+
+
+def test_window_crash_loop_under_group_commit():
+    """Under group commit the accepted-set reconstruction undercounts
+    (buffered token records can be compacted before ever being durable-
+    scanned), so the oracle may see fewer rows than the survivor's
+    checkpoint-carried window state — state equality is a sync=always
+    invariant only.  The (seq, idx)-keyed ledger still reconciles exactly,
+    which is the exactly-once claim."""
+    disk, ledger, oracle_ledger, _survivor_windows, _oracle_windows = (
+        _crash_loop("group", 20, SEED + 1)
+    )
+    assert disk.faults.crashes >= 20
+    assert Counter(ledger.values()) == Counter(oracle_ledger.values())
+
+
+def test_single_crash_at_window_observe(disk):
+    """Deterministic version of the loop: die exactly when the third event
+    is being observed into the window, recover, and fire exactly once."""
+    tman = _boot(disk)
+    for k in range(4):  # h0 gets k=0 and k=2; h1 gets k=1 and k=3
+        tman.push("s", Operation.INSERT, new=_row(k, 10))
+    tman.process_all()
+    tman.push("s", Operation.INSERT, new=_row(4, 10))  # h0's third event
+    disk.faults.arm("window.observe", 1)
+    with pytest.raises(SimulatedCrash):
+        tman.process_all()
+    disk.faults.disarm()
+    disk.crash()
+
+    tman = _boot(disk)
+    # recovery rebuilt the observed entries (including the crashed seq's,
+    # whose WINDOW_EVENT is durable) and queued the in-flight token for
+    # replay; draining fires the burst exactly once, not zero, not two
+    tman.process_all()
+    ledger = {}
+    _scan(tman, ledger, {})
+    fired = Counter(trigger for trigger, _ in ledger.values())
+    assert fired["burst"] == 1
+    descriptions = {d["key"][0]: d for d in tman.windows.describe("burst")}
+    assert descriptions["h0"]["entries"] == 3
+    assert descriptions["h1"]["entries"] == 2
+
+
+def test_recovered_window_ages_out_identically(disk):
+    """Eviction after recovery uses the persisted watermark: entries that
+    would have slid out on the uncrashed machine slide out here too."""
+    tman = _boot(disk)
+    tman.push("s", Operation.INSERT, new=_row(0, 10))  # h0 @ ts 0.0
+    tman.push("s", Operation.INSERT, new=_row(2, 10))  # h0 @ ts 1.4
+    tman.process_all()
+    disk.crash()  # kill -9 with both entries durable
+
+    tman = _boot(disk)
+    # an event far in the future evicts both recovered entries before the
+    # count can reach 3: no firing
+    tman.push("s", Operation.INSERT, new={"k": 100, "host": "h0", "v": 10,
+                                          "ts": 50.0})
+    tman.process_all()
+    ledger = {}
+    _scan(tman, ledger, {})
+    assert Counter(t for t, _ in ledger.values())["burst"] == 0
+    assert tman.windows.describe("burst")[0]["entries"] == 1
