@@ -1,9 +1,12 @@
-"""Throughput regression guard for the bench-smoke CI job.
+"""Throughput and memory regression guard for the bench-smoke CI jobs.
 
 Compares a freshly produced benchmark export against the committed
-baseline JSON: any record that carries a ``tokens_per_sec`` field and
-matches a baseline record on experiment + config keys must not have
-dropped by more than the allowed fraction (default 20%).
+baseline JSON: any record matching a baseline record on experiment +
+config keys must not have
+
+* dropped ``tokens_per_sec`` by more than the allowed fraction, nor
+* grown ``rss_mb`` (peak resident set during the run) by more than the
+  same fraction — the E18 memory gate.
 
 Usage::
 
@@ -24,7 +27,13 @@ import sys
 #: fields that identify a record's configuration (never compared as values)
 CONFIG_KEYS = (
     "experiment", "mode", "batch_size", "sync", "drivers", "transport",
-    "shards", "source",
+    "shards", "source", "triggers",
+)
+
+#: fields the guard compares; ``higher_is_better`` decides the direction
+GUARDED = (
+    ("tokens_per_sec", True),
+    ("rss_mb", False),
 )
 
 
@@ -40,7 +49,7 @@ def load(path):
     return {
         config_key(r): r
         for r in payload.get("records", [])
-        if "tokens_per_sec" in r
+        if any(metric in r for metric, _ in GUARDED)
     }
 
 
@@ -54,7 +63,7 @@ def main(argv=None):
     current = load(args.current)
     baseline = load(args.baseline)
     if not baseline:
-        raise SystemExit(f"{args.baseline}: no tokens_per_sec records")
+        raise SystemExit(f"{args.baseline}: no guarded records")
 
     failures = []
     compared = 0
@@ -63,20 +72,29 @@ def main(argv=None):
         if cur is None:
             failures.append(f"MISSING  {dict(key)} (in baseline, not in run)")
             continue
-        compared += 1
-        base_tps = base["tokens_per_sec"]
-        cur_tps = cur["tokens_per_sec"]
-        if base_tps <= 0:
-            continue
-        drop = 1.0 - cur_tps / base_tps
-        status = "FAIL" if drop > args.max_drop else "ok"
-        line = (
-            f"{status:8s}{dict(key)}: {base_tps:.0f} -> {cur_tps:.0f} tok/s "
-            f"({-drop * 100:+.1f}%)"
-        )
-        print(line)
-        if status == "FAIL":
-            failures.append(line)
+        for metric, higher_is_better in GUARDED:
+            if metric not in base or metric not in cur:
+                continue
+            compared += 1
+            base_value = base[metric]
+            cur_value = cur[metric]
+            if base_value <= 0:
+                continue
+            if higher_is_better:
+                regression = 1.0 - cur_value / base_value  # drop
+                direction = "tok/s"
+            else:
+                regression = cur_value / base_value - 1.0  # growth
+                direction = "MB rss"
+            status = "FAIL" if regression > args.max_drop else "ok"
+            line = (
+                f"{status:8s}{dict(key)} {metric}: "
+                f"{base_value:.0f} -> {cur_value:.0f} {direction} "
+                f"({regression * 100:+.1f}% {'drop' if higher_is_better else 'growth'})"
+            )
+            print(line)
+            if status == "FAIL":
+                failures.append(line)
 
     if compared == 0:
         raise SystemExit("no comparable records between run and baseline")

@@ -26,6 +26,7 @@ in CNF):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -167,6 +168,58 @@ class ExpressionSignature:
         (:attr:`AnalyzedPredicate.residual_constants`) per evaluation.
         """
         return {n: i for i, n in enumerate(self.residual_constant_numbers)}
+
+
+class _SignatureRegistry:
+    """Process-wide interning of :class:`ExpressionSignature`.
+
+    A million triggers across ~50 equivalence classes must not carry a
+    million copies of the generalized syntax tree: the first analysis of a
+    class wins, and every later :func:`analyze_selection` of the same
+    ``(data source, operation, text)`` triple returns the *same* object.
+    Identity sharing is what makes per-entry ``signature`` references free
+    and lets the predicate compiler key its template cache per class.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._interned: Dict[Tuple[str, str, str], ExpressionSignature] = {}
+
+    def intern(self, signature: ExpressionSignature) -> ExpressionSignature:
+        key = signature.key
+        found = self._interned.get(key)
+        if found is not None:
+            return found
+        with self._lock:
+            return self._interned.setdefault(key, signature)
+
+    def count(self, data_source: Optional[str] = None) -> int:
+        if data_source is None:
+            return len(self._interned)
+        return sum(1 for k in self._interned if k[0] == data_source)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._interned.clear()
+
+
+_REGISTRY = _SignatureRegistry()
+
+
+def intern_signature(signature: ExpressionSignature) -> ExpressionSignature:
+    """The canonical shared instance for a signature's equivalence class."""
+    return _REGISTRY.intern(signature)
+
+
+def interned_signature_count(data_source: Optional[str] = None) -> int:
+    """How many signature equivalence classes this process has interned
+    (optionally restricted to one data source's classes)."""
+    return _REGISTRY.count(data_source)
+
+
+def reset_interned_signatures() -> None:
+    """Drop the interning registry (tests only)."""
+    _REGISTRY.reset()
 
 
 @dataclass(frozen=True)
@@ -398,4 +451,4 @@ def analyze_selection(
         residual_template=residual_template,
         residual_constant_numbers=residual_numbers,
     )
-    return AnalyzedPredicate(signature, tuple(all_constants))
+    return AnalyzedPredicate(intern_signature(signature), tuple(all_constants))

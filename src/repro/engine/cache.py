@@ -94,6 +94,10 @@ class TriggerCache:
         self._size_of = size_of or (lambda _runtime: 4096)
         self._entries: "OrderedDict[int, _CacheEntry]" = OrderedDict()
         self._bytes = 0
+        #: moving average of published entry sizes — the reservation charged
+        #: to a loading placeholder so N concurrent misses cannot overshoot
+        #: the byte budget by N full entries (reconciled at publish).
+        self._avg_size = 4096
         self._lock = threading.RLock()
         self.stats = CacheStats()
 
@@ -119,9 +123,13 @@ class TriggerCache:
                 else:
                     waiter = None
                     self.stats.misses += 1
-                    entry = _CacheEntry(None, 0)
+                    # Reserve the expected size up front; the budget would
+                    # otherwise admit unbounded concurrent loads at 0 bytes.
+                    entry = _CacheEntry(None, self._avg_size)
                     entry.loading = threading.Event()
                     self._entries[trigger_id] = entry
+                    self._bytes += entry.size_bytes
+                    self._make_room(0, exclude=trigger_id)
             if waiter is not None:
                 with self._lock:
                     self.stats.load_waits += 1
@@ -139,6 +147,7 @@ class TriggerCache:
             with self._lock:
                 if self._entries.get(trigger_id) is placeholder:
                     del self._entries[trigger_id]
+                    self._bytes -= placeholder.size_bytes
                 placeholder.loading.set()  # waiters retry (and likely fail too)
             raise
         adopt_retry = False
@@ -160,8 +169,13 @@ class TriggerCache:
                 # Publish (also the resurrect path: invalidate() popped the
                 # placeholder while we loaded — install fresh; a dropped
                 # trigger's entry is inert and will age out via LRU).
+                if current is placeholder:
+                    # Swap the reservation for the real size (invalidate()
+                    # already released it when the placeholder was popped).
+                    self._bytes -= placeholder.size_bytes
                 placeholder.runtime = runtime
                 placeholder.size_bytes = size
+                self._avg_size = max(1, (self._avg_size * 7 + size) // 8)
                 placeholder.loading.set()
                 placeholder.loading = None
                 self._entries[trigger_id] = placeholder

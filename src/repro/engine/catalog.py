@@ -14,6 +14,17 @@ plus one ``const_table<N>`` per signature with constants (owned by the
 recording defined data sources.  ``trigger_text`` stores the original
 ``create trigger`` command — the trigger cache rebuilds evicted triggers by
 re-parsing it, exactly the disk-representation the paper's cache loads from.
+
+Two compact-description tables make that rebuild cheap at the million-
+trigger scale::
+
+    tman_trigger_shape(shapeID, templateText)
+    tman_trigger_desc(triggerID, shapeID, constantsJson)
+
+One shape row holds the full source text of an *exemplar* trigger per
+structural equivalence class; each trigger of the class carries only a
+description row (shape reference + constants).  A cache miss re-hydrates by
+instantiating the parsed-once shape template — no per-trigger re-parse.
 """
 
 from __future__ import annotations
@@ -32,6 +43,8 @@ TRIGGER_SET_TABLE = "tman_trigger_set"
 TRIGGER_TABLE = "tman_trigger"
 SIGNATURE_TABLE = "tman_expression_signature"
 DATASOURCE_TABLE = "tman_datasource"
+SHAPE_TABLE = "tman_trigger_shape"
+DESCRIPTION_TABLE = "tman_trigger_desc"
 
 DEFAULT_TRIGGER_SET = "default"
 
@@ -53,10 +66,13 @@ class TriggerManCatalog:
         self._signature_rids: Dict[int, RID] = {}
         #: (dataSrcID, operation, signatureDesc) -> sigID
         self._signature_ids_by_key: Dict[Tuple[str, str, str], int] = {}
+        self._shape_rids: Dict[int, RID] = {}
+        self._description_rids: Dict[int, RID] = {}
         self._next_trigger_id = 1
         self._next_set_id = 1
         self._next_sig_id = 1
         self._next_expr_id = 1
+        self._next_shape_id = 1
         self._load()
         if DEFAULT_TRIGGER_SET not in self._set_ids_by_name:
             self.create_trigger_set(DEFAULT_TRIGGER_SET, "default trigger set")
@@ -112,6 +128,27 @@ class TriggerManCatalog:
                     ],
                 )
             )
+        if not db.has_table(SHAPE_TABLE):
+            db.create_table(
+                TableSchema(
+                    SHAPE_TABLE,
+                    [
+                        Column("shapeID", INTEGER, nullable=False),
+                        Column("templateText", VarCharType(3900), nullable=False),
+                    ],
+                )
+            )
+        if not db.has_table(DESCRIPTION_TABLE):
+            db.create_table(
+                TableSchema(
+                    DESCRIPTION_TABLE,
+                    [
+                        Column("triggerID", INTEGER, nullable=False),
+                        Column("shapeID", INTEGER, nullable=False),
+                        Column("constantsJson", VarCharType(3900), nullable=False),
+                    ],
+                )
+            )
         if not db.has_table(DATASOURCE_TABLE):
             db.create_table(
                 TableSchema(
@@ -143,6 +180,11 @@ class TriggerManCatalog:
             self._signature_rids[sig_id] = rid
             self._signature_ids_by_key[(row[1], row[2], row[3])] = sig_id
             self._next_sig_id = max(self._next_sig_id, sig_id + 1)
+        for rid, row in self.database.table(SHAPE_TABLE).scan():
+            self._shape_rids[row[0]] = rid
+            self._next_shape_id = max(self._next_shape_id, row[0] + 1)
+        for rid, row in self.database.table(DESCRIPTION_TABLE).scan():
+            self._description_rids[row[0]] = rid
 
     # -- trigger sets ----------------------------------------------------------
 
@@ -191,6 +233,10 @@ class TriggerManCatalog:
     def trigger_set_enabled(self, ts_id: int) -> bool:
         row = self.database.table(TRIGGER_SET_TABLE).read(self._set_rids[ts_id])
         return bool(row[4])
+
+    def trigger_set_name(self, ts_id: int) -> str:
+        row = self.database.table(TRIGGER_SET_TABLE).read(self._set_rids[ts_id])
+        return row[1]
 
     # -- triggers -----------------------------------------------------------------
 
@@ -367,6 +413,58 @@ class TriggerManCatalog:
                 }
             )
         return sorted(out, key=lambda r: r["sigID"])
+
+    # -- trigger shapes & compact descriptions (§5.1 disk form) -------------------
+    #
+    # A *shape* is one generalized ``create trigger`` statement shared by every
+    # trigger of that structure; a *description* row is the per-trigger
+    # remainder — the shape id plus the constants JSON.  The trigger cache
+    # re-hydrates an evicted trigger from (shape template, description) instead
+    # of re-parsing its full source text.
+
+    def next_shape_id(self) -> int:
+        shape_id = self._next_shape_id
+        self._next_shape_id += 1
+        return shape_id
+
+    def insert_shape(self, shape_id: int, template_text: str) -> None:
+        rid = self.database.table(SHAPE_TABLE).insert([shape_id, template_text])
+        self._shape_rids[shape_id] = rid
+
+    def shape_text(self, shape_id: int) -> str:
+        try:
+            rid = self._shape_rids[shape_id]
+        except KeyError:
+            raise CatalogError(f"no such trigger shape {shape_id}")
+        return self.database.table(SHAPE_TABLE).read(rid)[1]
+
+    def shape_count(self) -> int:
+        return len(self._shape_rids)
+
+    def insert_description(
+        self, trigger_id: int, shape_id: int, constants_json: str
+    ) -> None:
+        rid = self.database.table(DESCRIPTION_TABLE).insert(
+            [trigger_id, shape_id, constants_json]
+        )
+        self._description_rids[trigger_id] = rid
+
+    def description(self, trigger_id: int) -> Optional[Tuple[int, str]]:
+        """(shapeID, constantsJson) for a trigger, or None when the trigger
+        was catalogued in full-text-only form."""
+        rid = self._description_rids.get(trigger_id)
+        if rid is None:
+            return None
+        row = self.database.table(DESCRIPTION_TABLE).read(rid)
+        return row[1], row[2]
+
+    def delete_description(self, trigger_id: int) -> None:
+        rid = self._description_rids.pop(trigger_id, None)
+        if rid is not None:
+            self.database.table(DESCRIPTION_TABLE).delete(rid)
+
+    def description_count(self) -> int:
+        return len(self._description_rids)
 
     # -- data sources -----------------------------------------------------------------
 

@@ -21,6 +21,7 @@ concurrent matching comes from ordering instead:
 
 from __future__ import annotations
 
+import json
 import threading
 from typing import Dict, List, Optional, Tuple
 
@@ -32,7 +33,20 @@ from ..predindex.entry import PredicateEntry
 from ..predindex.index import SignatureGroup
 from ..predindex.organizations import AutoOrganization
 from .catalog import DEFAULT_TRIGGER_SET
-from .trigger import TriggerRuntime, analyze_trigger, build_runtime
+from .trigger import (
+    TriggerAnalysis,
+    TriggerRuntime,
+    analyze_statement,
+    analyze_trigger,
+    build_runtime_from_analysis,
+    generalize_statement,
+    instantiate_statement,
+)
+
+#: constants that round-trip through the description row's JSON untouched
+_JSON_SCALARS = (type(None), bool, int, float, str)
+#: constantsJson column width minus headroom for the wrapper object
+_MAX_DESC_JSON = 3600
 
 
 class RuntimeManager:
@@ -67,6 +81,14 @@ class RuntimeManager:
         self.permanent_pins: set = set()
         #: source name -> [(trigger_id, tvar)] needing memory maintenance
         self.materialized: Dict[str, List[Tuple[int, str]]] = {}
+        #: shape template statement -> catalogued shapeID (process memo)
+        self._shape_ids: Dict[ast.CreateTriggerStatement, int] = {}
+        #: shapeID -> parsed-and-generalized template statement
+        self._shape_cache: Dict[int, ast.CreateTriggerStatement] = {}
+        #: cache loads served from a shape + description row (no re-parse)
+        self.rehydrates = 0
+        #: cache loads that fell back to re-parsing the full trigger text
+        self.reparses = 0
 
     # -- trigger definition (§5.1) -----------------------------------------
 
@@ -81,47 +103,116 @@ class RuntimeManager:
     ) -> int:
         if self.catalog.has_trigger(statement.name):
             raise TriggerError(f"trigger {statement.name!r} already exists")
+        if self.network_type not in ("atreat", "gator"):
+            # The lazy path defers network construction to first pin;
+            # reject a bad network type at definition time regardless.
+            raise TriggerError(f"unknown network type {self.network_type!r}")
         set_name = statement.set_name or DEFAULT_TRIGGER_SET
         ts_id = self.catalog.trigger_set_id(set_name)  # validates
         trigger_id = self.catalog.next_trigger_id()
 
-        # Steps 1-4: parse/validate, CNF + grouping, condition graph, network.
-        runtime = build_runtime(
-            trigger_id,
-            statement,
-            text,
-            self.registry,
-            self.evaluator,
-            set_name=set_name,
-            network_type=self.network_type,
+        # Steps 1-3: parse/validate, CNF + grouping, condition graph.
+        analysis = analyze_statement(
+            statement, text, self.registry, set_name=set_name
         )
+        # Compact description (shape reference + constants) when the
+        # statement generalizes to a JSON-safe constant vector; evicted
+        # triggers then re-hydrate without a re-parse.
+        description = self._describe(statement, text)
 
         enabled = "DISABLED" not in statement.flags
         self.catalog.insert_trigger(
             trigger_id, ts_id, statement.name, text, enabled
         )
+        if description is not None:
+            self.catalog.insert_description(trigger_id, *description)
         self.enabled[trigger_id] = enabled
-        self.put_runtime(runtime)
-        self._prime(runtime)
+
+        if not self._lazy_eligible(analysis):
+            # Step 4 eagerly: multi-variable triggers own materialized
+            # memories (priming, permanent pins) that must exist up front.
+            runtime = build_runtime_from_analysis(
+                trigger_id,
+                analysis,
+                self.registry,
+                self.evaluator,
+                network_type=self.network_type,
+            )
+            self.put_runtime(runtime)
+            self._prime(runtime)
         # Step 5 LAST: per-tuple-variable signature registration + constant
         # sets.  Publishing into the index is the commit point for
         # concurrent matching — everything a match needs (catalog row,
-        # cached runtime, enabled flag) is in place before a probe can see
-        # the trigger.
-        self._install_predicates(runtime)
+        # enabled flag, and a runtime either cached or loadable) is in
+        # place before a probe can see the trigger.  The lazy path caches
+        # nothing: the first matching token's pin builds the runtime.
+        self._install_predicates(trigger_id, analysis)
         return trigger_id
 
-    def _install_predicates(self, runtime: TriggerRuntime) -> None:
-        for tvar, analyzed in analyze_trigger(runtime):
+    def _lazy_eligible(self, analysis: TriggerAnalysis) -> bool:
+        """Single-variable triggers defer network construction to first
+        pin: their index entry node is the P-node in both network types
+        and they own no materialized memories to prime or pin."""
+        return len(analysis.tvar_sources) == 1
+
+    def _describe(
+        self, statement: ast.CreateTriggerStatement, text: str
+    ) -> Optional[Tuple[int, str]]:
+        """(shapeID, constantsJson) for a compact catalog description, or
+        None when the statement does not generalize cleanly (non-scalar
+        constants, oversized vector): such triggers keep text-only form."""
+        try:
+            template, constants = generalize_statement(statement)
+        except Exception:
+            return None
+        if not all(isinstance(c, _JSON_SCALARS) for c in constants):
+            return None
+        payload = json.dumps({"set": statement.set_name, "consts": constants})
+        if len(payload) > _MAX_DESC_JSON or len(text) > _MAX_DESC_JSON:
+            return None
+        shape_id = self._shape_ids.get(template)
+        if shape_id is None:
+            # This trigger's full source text becomes the shape's exemplar
+            # on disk; loading parses + generalizes it once per shape per
+            # process, then every member re-hydrates by instantiation.
+            shape_id = self.catalog.next_shape_id()
+            self.catalog.insert_shape(shape_id, text)
+            self._shape_ids[template] = shape_id
+            self._shape_cache[shape_id] = template
+        return shape_id, payload
+
+    def _shape(self, shape_id: int) -> ast.CreateTriggerStatement:
+        """The generalized template statement for a shape (parse the
+        exemplar text and generalize it, once per shape per process)."""
+        template = self._shape_cache.get(shape_id)
+        if template is None:
+            statement = parse_command(self.catalog.shape_text(shape_id))
+            assert isinstance(statement, ast.CreateTriggerStatement)
+            template, _constants = generalize_statement(statement)
+            self._shape_cache[shape_id] = template
+            self._shape_ids.setdefault(template, shape_id)
+        return template
+
+    def _install_predicates(
+        self, trigger_id: int, analysis: TriggerAnalysis
+    ) -> None:
+        single = len(analysis.tvar_sources) == 1
+        for tvar, analyzed in analyze_trigger(analysis):
             group = self._signature_group(analyzed)
+            signature = analyzed.signature
             entry = PredicateEntry(
                 expr_id=self.catalog.next_expr_id(),
-                trigger_id=runtime.trigger_id,
+                trigger_id=trigger_id,
                 tvar=tvar,
-                next_node=runtime.network.entry_node_id(tvar),
-                residual_text=(
-                    analyzed.residual.render()
-                    if analyzed.residual is not None
+                # Single-variable networks route matched tokens straight to
+                # the P-node in both network types; multi-variable entry
+                # nodes are per-tvar alpha nodes with a stable naming scheme.
+                next_node=("pnode" if single else f"alpha:{tvar}"),
+                residual_text=None,
+                signature=signature,
+                residual_row=(
+                    analyzed.residual_constants
+                    if signature.residual_template is not None
                     else None
                 ),
             )
@@ -214,20 +305,47 @@ class RuntimeManager:
         would be loaded here.  Stream memories start empty."""
 
     def load_runtime(self, trigger_id: int) -> TriggerRuntime:
-        """Cache loader: rebuild a runtime from its catalogued text."""
-        text = self.catalog.trigger_text(trigger_id)
-        statement = parse_command(text)
-        assert isinstance(statement, ast.CreateTriggerStatement)
+        """Cache loader: rebuild a runtime from its catalogued form —
+        cheap re-hydration from (shape, description) when a compact row
+        exists, full text re-parse otherwise."""
+        row = self.catalog.trigger_row(trigger_id)
+        name, text = row[2], row[4]
+        statement = self._hydrate_statement(trigger_id, name)
+        if statement is None:
+            statement = parse_command(text)
+            assert isinstance(statement, ast.CreateTriggerStatement)
+            self.reparses += 1
         set_name = statement.set_name or DEFAULT_TRIGGER_SET
-        return build_runtime(
+        analysis = analyze_statement(
+            statement, text, self.registry, set_name=set_name
+        )
+        return build_runtime_from_analysis(
             trigger_id,
-            statement,
-            text,
+            analysis,
             self.registry,
             self.evaluator,
-            set_name=set_name,
             network_type=self.network_type,
         )
+
+    def _hydrate_statement(
+        self, trigger_id: int, name: str
+    ) -> Optional[ast.CreateTriggerStatement]:
+        """Instantiate a trigger's statement from its shape template and
+        description row; None when no compact description exists (the
+        caller falls back to the text re-parse)."""
+        description = self.catalog.description(trigger_id)
+        if description is None:
+            return None
+        shape_id, payload = description
+        try:
+            data = json.loads(payload)
+            statement = instantiate_statement(
+                self._shape(shape_id), data["consts"], name, data["set"]
+            )
+        except Exception:
+            return None
+        self.rehydrates += 1
+        return statement
 
     # -- teardown -----------------------------------------------------------
 
@@ -239,6 +357,7 @@ class RuntimeManager:
             # still-cached runtime or skip on the loader error.
             self.index.remove_trigger(trigger_id)
             self.catalog.delete_trigger(name)
+            self.catalog.delete_description(trigger_id)
             for group in self.index.groups():
                 self.catalog.update_signature_stats(
                     group.sig_id,
@@ -322,22 +441,29 @@ class RuntimeManager:
             if name and self.catalog_db.has_table(name):
                 self.catalog_db.table(name).truncate()
         for row in triggers:
-            statement = parse_command(row["trigger_text"])
-            assert isinstance(statement, ast.CreateTriggerStatement)
-            runtime = build_runtime(
-                row["triggerID"],
+            trigger_id = row["triggerID"]
+            statement = self._hydrate_statement(trigger_id, row["name"])
+            if statement is None:
+                statement = parse_command(row["trigger_text"])
+                assert isinstance(statement, ast.CreateTriggerStatement)
+                self.reparses += 1
+            analysis = analyze_statement(
                 statement,
                 row["trigger_text"],
                 self.registry,
-                self.evaluator,
                 set_name=statement.set_name or DEFAULT_TRIGGER_SET,
-                network_type=self.network_type,
             )
-            self._install_predicates(runtime)
-            self.enabled[row["triggerID"]] = self.catalog.trigger_enabled(
-                row["triggerID"]
-            )
-            self.put_runtime(runtime)
+            self._install_predicates(trigger_id, analysis)
+            self.enabled[trigger_id] = self.catalog.trigger_enabled(trigger_id)
+            if not self._lazy_eligible(analysis):
+                runtime = build_runtime_from_analysis(
+                    trigger_id,
+                    analysis,
+                    self.registry,
+                    self.evaluator,
+                    network_type=self.network_type,
+                )
+                self.put_runtime(runtime)
 
     # -- introspection -----------------------------------------------------------
 

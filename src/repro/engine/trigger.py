@@ -13,16 +13,24 @@ touches the shared predicate index and catalogs.
 
 from __future__ import annotations
 
+import dataclasses
+import sys
 import threading
+import types
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..condition.classify import (
     ConditionGraph,
     build_condition_graph,
     resolve_unqualified,
 )
-from ..condition.signature import AnalyzedPredicate, analyze_selection
+from ..condition.signature import (
+    AnalyzedPredicate,
+    analyze_selection,
+    generalize,
+    instantiate,
+)
 from ..condition.windows import (
     WindowSpec,
     compile_incremental_having,
@@ -84,9 +92,15 @@ class TriggerRuntime:
         return make_operation_code(base, columns)
 
     def estimated_size(self) -> int:
-        """Resident-byte estimate for the trigger cache (the paper uses
-        4 KB as a realistic description size)."""
-        return 512 + 4 * len(self.text) + 1024 * len(self.tvars)
+        """Resident bytes of this description, deep-measured once and
+        cached — the real quantity the cache's byte budget enforces (the
+        paper's sizing example assumes ~4 KB per description).  Growth of
+        mutable aggregate state after measurement is not re-counted."""
+        cached = self.__dict__.get("_resident_bytes")
+        if cached is None:
+            cached = runtime_size_bytes(self)
+            self.__dict__["_resident_bytes"] = cached
+        return cached
 
     # -- aggregate (group by / having) handling ---------------------------------
 
@@ -206,24 +220,43 @@ def _validate_event_columns(
                 )
 
 
-def build_runtime(
-    trigger_id: int,
+@dataclass
+class TriggerAnalysis:
+    """§5.1 steps 1–3 output: validated statement, resolved condition, and
+    condition graph — everything about a trigger that does *not* require a
+    discrimination network.  The lazy creation path stops here: predicates
+    install from the analysis, and the network is built on first pin."""
+
+    statement: ast.CreateTriggerStatement
+    text: str
+    set_name: str
+    tvar_sources: Dict[str, str]
+    tvar_events: Dict[str, Tuple[str, Tuple[str, ...]]]
+    graph: ConditionGraph
+    having: Optional[ast.Expr]
+    group_by: Tuple[ast.ColumnRef, ...]
+    window: Optional[int]
+    window_spec: Optional[WindowSpec]
+    window_plan: Optional[object]
+    window_tracked: Tuple[str, ...]
+
+    @property
+    def tvars(self) -> Tuple[str, ...]:
+        return self.graph.tvars
+
+    def operation_code(self, tvar: str) -> str:
+        base, columns = self.tvar_events[tvar]
+        return make_operation_code(base, columns)
+
+
+def analyze_statement(
     statement: ast.CreateTriggerStatement,
     text: str,
     registry: DataSourceRegistry,
-    evaluator: Optional[Evaluator] = None,
     set_name: str = "default",
-    use_virtual_alpha: bool = True,
-    network_type: str = "atreat",
-) -> TriggerRuntime:
-    """§5.1 steps 1–4: validate, analyze the condition, build the network.
-
-    ``network_type`` selects the discrimination network: ``"atreat"`` (the
-    paper's current implementation; virtual alpha memories over table
-    sources) or ``"gator"`` (the planned optimization; materialized alpha
-    and beta memories, primed from table sources at build time).
-    """
-    evaluator = evaluator or Evaluator()
+) -> TriggerAnalysis:
+    """§5.1 steps 1–3: validate, resolve, and graph the condition (no
+    network is built — that is the expensive, lazily deferrable part)."""
     if not statement.from_list:
         raise TriggerError("a trigger needs at least one data source")
     tvar_sources: Dict[str, str] = {}
@@ -256,21 +289,6 @@ def build_runtime(
 
     graph = build_condition_graph(list(tvar_sources), when)
 
-    if network_type == "gator":
-        network = _build_gator(
-            trigger_id, graph, evaluator, tvar_sources, registry
-        )
-    elif network_type == "atreat":
-        fetchers = {}
-        if use_virtual_alpha and len(tvar_sources) > 1:
-            for tvar, source_name in tvar_sources.items():
-                fetch = registry.get(source_name).fetcher()
-                if fetch is not None:
-                    fetchers[tvar] = fetch
-        network = ATreatNetwork(trigger_id, graph, evaluator, fetchers)
-    else:
-        raise TriggerError(f"unknown network type {network_type!r}")
-
     window: Optional[int] = None
     for flag in statement.flags:
         if flag.startswith("WINDOW:"):
@@ -302,23 +320,96 @@ def build_runtime(
             )
         window_plan, window_tracked = compile_incremental_having(having)
 
-    return TriggerRuntime(
-        trigger_id=trigger_id,
-        name=statement.name,
-        set_name=set_name,
+    return TriggerAnalysis(
         statement=statement,
         text=text,
+        set_name=set_name,
         tvar_sources=tvar_sources,
         tvar_events=events,
         graph=graph,
-        network=network,
-        action=statement.action,
-        group_by=tuple(group_by),
         having=having,
+        group_by=tuple(group_by),
         window=window,
         window_spec=window_spec,
         window_plan=window_plan,
         window_tracked=window_tracked,
+    )
+
+
+def build_runtime_from_analysis(
+    trigger_id: int,
+    analysis: TriggerAnalysis,
+    registry: DataSourceRegistry,
+    evaluator: Optional[Evaluator] = None,
+    use_virtual_alpha: bool = True,
+    network_type: str = "atreat",
+) -> TriggerRuntime:
+    """§5.1 step 4: build the discrimination network over a finished
+    analysis and assemble the runtime.
+
+    ``network_type`` selects the discrimination network: ``"atreat"`` (the
+    paper's current implementation; virtual alpha memories over table
+    sources) or ``"gator"`` (the planned optimization; materialized alpha
+    and beta memories, primed from table sources at build time).
+    """
+    evaluator = evaluator or Evaluator()
+    graph = analysis.graph
+    tvar_sources = analysis.tvar_sources
+    if network_type == "gator":
+        network = _build_gator(
+            trigger_id, graph, evaluator, tvar_sources, registry
+        )
+    elif network_type == "atreat":
+        fetchers = {}
+        if use_virtual_alpha and len(tvar_sources) > 1:
+            for tvar, source_name in tvar_sources.items():
+                fetch = registry.get(source_name).fetcher()
+                if fetch is not None:
+                    fetchers[tvar] = fetch
+        network = ATreatNetwork(trigger_id, graph, evaluator, fetchers)
+    else:
+        raise TriggerError(f"unknown network type {network_type!r}")
+
+    return TriggerRuntime(
+        trigger_id=trigger_id,
+        name=analysis.statement.name,
+        set_name=analysis.set_name,
+        statement=analysis.statement,
+        text=analysis.text,
+        tvar_sources=tvar_sources,
+        tvar_events=analysis.tvar_events,
+        graph=graph,
+        network=network,
+        action=analysis.statement.action,
+        group_by=analysis.group_by,
+        having=analysis.having,
+        window=analysis.window,
+        window_spec=analysis.window_spec,
+        window_plan=analysis.window_plan,
+        window_tracked=analysis.window_tracked,
+    )
+
+
+def build_runtime(
+    trigger_id: int,
+    statement: ast.CreateTriggerStatement,
+    text: str,
+    registry: DataSourceRegistry,
+    evaluator: Optional[Evaluator] = None,
+    set_name: str = "default",
+    use_virtual_alpha: bool = True,
+    network_type: str = "atreat",
+) -> TriggerRuntime:
+    """§5.1 steps 1–4 in one call (the eager path): validate, analyze the
+    condition, build the network."""
+    analysis = analyze_statement(statement, text, registry, set_name)
+    return build_runtime_from_analysis(
+        trigger_id,
+        analysis,
+        registry,
+        evaluator,
+        use_virtual_alpha=use_virtual_alpha,
+        network_type=network_type,
     )
 
 
@@ -346,9 +437,11 @@ def _build_gator(trigger_id, graph, evaluator, tvar_sources, registry):
     return network
 
 
-def analyze_trigger(runtime: TriggerRuntime) -> List[Tuple[str, AnalyzedPredicate]]:
+def analyze_trigger(runtime) -> List[Tuple[str, AnalyzedPredicate]]:
     """§5.1 step 5 input: one analyzed selection predicate per tuple
-    variable (the signature machinery keys on data source + op code)."""
+    variable (the signature machinery keys on data source + op code).
+    Accepts a :class:`TriggerRuntime` or a :class:`TriggerAnalysis` — the
+    lazy path registers predicates before any runtime exists."""
     out: List[Tuple[str, AnalyzedPredicate]] = []
     for tvar in runtime.tvars:
         clauses = runtime.graph.selection_for(tvar)
@@ -359,3 +452,122 @@ def analyze_trigger(runtime: TriggerRuntime) -> List[Tuple[str, AnalyzedPredicat
         )
         out.append((tvar, analyzed))
     return out
+
+
+# -- trigger shapes (compact catalog descriptions) ---------------------------
+
+
+def generalize_statement(
+    statement: ast.CreateTriggerStatement,
+) -> Tuple[ast.CreateTriggerStatement, List[Any]]:
+    """Split a trigger statement into (shape template, constants).
+
+    The template is the statement with its name and set blanked and every
+    constant in the WHEN/HAVING conditions and raise-event arguments
+    replaced by a numbered placeholder (continuous numbering across the
+    three positions).  Triggers sharing a template differ only in their
+    constant vector — the catalog stores the template once per shape and a
+    compact constants row per trigger.  SQL action bodies and flags stay
+    verbatim: they are part of the shape.
+    """
+    constants: List[Any] = []
+
+    def gen(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+        if expr is None:
+            return None
+        out, found = generalize(expr, start=len(constants) + 1)
+        constants.extend(found)
+        return out
+
+    when = gen(statement.when)
+    having = gen(statement.having)
+    action = statement.action
+    if isinstance(action, ast.RaiseEventAction) and action.args:
+        action = ast.RaiseEventAction(
+            action.event_name, tuple(gen(arg) for arg in action.args)
+        )
+    template = dataclasses.replace(
+        statement,
+        name="",
+        set_name=None,
+        when=when,
+        having=having,
+        action=action,
+    )
+    return template, constants
+
+
+def instantiate_statement(
+    template: ast.CreateTriggerStatement,
+    constants: List[Any],
+    name: str,
+    set_name: Optional[str],
+) -> ast.CreateTriggerStatement:
+    """Inverse of :func:`generalize_statement`: rebuild a concrete trigger
+    statement from its shape template and constant vector."""
+
+    def inst(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+        return None if expr is None else instantiate(expr, constants)
+
+    action = template.action
+    if isinstance(action, ast.RaiseEventAction) and action.args:
+        action = ast.RaiseEventAction(
+            action.event_name,
+            tuple(instantiate(arg, constants) for arg in action.args),
+        )
+    return dataclasses.replace(
+        template,
+        name=name,
+        set_name=set_name,
+        when=inst(template.when),
+        having=inst(template.having),
+        action=action,
+    )
+
+
+# -- resident sizing ----------------------------------------------------------
+
+_ATOMIC_TYPES = (type(None), bool, int, float, complex, str, bytes)
+
+
+def runtime_size_bytes(runtime: TriggerRuntime) -> int:
+    """Deep-measured resident bytes of one runtime's object graph.
+
+    Shared structure is excluded: callables (compiled matchers, fetchers,
+    window plans), classes/modules, and :class:`Evaluator` instances are
+    process-wide, not per-trigger.  Identity-memoized, so internal sharing
+    (the statement appearing as both ``statement`` and ``action`` owner)
+    is counted once.
+    """
+    seen: set = set()
+    total = 0
+    stack: List[Any] = [runtime]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if (
+            isinstance(obj, (type, types.ModuleType, Evaluator))
+            or callable(obj)
+        ):
+            continue
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:
+            continue
+        if isinstance(obj, _ATOMIC_TYPES):
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        else:
+            attrs = getattr(obj, "__dict__", None)
+            if attrs is not None:
+                stack.append(attrs)
+            for slot in getattr(type(obj), "__slots__", ()):
+                if hasattr(obj, slot):
+                    stack.append(getattr(obj, slot))
+    return total

@@ -65,10 +65,24 @@ def explain_trigger(tman, name: str) -> str:
     from ..engine.trigger import analyze_trigger
 
     trigger_id = tman.catalog.trigger_id(name)
+    # Observe residency BEFORE pinning: the pin below would load a spilled
+    # trigger and hide the very state being reported.
+    resident = trigger_id in tman.cache
+    description = tman.catalog.description(trigger_id)
     runtime = tman.cache.pin(trigger_id)
     try:
         out = [f"trigger {name} (id {trigger_id})"]
         out.append(f"  network: {type(runtime.network).__name__}")
+        catalog_form = (
+            f"compact description (shape {description[0]})"
+            if description is not None
+            else "full text only"
+        )
+        out.append(
+            f"  cache: {'resident' if resident else 'spilled'}; "
+            f"{runtime.estimated_size():,} bytes when resident; "
+            f"catalog form: {catalog_form}"
+        )
         out.append("  tuple variables:")
         for tvar in runtime.tvars:
             source = runtime.tvar_sources[tvar]
@@ -157,6 +171,27 @@ def render_stats(tman) -> str:
     if histograms:
         out.append("timings:")
         out.extend(histograms)
+    from ..condition.signature import interned_signature_count
+
+    cache = tman.cache
+    budget = (
+        f" of {cache.capacity_bytes:,} budget"
+        if cache.capacity_bytes is not None
+        else " (no byte budget)"
+    )
+    out.append("memory:")
+    out.append(
+        f"  interned signatures: {interned_signature_count()}"
+    )
+    out.append(
+        f"  trigger cache: {len(cache)} resident, "
+        f"{cache.resident_bytes():,} bytes{budget}, "
+        f"{cache.stats.evictions} spills"
+    )
+    out.append(
+        f"  loads: {tman.runtimes.rehydrates} re-hydrated, "
+        f"{tman.runtimes.reparses} re-parsed"
+    )
     metrics_state = "on" if tman.obs.metrics.enabled else "off"
     trace_state = "on" if tman.obs.trace.enabled else "off"
     out.append(f"observability: metrics {metrics_state}, trace {trace_state}")

@@ -97,6 +97,40 @@ def register_engine_views(tman) -> None:
     gauge("cache.resident", callback=lambda: len(cache))
     gauge("cache.resident_bytes", callback=cache.resident_bytes)
     gauge("cache.pinned", callback=cache.pinned_count)
+    # -- memory-scale views (interning, spill, re-hydration) ----------------
+    from ..condition.signature import interned_signature_count
+
+    runtimes = tman.runtimes
+    gauge(
+        "signatures.interned",
+        "process-wide interned expression signatures",
+        callback=interned_signature_count,
+    )
+    gauge(
+        "cache.spills",
+        "descriptions evicted to their compact catalog form",
+        callback=lambda: cache.stats.evictions,
+    )
+    gauge(
+        "cache.rehydrates",
+        "loads served by shape+description instantiation",
+        callback=lambda: runtimes.rehydrates,
+    )
+    gauge(
+        "cache.reparses",
+        "loads that re-parsed the full trigger text",
+        callback=lambda: runtimes.reparses,
+    )
+    gauge(
+        "catalog.shapes",
+        "trigger shape rows (one per structural class)",
+        callback=tman.catalog.shape_count,
+    )
+    gauge(
+        "catalog.descriptions",
+        "compact per-trigger description rows",
+        callback=tman.catalog.description_count,
+    )
     pool = tman.catalog_db.pool
     gauge("buffer.hits", callback=lambda: pool.stats.hits)
     gauge("buffer.misses", callback=lambda: pool.stats.misses)

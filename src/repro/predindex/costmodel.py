@@ -56,11 +56,17 @@ class Limits:
     common case fast with zero index overhead).
     ``memory_max``: largest class kept in main memory at all; beyond this
     the class must go to a database table (strategies 3/4 are *mandatory*
-    for scalability, §5.2).
+    for scalability, §5.2).  The default is sized for the columnar
+    constant tables (DESIGN §11): a member costs tens of bytes — a row
+    in parallel arrays plus a hash-bucket slot — so a ~1M-entry class is
+    tens of MB, and a table probe (a SQL query per token) costs far more
+    than the memory it saves.  The E18 grid holds match throughput flat
+    at a million triggers on in-memory classes; drop ``memory_max`` when
+    constant sets genuinely outgrow RAM.
     """
 
     list_max: int = 16
-    memory_max: int = 65536
+    memory_max: int = 1 << 20
 
 
 DEFAULT_LIMITS = Limits()

@@ -8,10 +8,9 @@ NULL when the whole predicate was indexable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
-from ..condition.signature import ExpressionSignature, generalize
+from ..condition.signature import ExpressionSignature, generalize, instantiate
 from ..lang import ast, compiler
 from ..lang.exprparser import parse_expression_text
 
@@ -90,6 +89,80 @@ def compiled_residual(text: Optional[str]) -> Optional[ResidualMatcher]:
     return matcher
 
 
+def signature_residual_matcher(
+    signature: ExpressionSignature,
+) -> Optional[Callable[..., Any]]:
+    """The compiled row-mode function for a signature's residual template.
+
+    Compiled once per equivalence class under the ``("sig", *key)`` cache
+    key; every columnar entry of the class evaluates through this single
+    function with its own constant-table row bound per call.  ``None``
+    when the signature has no residual or the template is not compilable
+    (the interpreter remains the fallback).
+    """
+    if signature.residual_template is None:
+        return None
+    key = ("sig",) + signature.key
+    fn = _TEMPLATE_CACHE.get(key, _MISS)
+    if fn is _MISS:
+        compiler.STATS.cache_misses += 1
+        fn = compiler.compile_row_template(
+            signature.residual_template, signature.residual_slot_map()
+        )
+        _cache_put(_TEMPLATE_CACHE, key, fn)
+    else:
+        compiler.STATS.cache_hits += 1
+    return fn
+
+
+def instantiate_residual(
+    signature: ExpressionSignature, residual_row: Tuple[Any, ...]
+) -> Optional[ast.Expr]:
+    """The residual expression for one constant-table row (interpreter
+    fallback for columnar entries: no text round-trip involved)."""
+    template = signature.residual_template
+    if template is None:
+        return None
+    constants: list = [None] * signature.num_constants
+    for number, value in zip(signature.residual_constant_numbers, residual_row):
+        constants[number - 1] = value
+    return instantiate(template, constants)
+
+
+def residual_row_for_text(
+    signature: ExpressionSignature, residual_text: Optional[str]
+) -> Optional[Tuple[Any, ...]]:
+    """Derive the constant-table residual row from an instantiated text.
+
+    Returns the row only when the text's structure matches the signature's
+    residual template (so the compiled template evaluates it faithfully);
+    arbitrary texts — tests install entries whose residual has nothing to
+    do with the signature — yield None and keep the text path.
+    """
+    template = signature.residual_template
+    if template is None or not residual_text:
+        return None
+    try:
+        expr = parse_residual(residual_text)
+        text_template, constants = generalize(expr)
+    except Exception:
+        return None
+    if _blind_render(text_template) != _blind_render(template):
+        return None
+    return tuple(constants)
+
+
+def _blind_render(template: ast.Expr) -> str:
+    """Render with placeholder numbering suppressed (structural identity)."""
+
+    def blind(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.Placeholder):
+            return ast.Placeholder(0)
+        return None
+
+    return template.transform(blind).render()
+
+
 def seed_residual_matcher(
     signature: ExpressionSignature,
     residual_constants: Tuple[Any, ...],
@@ -106,13 +179,7 @@ def seed_residual_matcher(
         return
     if residual_text in _MATCHER_CACHE:
         return
-    key = ("sig",) + signature.key
-    fn = _TEMPLATE_CACHE.get(key, _MISS)
-    if fn is _MISS:
-        fn = compiler.compile_row_template(
-            signature.residual_template, signature.residual_slot_map()
-        )
-        _cache_put(_TEMPLATE_CACHE, key, fn)
+    fn = signature_residual_matcher(signature)
     if fn is None:
         # Not compilable from the signature template; leave the text unseeded
         # so the lazy path can still try its canonical form.
@@ -120,20 +187,76 @@ def seed_residual_matcher(
     _cache_put(_MATCHER_CACHE, residual_text, (fn, tuple(residual_constants)))
 
 
-@dataclass(frozen=True)
 class PredicateEntry:
-    """One selection-predicate instance inside an equivalence class."""
+    """One selection-predicate instance inside an equivalence class.
 
-    expr_id: int
-    trigger_id: int
-    #: tuple variable the predicate belongs to (needed to route the token).
-    tvar: str
-    #: id of the A-TREAT node to pass matched tokens to (§5.1: an alpha
-    #: node or a P-node).
-    next_node: str
-    #: rendered text of the instantiated residual predicate, or None.
-    residual_text: Optional[str] = None
+    Entries are *views*: the constant-table organizations store their
+    fields columnar (:class:`repro.predindex.organizations.ConstantTable`)
+    and materialize a ``PredicateEntry`` per probe hit.  An entry carries
+    either an instantiated residual text (legacy/external form) or a
+    reference to its interned signature plus the residual constant row
+    (the compact engine form) — or both.
+    """
+
+    __slots__ = (
+        "expr_id",
+        "trigger_id",
+        "tvar",
+        "next_node",
+        "residual_text",
+        "signature",
+        "residual_row",
+    )
+
+    def __init__(
+        self,
+        expr_id: int,
+        trigger_id: int,
+        tvar: str,
+        next_node: str,
+        residual_text: Optional[str] = None,
+        signature: Optional[ExpressionSignature] = None,
+        residual_row: Optional[Tuple[Any, ...]] = None,
+    ):
+        self.expr_id = expr_id
+        self.trigger_id = trigger_id
+        #: tuple variable the predicate belongs to (routes the token).
+        self.tvar = tvar
+        #: id of the A-TREAT node to pass matched tokens to (§5.1: an
+        #: alpha node or a P-node).
+        self.next_node = next_node
+        #: rendered text of the instantiated residual predicate, or None.
+        self.residual_text = residual_text
+        #: interned signature reference (columnar entries only).
+        self.signature = signature
+        #: this entry's residual constants in slot order, or None.
+        self.residual_row = residual_row
 
     @property
     def residual(self) -> Optional[ast.Expr]:
-        return parse_residual(self.residual_text)
+        if self.residual_text:
+            return parse_residual(self.residual_text)
+        if self.signature is not None and self.residual_row is not None:
+            return instantiate_residual(self.signature, self.residual_row)
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PredicateEntry)
+            and self.expr_id == other.expr_id
+            and self.trigger_id == other.trigger_id
+            and self.tvar == other.tvar
+            and self.next_node == other.next_node
+            and self.residual_text == other.residual_text
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.expr_id, self.trigger_id))
+
+    def __repr__(self) -> str:
+        return (
+            f"PredicateEntry(expr_id={self.expr_id}, "
+            f"trigger_id={self.trigger_id}, tvar={self.tvar!r}, "
+            f"next_node={self.next_node!r}, "
+            f"residual_text={self.residual_text!r})"
+        )

@@ -36,7 +36,12 @@ from ..condition.signature import AnalyzedPredicate, ExpressionSignature
 from ..errors import ConditionError, SignatureError
 from ..lang.compiler import STATS as COMPILER_STATS
 from ..lang.evaluator import Bindings, Evaluator
-from .entry import PredicateEntry, compiled_residual, seed_residual_matcher
+from .entry import (
+    PredicateEntry,
+    compiled_residual,
+    seed_residual_matcher,
+    signature_residual_matcher,
+)
 from .organizations import Constants, Organization
 
 #: Operation codes (the paper's opcode component of a signature).
@@ -253,12 +258,16 @@ class PredicateIndex:
             # Warm the (signature, restOfPredicate) compilation cache at
             # install time: the template compiles once per signature, this
             # entry's constant row binds per call, and the first token
-            # never pays compilation.
-            seed_residual_matcher(
-                analyzed.signature,
-                analyzed.residual_constants,
-                entry.residual_text,
-            )
+            # never pays compilation.  Columnar entries (no text) share the
+            # signature-level template directly.
+            if entry.residual_text:
+                seed_residual_matcher(
+                    analyzed.signature,
+                    analyzed.residual_constants,
+                    entry.residual_text,
+                )
+            else:
+                signature_residual_matcher(analyzed.signature)
         # Constant-set mutation is per-group: concurrent creates touching
         # different signatures (or different sources) proceed in parallel.
         with group.lock:
@@ -383,6 +392,14 @@ class PredicateIndex:
                 continue
             self.stats.groups_probed += 1
             values = group.probe_values(row)
+            signature = group.signature
+            # One compiled residual function per equivalence class: every
+            # columnar entry binds its own constant-table row per call.
+            sig_fn = (
+                signature_residual_matcher(signature)
+                if compiling and signature.residual_template is not None
+                else None
+            )
             if tracing:
                 probe_start = tracer.clock()
                 probed_before = self.stats.entries_probed
@@ -394,12 +411,49 @@ class PredicateIndex:
                     self.stats.entries_probed += 1
                     if enabled is not None and not enabled(entry.trigger_id):
                         continue
+                    residual_row = entry.residual_row
                     text = entry.residual_text
-                    if text is not None and text != "":
+                    if residual_row is not None and (
+                        signature.residual_template is not None
+                    ):
+                        # Columnar path: signature-level compiled template
+                        # + this entry's constant row (no text involved).
                         self.stats.residual_tests += 1
                         if tracing:
                             residual_start = tracer.clock()
                         ok: Optional[bool] = None
+                        if sig_fn is not None:
+                            try:
+                                ok = sig_fn(row, residual_row, functions) is True
+                            except Exception:
+                                COMPILER_STATS.runtime_fallbacks += 1
+                                ok = None
+                        if ok is None:
+                            if bindings is None:
+                                bindings = Bindings(
+                                    rows={binding_source: row}
+                                )
+                            ok = self.evaluator.matches(
+                                entry.residual, bindings
+                            )
+                        if tracing:
+                            tracer.record(
+                                "residual.test",
+                                residual_start,
+                                tracer.clock(),
+                                {
+                                    "trigger": entry.trigger_id,
+                                    "expr": signature.text,
+                                    "passed": ok,
+                                },
+                            )
+                        if not ok:
+                            continue
+                    elif text is not None and text != "":
+                        self.stats.residual_tests += 1
+                        if tracing:
+                            residual_start = tracer.clock()
+                        ok = None
                         if compiling:
                             matcher = compiled_residual(text)
                             if matcher is not None:

@@ -31,6 +31,8 @@ Probe semantics by indexable kind (:mod:`repro.condition.signature`):
 from __future__ import annotations
 
 import bisect
+import sys
+from array import array
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..condition.signature import (
@@ -54,10 +56,191 @@ from .costmodel import (
     MEMORY_LIST,
     choose_organization,
 )
-from .entry import PredicateEntry
+from .entry import (
+    PredicateEntry,
+    instantiate_residual,
+    residual_row_for_text,
+)
 
 Constants = Tuple[Any, ...]
 ProbeResult = Iterator[Tuple[Constants, PredicateEntry]]
+
+
+class ConstantTable:
+    """Columnar per-signature constant storage — §5.1's constant table,
+    literally: parallel arrays per column instead of one object per entry.
+
+    One table per equivalence class, shared by whatever main-memory
+    organization currently serves the class (mm-list and mm-index are
+    row-id *views* over it; migrating between them touches only the view,
+    never the constants).  A row holds exprID, triggerID, tvar,
+    nextNetworkNode, const1..constK, and the residual constants — plus a
+    verbatim restOfPredicate text slot for entries whose residual does not
+    derive from the signature's template (external/test entries).
+
+    Removal frees the row into a free list for reuse; ``expr_ids`` keeps
+    ``-1`` for freed rows so scans skip them.  Per-row overhead is a few
+    machine words instead of a few hundred bytes of dataclass + dict.
+    """
+
+    __slots__ = (
+        "signature",
+        "arity",
+        "expr_ids",
+        "trigger_ids",
+        "tvars",
+        "next_nodes",
+        "const_cols",
+        "residual_cols",
+        "texts",
+        "_free",
+        "_live",
+    )
+
+    def __init__(self, signature: ExpressionSignature):
+        self.signature = signature
+        self.arity = len(signature.indexable.constant_numbers)
+        self.expr_ids = array("q")
+        self.trigger_ids = array("q")
+        self.tvars: List[str] = []
+        self.next_nodes: List[str] = []
+        self.const_cols: Tuple[List[Any], ...] = tuple(
+            [] for _ in range(self.arity)
+        )
+        self.residual_cols: Tuple[List[Any], ...] = tuple(
+            [] for _ in signature.residual_constant_numbers
+        )
+        #: verbatim restOfPredicate texts; None when the residual row is
+        #: authoritative (the common engine path).
+        self.texts: List[Optional[str]] = []
+        self._free: List[int] = []
+        self._live = 0
+
+    def append(self, constants: Constants, entry: PredicateEntry) -> int:
+        """Store one entry; returns its row id."""
+        residual_row = entry.residual_row
+        text = entry.residual_text
+        if residual_row is None and text:
+            # External/legacy entry: adopt the columnar form when the text
+            # matches the signature's residual template (and keep the text
+            # verbatim either way so it round-trips).
+            residual_row = residual_row_for_text(self.signature, text)
+        if residual_row is not None and len(residual_row) != len(
+            self.residual_cols
+        ):
+            residual_row = None
+        tvar = sys.intern(entry.tvar)
+        next_node = sys.intern(entry.next_node)
+        if self._free:
+            row = self._free.pop()
+            self.expr_ids[row] = entry.expr_id
+            self.trigger_ids[row] = entry.trigger_id
+            self.tvars[row] = tvar
+            self.next_nodes[row] = next_node
+            for i, col in enumerate(self.const_cols):
+                col[row] = constants[i]
+            for i, col in enumerate(self.residual_cols):
+                col[row] = residual_row[i] if residual_row is not None else None
+            self.texts[row] = text
+        else:
+            row = len(self.expr_ids)
+            self.expr_ids.append(entry.expr_id)
+            self.trigger_ids.append(entry.trigger_id)
+            self.tvars.append(tvar)
+            self.next_nodes.append(next_node)
+            for i, col in enumerate(self.const_cols):
+                col.append(constants[i])
+            for i, col in enumerate(self.residual_cols):
+                col.append(residual_row[i] if residual_row is not None else None)
+            self.texts.append(text)
+        self._live += 1
+        return row
+
+    def release(self, row: int) -> None:
+        self.expr_ids[row] = -1
+        self.trigger_ids[row] = -1
+        self.texts[row] = None
+        for col in self.const_cols:
+            col[row] = None
+        for col in self.residual_cols:
+            col[row] = None
+        self._free.append(row)
+        self._live -= 1
+
+    def row_of(self, expr_id: int) -> Optional[int]:
+        try:
+            return self.expr_ids.index(expr_id)
+        except ValueError:
+            return None
+
+    def constants_at(self, row: int) -> Constants:
+        return tuple(col[row] for col in self.const_cols)
+
+    def residual_row_at(self, row: int) -> Optional[Constants]:
+        signature = self.signature
+        if signature.residual_template is None:
+            return None
+        if not self.residual_cols:
+            # Constant-free residual (e.g. ``x IS NOT NULL``): the template
+            # itself is the whole test — unless the row carries a verbatim
+            # text of a different structure.
+            text = self.texts[row]
+            if text is None:
+                return ()
+            return residual_row_for_text(signature, text)
+        values = tuple(col[row] for col in self.residual_cols)
+        if any(v is None for v in values):
+            # Residual constants are never NULL (generalize keeps NULLs
+            # structural), so a None marks an underived/verbatim-text row.
+            return None
+        return values
+
+    def entry_at(self, row: int, with_text: bool = False) -> PredicateEntry:
+        """Materialize the row as a :class:`PredicateEntry` view.
+
+        ``with_text`` renders the restOfPredicate text when absent (needed
+        by the DB-table organizations, whose rows are self-describing).
+        """
+        residual_row = self.residual_row_at(row)
+        text = self.texts[row]
+        signature = self.signature
+        if (
+            with_text
+            and text is None
+            and residual_row is not None
+            and signature.residual_template is not None
+        ):
+            expr = instantiate_residual(signature, residual_row)
+            text = expr.render() if expr is not None else None
+        return PredicateEntry(
+            expr_id=self.expr_ids[row],
+            trigger_id=self.trigger_ids[row],
+            tvar=self.tvars[row],
+            next_node=self.next_nodes[row],
+            residual_text=text,
+            signature=signature,
+            residual_row=residual_row,
+        )
+
+    def rows(self) -> List[int]:
+        """Live row ids (snapshot)."""
+        return [i for i, e in enumerate(self.expr_ids) if e >= 0]
+
+    def clear(self) -> None:
+        self.expr_ids = array("q")
+        self.trigger_ids = array("q")
+        self.tvars = []
+        self.next_nodes = []
+        for col in self.const_cols:
+            del col[:]
+        for col in self.residual_cols:
+            del col[:]
+        self.texts = []
+        self._free = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
 
 
 class _TopSentinel:
@@ -155,40 +338,98 @@ class Organization:
             )
 
 
-class MemoryListOrganization(Organization):
-    """Strategy 1: a main-memory list."""
+class MemoryOrganization(Organization):
+    """Base of the two main-memory strategies: a row-id view over a shared
+    :class:`ConstantTable`.
 
-    name = MEMORY_LIST
+    ``table`` is owned by :class:`AutoOrganization` (or created privately
+    when the organization is used standalone); migrating between mm-list
+    and mm-index rebuilds only the view structure — the constants stay put.
+    """
 
-    def __init__(self, signature: ExpressionSignature):
+    def __init__(
+        self,
+        signature: ExpressionSignature,
+        table: Optional[ConstantTable] = None,
+    ):
         super().__init__(signature)
-        self._items: List[Tuple[Constants, PredicateEntry]] = []
+        self.table = table if table is not None else ConstantTable(signature)
 
     def add(self, constants: Constants, entry: PredicateEntry) -> None:
         self._check_arity(constants)
-        self._items.append((constants, entry))
+        self._index_row(self.table.append(constants, entry), constants)
+
+    def adopt_rows(self, rows: List[int]) -> None:
+        """Index rows that already live in the shared table (mm↔mm
+        migration: no constant is copied or re-appended)."""
+        table = self.table
+        for row in rows:
+            self._index_row(row, table.constants_at(row))
 
     def remove(self, expr_id: int) -> bool:
-        for i, (_c, entry) in enumerate(self._items):
-            if entry.expr_id == expr_id:
-                del self._items[i]
-                return True
-        return False
+        row = self.table.row_of(expr_id)
+        if row is None:
+            return False
+        if not self._unindex_row(row):
+            return False
+        self.table.release(row)
+        return True
 
-    def probe(self, values: Constants) -> ProbeResult:
-        for constants, entry in self._items:
-            if indexable_match(self.signature, constants, values):
-                yield constants, entry
+    def row_ids(self) -> List[int]:
+        raise NotImplementedError
+
+    def _index_row(self, row: int, constants: Constants) -> None:
+        raise NotImplementedError
+
+    def _unindex_row(self, row: int) -> bool:
+        raise NotImplementedError
 
     def entries(self) -> ProbeResult:
-        return iter(list(self._items))
+        table = self.table
+        for row in self.row_ids():
+            yield table.constants_at(row), table.entry_at(row)
+
+
+class MemoryListOrganization(MemoryOrganization):
+    """Strategy 1: a main-memory list (of constant-table row ids)."""
+
+    name = MEMORY_LIST
+
+    def __init__(
+        self,
+        signature: ExpressionSignature,
+        table: Optional[ConstantTable] = None,
+    ):
+        super().__init__(signature, table)
+        self._rows: List[int] = []
+
+    def _index_row(self, row: int, constants: Constants) -> None:
+        self._rows.append(row)
+
+    def _unindex_row(self, row: int) -> bool:
+        try:
+            self._rows.remove(row)
+        except ValueError:
+            return False
+        return True
+
+    def probe(self, values: Constants) -> ProbeResult:
+        table = self.table
+        signature = self.signature
+        for row in self._rows:
+            constants = table.constants_at(row)
+            if indexable_match(signature, constants, values):
+                yield constants, table.entry_at(row)
+
+    def row_ids(self) -> List[int]:
+        return list(self._rows)
 
     def size(self) -> int:
-        return len(self._items)
+        return len(self._rows)
 
 
-class MemoryIndexOrganization(Organization):
-    """Strategy 2: a lightweight main-memory index."""
+class MemoryIndexOrganization(MemoryOrganization):
+    """Strategy 2: a lightweight main-memory index over row ids."""
 
     name = MEMORY_INDEX
 
@@ -196,80 +437,79 @@ class MemoryIndexOrganization(Organization):
         self,
         signature: ExpressionSignature,
         interval_structure: str = "tree",
+        table: Optional[ConstantTable] = None,
     ):
         """``interval_structure`` picks the stabbing index for BETWEEN
         signatures: ``"tree"`` (centered interval tree) or ``"skiplist"``
         (the [Hans96b] interval skip list)."""
-        super().__init__(signature)
+        super().__init__(signature, table)
         kind = signature.indexable.kind
         self._kind = kind
         self._count = 0
         if kind == EQUALITY:
-            self._hash: Dict[Constants, List[PredicateEntry]] = {}
+            self._hash: Dict[Constants, List[int]] = {}
         elif kind == RANGE:
             self._keys: List[Any] = []  # sorted constants (with duplicates)
-            self._payloads: List[Tuple[Constants, PredicateEntry]] = []
+            self._payload_rows: List[int] = []
         elif kind == INTERVAL:
             from .intervalindex import IntervalIndex
 
             self._intervals = IntervalIndex(structure=interval_structure)
         elif kind == SET:
-            # one hash bucket per IN-list member; entries carry their full
+            # one hash bucket per IN-list member; rows carry their full
             # constant tuple so membership never needs re-checking
-            self._members: Dict[Any, List[Tuple[Constants, PredicateEntry]]] = {}
+            self._members: Dict[Any, List[int]] = {}
         else:  # NONE: nothing to index; degrade to a list
-            self._flat: List[Tuple[Constants, PredicateEntry]] = []
+            self._flat: List[int] = []
 
-    def add(self, constants: Constants, entry: PredicateEntry) -> None:
-        self._check_arity(constants)
+    def _index_row(self, row: int, constants: Constants) -> None:
         kind = self._kind
         if kind == EQUALITY:
-            self._hash.setdefault(constants, []).append(entry)
+            self._hash.setdefault(constants, []).append(row)
         elif kind == RANGE:
             position = bisect.bisect_right(self._keys, constants[0])
             self._keys.insert(position, constants[0])
-            self._payloads.insert(position, (constants, entry))
+            self._payload_rows.insert(position, row)
         elif kind == INTERVAL:
-            self._intervals.add(constants[0], constants[1], (constants, entry))
+            self._intervals.add(constants[0], constants[1], row)
         elif kind == SET:
             for member in set(constants):
-                self._members.setdefault(member, []).append((constants, entry))
+                self._members.setdefault(member, []).append(row)
         else:
-            self._flat.append((constants, entry))
+            self._flat.append(row)
         self._count += 1
 
-    def remove(self, expr_id: int) -> bool:
+    def _unindex_row(self, row: int) -> bool:
         kind = self._kind
         if kind == EQUALITY:
-            for constants, bucket in self._hash.items():
-                for i, entry in enumerate(bucket):
-                    if entry.expr_id == expr_id:
-                        del bucket[i]
-                        if not bucket:
-                            del self._hash[constants]
-                        self._count -= 1
-                        return True
+            constants = self.table.constants_at(row)
+            bucket = self._hash.get(constants)
+            if bucket and row in bucket:
+                bucket.remove(row)
+                if not bucket:
+                    del self._hash[constants]
+                self._count -= 1
+                return True
             return False
         if kind == RANGE:
-            for i, (_c, entry) in enumerate(self._payloads):
-                if entry.expr_id == expr_id:
-                    del self._payloads[i]
+            for i, payload_row in enumerate(self._payload_rows):
+                if payload_row == row:
+                    del self._payload_rows[i]
                     del self._keys[i]
                     self._count -= 1
                     return True
             return False
         if kind == INTERVAL:
-            for low, high, payload in self._intervals.items():
-                if payload[1].expr_id == expr_id:
-                    self._intervals.remove(low, high, payload)
-                    self._count -= 1
-                    return True
+            constants = self.table.constants_at(row)
+            if self._intervals.remove(constants[0], constants[1], row):
+                self._count -= 1
+                return True
             return False
         if kind == SET:
             removed = False
             for member in list(self._members):
                 bucket = self._members[member]
-                kept = [p for p in bucket if p[1].expr_id != expr_id]
+                kept = [r for r in bucket if r != row]
                 if len(kept) != len(bucket):
                     removed = True
                     if kept:
@@ -279,18 +519,20 @@ class MemoryIndexOrganization(Organization):
             if removed:
                 self._count -= 1
             return removed
-        for i, (_c, entry) in enumerate(self._flat):
-            if entry.expr_id == expr_id:
-                del self._flat[i]
-                self._count -= 1
-                return True
+        if row in self._flat:
+            self._flat.remove(row)
+            self._count -= 1
+            return True
         return False
 
     def probe(self, values: Constants) -> ProbeResult:
         kind = self._kind
+        table = self.table
         if kind == EQUALITY:
-            for entry in self._hash.get(values, ()):
-                yield values, entry
+            rows = self._hash.get(values)
+            if rows:
+                for row in rows:
+                    yield values, table.entry_at(row)
             return
         if kind == RANGE:
             value = values[0]
@@ -312,42 +554,44 @@ class MemoryIndexOrganization(Organization):
                 start = bisect.bisect_left(self._keys, value)
                 span = range(start, len(self._keys))
             for i in span:
-                yield self._payloads[i]
+                row = self._payload_rows[i]
+                yield table.constants_at(row), table.entry_at(row)
             return
         if kind == INTERVAL:
             value = values[0]
             if value is None:
                 return
-            yield from self._intervals.stab(value)
+            for row in self._intervals.stab(value):
+                yield table.constants_at(row), table.entry_at(row)
             return
         if kind == SET:
             value = values[0]
             if value is None:
                 return
-            yield from iter(list(self._members.get(value, ())))
+            for row in list(self._members.get(value, ())):
+                yield table.constants_at(row), table.entry_at(row)
             return
-        yield from iter(list(self._flat))
+        for row in list(self._flat):
+            yield table.constants_at(row), table.entry_at(row)
 
-    def entries(self) -> ProbeResult:
+    def row_ids(self) -> List[int]:
         kind = self._kind
         if kind == EQUALITY:
-            for constants, bucket in list(self._hash.items()):
-                for entry in list(bucket):
-                    yield constants, entry
-        elif kind == RANGE:
-            yield from iter(list(self._payloads))
-        elif kind == INTERVAL:
-            for _low, _high, payload in self._intervals.items():
-                yield payload
-        elif kind == SET:
+            return [row for bucket in self._hash.values() for row in bucket]
+        if kind == RANGE:
+            return list(self._payload_rows)
+        if kind == INTERVAL:
+            return [row for _l, _h, row in self._intervals.items()]
+        if kind == SET:
             seen = set()
-            for bucket in list(self._members.values()):
-                for constants, entry in bucket:
-                    if entry.expr_id not in seen:
-                        seen.add(entry.expr_id)
-                        yield constants, entry
-        else:
-            yield from iter(list(self._flat))
+            out = []
+            for bucket in self._members.values():
+                for row in bucket:
+                    if row not in seen:
+                        seen.add(row)
+                        out.append(row)
+            return out
+        return list(self._flat)
 
     def size(self) -> int:
         return self._count
@@ -430,9 +674,19 @@ class DbTableOrganization(Organization):
     # -- row <-> entry ----------------------------------------------------
 
     def _row_for(self, constants: Constants, entry: PredicateEntry) -> list:
+        text = entry.residual_text
+        if (
+            text is None
+            and entry.signature is not None
+            and entry.residual_row is not None
+        ):
+            # Columnar entries carry no text; database rows must be
+            # self-describing, so render the restOfPredicate here.
+            expr = instantiate_residual(entry.signature, entry.residual_row)
+            text = expr.render() if expr is not None else None
         row = [entry.expr_id, entry.trigger_id, entry.tvar, entry.next_node]
         row.extend(_coerce(c) for c in constants)
-        row.append(entry.residual_text)
+        row.append(text)
         return row
 
     def _entry_of(self, row: Tuple) -> Tuple[Constants, PredicateEntry]:
@@ -545,7 +799,11 @@ class AutoOrganization(Organization):
         self.on_change = on_change
         #: optional Observability bundle: migrations are counted and traced
         self.obs = obs
-        self._current: Organization = MemoryListOrganization(signature)
+        #: the class's columnar constants, shared by the memory strategies
+        self.table = ConstantTable(signature)
+        self._current: Organization = MemoryListOrganization(
+            signature, table=self.table
+        )
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -553,9 +811,9 @@ class AutoOrganization(Organization):
 
     def _build(self, strategy: str, sample: Optional[Constants]) -> Organization:
         if strategy == MEMORY_LIST:
-            return MemoryListOrganization(self.signature)
+            return MemoryListOrganization(self.signature, table=self.table)
         if strategy == MEMORY_INDEX:
-            return MemoryIndexOrganization(self.signature)
+            return MemoryIndexOrganization(self.signature, table=self.table)
         return DbTableOrganization(
             self.signature,
             self.database,
@@ -600,11 +858,27 @@ class AutoOrganization(Organization):
             # Same backing table; only the index presence differs, and
             # _build already created it.  Copy nothing.
             pass
+        elif isinstance(self._current, MemoryOrganization) and isinstance(
+            replacement, MemoryOrganization
+        ):
+            # Both views share self.table: re-index the row ids, leave the
+            # columnar constants untouched (mm-list ↔ mm-index migration
+            # copies zero constants).
+            replacement.adopt_rows(self._current.row_ids())
+        elif isinstance(self._current, MemoryOrganization):
+            # Memory → database: the rows move out of the columnar table.
+            table = self._current.table
+            for row in self._current.row_ids():
+                replacement.add(
+                    table.constants_at(row), table.entry_at(row, with_text=True)
+                )
+            table.clear()
         else:
+            # Database → memory: rows re-enter the columnar table (the
+            # residual row is re-derived from the stored text).
             for constants, entry in self._current.entries():
                 replacement.add(constants, entry)
-            if isinstance(self._current, DbTableOrganization):
-                self._current.table.truncate()
+            self._current.table.truncate()
         self._current = replacement
         if self.on_change is not None:
             self.on_change(replacement.name)

@@ -1,0 +1,283 @@
+"""The million-trigger scale scenario (E18).
+
+The paper's headline claim (§1, §5.4) is millions of triggers sharing a
+small set of expression signatures.  This workload makes that concrete:
+``sources`` stream data sources × ``TEMPLATES`` structural trigger shapes
+(≈50 signatures for the default 5 sources), with the population heavily
+skewed toward high-cardinality equality alerts — one ``name = C`` /
+``eno = C`` trigger per user — exactly the shape §5.2's constant-table
+organizations are built for.
+
+Everything is deterministic in the trigger index ``i``: no RNG is needed
+to regenerate a trigger's constants, so token generation can target the
+constants of the first ``k`` triggers regardless of how many exist.  That
+is what keeps the E18 comparison honest: the 10k-trigger and 1M-trigger
+runs see the *same* token stream, so match throughput differences come
+from the index and cache, not the workload.
+
+Creation avoids a per-trigger parse: each of the ~50 exemplar texts is
+parsed and generalized once, and every other trigger of the shape is
+instantiated from the template (mirroring the compact-description catalog
+form the engine itself uses).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..engine.trigger import generalize_statement, instantiate_statement
+from ..lang import ast
+from ..lang.parser import parse_command
+from .generators import zipf_indices
+
+#: Columns of every scale stream (the canonical emp shape).
+SCALE_COLUMNS = (
+    ("eno", "integer"),
+    ("name", "varchar(40)"),
+    ("salary", "float"),
+    ("dept", "varchar(20)"),
+    ("age", "integer"),
+)
+
+#: Departments used by token rows; the ``dept in (...)`` triggers name
+#: disjoint values so set probes stay missless.
+TOKEN_DEPTS = (
+    "toys", "shoes", "books", "garden", "auto", "sports", "grocery", "deli",
+)
+
+#: How many distinct users the equality population covers; tokens draw
+#: their name/eno values from the first ``TOKEN_UNIVERSE`` triggers'
+#: constants so the hit rate is independent of the trigger count.
+TOKEN_UNIVERSE = 10_000
+
+
+def _t_name_eq(i: int) -> Tuple[str, List[Any]]:
+    return "when {src}.name = {0}", [f"user{i}"]
+
+
+def _t_eno_eq(i: int) -> Tuple[str, List[Any]]:
+    return "when {src}.eno = {0}", [i]
+
+
+def _t_salary_gt(i: int) -> Tuple[str, List[Any]]:
+    # Thresholds sit far above every token salary: the range structure
+    # grows with the population but probes come back empty.
+    return "when {src}.salary > {0}", [1_000_000.0 + (i % 1000) * 10.0]
+
+
+def _t_salary_lt(i: int) -> Tuple[str, List[Any]]:
+    return "when {src}.salary < {0}", [-1.0 - (i % 1000)]
+
+
+def _t_age_between(i: int) -> Tuple[str, List[Any]]:
+    low = 200 + (i % 50)
+    return "when {src}.age between {0} and {1}", [low, low + 5]
+
+
+def _t_dept_in(i: int) -> Tuple[str, List[Any]]:
+    picks = [f"zdept{(i + k) % 10}" for k in range(3)]
+    return "when {src}.dept in ({0}, {1}, {2})", picks
+
+
+def _t_dept_eq_salary_gt(i: int) -> Tuple[str, List[Any]]:
+    # Unique dept values: the equality bucket never matches a token, so
+    # the residual (salary) test stays off the hot path.
+    return (
+        "when {src}.dept = {0} and {src}.salary > {1}",
+        [f"xdept{i}", 1_000_000.0 + (i % 1000)],
+    )
+
+
+def _t_name_eq_salary_gt(i: int) -> Tuple[str, List[Any]]:
+    # Shares the name universe with _t_name_eq and always passes its
+    # residual: the compiled-residual path fires for real on every hit.
+    return (
+        "when {src}.name = {0} and {src}.salary > {1}",
+        [f"user{i}", 0.0],
+    )
+
+
+def _t_eno_eq_age_gt(i: int) -> Tuple[str, List[Any]]:
+    return "when {src}.eno = {0} and {src}.age > {1}", [i, 0]
+
+
+def _t_salary_gt_age_lt(i: int) -> Tuple[str, List[Any]]:
+    return (
+        "when {src}.salary > {0} and {src}.age < {1}",
+        [2_000_000.0 + (i % 1000), 5],
+    )
+
+
+#: name -> per-index condition builder.  Ten structural templates; with
+#: ``sources`` data sources the signature count is ``10 * sources``.
+TEMPLATES: Tuple[Tuple[str, Callable[[int], Tuple[str, List[Any]]]], ...] = (
+    ("name_eq", _t_name_eq),
+    ("eno_eq", _t_eno_eq),
+    ("salary_gt", _t_salary_gt),
+    ("salary_lt", _t_salary_lt),
+    ("age_between", _t_age_between),
+    ("dept_in", _t_dept_in),
+    ("dept_eq_salary_gt", _t_dept_eq_salary_gt),
+    ("name_eq_salary_gt", _t_name_eq_salary_gt),
+    ("eno_eq_age_gt", _t_eno_eq_age_gt),
+    ("salary_gt_age_lt", _t_salary_gt_age_lt),
+)
+
+_MINORITY = ("salary_lt", "dept_eq_salary_gt", "name_eq_salary_gt",
+             "eno_eq_age_gt", "salary_gt_age_lt")
+_BY_NAME = dict(TEMPLATES)
+
+
+def _template_for(i: int, sources: int = 5) -> str:
+    """Deterministic template assignment: 40% ``name_eq``, 40%
+    ``eno_eq``, 5% each of three structural minorities, and 1% each of
+    the five remaining shapes — every template appears at every scale."""
+    r = i % 20
+    if r < 8:
+        return "name_eq"
+    if r < 16:
+        return "eno_eq"
+    if r == 16:
+        return "salary_gt"
+    if r == 17:
+        return "age_between"
+    if r == 18:
+        return "dept_in"
+    # Pick the minority per super-block so it is independent of the
+    # blockwise source assignment below (all 10 × sources signatures
+    # materialize once the population passes 20 * sources² triggers).
+    return _MINORITY[(i // (20 * sources)) % len(_MINORITY)]
+
+
+def source_name(i: int, sources: int = 5) -> str:
+    """Trigger ``i``'s data source.  Blockwise (20 triggers per block) so
+    the source is independent of the in-block template position."""
+    return f"scale{(i // 20) % sources}"
+
+
+def define_scale_sources(tman, sources: int = 5) -> List[str]:
+    """Define the scale streams on an engine; returns their names."""
+    columns = ", ".join(f"{c} {t}" for c, t in SCALE_COLUMNS)
+    names = []
+    for k in range(sources):
+        name = f"scale{k}"
+        tman.execute_command(
+            f"define data source {name} as stream ({columns})"
+        )
+        names.append(name)
+    return names
+
+
+def scale_trigger(i: int, sources: int = 5) -> Tuple[str, str, List[Any]]:
+    """(trigger text, template key, constants) for trigger ``i``."""
+    src = source_name(i, sources)
+    key = _template_for(i, sources)
+    condition, constants = _BY_NAME[key](i)
+    rendered = condition.format(
+        *[
+            "'" + c.replace("'", "''") + "'" if isinstance(c, str) else repr(c)
+            for c in constants
+        ],
+        src=src,
+    )
+    text = (
+        f"create trigger sc{i} from {src} on insert "
+        f"{rendered} do raise event ScaleHit({src}.name)"
+    )
+    return text, key, constants
+
+
+def create_scale_triggers(
+    tman,
+    count: int,
+    sources: int = 5,
+    start: int = 0,
+    on_progress: Optional[Callable[[int], None]] = None,
+) -> Dict[str, int]:
+    """Create triggers ``start .. start+count`` on an engine.
+
+    Each (source, template) exemplar text is parsed once; every other
+    member of the shape is instantiated from the generalized template —
+    creation cost is dominated by catalog writes and predicate
+    installation, not parsing.  Returns creation stats.
+    """
+    templates: Dict[Tuple[str, str], ast.CreateTriggerStatement] = {}
+    created = 0
+    for i in range(start, start + count):
+        text, key, constants = scale_trigger(i, sources)
+        shape_key = (source_name(i, sources), key)
+        template = templates.get(shape_key)
+        if template is None:
+            statement = parse_command(text)
+            template, _ = generalize_statement(statement)
+            templates[shape_key] = template
+            statement = instantiate_statement(
+                template, constants, f"sc{i}", None
+            )
+        else:
+            statement = instantiate_statement(
+                template, constants, f"sc{i}", None
+            )
+        tman.create_trigger_statement(statement, text)
+        created += 1
+        if on_progress is not None and created % 50_000 == 0:
+            on_progress(created)
+    return {"created": created, "shapes": len(templates)}
+
+
+def scale_tokens(
+    count: int,
+    sources: int = 5,
+    seed: int = 29,
+    universe: int = TOKEN_UNIVERSE,
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """(source, row) insert tokens targeting the first ``universe``
+    triggers' equality constants with a Zipf popularity skew.
+
+    The same seed and universe produce the same stream whatever the
+    trigger population — the flat-throughput comparison depends on it.
+    """
+    picks = zipf_indices(count, universe, seed=seed)
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    for t, idx in enumerate(picks):
+        out.append(
+            (
+                source_name(idx, sources),
+                {
+                    "eno": idx,
+                    "name": f"user{idx}",
+                    "salary": 50_000.0 + (t % 100) * 1000.0,
+                    "dept": TOKEN_DEPTS[t % len(TOKEN_DEPTS)],
+                    "age": 18 + t % 50,
+                },
+            )
+        )
+    return out
+
+
+def run_scale_ledger(tman, tokens) -> List[str]:
+    """Push ``tokens``, process them, and return the sorted fired-event
+    ledger (one JSON line per firing).  Two engines processing the same
+    tokens over the same triggers must return byte-identical ledgers —
+    the spill→re-hydrate oracle check."""
+    from ..engine.descriptors import Operation
+
+    ledger: List[str] = []
+    tman.register_for_event(
+        "ScaleHit",
+        lambda notification: ledger.append(
+            json.dumps(
+                [
+                    notification.event_name,
+                    notification.trigger_name,
+                    list(notification.args),
+                ],
+                sort_keys=True,
+            )
+        ),
+    )
+    for source, row in tokens:
+        tman.push(source, Operation.INSERT, new=row)
+    tman.process_all()
+    return sorted(ledger)

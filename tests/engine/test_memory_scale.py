@@ -1,0 +1,286 @@
+"""Memory-scale refactor tests: cache reservations under the byte budget,
+load-wait accounting, interned signatures, and spill→re-hydrate equality
+of fired-action ledgers (ISSUE 8 / E18 foundations)."""
+
+import threading
+
+import pytest
+
+from repro.condition.signature import (
+    analyze_selection,
+    interned_signature_count,
+)
+from repro.engine.cache import TriggerCache
+from repro.engine.triggerman import TriggerMan
+from repro.errors import TriggerError
+from repro.lang.exprparser import parse_expression_text
+from repro.workloads import scale
+
+
+class FakeRuntime:
+    def __init__(self, trigger_id, size=4096):
+        self.trigger_id = trigger_id
+        self.size = size
+
+
+def make_cache(capacity=3, capacity_bytes=None, loads=None):
+    loads = loads if loads is not None else []
+
+    def loader(trigger_id):
+        loads.append(trigger_id)
+        return FakeRuntime(trigger_id)
+
+    cache = TriggerCache(
+        loader,
+        capacity=capacity,
+        capacity_bytes=capacity_bytes,
+        size_of=lambda r: r.size,
+    )
+    return cache, loads
+
+
+class TestLoadingReservation:
+    def test_placeholder_reserves_bytes_before_load(self):
+        """A miss charges the expected size at placeholder install — the
+        budget can no longer be overshot by N in-flight loads — and makes
+        room by evicting cold entries *before* the catalog round-trip."""
+        cache, _ = make_cache(capacity=100, capacity_bytes=2 * 4096)
+        cache.pin(1), cache.unpin(1)
+        cache.pin(2), cache.unpin(2)
+        assert cache.resident_bytes() == 2 * 4096
+        during = {}
+
+        def loader(trigger_id):
+            during["bytes"] = cache.resident_bytes()
+            during["one_resident"] = 1 in cache
+            return FakeRuntime(trigger_id)
+
+        cache._loader = loader
+        cache.pin(3), cache.unpin(3)
+        # The reservation held the budget line while the loader ran: LRU
+        # entry 1 was already spilled, and reserved bytes were counted.
+        assert during["bytes"] == 2 * 4096
+        assert during["one_resident"] is False
+        assert cache.resident_bytes() == 2 * 4096
+        assert 2 in cache and 3 in cache
+
+    def test_reservation_released_on_loader_failure(self):
+        cache, _ = make_cache(capacity=4, capacity_bytes=4 * 4096)
+
+        def failing(trigger_id):
+            raise RuntimeError("catalog down")
+
+        cache._loader = failing
+        with pytest.raises(RuntimeError):
+            cache.pin(9)
+        assert cache.resident_bytes() == 0
+        assert len(cache) == 0
+
+    def test_reservation_reconciled_to_real_size(self):
+        """Publish swaps the reserve for the measured size and feeds the
+        moving average used for the next reservation."""
+        cache, _ = make_cache(capacity=10, capacity_bytes=64 * 4096)
+
+        def loader(trigger_id):
+            return FakeRuntime(trigger_id, size=100)
+
+        cache._loader = loader
+        cache.pin(1), cache.unpin(1)
+        assert cache.resident_bytes() == 100
+        assert cache._avg_size < 4096  # average pulled toward reality
+
+    def test_concurrent_distinct_misses_stay_inside_budget(self):
+        """N slow concurrent loads of distinct triggers each hold a
+        reservation, so their sum is visible against the budget while the
+        loaders run (the pre-fix hole: all N were charged 0)."""
+        gate = threading.Event()
+        peak = []
+
+        cache = TriggerCache(
+            lambda tid: (gate.wait(5), FakeRuntime(tid))[1],
+            capacity=100,
+            capacity_bytes=8 * 4096,
+            size_of=lambda r: r.size,
+        )
+
+        def worker(tid):
+            cache.pin(tid)
+            cache.unpin(tid)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,)) for tid in range(4)
+        ]
+        for t in threads:
+            t.start()
+        # All four placeholders installed (loaders parked on the gate).
+        deadline = threading.Event()
+        for _ in range(100):
+            if len(cache) == 4:
+                break
+            deadline.wait(0.01)
+        peak.append(cache.resident_bytes())
+        gate.set()
+        for t in threads:
+            t.join()
+        assert peak[0] == 4 * 4096  # reserves, not zeros, during the loads
+        assert cache.resident_bytes() == 4 * 4096
+
+
+class TestEvictionWithPinsAtByteLimit:
+    def test_pinned_entries_survive_byte_pressure(self):
+        cache, _ = make_cache(capacity=100, capacity_bytes=3 * 4096)
+        cache.pin(1)  # stays pinned
+        cache.pin(2)  # stays pinned
+        cache.pin(3), cache.unpin(3)
+        # 4 must evict the only unpinned entry (3), not a pinned one.
+        cache.pin(4), cache.unpin(4)
+        assert 1 in cache and 2 in cache
+        assert 3 not in cache
+        assert 4 in cache
+        # All pinned: admission overcommits rather than failing.
+        cache.pin(4)
+        cache.pin(5)
+        assert cache.resident_bytes() == 4 * 4096
+        for tid in (1, 2, 4, 5):
+            cache.unpin(tid)
+
+    def test_unpin_restores_evictability_in_lru_order(self):
+        cache, _ = make_cache(capacity=100, capacity_bytes=2 * 4096)
+        cache.pin(1)
+        cache.pin(2)
+        cache.unpin(1)  # 1 is now the oldest unpinned entry
+        cache.pin(3), cache.unpin(3)
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+        cache.unpin(2)
+
+
+class TestLoadWaits:
+    def test_concurrent_same_trigger_misses_wait_once(self):
+        gate = threading.Event()
+        loads = []
+
+        def loader(tid):
+            loads.append(tid)
+            gate.wait(5)
+            return FakeRuntime(tid)
+
+        cache = TriggerCache(loader, capacity=8, size_of=lambda r: r.size)
+        results = []
+
+        def worker():
+            runtime = cache.pin(7)
+            results.append(runtime)
+            cache.unpin(7)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        threads[0].start()
+        while not loads:  # first miss owns the load
+            pass
+        for t in threads[1:]:
+            t.start()
+        while cache.stats.load_waits < 2:  # both followers parked
+            pass
+        gate.set()
+        for t in threads:
+            t.join()
+        assert loads == [7]  # one catalog round-trip
+        assert len({id(r) for r in results}) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2  # waiters re-examined and hit
+        assert cache.stats.load_waits == 2
+        assert cache.stats.pins == 3 and cache.stats.unpins == 3
+        assert cache.current_pins() == 0
+
+
+class TestInterning:
+    def test_same_structure_interns_to_one_signature(self):
+        # A dedicated source name keeps the count immune to signatures
+        # other tests' (possibly still-running) engines intern.
+        src = "memscale_emp"
+
+        def analyzed(text):
+            expr = parse_expression_text(text)
+            return analyze_selection(src, "insert", [[expr]])
+
+        a = analyzed(f"({src}.salary > 100)")
+        b = analyzed(f"({src}.salary > 999)")
+        assert a.signature is b.signature  # identity, not mere equality
+        assert interned_signature_count(src) == 1
+
+    def test_engine_entries_share_signature_objects(self):
+        tman = TriggerMan.in_memory()
+        scale.define_scale_sources(tman, sources=1)
+        scale.create_scale_triggers(tman, 40, sources=1)
+        for group in tman.index.groups():
+            for _constants, entry in group.organization.entries():
+                assert entry.signature is group.signature
+
+
+class TestSpillRehydrate:
+    def test_ledger_identical_under_tiny_and_huge_budgets(self):
+        """The oracle check behind E18: an engine forced to spill and
+        re-hydrate on nearly every pin fires byte-identically to an
+        always-resident engine."""
+        ledgers = {}
+        stats = {}
+        for label, cache_bytes in (("tiny", 16 * 1024), ("huge", 1 << 30)):
+            tman = TriggerMan.in_memory(cache_bytes=cache_bytes)
+            scale.define_scale_sources(tman)
+            scale.create_scale_triggers(tman, 400)
+            tokens = scale.scale_tokens(300, universe=400)
+            ledgers[label] = scale.run_scale_ledger(tman, tokens)
+            stats[label] = (
+                tman.cache.stats.evictions,
+                tman.runtimes.rehydrates,
+                tman.runtimes.reparses,
+            )
+        assert ledgers["tiny"] == ledgers["huge"]
+        assert len(ledgers["tiny"]) > 0
+        evictions, rehydrates, reparses = stats["tiny"]
+        assert evictions > 0  # the tiny budget actually spilled
+        assert rehydrates > 0  # and loads came back via descriptions
+        assert reparses == 0  # never through the text re-parse fallback
+
+    def test_rehydrated_runtime_matches_created_one(self):
+        tman = TriggerMan.in_memory()
+        scale.define_scale_sources(tman)
+        scale.create_scale_triggers(tman, 5)
+        trigger_id = tman.catalog.trigger_id("sc0")
+        first = tman.cache.pin(trigger_id)
+        tman.cache.unpin(trigger_id)
+        tman.cache.invalidate(trigger_id)
+        again = tman.cache.pin(trigger_id)
+        tman.cache.unpin(trigger_id)
+        assert again is not first
+        assert again.statement == first.statement
+        assert again.name == first.name and again.text == first.text
+        assert tman.runtimes.rehydrates >= 2
+
+    def test_drop_trigger_removes_description(self):
+        tman = TriggerMan.in_memory()
+        scale.define_scale_sources(tman)
+        scale.create_scale_triggers(tman, 3)
+        assert tman.catalog.description_count() == 3
+        tman.drop_trigger("sc1")
+        assert tman.catalog.description_count() == 2
+        with pytest.raises(TriggerError):
+            tman.drop_trigger("sc1")
+
+    def test_restore_rehydrates_from_descriptions(self, tmp_path):
+        path = str(tmp_path / "scaledb")
+        tman = TriggerMan.persistent(path)
+        scale.define_scale_sources(tman)
+        scale.create_scale_triggers(tman, 30)
+        tman.flush()
+        tman.close()
+        reopened = TriggerMan.persistent(path)
+        try:
+            # Every trigger came back through its compact description.
+            assert reopened.runtimes.rehydrates == 30
+            assert reopened.runtimes.reparses == 0
+            tokens = scale.scale_tokens(50, universe=30)
+            ledger = scale.run_scale_ledger(reopened, tokens)
+            assert len(ledger) > 0
+        finally:
+            reopened.close()
