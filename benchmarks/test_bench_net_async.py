@@ -1,0 +1,329 @@
+"""E15 — Connection storm: fan-out p99 at 100/1k/5k connections.
+
+The per-connection-thread front end costs two OS threads per client, so a
+notification that fans out to K subscribers must wake K writer threads —
+on a loaded box the GIL hands off between them at millisecond
+granularity, and the tail latency grows with the fan-out.  The event-loop
+front end multiplexes every connection on one thread and flushes a burst
+with one wakeup, so the same fan-out is a single sequence of
+non-blocking writes.
+
+The harness opens N idle subscriber connections from a single
+``selectors``-driven client loop (no client threads — the client must not
+be the bottleneck of its own measurement).  Subscribers are spread over
+``BENCH_ASYNC_GROUPS`` event groups, so one raised event fans out to
+``N / groups`` connections: per-event work grows with N exactly the way a
+per-user alerting deployment's does.  Each measurement round raises one
+group's event in the engine and clocks until every member's frame
+arrives; p50/p99 over ``BENCH_ASYNC_ROUNDS`` rounds.
+
+* **async** is measured at every level of ``BENCH_ASYNC_CONNS``
+  (default ``100,1000,5000,8000``);
+* **threaded** is probed on a doubling ladder until it goes *unstable*
+  (a connection fails, a round times out, or fan-out p99 crosses
+  ``BENCH_ASYNC_P99_MS``) — its last stable level is the capacity the
+  async front end must beat ≥2×.
+
+Assertions are gated the way E14 gates on cores: only when the top
+configured level reaches 5000 **and** the fd limit allows two sockets per
+connection do we enforce the headline claims (p99 < 10ms at ≥5k async
+connections on one front-end thread, and ≥2× the threaded stable count).
+Lower-knob runs (CI smoke) still export every row to BENCH_PR9.json.
+
+Knobs: ``BENCH_ASYNC_CONNS`` (default ``100,1000,5000,8000``),
+``BENCH_ASYNC_GROUPS`` (default 100), ``BENCH_ASYNC_ROUNDS`` (default
+150), ``BENCH_ASYNC_P99_MS`` (default 10), ``BENCH_ASYNC_THREADED_ROUNDS``
+(default 60).
+"""
+
+import os
+import resource
+import selectors
+import socket
+import time
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.net import protocol
+from repro.obs import export
+
+CONNS = [
+    int(c)
+    for c in os.environ.get("BENCH_ASYNC_CONNS", "100,1000,5000,8000").split(",")
+]
+GROUPS = int(os.environ.get("BENCH_ASYNC_GROUPS", 100))
+ROUNDS = int(os.environ.get("BENCH_ASYNC_ROUNDS", 150))
+THREADED_ROUNDS = int(os.environ.get("BENCH_ASYNC_THREADED_ROUNDS", 60))
+P99_BUDGET_MS = float(os.environ.get("BENCH_ASYNC_P99_MS", "10"))
+#: headline claim level: only gate the assertions when the run includes it
+HEADLINE_CONNS = 5000
+
+CONNECT_BATCH = 256
+ROUND_TIMEOUT = 5.0
+SETUP_TIMEOUT = 120.0
+
+
+def _fd_headroom() -> int:
+    """How many subscriber connections the fd limit leaves room for
+    (client socket + server socket per connection, plus slack)."""
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:  # use what the container grants
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+            soft = hard
+        except (ValueError, OSError):
+            pass
+    return (soft - 256) // 2
+
+
+class StormClient:
+    """N subscriber connections multiplexed on one selector loop."""
+
+    def __init__(self, address, n_conns, groups):
+        self.address = address
+        self.n_conns = n_conns
+        self.groups = min(groups, n_conns)
+        self.selector = selectors.DefaultSelector()
+        self.socks = []
+        self.decoders = {}
+        #: group id -> list of member sockets
+        self.members = {g: [] for g in range(self.groups)}
+        self.failures = 0
+
+    def connect_all(self) -> float:
+        """Open + subscribe every connection (batched, pipelined);
+        returns setup seconds.  Raises on timeout or connect failure."""
+        start = time.perf_counter()
+        deadline = start + SETUP_TIMEOUT
+        for base in range(0, self.n_conns, CONNECT_BATCH):
+            batch = []
+            for i in range(base, min(base + CONNECT_BATCH, self.n_conns)):
+                sock = socket.create_connection(self.address, timeout=10.0)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                group = i % self.groups
+                sock.sendall(
+                    protocol.encode_frame(
+                        protocol.request(1, "register_event", event=f"G{group}")
+                    )
+                )
+                sock.setblocking(False)
+                self.selector.register(sock, selectors.EVENT_READ)
+                self.decoders[sock] = protocol.FrameDecoder()
+                self.members[group].append(sock)
+                self.socks.append(sock)
+                batch.append(sock)
+            # collect this batch's subscribe acks before opening more
+            pending = set(batch)
+            while pending:
+                if time.perf_counter() > deadline:
+                    raise TimeoutError(
+                        f"subscribe acks missing for {len(pending)} conn(s)"
+                    )
+                for key, _ in self.selector.select(timeout=1.0):
+                    sock = key.fileobj
+                    if sock not in pending:
+                        continue
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        raise ConnectionError("server closed during setup")
+                    for frame in self.decoders[sock].feed(chunk):
+                        if frame.get("ok"):
+                            pending.discard(sock)
+        return time.perf_counter() - start
+
+    def await_group(self, group) -> bool:
+        """Block until every member of ``group`` receives one event frame;
+        False on timeout (an instability signal, not an error)."""
+        waiting = set(self.members[group])
+        deadline = time.monotonic() + ROUND_TIMEOUT
+        while waiting:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                self.failures += len(waiting)
+                return False
+            for key, _ in self.selector.select(timeout=budget):
+                sock = key.fileobj
+                try:
+                    chunk = sock.recv(65536)
+                except (BlockingIOError, InterruptedError):
+                    continue
+                if not chunk:
+                    self.failures += 1
+                    waiting.discard(sock)
+                    continue
+                for frame in self.decoders[sock].feed(chunk):
+                    if "event" in frame:
+                        waiting.discard(sock)
+        return True
+
+    def close(self) -> None:
+        for sock in self.socks:
+            try:
+                self.selector.unregister(sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self.selector.close()
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def run_storm(async_io, n_conns, rounds):
+    """One storm at one level; returns the result dict (stable=False rows
+    carry whatever latencies were observed before the wheels came off)."""
+    tman = TriggerMan.in_memory()
+    server = tman.serve(
+        "127.0.0.1", 0, async_io=async_io, outbox_limit=4096
+    )
+    client = StormClient(server.address, n_conns, GROUPS)
+    result = {
+        "mode": "async" if async_io else "threaded",
+        "connections": n_conns,
+        "fanout": max(1, n_conns // client.groups),
+        "stable": False,
+        "p50_ms": None,
+        "p99_ms": None,
+        "setup_s": None,
+    }
+    try:
+        try:
+            result["setup_s"] = round(client.connect_all(), 2)
+        except (OSError, TimeoutError, ConnectionError) as exc:
+            result["error"] = f"setup: {exc}"
+            return result
+        latencies = []
+        for n in range(rounds):
+            group = n % client.groups
+            start = time.perf_counter()
+            tman.events.raise_event(f"G{group}", (float(n),), "storm", 1)
+            if not client.await_group(group):
+                result["error"] = f"round {n} timed out"
+                return result
+            latencies.append((time.perf_counter() - start) * 1000.0)
+        result["p50_ms"] = round(_percentile(latencies, 0.50), 3)
+        result["p99_ms"] = round(_percentile(latencies, 0.99), 3)
+        result["stable"] = (
+            result["p99_ms"] < P99_BUDGET_MS and client.failures == 0
+        )
+        if async_io:
+            status = server.status()
+            result["loop_lag_p99_ns"] = status["loop_lag_p99_ns"]
+            result["outbox_hwm"] = status["outbox_hwm"]
+            result["wakeups"] = status["wakeups"]
+        return result
+    finally:
+        client.close()
+        tman.close()
+
+
+def _ladder(top):
+    """The threaded probe ladder: doubling up to the async top level."""
+    levels, level = [], 125
+    while level < top:
+        levels.append(level)
+        level *= 2
+    levels.append(top)
+    return levels
+
+
+#: filled by the parametrized async runs, read by the capacity test
+_ASYNC_RESULTS = {}
+
+
+@pytest.mark.parametrize("n_conns", CONNS)
+def test_async_connection_storm(benchmark, summary, n_conns):
+    headroom = _fd_headroom()
+    if n_conns > headroom:
+        pytest.skip(f"fd limit leaves room for {headroom} conns < {n_conns}")
+    result = benchmark.pedantic(
+        lambda: run_storm(async_io=True, n_conns=n_conns, rounds=ROUNDS),
+        rounds=1,
+        iterations=1,
+    )
+    _ASYNC_RESULTS[n_conns] = result
+    summary(
+        "E15: connection storm (fan-out p99 ms vs open connections)",
+        ["mode", "conns", "fan-out", "p50 ms", "p99 ms", "stable"],
+        ["async", n_conns, result["fanout"],
+         result["p50_ms"], result["p99_ms"], result["stable"]],
+    )
+    export.record("E15", **result)
+    assert result.get("error") is None, result
+    # the headline p99 gate, enforced only at the headline scale
+    if n_conns >= HEADLINE_CONNS:
+        assert result["stable"], result
+        assert result["p99_ms"] < P99_BUDGET_MS, result
+
+
+def test_threaded_capacity_ladder_and_ratio(benchmark, summary):
+    top = max(CONNS)
+    headroom = _fd_headroom()
+    gated = top >= HEADLINE_CONNS and top <= headroom
+    max_stable = 0
+    broke = False
+    ladder_results = []
+
+    def climb():
+        nonlocal broke
+        # every ladder level records a row (skipped ones with null
+        # latencies), so the regression guard always sees the same set
+        for level in _ladder(min(top, headroom)):
+            if broke:
+                result = {
+                    "mode": "threaded", "connections": level,
+                    "fanout": max(1, level // GROUPS), "stable": False,
+                    "p50_ms": None, "p99_ms": None, "setup_s": None,
+                    "skipped": True,
+                }
+            else:
+                result = run_storm(async_io=False, n_conns=level,
+                                   rounds=THREADED_ROUNDS)
+            if not result["stable"]:
+                broke = True
+            ladder_results.append((level, result))
+
+    benchmark.pedantic(climb, rounds=1, iterations=1)
+    for level, result in ladder_results:
+        summary(
+            "E15: connection storm (fan-out p99 ms vs open connections)",
+            ["mode", "conns", "fan-out", "p50 ms", "p99 ms", "stable"],
+            ["threaded", level, result["fanout"],
+             result["p50_ms"], result["p99_ms"],
+             "skipped" if result.get("skipped") else result["stable"]],
+        )
+        export.record("E15", **result)
+        if result["stable"]:
+            max_stable = level
+    async_max_stable = max(
+        (c for c, r in _ASYNC_RESULTS.items() if r["stable"]), default=0
+    )
+    ratio = (async_max_stable / max_stable) if max_stable else float("inf")
+    summary(
+        "E15: connection storm (fan-out p99 ms vs open connections)",
+        ["mode", "conns", "fan-out", "p50 ms", "p99 ms", "stable"],
+        ["capacity", f"async {async_max_stable} vs threaded {max_stable}",
+         "", "", f"ratio {ratio:.1f}x", f"gated={gated}"],
+    )
+    export.record(
+        "E15-capacity",
+        connections=async_max_stable,
+        threaded_max_stable=max_stable,
+        async_max_stable=async_max_stable,
+        ratio=round(ratio, 2) if max_stable else None,
+        p99_budget_ms=P99_BUDGET_MS,
+        gated=gated,
+    )
+    if gated:
+        assert async_max_stable >= HEADLINE_CONNS, (
+            f"async stable only to {async_max_stable} connections"
+        )
+        assert async_max_stable >= 2 * max_stable, (
+            f"async {async_max_stable} < 2x threaded {max_stable}"
+        )

@@ -15,6 +15,12 @@ Options::
                                      # (triggerman-wire-v1); with a TTY the
                                      # REPL runs alongside, otherwise the
                                      # process serves until SIGINT/SIGTERM
+    python -m repro --serve-async H:P  # same, on the single-threaded
+                                     # event-loop front end (one connection
+                                     # handler thread total, not one per
+                                     # client; DESIGN.md §8c)
+    python -m repro --async          # make --serve / --cluster workers use
+                                     # the event-loop front end
     python -m repro --sources F      # load source adapters (webhook/cron/
                                      # filewatch) from a JSON config, start
                                      # them, and pump; SIGINT stops the
@@ -83,7 +89,7 @@ def _remote_console(host: str, port: int) -> int:
         client.close()
 
 
-def _cluster_console(shards, data_dir, wal_sync, drivers) -> int:
+def _cluster_console(shards, data_dir, wal_sync, drivers, async_io=None) -> int:
     """A REPL over a spawned worker fleet: ordinary TriggerMan commands are
     routed by the coordinator; ``cluster ...`` verbs manage membership."""
     import json
@@ -93,7 +99,7 @@ def _cluster_console(shards, data_dir, wal_sync, drivers) -> int:
 
     coordinator = ClusterCoordinator(
         shards, data_dir=data_dir, wal_sync=wal_sync, drivers=drivers,
-        health_interval=2.0,
+        health_interval=2.0, async_io=bool(async_io),
     ).start()
     addresses = ", ".join(
         "{}:{}".format(*state.address)
@@ -158,7 +164,7 @@ def main(argv=None) -> int:
     while index < len(argv):
         flag = argv[index]
         if flag in (
-            "--serve", "--connect", "--cluster", "--sources"
+            "--serve", "--serve-async", "--connect", "--cluster", "--sources"
         ) and index + 1 < len(argv):
             merged.append(f"{flag}={argv[index + 1]}")
             index += 2
@@ -171,6 +177,7 @@ def main(argv=None) -> int:
     wal_sync = "group"
     drivers = 0
     serve = connect = None
+    async_io = None
     sources_config = None
     cluster = 0
     positional = []
@@ -187,6 +194,13 @@ def main(argv=None) -> int:
             serve = _parse_address(flag.split("=", 1)[1], "--serve")
             if serve is None:
                 return 2
+        elif flag.startswith("--serve-async="):
+            serve = _parse_address(flag.split("=", 1)[1], "--serve-async")
+            if serve is None:
+                return 2
+            async_io = True
+        elif flag == "--async":
+            async_io = True
         elif flag.startswith("--connect="):
             connect = _parse_address(flag.split("=", 1)[1], "--connect")
             if connect is None:
@@ -231,7 +245,8 @@ def main(argv=None) -> int:
             print("--cluster spawns its own servers; drop --serve")
             return 2
         return _cluster_console(
-            cluster, positional[0] if positional else None, wal_sync, drivers
+            cluster, positional[0] if positional else None, wal_sync, drivers,
+            async_io=async_io,
         )
     if positional:
         tman = TriggerMan.persistent(
@@ -260,7 +275,9 @@ def main(argv=None) -> int:
                 f"sources up: {', '.join(addresses or names)}", flush=True
             )
         if serve is not None:
-            server = tman.serve(*serve)
+            server = tman.serve(*serve, async_io=async_io)
+            # keep this line stable in every mode: scripts parse the address
+            # off it (tests/net/test_net_smoke.py takes the last word)
             print("serving on {}:{}".format(*server.address), flush=True)
         headless = (
             serve is not None or sources_config is not None

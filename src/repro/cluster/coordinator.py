@@ -78,6 +78,7 @@ class ClusterCoordinator:
         data_dir: Optional[str] = None,
         wal_sync: str = "group",
         drivers: int = 0,
+        async_io: bool = False,
         vnodes: int = DEFAULT_VNODES,
         health_interval: Optional[float] = None,
         down_after: int = 3,
@@ -95,6 +96,8 @@ class ClusterCoordinator:
         self.data_dir = data_dir
         self.wal_sync = wal_sync
         self.drivers = drivers
+        #: spawn workers on the event-loop front end (--async)
+        self.async_io = async_io
         self.ring = HashRing(vnodes=vnodes)
         self.epoch = 0
         self.shards: Dict[int, ShardState] = {}
@@ -170,7 +173,7 @@ class ClusterCoordinator:
         for _ in range(self._spawn_count):
             worker = WorkerProcess(
                 next_id, data_dir=self.data_dir, wal_sync=self.wal_sync,
-                drivers=self.drivers,
+                drivers=self.drivers, async_io=self.async_io,
             ).spawn()
             self._adopt(next_id, worker.address, worker)
             next_id += 1
@@ -475,7 +478,7 @@ class ClusterCoordinator:
             shard_id = max(self.shards) + 1 if self.shards else 0
             worker = WorkerProcess(
                 shard_id, data_dir=self.data_dir, wal_sync=self.wal_sync,
-                drivers=self.drivers,
+                drivers=self.drivers, async_io=self.async_io,
             ).spawn()
             self._adopt(shard_id, worker.address, worker)
             self._register_views()  # idempotent; adds the new shard's gauge

@@ -56,6 +56,7 @@ class WorkerProcess:
         host: str = "127.0.0.1",
         wal_sync: str = "group",
         drivers: int = 0,
+        async_io: bool = False,
         env: Optional[dict] = None,
         ready_timeout: float = 30.0,
     ):
@@ -64,6 +65,7 @@ class WorkerProcess:
         self.host = host
         self.wal_sync = wal_sync
         self.drivers = drivers
+        self.async_io = async_io
         self.ready_timeout = ready_timeout
         self._env = env
         self.process: Optional[subprocess.Popen] = None
@@ -85,6 +87,8 @@ class WorkerProcess:
             argv.append(f"--data={shard_dir(self.data_dir, self.shard_id)}")
         if self.drivers:
             argv.append(f"--drivers={self.drivers}")
+        if self.async_io:
+            argv.append("--async")
         return argv
 
     def spawn(self) -> "WorkerProcess":
@@ -188,6 +192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     data: Optional[str] = None
     wal_sync = "group"
     drivers = 0
+    async_io = None
     for flag in argv:
         if flag.startswith("--shard="):
             shard_id = int(flag.split("=", 1)[1])
@@ -200,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             wal_sync = flag.split("=", 1)[1]
         elif flag.startswith("--drivers="):
             drivers = int(flag.split("=", 1)[1])
+        elif flag == "--async":
+            async_io = True
         else:
             print(f"unknown option {flag}", file=sys.stderr)
             return 2
@@ -224,7 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: stop.set())
 
-    server = tman.serve(*listen)
+    server = tman.serve(*listen, async_io=async_io)
     print(
         f"{ANNOUNCE} shard={shard_id} serving on "
         "{}:{}".format(*server.connect_address),

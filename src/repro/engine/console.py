@@ -40,7 +40,8 @@ TriggerMan console commands:
   drivers start [N]   start N real driver threads looping TmanTest() (§6)
   drivers stop        stop the running driver pool
   drivers status      driver count, TmanTest calls, idle waits
-  server start [HOST:PORT]   serve remote clients (triggerman-wire-v1 TCP)
+  server start [HOST:PORT] [--async]   serve remote clients
+                      (triggerman-wire-v1 TCP; --async = event-loop front end)
   server stop         quiesce: drain outboxes, refuse new commands, close
   server status       address, connections, bytes, backpressure counters
   sources add <file>  register source adapters from a JSON config
@@ -153,13 +154,17 @@ class Console:
         verb = args[0] if args else "status"
         if verb == "start":
             host, port = "127.0.0.1", 0
-            if len(args) > 1 and ":" in args[1]:
-                host, _, port_text = args[1].rpartition(":")
-                if not port_text.isdigit():
-                    return f"bad address {args[1]!r} (want HOST:PORT)"
-                port = int(port_text)
-            server = self.tman.serve(host, port)
-            return "serving on {}:{}".format(*server.address)
+            async_io = None
+            for arg in args[1:]:
+                if arg == "--async":
+                    async_io = True
+                elif ":" in arg:
+                    host, _, port_text = arg.rpartition(":")
+                    if not port_text.isdigit():
+                        return f"bad address {arg!r} (want HOST:PORT)"
+                    port = int(port_text)
+            server = self.tman.serve(host, port, async_io=async_io)
+            return "serving on {}:{} ({})".format(*server.address, server.mode)
         if verb == "stop":
             server = self.tman.stop_serving()
             if server is None:
@@ -175,14 +180,21 @@ class Console:
             if server is None:
                 return "no server running"
             status = server.status()
-            return (
-                "serving on {address[0]}:{address[1]} — "
+            line = (
+                "serving on {address[0]}:{address[1]} ({mode}) — "
                 "{connections} connection(s), queue depth {queue_depth}/"
                 "{ingest_high_water}, {bytes_in} bytes in, "
                 "{bytes_out} bytes out, {notifications_dropped} dropped, "
                 "{ingest_rejected} rejected".format(**status)
             )
-        return "usage: server start [HOST:PORT] | stop | status"
+            if status.get("mode") == "async":
+                line += (
+                    "; loop lag p99 {loop_lag_p99_ns} ns, outbox hwm "
+                    "{outbox_hwm}, {wakeups} wakeup(s) for "
+                    "{frames_flushed} frame(s)".format(**status)
+                )
+            return line
+        return "usage: server start [HOST:PORT] [--async] | stop | status"
 
     def _sources(self, args: list) -> str:
         registry = self.tman.sources

@@ -359,16 +359,36 @@ class TriggerMan(IngestionMixin):
 
     # -- the network surface (§3's process boundary) ------------------------
 
-    def serve(self, host: str = "127.0.0.1", port: int = 0, **kwargs):
-        """Start a :class:`repro.net.server.TriggerManServer` for this
-        instance; returns the server (``server.address`` has the bound
-        host/port).  Remote clients connect with
-        :class:`repro.net.remote.RemoteTriggerManClient`."""
-        from ..net.server import TriggerManServer
+    def serve(self, host: str = "127.0.0.1", port: int = 0,
+              async_io: Optional[bool] = None, **kwargs):
+        """Start a network server for this instance; returns the server
+        (``server.address`` has the bound host/port).
 
+        ``async_io=True`` selects the single-threaded event-loop front end
+        (:class:`repro.net.aserver.AsyncTriggerManServer`, 10k+ concurrent
+        connections); ``False`` the threaded one
+        (:class:`repro.net.server.TriggerManServer`, two OS threads per
+        connection).  ``None`` (default) consults the ``REPRO_NET_ASYNC``
+        environment variable — set it to ``1`` to make every server in
+        the process event-loop based without touching call sites — and
+        falls back to the threaded front end.  The wire protocol and
+        client surface are identical either way; remote clients connect
+        with :class:`repro.net.remote.RemoteTriggerManClient` or
+        :class:`repro.net.aremote.AsyncRemoteTriggerManClient`."""
         if self._server is not None and not self._server._stopped:
             raise TriggerError("a network server is already running")
-        self._server = TriggerManServer(self, host, port, **kwargs)
+        if async_io is None:
+            import os
+
+            async_io = os.environ.get("REPRO_NET_ASYNC", "") not in ("", "0")
+        if async_io:
+            from ..net.aserver import AsyncTriggerManServer
+
+            self._server = AsyncTriggerManServer(self, host, port, **kwargs)
+        else:
+            from ..net.server import TriggerManServer
+
+            self._server = TriggerManServer(self, host, port, **kwargs)
         return self._server.start()
 
     def stop_serving(self, drain_timeout: Optional[float] = None):

@@ -9,12 +9,25 @@ makes that wire boundary real:
 * :mod:`repro.net.server` — :class:`TriggerManServer`, a threaded TCP
   server with bounded per-connection outboxes (slow-consumer policy),
   ingest admission control, and graceful quiesce;
+* :mod:`repro.net.aserver` — :class:`AsyncTriggerManServer`, the same
+  wire behaviour on a single-threaded asyncio event loop: per-connection
+  state machines over the shared incremental decoder, write-interest
+  toggling, and batched response flushes — one wakeup per burst — for
+  ten-thousand-connection fan-out;
 * :mod:`repro.net.remote` — :class:`RemoteTriggerManClient` and
   :class:`RemoteDataSourceProgram`, wire twins of the in-process client
-  libraries with timeout/retry/backoff built in.
+  libraries with timeout/retry/backoff built in;
+* :mod:`repro.net.aremote` — asyncio-native twins of the same clients
+  (``await``-able calls, id-matched futures) for event-loop applications.
 """
 
-from .protocol import MAX_FRAME, WIRE_SCHEMA
+from .aremote import (
+    AsyncRemoteConnection,
+    AsyncRemoteDataSourceProgram,
+    AsyncRemoteTriggerManClient,
+)
+from .aserver import AsyncTriggerManServer
+from .protocol import MAX_FRAME, WIRE_SCHEMA, FrameDecoder
 from .remote import (
     RemoteConnection,
     RemoteDataSourceProgram,
@@ -25,6 +38,11 @@ from .server import TriggerManServer
 __all__ = [
     "MAX_FRAME",
     "WIRE_SCHEMA",
+    "FrameDecoder",
+    "AsyncRemoteConnection",
+    "AsyncRemoteDataSourceProgram",
+    "AsyncRemoteTriggerManClient",
+    "AsyncTriggerManServer",
     "RemoteConnection",
     "RemoteDataSourceProgram",
     "RemoteTriggerManClient",

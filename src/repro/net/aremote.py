@@ -1,0 +1,455 @@
+"""Asyncio-native twins of :mod:`repro.net.remote`.
+
+:class:`AsyncRemoteTriggerManClient` and
+:class:`AsyncRemoteDataSourceProgram` speak the same
+``triggerman-wire-v1`` protocol as the sync clients, but from inside an
+event loop: thousands of them can share one thread, which is what the
+E15 connection-storm benchmark and any asyncio application need.
+
+Semantics mirror the sync client deliberately:
+
+* every call has a **timeout** (``asyncio.wait_for`` on an id-matched
+  future); expiry raises a retryable :class:`RemoteError` (``E_TIMEOUT``);
+* **retryable errors** back off with full jitter up to ``retries``
+  attempts, under the same optional **deadline** cap on total elapsed
+  time as :meth:`RemoteConnection.call`;
+* pushed notifications land in a **bounded inbox** with drop-oldest
+  semantics and a drop counter;
+* receive-side framing goes through the shared incremental
+  :class:`~repro.net.protocol.FrameDecoder` — the same decoder the async
+  server uses, so both ends of the wire exercise one code path.
+
+Nothing here spawns threads: the receive loop is a task on the running
+loop, and all state is touched only from that loop (asyncio's usual
+single-threaded discipline — these classes are *not* thread-safe).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..engine.events import Notification
+from ..errors import RemoteError
+from . import protocol
+from .protocol import E_CONNECTION, E_TIMEOUT, MAX_FRAME
+from .remote import DEFAULT_INBOX_LIMIT, _parse_address
+
+#: bytes per transport read; matches the servers' receive granularity
+_RECV_SIZE = 64 * 1024
+
+
+class AsyncRemoteConnection:
+    """An asyncio socket to a TriggerMan server plus request/response
+    plumbing: calls await id-matched futures, a reader task dispatches
+    responses and event pushes.
+
+    Create with :meth:`open` (the constructor does no I/O)::
+
+        conn = await AsyncRemoteConnection.open("127.0.0.1", 9099)
+        result = await conn.call("ping")
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        retries: int = 4,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        deadline: Optional[float] = None,
+        max_frame: int = MAX_FRAME,
+        connect_timeout: float = 5.0,
+        metrics=None,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        #: cap on one logical call's total elapsed seconds across retries
+        self.deadline = deadline
+        self.max_frame = max_frame
+        self.connect_timeout = connect_timeout
+        #: most recent successful call's round trip, in nanoseconds
+        self.last_rtt_ns: Optional[int] = None
+        self._metrics = metrics
+        self._m_rtt = (
+            metrics.histogram(
+                "net.client.rtt_ns", "round trip of any remote call"
+            )
+            if metrics is not None else None
+        )
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._receiver: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._request_ids = itertools.count(1)
+        #: subscription id -> notification sink
+        self._sinks: Dict[int, Callable[[Notification], None]] = {}
+        self.closed = False
+        self._jitter = random.Random()
+
+    @classmethod
+    async def open(cls, host: str, port: int, **kwargs: Any) -> "AsyncRemoteConnection":
+        conn = cls(host, port, **kwargs)
+        await conn.connect()
+        return conn
+
+    async def connect(self) -> None:
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise RemoteError(
+                f"connect to {self.host}:{self.port} failed: {exc}",
+                E_CONNECTION,
+            )
+        sock = self._writer.get_extra_info("socket")
+        if sock is not None:
+            import socket as _socket
+
+            sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        self._receiver = asyncio.ensure_future(self._receive_loop())
+
+    # -- calls --------------------------------------------------------------
+
+    async def call(
+        self,
+        op: str,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> Any:
+        """One request/response round trip; same timeout / full-jitter
+        retry / deadline semantics as :meth:`RemoteConnection.call`."""
+        timeout = self.timeout if timeout is None else timeout
+        deadline = self.deadline if deadline is None else deadline
+        deadline_at = (
+            None if deadline is None else time.monotonic() + deadline
+        )
+        attempt = 0
+        while True:
+            attempt_timeout = timeout
+            if deadline_at is not None:
+                budget = deadline_at - time.monotonic()
+                attempt_timeout = max(0.001, min(timeout, budget))
+            try:
+                return await self._call_once(op, attempt_timeout, params)
+            except RemoteError as exc:
+                if not exc.retryable or attempt >= self.retries or self.closed:
+                    raise
+                delay = self._jitter.uniform(
+                    0, min(self.backoff_cap, self.backoff * (2 ** attempt))
+                )
+                if deadline_at is not None:
+                    budget = deadline_at - time.monotonic()
+                    if budget <= delay:
+                        raise  # out of deadline: fail now, with the cause
+                await asyncio.sleep(delay)
+                attempt += 1
+
+    async def _call_once(
+        self, op: str, timeout: float, params: Dict[str, Any]
+    ) -> Any:
+        if self.closed or self._writer is None:
+            raise RemoteError("connection is closed", E_CONNECTION)
+        start_ns = time.perf_counter_ns()
+        request_id = next(self._request_ids)
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            frame = protocol.encode_frame(
+                protocol.request(request_id, op, **params), self.max_frame
+            )
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+            except (OSError, ConnectionError) as exc:
+                raise RemoteError(f"send failed: {exc}", E_CONNECTION)
+            try:
+                ok, payload = await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                raise RemoteError(
+                    f"no response to {op!r} within {timeout}s",
+                    E_TIMEOUT, retryable=True,
+                )
+        finally:
+            self._pending.pop(request_id, None)
+        if ok:
+            self._record_rtt(op, time.perf_counter_ns() - start_ns)
+            return payload
+        error = payload or {}
+        raise RemoteError(
+            error.get("message", "remote error"),
+            error.get("code", protocol.E_INTERNAL),
+            retryable=bool(error.get("retryable")),
+            data=error.get("data"),
+        )
+
+    def _record_rtt(self, op: str, elapsed_ns: int) -> None:
+        self.last_rtt_ns = elapsed_ns
+        if self._metrics is not None:
+            self._m_rtt.observe(elapsed_ns)
+            self._metrics.histogram(
+                f"net.client.{op}_ns", f"round trip of remote {op!r}"
+            ).observe(elapsed_ns)
+
+    # -- receiver -----------------------------------------------------------
+
+    async def _receive_loop(self) -> None:
+        decoder = protocol.FrameDecoder(self.max_frame)
+        try:
+            while True:
+                chunk = await self._reader.read(_RECV_SIZE)
+                if not chunk:
+                    decoder.eof()
+                    break
+                for item in decoder.feed(chunk):
+                    if isinstance(item, protocol.OversizedFrame):
+                        continue  # server would never send one; skip body
+                    if "event" in item:
+                        self._dispatch_event(item)
+                    elif "id" in item:
+                        self._dispatch_response(item)
+        except Exception:  # noqa: BLE001 - any transport fault ends the loop
+            pass
+        finally:
+            self._fail_pending()
+
+    def _dispatch_response(self, payload: Dict[str, Any]) -> None:
+        request_id, ok, body = protocol.parse_response(payload)
+        # Pop, don't peek: if the server drops the link right after
+        # responding (e.g. `shutdown`), _fail_pending must not clobber an
+        # already-answered call with "connection lost".
+        future = self._pending.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_result((ok, body))
+
+    def _dispatch_event(self, payload: Dict[str, Any]) -> None:
+        sink = self._sinks.get(payload.get("sub"))
+        if sink is None:
+            return
+        try:
+            sink(Notification.from_wire(payload["event"]))
+        except Exception:  # noqa: BLE001 - a broken sink must not kill the link
+            pass
+
+    def _fail_pending(self) -> None:
+        self.closed = True
+        pending, self._pending = dict(self._pending), {}
+        for future in pending.values():
+            if not future.done():
+                future.set_result(
+                    (
+                        False,
+                        {
+                            "code": E_CONNECTION,
+                            "message": "connection lost mid-call",
+                            "retryable": False,
+                        },
+                    )
+                )
+
+    # -- subscriptions ------------------------------------------------------
+
+    def add_sink(self, sub: int, sink: Callable[[Notification], None]) -> None:
+        self._sinks[sub] = sink
+
+    def remove_sink(self, sub: int) -> None:
+        self._sinks.pop(sub, None)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def close(self) -> None:
+        self.closed = True
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+        if self._receiver is not None:
+            self._receiver.cancel()
+            try:
+                await self._receiver
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+
+    async def __aenter__(self) -> "AsyncRemoteConnection":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+
+class AsyncRemoteTriggerManClient:
+    """Asyncio twin of :class:`repro.net.remote.RemoteTriggerManClient`.
+
+    Same method surface, every command awaitable::
+
+        async with await AsyncRemoteTriggerManClient.connect(addr) as c:
+            await c.command("create trigger ...")
+            sub = await c.register_for_event("hot_item")
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: Optional[int] = None,
+        name: str = "client",
+        *,
+        inbox_limit: Optional[int] = DEFAULT_INBOX_LIMIT,
+        connection: Optional[AsyncRemoteConnection] = None,
+        **connection_kwargs: Any,
+    ):
+        if port is None:
+            host, port = _parse_address(host)
+        self.name = name
+        self.conn = connection or AsyncRemoteConnection(
+            host, port, **connection_kwargs
+        )
+        self._owns_connection = connection is None
+        self.inbox_limit = inbox_limit
+        self.inbox: Deque[Notification] = deque()
+        self.inbox_drops = 0
+        self._subscriptions: List[int] = []
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: Optional[int] = None, **kwargs: Any
+    ) -> "AsyncRemoteTriggerManClient":
+        client = cls(host, port, **kwargs)
+        if client._owns_connection:
+            await client.conn.connect()
+        return client
+
+    # -- commands -----------------------------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.conn.call("ping")
+
+    async def command(self, text: str):
+        return await self.conn.call("command", text=text)
+
+    async def create_trigger(self, text: str) -> int:
+        return await self.conn.call("command", text=text)
+
+    async def drop_trigger(self, name: str) -> int:
+        return await self.conn.call("command", text=f"drop trigger {name}")
+
+    async def console(self, line: str) -> str:
+        return await self.conn.call("console", text=line)
+
+    async def sql(self, text: str):
+        return await self.conn.call("sql", text=text)
+
+    async def process(self) -> int:
+        return await self.conn.call("process")
+
+    # -- observability -------------------------------------------------------
+
+    async def metrics(self) -> Dict[str, Any]:
+        return await self.conn.call("metrics")
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.conn.call("stats")
+
+    async def explain_trigger(self, name: str) -> str:
+        return await self.conn.call("explain", name=name)
+
+    # -- events --------------------------------------------------------------
+
+    def _inbox_sink(self, notification: Notification) -> None:
+        if (
+            self.inbox_limit is not None
+            and len(self.inbox) >= self.inbox_limit
+        ):
+            self.inbox.popleft()
+            self.inbox_drops += 1
+        self.inbox.append(notification)
+
+    async def register_for_event(
+        self,
+        event_name: str,
+        callback: Optional[Callable[[Notification], None]] = None,
+    ) -> int:
+        sink = callback if callback is not None else self._inbox_sink
+        subscription = await self.conn.call("register_event", event=event_name)
+        self.conn.add_sink(subscription, sink)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def next_notification(self) -> Optional[Notification]:
+        if not self.inbox:
+            return None
+        return self.inbox.popleft()
+
+    async def disconnect(self) -> None:
+        """Unregister every subscription server-side, then keep the
+        connection for further commands."""
+        subscriptions, self._subscriptions = self._subscriptions, []
+        for subscription in subscriptions:
+            self.conn.remove_sink(subscription)
+            try:
+                await self.conn.call("unregister_event", sub=subscription)
+            except RemoteError:
+                if not self.conn.closed:
+                    raise
+
+    async def close(self) -> None:
+        await self.conn.close()
+
+    async def __aenter__(self) -> "AsyncRemoteTriggerManClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+
+class AsyncRemoteDataSourceProgram:
+    """Asyncio twin of :class:`repro.net.remote.RemoteDataSourceProgram`."""
+
+    def __init__(
+        self,
+        client_or_conn,
+        source_name: str,
+    ):
+        if isinstance(client_or_conn, AsyncRemoteTriggerManClient):
+            self.conn = client_or_conn.conn
+            self._owns_connection = False
+        elif isinstance(client_or_conn, AsyncRemoteConnection):
+            self.conn = client_or_conn
+            self._owns_connection = False
+        else:
+            raise RemoteError(
+                "AsyncRemoteDataSourceProgram wants an async client or "
+                "connection (use AsyncRemoteConnection.open first)",
+                protocol.E_PARSE,
+            )
+        self.source_name = source_name
+
+    async def insert(self, row: Dict[str, Any]) -> None:
+        await self.conn.call("ingest", source=self.source_name,
+                             operation="insert", new=row)
+
+    async def delete(self, row: Dict[str, Any]) -> None:
+        await self.conn.call("ingest", source=self.source_name,
+                             operation="delete", old=row)
+
+    async def update(self, old: Dict[str, Any], new: Dict[str, Any]) -> None:
+        await self.conn.call("ingest", source=self.source_name,
+                             operation="update", new=new, old=old)
+
+    async def close(self) -> None:
+        if self._owns_connection:
+            await self.conn.close()

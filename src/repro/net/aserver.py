@@ -1,0 +1,586 @@
+"""The event-loop network front end (DESIGN.md §8c).
+
+One thread multiplexes every client connection on an ``asyncio`` event
+loop; the threaded engine stays exactly where it was, behind a small
+bridge.  The wire protocol, op table, error mapping, admission control,
+and slow-consumer policies are byte-identical to the threaded
+:class:`repro.net.server.TriggerManServer` — both front ends subclass
+:class:`repro.net.server.ServerCore` — so a sync
+:class:`~repro.net.remote.RemoteTriggerManClient` cannot tell them apart.
+What changes is the cost model:
+
+* **2 OS threads per connection → O(1) threads total.**  The threaded
+  front end collapses somewhere in the hundreds of connections (thread
+  creation, stacks, scheduler thrash); the event loop holds 10k+
+  connections as plain socket + state-machine pairs
+  (:class:`_AsyncConnection`: incremental frame decode via the shared
+  :class:`~repro.net.protocol.FrameDecoder`, a bounded outbox, and
+  read/write interest toggling).
+* **Engine bridge.**  Decoded requests hop to a small thread pool
+  (``bridge_threads``) that runs the blocking engine ops — locks, WAL
+  group commit — off the loop.  Per-connection FIFO order is preserved
+  (a connection's requests drain serially, actor-style) while distinct
+  connections dispatch in parallel.  A connection that pipelines faster
+  than the engine drains gets its *reading* paused — admission control
+  reaches all the way down to the socket.
+* **One wakeup per burst, not one per frame.**  Responses and event
+  pushes from engine/driver threads land in per-connection outboxes;
+  the first enqueue of a burst schedules a single
+  ``loop.call_soon_threadsafe`` flush, and every frame that arrives
+  before the loop wakes rides the same batch (``net.async.wakeups`` vs
+  ``net.async.frames_flushed`` shows the amortization).  A fan-out of
+  5 000 event pushes costs the loop one wakeup and 5 000 buffered
+  writes, not 5 000 thread hops.
+* **Backpressure end to end.**  ``transport`` write-buffer high water →
+  ``pause_writing`` → frames accumulate in the bounded outbox → the
+  slow-consumer policy (drop-oldest events with a counter, or
+  disconnect) — responses are never dropped, same as threaded.
+
+Observability: ``net.async.loop_lag_ns`` (scheduling delay of a 50 ms
+heartbeat — the "is the loop keeping up" histogram),
+``net.async.connections`` / ``net.async.outbox_hwm`` gauges, and
+``net.async.wakeups`` / ``net.async.frames_flushed`` counters; ``stats``
+and ``server status`` surface them (see :mod:`repro.obs.explain`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..errors import TriggerError, WireError
+from . import protocol
+from .protocol import E_PARSE
+from .server import ServerCore, payload_id
+
+#: pending-request backlog at which a connection's reading is paused
+READ_HIGH_WATER = 64
+#: backlog at which a paused connection resumes reading
+READ_LOW_WATER = 8
+
+#: loop-lag heartbeat interval (seconds)
+LAG_PROBE_INTERVAL = 0.05
+
+#: transport write-buffer high water before pause_writing (bytes)
+WRITE_HIGH_WATER = 64 * 1024
+
+
+class _AsyncConnection(asyncio.Protocol):
+    """One client on the event loop: a state machine, not a thread pair.
+
+    Incoming bytes feed the shared incremental decoder; complete requests
+    queue for the engine bridge (FIFO per connection).  Outgoing frames —
+    responses from bridge threads, event pushes from driver threads —
+    land in a locked outbox; the loop drains it in one batched write per
+    wakeup.  All transport calls happen on the loop thread; everything
+    else only touches the outbox/queue under ``_lock``.
+    """
+
+    def __init__(self, server: "AsyncTriggerManServer"):
+        self.server = server
+        self.conn_id = 0
+        self.transport: Optional[asyncio.Transport] = None
+        self.address: Tuple[str, int] = ("?", 0)
+        self.closed = False
+        self.dropped = 0
+        #: subscription id -> event name (for disconnect cleanup)
+        self.subscriptions: Dict[int, str] = {}
+        self._decoder = protocol.FrameDecoder(server.max_frame)
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        #: (frame bytes, is_event) pairs awaiting the next loop flush
+        self._outbox: Deque[Tuple[bytes, bool]] = deque()
+        self._events_queued = 0
+        self._flush_flagged = False  # an entry for us sits in the dirty list
+        self._writing = False  # the loop holds popped frames mid-write
+        self._close_after_flush = False
+        self._paused = False  # transport write buffer over high water
+        #: decoded requests awaiting a bridge thread (FIFO per connection)
+        self._requests: Deque[Dict[str, Any]] = deque()
+        self._dispatching = False
+        self._reading_paused = False
+
+    # -- loop-thread callbacks ----------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        transport.set_write_buffer_limits(high=WRITE_HIGH_WATER)
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            try:
+                import socket as _socket
+
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+        self.address = transport.get_extra_info("peername") or ("?", 0)
+        if not self.server._adopt(self):
+            transport.close()  # quiescing: refuse the newcomer
+
+    def data_received(self, data: bytes) -> None:
+        self.server.count_bytes_in(len(data))
+        try:
+            items = self._decoder.feed(data)
+        except WireError as exc:
+            # Framing lost (garbage body): answer best-effort, then close
+            # once the error frame is out.
+            self.send(protocol.error_response(payload_id(None), E_PARSE,
+                                              str(exc)))
+            with self._lock:
+                self._close_after_flush = True
+            self.server._wake_for(self)
+            return
+        for item in items:
+            if isinstance(item, protocol.OversizedFrame):
+                # Recoverable: the decoder discards the declared body and
+                # resyncs, so answer and keep the connection.
+                self.send(
+                    protocol.error_response(
+                        -1, E_PARSE,
+                        f"declared frame length {item.length} exceeds "
+                        f"max_frame={self.server.max_frame}",
+                    )
+                )
+            else:
+                self._enqueue_request(item)
+
+    def pause_writing(self) -> None:
+        with self._lock:
+            self._paused = True
+
+    def resume_writing(self) -> None:
+        with self._lock:
+            self._paused = False
+            pending = bool(self._outbox) and not self._flush_flagged
+            if pending:
+                self._flush_flagged = True
+        if pending:
+            self.server._mark_dirty(self)
+
+    def connection_lost(self, exc) -> None:
+        with self._lock:
+            self.closed = True
+            self._outbox.clear()
+            self._events_queued = 0
+            self._writing = False
+            self._drained.notify_all()
+        self.server.forget(self)
+
+    # -- request bridge ------------------------------------------------------
+
+    def _enqueue_request(self, payload: Dict[str, Any]) -> None:
+        """Loop thread: queue one decoded request for the engine bridge."""
+        with self._lock:
+            self._requests.append(payload)
+            backlog = len(self._requests)
+            dispatch = not self._dispatching
+            if dispatch:
+                self._dispatching = True
+        if (
+            backlog >= READ_HIGH_WATER
+            and not self._reading_paused
+            and self.transport is not None
+        ):
+            # Loop thread, so the transport call is safe: stop reading a
+            # pipeliner that is outrunning the engine.
+            self._reading_paused = True
+            self.transport.pause_reading()
+            self.server._m_reads_paused.inc()
+        if dispatch:
+            self.server._bridge.submit(self._drain_requests)
+
+    def _drain_requests(self) -> None:
+        """Bridge thread: run this connection's requests in FIFO order."""
+        while True:
+            with self._lock:
+                if self.closed or not self._requests:
+                    self._dispatching = False
+                    return
+                payload = self._requests.popleft()
+                resume = (
+                    self._reading_paused
+                    and len(self._requests) <= READ_LOW_WATER
+                )
+            if resume:
+                self.server._call_soon(self._resume_reading)
+            self.server.handle(self, payload)
+
+    def _resume_reading(self) -> None:
+        if self._reading_paused and not self.closed and self.transport:
+            self._reading_paused = False
+            try:
+                self.transport.resume_reading()
+            except RuntimeError:
+                pass  # transport already closing
+
+    # -- outbox (any thread) -------------------------------------------------
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Enqueue a response frame (never dropped; request-paced)."""
+        frame = protocol.encode_frame(payload, self.server.max_frame)
+        self._enqueue_frame(frame, is_event=False)
+
+    def push_event(self, notification_wire: Dict[str, Any], sub: int) -> None:
+        """Enqueue an event push, applying the slow-consumer policy.
+
+        Never blocks: this runs on whatever driver thread raised the event.
+        """
+        frame = protocol.encode_frame(
+            protocol.event_frame(notification_wire, sub),
+            self.server.max_frame,
+        )
+        self._enqueue_frame(frame, is_event=True)
+
+    def _enqueue_frame(self, frame: bytes, is_event: bool) -> None:
+        disconnect = False
+        wake = False
+        with self._lock:
+            if self.closed:
+                return
+            if is_event and self._events_queued >= self.server.outbox_limit:
+                if self.server.slow_consumer == "disconnect":
+                    disconnect = True
+                else:
+                    # Drop the oldest queued *event* frame; responses are
+                    # never evicted.
+                    for index, (_queued, queued_event) in enumerate(
+                        self._outbox
+                    ):
+                        if queued_event:
+                            del self._outbox[index]
+                            break
+                    self._events_queued -= 1
+                    self.dropped += 1
+                    self.server.count_dropped()
+            if not disconnect:
+                self._outbox.append((frame, is_event))
+                if is_event:
+                    self._events_queued += 1
+                self.server._note_outbox_depth(len(self._outbox))
+                if not self._flush_flagged:
+                    self._flush_flagged = True
+                    wake = True
+        if disconnect:
+            self.server.count_slow_disconnect()
+            self.close()
+        elif wake:
+            self.server._mark_dirty(self)
+
+    def _flush(self) -> None:
+        """Loop thread: hand the whole outbox to the transport in one
+        write (called by the server's batched dirty-list drain)."""
+        with self._lock:
+            self._flush_flagged = False
+            if self.closed or self.transport is None:
+                return
+            if self._paused:
+                # resume_writing() reschedules us; keep frames queued so
+                # the slow-consumer policy keeps applying.
+                return
+            frames = [frame for frame, _ in self._outbox]
+            self._outbox.clear()
+            self._events_queued = 0
+            self._writing = bool(frames)
+            closing = self._close_after_flush
+        if frames:
+            data = b"".join(frames)
+            try:
+                self.transport.write(data)
+            except Exception:  # noqa: BLE001 - transport died under us
+                self.close()
+                return
+            self.server.count_bytes_out(len(data))
+            self.server._m_frames_flushed.inc(len(frames))
+        with self._lock:
+            self._writing = False
+            if not self._outbox:
+                self._drained.notify_all()
+        if closing:
+            self.transport.close()
+
+    def outbox_depth(self) -> int:
+        with self._lock:
+            return len(self._outbox)
+
+    def flush(self, timeout: float = 0.5) -> None:
+        """Best-effort wait (from a non-loop thread) for queued frames to
+        reach the transport."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while (
+                (self._outbox or self._flush_flagged or self._writing)
+                and not self.closed
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                self._drained.wait(remaining)
+
+    def close(self) -> None:
+        """Thread-safe teardown (driver threads use this via the
+        disconnect policy); the actual transport abort runs on the loop."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            self._outbox.clear()
+            self._events_queued = 0
+            self._drained.notify_all()
+        transport = self.transport
+        if transport is not None:
+            self.server._call_soon(transport.abort)
+
+
+class AsyncTriggerManServer(ServerCore):
+    """Serve one :class:`TriggerMan` instance over TCP from a single
+    event-loop thread (``TriggerMan.serve(async_io=True)``)."""
+
+    mode = "async"
+
+    def __init__(
+        self,
+        tman,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        bridge_threads: int = 4,
+        **kwargs: Any,
+    ):
+        super().__init__(tman, host, port, **kwargs)
+        self.bridge_threads = bridge_threads
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._bridge: Optional[ThreadPoolExecutor] = None
+        self._dirty: List[_AsyncConnection] = []
+        self._dirty_lock = threading.Lock()
+        self._wake_scheduled = False
+        self._outbox_hwm = 0
+        #: recent loop-lag samples in ns (always on; ~20 samples/sec)
+        self._lag_samples: Deque[float] = deque(maxlen=512)
+        metrics = self._metrics
+        self._m_wakeups = metrics.counter(
+            "net.async.wakeups",
+            "cross-thread loop wakeups (one per outbox burst)", always=True,
+        )
+        self._m_frames_flushed = metrics.counter(
+            "net.async.frames_flushed",
+            "frames written by batched flushes", always=True,
+        )
+        self._m_reads_paused = metrics.counter(
+            "net.async.reads_paused",
+            "times a pipelining connection's reading was paused",
+            always=True,
+        )
+        self._m_loop_lag = metrics.histogram(
+            "net.async.loop_lag_ns",
+            "scheduling delay of the event loop's 50ms heartbeat",
+        )
+        metrics.gauge(
+            "net.async.connections",
+            "connections multiplexed on the event loop",
+            callback=lambda: len(self._connections),
+        )
+        metrics.gauge(
+            "net.async.outbox_hwm",
+            "deepest per-connection outbox seen (frames)",
+            callback=lambda: self._outbox_hwm,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "AsyncTriggerManServer":
+        if self.started:
+            raise TriggerError("server already started")
+        self._bridge = ThreadPoolExecutor(
+            max_workers=self.bridge_threads,
+            thread_name_prefix="tman-anet-bridge",
+        )
+        ready = threading.Event()
+        failure: List[BaseException] = []
+        self._loop_thread = threading.Thread(
+            target=self._loop_main, args=(ready, failure),
+            name="tman-anet-loop", daemon=True,
+        )
+        self._loop_thread.start()
+        ready.wait()
+        if failure:
+            self._bridge.shutdown(wait=False)
+            raise failure[0]
+        self.started = True
+        return self
+
+    def _loop_main(self, ready: threading.Event,
+                   failure: List[BaseException]) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                loop.create_server(
+                    lambda: _AsyncConnection(self),
+                    self.host, self.port,
+                    backlog=1024, reuse_address=True,
+                )
+            )
+        except BaseException as exc:  # noqa: BLE001 - surface to start()
+            failure.append(exc)
+            ready.set()
+            loop.close()
+            return
+        self._asyncio_server = server
+        self.host, self.port = server.sockets[0].getsockname()[:2]
+        self._schedule_lag_probe(loop, loop.time() + LAG_PROBE_INTERVAL)
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            for connection in list(self._connections.values()):
+                transport = connection.transport
+                if transport is not None:
+                    try:
+                        transport.abort()
+                    except Exception:  # noqa: BLE001 - teardown
+                        pass
+            try:
+                loop.run_until_complete(server.wait_closed())
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            except Exception:  # noqa: BLE001 - teardown
+                pass
+            loop.close()
+
+    def _schedule_lag_probe(self, loop: asyncio.AbstractEventLoop,
+                            expected: float) -> None:
+        def tick() -> None:
+            lag_ns = max(0.0, (loop.time() - expected) * 1e9)
+            self._lag_samples.append(lag_ns)
+            if self._metrics.enabled:
+                self._m_loop_lag.observe(lag_ns)
+            self._schedule_lag_probe(loop, loop.time() + LAG_PROBE_INTERVAL)
+
+        loop.call_later(LAG_PROBE_INTERVAL, tick)
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Graceful quiesce: refuse new commands, drain outboxes, close
+        every connection, stop the loop, join the front-end thread."""
+        if self._stopped:
+            return
+        timeout = self.drain_timeout if drain_timeout is None else drain_timeout
+        with self._conn_lock:
+            self._quiescing = True
+            connections = list(self._connections.values())
+        if self._asyncio_server is not None:
+            asyncio_server = self._asyncio_server
+            self._call_soon(asyncio_server.close)
+        deadline = time.monotonic() + timeout
+        for connection in connections:
+            while (
+                connection.outbox_depth() and not connection.closed
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+        for connection in connections:
+            self._release_subscriptions(connection)
+            connection.close()
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+            except RuntimeError:
+                pass  # loop already closed
+        if (
+            self._loop_thread is not None
+            and self._loop_thread is not threading.current_thread()
+        ):
+            self._loop_thread.join(timeout=max(timeout, 1.0))
+        if self._bridge is not None:
+            self._bridge.shutdown(wait=False)
+        with self._conn_lock:
+            self._connections.clear()
+        self._stopped = True
+
+    # -- loop plumbing -------------------------------------------------------
+
+    def _adopt(self, connection: _AsyncConnection) -> bool:
+        """Register a freshly accepted connection; refuses while
+        quiescing (mirrors the threaded accept loop)."""
+        with self._conn_lock:
+            if self._quiescing:
+                return False
+            connection.conn_id = next(self._conn_ids)
+            self._connections[connection.conn_id] = connection
+        self._m_connections_total.inc()
+        return True
+
+    def _call_soon(self, callback) -> bool:
+        loop = self._loop
+        if loop is None:
+            return False
+        try:
+            loop.call_soon_threadsafe(callback)
+        except RuntimeError:
+            return False  # loop closed mid-shutdown
+        return True
+
+    def _mark_dirty(self, connection: _AsyncConnection) -> None:
+        """A connection gained outbox frames: batch it into the next loop
+        wakeup.  Whole-burst amortization lives here — only the transition
+        from a clean dirty-list schedules a wakeup."""
+        with self._dirty_lock:
+            self._dirty.append(connection)
+            if self._wake_scheduled:
+                return
+            self._wake_scheduled = True
+        self._m_wakeups.inc()
+        if not self._call_soon(self._flush_dirty):
+            # Loop gone (shutdown): drop the flag so flush() waiters and
+            # close paths do not wait for a flush that cannot happen.
+            with self._dirty_lock:
+                self._wake_scheduled = False
+
+    def _flush_dirty(self) -> None:
+        """Loop thread: drain every connection that went dirty since the
+        last wakeup — one batched write each."""
+        with self._dirty_lock:
+            batch, self._dirty = self._dirty, []
+            self._wake_scheduled = False
+        for connection in batch:
+            connection._flush()
+
+    def _wake_for(self, connection: _AsyncConnection) -> None:
+        """Force a flush pass for one connection (error/close paths)."""
+        with connection._lock:
+            if connection._flush_flagged:
+                return
+            connection._flush_flagged = True
+        self._mark_dirty(connection)
+
+    def _note_outbox_depth(self, depth: int) -> None:
+        if depth > self._outbox_hwm:
+            self._outbox_hwm = depth
+
+    # -- introspection -------------------------------------------------------
+
+    def loop_lag_p99_ns(self) -> float:
+        """p99 of the recent loop-lag window (0.0 until samples exist)."""
+        samples = sorted(self._lag_samples)
+        if not samples:
+            return 0.0
+        return samples[min(len(samples) - 1, int(len(samples) * 0.99))]
+
+    def status(self) -> Dict[str, Any]:
+        status = super().status()
+        status.update(
+            loop_lag_p99_ns=round(self.loop_lag_p99_ns()),
+            outbox_hwm=self._outbox_hwm,
+            wakeups=self._m_wakeups.value,
+            frames_flushed=self._m_frames_flushed.value,
+            reads_paused=self._m_reads_paused.value,
+            bridge_threads=self.bridge_threads,
+        )
+        return status

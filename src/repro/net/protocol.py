@@ -29,13 +29,29 @@ a :class:`WireError` before anything hits the socket) and receive (the
 reader raises without allocating the oversized payload).  A truncated
 header or body — the mid-frame disconnect case — raises :class:`WireError`;
 a clean EOF at a frame boundary reads as ``None``.
+
+Two receive paths share the framing rules:
+
+* :func:`read_frame` — the blocking path over a buffered file-like
+  (``socket.makefile``), used by the sync remote client;
+* :class:`FrameDecoder` — the incremental path: feed it byte chunks in
+  whatever sizes the transport delivers (split, coalesced, one byte at a
+  time) and it yields complete frames.  Both servers (threaded and async)
+  and the asyncio client decode through it.
+
+An oversized *declared* length is recoverable on both paths: the header
+told us exactly how many bytes to discard, so the stream stays synced.
+:func:`read_frame` raises :class:`OversizedFrameError` (carrying the
+length, so callers may drain and continue); :class:`FrameDecoder` skips
+the body itself and yields an :class:`OversizedFrame` marker in sequence,
+letting a server answer ``E_PARSE`` without dropping the connection.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import WireError
 
@@ -64,6 +80,33 @@ E_UNAUTHORIZED = "E_UNAUTHORIZED"  # webhook: missing/invalid HMAC signature
 
 #: codes a client may retry after backing off
 RETRYABLE = frozenset({E_BACKPRESSURE, E_TIMEOUT})
+
+
+class OversizedFrameError(WireError):
+    """A declared frame length above ``max_frame``.
+
+    Unlike other wire faults the stream is *not* lost: the header said how
+    long the refused body is, so a reader that discards exactly
+    :attr:`length` bytes is back at a frame boundary.  ``length`` is the
+    declared body size."""
+
+    def __init__(self, message: str, length: int):
+        super().__init__(message)
+        self.length = length
+
+
+class OversizedFrame:
+    """Marker yielded by :class:`FrameDecoder` for a refused frame whose
+    body it is skipping (or has skipped); stands in the frame sequence
+    where the payload would have been."""
+
+    __slots__ = ("length",)
+
+    def __init__(self, length: int):
+        self.length = length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OversizedFrame(length={self.length})"
 
 
 def encode_frame(payload: Dict[str, Any], max_frame: int = MAX_FRAME) -> bytes:
@@ -96,14 +139,19 @@ def read_frame(rfile, max_frame: int = MAX_FRAME) -> Optional[Dict[str, Any]]:
         )
     (length,) = _HEADER.unpack(header)
     if length > max_frame:
-        raise WireError(
-            f"declared frame length {length} exceeds max_frame={max_frame}"
+        raise OversizedFrameError(
+            f"declared frame length {length} exceeds max_frame={max_frame}",
+            length,
         )
     body = rfile.read(length)
     if len(body) < length:
         raise WireError(
             f"truncated frame body ({len(body)}/{length} bytes)"
         )
+    return _decode_body(body)
+
+
+def _decode_body(body: bytes) -> Dict[str, Any]:
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -113,6 +161,85 @@ def read_frame(rfile, max_frame: int = MAX_FRAME) -> Optional[Dict[str, Any]]:
             f"frame payload must be a JSON object, got {type(payload).__name__}"
         )
     return payload
+
+
+class FrameDecoder:
+    """Incremental ``triggerman-wire-v1`` decoder.
+
+    Transport-agnostic: :meth:`feed` accepts byte chunks exactly as the
+    socket delivered them — frames may arrive split across chunks or many
+    coalesced into one — and returns the complete frames that chunk
+    finished, in order.  The frame sequence is identical to what repeated
+    :func:`read_frame` calls would produce from the same byte stream.
+
+    An oversized declared length does not kill the stream: the decoder
+    emits an :class:`OversizedFrame` marker immediately (so the caller can
+    answer ``E_PARSE`` while the body is still arriving), discards exactly
+    the declared body without buffering it, and resumes at the next frame
+    boundary.  A garbage body (not JSON, not an object) raises
+    :class:`WireError` — there framing really is lost.
+    """
+
+    __slots__ = ("max_frame", "_buffer", "_skip")
+
+    def __init__(self, max_frame: int = MAX_FRAME):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._skip = 0  # oversized-body bytes still to discard
+
+    def feed(self, data: bytes) -> List[Union[Dict[str, Any], OversizedFrame]]:
+        """Consume one chunk; return every frame it completed."""
+        frames: List[Union[Dict[str, Any], OversizedFrame]] = []
+        if self._skip:
+            dropped = min(self._skip, len(data))
+            self._skip -= dropped
+            data = data[dropped:]
+            if self._skip:
+                return frames
+        self._buffer += data
+        buffer = self._buffer
+        offset = 0
+        while True:
+            if len(buffer) - offset < HEADER_SIZE:
+                break
+            (length,) = _HEADER.unpack_from(buffer, offset)
+            if length > self.max_frame:
+                frames.append(OversizedFrame(length))
+                offset += HEADER_SIZE
+                remaining = len(buffer) - offset
+                dropped = min(length, remaining)
+                offset += dropped
+                self._skip = length - dropped
+                if self._skip:
+                    break
+                continue
+            if len(buffer) - offset < HEADER_SIZE + length:
+                break
+            start = offset + HEADER_SIZE
+            try:
+                frames.append(_decode_body(bytes(buffer[start:start + length])))
+            finally:
+                # on a decode fault the bad frame is consumed either way
+                del buffer[:start + length]
+                offset = 0
+        if offset:
+            del buffer[:offset]
+        return frames
+
+    def eof(self) -> None:
+        """Signal end of stream; raises :class:`WireError` if the peer
+        disconnected mid-frame (partial header/body or mid-skip)."""
+        if self._skip or self._buffer:
+            buffered = len(self._buffer)
+            raise WireError(
+                f"connection closed mid-frame ({buffered} byte(s) buffered, "
+                f"{self._skip} oversized byte(s) unskipped)"
+            )
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for the rest of a frame (diagnostics)."""
+        return len(self._buffer)
 
 
 # -- payload constructors -----------------------------------------------------

@@ -13,7 +13,9 @@ Transport robustness lives here, not in application code:
   :class:`RemoteError` (``E_TIMEOUT``);
 * **retryable errors** (timeouts, ``E_BACKPRESSURE`` from ingest admission
   control) are retried up to ``retries`` times with exponential backoff and
-  full jitter;
+  full jitter, under an optional **deadline** capping the *total* elapsed
+  time of one logical call — against a dead server a call fails within
+  ``deadline`` seconds instead of ``retries × (timeout + max_backoff)``;
 * pushed notifications land in a **bounded inbox** with drop-oldest
   semantics and a drop counter, matching the in-process client;
 * every completed call records its **round-trip latency**:
@@ -78,6 +80,7 @@ class RemoteConnection:
         retries: int = 4,
         backoff: float = 0.05,
         backoff_cap: float = 2.0,
+        deadline: Optional[float] = None,
         max_frame: int = MAX_FRAME,
         connect_timeout: float = 5.0,
         metrics=None,
@@ -88,6 +91,9 @@ class RemoteConnection:
         self.retries = retries
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        #: cap on one logical call's total elapsed seconds across retries
+        #: (``None``: bounded only by retries × timeout/backoff)
+        self.deadline = deadline
         self.max_frame = max_frame
         #: most recent successful call's round trip, in nanoseconds
         self.last_rtt_ns: Optional[int] = None
@@ -120,20 +126,45 @@ class RemoteConnection:
     # -- calls --------------------------------------------------------------
 
     def call(
-        self, op: str, timeout: Optional[float] = None, **params: Any
+        self,
+        op: str,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        **params: Any,
     ) -> Any:
         """One request/response round trip with timeout + jittered-backoff
-        retries for retryable failures."""
+        retries for retryable failures.
+
+        ``deadline`` (defaulting to the connection's) caps the call's
+        *total* elapsed time: per-attempt timeouts are clamped to the
+        remaining budget and a retry that would start past the deadline
+        re-raises instead of sleeping — full jitter keeps herds apart,
+        the deadline keeps a dead server from costing
+        ``retries × max_backoff``."""
         timeout = self.timeout if timeout is None else timeout
+        deadline = self.deadline if deadline is None else deadline
+        deadline_at = (
+            None if deadline is None else time.monotonic() + deadline
+        )
         attempt = 0
         while True:
+            attempt_timeout = timeout
+            if deadline_at is not None:
+                budget = deadline_at - time.monotonic()
+                attempt_timeout = max(0.001, min(timeout, budget))
             try:
-                return self._call_once(op, timeout, params)
+                return self._call_once(op, attempt_timeout, params)
             except RemoteError as exc:
                 if not exc.retryable or attempt >= self.retries or self.closed:
                     raise
-                delay = min(self.backoff_cap, self.backoff * (2 ** attempt))
-                time.sleep(self._jitter.uniform(0, delay))
+                delay = self._jitter.uniform(
+                    0, min(self.backoff_cap, self.backoff * (2 ** attempt))
+                )
+                if deadline_at is not None:
+                    budget = deadline_at - time.monotonic()
+                    if budget <= delay:
+                        raise  # out of deadline: fail now, with the cause
+                time.sleep(delay)
                 attempt += 1
 
     def _call_once(self, op: str, timeout: float, params: Dict[str, Any]) -> Any:

@@ -1,10 +1,20 @@
 """The TriggerMan network server (§3's process boundary, made real).
 
-A threaded TCP server speaking :mod:`repro.net.protocol`
-(``triggerman-wire-v1``).  Each accepted connection gets a reader thread
-(parses request frames, dispatches ops against the engine, enqueues
-responses) and a writer thread (drains a per-connection outbox).  Three
-robustness properties are first-class:
+Two front ends speak :mod:`repro.net.protocol` (``triggerman-wire-v1``)
+over the same dispatch core:
+
+* :class:`TriggerManServer` (this module) — the threaded front end: each
+  accepted connection gets a reader thread (incremental frame decode,
+  dispatch, enqueue responses) and a writer thread (drains a
+  per-connection outbox).  Two OS threads per connection: simple, fine
+  for tens of clients, fatal for thousands.
+* :class:`repro.net.aserver.AsyncTriggerManServer` — the event-loop front
+  end: one thread multiplexes every connection (DESIGN.md §8c).
+
+:class:`ServerCore` holds everything the two share — the op table, error
+mapping, admission control, quiesce rules, metrics, and subscriber
+bookkeeping — so the wire behaviour is identical by construction.  Three
+robustness properties are first-class in both:
 
 * **bounded outboxes / slow-consumer policy** — event pushes to a consumer
   that is not reading are either dropped oldest-first (counted in
@@ -22,9 +32,14 @@ robustness properties are first-class:
   ``drain_timeout`` seconds, then closes every connection and joins every
   thread.
 
+An oversized declared frame length no longer costs the connection: the
+header says exactly how long the refused body is, so the server answers
+``E_PARSE`` immediately, discards that many bytes, and keeps serving the
+re-synced stream (see :class:`repro.net.protocol.FrameDecoder`).
+
 The server runs *inside* the trigger-processor process
 (``TriggerMan.serve()``); remote clients and data-source programs live in
-:mod:`repro.net.remote`.
+:mod:`repro.net.remote` and :mod:`repro.net.aremote`.
 """
 
 from __future__ import annotations
@@ -54,6 +69,9 @@ from .protocol import (
 #: ops still answered while the server is quiescing
 _QUIESCE_SAFE_OPS = frozenset({"ping", "unregister_event"})
 
+#: bytes pulled off a socket per read in the threaded front end
+_RECV_SIZE = 64 * 1024
+
 
 def jsonable(value: Any) -> Any:
     """Best-effort JSON coercion for engine return values (data-source
@@ -67,173 +85,6 @@ def jsonable(value: Any) -> Any:
     return str(value)
 
 
-class _Connection:
-    """One accepted client: reader + writer threads and a bounded outbox."""
-
-    def __init__(self, server: "TriggerManServer", sock: socket.socket,
-                 address: Tuple[str, int], conn_id: int):
-        self.server = server
-        self.sock = sock
-        self.address = address
-        self.conn_id = conn_id
-        self.rfile = _CountingFile(sock.makefile("rb"), server.count_bytes_in)
-        self._outbox: Deque[bytes] = deque()
-        self._events_queued = 0  # event frames currently in the outbox
-        self._writing = False  # writer holds popped frames not yet sent
-        self._lock = threading.Lock()
-        self._writable = threading.Condition(self._lock)
-        self.closed = False
-        self.dropped = 0
-        #: subscription id -> event name (for disconnect cleanup)
-        self.subscriptions: Dict[int, str] = {}
-        self.reader = threading.Thread(
-            target=self._read_loop, name=f"tman-net-read-{conn_id}",
-            daemon=True,
-        )
-        self.writer = threading.Thread(
-            target=self._write_loop, name=f"tman-net-write-{conn_id}",
-            daemon=True,
-        )
-
-    def start(self) -> None:
-        self.writer.start()
-        self.reader.start()
-
-    # -- outbox -------------------------------------------------------------
-
-    def send(self, payload: Dict[str, Any]) -> None:
-        """Enqueue a response frame (never dropped; request-paced)."""
-        frame = protocol.encode_frame(payload, self.server.max_frame)
-        with self._writable:
-            if self.closed:
-                return
-            self._outbox.append(frame)
-            self._writable.notify()
-
-    def push_event(self, notification_wire: Dict[str, Any], sub: int) -> None:
-        """Enqueue an event push, applying the slow-consumer policy.
-
-        Never blocks: this runs on whatever driver thread raised the event.
-        """
-        frame = protocol.encode_frame(
-            protocol.event_frame(notification_wire, sub),
-            self.server.max_frame,
-        )
-        disconnect = False
-        with self._writable:
-            if self.closed:
-                return
-            if self._events_queued >= self.server.outbox_limit:
-                if self.server.slow_consumer == "disconnect":
-                    disconnect = True
-                else:
-                    # Drop the oldest queued *event* frame; responses are
-                    # never evicted.
-                    for index, queued in enumerate(self._outbox):
-                        if queued[protocol.HEADER_SIZE:].startswith(
-                            b'{"event"'
-                        ):
-                            del self._outbox[index]
-                            break
-                    self._events_queued -= 1
-                    self.dropped += 1
-                    self.server.count_dropped()
-            if not disconnect:
-                self._outbox.append(frame)
-                self._events_queued += 1
-                self._writable.notify()
-        if disconnect:
-            self.server.count_slow_disconnect()
-            self.close()
-
-    def outbox_depth(self) -> int:
-        with self._lock:
-            return len(self._outbox)
-
-    def flush(self, timeout: float = 0.5) -> None:
-        """Best-effort wait for the writer to drain the outbox (used before
-        closing a connection that was just sent an error frame)."""
-        deadline = time.monotonic() + timeout
-        with self._writable:
-            while (self._outbox or self._writing) and not self.closed:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return
-                self._writable.wait(remaining)
-
-    # -- threads ------------------------------------------------------------
-
-    def _read_loop(self) -> None:
-        try:
-            while not self.closed:
-                payload = protocol.read_frame(self.rfile, self.server.max_frame)
-                if payload is None:
-                    break
-                self.server.handle(self, payload)
-        except WireError as exc:
-            # Framing is lost after a malformed/oversized frame: report
-            # best-effort, then drop the connection.
-            try:
-                self.send(
-                    protocol.error_response(
-                        payload_id(None), E_PARSE, str(exc)
-                    )
-                )
-                self.flush()
-            except Exception:  # noqa: BLE001 - already tearing down
-                pass
-        except (OSError, ValueError):
-            pass  # socket closed under us
-        finally:
-            self.close()
-            self.server.forget(self)
-
-    def _write_loop(self) -> None:
-        while True:
-            with self._writable:
-                while not self._outbox and not self.closed:
-                    self._writable.wait()
-                frames = list(self._outbox)
-                self._outbox.clear()
-                self._events_queued = 0
-                # flush() must not return while these frames are in flight:
-                # the outbox is empty now, but sendall hasn't happened yet.
-                self._writing = bool(frames)
-                done = self.closed and not frames
-            if frames:
-                try:
-                    self.sock.sendall(b"".join(frames))
-                    self.server.count_bytes_out(
-                        sum(len(frame) for frame in frames)
-                    )
-                except OSError:
-                    self.close()
-                    return
-                with self._writable:
-                    self._writing = False
-                    if not self._outbox:
-                        self._writable.notify_all()  # wake flush() waiters
-            if done:
-                return
-
-    def close(self) -> None:
-        """Thread-safe, non-blocking teardown (callable from driver threads
-        via the disconnect policy)."""
-        with self._writable:
-            if self.closed:
-                return
-            self.closed = True
-            self._writable.notify_all()
-        try:
-            self.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            self.sock.close()
-        except OSError:
-            pass
-
-
 def payload_id(payload: Optional[Dict[str, Any]]) -> int:
     if payload is None:
         return -1
@@ -241,8 +92,19 @@ def payload_id(payload: Optional[Dict[str, Any]]) -> int:
     return request_id if isinstance(request_id, int) else -1
 
 
-class TriggerManServer:
-    """Serve one :class:`TriggerMan` instance over TCP."""
+class ServerCore:
+    """Everything both front ends share: configuration, metrics, the op
+    table, dispatch + error mapping, admission control, quiesce state, and
+    subscriber bookkeeping.
+
+    A front end supplies connection objects exposing ``send(payload)``,
+    ``push_event(wire, sub)``, ``flush(timeout)``, ``close()``,
+    ``outbox_depth()``, a ``subscriptions`` dict, and ``conn_id``; the
+    core never touches sockets or event loops directly.
+    """
+
+    #: front-end identifier surfaced in ``status()`` ("threaded" / "async")
+    mode = "threaded"
 
     def __init__(
         self,
@@ -269,12 +131,10 @@ class TriggerManServer:
         self.ingest_high_water = ingest_high_water
         self.max_frame = max_frame
         self.drain_timeout = drain_timeout
-        self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
         #: cluster membership installed by ``cluster.hello`` (shard id,
         #: epoch, member addresses, and the shared consistent-hash ring)
         self.cluster: Optional[Dict[str, Any]] = None
-        self._connections: Dict[int, _Connection] = {}
+        self._connections: Dict[int, Any] = {}
         self._conn_lock = threading.Lock()
         self._conn_ids = itertools.count(1)
         self._quiescing = False
@@ -312,23 +172,7 @@ class TriggerManServer:
         )
         self._metrics = metrics
 
-    # -- lifecycle ----------------------------------------------------------
-
-    def start(self) -> "TriggerManServer":
-        if self.started:
-            raise TriggerError("server already started")
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.host, self.port))
-        listener.listen(64)
-        self.host, self.port = listener.getsockname()[:2]
-        self._listener = listener
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="tman-net-accept", daemon=True
-        )
-        self._accept_thread.start()
-        self.started = True
-        return self
+    # -- addresses ----------------------------------------------------------
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -350,63 +194,15 @@ class TriggerManServer:
             host = "::1"
         return (host, self.port)
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while True:
-            try:
-                sock, address = self._listener.accept()
-            except OSError:
-                return  # listener closed: quiesce in progress
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            connection = _Connection(self, sock, address, next(self._conn_ids))
-            with self._conn_lock:
-                if self._quiescing:
-                    connection.close()
-                    continue
-                self._connections[connection.conn_id] = connection
-            self._m_connections_total.inc()
-            connection.start()
+    # -- shared lifecycle pieces --------------------------------------------
 
-    def stop(self, drain_timeout: Optional[float] = None) -> None:
-        """Graceful quiesce: refuse new commands, drain outboxes, close."""
-        if self._stopped:
-            return
-        timeout = self.drain_timeout if drain_timeout is None else drain_timeout
-        with self._conn_lock:
-            self._quiescing = True
-            connections = list(self._connections.values())
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-        deadline = time.monotonic() + timeout
-        for connection in connections:
-            while (
-                connection.outbox_depth() and not connection.closed
-                and time.monotonic() < deadline
-            ):
-                time.sleep(0.005)
-        for connection in connections:
-            self._release_subscriptions(connection)
-            connection.close()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=timeout)
-        for connection in connections:
-            if connection.reader is not threading.current_thread():
-                connection.reader.join(timeout=timeout)
-            connection.writer.join(timeout=timeout)
-        with self._conn_lock:
-            self._connections.clear()
-        self._stopped = True
-
-    def forget(self, connection: _Connection) -> None:
-        """Reader-thread exit path: release server-side subscriber state."""
+    def forget(self, connection) -> None:
+        """Connection-teardown path: release server-side subscriber state."""
         self._release_subscriptions(connection)
         with self._conn_lock:
             self._connections.pop(connection.conn_id, None)
 
-    def _release_subscriptions(self, connection: _Connection) -> None:
+    def _release_subscriptions(self, connection) -> None:
         subscriptions, connection.subscriptions = (
             dict(connection.subscriptions), {}
         )
@@ -416,6 +212,7 @@ class TriggerManServer:
     def status(self) -> Dict[str, Any]:
         return {
             "address": list(self.address),
+            "mode": self.mode,
             "connections": len(self._connections),
             "quiescing": self._quiescing,
             "bytes_in": self._m_bytes_in.value,
@@ -427,7 +224,7 @@ class TriggerManServer:
             "ingest_high_water": self.ingest_high_water,
         }
 
-    # -- counters (called from connection threads) --------------------------
+    # -- counters (called from connection/driver threads) --------------------
 
     def count_bytes_in(self, nbytes: int) -> None:
         self._m_bytes_in.inc(nbytes)
@@ -443,7 +240,7 @@ class TriggerManServer:
 
     # -- dispatch -----------------------------------------------------------
 
-    def handle(self, connection: _Connection, payload: Dict[str, Any]) -> None:
+    def handle(self, connection, payload: Dict[str, Any]) -> None:
         request_id = payload_id(payload)
         op = payload.get("op")
         if not isinstance(op, str):
@@ -634,8 +431,8 @@ class TriggerManServer:
     def _op_shutdown(self, connection, payload):
         # Respond and flush first — once stop() starts, this connection can
         # be torn down at any moment — then quiesce off-thread (stop()
-        # joins the reader threads; doing it inline would deadlock on our
-        # own).
+        # joins the connection-serving threads; doing it inline would
+        # deadlock on our own).
         connection.send(
             protocol.ok_response(payload_id(payload), "quiescing")
         )
@@ -644,6 +441,268 @@ class TriggerManServer:
             target=self.stop, name="tman-net-shutdown", daemon=True
         ).start()
         raise _Responded
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        raise NotImplementedError
+
+
+class _Connection:
+    """One accepted client: reader + writer threads and a bounded outbox."""
+
+    def __init__(self, server: "TriggerManServer", sock: socket.socket,
+                 address: Tuple[str, int], conn_id: int):
+        self.server = server
+        self.sock = sock
+        self.address = address
+        self.conn_id = conn_id
+        self._outbox: Deque[bytes] = deque()
+        self._events_queued = 0  # event frames currently in the outbox
+        self._writing = False  # writer holds popped frames not yet sent
+        self._lock = threading.Lock()
+        self._writable = threading.Condition(self._lock)
+        self.closed = False
+        self.dropped = 0
+        #: subscription id -> event name (for disconnect cleanup)
+        self.subscriptions: Dict[int, str] = {}
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"tman-net-read-{conn_id}",
+            daemon=True,
+        )
+        self.writer = threading.Thread(
+            target=self._write_loop, name=f"tman-net-write-{conn_id}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self.writer.start()
+        self.reader.start()
+
+    # -- outbox -------------------------------------------------------------
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Enqueue a response frame (never dropped; request-paced)."""
+        frame = protocol.encode_frame(payload, self.server.max_frame)
+        with self._writable:
+            if self.closed:
+                return
+            self._outbox.append(frame)
+            self._writable.notify()
+
+    def push_event(self, notification_wire: Dict[str, Any], sub: int) -> None:
+        """Enqueue an event push, applying the slow-consumer policy.
+
+        Never blocks: this runs on whatever driver thread raised the event.
+        """
+        frame = protocol.encode_frame(
+            protocol.event_frame(notification_wire, sub),
+            self.server.max_frame,
+        )
+        disconnect = False
+        with self._writable:
+            if self.closed:
+                return
+            if self._events_queued >= self.server.outbox_limit:
+                if self.server.slow_consumer == "disconnect":
+                    disconnect = True
+                else:
+                    # Drop the oldest queued *event* frame; responses are
+                    # never evicted.
+                    for index, queued in enumerate(self._outbox):
+                        if queued[protocol.HEADER_SIZE:].startswith(
+                            b'{"event"'
+                        ):
+                            del self._outbox[index]
+                            break
+                    self._events_queued -= 1
+                    self.dropped += 1
+                    self.server.count_dropped()
+            if not disconnect:
+                self._outbox.append(frame)
+                self._events_queued += 1
+                self._writable.notify()
+        if disconnect:
+            self.server.count_slow_disconnect()
+            self.close()
+
+    def outbox_depth(self) -> int:
+        with self._lock:
+            return len(self._outbox)
+
+    def flush(self, timeout: float = 0.5) -> None:
+        """Best-effort wait for the writer to drain the outbox (used before
+        closing a connection that was just sent an error frame)."""
+        deadline = time.monotonic() + timeout
+        with self._writable:
+            while (self._outbox or self._writing) and not self.closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                self._writable.wait(remaining)
+
+    # -- threads ------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        decoder = protocol.FrameDecoder(self.server.max_frame)
+        try:
+            while not self.closed:
+                data = self.sock.recv(_RECV_SIZE)
+                if not data:
+                    decoder.eof()  # raises WireError mid-frame
+                    break
+                self.server.count_bytes_in(len(data))
+                for item in decoder.feed(data):
+                    if isinstance(item, protocol.OversizedFrame):
+                        # Recoverable: answer now, the decoder discards the
+                        # declared body and resyncs the stream.
+                        self.send(
+                            protocol.error_response(
+                                -1, E_PARSE,
+                                f"declared frame length {item.length} "
+                                f"exceeds max_frame={self.server.max_frame}",
+                            )
+                        )
+                    else:
+                        self.server.handle(self, item)
+        except WireError as exc:
+            # Framing is lost after a malformed frame or a mid-frame
+            # disconnect: report best-effort, then drop the connection.
+            try:
+                self.send(
+                    protocol.error_response(payload_id(None), E_PARSE,
+                                            str(exc))
+                )
+                self.flush()
+            except Exception:  # noqa: BLE001 - already tearing down
+                pass
+        except (OSError, ValueError):
+            pass  # socket closed under us
+        finally:
+            self.close()
+            self.server.forget(self)
+
+    def _write_loop(self) -> None:
+        while True:
+            with self._writable:
+                while not self._outbox and not self.closed:
+                    self._writable.wait()
+                frames = list(self._outbox)
+                self._outbox.clear()
+                self._events_queued = 0
+                # flush() must not return while these frames are in flight:
+                # the outbox is empty now, but sendall hasn't happened yet.
+                self._writing = bool(frames)
+                done = self.closed and not frames
+            if frames:
+                try:
+                    self.sock.sendall(b"".join(frames))
+                    self.server.count_bytes_out(
+                        sum(len(frame) for frame in frames)
+                    )
+                except OSError:
+                    self.close()
+                    return
+                with self._writable:
+                    self._writing = False
+                    if not self._outbox:
+                        self._writable.notify_all()  # wake flush() waiters
+            if done:
+                return
+
+    def close(self) -> None:
+        """Thread-safe, non-blocking teardown (callable from driver threads
+        via the disconnect policy)."""
+        with self._writable:
+            if self.closed:
+                return
+            self.closed = True
+            self._writable.notify_all()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TriggerManServer(ServerCore):
+    """Serve one :class:`TriggerMan` instance over TCP, two threads per
+    connection (the PR-5 front end)."""
+
+    def __init__(self, tman, host: str = "127.0.0.1", port: int = 0,
+                 **kwargs: Any):
+        super().__init__(tman, host, port, **kwargs)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TriggerManServer":
+        if self.started:
+            raise TriggerError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.host, self.port = listener.getsockname()[:2]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tman-net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self.started = True
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                sock, address = self._listener.accept()
+            except OSError:
+                return  # listener closed: quiesce in progress
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = _Connection(self, sock, address, next(self._conn_ids))
+            with self._conn_lock:
+                if self._quiescing:
+                    connection.close()
+                    continue
+                self._connections[connection.conn_id] = connection
+            self._m_connections_total.inc()
+            connection.start()
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Graceful quiesce: refuse new commands, drain outboxes, close."""
+        if self._stopped:
+            return
+        timeout = self.drain_timeout if drain_timeout is None else drain_timeout
+        with self._conn_lock:
+            self._quiescing = True
+            connections = list(self._connections.values())
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + timeout
+        for connection in connections:
+            while (
+                connection.outbox_depth() and not connection.closed
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+        for connection in connections:
+            self._release_subscriptions(connection)
+            connection.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+        for connection in connections:
+            if connection.reader is not threading.current_thread():
+                connection.reader.join(timeout=timeout)
+            connection.writer.join(timeout=timeout)
+        with self._conn_lock:
+            self._connections.clear()
+        self._stopped = True
 
 
 class _Responded(Exception):
@@ -666,19 +725,3 @@ def _require_str(payload: Dict[str, Any], key: str) -> str:
     if not isinstance(value, str):
         raise _Refused(E_PARSE, f"request needs a string {key!r} field")
     return value
-
-
-class _CountingFile:
-    """Buffered-reader wrapper that feeds a byte counter (``net.bytes_in``)."""
-
-    __slots__ = ("_file", "_count")
-
-    def __init__(self, file, count):
-        self._file = file
-        self._count = count
-
-    def read(self, n: int) -> bytes:
-        data = self._file.read(n)
-        if data:
-            self._count(len(data))
-        return data

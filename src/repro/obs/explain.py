@@ -143,9 +143,39 @@ def explain_trigger(tman, name: str) -> str:
                 )
         out.append(f"  action: {runtime.action.render()}")
         out.append(f"  fired {runtime.fire_count} time(s)")
+        fan_out = _describe_fan_out(tman, runtime)
+        if fan_out is not None:
+            out.append(fan_out)
         return "\n".join(out)
     finally:
         tman.cache.unpin(trigger_id)
+
+
+def _describe_fan_out(tman, runtime) -> "str | None":
+    """One line on where this trigger's notifications go when a network
+    server is up: how many remote subscriptions each fired event fans out
+    to, and through which front end."""
+    server = getattr(tman, "server", None)
+    event_name = getattr(runtime.action, "event_name", None)
+    if server is None or event_name is None:
+        return None
+    subscribers = 0
+    for connection in list(server._connections.values()):
+        for subscribed in connection.subscriptions.values():
+            if subscribed == event_name:
+                subscribers += 1
+    status = server.status()
+    line = (
+        f"  fan-out: event {event_name!r} -> {subscribers} remote "
+        f"subscription(s) over {status['connections']} connection(s) "
+        f"({status['mode']} front end"
+    )
+    if status.get("mode") == "async":
+        line += (
+            f"; loop lag p99 {status['loop_lag_p99_ns']:,} ns, "
+            f"outbox hwm {status['outbox_hwm']}"
+        )
+    return line + ")"
 
 
 def render_stats(tman) -> str:
@@ -192,6 +222,29 @@ def render_stats(tman) -> str:
         f"  loads: {tman.runtimes.rehydrates} re-hydrated, "
         f"{tman.runtimes.reparses} re-parsed"
     )
+    server = getattr(tman, "server", None)
+    if server is not None:
+        status = server.status()
+        out.append("network:")
+        out.append(
+            "  serving on {address[0]}:{address[1]} ({mode}): "
+            "{connections} open connection(s), {bytes_in:,} bytes in, "
+            "{bytes_out:,} bytes out".format(**status)
+        )
+        out.append(
+            "  backpressure: {ingest_rejected} ingest(s) rejected, "
+            "{notifications_dropped} notification(s) dropped, "
+            "{slow_consumer_disconnects} slow consumer(s) "
+            "disconnected".format(**status)
+        )
+        if status.get("mode") == "async":
+            out.append(
+                "  event loop: lag p99 {loop_lag_p99_ns:,} ns, outbox hwm "
+                "{outbox_hwm}, {wakeups} wakeup(s) for {frames_flushed} "
+                "frame(s) flushed, {reads_paused} read pause(s)".format(
+                    **status
+                )
+            )
     metrics_state = "on" if tman.obs.metrics.enabled else "off"
     trace_state = "on" if tman.obs.trace.enabled else "off"
     out.append(f"observability: metrics {metrics_state}, trace {trace_state}")

@@ -1,0 +1,488 @@
+"""The event-loop front end and asyncio client, plus the deadline cap.
+
+The async server must be behaviourally identical to the threaded one on
+the wire — the shared ``ServerCore`` makes that true by construction, and
+these tests pin the parts that are front-end-specific: oversized-frame
+recovery on the incremental decoder, slow-consumer policies on the loop's
+outboxes, ingest admission, quiesce, batched wakeups, loop-lag
+observability, and the ``REPRO_NET_ASYNC`` selector.
+
+The firing-ledger equivalence test is the §-level oracle: the same seeded
+workload through the threaded server, the async server, and the
+in-process engine must fold to identical ACTION_FIRED digest multisets.
+"""
+
+import asyncio
+import json
+import random
+import socket
+import struct
+import time
+from collections import Counter
+
+import pytest
+
+from repro.engine.triggerman import TriggerMan
+from repro.errors import RemoteError
+from repro.net import protocol
+from repro.net.aremote import (
+    AsyncRemoteConnection,
+    AsyncRemoteDataSourceProgram,
+    AsyncRemoteTriggerManClient,
+)
+from repro.net.aserver import AsyncTriggerManServer
+from repro.net.remote import (
+    RemoteConnection,
+    RemoteDataSourceProgram,
+    RemoteTriggerManClient,
+)
+from repro.net.server import TriggerManServer
+from repro.wal.log import ACTION_FIRED
+
+
+def wait_for(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def aserved():
+    tman = TriggerMan.in_memory()
+    tman.execute_command(
+        "define data source ticks as stream (symbol varchar(8), price float)"
+    )
+    server = tman.serve("127.0.0.1", 0, async_io=True)
+    yield tman, server
+    tman.close()
+
+
+class TestAsyncRoundTrips:
+    def test_sync_client_full_round_trip(self, aserved):
+        tman, server = aserved
+        assert isinstance(server, AsyncTriggerManServer)
+        with RemoteTriggerManClient(*server.address) as client:
+            assert client.ping()["schema"] == protocol.WIRE_SCHEMA
+            client.command(
+                "create trigger hot from ticks on insert "
+                "when ticks.price > 100 do raise event Hot(ticks.price)"
+            )
+            client.register_for_event("Hot")
+            feed = RemoteDataSourceProgram(client, "ticks")
+            feed.insert({"symbol": "ACME", "price": 150.0})
+            feed.insert({"symbol": "ACME", "price": 50.0})
+            assert client.process() == 2
+            assert wait_for(lambda: len(client.inbox) == 1)
+            notification = client.next_notification()
+            assert notification.event_name == "Hot"
+            assert notification.args == (150.0,)
+
+    def test_async_client_full_round_trip(self, aserved):
+        tman, server = aserved
+
+        async def main():
+            async with await AsyncRemoteTriggerManClient.connect(
+                *server.address
+            ) as client:
+                assert (await client.ping())["schema"] == protocol.WIRE_SCHEMA
+                await client.command(
+                    "create trigger hot from ticks on insert "
+                    "when ticks.price > 100 do raise event Hot(ticks.price)"
+                )
+                await client.register_for_event("Hot")
+                feed = AsyncRemoteDataSourceProgram(client, "ticks")
+                await feed.insert({"symbol": "ACME", "price": 150.0})
+                await feed.insert({"symbol": "ACME", "price": 50.0})
+                assert await client.process() == 2
+                for _ in range(500):
+                    if client.inbox:
+                        break
+                    await asyncio.sleep(0.01)
+                notification = client.next_notification()
+                assert notification.event_name == "Hot"
+                assert notification.args == (150.0,)
+                await client.disconnect()
+
+        asyncio.run(main())
+
+    def test_async_client_works_against_threaded_server_too(self):
+        tman = TriggerMan.in_memory()
+        # pin the threaded front end regardless of REPRO_NET_ASYNC
+        server = tman.serve("127.0.0.1", 0, async_io=False)
+        assert isinstance(server, TriggerManServer)
+
+        async def main():
+            async with await AsyncRemoteTriggerManClient.connect(
+                *server.address
+            ) as client:
+                assert (await client.ping())["engine"] == "triggerman"
+
+        try:
+            asyncio.run(main())
+        finally:
+            tman.close()
+
+    def test_env_knob_selects_the_front_end(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_ASYNC", "1")
+        tman = TriggerMan.in_memory()
+        try:
+            server = tman.serve("127.0.0.1", 0)
+            assert isinstance(server, AsyncTriggerManServer)
+            assert server.status()["mode"] == "async"
+        finally:
+            tman.close()
+        monkeypatch.setenv("REPRO_NET_ASYNC", "0")
+        tman = TriggerMan.in_memory()
+        try:
+            assert isinstance(tman.serve("127.0.0.1", 0), TriggerManServer)
+        finally:
+            tman.close()
+
+
+class TestOversizedRecovery:
+    """Satellite: a frame over the cap answers ``E_PARSE`` and the
+    connection keeps working — on both front ends, at the exact boundary."""
+
+    @pytest.mark.parametrize("async_io", [False, True])
+    def test_cap_boundary_live(self, async_io):
+        cap = 4096
+        tman = TriggerMan.in_memory()
+        server = tman.serve("127.0.0.1", 0, async_io=async_io, max_frame=cap)
+        sock = socket.create_connection(server.address, timeout=5.0)
+        rfile = sock.makefile("rb")
+        try:
+            def padded(request_id, body_len):
+                base = protocol.request(request_id, "ping", pad="")
+                overhead = (
+                    len(protocol.encode_frame(base)) - protocol.HEADER_SIZE
+                )
+                return protocol.encode_frame(
+                    protocol.request(
+                        request_id, "ping", pad="x" * (body_len - overhead)
+                    )
+                )
+
+            # exactly at the cap: answered
+            sock.sendall(padded(1, cap))
+            response = protocol.read_frame(rfile)
+            assert response["id"] == 1 and response["ok"]
+
+            # one past the cap: E_PARSE, connection survives
+            sock.sendall(padded(2, cap + 1))
+            response = protocol.read_frame(rfile)
+            assert response["ok"] is False
+            assert response["error"]["code"] == protocol.E_PARSE
+            assert "max_frame" in response["error"]["message"]
+
+            # ...and the very next frame still gets served
+            sock.sendall(padded(3, cap - 1))
+            response = protocol.read_frame(rfile)
+            assert response["id"] == 3 and response["ok"]
+            assert server.status()["connections"] == 1
+        finally:
+            sock.close()
+            tman.close()
+
+    def test_giant_declared_length_is_not_allocated(self, aserved):
+        tman, server = aserved
+        sock = socket.create_connection(server.address, timeout=5.0)
+        rfile = sock.makefile("rb")
+        try:
+            # half-gigabyte declared length, no body bytes at all yet
+            sock.sendall(struct.pack(">I", 512 * 1024 * 1024))
+            response = protocol.read_frame(rfile)
+            assert response["error"]["code"] == protocol.E_PARSE
+        finally:
+            sock.close()
+
+
+class TestAsyncBackpressure:
+    def test_ingest_admission_control(self):
+        tman = TriggerMan.in_memory()
+        tman.execute_command(
+            "define data source ticks as stream (symbol varchar(8))"
+        )
+        server = tman.serve(
+            "127.0.0.1", 0, async_io=True, ingest_high_water=3
+        )
+        try:
+            feed = RemoteDataSourceProgram(
+                "127.0.0.1", "ticks", server.address[1], retries=0
+            )
+            with pytest.raises(RemoteError) as excinfo:
+                for _ in range(20):
+                    feed.insert({"symbol": "A"})
+            assert excinfo.value.code == protocol.E_BACKPRESSURE
+            assert excinfo.value.retryable
+            assert server.status()["ingest_rejected"] >= 1
+            assert len(tman.queue) <= 4
+            feed.close()
+        finally:
+            tman.close()
+
+    def _stalled_subscriber(self, server):
+        sock = socket.create_connection(server.address, timeout=5.0)
+        sock.sendall(
+            protocol.encode_frame(
+                protocol.request(1, "register_event", event="E")
+            )
+        )
+        rfile = sock.makefile("rb")
+        assert protocol.read_frame(rfile)["ok"]
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1024)
+        return sock
+
+    def test_drop_policy_bounds_outbox_and_counts(self):
+        tman = TriggerMan.in_memory()
+        server = tman.serve("127.0.0.1", 0, async_io=True, outbox_limit=16)
+        try:
+            sock = self._stalled_subscriber(server)
+            for _ in range(5000):
+                tman.events.raise_event("E", ("x" * 200,), "t", 1)
+            connection = next(iter(server._connections.values()))
+            assert connection.outbox_depth() <= 16 + 1
+            assert server.status()["notifications_dropped"] > 0
+            assert server.status()["outbox_hwm"] >= 1
+            with RemoteTriggerManClient(*server.address) as other:
+                assert other.ping()["engine"] == "triggerman"
+            sock.close()
+        finally:
+            tman.close()
+
+    def test_disconnect_policy_closes_the_stalled_connection(self):
+        tman = TriggerMan.in_memory()
+        server = tman.serve(
+            "127.0.0.1", 0, async_io=True,
+            outbox_limit=8, slow_consumer="disconnect",
+        )
+        try:
+            sock = self._stalled_subscriber(server)
+            for _ in range(5000):
+                tman.events.raise_event("E", ("x" * 200,), "t", 1)
+            assert wait_for(
+                lambda: server.status()["slow_consumer_disconnects"] >= 1
+            )
+            assert wait_for(lambda: server.status()["connections"] == 0)
+            sock.close()
+        finally:
+            tman.close()
+
+    def test_event_burst_batches_wakeups(self, aserved):
+        """A burst of pushes from engine threads coalesces into far fewer
+        loop wakeups than frames — the one-wakeup-per-burst design."""
+        tman, server = aserved
+        with RemoteTriggerManClient(*server.address) as client:
+            client.register_for_event("E")
+            before = server.status()["wakeups"]
+            burst = 500
+            for _ in range(burst):
+                tman.events.raise_event("E", ("x",), "t", 1)
+            assert wait_for(lambda: len(client.inbox) == burst)
+            wakeups = server.status()["wakeups"] - before
+            assert wakeups <= burst // 2  # batched, not one wakeup per frame
+            assert server.status()["frames_flushed"] >= burst
+
+
+class TestAsyncLifecycle:
+    def test_quiesce_refuses_new_commands_and_drains(self, aserved):
+        tman, server = aserved
+        with RemoteTriggerManClient(*server.address, retries=0) as client:
+            assert client.ping()
+            server._quiescing = True
+            with pytest.raises(RemoteError) as excinfo:
+                client.command("create trigger t from ticks on insert do "
+                               "raise event E")
+            assert excinfo.value.code == protocol.E_SHUTTING_DOWN
+            server._quiescing = False
+
+    def test_stop_is_clean_and_idempotent(self):
+        tman = TriggerMan.in_memory()
+        server = tman.serve("127.0.0.1", 0, async_io=True)
+        address = server.address
+        with RemoteTriggerManClient(*address) as client:
+            assert client.ping()
+        server.stop()
+        server.stop()  # idempotent
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=0.5)
+        tman.close()
+
+    def test_connections_refused_while_quiescing(self, aserved):
+        tman, server = aserved
+        server._quiescing = True
+        try:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            sock.sendall(protocol.encode_frame(protocol.request(1, "ping")))
+            # the front end drops adopted-while-quiescing transports: the
+            # client sees EOF or a reset, never a response
+            try:
+                assert sock.makefile("rb").read(1) == b""
+            except ConnectionError:
+                pass
+            sock.close()
+            assert server.status()["connections"] == 0
+        finally:
+            server._quiescing = False
+
+    def test_status_surfaces_loop_health(self, aserved):
+        tman, server = aserved
+        with RemoteTriggerManClient(*server.address) as client:
+            client.ping()
+        time.sleep(0.15)  # let a couple of lag probes tick
+        status = server.status()
+        assert status["mode"] == "async"
+        assert status["bridge_threads"] >= 1
+        assert isinstance(status["loop_lag_p99_ns"], int)
+        assert status["loop_lag_p99_ns"] >= 0
+        assert status["wakeups"] >= 1
+        assert status["frames_flushed"] >= 1
+
+
+class TestDeadline:
+    """Satellite: the retry loop's total elapsed time is capped."""
+
+    def _slow_server(self, async_io=False, delay=3.0):
+        tman = TriggerMan.in_memory()
+        server = tman.serve("127.0.0.1", 0, async_io=async_io)
+        original = server._op_ping
+
+        def slow_ping(connection, payload):
+            time.sleep(delay)
+            return original(connection, payload)
+
+        server._op_ping = slow_ping
+        return tman, server
+
+    def test_sync_deadline_caps_total_elapsed(self):
+        tman, server = self._slow_server()
+        conn = RemoteConnection(
+            *server.address, timeout=5.0, retries=10,
+            backoff=1.0, backoff_cap=8.0,
+        )
+        try:
+            start = time.monotonic()
+            with pytest.raises(RemoteError) as excinfo:
+                conn.call("ping", deadline=0.4)
+            elapsed = time.monotonic() - start
+            assert excinfo.value.code == protocol.E_TIMEOUT
+            assert elapsed < 2.0  # not retries x (timeout + backoff)
+        finally:
+            conn.close()
+            tman.close()
+
+    def test_connection_level_deadline_is_the_default(self):
+        tman, server = self._slow_server()
+        conn = RemoteConnection(
+            *server.address, timeout=5.0, retries=10, deadline=0.4,
+        )
+        try:
+            start = time.monotonic()
+            with pytest.raises(RemoteError):
+                conn.call("ping")
+            assert time.monotonic() - start < 2.0
+        finally:
+            conn.close()
+            tman.close()
+
+    def test_no_deadline_preserves_old_retry_behaviour(self):
+        tman, server = self._slow_server(delay=0.0)
+        conn = RemoteConnection(*server.address, timeout=5.0)
+        try:
+            assert conn.deadline is None
+            assert conn.call("ping")["engine"] == "triggerman"
+        finally:
+            conn.close()
+            tman.close()
+
+    def test_async_deadline_caps_total_elapsed(self):
+        tman, server = self._slow_server(async_io=True)
+
+        async def main():
+            conn = await AsyncRemoteConnection.open(
+                *server.address, timeout=5.0, retries=10,
+                backoff=1.0, backoff_cap=8.0,
+            )
+            try:
+                start = time.monotonic()
+                with pytest.raises(RemoteError) as excinfo:
+                    await conn.call("ping", deadline=0.4)
+                assert excinfo.value.code == protocol.E_TIMEOUT
+                assert time.monotonic() - start < 2.0
+            finally:
+                await conn.close()
+
+        try:
+            asyncio.run(main())
+        finally:
+            tman.close()
+
+
+TRIGGERS = (
+    "create trigger big from ticks on insert "
+    "when ticks.price > 500 do raise event Big(ticks.symbol, ticks.price)",
+    "create trigger acme from ticks on insert "
+    "when ticks.symbol = 'ACME' and ticks.price > 100 "
+    "do raise event AcmeHot(ticks.price)",
+)
+
+
+def _workload(seed=1999, count=300):
+    rng = random.Random(seed)
+    return [
+        {"symbol": rng.choice(["ACME", "GLOBEX", "INITECH"]),
+         "price": round(rng.uniform(0.0, 1000.0), 2)}
+        for _ in range(count)
+    ]
+
+
+def _ledger(tman):
+    """The durable firing ledger as a multiset of (trigger, digest)."""
+    ledger = Counter()
+    for record in tman.catalog_db.wal.scan():
+        if record.rtype == ACTION_FIRED:
+            body = record.json()
+            ledger[(body["trigger"], body["digest"])] += 1
+    return ledger
+
+
+class TestLedgerEquivalence:
+    """One seeded workload, three execution paths, identical ACTION_FIRED
+    digests: the async front end changes scheduling, never semantics."""
+
+    def _run(self, tmp_path, mode):
+        tman = TriggerMan.persistent(str(tmp_path / mode))
+        try:
+            tman.define_stream(
+                "ticks", [("symbol", "varchar(8)"), ("price", "float")]
+            )
+            for text in TRIGGERS:
+                tman.create_trigger(text)
+            if mode == "in-process":
+                for row in _workload():
+                    tman.insert("ticks", row)
+                tman.process_all()
+            else:
+                server = tman.serve(
+                    "127.0.0.1", 0, async_io=(mode == "async")
+                )
+                assert server.status()["mode"] == mode
+                with RemoteTriggerManClient(*server.address) as client:
+                    feed = RemoteDataSourceProgram(client, "ticks")
+                    for row in _workload():
+                        feed.insert(row)
+                    client.process()
+            tman.flush()
+            return _ledger(tman)
+        finally:
+            tman.close()
+
+    def test_identical_digests_across_all_three_paths(self, tmp_path):
+        in_process = self._run(tmp_path, "in-process")
+        threaded = self._run(tmp_path, "threaded")
+        async_ledger = self._run(tmp_path, "async")
+        assert sum(in_process.values()) > 0  # the workload really fired
+        assert threaded == in_process
+        assert async_ledger == in_process

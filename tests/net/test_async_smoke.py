@@ -1,0 +1,51 @@
+"""async-net-smoke: the event-loop front end across a real process boundary.
+
+Mirrors ``test_net_smoke`` but serves with ``--serve-async``: the same
+example workload must produce the identical notification digest through
+the async server as it does in-process, and SIGINT must quiesce to a
+clean exit 0 — the graceful-drain path of the event loop.
+"""
+
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from test_net_smoke import EXAMPLE, digest_line, example_env
+
+
+@pytest.mark.slow
+def test_example_identical_through_async_server():
+    env = example_env()
+    local = subprocess.run(
+        [sys.executable, EXAMPLE],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert local.returncode == 0, local.stderr
+    local_digest = digest_line(local.stdout)
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--serve-async", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        stdin=subprocess.DEVNULL, env=env,
+    )
+    try:
+        line = server.stdout.readline().strip()
+        assert line.startswith("serving on "), line
+        address = line.split()[-1]
+
+        remote = subprocess.run(
+            [sys.executable, EXAMPLE, "--connect", address],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert remote.returncode == 0, remote.stderr
+        assert digest_line(remote.stdout) == local_digest
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            out, err = server.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            raise AssertionError("async server did not shut down on SIGINT")
+    assert server.returncode == 0, (out, err)

@@ -1,0 +1,189 @@
+"""Fuzz the incremental :class:`FrameDecoder` against whole-frame decode.
+
+Both servers and the async client decode through ``FrameDecoder.feed``,
+which must yield *exactly* the frame sequence that repeated
+:func:`protocol.read_frame` calls produce from the same byte stream — no
+matter how the transport slices it: one byte at a time, random splits,
+many frames coalesced into one chunk, or an oversized frame in the
+middle.  Truncation (EOF mid-frame) must raise on both paths.
+
+Also pins the oversized-frame boundary (satellite of the async front-end
+PR): a body of exactly ``max_frame`` bytes decodes, ``max_frame + 1``
+yields the recoverable :class:`OversizedFrame` marker, and the decoder
+resyncs onto the next frame.
+"""
+
+import io
+import random
+import struct
+
+import pytest
+
+from repro.errors import WireError
+from repro.net import protocol
+from repro.net.protocol import FrameDecoder, OversizedFrame
+
+
+def reference_decode(stream_bytes, max_frame=protocol.MAX_FRAME):
+    """The blocking-path frame sequence (OversizedFrame markers included,
+    with the refused body drained just like the decoder does)."""
+    stream = io.BytesIO(stream_bytes)
+    frames = []
+    while True:
+        try:
+            payload = protocol.read_frame(stream, max_frame)
+        except protocol.OversizedFrameError as exc:
+            stream.read(exc.length)  # drain-and-continue
+            frames.append(OversizedFrame(exc.length))
+            continue
+        if payload is None:
+            return frames
+        frames.append(payload)
+
+
+def normalize(frames):
+    """Markers compare by declared length, payloads by value."""
+    return [
+        ("oversized", f.length) if isinstance(f, OversizedFrame) else f
+        for f in frames
+    ]
+
+
+def random_payload(rng):
+    kind = rng.randrange(4)
+    if kind == 0:
+        return protocol.request(rng.randrange(1 << 20), "ping")
+    if kind == 1:
+        return protocol.request(
+            rng.randrange(1 << 20), "ingest",
+            new={"symbol": "héllo™" * rng.randrange(4), "price": rng.random()},
+            old=None,
+        )
+    if kind == 2:
+        return protocol.ok_response(
+            rng.randrange(1 << 20), [rng.randrange(100) for _ in range(10)]
+        )
+    return protocol.event_frame(
+        {"event": "Hot", "args": [rng.random()], "pad": "x" * rng.randrange(2000)},
+        rng.randrange(64),
+    )
+
+
+def chunked(data, rng, style):
+    """Slice one byte stream the way hostile transports do."""
+    if style == "bytewise":
+        return [data[i:i + 1] for i in range(len(data))]
+    if style == "coalesced":
+        return [data]
+    chunks, index = [], 0
+    while index < len(data):
+        step = rng.randrange(1, 17) if style == "tiny" else rng.randrange(1, 4096)
+        chunks.append(data[index:index + step])
+        index += step
+    return chunks
+
+
+class TestFuzzEquivalence:
+    @pytest.mark.parametrize("style", ["bytewise", "coalesced", "tiny", "random"])
+    def test_chunking_never_changes_the_frame_sequence(self, style):
+        rng = random.Random(0xF57A + hash(style) % 1000)
+        for trial in range(30 if style == "bytewise" else 60):
+            payloads = [random_payload(rng) for _ in range(rng.randrange(1, 8))]
+            stream = b"".join(protocol.encode_frame(p) for p in payloads)
+            decoder = FrameDecoder()
+            frames = []
+            for chunk in chunked(stream, rng, style):
+                frames.extend(decoder.feed(chunk))
+            decoder.eof()  # stream ended exactly at a frame boundary
+            assert normalize(frames) == normalize(reference_decode(stream))
+            assert decoder.buffered == 0
+
+    def test_oversized_frames_interleaved_under_random_chunking(self):
+        max_frame = 256
+        rng = random.Random(0xBEEF)
+        for _trial in range(60):
+            stream, expected = b"", []
+            for _ in range(rng.randrange(2, 7)):
+                if rng.random() < 0.4:
+                    length = max_frame + rng.randrange(1, 2048)
+                    stream += struct.pack(">I", length) + b"x" * length
+                    expected.append(("oversized", length))
+                else:
+                    payload = protocol.request(rng.randrange(1000), "ping")
+                    stream += protocol.encode_frame(payload)
+                    expected.append(payload)
+            decoder = FrameDecoder(max_frame)
+            frames = []
+            for chunk in chunked(stream, rng, "tiny"):
+                frames.extend(decoder.feed(chunk))
+            decoder.eof()
+            assert normalize(frames) == expected
+            assert normalize(frames) == normalize(
+                reference_decode(stream, max_frame)
+            )
+
+    def test_truncated_streams_raise_on_eof_everywhere(self):
+        payload = protocol.request(1, "command", text="create trigger ...")
+        stream = protocol.encode_frame(payload)
+        for cut in range(1, len(stream)):
+            decoder = FrameDecoder()
+            decoder.feed(stream[:cut])
+            with pytest.raises(WireError):
+                decoder.eof()
+
+    def test_eof_mid_oversized_skip_raises(self):
+        decoder = FrameDecoder(max_frame=64)
+        frames = decoder.feed(struct.pack(">I", 1000) + b"partial body")
+        assert normalize(frames) == [("oversized", 1000)]
+        with pytest.raises(WireError):
+            decoder.eof()
+
+    def test_garbage_body_raises_and_consumes_the_frame(self):
+        decoder = FrameDecoder()
+        bad = b"not json at all"
+        follow_up = protocol.request(2, "ping")
+        with pytest.raises(WireError):
+            decoder.feed(struct.pack(">I", len(bad)) + bad)
+        # framing survives: the bad frame was consumed, the next one decodes
+        assert decoder.feed(protocol.encode_frame(follow_up)) == [follow_up]
+
+
+class TestOversizedBoundary:
+    """Pin the cap exactly: ``max_frame`` accepted, ``max_frame + 1``
+    refused-but-recoverable, on both decode paths."""
+
+    def pad_to(self, body_len):
+        base = {"id": 1, "op": "ping", "pad": ""}
+        overhead = len(protocol.encode_frame(base)) - protocol.HEADER_SIZE
+        payload = dict(base, pad="x" * (body_len - overhead))
+        frame = protocol.encode_frame(payload)
+        assert len(frame) - protocol.HEADER_SIZE == body_len
+        return payload, frame
+
+    @pytest.mark.parametrize("delta", [-1, 0])
+    def test_at_and_below_cap_decodes(self, delta):
+        cap = 512
+        payload, frame = self.pad_to(cap + delta)
+        assert FrameDecoder(cap).feed(frame) == [payload]
+        assert protocol.read_frame(io.BytesIO(frame), cap) == payload
+
+    def test_one_past_cap_is_refused_but_recoverable(self):
+        cap = 512
+        _payload, frame = self.pad_to(cap + 1)
+        follow_up = protocol.request(9, "ping")
+
+        decoder = FrameDecoder(cap)
+        frames = decoder.feed(frame + protocol.encode_frame(follow_up))
+        assert normalize(frames) == [("oversized", cap + 1), follow_up]
+
+        stream = io.BytesIO(frame + protocol.encode_frame(follow_up))
+        with pytest.raises(protocol.OversizedFrameError) as excinfo:
+            protocol.read_frame(stream, cap)
+        stream.read(excinfo.value.length)  # drain the declared body
+        assert protocol.read_frame(stream, cap) == follow_up
+
+    def test_send_side_cap_matches(self):
+        cap = 512
+        payload, _frame = self.pad_to(cap + 1)
+        with pytest.raises(WireError):
+            protocol.encode_frame(payload, cap)

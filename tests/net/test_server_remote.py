@@ -363,7 +363,9 @@ class TestQuiesce:
         tman, server = served
         client = RemoteTriggerManClient(*server.address)
         assert client.conn.call("shutdown") == "quiescing"
-        assert wait_for(lambda: server._stopped)
+        # generous timeout: quiesce joins every connection thread, which
+        # can crawl on a loaded 1-CPU runner
+        assert wait_for(lambda: server._stopped, timeout=20.0)
         client.close()
 
     def test_double_stop_is_idempotent(self, served):
