@@ -27,7 +27,7 @@ import sys
 #: fields that identify a record's configuration (never compared as values)
 CONFIG_KEYS = (
     "experiment", "mode", "batch_size", "sync", "drivers", "transport",
-    "shards", "source", "triggers", "connections",
+    "shards", "source", "triggers", "connections", "or_arms",
 )
 
 #: fields the guard compares; ``higher_is_better`` decides the direction

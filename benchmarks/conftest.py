@@ -9,7 +9,7 @@ rows recorded in EXPERIMENTS.md.
 At session end the collected tables plus any records benchmarks pushed via
 ``repro.obs.export.record`` are written as one machine-readable JSON file
 (schema ``triggerman-bench-v1``).  The destination defaults to
-``BENCH_PR9.json`` next to this file; override with ``BENCH_JSON=path``.
+``BENCH_PR10.json`` next to this file; override with ``BENCH_JSON=path``.
 """
 
 import os
@@ -21,7 +21,7 @@ import pytest
 _REPORTS = {}
 
 #: default export path (PR-numbered so successive PRs can diff trajectories)
-BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__), "BENCH_PR9.json")
+BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__), "BENCH_PR10.json")
 
 
 def report(experiment: str, header: Sequence[str], row: Iterable) -> None:

@@ -1,0 +1,190 @@
+"""E17 — Tagged-execution disjunct decomposition (ISSUE 10 tentpole).
+
+An OR-heavy workload: half the population are disjunctive predicates
+(``emp.a = X or emp.b = Y``) that the baseline engine cannot index — they
+all share one kind-NONE signature whose class is residual-scanned per
+token.  With decomposition each disjunct arm lands in its own equality
+group, so a token probes two hash buckets instead of scanning half the
+population.  The claims under test:
+
+* decomposed matching resolves OR predicates through index probes
+  (``index.or_arm_hits`` > 0, residual-scan group absent),
+* tokens/sec is at least 2x the residual-fallback baseline at scale
+  (the gap grows linearly with population — the gate is scale-gated the
+  same way as E14/E15),
+* the per-token arm tag dedupes sibling-arm matches: firings are
+  byte-identical to the interpreter oracle, with zero duplicates.
+
+Env knobs: ``BENCH_OR_TRIGGERS`` (population, default 100k),
+``BENCH_OR_TOKENS``, ``BENCH_OR_SHARE`` (disjunctive fraction, default
+0.5).
+"""
+
+import os
+import random
+import time
+
+from repro.engine.triggerman import TriggerMan
+from repro.lang.evaluator import Bindings, Evaluator
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.obs import export
+from repro.predindex import reset_compiled_residuals
+
+N_TRIGGERS = int(os.environ.get("BENCH_OR_TRIGGERS", "100000"))
+N_TOKENS = int(os.environ.get("BENCH_OR_TOKENS", "200"))
+OR_SHARE = float(os.environ.get("BENCH_OR_SHARE", "0.5"))
+#: arms per disjunctive predicate (a config key for the regression guard)
+OR_ARMS = 2
+#: below this population the residual scan is too cheap for a stable ratio
+GATE_TRIGGERS = 20_000
+
+#: constant pools sized so a token matches ~10 triggers regardless of N
+POOL = max(1_000, N_TRIGGERS // 10)
+
+
+def predicate_text(i: int) -> str:
+    if (i % 100) < OR_SHARE * 100:
+        return f"emp.a = {i % POOL} or emp.b = {i % (POOL - 1)}"
+    return f"emp.a = {i % POOL}"
+
+
+def build_engine(n: int, decompose: bool) -> TriggerMan:
+    reset_compiled_residuals()
+    tman = TriggerMan.in_memory(decompose_disjuncts=decompose)
+    tman.define_table(
+        "emp", [("a", "integer"), ("b", "integer"), ("c", "integer")]
+    )
+    for i in range(n):
+        tman.create_trigger(
+            f"create trigger t{i} from emp on insert "
+            f"when {predicate_text(i)} do raise event E(emp.c)"
+        )
+    return tman
+
+
+def make_tokens(n: int, seed: int = 1999):
+    rng = random.Random(seed)
+    return [
+        {"a": rng.randrange(POOL), "b": rng.randrange(POOL - 1), "c": i}
+        for i in range(n)
+    ]
+
+
+def run_tokens(tman, tokens) -> float:
+    for row in tokens:
+        tman.insert("emp", dict(row))
+    start = time.perf_counter()
+    tman.process_all()
+    return time.perf_counter() - start
+
+
+def firings(tman):
+    return sorted((n.event_name, n.args) for n in tman.events.history)
+
+
+def test_disjunct_decomposition_speedup(benchmark, summary):
+    tokens = make_tokens(N_TOKENS)
+
+    baseline = build_engine(N_TRIGGERS, decompose=False)
+    base_sec = run_tokens(baseline, tokens)
+    base_tps = N_TOKENS / base_sec
+    base_fired = baseline.stats.triggers_fired
+    baseline.close()
+
+    tman = build_engine(N_TRIGGERS, decompose=True)
+    dec_sec = benchmark.pedantic(
+        lambda: run_tokens(tman, tokens), rounds=1, iterations=1
+    )
+    dec_tps = N_TOKENS / dec_sec
+    stats = tman.index.stats
+    speedup = dec_tps / base_tps
+    gated = N_TRIGGERS >= GATE_TRIGGERS
+
+    summary(
+        "E17: disjunct decomposition (OR-heavy workload)",
+        ["triggers", "or share", "mode", "tok/s", "arm hits", "dedups"],
+        [f"{N_TRIGGERS:,}", OR_SHARE, "residual", f"{base_tps:.0f}",
+         0, 0],
+    )
+    summary(
+        "E17: disjunct decomposition (OR-heavy workload)",
+        ["triggers", "or share", "mode", "tok/s", "arm hits", "dedups"],
+        [f"{N_TRIGGERS:,}", OR_SHARE, "decomposed", f"{dec_tps:.0f}",
+         stats.or_arm_hits, stats.or_arm_dedups],
+    )
+    export.record(
+        "E17",
+        mode="residual",
+        triggers=N_TRIGGERS,
+        or_arms=OR_ARMS,
+        tokens_per_sec=round(base_tps, 1),
+        fired=base_fired,
+    )
+    export.record(
+        "E17",
+        mode="decomposed",
+        triggers=N_TRIGGERS,
+        or_arms=OR_ARMS,
+        tokens_per_sec=round(dec_tps, 1),
+        fired=tman.stats.triggers_fired,
+        or_arm_hits=stats.or_arm_hits,
+        or_arm_dedups=stats.or_arm_dedups,
+    )
+    export.record(
+        "E17-speedup",
+        triggers=N_TRIGGERS,
+        or_arms=OR_ARMS,
+        speedup=round(speedup, 2),
+        gated=gated,
+    )
+
+    # Identical ledgers: the baseline and decomposed engines agree exactly.
+    assert tman.stats.triggers_fired == base_fired
+    # OR predicates matched through index arms, not a residual scan.
+    assert stats.or_arm_hits > 0
+    if gated:
+        assert speedup >= 2.0, (
+            f"decomposition speedup {speedup:.2f}x below the 2x gate "
+            f"at {N_TRIGGERS:,} triggers"
+        )
+    tman.close()
+
+
+def test_disjunct_oracle_no_duplicates(benchmark, summary):
+    """A reduced population run compared against the interpreter oracle:
+    every ACTION_FIRED matches an oracle-predicted firing, exactly once."""
+    n = min(N_TRIGGERS, 2_000)
+    tokens = make_tokens(300, seed=7)
+    tman = build_engine(n, decompose=True)
+    benchmark.pedantic(
+        lambda: run_tokens(tman, tokens), rounds=1, iterations=1
+    )
+    got = firings(tman)
+
+    evaluator = Evaluator()
+    predicates = [parse(predicate_text(i)) for i in range(n)]
+    expected = sorted(
+        ("E", (row["c"],))
+        for row in tokens
+        for expr in predicates
+        if evaluator.matches(expr, Bindings(rows={"emp": row}))
+    )
+    duplicates = len(got) - len(set(got) & set(expected)) if got else 0
+    assert got == expected, (
+        f"decomposed firings diverge from the oracle: "
+        f"{len(got)} vs {len(expected)}"
+    )
+    summary(
+        "E17b: interpreter oracle (reduced population)",
+        ["triggers", "tokens", "firings", "duplicates"],
+        [n, len(tokens), len(got), 0],
+    )
+    export.record(
+        "E17-oracle",
+        triggers=n,
+        or_arms=OR_ARMS,
+        firings=len(got),
+        duplicates=0,
+        ledgers_equal=True,
+    )
+    tman.close()

@@ -4,11 +4,17 @@ condition graph, and expression signatures (§4–§5 of the paper)."""
 from .classify import (
     ConditionGraph,
     build_condition_graph,
+    equi_join_columns,
     resolve_unqualified,
     tuple_variables_of,
 )
 from .cnf import Clause, clause_to_expr, cnf_to_expr, push_not_inward, to_cnf
-from .selectivity import atom_selectivity, clause_selectivity, most_selective_index
+from .selectivity import (
+    atom_selectivity,
+    clause_selectivity,
+    conjunct_cost_key,
+    most_selective_index,
+)
 from .signature import (
     EQUALITY,
     INTERVAL,
@@ -16,9 +22,11 @@ from .signature import (
     RANGE,
     SET,
     AnalyzedPredicate,
+    DecomposedArm,
     ExpressionSignature,
     IndexablePart,
     analyze_selection,
+    decompose_selection,
     generalize,
     instantiate,
     normalize_atom,
@@ -27,6 +35,7 @@ from .signature import (
 __all__ = [
     "ConditionGraph",
     "build_condition_graph",
+    "equi_join_columns",
     "resolve_unqualified",
     "tuple_variables_of",
     "Clause",
@@ -36,6 +45,7 @@ __all__ = [
     "to_cnf",
     "atom_selectivity",
     "clause_selectivity",
+    "conjunct_cost_key",
     "most_selective_index",
     "EQUALITY",
     "INTERVAL",
@@ -43,9 +53,11 @@ __all__ = [
     "RANGE",
     "SET",
     "AnalyzedPredicate",
+    "DecomposedArm",
     "ExpressionSignature",
     "IndexablePart",
     "analyze_selection",
+    "decompose_selection",
     "generalize",
     "instantiate",
     "normalize_atom",

@@ -132,6 +132,44 @@ class ConditionGraph:
         return len(seen) == len(self.tvars)
 
 
+def equi_join_columns(
+    clauses: Sequence[Clause],
+    a: str,
+    b: str,
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Column pairs joined by equality between tuple variables ``a`` and
+    ``b``: parallel tuples ``(a_cols, b_cols)`` from single-atom clauses of
+    the form ``a.x = b.y``.
+
+    These are the conjuncts algebraic-signature hashing can accelerate
+    (PAPERS.md: equi-join signatures): rows on each side fold their key
+    values into one machine word and only same-signature pairs are tested.
+    Non-equality and multi-atom (disjunctive) join conjuncts are ignored —
+    they stay full-evaluation, so returning fewer columns is always safe.
+    """
+    a_cols: List[str] = []
+    b_cols: List[str] = []
+    for clause in clauses:
+        if len(clause) != 1:
+            continue
+        atom = clause[0]
+        if not (
+            isinstance(atom, ast.BinaryOp)
+            and atom.op == "="
+            and isinstance(atom.left, ast.ColumnRef)
+            and isinstance(atom.right, ast.ColumnRef)
+        ):
+            continue
+        left, right = atom.left, atom.right
+        if left.tvar == a and right.tvar == b:
+            a_cols.append(left.column)
+            b_cols.append(right.column)
+        elif left.tvar == b and right.tvar == a:
+            a_cols.append(right.column)
+            b_cols.append(left.column)
+    return tuple(a_cols), tuple(b_cols)
+
+
 def build_condition_graph(
     tvars: Sequence[str],
     when: Optional[ast.Expr],

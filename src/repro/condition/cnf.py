@@ -111,13 +111,13 @@ def to_cnf(expr: Optional[ast.Expr]) -> List[Clause]:
 
 def _distribute(expr: ast.Expr) -> List[Clause]:
     if _is_and(expr):
+        # Conjunction only concatenates its operands' clause lists — output
+        # size is the sum of the inputs, never a blow-up — so the clause
+        # budget applies only to the cartesian-product (OR) branch below.
+        # A pure AND of 5,000 atoms is a legitimate (if odd) condition.
         out: List[Clause] = []
         for arg in expr.args:
             out.extend(_distribute(arg))
-            if len(out) > MAX_CLAUSES:
-                raise ConditionError(
-                    f"CNF conversion exceeded {MAX_CLAUSES} clauses"
-                )
         return out
     if _is_or(expr):
         # CNF of an OR: cartesian product of the operands' CNFs.

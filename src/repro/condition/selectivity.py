@@ -77,3 +77,31 @@ def most_selective_index(clauses: Tuple[Clause, ...]) -> int:
             best = i
             best_sel = sel
     return best
+
+
+#: Relative probe cost of each indexable-conjunct kind (§5.2): an equality
+#: probe touches ~one equivalence-class entry, an IN-list touches one per
+#: item, interval/range probes walk ordered runs of entries.  Lower = cheaper
+#: to serve from the index.  Keys are the kind strings from
+#: :mod:`repro.condition.signature` (duplicated here as literals to keep the
+#: two modules import-cycle free; ``signature`` imports this one).
+KIND_PROBE_RANK = {
+    "equality": 0,
+    "set": 1,
+    "interval": 2,
+    "range": 3,
+}
+
+#: Rank for non-indexable candidates — always worse than any indexable kind.
+UNINDEXABLE_RANK = 10
+
+
+def conjunct_cost_key(kind: str, selectivity: float) -> Tuple[int, float]:
+    """Sort key for choosing which conjunct to index (§5.2).
+
+    The original [Hans90] rule ranked candidates by raw selectivity alone,
+    which lets an estimated-selective but expensive-to-probe conjunct (or a
+    non-indexable one) shadow a clean equality.  Cost-aware choice orders by
+    probe cost class first, then by selectivity within the class.
+    """
+    return (KIND_PROBE_RANK.get(kind, UNINDEXABLE_RANK), selectivity)

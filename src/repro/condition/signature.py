@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..errors import SignatureError
 from ..lang import ast
 from .cnf import Clause, clause_to_expr, cnf_to_expr
-from .selectivity import atom_selectivity
+from .selectivity import atom_selectivity, clause_selectivity, conjunct_cost_key
 
 #: Indexable-portion kinds.
 EQUALITY = "equality"
@@ -383,8 +383,12 @@ def analyze_selection(
         op = None
         indexable_atoms = [atom for _, atom in eq_conjuncts]
     elif other_candidates:
-        # The [Hans90] rule: index only the most selective conjunct.
-        other_candidates.sort(key=lambda t: (t[0], t[2], t[1]))
+        # The [Hans90] rule indexes a single conjunct, but the choice is
+        # cost-aware (§5.2): probe-cost class first, estimated selectivity
+        # within the class, column name as the deterministic tie-break.
+        other_candidates.sort(
+            key=lambda t: conjunct_cost_key(t[1], t[0]) + (t[2],)
+        )
         _sel, kind, column, op, atom = other_candidates[0]
         columns = (column,)
         indexable_atoms = [atom]
@@ -452,3 +456,109 @@ def analyze_selection(
         residual_constant_numbers=residual_numbers,
     )
     return AnalyzedPredicate(intern_signature(signature), tuple(all_constants))
+
+
+@dataclass(frozen=True)
+class DecomposedArm:
+    """One registration unit produced by :func:`decompose_selection`.
+
+    ``arm_of`` is ``None`` for an undecomposed predicate; for a decomposed
+    disjunction it is the position of the decomposed clause in the original
+    CNF, shared by every sibling arm — the tag half of tagged execution.
+    Entries carrying the same ``(trigger id, tuple variable, arm_of)`` triple
+    are alternates: a token matching several of them fires once.
+    """
+
+    arm_of: Optional[int]
+    analyzed: AnalyzedPredicate
+
+
+#: Disjunctions wider than this are left to residual evaluation: the per-arm
+#: bookkeeping (one signature-group entry each) stops paying for itself.
+MAX_ARMS = 16
+
+
+def _arm_indexable(atom: ast.Expr) -> bool:
+    """Whether an atom can anchor its own index probe when split out of a
+    disjunctive clause."""
+    atom = normalize_atom(atom)
+    return (
+        _simple_comparison(atom) is not None
+        or _simple_between(atom) is not None
+        or _simple_in_list(atom) is not None
+    )
+
+
+def _atom_kind(atom: ast.Expr) -> str:
+    atom = normalize_atom(atom)
+    simple = _simple_comparison(atom)
+    if simple is not None:
+        return EQUALITY if simple[1] == "=" else RANGE
+    if _simple_between(atom) is not None:
+        return INTERVAL
+    if _simple_in_list(atom) is not None:
+        return SET
+    return NONE
+
+
+def decompose_selection(
+    data_source: str,
+    operation: str,
+    clauses: Sequence[Clause],
+    max_arms: int = MAX_ARMS,
+) -> List[DecomposedArm]:
+    """Tagged-execution disjunct decomposition of one selection predicate.
+
+    When the predicate as a whole is indexable, or no disjunctive clause can
+    be fully decomposed into indexable atoms, this degenerates to a single
+    untagged :func:`analyze_selection` — the caller registers exactly what it
+    would have registered before.
+
+    Otherwise one disjunctive clause ``a1 OR ... OR ak`` is chosen (the
+    cheapest by worst-arm probe cost, then selectivity) and the predicate is
+    rewritten as *k* arms, each the original CNF with that clause replaced by
+    a single atom::
+
+        (a1 OR a2) AND R   ==>   arm 0: a1 AND R     arm 1: a2 AND R
+
+    A token satisfies the original predicate iff it satisfies at least one
+    arm (for any SQL three-valued outcome of the remaining atoms: the clause
+    is TRUE iff some atom is TRUE, and each arm conjoins one atom with the
+    unchanged rest ``R``), so probing every arm and deduplicating on the arm
+    tag is exactly equivalent to one residual scan of the whole class —
+    minus the scan.
+    """
+    baseline = analyze_selection(data_source, operation, clauses)
+    if baseline.signature.indexable.kind != NONE:
+        return [DecomposedArm(None, baseline)]
+
+    stripped: List[Tuple[ast.Expr, ...]] = [
+        tuple(_strip_tvar(a) for a in clause) for clause in clauses
+    ]
+    best: Optional[Tuple[Tuple[int, float, int, int], int]] = None
+    for i, clause in enumerate(stripped):
+        if not (2 <= len(clause) <= max_arms):
+            continue
+        if not all(_arm_indexable(atom) for atom in clause):
+            continue
+        worst = max(
+            conjunct_cost_key(_atom_kind(atom), atom_selectivity(atom))[0]
+            for atom in clause
+        )
+        rank = (worst, clause_selectivity(clause), len(clause), i)
+        if best is None or rank < best[0]:
+            best = (rank, i)
+    if best is None:
+        return [DecomposedArm(None, baseline)]
+
+    chosen = best[1]
+    arms: List[DecomposedArm] = []
+    for atom in clauses[chosen]:
+        arm_clauses = list(clauses)
+        arm_clauses[chosen] = (atom,)
+        arms.append(
+            DecomposedArm(
+                chosen, analyze_selection(data_source, operation, arm_clauses)
+            )
+        )
+    return arms

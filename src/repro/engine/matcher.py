@@ -315,6 +315,11 @@ class MatchExecutor:
         ]
         shared = {"remaining": len(subsets), "matches": []}
         state_lock = threading.Lock()
+        # Decomposed-disjunct arms of one trigger may land in different
+        # subsets; sharing the tag dict across all of this token's tasks
+        # keeps "fire once per (trigger, tvar, clause)" true under §6
+        # condition-level parallelism.
+        seen_arms: Dict = {}
 
         def run_subset(subset):
             matches = self.index.match_in_groups(
@@ -324,6 +329,7 @@ class MatchExecutor:
                 descriptor.changed_columns,
                 self.runtimes.is_enabled,
                 data_source=descriptor.data_source,
+                seen_arms=seen_arms,
             )
             for match in matches:
                 self.apply_match(descriptor, match, 0)

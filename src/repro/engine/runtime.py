@@ -38,6 +38,7 @@ from .trigger import (
     TriggerRuntime,
     analyze_statement,
     analyze_trigger,
+    analyze_trigger_arms,
     build_runtime_from_analysis,
     generalize_statement,
     instantiate_statement,
@@ -63,6 +64,7 @@ class RuntimeManager:
         limits,
         network_type: str,
         obs,
+        decompose: bool = True,
     ):
         self.catalog = catalog
         self.catalog_db = catalog_db
@@ -73,6 +75,11 @@ class RuntimeManager:
         self.limits = limits
         self.network_type = network_type
         self.obs = obs
+        #: tagged-execution disjunct decomposition on trigger install
+        self.decompose = decompose
+        # Catalog follow-up when an emptied signature group is pruned from
+        # the index (churned-away classes read as size 0, not stale).
+        index.on_prune = self._group_pruned
         #: serializes DDL (create/drop/alter); never taken by token flow
         self.ddl_lock = threading.RLock()
         #: trigger id -> enabled flag (fast path; catalog is authoritative)
@@ -197,7 +204,10 @@ class RuntimeManager:
         self, trigger_id: int, analysis: TriggerAnalysis
     ) -> None:
         single = len(analysis.tvar_sources) == 1
-        for tvar, analyzed in analyze_trigger(analysis):
+        for tvar, arm in analyze_trigger_arms(
+            analysis, decompose=self.decompose
+        ):
+            analyzed = arm.analyzed
             group = self._signature_group(analyzed)
             signature = analyzed.signature
             entry = PredicateEntry(
@@ -215,6 +225,7 @@ class RuntimeManager:
                     if signature.residual_template is not None
                     else None
                 ),
+                arm_of=arm.arm_of,
             )
             self.index.add_predicate(analyzed, entry)
             self.catalog.update_signature_stats(
@@ -261,6 +272,17 @@ class RuntimeManager:
                 organization.name,
             )
         return self.index.register_signature(sig_id, signature, organization)
+
+    def _group_pruned(self, group: SignatureGroup) -> None:
+        """Index pruned an emptied signature group: reflect the empty
+        constant set in the catalog (the signature row itself is kept — a
+        later create of the same class reuses its id and table name)."""
+        try:
+            self.catalog.update_signature_stats(
+                group.sig_id, 0, group.organization.name
+            )
+        except Exception:
+            pass  # recovery replay may prune before the row exists
 
     def _organization_changed(self, sig_id: int, name: str) -> None:
         # Size is refreshed by the caller's update_signature_stats; record

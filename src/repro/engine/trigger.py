@@ -27,7 +27,9 @@ from ..condition.classify import (
 )
 from ..condition.signature import (
     AnalyzedPredicate,
+    DecomposedArm,
     analyze_selection,
+    decompose_selection,
     generalize,
     instantiate,
 )
@@ -451,6 +453,34 @@ def analyze_trigger(runtime) -> List[Tuple[str, AnalyzedPredicate]]:
             clauses=clauses,
         )
         out.append((tvar, analyzed))
+    return out
+
+
+def analyze_trigger_arms(
+    runtime, decompose: bool = True
+) -> List[Tuple[str, DecomposedArm]]:
+    """Like :func:`analyze_trigger` but with tagged-execution disjunct
+    decomposition: a tuple variable whose predicate is unindexable as a
+    whole may yield several arms (one registration each, sharing an arm
+    tag) instead of one residual-scan entry.  ``decompose=False`` restores
+    the single-registration behaviour exactly."""
+    out: List[Tuple[str, DecomposedArm]] = []
+    for tvar in runtime.tvars:
+        clauses = runtime.graph.selection_for(tvar)
+        source = runtime.tvar_sources[tvar]
+        operation = runtime.operation_code(tvar)
+        if decompose:
+            for arm in decompose_selection(source, operation, clauses):
+                out.append((tvar, arm))
+        else:
+            out.append(
+                (
+                    tvar,
+                    DecomposedArm(
+                        None, analyze_selection(source, operation, clauses)
+                    ),
+                )
+            )
     return out
 
 

@@ -84,6 +84,7 @@ class TriggerMan(IngestionMixin):
         observability: bool = False,
         batch_size: int = 1,
         compile_predicates: Optional[bool] = None,
+        decompose_disjuncts: Optional[bool] = None,
     ):
         """``obs`` supplies a pre-built observability bundle (metrics
         registry + trace recorder); ``observability=True`` enables metrics
@@ -95,7 +96,10 @@ class TriggerMan(IngestionMixin):
         toggles the signature-keyed predicate compilation cache; the
         default resolves from the ``TMAN_COMPILE`` environment variable
         (``off``/``0``/``false`` disables — the escape hatch) and is
-        otherwise on."""
+        otherwise on.  ``decompose_disjuncts`` toggles tagged-execution
+        disjunct decomposition at trigger install (``a = 1 OR b = 2``
+        probes two index arms instead of residual-scanning its class);
+        the default resolves the same way from ``TMAN_DECOMPOSE``."""
         self.catalog_db = catalog_db if catalog_db is not None else Database()
         default_db = default_db if default_db is not None else self.catalog_db
         self.connections: Dict[str, Connection] = {
@@ -119,6 +123,12 @@ class TriggerMan(IngestionMixin):
                 not in ("off", "0", "false")
             )
         self.compile_predicates = compile_predicates
+        if decompose_disjuncts is None:
+            decompose_disjuncts = (
+                os.environ.get("TMAN_DECOMPOSE", "on").lower()
+                not in ("off", "0", "false")
+            )
+        self.decompose_disjuncts = decompose_disjuncts
         self.batch_size = max(1, batch_size)
         self.index = PredicateIndex(
             self.evaluator, compile_predicates=compile_predicates
@@ -174,6 +184,7 @@ class TriggerMan(IngestionMixin):
             self.limits,
             self.network_type,
             self.obs,
+            decompose=decompose_disjuncts,
         )
         self.pipeline = TokenPipeline(
             self.queue, self.tasks, self.obs, self._m_task_ns,

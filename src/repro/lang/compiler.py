@@ -58,8 +58,12 @@ __all__ = [
     "CompileError",
     "CompilerStats",
     "STATS",
+    "EquiJoinPlan",
+    "SIG_UNHASHABLE",
+    "algebraic_signature",
     "compile_predicate",
     "compile_row_template",
+    "equi_join_plan",
 ]
 
 
@@ -437,3 +441,88 @@ def compile_predicate(
 
         evaluator = DEFAULT_EVALUATOR
     return CompiledPredicate(expr, fn, evaluator)
+
+
+# -- algebraic join signatures (equi-join acceleration) ----------------------
+
+#: 64-bit FNV-1a fold parameters
+_SIG_MASK = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+#: sentinel for "this row cannot be hashed — fall back to scanning"
+SIG_UNHASHABLE = object()
+
+
+def algebraic_signature(values) -> Optional[int]:
+    """Fold a join-key value tuple into one 64-bit algebraic signature.
+
+    The fold is over Python ``hash`` values, so SQL's cross-type numeric
+    equality is preserved for free (``hash(1) == hash(1.0)``): equal keys
+    always produce equal signatures, making the signature a *pre-filter* —
+    bucket collisions are harmless because every candidate pair still
+    evaluates the real join predicate.
+
+    Returns ``None`` when any value is NULL: an equi-join conjunct over a
+    NULL key is UNKNOWN, so a NULL-keyed row matches nothing and probes
+    with a NULL key have no candidates.  Returns :data:`SIG_UNHASHABLE`
+    for values ``hash`` rejects (the caller must scan).
+    """
+    sig = _FNV_OFFSET
+    for value in values:
+        if value is None:
+            return None
+        try:
+            h = hash(value)
+        except TypeError:
+            return SIG_UNHASHABLE
+        sig = ((sig ^ (h & _SIG_MASK)) * _FNV_PRIME) & _SIG_MASK
+    return sig
+
+
+class EquiJoinPlan:
+    """Signature-hash acceleration for one join edge's equality conjuncts.
+
+    Built from the edge's CNF by
+    :func:`repro.condition.classify.equi_join_columns`: parallel column
+    lists, one per side.  Each side folds its key values into an algebraic
+    signature; only same-signature row pairs are candidates.  The plan
+    covers only the *equality* conjuncts — the caller still evaluates the
+    full edge predicate on every candidate, so non-equality conjuncts and
+    hash collisions stay correct by construction.
+    """
+
+    __slots__ = ("left_tvar", "right_tvar", "left_columns", "right_columns")
+
+    def __init__(self, left_tvar, right_tvar, left_columns, right_columns):
+        self.left_tvar = left_tvar
+        self.right_tvar = right_tvar
+        self.left_columns = tuple(left_columns)
+        self.right_columns = tuple(right_columns)
+
+    def _signature(self, columns, row) -> Any:
+        values = []
+        for column in columns:
+            if column not in row:
+                return SIG_UNHASHABLE
+            values.append(row[column])
+        return algebraic_signature(values)
+
+    def signature_for(self, tvar: str, row: Mapping[str, Any]) -> Any:
+        """The row's key signature on whichever side ``tvar`` is; ``None``
+        for a NULL key (no candidates), :data:`SIG_UNHASHABLE` when the
+        row cannot be hashed (caller scans)."""
+        if tvar == self.left_tvar:
+            return self._signature(self.left_columns, row)
+        return self._signature(self.right_columns, row)
+
+
+def equi_join_plan(clauses, a: str, b: str) -> Optional[EquiJoinPlan]:
+    """An :class:`EquiJoinPlan` for the edge's equality conjuncts, or None
+    when the edge has none (nothing for signatures to accelerate)."""
+    from ..condition.classify import equi_join_columns
+
+    a_cols, b_cols = equi_join_columns(clauses, a, b)
+    if not a_cols:
+        return None
+    return EquiJoinPlan(a, b, a_cols, b_cols)

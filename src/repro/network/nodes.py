@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..lang import ast
+from ..lang.compiler import SIG_UNHASHABLE
 from ..lang.evaluator import Bindings, Evaluator
 
 
@@ -35,32 +36,108 @@ class Node:
 
 class AlphaMemory(Node):
     """A materialized alpha memory: the rows (for one tuple variable) that
-    passed the tuple variable's selection predicate."""
+    passed the tuple variable's selection predicate.
+
+    Join edges may register *signature indexes* (``add_index``): each one
+    buckets rows by an algebraic join-key signature so ``rows_for`` can
+    hand the join search only the same-signature candidates instead of the
+    whole memory.  The signature is a pre-filter — the caller still
+    evaluates the real join predicate — so a key function may bail out
+    with :data:`SIG_UNHASHABLE` and those rows stay visible to every probe
+    via the per-index loose list.
+    """
 
     def __init__(self, node_id: str, tvar: str):
         super().__init__(node_id)
         self.tvar = tvar
         self._rows: List[Dict[str, Any]] = []
+        #: name -> (key_fn, signature buckets, unhashable-row loose list)
+        self._indexes: Dict[
+            str,
+            tuple,
+        ] = {}
+
+    def add_index(
+        self, name: str, key_fn: Callable[[Dict[str, Any]], Any]
+    ) -> None:
+        """Register (or rebuild) a signature index over the stored rows."""
+        buckets: Dict[Any, List[Dict[str, Any]]] = {}
+        loose: List[Dict[str, Any]] = []
+        self._indexes[name] = (key_fn, buckets, loose)
+        for row in self._rows:
+            self._file(row, key_fn, buckets, loose)
+
+    @staticmethod
+    def _file(row, key_fn, buckets, loose) -> None:
+        key = key_fn(row)
+        if key is SIG_UNHASHABLE:
+            loose.append(row)
+        elif key is not None:
+            # A None key is a NULL join key: the equality conjunct is
+            # UNKNOWN against every probe, so the row is filed nowhere.
+            buckets.setdefault(key, []).append(row)
+
+    @staticmethod
+    def _unfile(row, key_fn, buckets, loose) -> None:
+        key = key_fn(row)
+        if key is SIG_UNHASHABLE:
+            bucket = loose
+        elif key is None:
+            return
+        else:
+            bucket = buckets.get(key, [])
+        for i, existing in enumerate(bucket):
+            if existing is row:
+                del bucket[i]
+                return
 
     def insert(self, row: Dict[str, Any]) -> None:
-        self._rows.append(dict(row))
+        stored = dict(row)
+        self._rows.append(stored)
+        for key_fn, buckets, loose in self._indexes.values():
+            self._file(stored, key_fn, buckets, loose)
 
     def remove(self, row: Dict[str, Any]) -> bool:
         """Remove one row equal to ``row``; returns False when absent."""
         for i, existing in enumerate(self._rows):
             if existing == row:
                 del self._rows[i]
+                for key_fn, buckets, loose in self._indexes.values():
+                    self._unfile(existing, key_fn, buckets, loose)
                 return True
         return False
 
     def rows(self) -> Iterator[Dict[str, Any]]:
         return iter(self._rows)
 
+    def rows_for(self, name: str, key: Any) -> Optional[Iterator[Dict[str, Any]]]:
+        """The rows a probe with ``key`` must consider under index ``name``,
+        or None when the index does not exist or the probe key is
+        unhashable (caller falls back to a full scan).  A ``None`` key is a
+        NULL probe key: only the loose rows are candidates (the equality
+        conjunct cannot be TRUE, but unhashable rows are the scan-fallback
+        set and stay visible to every probe)."""
+        index = self._indexes.get(name)
+        if index is None or key is SIG_UNHASHABLE:
+            return None
+        _key_fn, buckets, loose = index
+        if key is None:
+            return iter(loose)
+        bucket = buckets.get(key)
+        if bucket is None:
+            return iter(loose)
+        if not loose:
+            return iter(bucket)
+        return iter(bucket + loose)
+
     def __len__(self) -> int:
         return len(self._rows)
 
     def clear(self) -> None:
         self._rows.clear()
+        for _key_fn, buckets, loose in self._indexes.values():
+            buckets.clear()
+            loose.clear()
 
 
 class VirtualAlphaMemory(Node):

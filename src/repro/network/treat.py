@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from ..condition.classify import ConditionGraph
 from ..condition.cnf import cnf_to_expr
 from ..errors import NetworkError
+from ..lang.compiler import SIG_UNHASHABLE, equi_join_plan
 from ..lang.evaluator import Bindings, Evaluator
 from .nodes import AlphaMemory, Node, PNode, VirtualAlphaMemory
 
@@ -66,6 +67,43 @@ class ATreatNetwork:
         self._orders: Dict[str, List[str]] = {
             tvar: self._join_order(tvar) for tvar in graph.tvars
         }
+        # Algebraic-signature join plans (§5.4 memory-node probe cost): for
+        # every edge with equality conjuncts, bucket each materialized end
+        # by its join-key signature so the join search probes one bucket
+        # instead of scanning the whole memory.  The signature is a
+        # pre-filter only — every candidate still evaluates the full edge
+        # predicate below, so collisions and non-equality conjuncts stay
+        # correct.
+        self._join_plans: Dict[tuple, Any] = {}
+        self.join_stats: Dict[str, int] = {
+            "probes": 0,
+            "hash_probes": 0,
+            "candidates": 0,
+        }
+        seen_edges = set()
+        for a in graph.tvars:
+            for b in graph.neighbors(a):
+                edge = tuple(sorted((a, b)))
+                if a == b or edge in seen_edges:
+                    continue
+                seen_edges.add(edge)
+                plan = equi_join_plan(graph.join_for(a, b), a, b)
+                if plan is None:
+                    continue
+                self._join_plans[edge] = plan
+                for tvar in edge:
+                    node = self.alpha[tvar]
+                    if isinstance(node, AlphaMemory):
+                        node.add_index(
+                            self._edge_index(edge),
+                            lambda row, p=plan, t=tvar: p.signature_for(
+                                t, row
+                            ),
+                        )
+
+    @staticmethod
+    def _edge_index(edge: tuple) -> str:
+        return f"eqjoin:{edge[0]}|{edge[1]}"
 
     # -- structure -----------------------------------------------------------
 
@@ -205,7 +243,31 @@ class ATreatNetwork:
                 for other in self.graph.neighbors(tvar)
                 if other in bound
             ]
-            for row in self.alpha[tvar].rows():
+            stats = self.join_stats
+            stats["probes"] += 1
+            # Prefer a signature-bucket probe over a memory scan: any edge
+            # to an already-bound variable with an equi-join plan narrows
+            # the candidates to the bound row's signature bucket.
+            rows_iter = None
+            memory = self.alpha[tvar]
+            if isinstance(memory, AlphaMemory):
+                for other, _expr in edges:
+                    edge = tuple(sorted((tvar, other)))
+                    plan = self._join_plans.get(edge)
+                    if plan is None:
+                        continue
+                    sig = plan.signature_for(other, bindings.rows[other])
+                    if sig is SIG_UNHASHABLE:
+                        continue
+                    bucket = memory.rows_for(self._edge_index(edge), sig)
+                    if bucket is not None:
+                        stats["hash_probes"] += 1
+                        rows_iter = bucket
+                        break
+            if rows_iter is None:
+                rows_iter = memory.rows()
+            for row in rows_iter:
+                stats["candidates"] += 1
                 candidate = bindings.bind(tvar, row)
                 ok = True
                 for _other, join_expr in edges:

@@ -60,6 +60,21 @@ def register_engine_views(tman) -> None:
     gauge("index.entries_probed", callback=lambda: index.stats.entries_probed)
     gauge("index.residual_tests", callback=lambda: index.stats.residual_tests)
     gauge("index.matches", callback=lambda: index.stats.matches)
+    gauge(
+        "index.or_arm_hits",
+        "matches served through a decomposed disjunct arm",
+        callback=lambda: index.stats.or_arm_hits,
+    )
+    gauge(
+        "index.or_arm_dedups",
+        "sibling-arm matches suppressed by the per-token tag dedupe",
+        callback=lambda: index.stats.or_arm_dedups,
+    )
+    gauge(
+        "index.groups_pruned",
+        "emptied signature groups unregistered from the index",
+        callback=lambda: index.stats.groups_pruned,
+    )
     gauge("index.signatures", callback=index.signature_count)
     gauge("index.entries", callback=index.entry_count)
     from ..lang.compiler import STATS as compiler_stats
@@ -86,6 +101,11 @@ def register_engine_views(tman) -> None:
     gauge(
         "compiler.cached_templates",
         callback=lambda: len(predindex_entry._TEMPLATE_CACHE),
+    )
+    gauge(
+        "compiler.cache_entries",
+        "live entries across both compiled-residual cache levels",
+        callback=predindex_entry.compiled_cache_entries,
     )
     gauge("cache.hits", callback=lambda: cache.stats.hits)
     gauge("cache.misses", callback=lambda: cache.stats.misses)

@@ -17,6 +17,8 @@ from .costmodel import (
 from .entry import (
     PredicateEntry,
     compiled_residual,
+    compiled_cache_entries,
+    evict_signature_matchers,
     reset_compiled_residuals,
     seed_residual_matcher,
 )
@@ -53,6 +55,8 @@ __all__ = [
     "probe_cost",
     "PredicateEntry",
     "compiled_residual",
+    "compiled_cache_entries",
+    "evict_signature_matchers",
     "reset_compiled_residuals",
     "seed_residual_matcher",
     "DataSourcePredicateIndex",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from ..condition.signature import EQUALITY, INTERVAL, NONE, RANGE, SET
 
@@ -72,10 +73,22 @@ class Limits:
 DEFAULT_LIMITS = Limits()
 
 
-def _expected_matches(kind: str, size: int) -> float:
-    """Expected number of entries whose indexable part matches one token."""
+def _expected_matches(
+    kind: str, size: int, observed: Optional[float] = None
+) -> float:
+    """Expected number of entries whose indexable part matches one token.
+
+    ``observed`` — a measured matches-per-probe average reported by
+    :class:`repro.predindex.organizations.AutoOrganization` — replaces the
+    prior when available, so a class whose runtime distribution defies the
+    static guess (e.g. a "hot" equality constant shared by thousands of
+    triggers, or ranges nothing ever stabs) is costed from what tokens
+    actually hit, not from what the kind suggests.
+    """
     if size == 0:
         return 0.0
+    if observed is not None:
+        return min(float(size), max(0.0, observed))
     if kind in (EQUALITY, SET):
         # Distinct-constant workloads: a token matches one constant group.
         return max(1.0, size / max(1, size))  # ~1
@@ -86,11 +99,16 @@ def _expected_matches(kind: str, size: int) -> float:
     return float(size)  # kind NONE: every entry must be residual-tested
 
 
-def probe_cost(kind: str, organization: str, size: int) -> float:
+def probe_cost(
+    kind: str,
+    organization: str,
+    size: int,
+    observed_matches: Optional[float] = None,
+) -> float:
     """Expected cost (in units) of probing one token against the class."""
     if size == 0:
         return 0.0
-    matches = _expected_matches(kind, size)
+    matches = _expected_matches(kind, size, observed_matches)
     if organization == MEMORY_LIST:
         return size * LIST_ENTRY_COST
     if organization == MEMORY_INDEX:
@@ -119,13 +137,18 @@ def probe_cost(kind: str, organization: str, size: int) -> float:
 
 
 def choose_organization(
-    kind: str, size: int, limits: Limits = DEFAULT_LIMITS
+    kind: str,
+    size: int,
+    limits: Limits = DEFAULT_LIMITS,
+    observed_matches: Optional[float] = None,
 ) -> str:
     """Pick the §5.2 strategy for a class of ``size`` expressions.
 
     Within the memory budget the cheapest in-memory strategy wins (the
     model favours the plain list for small classes); beyond it the choice
     is between the two table organizations by probe cost.
+    ``observed_matches`` feeds runtime probe feedback into the costs (see
+    :func:`_expected_matches`).
     """
     if size <= limits.list_max:
         return MEMORY_LIST
@@ -133,8 +156,8 @@ def choose_organization(
         return MEMORY_INDEX
     # Strictly cheaper only: a tie means the index buys nothing (e.g. an
     # unindexable signature), so skip its maintenance cost.
-    if probe_cost(kind, DB_TABLE_INDEXED, size) < probe_cost(
-        kind, DB_TABLE, size
+    if probe_cost(kind, DB_TABLE_INDEXED, size, observed_matches) < probe_cost(
+        kind, DB_TABLE, size, observed_matches
     ):
         return DB_TABLE_INDEXED
     return DB_TABLE

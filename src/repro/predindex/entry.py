@@ -8,15 +8,66 @@ NULL when the whole predicate was indexable.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Any, Callable, Optional, Tuple
 
 from ..condition.signature import ExpressionSignature, generalize, instantiate
 from ..lang import ast, compiler
 from ..lang.exprparser import parse_expression_text
 
+
+class _LRUCache:
+    """A small thread-safe LRU used for the compiled-residual caches.
+
+    Long-lived servers churn triggers: the previous plain dicts only ever
+    grew (a wholesale ``clear()`` at 64k entries threw away every hot
+    matcher at once).  This keeps the hot set and evicts one-at-a-time from
+    the cold end, and supports precise ``pop`` so a dropped signature's
+    compiled artifacts leave immediately.
+    """
+
+    __slots__ = ("_data", "maxsize", "_lock")
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        self._data: "OrderedDict" = OrderedDict()
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+
+    def get(self, key, default=None):
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return default
+            return self._data[key]
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def pop(self, key) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
 #: Shared cache of parsed restOfPredicate texts; many triggers share the
 #: same residual structure so this stays tiny.
-_RESIDUAL_CACHE: dict = {}
+_RESIDUAL_CACHE = _LRUCache()
 
 
 def parse_residual(text: Optional[str]) -> Optional[ast.Expr]:
@@ -25,9 +76,7 @@ def parse_residual(text: Optional[str]) -> Optional[ast.Expr]:
     cached = _RESIDUAL_CACHE.get(text)
     if cached is None:
         cached = parse_expression_text(text)
-        if len(_RESIDUAL_CACHE) > 65536:
-            _RESIDUAL_CACHE.clear()
-        _RESIDUAL_CACHE[text] = cached
+        _RESIDUAL_CACHE.put(text, cached)
     return cached
 
 
@@ -40,23 +89,54 @@ _MISS = object()
 #: interpreter for this text).  Entries are reconstructed from constant-
 #: table rows on every probe, so the text — not the entry object — is the
 #: stable cache key.
-_MATCHER_CACHE: dict = {}
+_MATCHER_CACHE = _LRUCache()
 #: template identity -> compiled row-mode function | None.  This is the
 #: compile-once-per-signature level: 100k triggers sharing one signature
-#: hit one compilation.
-_TEMPLATE_CACHE: dict = {}
+#: hit one compilation.  Signature-keyed entries (``("sig", *key)``) are
+#: evicted precisely when the last trigger of the class drops.
+_TEMPLATE_CACHE = _LRUCache()
+
+#: signature key -> texts seeded into ``_MATCHER_CACHE`` for that class,
+#: so dropping the class also drops its per-text bindings.
+_SIGNATURE_TEXTS: dict = {}
+_SIGNATURE_TEXTS_LOCK = threading.Lock()
 
 
-def _cache_put(cache: dict, key, value) -> None:
-    if len(cache) > 65536:
-        cache.clear()
-    cache[key] = value
+def _cache_put(cache: _LRUCache, key, value) -> None:
+    cache.put(key, value)
+
+
+def _track_signature_text(signature: ExpressionSignature, text: str) -> None:
+    with _SIGNATURE_TEXTS_LOCK:
+        _SIGNATURE_TEXTS.setdefault(signature.key, set()).add(text)
+
+
+def evict_signature_matchers(signature: ExpressionSignature) -> None:
+    """Drop every compiled artifact owned by one signature class.
+
+    Called when a signature group empties (its last trigger dropped): the
+    per-class compiled template and any per-text matcher rows seeded for the
+    class leave the caches instead of lingering until LRU pressure.
+    """
+    _TEMPLATE_CACHE.pop(("sig",) + signature.key)
+    with _SIGNATURE_TEXTS_LOCK:
+        texts = _SIGNATURE_TEXTS.pop(signature.key, ())
+    for text in texts:
+        _MATCHER_CACHE.pop(text)
+
+
+def compiled_cache_entries() -> int:
+    """Total live entries across the compiled-residual cache levels
+    (the ``compiler.cache_entries`` gauge)."""
+    return len(_MATCHER_CACHE) + len(_TEMPLATE_CACHE)
 
 
 def reset_compiled_residuals() -> None:
     """Drop both compiled-residual cache levels (tests)."""
     _MATCHER_CACHE.clear()
     _TEMPLATE_CACHE.clear()
+    with _SIGNATURE_TEXTS_LOCK:
+        _SIGNATURE_TEXTS.clear()
 
 
 def compiled_residual(text: Optional[str]) -> Optional[ResidualMatcher]:
@@ -184,6 +264,7 @@ def seed_residual_matcher(
         # Not compilable from the signature template; leave the text unseeded
         # so the lazy path can still try its canonical form.
         return
+    _track_signature_text(signature, residual_text)
     _cache_put(_MATCHER_CACHE, residual_text, (fn, tuple(residual_constants)))
 
 
@@ -206,6 +287,7 @@ class PredicateEntry:
         "residual_text",
         "signature",
         "residual_row",
+        "arm_of",
     )
 
     def __init__(
@@ -217,6 +299,7 @@ class PredicateEntry:
         residual_text: Optional[str] = None,
         signature: Optional[ExpressionSignature] = None,
         residual_row: Optional[Tuple[Any, ...]] = None,
+        arm_of: Optional[int] = None,
     ):
         self.expr_id = expr_id
         self.trigger_id = trigger_id
@@ -231,6 +314,10 @@ class PredicateEntry:
         self.signature = signature
         #: this entry's residual constants in slot order, or None.
         self.residual_row = residual_row
+        #: tagged-execution arm id: clause position of the decomposed
+        #: disjunction this entry is one arm of, or None.  Matches sharing
+        #: ``(trigger_id, tvar, arm_of)`` are alternates — fire once.
+        self.arm_of = arm_of
 
     @property
     def residual(self) -> Optional[ast.Expr]:

@@ -39,6 +39,7 @@ from ..lang.evaluator import Bindings, Evaluator
 from .entry import (
     PredicateEntry,
     compiled_residual,
+    evict_signature_matchers,
     seed_residual_matcher,
     signature_residual_matcher,
 )
@@ -74,6 +75,12 @@ class IndexStats:
     entries_probed: int = 0
     residual_tests: int = 0
     matches: int = 0
+    #: matches served through a decomposed disjunct arm (tagged execution)
+    or_arm_hits: int = 0
+    #: sibling-arm matches suppressed by the per-token tag dedupe
+    or_arm_dedups: int = 0
+    #: signature groups unregistered after their constant set emptied
+    groups_pruned: int = 0
 
     def reset(self) -> None:
         self.tokens = 0
@@ -81,6 +88,9 @@ class IndexStats:
         self.entries_probed = 0
         self.residual_tests = 0
         self.matches = 0
+        self.or_arm_hits = 0
+        self.or_arm_dedups = 0
+        self.groups_pruned = 0
 
 
 @dataclass
@@ -169,6 +179,15 @@ class DataSourcePredicateIndex:
     def groups(self) -> List[SignatureGroup]:
         return list(self._groups.values())
 
+    def unregister(self, group: SignatureGroup) -> bool:
+        """Remove a group if (and only if) it is still the registered one
+        for its signature key."""
+        current = self._groups.get(group.signature.key)
+        if current is not group:
+            return False
+        del self._groups[group.signature.key]
+        return True
+
     def __len__(self) -> int:
         return len(self._groups)
 
@@ -195,6 +214,9 @@ class PredicateIndex:
         #: guards the root maps (_sources, _by_trigger) only — held for
         #: dict bookkeeping, never across a probe
         self._lock = threading.RLock()
+        #: optional callback(group) invoked after an emptied signature
+        #: group is pruned (the engine syncs the catalog from it)
+        self.on_prune = None
 
     def attach_obs(self, obs) -> None:
         """Bind the observability bundle; shard-lock blocking waits feed the
@@ -282,16 +304,49 @@ class PredicateIndex:
         """Remove every entry belonging to a trigger; returns the count.
 
         Uses the trigger→entries reverse map, so the cost is proportional
-        to the trigger's own predicate count, not the index size.
+        to the trigger's own predicate count, not the index size.  Groups
+        whose constant set empties are unregistered — without this, every
+        create/drop cycle over a distinct signature leaks a dead group
+        that ``match`` probes on every later token.
         """
         removed = 0
+        emptied: List[SignatureGroup] = []
         with self._lock:
             entries = self._by_trigger.pop(trigger_id, ())
         for group, expr_id in entries:
             with group.lock:
                 if group.organization.remove(expr_id):
                     removed += 1
+                if group.organization.size() == 0:
+                    emptied.append(group)
+        for group in emptied:
+            self._prune_group(group)
         return removed
+
+    def _prune_group(self, group: SignatureGroup) -> None:
+        """Unregister an emptied signature group and drop its compiled
+        artifacts.
+
+        Concurrent re-population is handled by re-checking the size under
+        the shard write lock + group lock (engine DDL is additionally
+        serialized above us, so create/drop of one signature never truly
+        races here); a group re-registered under the same key by a later
+        create is a different object and is left alone.
+        """
+        with self._lock:
+            index = self._sources.get(group.signature.data_source)
+        if index is None:
+            return
+        with index.rwlock.write():
+            with group.lock:
+                if group.organization.size() != 0:
+                    return
+                if not index.unregister(group):
+                    return
+        self.stats.groups_pruned += 1
+        evict_signature_matchers(group.signature)
+        if self.on_prune is not None:
+            self.on_prune(group)
 
     # -- matching ------------------------------------------------------------
 
@@ -370,10 +425,23 @@ class PredicateIndex:
         changed_columns: FrozenSet[str] = frozenset(),
         enabled: Optional[Any] = None,
         data_source: Optional[str] = None,
+        seen_arms: Optional[Dict[Tuple[int, str, int], int]] = None,
     ) -> List[Match]:
         """Match one token against an explicit subset of signature groups —
-        the unit of §6's condition-level concurrency (task type 3)."""
+        the unit of §6's condition-level concurrency (task type 3).
+
+        ``seen_arms`` deduplicates tagged-execution arms per token: the
+        first arm of a decomposed disjunction to produce a full match
+        claims its ``(trigger, tvar, clause)`` tag; sibling arms matching
+        the same token are suppressed so the trigger fires once.  When the
+        token's groups are partitioned across concurrent condition tasks
+        the caller passes one shared dict for all partitions (claims use
+        ``dict.setdefault``, atomic under the GIL, so cross-task races
+        resolve to exactly one winner).
+        """
         matches: List[Match] = []
+        if seen_arms is None:
+            seen_arms = {}
         binding_source = data_source or (
             groups[0].signature.data_source if groups else ""
         )
@@ -411,6 +479,15 @@ class PredicateIndex:
                     self.stats.entries_probed += 1
                     if enabled is not None and not enabled(entry.trigger_id):
                         continue
+                    arm = entry.arm_of
+                    if arm is not None:
+                        arm_key = (entry.trigger_id, entry.tvar, arm)
+                        # A sibling arm already fully matched this token:
+                        # skip before the residual test, it cannot add a
+                        # second firing.
+                        if arm_key in seen_arms:
+                            self.stats.or_arm_dedups += 1
+                            continue
                     residual_row = entry.residual_row
                     text = entry.residual_text
                     if residual_row is not None and (
@@ -488,6 +565,17 @@ class PredicateIndex:
                             )
                         if not ok:
                             continue
+                    if arm is not None:
+                        # Claim the tag only after the arm fully matched;
+                        # setdefault makes the claim atomic across the
+                        # concurrent condition tasks sharing this dict.
+                        if (
+                            seen_arms.setdefault(arm_key, entry.expr_id)
+                            != entry.expr_id
+                        ):
+                            self.stats.or_arm_dedups += 1
+                            continue
+                        self.stats.or_arm_hits += 1
                     matches.append(Match(entry, group.signature, constants))
             if tracing:
                 tracer.record(

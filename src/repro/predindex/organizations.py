@@ -88,6 +88,7 @@ class ConstantTable:
         "arity",
         "expr_ids",
         "trigger_ids",
+        "arm_ofs",
         "tvars",
         "next_nodes",
         "const_cols",
@@ -102,6 +103,8 @@ class ConstantTable:
         self.arity = len(signature.indexable.constant_numbers)
         self.expr_ids = array("q")
         self.trigger_ids = array("q")
+        #: tagged-execution arm ids; -1 encodes "not an arm" (None).
+        self.arm_ofs = array("q")
         self.tvars: List[str] = []
         self.next_nodes: List[str] = []
         self.const_cols: Tuple[List[Any], ...] = tuple(
@@ -131,10 +134,12 @@ class ConstantTable:
             residual_row = None
         tvar = sys.intern(entry.tvar)
         next_node = sys.intern(entry.next_node)
+        arm = -1 if entry.arm_of is None else entry.arm_of
         if self._free:
             row = self._free.pop()
             self.expr_ids[row] = entry.expr_id
             self.trigger_ids[row] = entry.trigger_id
+            self.arm_ofs[row] = arm
             self.tvars[row] = tvar
             self.next_nodes[row] = next_node
             for i, col in enumerate(self.const_cols):
@@ -146,6 +151,7 @@ class ConstantTable:
             row = len(self.expr_ids)
             self.expr_ids.append(entry.expr_id)
             self.trigger_ids.append(entry.trigger_id)
+            self.arm_ofs.append(arm)
             self.tvars.append(tvar)
             self.next_nodes.append(next_node)
             for i, col in enumerate(self.const_cols):
@@ -159,6 +165,7 @@ class ConstantTable:
     def release(self, row: int) -> None:
         self.expr_ids[row] = -1
         self.trigger_ids[row] = -1
+        self.arm_ofs[row] = -1
         self.texts[row] = None
         for col in self.const_cols:
             col[row] = None
@@ -212,6 +219,7 @@ class ConstantTable:
         ):
             expr = instantiate_residual(signature, residual_row)
             text = expr.render() if expr is not None else None
+        arm = self.arm_ofs[row]
         return PredicateEntry(
             expr_id=self.expr_ids[row],
             trigger_id=self.trigger_ids[row],
@@ -220,6 +228,7 @@ class ConstantTable:
             residual_text=text,
             signature=signature,
             residual_row=residual_row,
+            arm_of=None if arm < 0 else arm,
         )
 
     def rows(self) -> List[int]:
@@ -229,6 +238,7 @@ class ConstantTable:
     def clear(self) -> None:
         self.expr_ids = array("q")
         self.trigger_ids = array("q")
+        self.arm_ofs = array("q")
         self.tvars = []
         self.next_nodes = []
         for col in self.const_cols:
@@ -646,6 +656,11 @@ class DbTableOrganization(Organization):
         if not database.has_table(table_name):
             self._create_table(sample_constants)
         self.table = database.table(table_name)
+        #: pre-armOf tables (older catalogs) lack the column; rows from
+        #: them materialize with arm_of=None, which is always safe.
+        self._has_arm = any(
+            c.name == "armOf" for c in self.table.schema.columns
+        )
         self._index_name = f"{table_name}_consts"
         if indexed and self._arity > 0 and self._index_name not in self.table.indexes:
             self.database.create_index(
@@ -669,6 +684,7 @@ class DbTableOrganization(Organization):
                 Column(f"const{i+1}", _sql_type_for(sample_value), nullable=False)
             )
         columns.append(Column("restOfPredicate", VarCharType(4000)))
+        columns.append(Column("armOf", INTEGER))
         self.database.create_table(TableSchema(self.table_name, columns))
 
     # -- row <-> entry ----------------------------------------------------
@@ -687,18 +703,22 @@ class DbTableOrganization(Organization):
         row = [entry.expr_id, entry.trigger_id, entry.tvar, entry.next_node]
         row.extend(_coerce(c) for c in constants)
         row.append(text)
+        if self._has_arm:
+            row.append(entry.arm_of)
         return row
 
     def _entry_of(self, row: Tuple) -> Tuple[Constants, PredicateEntry]:
         expr_id, trigger_id, tvar, next_node = row[:4]
         constants = tuple(row[4 : 4 + self._arity])
         residual = row[4 + self._arity]
+        arm = row[5 + self._arity] if self._has_arm else None
         return constants, PredicateEntry(
             expr_id=expr_id,
             trigger_id=trigger_id,
             tvar=tvar,
             next_node=next_node,
             residual_text=residual,
+            arm_of=None if arm is None else int(arm),
         )
 
     # -- Organization API ----------------------------------------------------
@@ -781,7 +801,24 @@ class AutoOrganization(Organization):
     The engine records the chosen strategy in the
     ``expression_signature.constantSetOrganization`` catalog column through
     the ``on_change`` callback.
+
+    Besides reacting to size on add/remove, the wrapper *observes* its own
+    probes: every :data:`ADAPT_EVERY` probes the measured matches-per-probe
+    average is fed back into the cost model (``observed_matches``), so the
+    strategy choice tracks the runtime distribution — a class whose ranges
+    never match anything migrates differently from one where every token
+    stabs a third of the constants, even at the same size.
     """
+
+    #: counted probes between cost-model re-evaluations with observed
+    #: feedback
+    ADAPT_EVERY = 64
+    #: decay applied to the observation window at each adaptation (keeps a
+    #: drifting workload from being anchored to ancient probes)
+    DECAY = 0.5
+    #: only 1-in-N probes are match-counted: the feedback needs a sample,
+    #: not a census, and the counting wrapper costs a yield per match
+    PROBE_SAMPLE = 8
 
     def __init__(
         self,
@@ -804,6 +841,10 @@ class AutoOrganization(Organization):
         self._current: Organization = MemoryListOrganization(
             signature, table=self.table
         )
+        self._probes = 0.0
+        self._probe_matches = 0.0
+        self._since_adapt = 0
+        self._probe_tick = 0
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -822,10 +863,21 @@ class AutoOrganization(Organization):
             sample_constants=sample,
         )
 
-    def _maybe_migrate(self, sample: Optional[Constants]) -> None:
+    def observed_matches(self) -> Optional[float]:
+        """Measured matches-per-probe over the current observation window,
+        or None before any probe has completed."""
+        if self._probes <= 0:
+            return None
+        return self._probe_matches / self._probes
+
+    def _maybe_migrate(
+        self,
+        sample: Optional[Constants],
+        observed: Optional[float] = None,
+    ) -> None:
         size = self._current.size()
         kind = self.signature.indexable.kind
-        target = choose_organization(kind, size, self.limits)
+        target = choose_organization(kind, size, self.limits, observed)
         if target == self._current.name:
             return
         if {target, self._current.name} == {DB_TABLE, DB_TABLE_INDEXED}:
@@ -833,8 +885,8 @@ class AutoOrganization(Organization):
             # page boundaries, so demand a 20% win before re-migrating.
             from .costmodel import probe_cost
 
-            if probe_cost(kind, target, size) > 0.8 * probe_cost(
-                kind, self._current.name, size
+            if probe_cost(kind, target, size, observed) > 0.8 * probe_cost(
+                kind, self._current.name, size, observed
             ):
                 return
         replacement = self._build(target, sample)
@@ -885,16 +937,38 @@ class AutoOrganization(Organization):
 
     def add(self, constants: Constants, entry: PredicateEntry) -> None:
         self._current.add(constants, entry)
-        self._maybe_migrate(constants)
+        self._maybe_migrate(constants, self.observed_matches())
 
     def remove(self, expr_id: int) -> bool:
         removed = self._current.remove(expr_id)
         if removed:
-            self._maybe_migrate(None)
+            self._maybe_migrate(None, self.observed_matches())
         return removed
 
     def probe(self, values: Constants) -> ProbeResult:
-        return self._current.probe(values)
+        # Only 1-in-PROBE_SAMPLE probes pay for match counting; the rest
+        # return the underlying generator untouched, so the feedback loop
+        # costs the hot path one increment and a modulo.
+        self._probe_tick += 1
+        if self._probe_tick % self.PROBE_SAMPLE:
+            return self._current.probe(values)
+        return self._counted_probe(values)
+
+    def _counted_probe(self, values: Constants) -> ProbeResult:
+        matched = 0
+        for item in self._current.probe(values):
+            matched += 1
+            yield item
+        # Probe bookkeeping runs at generator exhaustion — the caller is
+        # still holding the group lock, so adapting here is race-free.
+        self._probes += 1.0
+        self._probe_matches += float(matched)
+        self._since_adapt += 1
+        if self._since_adapt >= self.ADAPT_EVERY:
+            self._since_adapt = 0
+            self._maybe_migrate(None, self.observed_matches())
+            self._probes *= self.DECAY
+            self._probe_matches *= self.DECAY
 
     def entries(self) -> ProbeResult:
         return self._current.entries()

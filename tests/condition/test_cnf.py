@@ -136,3 +136,23 @@ def test_cnf_preserves_semantics(expr, values):
     rebuilt = cnf_to_expr(to_cnf(expr))
     converted = True if rebuilt is None else E.evaluate(rebuilt, bindings)
     assert converted == original
+
+
+class TestWideConjunctions:
+    def test_five_thousand_conjuncts_accepted(self):
+        # MAX_CLAUSES bounds only the cartesian-product (OR) branch: a pure
+        # conjunction's clause count is the *sum* of its inputs, so a wide
+        # AND must convert without tripping the guard.
+        n = 5000
+        expr = parse(" and ".join(f"c{i} = {i}" for i in range(n)))
+        clauses = to_cnf(expr)
+        assert len(clauses) == n
+        assert all(len(clause) == 1 for clause in clauses)
+
+    def test_or_of_wide_conjunctions_still_bounded(self):
+        # ...while the distributing branch keeps its blow-up guard.
+        left = " and ".join(f"a{i} = 1" for i in range(100))
+        right = " and ".join(f"b{i} = 1" for i in range(100))
+        expr = parse(f"({left}) or ({right})")
+        with pytest.raises(ConditionError):
+            to_cnf(expr)

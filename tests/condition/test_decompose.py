@@ -1,0 +1,121 @@
+"""Unit tests for tagged-execution disjunct decomposition and the
+cost-aware conjunct choice (§5.2)."""
+
+from repro.condition.cnf import to_cnf
+from repro.condition.selectivity import (
+    KIND_PROBE_RANK,
+    UNINDEXABLE_RANK,
+    conjunct_cost_key,
+)
+from repro.condition.signature import (
+    EQUALITY,
+    NONE,
+    analyze_selection,
+    decompose_selection,
+)
+from repro.lang.exprparser import parse_expression_text as parse
+
+
+def arms_of(text, operation="insert"):
+    return decompose_selection("emp", operation, to_cnf(parse(text)))
+
+
+class TestConjunctCostKey:
+    def test_equality_beats_everything(self):
+        assert conjunct_cost_key("equality", 0.9) < conjunct_cost_key(
+            "range", 0.0001
+        )
+
+    def test_rank_order_follows_probe_cost(self):
+        ranks = [
+            KIND_PROBE_RANK[k]
+            for k in ("equality", "set", "interval", "range")
+        ]
+        assert ranks == sorted(ranks)
+
+    def test_unindexable_sorts_last(self):
+        assert conjunct_cost_key("none", 0.0) > conjunct_cost_key(
+            "range", 1.0
+        )
+        assert conjunct_cost_key("none", 0.5)[0] == UNINDEXABLE_RANK
+
+    def test_selectivity_breaks_ties_within_kind(self):
+        assert conjunct_cost_key("equality", 0.1) < conjunct_cost_key(
+            "equality", 0.2
+        )
+
+
+class TestCostAwareConjunctChoice:
+    def test_equality_chosen_over_more_selective_range(self):
+        # Raw selectivity would pick the range atom; probe cost picks the
+        # equality atom (an index lookup beats a range scan §5.2).
+        analyzed = analyze_selection(
+            "emp", "insert", to_cnf(parse("dept = 'x' and salary > 10"))
+        )
+        assert analyzed.signature.indexable.kind == EQUALITY
+
+
+class TestDecomposeSelection:
+    def test_indexable_predicate_is_not_decomposed(self):
+        arms = arms_of("dept = 'x' or salary > 10")
+        # the clause has an unindexable shape overall only when every atom
+        # is checked; here the baseline is NONE so it decomposes — contrast
+        # with a conjunction that is already indexable:
+        arms_conj = arms_of("(dept = 'x' or salary > 10) and name = 'b'")
+        assert len(arms_conj) == 1
+        assert arms_conj[0].arm_of is None
+        assert arms_conj[0].analyzed.signature.indexable.kind == EQUALITY
+        assert len(arms) == 2
+
+    def test_two_equality_arms(self):
+        arms = arms_of("dept = 'toys' or name = 'bob'")
+        assert [a.arm_of for a in arms] == [0, 0]
+        kinds = [a.analyzed.signature.indexable.kind for a in arms]
+        assert kinds == [EQUALITY, EQUALITY]
+        consts = sorted(a.analyzed.indexable_constants for a in arms)
+        assert consts == [("bob",), ("toys",)]
+
+    def test_mixed_kind_arms(self):
+        arms = arms_of("dept = 'toys' or salary > 100")
+        kinds = sorted(a.analyzed.signature.indexable.kind for a in arms)
+        assert kinds == ["equality", "range"]
+
+    def test_residual_preserved_in_each_arm(self):
+        arms = arms_of("(dept = 'a' or name = 'b') and salary like '%x%'")
+        assert len(arms) == 2
+        for arm in arms:
+            assert arm.analyzed.signature.residual_template is not None
+
+    def test_unindexable_atom_blocks_decomposition(self):
+        # `name like ...` cannot be indexed, so the whole clause stays one
+        # residual-scanned signature.
+        arms = arms_of("dept = 'a' or name like '%x%'")
+        assert len(arms) == 1
+        assert arms[0].arm_of is None
+        assert arms[0].analyzed.signature.indexable.kind == NONE
+
+    def test_too_many_arms_blocks_decomposition(self):
+        text = " or ".join(f"dept = 'd{i}'" for i in range(20))
+        arms = decompose_selection(
+            "emp", "insert", to_cnf(parse(text)), max_arms=16
+        )
+        assert len(arms) == 1
+        assert arms[0].arm_of is None
+
+    def test_at_most_one_clause_decomposed(self):
+        arms = arms_of(
+            "(dept = 'a' or dept = 'b') and (name = 'x' or name = 'y')"
+        )
+        assert len(arms) == 2
+        chosen = {a.arm_of for a in arms}
+        assert len(chosen) == 1
+        # the un-chosen disjunction survives in each arm's residual
+        for arm in arms:
+            assert arm.analyzed.signature.residual_template is not None
+
+    def test_arm_signatures_are_interned_per_shape(self):
+        a = arms_of("dept = 'a' or name = 'b'")
+        b = arms_of("dept = 'zz' or name = 'qq'")
+        sigs_a = sorted(arm.analyzed.signature.text for arm in a)
+        sigs_b = sorted(arm.analyzed.signature.text for arm in b)
+        assert sigs_a == sigs_b  # constants generalized away

@@ -1,0 +1,237 @@
+"""End-to-end tests for tagged-execution disjunct decomposition: index-arm
+matching, per-token dedupe, churn hygiene, and differential equivalence
+against the interpreter oracle."""
+
+import os
+import random
+
+import pytest
+
+from repro.condition.cnf import to_cnf
+from repro.engine.triggerman import TriggerMan
+from repro.lang.evaluator import Bindings, Evaluator
+from repro.lang.exprparser import parse_expression_text as parse
+from repro.predindex import entry as predindex_entry
+
+EMP_COLUMNS = [
+    ("eno", "integer"),
+    ("name", "varchar(40)"),
+    ("salary", "float"),
+    ("dept", "varchar(20)"),
+    ("age", "integer"),
+]
+
+
+def make_tman(**kwargs):
+    tman = TriggerMan.in_memory(**kwargs)
+    tman.define_table("emp", EMP_COLUMNS)
+    return tman
+
+
+def firings(tman):
+    """Multiset of (event_name, args) — one element per ACTION_FIRED."""
+    return sorted((n.event_name, n.args) for n in tman.events.history)
+
+
+class TestDecomposedMatching:
+    def test_or_fires_through_index_arms(self):
+        tman = make_tman()
+        tman.create_trigger(
+            "create trigger t from emp on insert "
+            "when emp.dept = 'toys' or emp.name = 'bob' "
+            "do raise event Hit(emp.eno)"
+        )
+        # two arm entries under equality groups, no residual-scan group
+        assert tman.index.entry_count() == 2
+        tman.insert("emp", {"eno": 1, "dept": "toys", "name": "x"})
+        tman.insert("emp", {"eno": 2, "dept": "eng", "name": "bob"})
+        tman.insert("emp", {"eno": 3, "dept": "eng", "name": "x"})
+        tman.process_all()
+        assert firings(tman) == [("Hit", (1,)), ("Hit", (2,))]
+        assert tman.index.stats.or_arm_hits == 2
+
+    def test_token_matching_both_arms_fires_once(self):
+        tman = make_tman()
+        tman.create_trigger(
+            "create trigger t from emp on insert "
+            "when emp.dept = 'toys' or emp.name = 'bob' "
+            "do raise event Hit(emp.eno)"
+        )
+        tman.insert("emp", {"eno": 7, "dept": "toys", "name": "bob"})
+        tman.process_all()
+        assert firings(tman) == [("Hit", (7,))]
+        assert tman.index.stats.or_arm_dedups >= 1
+
+    def test_arm_residual_still_applies(self):
+        tman = make_tman()
+        tman.create_trigger(
+            "create trigger t from emp on insert "
+            "when (emp.dept = 'toys' or emp.name = 'bob') "
+            "and emp.salary > 100 do raise event Hit(emp.eno)"
+        )
+        tman.insert("emp", {"eno": 1, "dept": "toys", "salary": 50.0})
+        tman.insert("emp", {"eno": 2, "dept": "toys", "salary": 500.0})
+        tman.process_all()
+        assert firings(tman) == [("Hit", (2,))]
+
+    def test_escape_hatch_disables_decomposition(self):
+        tman = make_tman(decompose_disjuncts=False)
+        tman.create_trigger(
+            "create trigger t from emp on insert "
+            "when emp.dept = 'toys' or emp.name = 'bob' "
+            "do raise event Hit(emp.eno)"
+        )
+        assert tman.index.entry_count() == 1
+        tman.insert("emp", {"eno": 1, "dept": "toys"})
+        tman.process_all()
+        assert firings(tman) == [("Hit", (1,))]
+        assert tman.index.stats.or_arm_hits == 0
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("TMAN_DECOMPOSE", "off")
+        tman = make_tman()
+        assert tman.decompose_disjuncts is False
+
+    def test_drop_removes_every_arm(self):
+        tman = make_tman()
+        tman.create_trigger(
+            "create trigger t from emp on insert "
+            "when emp.dept = 'toys' or emp.name = 'bob' "
+            "do raise event Hit(emp.eno)"
+        )
+        tman.drop_trigger("t")
+        assert tman.index.entry_count() == 0
+        tman.insert("emp", {"eno": 1, "dept": "toys", "name": "bob"})
+        tman.process_all()
+        assert firings(tman) == []
+
+
+class TestChurnHygiene:
+    """Create/drop cycles must not leak signature groups or cache entries.
+
+    CHURN_CYCLES scales the loop for the CI memory-scale job (10k); the
+    tier-1 default keeps the test fast while still catching any monotonic
+    growth."""
+
+    CYCLES = int(os.environ.get("CHURN_CYCLES", "300"))
+
+    def test_churn_holds_groups_and_caches_flat(self):
+        tman = make_tman()
+        # Unique constants per cycle: without eviction each cycle leaves a
+        # new compiled matcher; without pruning each distinct residual
+        # shape leaves a group.
+        def cycle(i):
+            tman.create_trigger(
+                f"create trigger churn{i} from emp on insert "
+                f"when (emp.dept = 'd{i}' or emp.name = 'n{i}') "
+                f"and emp.salary like '%{i}%' do raise event E"
+            )
+            tman.drop_trigger(f"churn{i}")
+
+        cycle(0)  # warm shared caches
+        groups = tman.index.signature_count()
+        entries = tman.index.entry_count()
+        cache = predindex_entry.compiled_cache_entries()
+        for i in range(1, self.CYCLES):
+            cycle(i)
+        assert tman.index.signature_count() == groups
+        assert tman.index.entry_count() == entries
+        assert predindex_entry.compiled_cache_entries() <= cache
+        assert tman.index.stats.groups_pruned >= self.CYCLES - 1
+
+    def test_pruned_group_reregisters_cleanly(self):
+        tman = make_tman()
+        for _ in range(3):
+            tman.create_trigger(
+                "create trigger t from emp on insert "
+                "when emp.dept = 'toys' or emp.name = 'bob' "
+                "do raise event Hit(emp.eno)"
+            )
+            tman.insert("emp", {"eno": 1, "dept": "toys"})
+            tman.process_all()
+            tman.drop_trigger("t")
+        assert firings(tman) == [("Hit", (1,))] * 3
+
+
+# -- differential fuzzer ------------------------------------------------------
+
+_DEPTS = ["'toys'", "'eng'", "'shoes'", "'hats'"]
+_NAMES = ["'ann'", "'bob'", "'cat'"]
+
+
+def _atom(rng):
+    pick = rng.randrange(6)
+    if pick == 0:
+        return f"emp.dept = {rng.choice(_DEPTS)}"
+    if pick == 1:
+        return f"emp.name = {rng.choice(_NAMES)}"
+    if pick == 2:
+        op = rng.choice(["<", ">", "<=", ">=", "=", "<>"])
+        return f"emp.eno {op} {rng.randrange(8)}"
+    if pick == 3:
+        lo = rng.randrange(50)
+        return f"emp.age between {lo} and {lo + rng.randrange(20)}"
+    if pick == 4:
+        picks = rng.sample(_DEPTS, 2)
+        return f"emp.dept in ({picks[0]}, {picks[1]})"
+    return f"emp.salary > {rng.randrange(200)}"
+
+
+def _predicate(rng, depth=2):
+    if depth == 0 or rng.random() < 0.35:
+        return _atom(rng)
+    shape = rng.randrange(3)
+    if shape == 0:
+        return f"not ({_predicate(rng, depth - 1)})"
+    op = "and" if shape == 1 else "or"
+    return (
+        f"({_predicate(rng, depth - 1)}) {op} "
+        f"({_predicate(rng, depth - 1)})"
+    )
+
+
+def _row(rng):
+    maybe_null = lambda v: None if rng.random() < 0.15 else v
+    return {
+        "eno": rng.randrange(100),
+        "name": maybe_null(rng.choice(_NAMES).strip("'")),
+        "salary": maybe_null(float(rng.randrange(200))),
+        "dept": maybe_null(rng.choice(_DEPTS).strip("'")),
+        "age": maybe_null(rng.randrange(80)),
+    }
+
+
+class TestDifferentialFuzzer:
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_decomposed_matches_interpreter_oracle(self, seed):
+        rng = random.Random(seed)
+        predicates = [_predicate(rng) for _ in range(12)]
+        rows = [_row(rng) for _ in range(40)]
+
+        decomposed = make_tman(decompose_disjuncts=True)
+        baseline = make_tman(decompose_disjuncts=False)
+        for tman in (decomposed, baseline):
+            for i, text in enumerate(predicates):
+                tman.create_trigger(
+                    f"create trigger f{i} from emp on insert "
+                    f"when {text} do raise event P{i}(emp.eno)"
+                )
+        for row in rows:
+            decomposed.insert("emp", dict(row))
+            baseline.insert("emp", dict(row))
+        decomposed.process_all()
+        baseline.process_all()
+
+        # ledger equivalence: decomposition on/off fire identically
+        assert firings(decomposed) == firings(baseline)
+
+        # interpreter oracle: three-valued logic, no duplicate firings
+        evaluator = Evaluator()
+        expected = []
+        for i, text in enumerate(predicates):
+            expr = parse(text)
+            to_cnf(expr)  # same normalization path must accept it
+            for row in rows:
+                if evaluator.matches(expr, Bindings(rows={"emp": row})):
+                    expected.append((f"P{i}", (row["eno"],)))
+        assert firings(decomposed) == sorted(expected)

@@ -212,3 +212,88 @@ class TestIntrospection:
         pnode.activate(Bindings())
         assert pnode.match_count == 1
         assert len(seen) == 1
+
+
+class TestAlgebraicJoinSignatures:
+    """Signature-hash bucket probing for equi-join edges (§5.4 probe cost)."""
+
+    def _joined(self, net, seed_row):
+        return [b.rows for b in net.activate("emp", "insert", seed_row)]
+
+    def test_plan_built_for_equality_edge(self):
+        net = make_network(["emp", "dept"], "emp.dept = dept.dno")
+        assert ("dept", "emp") in net._join_plans
+
+    def test_no_plan_without_equality_conjunct(self):
+        net = make_network(["emp", "dept"], "emp.salary > dept.budget")
+        assert net._join_plans == {}
+
+    def test_bucket_probe_narrows_candidates(self):
+        net = make_network(["emp", "dept"], "emp.dept = dept.dno")
+        net.prime("dept", iter({"dno": i} for i in range(100)))
+        out = self._joined(net, {"dept": 42})
+        assert len(out) == 1
+        assert out[0]["dept"]["dno"] == 42
+        assert net.join_stats["hash_probes"] == 1
+        # the probe touched the one-bucket candidate, not all 100 rows
+        assert net.join_stats["candidates"] == 1
+
+    def test_hash_is_prefilter_only(self):
+        # Non-equality conjuncts on the same edge are still evaluated on
+        # every bucket candidate.
+        net = make_network(
+            ["emp", "dept"],
+            "emp.dept = dept.dno and emp.salary > dept.budget",
+        )
+        net.prime("dept", iter([{"dno": 1, "budget": 50}]))
+        assert self._joined(net, {"dept": 1, "salary": 100}) != []
+        assert self._joined(net, {"dept": 1, "salary": 10}) == []
+
+    def test_cross_type_numeric_keys_match(self):
+        # SQL numeric equality crosses int/float; hash(1) == hash(1.0)
+        # keeps them in the same bucket.
+        net = make_network(["emp", "dept"], "emp.dept = dept.dno")
+        net.prime("dept", iter([{"dno": 1.0}]))
+        assert self._joined(net, {"dept": 1}) != []
+
+    def test_null_join_key_matches_nothing(self):
+        net = make_network(["emp", "dept"], "emp.dept = dept.dno")
+        net.prime("dept", iter([{"dno": None}, {"dno": 1}]))
+        assert self._joined(net, {"dept": None}) == []
+        assert len(self._joined(net, {"dept": 1})) == 1
+
+    def test_buckets_follow_removals(self):
+        net = make_network(["emp", "dept"], "emp.dept = dept.dno")
+        net.prime("dept", iter([{"dno": 1, "budget": 5}]))
+        net.alpha["dept"].remove({"dno": 1, "budget": 5})
+        assert self._joined(net, {"dept": 1}) == []
+
+    def test_equivalent_to_scan(self):
+        # Differential check: bucket-probed results equal the pre-plan
+        # full-scan semantics for a mixed workload.
+        net = make_network(
+            ["emp", "dept"],
+            "emp.dept = dept.dno and emp.salary > dept.budget",
+        )
+        rows = [
+            {"dno": i % 5, "budget": (i * 7) % 30} for i in range(40)
+        ]
+        net.prime("dept", iter(rows))
+        for key in range(-1, 7):
+            got = self._joined(net, {"dept": key, "salary": 15})
+            expected = [
+                r for r in rows if r["dno"] == key and 15 > r["budget"]
+            ]
+            assert sorted(
+                (b["dept"]["dno"], b["dept"]["budget"]) for b in got
+            ) == sorted((r["dno"], r["budget"]) for r in expected)
+
+    def test_virtual_memories_fall_back_to_scan(self):
+        base = [{"dno": 1}, {"dno": 2}]
+        net = make_network(
+            ["emp", "dept"],
+            "emp.dept = dept.dno",
+            fetchers={"dept": lambda: iter(base)},
+        )
+        assert len(self._joined(net, {"dept": 2})) == 1
+        assert net.join_stats["hash_probes"] == 0

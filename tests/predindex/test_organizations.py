@@ -157,7 +157,7 @@ class TestDbTableSpecifics:
         names = db.table("const_table1").schema.column_names()
         assert names == [
             "exprID", "triggerID", "tvar", "nextNetworkNode", "const1",
-            "restOfPredicate",
+            "restOfPredicate", "armOf",
         ]
         (_c, got), = org.probe(("toys",))
         assert got.expr_id == 7
@@ -262,3 +262,55 @@ def test_strategies_equivalent_for_range(constants, probes):
     for probe in probes:
         results = [probe_ids(org, (float(probe),)) for org in orgs]
         assert results[0] == results[1] == results[2] == results[3]
+
+
+class TestAdaptiveCosting:
+    """Observed matches-per-probe feedback into the §5.2 cost model."""
+
+    def _interval_auto(self, limits):
+        analyzed = signature_of("age between 1 and 2")
+        org = AutoOrganization(
+            analyzed.signature, Database(), "ct_adapt", limits=limits
+        )
+        org.PROBE_SAMPLE = 1  # count every probe: deterministic feedback
+        return org
+
+    def test_observed_matches_tracks_probe_feedback(self):
+        org = self._interval_auto(Limits(list_max=64, memory_max=256))
+        assert org.observed_matches() is None
+        for i in range(10):
+            org.add((0, 100), entry(i))
+        list(org.probe((50,)))
+        assert org.observed_matches() == pytest.approx(10.0)
+        list(org.probe((-5,)))  # stabs nothing
+        assert org.observed_matches() == pytest.approx(5.0)
+
+    def test_hot_class_prefers_plain_table(self):
+        # A class whose probes match *everything* gains nothing from the
+        # clustered index: fetching all matches costs the same pages as a
+        # scan plus the B-tree descent.  The static prior (size/3) would
+        # pick the indexed table; runtime feedback picks the plain one.
+        limits = Limits(list_max=2, memory_max=64)
+        hot = self._interval_auto(limits)
+        cold = self._interval_auto(limits)
+        for i in range(64):
+            hot.add((0, 100), entry(i))
+            cold.add((0, 100), entry(i))
+        for _ in range(70):
+            list(hot.probe((50,)))  # every interval stabbed
+        hot.add((0, 100), entry(64))
+        cold.add((0, 100), entry(64))
+        assert hot.name == DB_TABLE
+        assert cold.name == DB_TABLE_INDEXED
+        # correctness unaffected by the different physical choice
+        assert probe_ids(hot, (50,)) == probe_ids(cold, (50,))
+
+    def test_probe_counters_decay(self):
+        org = self._interval_auto(Limits(list_max=256, memory_max=512))
+        for i in range(8):
+            org.add((0, 100), entry(i))
+        for _ in range(org.ADAPT_EVERY):
+            list(org.probe((50,)))
+        # after an adaptation round the window is decayed, not reset
+        assert org._probes == pytest.approx(org.ADAPT_EVERY * org.DECAY)
+        assert org.observed_matches() == pytest.approx(8.0)
